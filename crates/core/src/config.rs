@@ -1,0 +1,48 @@
+//! Engine configuration.
+
+/// Configuration of the OmniSim engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Per-thread operation budget before a runaway loop is aborted.
+    pub fuel: u64,
+    /// Apply the redundant FIFO-check elision pass (§7.3.2) during front-end
+    /// elaboration.
+    pub eliminate_dead_checks: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            fuel: 200_000_000,
+            eliminate_dead_checks: true,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns a configuration with the given fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Enables or disables the dead FIFO-check elision pass.
+    pub fn with_dead_check_elision(mut self, enabled: bool) -> Self {
+        self.eliminate_dead_checks = enabled;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_setters() {
+        let c = SimConfig::default()
+            .with_fuel(1000)
+            .with_dead_check_elision(false);
+        assert_eq!(c.fuel, 1000);
+        assert!(!c.eliminate_dead_checks);
+    }
+}

@@ -1,0 +1,997 @@
+//! The OmniSim engine: front-end elaboration, multi-threaded execution
+//! (Fig. 7 of the paper) and finalization.
+
+use crate::config::SimConfig;
+use crate::fifo_table::{FifoTable, PendingRead, PendingWrite};
+use crate::incremental::{Constraint, IncrementalState};
+use crate::query::{Query, QueryKind, QueryPool, Resolution};
+use crate::report::{OmniError, OmniOutcome, OmniReport, SimStats, SimTimings};
+use crate::request::{Request, Response, ThreadId};
+use crate::runtime::FuncRuntime;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use omnisim_graph::{EventGraph, NodeId};
+use omnisim_interp::{Interpreter, SimError};
+use omnisim_ir::design::OutputMap;
+use omnisim_ir::optimize::eliminate_dead_fifo_checks;
+use omnisim_ir::taxonomy::{classify, TaxonomyReport};
+use omnisim_ir::Design;
+use parking_lot::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// The OmniSim simulator for one design.
+///
+/// Construction performs the *front-end* work (design elaboration, the
+/// redundant-FIFO-check elision pass of §7.3.2 and taxonomy classification);
+/// [`OmniSimulator::run`] performs the multi-threaded execution and
+/// finalization. The two are separated so the Fig. 8(c) runtime breakdown
+/// (front-end vs multi-threaded execution) can be measured.
+#[derive(Debug)]
+pub struct OmniSimulator<'d> {
+    source: &'d Design,
+    design: Design,
+    config: SimConfig,
+    taxonomy: TaxonomyReport,
+    front_end_time: Duration,
+}
+
+impl<'d> OmniSimulator<'d> {
+    /// Elaborates a design with the default configuration.
+    pub fn new(design: &'d Design) -> Self {
+        Self::with_config(design, SimConfig::default())
+    }
+
+    /// Elaborates a design with an explicit configuration.
+    pub fn with_config(design: &'d Design, config: SimConfig) -> Self {
+        let started = Instant::now();
+        let mut elaborated = design.clone();
+        if config.eliminate_dead_checks {
+            let _stats = eliminate_dead_fifo_checks(&mut elaborated);
+        }
+        let taxonomy = classify(&elaborated);
+        let front_end_time = started.elapsed();
+        OmniSimulator {
+            source: design,
+            design: elaborated,
+            config,
+            taxonomy,
+            front_end_time,
+        }
+    }
+
+    /// The original (un-elaborated) design.
+    pub fn source_design(&self) -> &'d Design {
+        self.source
+    }
+
+    /// The elaborated design actually simulated.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The taxonomy classification of the design (Type A / B / C).
+    pub fn taxonomy(&self) -> &TaxonomyReport {
+        &self.taxonomy
+    }
+
+    /// Wall-clock time spent in front-end elaboration.
+    pub fn front_end_time(&self) -> Duration {
+        self.front_end_time
+    }
+
+    /// Runs the multi-threaded simulation to completion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmniError::Task`] if a Func Sim thread fails (out-of-bounds
+    /// access, fuel exhaustion), [`OmniError::ThreadPanic`] if one panics, or
+    /// [`OmniError::Graph`] if finalization detects a cyclic constraint set
+    /// (an engine bug). Design deadlocks are *not* errors: they are reported
+    /// through [`OmniOutcome::Deadlock`].
+    pub fn run(&self) -> Result<OmniReport, OmniError> {
+        let exec_start = Instant::now();
+        let design = &self.design;
+        let tasks = design.dataflow_tasks();
+        let thread_count = tasks.len();
+        let depths = design.fifo_depths();
+
+        let arrays: Vec<Mutex<Vec<i64>>> = design
+            .arrays
+            .iter()
+            .map(|a| Mutex::new(a.init.clone()))
+            .collect();
+
+        let (req_tx, req_rx) = unbounded::<Request>();
+        let mut resp_senders = Vec::with_capacity(thread_count);
+        let mut resp_receivers = Vec::with_capacity(thread_count);
+        for _ in 0..thread_count {
+            let (tx, rx) = bounded::<Response>(1);
+            resp_senders.push(tx);
+            resp_receivers.push(rx);
+        }
+
+        let task_names: Vec<String> = tasks
+            .iter()
+            .map(|&m| design.module(m).name.clone())
+            .collect();
+        let mut perf = PerfState::new(design, &depths, task_names, resp_senders);
+        let fuel = self.config.fuel;
+
+        std::thread::scope(|scope| {
+            for (thread_id, (&task, resp_rx)) in
+                tasks.iter().zip(resp_receivers.into_iter()).enumerate()
+            {
+                let req_tx = req_tx.clone();
+                let arrays = &arrays;
+                scope.spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let mut runtime =
+                            FuncRuntime::new(thread_id, design, req_tx.clone(), resp_rx, arrays);
+                        let mut interp = Interpreter::with_fuel(design, fuel);
+                        let outcome = interp.run_module(task, &[], &mut runtime);
+                        (outcome, runtime.end_cycle())
+                    }));
+                    match result {
+                        Ok((Ok(outcome), end_cycle)) => {
+                            let _ = req_tx.send(Request::TaskFinished {
+                                thread: thread_id,
+                                end_cycle,
+                                ops_executed: outcome.ops_executed,
+                            });
+                        }
+                        Ok((Err(SimError::Aborted { .. }), _)) => {
+                            // Engine-initiated shutdown: the Perf Sim thread
+                            // already accounted for this thread.
+                        }
+                        Ok((Err(error), _)) => {
+                            let _ = req_tx.send(Request::TaskFailed {
+                                thread: thread_id,
+                                error,
+                            });
+                        }
+                        Err(_) => {
+                            let _ = req_tx.send(Request::TaskFailed {
+                                thread: thread_id,
+                                error: SimError::Aborted {
+                                    reason: "functionality-simulation thread panicked".to_owned(),
+                                },
+                            });
+                        }
+                    }
+                });
+            }
+            drop(req_tx);
+            perf.run(&req_rx);
+        });
+
+        let execution = exec_start.elapsed();
+
+        if let Some((thread, error)) = perf.failure.take() {
+            if matches!(error, SimError::Aborted { ref reason } if reason.contains("panicked")) {
+                return Err(OmniError::ThreadPanic);
+            }
+            return Err(OmniError::Task {
+                task: perf.task_names[thread].clone(),
+                error,
+            });
+        }
+
+        let finalize_start = Instant::now();
+        let queries_created = perf.queries_created;
+        let forced_false = perf.pool.forced_false();
+        let fifo_accesses = perf.fifo_accesses;
+        let ops_executed = perf.ops_executed;
+        let outputs = std::mem::take(&mut perf.outputs);
+        let deadlock = perf.deadlock.take();
+
+        let incremental = IncrementalState {
+            graph: std::mem::take(&mut perf.graph),
+            fifo_write_nodes: perf.tables.iter().map(|t| t.write_nodes().to_vec()).collect(),
+            fifo_write_blocking: perf
+                .tables
+                .iter()
+                .map(|t| t.write_blocking_flags().to_vec())
+                .collect(),
+            fifo_read_nodes: perf.tables.iter().map(|t| t.read_nodes().to_vec()).collect(),
+            end_nodes: std::mem::take(&mut perf.end_nodes),
+            constraints: std::mem::take(&mut perf.constraints),
+            original_depths: depths.clone(),
+        };
+
+        let (outcome, total_cycles) = match deadlock {
+            Some(detail) => {
+                let cycles = incremental.graph.max_time();
+                (OmniOutcome::Deadlock { detail }, cycles)
+            }
+            None => {
+                let cycles = incremental.finalize_latency(&depths)?;
+                (OmniOutcome::Completed, cycles)
+            }
+        };
+        let finalize = finalize_start.elapsed();
+
+        let stats = SimStats {
+            threads: thread_count,
+            graph_nodes: incremental.graph.len(),
+            graph_edges: incremental.graph.edge_count(),
+            fifo_accesses,
+            queries: queries_created,
+            queries_forced_false: forced_false,
+            constraints: incremental.constraints.len(),
+            ops_executed,
+        };
+
+        Ok(OmniReport {
+            outcome,
+            outputs,
+            total_cycles,
+            timings: SimTimings {
+                front_end: self.front_end_time,
+                execution,
+                finalize,
+            },
+            stats,
+            incremental,
+        })
+    }
+}
+
+/// All state owned by the Perf Sim thread.
+struct PerfState<'d> {
+    design: &'d Design,
+    depths: Vec<usize>,
+    task_names: Vec<String>,
+    responders: Vec<Sender<Response>>,
+
+    tables: Vec<FifoTable>,
+    graph: EventGraph,
+    last_node: Vec<Option<(NodeId, u64)>>,
+    pool: QueryPool,
+    constraints: Vec<Constraint>,
+    outputs: OutputMap,
+    end_nodes: Vec<Option<NodeId>>,
+    paused: Vec<bool>,
+
+    total_threads: usize,
+    active: usize,
+    finished: usize,
+    aborted: usize,
+    failed: usize,
+    shutdown: bool,
+    failure: Option<(ThreadId, SimError)>,
+    deadlock: Option<String>,
+
+    fifo_accesses: u64,
+    queries_created: usize,
+    ops_executed: u64,
+}
+
+impl std::fmt::Debug for PerfState<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PerfState")
+            .field("active", &self.active)
+            .field("finished", &self.finished)
+            .field("pending_queries", &self.pool.pending())
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'d> PerfState<'d> {
+    fn new(
+        design: &'d Design,
+        depths: &[usize],
+        task_names: Vec<String>,
+        responders: Vec<Sender<Response>>,
+    ) -> Self {
+        let threads = responders.len();
+        PerfState {
+            design,
+            depths: depths.to_vec(),
+            task_names,
+            responders,
+            tables: (0..design.fifos.len()).map(|_| FifoTable::new()).collect(),
+            graph: EventGraph::new(),
+            last_node: vec![None; threads],
+            pool: QueryPool::new(),
+            constraints: Vec::new(),
+            outputs: OutputMap::new(),
+            end_nodes: vec![None; threads],
+            paused: vec![false; threads],
+            total_threads: threads,
+            active: threads,
+            finished: 0,
+            aborted: 0,
+            failed: 0,
+            shutdown: false,
+            failure: None,
+            deadlock: None,
+            fifo_accesses: 0,
+            queries_created: 0,
+            ops_executed: 0,
+        }
+    }
+
+    fn accounted(&self) -> usize {
+        self.finished + self.aborted + self.failed
+    }
+
+    /// The Perf Sim thread main loop (Fig. 7): process requests as they
+    /// arrive; whenever every Func Sim thread is paused, enter the
+    /// query-resolution step.
+    fn run(&mut self, requests: &Receiver<Request>) {
+        while self.accounted() < self.total_threads {
+            let request = match requests.recv() {
+                Ok(r) => r,
+                Err(_) => break,
+            };
+            self.handle(request);
+            while let Ok(r) = requests.try_recv() {
+                self.handle(r);
+            }
+            if self.active == 0 && self.accounted() < self.total_threads {
+                self.resolve_phase();
+            }
+        }
+    }
+
+    fn respond(&mut self, thread: ThreadId, response: Response) {
+        let _ = self.responders[thread].send(response);
+        if self.paused[thread] {
+            self.paused[thread] = false;
+            self.active += 1;
+        }
+    }
+
+    fn pause(&mut self, thread: ThreadId) {
+        debug_assert!(!self.paused[thread]);
+        self.paused[thread] = true;
+        self.active -= 1;
+    }
+
+    fn abort_thread(&mut self, thread: ThreadId, reason: &str) {
+        let _ = self.responders[thread].send(Response::Abort {
+            reason: reason.to_owned(),
+        });
+        if self.paused[thread] {
+            self.paused[thread] = false;
+        }
+        self.aborted += 1;
+    }
+
+    fn abort_all_paused(&mut self, reason: &str) {
+        for thread in 0..self.total_threads {
+            if self.paused[thread] {
+                self.abort_thread(thread, reason);
+            }
+        }
+    }
+
+    fn new_event_node(&mut self, thread: ThreadId, cycle: u64) -> NodeId {
+        let node = self.graph.add_node(cycle);
+        if let Some((last, last_cycle)) = self.last_node[thread] {
+            self.graph
+                .add_edge(last, node, cycle as i64 - last_cycle as i64);
+        }
+        self.last_node[thread] = Some((node, cycle));
+        node
+    }
+
+    fn handle(&mut self, request: Request) {
+        if self.shutdown {
+            let thread = request.thread();
+            match request {
+                Request::TaskFinished { .. } => {
+                    self.finished += 1;
+                    self.active -= 1;
+                }
+                Request::TaskFailed { .. } => {
+                    self.failed += 1;
+                    self.active -= 1;
+                }
+                _ if request.pauses_thread() => {
+                    self.active -= 1;
+                    self.abort_thread(thread, "simulation is shutting down");
+                }
+                _ => {}
+            }
+            return;
+        }
+        match request {
+            Request::FifoWrite {
+                thread,
+                fifo,
+                value,
+                cycle,
+            } => {
+                self.pause(thread);
+                let depth = self.depths[fifo.index()];
+                let table = &self.tables[fifo.index()];
+                let ordinal = table.writes_committed() + 1;
+                if ordinal <= depth {
+                    self.commit_blocking_write(thread, fifo.index(), cycle, cycle, value);
+                } else {
+                    match table.read_cycle(ordinal - depth) {
+                        Some(read_cycle) => {
+                            let commit = cycle.max(read_cycle + 1);
+                            self.commit_blocking_write(thread, fifo.index(), cycle, commit, value);
+                        }
+                        None => {
+                            self.tables[fifo.index()].park_write(PendingWrite {
+                                thread,
+                                cycle,
+                                value,
+                            });
+                        }
+                    }
+                }
+            }
+            Request::FifoRead {
+                thread,
+                fifo,
+                cycle,
+            } => {
+                self.pause(thread);
+                let table = &self.tables[fifo.index()];
+                if let Some(write_cycle) = table.next_read_ready() {
+                    self.commit_blocking_read(thread, fifo.index(), cycle, write_cycle);
+                } else {
+                    self.tables[fifo.index()].park_read(PendingRead { thread, cycle });
+                }
+            }
+            Request::FifoNbWrite {
+                thread,
+                fifo,
+                value,
+                cycle,
+            } => {
+                self.pause(thread);
+                self.queries_created += 1;
+                let node = self.new_event_node(thread, cycle);
+                let ordinal = self.tables[fifo.index()].writes_committed() + 1;
+                let query = Query {
+                    thread,
+                    fifo,
+                    kind: QueryKind::NbWrite,
+                    cycle,
+                    ordinal,
+                    value,
+                    node,
+                };
+                self.try_resolve_or_pool(query);
+            }
+            Request::FifoNbRead {
+                thread,
+                fifo,
+                cycle,
+            } => {
+                self.pause(thread);
+                self.queries_created += 1;
+                let node = self.new_event_node(thread, cycle);
+                let ordinal = self.tables[fifo.index()].reads_committed() + 1;
+                let query = Query {
+                    thread,
+                    fifo,
+                    kind: QueryKind::NbRead,
+                    cycle,
+                    ordinal,
+                    value: 0,
+                    node,
+                };
+                self.try_resolve_or_pool(query);
+            }
+            Request::FifoCanRead {
+                thread,
+                fifo,
+                cycle,
+            } => {
+                self.pause(thread);
+                self.queries_created += 1;
+                let node = self.new_event_node(thread, cycle);
+                let ordinal = self.tables[fifo.index()].reads_committed() + 1;
+                let query = Query {
+                    thread,
+                    fifo,
+                    kind: QueryKind::CanRead,
+                    cycle,
+                    ordinal,
+                    value: 0,
+                    node,
+                };
+                self.try_resolve_or_pool(query);
+            }
+            Request::FifoCanWrite {
+                thread,
+                fifo,
+                cycle,
+            } => {
+                self.pause(thread);
+                self.queries_created += 1;
+                let node = self.new_event_node(thread, cycle);
+                let ordinal = self.tables[fifo.index()].writes_committed() + 1;
+                let query = Query {
+                    thread,
+                    fifo,
+                    kind: QueryKind::CanWrite,
+                    cycle,
+                    ordinal,
+                    value: 0,
+                    node,
+                };
+                self.try_resolve_or_pool(query);
+            }
+            Request::Output {
+                thread: _,
+                output,
+                value,
+            } => {
+                self.outputs
+                    .insert(self.design.output_name(output).to_owned(), value);
+            }
+            Request::TaskFinished {
+                thread,
+                end_cycle,
+                ops_executed,
+            } => {
+                self.finished += 1;
+                self.active -= 1;
+                self.ops_executed += ops_executed;
+                let node = self.new_event_node(thread, end_cycle);
+                self.end_nodes[thread] = Some(node);
+            }
+            Request::TaskFailed { thread, error } => {
+                self.failed += 1;
+                self.active -= 1;
+                self.failure = Some((thread, error));
+                self.shutdown = true;
+                self.abort_all_paused("another task failed");
+            }
+        }
+    }
+
+    /// Commits a blocking write at `commit` (the first cycle at which space
+    /// is available, never earlier than the attempt cycle).
+    fn commit_blocking_write(
+        &mut self,
+        thread: ThreadId,
+        fifo: usize,
+        _attempt_cycle: u64,
+        commit: u64,
+        value: i64,
+    ) {
+        let node = self.new_event_node(thread, commit);
+        self.tables[fifo].commit_write(value, commit, node, true);
+        self.fifo_accesses += 1;
+        self.respond(thread, Response::WriteDone { cycle: commit });
+        self.service_pending_read(fifo);
+    }
+
+    /// After a read commits, wake a parked blocking write whose slot is now
+    /// known to free up.
+    fn service_pending_write(&mut self, fifo: usize) {
+        if self.tables[fifo].pending_write().is_none() {
+            return;
+        }
+        let depth = self.depths[fifo];
+        let ordinal = self.tables[fifo].writes_committed() + 1;
+        let ready = if ordinal <= depth {
+            Some(self.tables[fifo].pending_write().expect("pending write").cycle)
+        } else {
+            self.tables[fifo]
+                .read_cycle(ordinal - depth)
+                .map(|read_cycle| {
+                    let pending = self.tables[fifo].pending_write().expect("pending write");
+                    pending.cycle.max(read_cycle + 1)
+                })
+        };
+        if let Some(commit) = ready {
+            let pending = self.tables[fifo]
+                .take_pending_write()
+                .expect("pending write present");
+            self.commit_blocking_write(pending.thread, fifo, pending.cycle, commit, pending.value);
+        }
+    }
+
+    /// Commits a blocking read whose matching write is already in the table.
+    fn commit_blocking_read(
+        &mut self,
+        thread: ThreadId,
+        fifo: usize,
+        request_cycle: u64,
+        write_cycle: u64,
+    ) {
+        let commit = request_cycle.max(write_cycle + 1);
+        let ordinal = self.tables[fifo].reads_committed() + 1;
+        let write_node = self.tables[fifo]
+            .write_node(ordinal)
+            .expect("matching write exists");
+        let node = self.new_event_node(thread, commit);
+        self.graph.add_edge(write_node, node, 1);
+        let value = self.tables[fifo].commit_read(commit, node);
+        self.fifo_accesses += 1;
+        self.respond(
+            thread,
+            Response::ReadValue {
+                value,
+                cycle: commit,
+            },
+        );
+        self.service_pending_write(fifo);
+    }
+
+    /// After a write commits, wake a parked blocking read if its matching
+    /// write is now available.
+    fn service_pending_read(&mut self, fifo: usize) {
+        if self.tables[fifo].pending_read().is_none() {
+            return;
+        }
+        if let Some(write_cycle) = self.tables[fifo].next_read_ready() {
+            let pending = self.tables[fifo]
+                .take_pending_read()
+                .expect("pending read present");
+            self.commit_blocking_read(pending.thread, fifo, pending.cycle, write_cycle);
+        }
+    }
+
+    fn try_resolve_or_pool(&mut self, query: Query) {
+        let resolution = query.resolve(
+            &self.tables[query.fifo.index()],
+            self.depths[query.fifo.index()],
+        );
+        match resolution {
+            Resolution::Unknown => self.pool.push(query),
+            Resolution::True => self.apply_resolution(query, true),
+            Resolution::False => self.apply_resolution(query, false),
+        }
+    }
+
+    fn apply_resolution(&mut self, query: Query, outcome: bool) {
+        self.constraints.push(Constraint {
+            fifo: query.fifo,
+            kind: query.kind,
+            ordinal: query.ordinal,
+            node: query.node,
+            outcome,
+        });
+        match query.kind {
+            QueryKind::NbWrite => {
+                if outcome {
+                    self.tables[query.fifo.index()].commit_write(
+                        query.value,
+                        query.cycle,
+                        query.node,
+                        false,
+                    );
+                    self.fifo_accesses += 1;
+                    self.service_pending_read(query.fifo.index());
+                }
+                self.respond(query.thread, Response::NbWrite { accepted: outcome });
+            }
+            QueryKind::NbRead => {
+                if outcome {
+                    let value = self.tables[query.fifo.index()].commit_read(query.cycle, query.node);
+                    self.fifo_accesses += 1;
+                    self.respond(query.thread, Response::NbRead { value: Some(value) });
+                    self.service_pending_write(query.fifo.index());
+                } else {
+                    self.respond(query.thread, Response::NbRead { value: None });
+                }
+            }
+            QueryKind::CanRead | QueryKind::CanWrite => {
+                self.respond(query.thread, Response::Status { value: outcome });
+            }
+        }
+    }
+
+    /// Step 4 of Fig. 7: with every Func Sim thread paused, resolve as many
+    /// queries as possible; if none can be resolved, apply the
+    /// forward-progress rule of §7.1 or report a deadlock.
+    fn resolve_phase(&mut self) {
+        loop {
+            let mut progressed = false;
+            let mut index = 0;
+            while index < self.pool.pending() {
+                let resolution = {
+                    let query = self.pool.get(index);
+                    query.resolve(
+                        &self.tables[query.fifo.index()],
+                        self.depths[query.fifo.index()],
+                    )
+                };
+                match resolution {
+                    Resolution::Unknown => index += 1,
+                    Resolution::True => {
+                        let query = self.pool.take(index);
+                        self.apply_resolution(query, true);
+                        progressed = true;
+                    }
+                    Resolution::False => {
+                        let query = self.pool.take(index);
+                        self.apply_resolution(query, false);
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+
+        if self.active == 0 && self.accounted() < self.total_threads {
+            if let Some(query) = self.pool.take_earliest_forced() {
+                // §7.1: every thread has progressed to at least the cycle of
+                // the earliest query, so its target event (still unknown)
+                // cannot be strictly before it — the access fails.
+                self.apply_resolution(query, false);
+            } else {
+                let detail = self.describe_deadlock();
+                self.deadlock = Some(detail.clone());
+                self.shutdown = true;
+                self.abort_all_paused(&format!("unresolvable deadlock detected: {detail}"));
+            }
+        }
+    }
+
+    fn describe_deadlock(&self) -> String {
+        let mut blocked = Vec::new();
+        for (fifo_index, table) in self.tables.iter().enumerate() {
+            if let Some(pending) = table.pending_read() {
+                blocked.push(format!(
+                    "task '{}' blocked reading fifo '{}' since cycle {}",
+                    self.task_names[pending.thread],
+                    self.design.fifos[fifo_index].name,
+                    pending.cycle
+                ));
+            }
+            if let Some(pending) = table.pending_write() {
+                blocked.push(format!(
+                    "task '{}' blocked writing full fifo '{}' since cycle {}",
+                    self.task_names[pending.thread],
+                    self.design.fifos[fifo_index].name,
+                    pending.cycle
+                ));
+            }
+        }
+        if blocked.is_empty() {
+            "all tasks are paused with no pending queries".to_owned()
+        } else {
+            blocked.join("; ")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::IncrementalOutcome;
+    use omnisim_ir::{DesignBuilder, Expr};
+    use omnisim_rtlsim::RtlSimulator;
+
+    fn producer_consumer(n: i64, depth: usize, consumer_ii: u64) -> Design {
+        let mut d = DesignBuilder::new("pc");
+        let data = d.array("data", (1..=n).collect::<Vec<i64>>());
+        let out = d.output("sum");
+        let q = d.fifo("q", depth);
+        let p = d.function("producer", |m| {
+            m.counted_loop("i", n, 1, |b| {
+                let i = b.var_expr("i");
+                let v = b.array_load(data, i);
+                b.fifo_write(q, Expr::var(v));
+            });
+        });
+        let c = d.function("consumer", |m| {
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(0));
+            });
+            m.counted_loop("i", n, consumer_ii, |b| {
+                let v = b.fifo_read(q);
+                b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            });
+            m.exit(|b| {
+                b.output(out, Expr::var(acc));
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        d.build().unwrap()
+    }
+
+    fn cyclic_controller_processor(n: i64) -> Design {
+        let mut d = DesignBuilder::new("ex3");
+        let req = d.fifo("req", 2);
+        let resp = d.fifo("resp", 2);
+        let out = d.output("sum");
+        let controller = d.function("controller", |m| {
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(0));
+            });
+            m.counted_loop("i", n, 1, |b| {
+                let i = b.var_expr("i");
+                b.fifo_write(req, i);
+                let v = b.fifo_read(resp);
+                b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            });
+            m.exit(|b| {
+                b.output(out, Expr::var(acc));
+            });
+        });
+        let processor = d.function("processor", |m| {
+            m.counted_loop("i", n, 1, |b| {
+                let v = b.fifo_read(req);
+                b.fifo_write(resp, Expr::var(v).mul(Expr::imm(2)));
+            });
+        });
+        d.dataflow_top("top", [controller, processor]);
+        d.build().unwrap()
+    }
+
+    fn nb_drop_counter(n: i64, depth: usize, consumer_ii: u64) -> Design {
+        let mut d = DesignBuilder::new("ex4b");
+        let q = d.fifo("q", depth);
+        let dropped = d.output("dropped");
+        let received = d.output("received");
+        let p = d.function("producer", |m| {
+            let drops = m.var("drops");
+            m.entry(|b| {
+                b.assign(drops, Expr::imm(0));
+            });
+            m.counted_loop("i", n, 1, |b| {
+                let i = b.var_expr("i");
+                let ok = b.fifo_nb_write(q, i);
+                b.assign(
+                    drops,
+                    Expr::var(ok).select(Expr::var(drops), Expr::var(drops).add(Expr::imm(1))),
+                );
+            });
+            m.exit(|b| {
+                b.output(dropped, Expr::var(drops));
+            });
+        });
+        let c = d.function("consumer", |m| {
+            let got = m.var("got");
+            m.entry(|b| {
+                b.assign(got, Expr::imm(0));
+            });
+            m.counted_loop("i", n, consumer_ii, |b| {
+                let (_v, ok) = b.fifo_nb_read(q);
+                b.assign(got, Expr::var(got).add(Expr::var(ok)));
+            });
+            m.exit(|b| {
+                b.output(received, Expr::var(got));
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        d.build().unwrap()
+    }
+
+    #[test]
+    fn type_a_matches_reference_exactly() {
+        for (n, depth, ii) in [(32, 2, 1), (64, 4, 2), (100, 1, 1)] {
+            let design = producer_consumer(n, depth, ii);
+            let reference = RtlSimulator::new(&design).run().unwrap();
+            let report = OmniSimulator::new(&design).run().unwrap();
+            assert!(report.outcome.is_completed());
+            assert_eq!(report.outputs, reference.outputs);
+            assert_eq!(
+                report.total_cycles, reference.total_cycles,
+                "n={n} depth={depth} ii={ii}"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_blocking_design_matches_reference() {
+        let design = cyclic_controller_processor(50);
+        let reference = RtlSimulator::new(&design).run().unwrap();
+        let report = OmniSimulator::new(&design).run().unwrap();
+        assert_eq!(report.outputs, reference.outputs);
+        assert_eq!(report.output("sum"), Some((0..50).map(|i| i * 2).sum()));
+        assert_eq!(report.total_cycles, reference.total_cycles);
+    }
+
+    #[test]
+    fn nonblocking_drop_counter_matches_reference() {
+        for (n, depth, ii) in [(32, 1, 4), (64, 2, 3), (48, 4, 2)] {
+            let design = nb_drop_counter(n, depth, ii);
+            let reference = RtlSimulator::new(&design).run().unwrap();
+            let report = OmniSimulator::new(&design).run().unwrap();
+            assert_eq!(
+                report.outputs, reference.outputs,
+                "functional outputs must match the reference (n={n} depth={depth} ii={ii})"
+            );
+            assert_eq!(report.total_cycles, reference.total_cycles);
+            assert!(report.output("dropped").unwrap() > 0, "drops must occur");
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected_not_hung() {
+        let mut d = DesignBuilder::new("deadlock");
+        let a2b = d.fifo("a2b", 2);
+        let b2a = d.fifo("b2a", 2);
+        let ta = d.function("task_a", |m| {
+            m.entry(|b| {
+                let v = b.fifo_read(b2a);
+                b.fifo_write(a2b, Expr::var(v));
+            });
+        });
+        let tb = d.function("task_b", |m| {
+            m.entry(|b| {
+                let v = b.fifo_read(a2b);
+                b.fifo_write(b2a, Expr::var(v));
+            });
+        });
+        d.dataflow_top("top", [ta, tb]);
+        let design = d.build().unwrap();
+        let report = OmniSimulator::new(&design).run().unwrap();
+        assert!(report.outcome.is_deadlock());
+        match &report.outcome {
+            OmniOutcome::Deadlock { detail } => {
+                assert!(detail.contains("task_a"));
+                assert!(detail.contains("task_b"));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn repeated_runs_are_deterministic() {
+        let design = nb_drop_counter(64, 2, 3);
+        let first = OmniSimulator::new(&design).run().unwrap();
+        for _ in 0..5 {
+            let again = OmniSimulator::new(&design).run().unwrap();
+            assert_eq!(again.outputs, first.outputs);
+            assert_eq!(again.total_cycles, first.total_cycles);
+        }
+    }
+
+    #[test]
+    fn incremental_state_matches_full_resimulation_when_valid() {
+        let design = producer_consumer(64, 2, 2);
+        let report = OmniSimulator::new(&design).run().unwrap();
+        for depth in [4usize, 16, 64] {
+            match report.incremental.try_with_depths(&[depth]).unwrap() {
+                IncrementalOutcome::Valid { total_cycles } => {
+                    let resized = design.with_fifo_depths(&[depth]);
+                    let full = OmniSimulator::new(&resized).run().unwrap();
+                    assert_eq!(total_cycles, full.total_cycles, "depth {depth}");
+                }
+                other => panic!("expected valid incremental result, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn task_errors_are_reported() {
+        let mut d = DesignBuilder::new("oob");
+        let data = d.array("data", vec![1, 2, 3]);
+        let out = d.output("x");
+        d.function_top("f", |m| {
+            m.entry(|b| {
+                let v = b.array_load(data, Expr::imm(99));
+                b.output(out, Expr::var(v));
+            });
+        });
+        let design = d.build().unwrap();
+        let err = OmniSimulator::new(&design).run().unwrap_err();
+        match err {
+            OmniError::Task { task, error } => {
+                assert_eq!(task, "f");
+                assert!(matches!(error, SimError::ArrayOutOfBounds { .. }));
+            }
+            other => panic!("expected task error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn front_end_reports_taxonomy() {
+        let design = nb_drop_counter(8, 1, 2);
+        let sim = OmniSimulator::new(&design);
+        assert_eq!(
+            sim.taxonomy().class,
+            omnisim_ir::DesignClass::TypeC,
+            "drop counters make behaviour depend on NB outcomes"
+        );
+        assert!(sim.front_end_time() <= Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,306 @@
+//! FIFO read/write tables: the data structure at the heart of OmniSim's
+//! thread orchestration (§5, §6.2).
+//!
+//! Instead of a simple occupancy counter, each FIFO records the exact
+//! hardware cycle of every committed read and write, together with the
+//! simulation-graph node that represents the access. This is what lets the
+//! Perf Sim thread answer queries such as "can the *w*-th write succeed at
+//! cycle *c*?" purely from hardware timing, regardless of the order in which
+//! the OS happened to schedule the Func Sim threads.
+
+use crate::request::ThreadId;
+use omnisim_graph::NodeId;
+use std::collections::VecDeque;
+
+/// A blocking read that is parked until the matching write arrives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingRead {
+    /// The paused thread.
+    pub thread: ThreadId,
+    /// The cycle at which the read was first attempted.
+    pub cycle: u64,
+}
+
+/// A blocking write that is parked until the read freeing its slot arrives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingWrite {
+    /// The paused thread.
+    pub thread: ThreadId,
+    /// The cycle at which the write was first attempted.
+    pub cycle: u64,
+    /// The value to push once space is available.
+    pub value: i64,
+}
+
+/// The read/write table of one FIFO.
+#[derive(Debug, Clone, Default)]
+pub struct FifoTable {
+    /// Values written but not yet read, in FIFO order.
+    values: VecDeque<i64>,
+    /// Commit cycle of every write, in order.
+    write_cycles: Vec<u64>,
+    /// Commit cycle of every read, in order.
+    read_cycles: Vec<u64>,
+    /// Simulation-graph node of every write, in order.
+    write_nodes: Vec<NodeId>,
+    /// Whether each committed write was a blocking write (true) or a
+    /// successful non-blocking write (false). Only blocking writes stall, so
+    /// only they receive write-after-read edges during finalization.
+    write_blocking: Vec<bool>,
+    /// Simulation-graph node of every read, in order.
+    read_nodes: Vec<NodeId>,
+    /// At most one parked blocking read (FIFOs are point-to-point, so only
+    /// the single consumer can ever be waiting).
+    pending_read: Option<PendingRead>,
+    /// At most one parked blocking write (single producer).
+    pending_write: Option<PendingWrite>,
+}
+
+impl FifoTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of writes committed so far.
+    pub fn writes_committed(&self) -> usize {
+        self.write_cycles.len()
+    }
+
+    /// Number of reads committed so far.
+    pub fn reads_committed(&self) -> usize {
+        self.read_cycles.len()
+    }
+
+    /// Values currently buffered (committed writes not yet read).
+    pub fn occupancy(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Commit cycle of the `i`-th (1-based) write, if committed.
+    pub fn write_cycle(&self, ordinal: usize) -> Option<u64> {
+        self.write_cycles.get(ordinal.checked_sub(1)?).copied()
+    }
+
+    /// Commit cycle of the `i`-th (1-based) read, if committed.
+    pub fn read_cycle(&self, ordinal: usize) -> Option<u64> {
+        self.read_cycles.get(ordinal.checked_sub(1)?).copied()
+    }
+
+    /// Graph node of the `i`-th (1-based) write, if committed.
+    pub fn write_node(&self, ordinal: usize) -> Option<NodeId> {
+        self.write_nodes.get(ordinal.checked_sub(1)?).copied()
+    }
+
+    /// Graph node of the `i`-th (1-based) read, if committed.
+    pub fn read_node(&self, ordinal: usize) -> Option<NodeId> {
+        self.read_nodes.get(ordinal.checked_sub(1)?).copied()
+    }
+
+    /// All write nodes in commit order.
+    pub fn write_nodes(&self) -> &[NodeId] {
+        &self.write_nodes
+    }
+
+    /// All read nodes in commit order.
+    pub fn read_nodes(&self) -> &[NodeId] {
+        &self.read_nodes
+    }
+
+    /// Commits a write at `cycle`, represented by graph node `node`.
+    /// `blocking` records whether the write came from a blocking access
+    /// (stallable) or a successful non-blocking access (never stalled).
+    pub fn commit_write(&mut self, value: i64, cycle: u64, node: NodeId, blocking: bool) {
+        self.values.push_back(value);
+        self.write_cycles.push(cycle);
+        self.write_nodes.push(node);
+        self.write_blocking.push(blocking);
+    }
+
+    /// Blocking flag of every committed write, in commit order.
+    pub fn write_blocking_flags(&self) -> &[bool] {
+        &self.write_blocking
+    }
+
+    /// Commits a read at `cycle`, represented by graph node `node`, and
+    /// returns the popped value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no value is buffered; callers must check
+    /// [`FifoTable::next_read_ready`] (or the Table 2 rules) first.
+    pub fn commit_read(&mut self, cycle: u64, node: NodeId) -> i64 {
+        let value = self
+            .values
+            .pop_front()
+            .expect("commit_read on a fifo with no buffered value");
+        self.read_cycles.push(cycle);
+        self.read_nodes.push(node);
+        value
+    }
+
+    /// If the next (r-th) read were attempted at `cycle`, has its matching
+    /// write already committed, and if so at what cycle?
+    ///
+    /// Returns `Some(write_cycle)` when the write exists (the read can then
+    /// commit at `max(cycle, write_cycle + 1)`), or `None` when the matching
+    /// write has not been simulated yet.
+    pub fn next_read_ready(&self) -> Option<u64> {
+        self.write_cycle(self.reads_committed() + 1)
+    }
+
+    /// Table 2, row 3: can the `r`-th read succeed at cycle `c`?
+    ///
+    /// * `Some(true)` — the `r`-th write committed strictly before `c`.
+    /// * `Some(false)` — the `r`-th write committed at or after `c`.
+    /// * `None` — the `r`-th write has not been simulated yet (unknown).
+    pub fn can_read_at(&self, ordinal: usize, cycle: u64) -> Option<bool> {
+        self.write_cycle(ordinal).map(|wc| wc < cycle)
+    }
+
+    /// Table 2, rows 1–2: can the `w`-th write succeed at cycle `c` with
+    /// FIFO depth `depth`?
+    ///
+    /// * `Some(true)` — `w ≤ depth`, or the `(w − depth)`-th read committed
+    ///   strictly before `c`.
+    /// * `Some(false)` — the `(w − depth)`-th read committed at or after `c`.
+    /// * `None` — the `(w − depth)`-th read has not been simulated yet.
+    pub fn can_write_at(&self, ordinal: usize, cycle: u64, depth: usize) -> Option<bool> {
+        if ordinal <= depth {
+            return Some(true);
+        }
+        self.read_cycle(ordinal - depth).map(|rc| rc < cycle)
+    }
+
+    /// Parks a blocking read until a write arrives.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a read is already parked (FIFOs are point-to-point, so this
+    /// would indicate an engine bug).
+    pub fn park_read(&mut self, pending: PendingRead) {
+        assert!(
+            self.pending_read.is_none(),
+            "two blocking reads parked on the same fifo"
+        );
+        self.pending_read = Some(pending);
+    }
+
+    /// Takes the parked blocking read, if any.
+    pub fn take_pending_read(&mut self) -> Option<PendingRead> {
+        self.pending_read.take()
+    }
+
+    /// Returns the parked blocking read without removing it.
+    pub fn pending_read(&self) -> Option<&PendingRead> {
+        self.pending_read.as_ref()
+    }
+
+    /// Parks a blocking write until space becomes available.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a write is already parked (FIFOs are point-to-point, so this
+    /// would indicate an engine bug).
+    pub fn park_write(&mut self, pending: PendingWrite) {
+        assert!(
+            self.pending_write.is_none(),
+            "two blocking writes parked on the same fifo"
+        );
+        self.pending_write = Some(pending);
+    }
+
+    /// Takes the parked blocking write, if any.
+    pub fn take_pending_write(&mut self) -> Option<PendingWrite> {
+        self.pending_write.take()
+    }
+
+    /// Returns the parked blocking write without removing it.
+    pub fn pending_write(&self) -> Option<&PendingWrite> {
+        self.pending_write.as_ref()
+    }
+
+    /// Values left in the FIFO at the end of simulation.
+    pub fn leftover(&self) -> usize {
+        self.values.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn ordinal_accessors_are_one_based() {
+        let mut t = FifoTable::new();
+        t.commit_write(10, 3, node(0), true);
+        t.commit_write(20, 5, node(1), true);
+        assert_eq!(t.write_cycle(1), Some(3));
+        assert_eq!(t.write_cycle(2), Some(5));
+        assert_eq!(t.write_cycle(3), None);
+        assert_eq!(t.write_cycle(0), None);
+        assert_eq!(t.writes_committed(), 2);
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    #[test]
+    fn read_resolution_follows_table_2() {
+        let mut t = FifoTable::new();
+        assert_eq!(t.can_read_at(1, 10), None, "write not simulated yet");
+        t.commit_write(7, 4, node(0), true);
+        assert_eq!(t.can_read_at(1, 4), Some(false), "same cycle is too early");
+        assert_eq!(t.can_read_at(1, 5), Some(true));
+        let v = t.commit_read(5, node(1));
+        assert_eq!(v, 7);
+        assert_eq!(t.reads_committed(), 1);
+        assert_eq!(t.occupancy(), 0);
+    }
+
+    #[test]
+    fn write_resolution_follows_table_2() {
+        let mut t = FifoTable::new();
+        // Depth 2: first two writes always succeed.
+        assert_eq!(t.can_write_at(1, 1, 2), Some(true));
+        assert_eq!(t.can_write_at(2, 1, 2), Some(true));
+        // Third write needs the first read.
+        assert_eq!(t.can_write_at(3, 9, 2), None);
+        t.commit_write(1, 1, node(0), true);
+        t.commit_write(2, 2, node(1), true);
+        t.commit_read(6, node(2));
+        assert_eq!(t.can_write_at(3, 6, 2), Some(false));
+        assert_eq!(t.can_write_at(3, 7, 2), Some(true));
+    }
+
+    #[test]
+    fn pending_read_park_and_take() {
+        let mut t = FifoTable::new();
+        assert!(t.pending_read().is_none());
+        t.park_read(PendingRead { thread: 2, cycle: 11 });
+        assert_eq!(t.pending_read().unwrap().thread, 2);
+        let taken = t.take_pending_read().unwrap();
+        assert_eq!(taken.cycle, 11);
+        assert!(t.pending_read().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "two blocking reads parked")]
+    fn double_park_panics() {
+        let mut t = FifoTable::new();
+        t.park_read(PendingRead { thread: 0, cycle: 1 });
+        t.park_read(PendingRead { thread: 1, cycle: 2 });
+    }
+
+    #[test]
+    fn next_read_ready_reports_matching_write() {
+        let mut t = FifoTable::new();
+        assert_eq!(t.next_read_ready(), None);
+        t.commit_write(5, 8, node(0), true);
+        assert_eq!(t.next_read_ready(), Some(8));
+        t.commit_read(9, node(1));
+        assert_eq!(t.next_read_ready(), None);
+    }
+}

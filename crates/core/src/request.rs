@@ -1,0 +1,213 @@
+//! Requests and responses exchanged between Func Sim threads and the
+//! Perf Sim thread (Table 1 of the paper).
+
+use omnisim_interp::SimError;
+use omnisim_ir::{FifoId, OutputId};
+
+/// Index of a Func Sim thread (one per dataflow task).
+pub type ThreadId = usize;
+
+/// A request sent from a Func Sim thread to the Perf Sim thread.
+///
+/// Requests that pause the issuing thread (it blocks until a [`Response`]
+/// arrives) are marked below; outputs and task completion are informational
+/// and never pause. Blocking FIFO accesses pause until the Perf Sim thread
+/// reports their commit cycle (they stall while the FIFO is empty/full);
+/// non-blocking accesses and status checks pause until their query is
+/// resolved (§6.2 of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// A blocking FIFO write attempted at `cycle` (pauses until space is
+    /// available and the commit cycle is known).
+    FifoWrite {
+        /// Issuing thread.
+        thread: ThreadId,
+        /// Target FIFO.
+        fifo: FifoId,
+        /// Value written.
+        value: i64,
+        /// Hardware cycle at which the write is first attempted.
+        cycle: u64,
+    },
+    /// A blocking FIFO read at `cycle` (pauses until data is available).
+    FifoRead {
+        /// Issuing thread.
+        thread: ThreadId,
+        /// Source FIFO.
+        fifo: FifoId,
+        /// Hardware cycle at which the read is first attempted.
+        cycle: u64,
+    },
+    /// A non-blocking FIFO write attempt at `cycle` (pauses; query).
+    FifoNbWrite {
+        /// Issuing thread.
+        thread: ThreadId,
+        /// Target FIFO.
+        fifo: FifoId,
+        /// Value to push if the write succeeds.
+        value: i64,
+        /// Hardware cycle of the attempt.
+        cycle: u64,
+    },
+    /// A non-blocking FIFO read attempt at `cycle` (pauses; query).
+    FifoNbRead {
+        /// Issuing thread.
+        thread: ThreadId,
+        /// Source FIFO.
+        fifo: FifoId,
+        /// Hardware cycle of the attempt.
+        cycle: u64,
+    },
+    /// A FIFO `empty()` check at `cycle` (pauses; query).
+    FifoCanRead {
+        /// Issuing thread.
+        thread: ThreadId,
+        /// FIFO being inspected.
+        fifo: FifoId,
+        /// Hardware cycle of the check.
+        cycle: u64,
+    },
+    /// A FIFO `full()` check at `cycle` (pauses; query).
+    FifoCanWrite {
+        /// Issuing thread.
+        thread: ThreadId,
+        /// FIFO being inspected.
+        fifo: FifoId,
+        /// Hardware cycle of the check.
+        cycle: u64,
+    },
+    /// A testbench-visible output was written (never pauses).
+    Output {
+        /// Issuing thread.
+        thread: ThreadId,
+        /// Output slot.
+        output: OutputId,
+        /// Value written.
+        value: i64,
+    },
+    /// The thread finished executing its module (never pauses).
+    TaskFinished {
+        /// Issuing thread.
+        thread: ThreadId,
+        /// Cycle at which the module's final block exits.
+        end_cycle: u64,
+        /// Operations executed by the thread.
+        ops_executed: u64,
+    },
+    /// The thread aborted with an error (never pauses).
+    TaskFailed {
+        /// Issuing thread.
+        thread: ThreadId,
+        /// The error.
+        error: SimError,
+    },
+}
+
+impl Request {
+    /// The thread that issued this request.
+    pub fn thread(&self) -> ThreadId {
+        match self {
+            Request::FifoWrite { thread, .. }
+            | Request::FifoRead { thread, .. }
+            | Request::FifoNbWrite { thread, .. }
+            | Request::FifoNbRead { thread, .. }
+            | Request::FifoCanRead { thread, .. }
+            | Request::FifoCanWrite { thread, .. }
+            | Request::Output { thread, .. }
+            | Request::TaskFinished { thread, .. }
+            | Request::TaskFailed { thread, .. } => *thread,
+        }
+    }
+
+    /// True if the issuing thread blocks until it receives a [`Response`].
+    pub fn pauses_thread(&self) -> bool {
+        matches!(
+            self,
+            Request::FifoWrite { .. }
+                | Request::FifoRead { .. }
+                | Request::FifoNbWrite { .. }
+                | Request::FifoNbRead { .. }
+                | Request::FifoCanRead { .. }
+                | Request::FifoCanWrite { .. }
+        )
+    }
+}
+
+/// A response from the Perf Sim thread to a paused Func Sim thread.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Result of a blocking FIFO read: the value and the hardware cycle at
+    /// which the read actually committed (used to stall the thread's clock).
+    ReadValue {
+        /// The popped value.
+        value: i64,
+        /// Commit cycle of the read.
+        cycle: u64,
+    },
+    /// Result of a blocking FIFO write: the hardware cycle at which the
+    /// write actually committed (used to stall the thread's clock while the
+    /// FIFO was full).
+    WriteDone {
+        /// Commit cycle of the write.
+        cycle: u64,
+    },
+    /// Result of a non-blocking FIFO write attempt.
+    NbWrite {
+        /// True if the value was accepted.
+        accepted: bool,
+    },
+    /// Result of a non-blocking FIFO read attempt (`None` when empty).
+    NbRead {
+        /// The popped value, if the read succeeded.
+        value: Option<i64>,
+    },
+    /// Result of an `empty()` / `full()` status check.
+    Status {
+        /// `empty()`: true when no data is readable at the query cycle.
+        /// `full()`: true when no space is writable at the query cycle.
+        value: bool,
+    },
+    /// The engine is shutting down (deadlock or error elsewhere); the thread
+    /// must abort.
+    Abort {
+        /// Reason for the shutdown.
+        reason: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pause_classification_matches_table_1() {
+        let w = Request::FifoWrite {
+            thread: 0,
+            fifo: FifoId(0),
+            value: 1,
+            cycle: 3,
+        };
+        assert!(w.pauses_thread(), "blocking writes stall while the fifo is full");
+        let r = Request::FifoRead {
+            thread: 1,
+            fifo: FifoId(0),
+            cycle: 3,
+        };
+        assert!(r.pauses_thread());
+        let nb = Request::FifoNbWrite {
+            thread: 2,
+            fifo: FifoId(0),
+            value: 9,
+            cycle: 7,
+        };
+        assert!(nb.pauses_thread());
+        assert_eq!(nb.thread(), 2);
+        let fin = Request::TaskFinished {
+            thread: 3,
+            end_cycle: 10,
+            ops_executed: 42,
+        };
+        assert!(!fin.pauses_thread());
+        assert_eq!(fin.thread(), 3);
+    }
+}

@@ -1,0 +1,334 @@
+//! The per-thread runtime: the [`SimBackend`] handed to every Func Sim
+//! thread's interpreter.
+//!
+//! The runtime plays the role of the paper's runtime shared library (§6.1):
+//! every FIFO intrinsic becomes a [`Request`] to the Perf Sim thread, every
+//! pausing request blocks on the thread's private response channel, and a
+//! [`ModuleClock`] tracks the module's exact hardware cycle (including stalls
+//! reported back by the Perf Sim thread).
+
+use crate::request::{Request, Response, ThreadId};
+use crossbeam::channel::{Receiver, Sender};
+use omnisim_interp::{ModuleClock, SimBackend, SimError};
+use omnisim_ir::schedule::BlockSchedule;
+use omnisim_ir::{ArrayId, AxiId, BlockId, Design, FifoId, ModuleId, OutputId};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+#[derive(Debug, Default, Clone)]
+struct AxiReadState {
+    queue: VecDeque<i64>,
+    next_beat_ready: u64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct AxiWriteState {
+    addr: i64,
+    beats_done: i64,
+    last_beat_cycle: u64,
+    active: bool,
+}
+
+/// The backend driving one Func Sim thread.
+#[derive(Debug)]
+pub struct FuncRuntime<'a> {
+    thread: ThreadId,
+    design: &'a Design,
+    clock: ModuleClock,
+    requests: Sender<Request>,
+    responses: Receiver<Response>,
+    arrays: &'a [Mutex<Vec<i64>>],
+    axi_read: Vec<AxiReadState>,
+    axi_write: Vec<AxiWriteState>,
+}
+
+impl<'a> FuncRuntime<'a> {
+    /// Creates the runtime for thread `thread`. Dataflow tasks start
+    /// executing at hardware cycle 1 (one cycle after the region start).
+    pub fn new(
+        thread: ThreadId,
+        design: &'a Design,
+        requests: Sender<Request>,
+        responses: Receiver<Response>,
+        arrays: &'a [Mutex<Vec<i64>>],
+    ) -> Self {
+        FuncRuntime {
+            thread,
+            design,
+            clock: ModuleClock::starting_at(1),
+            requests,
+            responses,
+            arrays,
+            axi_read: vec![AxiReadState::default(); design.axi_ports.len()],
+            axi_write: vec![AxiWriteState::default(); design.axi_ports.len()],
+        }
+    }
+
+    /// The cycle at which the module's final block exits (valid once the
+    /// interpreter has returned).
+    pub fn end_cycle(&self) -> u64 {
+        self.clock.block_exit()
+    }
+
+    fn send(&self, request: Request) -> Result<(), SimError> {
+        self.requests.send(request).map_err(|_| SimError::Aborted {
+            reason: "performance-simulation thread is gone".to_owned(),
+        })
+    }
+
+    fn wait(&self) -> Result<Response, SimError> {
+        match self.responses.recv() {
+            Ok(Response::Abort { reason }) => Err(SimError::Aborted { reason }),
+            Ok(response) => Ok(response),
+            Err(_) => Err(SimError::Aborted {
+                reason: "performance-simulation thread is gone".to_owned(),
+            }),
+        }
+    }
+}
+
+impl SimBackend for FuncRuntime<'_> {
+    fn block_start(
+        &mut self,
+        _module: ModuleId,
+        _block: BlockId,
+        schedule: BlockSchedule,
+        back_edge: bool,
+    ) -> Result<(), SimError> {
+        self.clock.enter_block(&schedule, back_edge);
+        Ok(())
+    }
+
+    fn fifo_read(&mut self, fifo: FifoId, offset: u64) -> Result<i64, SimError> {
+        let cycle = self.clock.op_cycle(offset);
+        self.send(Request::FifoRead {
+            thread: self.thread,
+            fifo,
+            cycle,
+        })?;
+        match self.wait()? {
+            Response::ReadValue { value, cycle: commit } => {
+                self.clock.stall_until(offset, commit);
+                Ok(value)
+            }
+            other => Err(SimError::Aborted {
+                reason: format!("unexpected response to blocking read: {other:?}"),
+            }),
+        }
+    }
+
+    fn fifo_write(&mut self, fifo: FifoId, value: i64, offset: u64) -> Result<(), SimError> {
+        let cycle = self.clock.op_cycle(offset);
+        self.send(Request::FifoWrite {
+            thread: self.thread,
+            fifo,
+            value,
+            cycle,
+        })?;
+        match self.wait()? {
+            Response::WriteDone { cycle: commit } => {
+                self.clock.stall_until(offset, commit);
+                Ok(())
+            }
+            other => Err(SimError::Aborted {
+                reason: format!("unexpected response to blocking write: {other:?}"),
+            }),
+        }
+    }
+
+    fn fifo_nb_read(&mut self, fifo: FifoId, offset: u64) -> Result<Option<i64>, SimError> {
+        let cycle = self.clock.op_cycle(offset);
+        self.send(Request::FifoNbRead {
+            thread: self.thread,
+            fifo,
+            cycle,
+        })?;
+        match self.wait()? {
+            Response::NbRead { value } => Ok(value),
+            other => Err(SimError::Aborted {
+                reason: format!("unexpected response to non-blocking read: {other:?}"),
+            }),
+        }
+    }
+
+    fn fifo_nb_write(
+        &mut self,
+        fifo: FifoId,
+        value: i64,
+        offset: u64,
+    ) -> Result<bool, SimError> {
+        let cycle = self.clock.op_cycle(offset);
+        self.send(Request::FifoNbWrite {
+            thread: self.thread,
+            fifo,
+            value,
+            cycle,
+        })?;
+        match self.wait()? {
+            Response::NbWrite { accepted } => Ok(accepted),
+            other => Err(SimError::Aborted {
+                reason: format!("unexpected response to non-blocking write: {other:?}"),
+            }),
+        }
+    }
+
+    fn fifo_empty(&mut self, fifo: FifoId, offset: u64) -> Result<bool, SimError> {
+        let cycle = self.clock.op_cycle(offset);
+        self.send(Request::FifoCanRead {
+            thread: self.thread,
+            fifo,
+            cycle,
+        })?;
+        match self.wait()? {
+            Response::Status { value: can_read } => Ok(!can_read),
+            other => Err(SimError::Aborted {
+                reason: format!("unexpected response to empty() check: {other:?}"),
+            }),
+        }
+    }
+
+    fn fifo_full(&mut self, fifo: FifoId, offset: u64) -> Result<bool, SimError> {
+        let cycle = self.clock.op_cycle(offset);
+        self.send(Request::FifoCanWrite {
+            thread: self.thread,
+            fifo,
+            cycle,
+        })?;
+        match self.wait()? {
+            Response::Status { value: can_write } => Ok(!can_write),
+            other => Err(SimError::Aborted {
+                reason: format!("unexpected response to full() check: {other:?}"),
+            }),
+        }
+    }
+
+    fn array_load(&mut self, array: ArrayId, index: i64) -> Result<i64, SimError> {
+        let data = self.arrays[array.index()].lock();
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| data.get(i).copied())
+            .ok_or(SimError::ArrayOutOfBounds {
+                array,
+                index,
+                len: data.len(),
+            })
+    }
+
+    fn array_store(&mut self, array: ArrayId, index: i64, value: i64) -> Result<(), SimError> {
+        let mut data = self.arrays[array.index()].lock();
+        let len = data.len();
+        let slot = usize::try_from(index)
+            .ok()
+            .and_then(|i| data.get_mut(i))
+            .ok_or(SimError::ArrayOutOfBounds { array, index, len })?;
+        *slot = value;
+        Ok(())
+    }
+
+    fn axi_read_req(
+        &mut self,
+        bus: AxiId,
+        addr: i64,
+        len: i64,
+        offset: u64,
+    ) -> Result<(), SimError> {
+        let port = self.design.axi_port(bus);
+        let cycle = self.clock.op_cycle(offset);
+        let data = self.arrays[port.array.index()].lock();
+        for beat in 0..len {
+            let idx = addr + beat;
+            let value = usize::try_from(idx)
+                .ok()
+                .and_then(|i| data.get(i).copied())
+                .ok_or(SimError::ArrayOutOfBounds {
+                    array: port.array,
+                    index: idx,
+                    len: data.len(),
+                })?;
+            self.axi_read[bus.index()].queue.push_back(value);
+        }
+        self.axi_read[bus.index()].next_beat_ready = cycle + port.request_latency;
+        Ok(())
+    }
+
+    fn axi_read(&mut self, bus: AxiId, offset: u64) -> Result<i64, SimError> {
+        let state = &mut self.axi_read[bus.index()];
+        let value = state
+            .queue
+            .pop_front()
+            .ok_or_else(|| SimError::AxiProtocolViolation {
+                detail: "axi read beat without outstanding request".to_owned(),
+            })?;
+        let ready = state.next_beat_ready;
+        state.next_beat_ready = ready + 1;
+        self.clock.stall_until(offset, ready);
+        Ok(value)
+    }
+
+    fn axi_write_req(
+        &mut self,
+        bus: AxiId,
+        addr: i64,
+        _len: i64,
+        _offset: u64,
+    ) -> Result<(), SimError> {
+        self.axi_write[bus.index()] = AxiWriteState {
+            addr,
+            beats_done: 0,
+            last_beat_cycle: 0,
+            active: true,
+        };
+        Ok(())
+    }
+
+    fn axi_write(&mut self, bus: AxiId, value: i64, offset: u64) -> Result<(), SimError> {
+        let port = self.design.axi_port(bus);
+        let cycle = self.clock.op_cycle(offset);
+        let state = &mut self.axi_write[bus.index()];
+        if !state.active {
+            return Err(SimError::AxiProtocolViolation {
+                detail: "axi write beat without outstanding request".to_owned(),
+            });
+        }
+        let idx = state.addr + state.beats_done;
+        state.beats_done += 1;
+        state.last_beat_cycle = cycle;
+        let mut data = self.arrays[port.array.index()].lock();
+        let len = data.len();
+        let slot = usize::try_from(idx)
+            .ok()
+            .and_then(|i| data.get_mut(i))
+            .ok_or(SimError::ArrayOutOfBounds {
+                array: port.array,
+                index: idx,
+                len,
+            })?;
+        *slot = value;
+        Ok(())
+    }
+
+    fn axi_write_resp(&mut self, bus: AxiId, offset: u64) -> Result<(), SimError> {
+        let port = self.design.axi_port(bus);
+        let ready = self.axi_write[bus.index()].last_beat_cycle + port.request_latency;
+        self.clock.stall_until(offset, ready);
+        Ok(())
+    }
+
+    fn output(&mut self, output: OutputId, value: i64) -> Result<(), SimError> {
+        self.send(Request::Output {
+            thread: self.thread,
+            output,
+            value,
+        })
+    }
+
+    fn call_enter(&mut self, _callee: ModuleId, offset: u64) -> Result<(), SimError> {
+        self.clock.call_enter(offset);
+        Ok(())
+    }
+
+    fn call_exit(&mut self, _callee: ModuleId) -> Result<(), SimError> {
+        self.clock.call_exit();
+        Ok(())
+    }
+}

@@ -1,0 +1,499 @@
+//! # omnisim-csim
+//!
+//! A faithful model of what commercial HLS *C simulation* does with dataflow
+//! designs: execute the tasks **sequentially, in declaration order**, with
+//! unbounded FIFOs and no notion of hardware time.
+//!
+//! This is exactly the behaviour the paper's Table 3 documents and that the
+//! Vitis / Catapult manuals warn about:
+//!
+//! * non-blocking writes always "succeed" (streams are infinite during C sim),
+//! * non-blocking reads simply check the current software-visible contents,
+//! * reading an empty stream returns a default value and prints a
+//!   `read while empty` warning,
+//! * streams holding data at the end of simulation produce a
+//!   `leftover data` warning,
+//! * producers that poll for a "done" signal written by a later task run off
+//!   the end of their input arrays and crash (the `SIGSEGV` rows of Table 3),
+//! * and no cycle counts are produced at all.
+//!
+//! The point of this crate is to *reproduce the failure modes*, so that the
+//! Table 3 comparison (C-sim vs reference vs OmniSim) can be regenerated.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use omnisim_interp::{Interpreter, SimBackend, SimError};
+use omnisim_ir::design::OutputMap;
+use omnisim_ir::schedule::BlockSchedule;
+use omnisim_ir::{ArrayId, AxiId, BlockId, Design, FifoId, ModuleId, OutputId};
+use std::collections::{BTreeMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// How a C simulation run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsimOutcome {
+    /// All tasks ran to completion (which does **not** imply the results are
+    /// hardware-accurate).
+    Completed,
+    /// The simulation crashed, e.g. with an out-of-bounds array access
+    /// (reported as `SIGSEGV` in the paper) or a runaway loop.
+    Crashed {
+        /// The underlying error.
+        error: SimError,
+        /// Index of the task (in declaration order) that crashed.
+        task_index: usize,
+    },
+}
+
+impl CsimOutcome {
+    /// True if the run completed without crashing.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, CsimOutcome::Completed)
+    }
+
+    /// A short human-readable description, styled after the tool output
+    /// quoted in Table 3.
+    pub fn describe(&self) -> String {
+        match self {
+            CsimOutcome::Completed => "completed".to_owned(),
+            CsimOutcome::Crashed { error, .. } => match error {
+                SimError::ArrayOutOfBounds { .. } => {
+                    "@E Simulation failed: SIGSEGV.".to_owned()
+                }
+                SimError::OutOfFuel { .. } => {
+                    "@E Simulation failed: did not terminate (killed).".to_owned()
+                }
+                other => format!("@E Simulation failed: {other}."),
+            },
+        }
+    }
+}
+
+/// Result of a C simulation run.
+#[derive(Debug, Clone)]
+pub struct CsimReport {
+    /// How the run ended.
+    pub outcome: CsimOutcome,
+    /// Outputs written before the run ended.
+    pub outputs: OutputMap,
+    /// Warning messages and how often each occurred (`read while empty`,
+    /// `leftover data`, …).
+    pub warnings: BTreeMap<String, usize>,
+    /// Host wall-clock time of the run.
+    pub wall_time: Duration,
+}
+
+impl CsimReport {
+    /// Convenience accessor: value of a named output, if written.
+    pub fn output(&self, name: &str) -> Option<i64> {
+        self.outputs.get(name).copied()
+    }
+
+    /// Total number of warnings emitted.
+    pub fn warning_count(&self) -> usize {
+        self.warnings.values().sum()
+    }
+}
+
+/// Configuration for C simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct CsimConfig {
+    /// Operation budget before the run is declared non-terminating.
+    pub fuel: u64,
+}
+
+impl Default for CsimConfig {
+    fn default() -> Self {
+        CsimConfig { fuel: 20_000_000 }
+    }
+}
+
+/// Runs naive sequential C simulation of a design with default settings.
+pub fn simulate(design: &Design) -> CsimReport {
+    simulate_with_config(design, CsimConfig::default())
+}
+
+/// Runs naive sequential C simulation with an explicit configuration.
+pub fn simulate_with_config(design: &Design, config: CsimConfig) -> CsimReport {
+    let started = Instant::now();
+    let mut backend = CsimBackend::new(design);
+    let mut interp = Interpreter::with_fuel(design, config.fuel);
+    let mut outcome = CsimOutcome::Completed;
+
+    for (index, task) in design.dataflow_tasks().into_iter().enumerate() {
+        if let Err(error) = interp.run_module(task, &[], &mut backend) {
+            outcome = CsimOutcome::Crashed { error, task_index: index };
+            break;
+        }
+    }
+
+    // Leftover-data warnings, mirroring `Hls::stream … contains leftover data`.
+    for (idx, fifo) in backend.fifos.iter().enumerate() {
+        if !fifo.is_empty() {
+            let name = &design.fifos[idx].name;
+            *backend
+                .warnings
+                .entry(format!("Hls::stream '{name}' contains leftover data"))
+                .or_insert(0) += 1;
+        }
+    }
+
+    CsimReport {
+        outcome,
+        outputs: backend.outputs,
+        warnings: backend.warnings,
+        wall_time: started.elapsed(),
+    }
+}
+
+/// The untimed, infinite-depth FIFO backend used by C simulation.
+#[derive(Debug)]
+struct CsimBackend<'d> {
+    design: &'d Design,
+    fifos: Vec<VecDeque<i64>>,
+    arrays: Vec<Vec<i64>>,
+    axi_read_queues: Vec<VecDeque<i64>>,
+    axi_write_cursors: Vec<Option<(i64, i64)>>,
+    outputs: OutputMap,
+    warnings: BTreeMap<String, usize>,
+}
+
+impl<'d> CsimBackend<'d> {
+    fn new(design: &'d Design) -> Self {
+        CsimBackend {
+            design,
+            fifos: vec![VecDeque::new(); design.fifos.len()],
+            arrays: design.arrays.iter().map(|a| a.init.clone()).collect(),
+            axi_read_queues: vec![VecDeque::new(); design.axi_ports.len()],
+            axi_write_cursors: vec![None; design.axi_ports.len()],
+            outputs: OutputMap::new(),
+            warnings: BTreeMap::new(),
+        }
+    }
+
+    fn warn(&mut self, message: String) {
+        *self.warnings.entry(message).or_insert(0) += 1;
+    }
+}
+
+impl SimBackend for CsimBackend<'_> {
+    fn block_start(
+        &mut self,
+        _module: ModuleId,
+        _block: BlockId,
+        _schedule: BlockSchedule,
+        _back_edge: bool,
+    ) -> Result<(), SimError> {
+        Ok(())
+    }
+
+    fn fifo_read(&mut self, fifo: FifoId, _offset: u64) -> Result<i64, SimError> {
+        match self.fifos[fifo.index()].pop_front() {
+            Some(v) => Ok(v),
+            None => {
+                let name = &self.design.fifos[fifo.index()].name;
+                self.warn(format!("Hls::stream '{name}' is read while empty"));
+                Ok(0)
+            }
+        }
+    }
+
+    fn fifo_write(&mut self, fifo: FifoId, value: i64, _offset: u64) -> Result<(), SimError> {
+        self.fifos[fifo.index()].push_back(value);
+        Ok(())
+    }
+
+    fn fifo_nb_read(&mut self, fifo: FifoId, _offset: u64) -> Result<Option<i64>, SimError> {
+        Ok(self.fifos[fifo.index()].pop_front())
+    }
+
+    fn fifo_nb_write(
+        &mut self,
+        fifo: FifoId,
+        value: i64,
+        _offset: u64,
+    ) -> Result<bool, SimError> {
+        // During C simulation streams are infinite, so a non-blocking write
+        // can never observe a full FIFO — the root cause of the wrong
+        // results in Table 3.
+        self.fifos[fifo.index()].push_back(value);
+        Ok(true)
+    }
+
+    fn fifo_empty(&mut self, fifo: FifoId, _offset: u64) -> Result<bool, SimError> {
+        Ok(self.fifos[fifo.index()].is_empty())
+    }
+
+    fn fifo_full(&mut self, _fifo: FifoId, _offset: u64) -> Result<bool, SimError> {
+        Ok(false)
+    }
+
+    fn array_load(&mut self, array: ArrayId, index: i64) -> Result<i64, SimError> {
+        let data = &self.arrays[array.index()];
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| data.get(i).copied())
+            .ok_or(SimError::ArrayOutOfBounds {
+                array,
+                index,
+                len: data.len(),
+            })
+    }
+
+    fn array_store(&mut self, array: ArrayId, index: i64, value: i64) -> Result<(), SimError> {
+        let data = &mut self.arrays[array.index()];
+        let len = data.len();
+        let slot = usize::try_from(index)
+            .ok()
+            .and_then(|i| data.get_mut(i))
+            .ok_or(SimError::ArrayOutOfBounds { array, index, len })?;
+        *slot = value;
+        Ok(())
+    }
+
+    fn axi_read_req(
+        &mut self,
+        bus: AxiId,
+        addr: i64,
+        len: i64,
+        _offset: u64,
+    ) -> Result<(), SimError> {
+        let port = self.design.axi_port(bus);
+        let data = &self.arrays[port.array.index()];
+        for beat in 0..len {
+            let idx = addr + beat;
+            let value = usize::try_from(idx)
+                .ok()
+                .and_then(|i| data.get(i).copied())
+                .ok_or(SimError::ArrayOutOfBounds {
+                    array: port.array,
+                    index: idx,
+                    len: data.len(),
+                })?;
+            self.axi_read_queues[bus.index()].push_back(value);
+        }
+        Ok(())
+    }
+
+    fn axi_read(&mut self, bus: AxiId, _offset: u64) -> Result<i64, SimError> {
+        self.axi_read_queues[bus.index()]
+            .pop_front()
+            .ok_or_else(|| SimError::AxiProtocolViolation {
+                detail: "axi read beat without outstanding request".to_owned(),
+            })
+    }
+
+    fn axi_write_req(
+        &mut self,
+        bus: AxiId,
+        addr: i64,
+        _len: i64,
+        _offset: u64,
+    ) -> Result<(), SimError> {
+        self.axi_write_cursors[bus.index()] = Some((addr, 0));
+        Ok(())
+    }
+
+    fn axi_write(&mut self, bus: AxiId, value: i64, _offset: u64) -> Result<(), SimError> {
+        let port = self.design.axi_port(bus);
+        let (addr, done) =
+            self.axi_write_cursors[bus.index()].ok_or_else(|| SimError::AxiProtocolViolation {
+                detail: "axi write beat without outstanding request".to_owned(),
+            })?;
+        let idx = addr + done;
+        let data = &mut self.arrays[port.array.index()];
+        let len = data.len();
+        let slot = usize::try_from(idx)
+            .ok()
+            .and_then(|i| data.get_mut(i))
+            .ok_or(SimError::ArrayOutOfBounds {
+                array: port.array,
+                index: idx,
+                len,
+            })?;
+        *slot = value;
+        self.axi_write_cursors[bus.index()] = Some((addr, done + 1));
+        Ok(())
+    }
+
+    fn axi_write_resp(&mut self, _bus: AxiId, _offset: u64) -> Result<(), SimError> {
+        Ok(())
+    }
+
+    fn output(&mut self, output: OutputId, value: i64) -> Result<(), SimError> {
+        self.outputs
+            .insert(self.design.output_name(output).to_owned(), value);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_ir::{DesignBuilder, Expr};
+
+    #[test]
+    fn type_a_design_completes_with_correct_outputs() {
+        let mut d = DesignBuilder::new("pc");
+        let data = d.array("data", (1..=10).collect::<Vec<i64>>());
+        let out = d.output("sum");
+        let q = d.fifo("q", 2);
+        let p = d.function("p", |m| {
+            m.counted_loop("i", 10, 1, |b| {
+                let i = b.var_expr("i");
+                let v = b.array_load(data, i);
+                b.fifo_write(q, Expr::var(v));
+            });
+        });
+        let c = d.function("c", |m| {
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(0));
+            });
+            m.counted_loop("i", 10, 1, |b| {
+                let v = b.fifo_read(q);
+                b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            });
+            m.exit(|b| {
+                b.output(out, Expr::var(acc));
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        let design = d.build().unwrap();
+        let report = simulate(&design);
+        assert!(report.outcome.is_completed());
+        assert_eq!(report.output("sum"), Some(55));
+        assert_eq!(report.warning_count(), 0);
+    }
+
+    #[test]
+    fn consumer_declared_first_warns_and_reads_zero() {
+        // Cyclic-looking declaration order: the consumer runs before the
+        // producer, so every read hits an empty stream.
+        let mut d = DesignBuilder::new("warn");
+        let out = d.output("sum");
+        let q = d.fifo("q", 2);
+        let c = d.function("c", |m| {
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(0));
+            });
+            m.counted_loop("i", 5, 1, |b| {
+                let v = b.fifo_read(q);
+                b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            });
+            m.exit(|b| {
+                b.output(out, Expr::var(acc));
+            });
+        });
+        let p = d.function("p", |m| {
+            m.counted_loop("i", 5, 1, |b| {
+                let i = b.var_expr("i");
+                b.fifo_write(q, i.add(Expr::imm(1)));
+            });
+        });
+        d.dataflow_top("top", [c, p]);
+        let design = d.build().unwrap();
+        let report = simulate(&design);
+        assert!(report.outcome.is_completed());
+        assert_eq!(report.output("sum"), Some(0), "reads returned zero");
+        // 5 read-while-empty warnings plus one leftover-data warning.
+        assert_eq!(report.warning_count(), 6);
+        assert!(report
+            .warnings
+            .keys()
+            .any(|w| w.contains("read while empty")));
+        assert!(report
+            .warnings
+            .keys()
+            .any(|w| w.contains("leftover data")));
+    }
+
+    #[test]
+    fn done_signal_polling_producer_crashes_with_sigsegv() {
+        // Fig. 4 Ex. 2-style: producer loops forever writing data[i] until a
+        // done signal arrives; under sequential C sim the consumer never runs
+        // so the producer runs off the end of `data`.
+        let mut d = DesignBuilder::new("crash");
+        let data = d.array("data", (0..16).collect::<Vec<i64>>());
+        let out = d.output("sum");
+        let q = d.fifo("q", 2);
+        let done = d.fifo("done", 1);
+        let p = d.function("p", |m| {
+            let i = m.var("i");
+            m.entry(|b| {
+                b.assign(i, Expr::imm(0));
+            });
+            m.loop_block(1, |b| {
+                let iv = Expr::var(b.var("i"));
+                let v = b.array_load(data, iv.clone());
+                let ok = b.fifo_nb_write(q, Expr::var(v));
+                b.assign(i, Expr::var(ok).select(iv.clone().add(Expr::imm(1)), iv));
+                let (_d, got_done) = b.fifo_nb_read(done);
+                b.exit_loop_if(Expr::var(got_done));
+            });
+        });
+        let c = d.function("c", |m| {
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(0));
+            });
+            m.counted_loop("i", 16, 1, |b| {
+                let v = b.fifo_read(q);
+                b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            });
+            m.exit(|b| {
+                b.output(out, Expr::var(acc));
+                b.fifo_write(done, Expr::imm(1));
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        let design = d.build().unwrap();
+        let report = simulate(&design);
+        assert!(!report.outcome.is_completed());
+        assert!(report.outcome.describe().contains("SIGSEGV"));
+        assert_eq!(report.output("sum"), None, "consumer never ran");
+    }
+
+    #[test]
+    fn nb_writes_always_succeed_giving_wrong_drop_counts() {
+        // Fig. 4 Ex. 4b-style: the drop counter should be non-zero in real
+        // hardware, but C sim reports zero because streams are infinite.
+        let mut d = DesignBuilder::new("drops");
+        let q = d.fifo("q", 1);
+        let dropped = d.output("dropped");
+        let p = d.function("p", |m| {
+            let n = m.var("n");
+            m.entry(|b| {
+                b.assign(n, Expr::imm(0));
+            });
+            m.counted_loop("i", 32, 1, |b| {
+                let i = b.var_expr("i");
+                let ok = b.fifo_nb_write(q, i);
+                b.assign(
+                    n,
+                    Expr::var(ok).select(Expr::var(n), Expr::var(n).add(Expr::imm(1))),
+                );
+            });
+            m.exit(|b| {
+                b.output(dropped, Expr::var(n));
+            });
+        });
+        let c = d.function("c", |m| {
+            m.counted_loop("i", 32, 4, |b| {
+                let (_v, _ok) = b.fifo_nb_read(q);
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        let design = d.build().unwrap();
+        let report = simulate(&design);
+        assert!(report.outcome.is_completed());
+        assert_eq!(
+            report.output("dropped"),
+            Some(0),
+            "C sim believes nothing was dropped"
+        );
+    }
+}

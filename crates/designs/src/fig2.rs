@@ -1,0 +1,85 @@
+//! The timer design of Fig. 2: a module that counts the number of cycles
+//! another module takes to produce its result. Its functional output *is* a
+//! cycle count, so naive C simulation cannot get it right (Table 3 reports
+//! `0 cycles` under C-sim and the true hardware count under co-sim and
+//! OmniSim).
+
+use omnisim_ir::{Design, DesignBuilder, Expr};
+
+/// Builds the `fig2_timer` design: a feeder streaming `n` values, a compute
+/// module that consumes them all and emits one result, and a timer polling
+/// the result FIFO with `empty()` every cycle.
+pub fn timer(n: i64) -> Design {
+    let mut d = DesignBuilder::new("fig2_timer");
+    let data = d.array("d_in", (1..=n).collect::<Vec<i64>>());
+    let cycles_out = d.output("timer_cycles");
+    let result_out = d.output("compute_result");
+    let d_in = d.fifo("d_in_stream", 2);
+    let result = d.fifo("result", 2);
+
+    let feeder = d.function("feeder", |m| {
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(data, i);
+            b.fifo_write(d_in, Expr::var(v));
+        });
+    });
+
+    let compute = d.function("compute", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let v = b.fifo_read(d_in);
+            b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+        });
+        m.exit(|b| {
+            // Three extra cycles of "work" before the result is published,
+            // mirroring the compute module of Fig. 2.
+            b.latency(4);
+            b.at(3).fifo_write(result, Expr::var(acc).div(Expr::imm(2)));
+            b.output(result_out, Expr::var(acc).div(Expr::imm(2)));
+        });
+    });
+
+    let timer = d.function("timer", |m| {
+        let cycles = m.var("cycles");
+        m.entry(|b| {
+            b.assign(cycles, Expr::imm(0));
+        });
+        m.loop_block(1, |b| {
+            let empty = b.fifo_empty(result);
+            b.assign(cycles, Expr::var(cycles).add(Expr::var(empty)));
+            b.exit_loop_if(Expr::var(empty).logical_not());
+        });
+        m.exit(|b| {
+            let v = b.fifo_read(result);
+            let _ = v;
+            b.output(cycles_out, Expr::var(cycles));
+        });
+    });
+
+    d.dataflow_top("top", [feeder, compute, timer]);
+    d.build().expect("fig2_timer is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_ir::taxonomy::{classify, DesignClass};
+
+    #[test]
+    fn timer_is_type_c() {
+        let report = classify(&timer(32));
+        assert_eq!(report.class, DesignClass::TypeC);
+        assert!(report.uses_nonblocking, "empty() checks are cycle-dependent");
+    }
+
+    #[test]
+    fn timer_has_three_tasks_and_two_fifos() {
+        let design = timer(32);
+        assert_eq!(design.dataflow_tasks().len(), 3);
+        assert_eq!(design.fifos.len(), 2);
+    }
+}

@@ -1,0 +1,381 @@
+//! The dataflow examples of Fig. 4 of the paper (Ex. 2 – Ex. 5), as used in
+//! Tables 3 and 4 of the evaluation.
+//!
+//! All producers read from an input array sized `4 × n` on purpose: a
+//! correctly timed simulation only ever touches the first `n + O(1)`
+//! elements, while naive sequential C simulation (where `write_nb` always
+//! succeeds and the consumer never runs concurrently) walks off far enough to
+//! hit an out-of-bounds access — reproducing the `SIGSEGV` rows of Table 3.
+
+use omnisim_ir::{Design, DesignBuilder, Expr};
+
+/// Input data used by every Fig. 4 design: values `1..=len`.
+pub fn input_data(len: i64) -> Vec<i64> {
+    (1..=len).collect()
+}
+
+/// Fig. 4 Ex. 2 (Type B): a producer retries non-blocking writes in an
+/// infinite loop until a `done` signal arrives from the consumer.
+pub fn ex2(n: i64) -> Design {
+    let mut d = DesignBuilder::new("fig4_ex2");
+    let data = d.array("data", input_data(4 * n));
+    let sum_out = d.output("sum_out");
+    let q = d.fifo("stream", 2);
+    let done = d.fifo("done", 1);
+
+    let producer = d.function("producer", |m| {
+        let i = m.var("i");
+        m.entry(|b| {
+            b.assign(i, Expr::imm(0));
+        });
+        m.loop_block(1, |b| {
+            let iv = Expr::var(b.var("i"));
+            let v = b.array_load(data, iv.clone());
+            let ok = b.fifo_nb_write(q, Expr::var(v));
+            b.assign(i, Expr::var(ok).select(iv.clone().add(Expr::imm(1)), iv));
+            let (_d, got_done) = b.fifo_nb_read(done);
+            b.exit_loop_if(Expr::var(got_done));
+        });
+    });
+    let consumer = d.function("consumer", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("k", n, 1, |b| {
+            let v = b.fifo_read(q);
+            b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+        });
+        m.exit(|b| {
+            b.output(sum_out, Expr::var(acc));
+            b.fifo_write(done, Expr::imm(1));
+        });
+    });
+    d.dataflow_top("top", [producer, consumer]);
+    d.build().expect("fig4_ex2 is structurally valid")
+}
+
+/// Fig. 4 Ex. 3 (Type B): controller and processor connected by blocking
+/// FIFOs with a cyclic dependency.
+pub fn ex3(n: i64) -> Design {
+    let mut d = DesignBuilder::new("fig4_ex3");
+    let data = d.array("data_in", input_data(n));
+    let sum = d.output("sum");
+    let req = d.fifo("fifo1", 2);
+    let resp = d.fifo("fifo2", 2);
+
+    let controller = d.function("controller", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(data, i);
+            b.fifo_write(req, Expr::var(v));
+            let doubled = b.fifo_read(resp);
+            b.assign(acc, Expr::var(acc).add(Expr::var(doubled)));
+        });
+        m.exit(|b| {
+            b.output(sum, Expr::var(acc));
+        });
+    });
+    let processor = d.function("processor", |m| {
+        m.counted_loop("i", n, 1, |b| {
+            let v = b.fifo_read(req);
+            b.fifo_write(resp, Expr::var(v).mul(Expr::imm(2)));
+        });
+    });
+    d.dataflow_top("top", [controller, processor]);
+    d.build().expect("fig4_ex3 is structurally valid")
+}
+
+fn ex4_consumer_body(
+    d: &mut DesignBuilder,
+    q: omnisim_ir::FifoId,
+    sum_out: omnisim_ir::OutputId,
+    n: i64,
+    consumer_ii: u64,
+    done: Option<omnisim_ir::FifoId>,
+) -> omnisim_ir::ModuleId {
+    d.function("consumer", move |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("k", n, consumer_ii, |b| {
+            let (v, ok) = b.fifo_nb_read(q);
+            b.assign(
+                acc,
+                Expr::var(ok).select(Expr::var(acc).add(Expr::var(v)), Expr::var(acc)),
+            );
+        });
+        m.exit(|b| {
+            b.output(sum_out, Expr::var(acc));
+            if let Some(done) = done {
+                b.fifo_write(done, Expr::imm(1));
+            }
+        });
+    })
+}
+
+/// Fig. 4 Ex. 4a (Type C): the producer silently drops elements when the
+/// FIFO is full (`write_nb` result ignored), bounded loop.
+pub fn ex4a(n: i64) -> Design {
+    let mut d = DesignBuilder::new("fig4_ex4a");
+    let data = d.array("data", input_data(4 * n));
+    let sum_out = d.output("sum_out");
+    let q = d.fifo("stream", 1);
+
+    let producer = d.function("producer", |m| {
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(data, i);
+            b.fifo_nb_write_ignored(q, Expr::var(v));
+        });
+    });
+    let consumer = ex4_consumer_body(&mut d, q, sum_out, n, 2, None);
+    d.dataflow_top("top", [producer, consumer]);
+    d.build().expect("fig4_ex4a is structurally valid")
+}
+
+/// Fig. 4 Ex. 4a with a done signal (Type C, cyclic): the producer runs an
+/// infinite loop terminated by the consumer.
+pub fn ex4a_done(n: i64) -> Design {
+    let mut d = DesignBuilder::new("fig4_ex4a_d");
+    let data = d.array("data", input_data(4 * n));
+    let sum_out = d.output("sum_out");
+    let q = d.fifo("stream", 1);
+    let done = d.fifo("done", 1);
+
+    let producer = d.function("producer", |m| {
+        let i = m.var("i");
+        m.entry(|b| {
+            b.assign(i, Expr::imm(0));
+        });
+        m.loop_block(1, |b| {
+            let iv = Expr::var(b.var("i"));
+            let v = b.array_load(data, iv.clone());
+            b.fifo_nb_write_ignored(q, Expr::var(v));
+            b.assign(i, iv.add(Expr::imm(1)));
+            let (_d, got_done) = b.fifo_nb_read(done);
+            b.exit_loop_if(Expr::var(got_done));
+        });
+    });
+    let consumer = ex4_consumer_body(&mut d, q, sum_out, n, 2, Some(done));
+    d.dataflow_top("top", [producer, consumer]);
+    d.build().expect("fig4_ex4a_d is structurally valid")
+}
+
+/// Fig. 4 Ex. 4b (Type C): like Ex. 4a but failed writes are counted in a
+/// `Dropped` output.
+pub fn ex4b(n: i64) -> Design {
+    let mut d = DesignBuilder::new("fig4_ex4b");
+    let data = d.array("data", input_data(4 * n));
+    let sum_out = d.output("sum_out");
+    let dropped = d.output("dropped");
+    let q = d.fifo("stream", 1);
+
+    let producer = d.function("producer", |m| {
+        let drops = m.var("drops");
+        m.entry(|b| {
+            b.assign(drops, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(data, i);
+            let ok = b.fifo_nb_write(q, Expr::var(v));
+            b.assign(
+                drops,
+                Expr::var(ok).select(Expr::var(drops), Expr::var(drops).add(Expr::imm(1))),
+            );
+        });
+        m.exit(|b| {
+            b.output(dropped, Expr::var(drops));
+        });
+    });
+    let consumer = ex4_consumer_body(&mut d, q, sum_out, n, 2, None);
+    d.dataflow_top("top", [producer, consumer]);
+    d.build().expect("fig4_ex4b is structurally valid")
+}
+
+/// Fig. 4 Ex. 4b with a done signal (Type C, cyclic).
+pub fn ex4b_done(n: i64) -> Design {
+    let mut d = DesignBuilder::new("fig4_ex4b_d");
+    let data = d.array("data", input_data(4 * n));
+    let sum_out = d.output("sum_out");
+    let dropped = d.output("dropped");
+    let q = d.fifo("stream", 1);
+    let done = d.fifo("done", 1);
+
+    let producer = d.function("producer", |m| {
+        let drops = m.var("drops");
+        let i = m.var("i");
+        m.entry(|b| {
+            b.assign(drops, Expr::imm(0));
+            b.assign(i, Expr::imm(0));
+        });
+        m.loop_block(1, |b| {
+            let iv = Expr::var(b.var("i"));
+            let v = b.array_load(data, iv.clone());
+            let ok = b.fifo_nb_write(q, Expr::var(v));
+            b.assign(
+                drops,
+                Expr::var(ok).select(Expr::var(drops), Expr::var(drops).add(Expr::imm(1))),
+            );
+            b.assign(i, iv.add(Expr::imm(1)));
+            let (_d, got_done) = b.fifo_nb_read(done);
+            b.exit_loop_if(Expr::var(got_done));
+        });
+        m.exit(|b| {
+            b.output(dropped, Expr::var(drops));
+        });
+    });
+    let consumer = ex4_consumer_body(&mut d, q, sum_out, n, 2, Some(done));
+    d.dataflow_top("top", [producer, consumer]);
+    d.build().expect("fig4_ex4b_d is structurally valid")
+}
+
+/// Fig. 4 Ex. 5 (Type C): a controller dispatches work to whichever of two
+/// processors is less congested, tracked with non-blocking writes. This is
+/// also the design used for the incremental-simulation case study (Table 6).
+pub fn ex5(n: i64) -> Design {
+    ex5_with_depths(n, 2, 2)
+}
+
+/// Fig. 4 Ex. 5 with explicit FIFO depths (used by the Table 6 experiment).
+pub fn ex5_with_depths(n: i64, depth1: usize, depth2: usize) -> Design {
+    let mut d = DesignBuilder::new("fig4_ex5");
+    let data = d.array("ins", input_data(n));
+    let p1_count = d.output("processed_by_p1");
+    let p2_count = d.output("processed_by_p2");
+    let sum_p1 = d.output("sum_out_p1");
+    let sum_p2 = d.output("sum_out_p2");
+    let f1 = d.fifo("fifo1", depth1);
+    let f2 = d.fifo("fifo2", depth2);
+
+    let controller = d.function("controller", |m| {
+        let i = m.var("i");
+        let p1 = m.var("p1");
+        let p2 = m.var("p2");
+        let v = m.var("v");
+        let entry = m.new_block();
+        let head = m.new_block();
+        let try1 = m.new_block();
+        let took1 = m.new_block();
+        let try2 = m.new_block();
+        let finish = m.new_block();
+        m.fill_block(entry, |b| {
+            b.assign(i, Expr::imm(0))
+                .assign(p1, Expr::imm(0))
+                .assign(p2, Expr::imm(0))
+                .jump(head);
+        });
+        m.fill_block(head, |b| {
+            b.branch(Expr::var(i).lt(Expr::imm(n)), try1, finish);
+        });
+        m.fill_block(try1, |b| {
+            b.array_load_into(v, data, Expr::var(i));
+            let ok1 = b.fifo_nb_write(f1, Expr::var(v));
+            b.branch(Expr::var(ok1), took1, try2);
+        });
+        m.fill_block(took1, |b| {
+            b.assign(p1, Expr::var(p1).add(Expr::imm(1)))
+                .assign(i, Expr::var(i).add(Expr::imm(1)))
+                .jump(head);
+        });
+        m.fill_block(try2, |b| {
+            let ok2 = b.fifo_nb_write(f2, Expr::var(v));
+            b.assign(p2, Expr::var(p2).add(Expr::var(ok2)))
+                .assign(i, Expr::var(i).add(Expr::var(ok2)))
+                .jump(head);
+        });
+        m.fill_block(finish, |b| {
+            // Terminate both processors with a sentinel value.
+            b.fifo_write(f1, Expr::imm(-1));
+            b.fifo_write(f2, Expr::imm(-1));
+            b.output(p1_count, Expr::var(p1));
+            b.output(p2_count, Expr::var(p2));
+            b.ret();
+        });
+    });
+
+    let mut processor = |name: &'static str,
+                         fifo: omnisim_ir::FifoId,
+                         sum_out: omnisim_ir::OutputId,
+                         ii: u64| {
+        d.function(name, move |m| {
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(0));
+            });
+            m.loop_block(ii, |b| {
+                let v = b.fifo_read(fifo);
+                let is_done = Expr::var(v).eq(Expr::imm(-1));
+                b.assign(
+                    acc,
+                    is_done
+                        .clone()
+                        .select(Expr::var(acc), Expr::var(acc).add(Expr::var(v))),
+                );
+                b.exit_loop_if(is_done);
+            });
+            m.exit(|b| {
+                b.output(sum_out, Expr::var(acc));
+            });
+        })
+    };
+    let p1 = processor("processor1", f1, sum_p1, 5);
+    let p2 = processor("processor2", f2, sum_p2, 2);
+    d.dataflow_top("top", [controller, p1, p2]);
+    d.build().expect("fig4_ex5 is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_ir::taxonomy::{classify, DesignClass};
+
+    #[test]
+    fn all_fig4_designs_validate() {
+        for design in [
+            ex2(32),
+            ex3(32),
+            ex4a(32),
+            ex4a_done(32),
+            ex4b(32),
+            ex4b_done(32),
+            ex5(32),
+        ] {
+            assert!(design.modules.len() >= 3);
+            assert!(!design.fifos.is_empty());
+        }
+    }
+
+    #[test]
+    fn classes_match_the_paper_labels() {
+        assert_eq!(classify(&ex2(16)).class, DesignClass::TypeB);
+        assert_eq!(classify(&ex3(16)).class, DesignClass::TypeB);
+        assert_eq!(classify(&ex4a(16)).class, DesignClass::TypeC);
+        assert_eq!(classify(&ex4a_done(16)).class, DesignClass::TypeC);
+        assert_eq!(classify(&ex4b(16)).class, DesignClass::TypeC);
+        assert_eq!(classify(&ex4b_done(16)).class, DesignClass::TypeC);
+        assert_eq!(classify(&ex5(16)).class, DesignClass::TypeC);
+    }
+
+    #[test]
+    fn ex3_is_cyclic_and_blocking_only() {
+        let report = classify(&ex3(16));
+        assert!(report.cyclic_dataflow);
+        assert!(!report.uses_nonblocking);
+        assert_eq!(report.access_style(), "B");
+    }
+
+    #[test]
+    fn ex5_uses_two_fifos_and_four_outputs() {
+        let design = ex5(16);
+        assert_eq!(design.fifos.len(), 2);
+        assert_eq!(design.outputs.len(), 4);
+        assert_eq!(design.dataflow_tasks().len(), 3);
+    }
+}

@@ -1,0 +1,255 @@
+//! # omnisim-designs
+//!
+//! The benchmark designs used by the paper's evaluation, re-authored at the
+//! `omnisim-ir` level:
+//!
+//! * [`table4_designs`] — the eleven Type B / Type C designs of Table 4
+//!   (`fig4_ex2` … `multicore`) that no prior HLS tool could simulate
+//!   correctly at the C level,
+//! * [`typea_suite`] — a Type A suite mirroring the LightningSimV2 benchmark
+//!   set of Table 5 (Vitis HLS basic examples, Kastner et al. kernels,
+//!   FlowGNN-style and SkyNet-scale dataflow graphs),
+//! * workload generators used by the benches and examples.
+//!
+//! Every design is returned as a [`BenchDesign`] carrying the design itself,
+//! its hand-assigned taxonomy class (as in Table 4), a short description and
+//! a flag saying whether running the cycle-stepped reference simulator on it
+//! is practical (the biggest Type A designs are meant for OmniSim-vs-
+//! LightningSim speed comparisons only, mirroring how the paper never runs
+//! co-simulation on the Table 5 suite).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod fig2;
+pub mod fig4;
+pub mod misc;
+pub mod typea;
+
+use omnisim_ir::{Design, DesignClass};
+
+/// Default element count for the Type B/C designs, echoing the 2025-element
+/// workloads visible in Table 3 of the paper.
+pub const DEFAULT_N: i64 = 2025;
+
+/// A named benchmark design plus its metadata.
+#[derive(Debug, Clone)]
+pub struct BenchDesign {
+    /// Short name used in tables (e.g. `fig4_ex2`).
+    pub name: &'static str,
+    /// The design itself.
+    pub design: Design,
+    /// Hand-assigned taxonomy class, as in Table 4.
+    pub declared_class: DesignClass,
+    /// One-line description (the "Description" column of Table 4).
+    pub description: &'static str,
+    /// True when running the cycle-stepped reference simulator is practical.
+    pub reference_feasible: bool,
+}
+
+impl BenchDesign {
+    fn new(
+        name: &'static str,
+        design: Design,
+        declared_class: DesignClass,
+        description: &'static str,
+    ) -> Self {
+        BenchDesign {
+            name,
+            design,
+            declared_class,
+            description,
+            reference_feasible: true,
+        }
+    }
+
+    fn slow_reference(mut self) -> Self {
+        self.reference_feasible = false;
+        self
+    }
+}
+
+/// The eleven Type B / Type C designs of Table 4, using the default
+/// workload size.
+pub fn table4_designs() -> Vec<BenchDesign> {
+    table4_designs_with_n(DEFAULT_N)
+}
+
+/// The Table 4 designs with an explicit element count (smaller values are
+/// useful for fast tests).
+pub fn table4_designs_with_n(n: i64) -> Vec<BenchDesign> {
+    vec![
+        BenchDesign::new(
+            "fig4_ex2",
+            fig4::ex2(n),
+            DesignClass::TypeB,
+            "NB FIFO access (done signal)",
+        ),
+        BenchDesign::new(
+            "fig4_ex3",
+            fig4::ex3(n),
+            DesignClass::TypeB,
+            "Cyclic dependency",
+        ),
+        BenchDesign::new(
+            "fig4_ex4a",
+            fig4::ex4a(n),
+            DesignClass::TypeC,
+            "Skip if FIFO full",
+        ),
+        BenchDesign::new(
+            "fig4_ex4a_d",
+            fig4::ex4a_done(n),
+            DesignClass::TypeC,
+            "Skip if full (done signal)",
+        ),
+        BenchDesign::new(
+            "fig4_ex4b",
+            fig4::ex4b(n),
+            DesignClass::TypeC,
+            "Count dropped elements",
+        ),
+        BenchDesign::new(
+            "fig4_ex4b_d",
+            fig4::ex4b_done(n),
+            DesignClass::TypeC,
+            "Count dropped (done signal)",
+        ),
+        BenchDesign::new(
+            "fig4_ex5",
+            fig4::ex5(n),
+            DesignClass::TypeC,
+            "Congestion-aware select",
+        ),
+        BenchDesign::new(
+            "fig2_timer",
+            fig2::timer(n),
+            DesignClass::TypeC,
+            "Fixed-point cycle count",
+        ),
+        BenchDesign::new(
+            "deadlock",
+            misc::deadlock(),
+            DesignClass::TypeB,
+            "Mutual blocking read",
+        ),
+        BenchDesign::new(
+            "branch",
+            misc::branch(n),
+            DesignClass::TypeC,
+            "Branch instructions",
+        ),
+        BenchDesign::new(
+            "multicore",
+            misc::multicore(16, n / 16),
+            DesignClass::TypeC,
+            "Multiple cores with branches",
+        ),
+    ]
+}
+
+/// The Type A suite mirroring Table 5 (LightningSimV2's benchmark set).
+pub fn typea_suite() -> Vec<BenchDesign> {
+    use typea as t;
+    let mut suite = vec![
+        BenchDesign::new("fixed_point_sqrt", t::fixed_point_sqrt(256), DesignClass::TypeA, "Fixed-point square root"),
+        BenchDesign::new("fir_filter", t::fir_filter(512, 16), DesignClass::TypeA, "FIR filter"),
+        BenchDesign::new("fixed_point_window_conv", t::window_conv(256, 8), DesignClass::TypeA, "Fixed-point window convolution"),
+        BenchDesign::new("float_conv", t::window_conv(192, 12), DesignClass::TypeA, "Floating-point convolution (fixed-point model)"),
+        BenchDesign::new("arbitrary_precision_alu", t::alu(512), DesignClass::TypeA, "Arbitrary precision ALU"),
+        BenchDesign::new("parallel_loops", t::parallel_loops(256), DesignClass::TypeA, "Parallel loops"),
+        BenchDesign::new("imperfect_loops", t::imperfect_loops(64, 32), DesignClass::TypeA, "Imperfect loops"),
+        BenchDesign::new("loop_max_bound", t::loop_max_bound(300, 512), DesignClass::TypeA, "Loop with maximum bound"),
+        BenchDesign::new("perfect_nested_loops", t::nested_loops(48, 48, false), DesignClass::TypeA, "Perfect nested loops"),
+        BenchDesign::new("pipelined_nested_loops", t::nested_loops(48, 48, true), DesignClass::TypeA, "Pipelined nested loops"),
+        BenchDesign::new("sequential_accumulators", t::sequential_accumulators(512), DesignClass::TypeA, "Sequential accumulators"),
+        BenchDesign::new("accumulators_asserts", t::sequential_accumulators(480), DesignClass::TypeA, "Accumulators with asserts"),
+        BenchDesign::new("accumulators_dataflow", t::dataflow_accumulators(512, 4), DesignClass::TypeA, "Accumulators in a dataflow region"),
+        BenchDesign::new("static_memory", t::static_memory(256), DesignClass::TypeA, "Static memory example"),
+        BenchDesign::new("pointer_casting", t::pointer_casting(256), DesignClass::TypeA, "Pointer casting example"),
+        BenchDesign::new("double_pointer", t::pointer_casting(320), DesignClass::TypeA, "Double pointer example"),
+        BenchDesign::new("axi4_master", t::axi4_master(256, 8), DesignClass::TypeA, "AXI4 master burst interface"),
+        BenchDesign::new("axis_no_side_channel", t::vecadd_stream(512, 2), DesignClass::TypeA, "AXI-Stream without side channel"),
+        BenchDesign::new("multiple_array_access", t::multiple_array_access(256), DesignClass::TypeA, "Multiple array access"),
+        BenchDesign::new("resolved_array_access", t::multiple_array_access(320), DesignClass::TypeA, "Resolved array access"),
+        BenchDesign::new("uram_ecc", t::static_memory(384), DesignClass::TypeA, "URAM with ECC"),
+        BenchDesign::new("fixed_point_hamming", t::hamming_window(256), DesignClass::TypeA, "Fixed-point Hamming window"),
+        BenchDesign::new("unoptimized_fft", t::fft_stages(128, 1), DesignClass::TypeA, "Unoptimized FFT"),
+        BenchDesign::new("multi_stage_fft", t::fft_stages(128, 7), DesignClass::TypeA, "Multi-stage pipelined FFT"),
+        BenchDesign::new("huffman_encoding", t::huffman_encoding(256), DesignClass::TypeA, "Huffman encoding (histogram + encode)"),
+        BenchDesign::new("matrix_multiplication", t::matmul(24), DesignClass::TypeA, "Matrix multiplication"),
+        BenchDesign::new("parallelized_merge_sort", t::merge_sort(256), DesignClass::TypeA, "Parallelized merge sort"),
+        BenchDesign::new("vecadd_stream", t::vecadd_stream(1024, 4), DesignClass::TypeA, "Vector add with streams"),
+    ];
+    // Large many-module dataflow graphs standing in for the FlowGNN variants,
+    // INR-Arch and SkyNet: these exist to exercise simulator scalability, so
+    // the cycle-stepped reference simulator is not expected to run on them.
+    let large = vec![
+        BenchDesign::new("flowgnn_gin", t::dataflow_graph("flowgnn_gin", 12, 6_000, 1), DesignClass::TypeA, "FlowGNN GIN-style dataflow graph").slow_reference(),
+        BenchDesign::new("flowgnn_gcn", t::dataflow_graph("flowgnn_gcn", 16, 6_000, 1), DesignClass::TypeA, "FlowGNN GCN-style dataflow graph").slow_reference(),
+        BenchDesign::new("flowgnn_gat", t::dataflow_graph("flowgnn_gat", 20, 8_000, 1), DesignClass::TypeA, "FlowGNN GAT-style dataflow graph").slow_reference(),
+        BenchDesign::new("flowgnn_pna", t::dataflow_graph("flowgnn_pna", 24, 8_000, 1), DesignClass::TypeA, "FlowGNN PNA-style dataflow graph").slow_reference(),
+        BenchDesign::new("flowgnn_dgn", t::dataflow_graph("flowgnn_dgn", 12, 10_000, 1), DesignClass::TypeA, "FlowGNN DGN-style dataflow graph").slow_reference(),
+        BenchDesign::new("inr_arch", t::dataflow_graph("inr_arch", 32, 12_000, 1), DesignClass::TypeA, "INR-Arch-style gradient dataflow graph").slow_reference(),
+        BenchDesign::new("skynet", t::skynet(48, 25_000), DesignClass::TypeA, "SkyNet-style detection pipeline").slow_reference(),
+    ];
+    suite.extend(large);
+    suite
+}
+
+/// Every benchmark design (Table 4 + Type A suite).
+pub fn all_designs() -> Vec<BenchDesign> {
+    let mut all = table4_designs();
+    all.extend(typea_suite());
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_ir::taxonomy::classify;
+
+    #[test]
+    fn table4_has_eleven_designs() {
+        let designs = table4_designs_with_n(64);
+        assert_eq!(designs.len(), 11);
+        for d in &designs {
+            assert!(!d.design.modules.is_empty(), "{} has modules", d.name);
+        }
+    }
+
+    #[test]
+    fn table4_classes_match_declared_labels() {
+        for bench in table4_designs_with_n(64) {
+            let inferred = classify(&bench.design).class;
+            assert_eq!(
+                inferred, bench.declared_class,
+                "taxonomy mismatch for {}",
+                bench.name
+            );
+        }
+    }
+
+    #[test]
+    fn typea_suite_is_entirely_type_a() {
+        for bench in typea_suite() {
+            let inferred = classify(&bench.design).class;
+            assert_eq!(
+                inferred,
+                DesignClass::TypeA,
+                "{} must be Type A",
+                bench.name
+            );
+        }
+    }
+
+    #[test]
+    fn all_designs_have_unique_names() {
+        let designs = all_designs();
+        let mut names: Vec<_> = designs.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), designs.len());
+    }
+}

@@ -1,0 +1,298 @@
+//! The remaining Type B/C designs of Table 4: the deliberately deadlocking
+//! design, the `branch` fetch/execute loop, and the `multicore` design with
+//! many cores and branch feedback.
+
+use omnisim_ir::{ArrayId, Design, DesignBuilder, Expr, FifoId, ModuleId, OutputId};
+
+/// A cyclic dataflow design engineered to deadlock: two tasks each block
+/// reading a FIFO the other task has not written yet. A third, independent
+/// task completes normally, so the deadlock detector must distinguish
+/// "everything still blocked" from "some tasks finished".
+pub fn deadlock() -> Design {
+    let mut d = DesignBuilder::new("deadlock");
+    let a2b = d.fifo("a_to_b", 2);
+    let b2a = d.fifo("b_to_a", 2);
+    let sum = d.output("sum");
+    let bystander_out = d.output("bystander");
+
+    let task_a = d.function("task_a", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", 16, 1, |b| {
+            // Waits for task_b before ever producing: classic deadlock.
+            let v = b.fifo_read(b2a);
+            b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            b.fifo_write(a2b, Expr::var(v).add(Expr::imm(1)));
+        });
+        m.exit(|b| {
+            b.output(sum, Expr::var(acc));
+        });
+    });
+    let task_b = d.function("task_b", |m| {
+        m.counted_loop("i", 16, 1, |b| {
+            let v = b.fifo_read(a2b);
+            b.fifo_write(b2a, Expr::var(v).mul(Expr::imm(2)));
+        });
+    });
+    let bystander = d.function("bystander", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", 8, 1, |b| {
+            let i = b.var_expr("i");
+            b.assign(acc, Expr::var(acc).add(i));
+        });
+        m.exit(|b| {
+            b.output(bystander_out, Expr::var(acc));
+        });
+    });
+    d.dataflow_top("top", [task_a, task_b, bystander]);
+    d.build().expect("deadlock design is structurally valid")
+}
+
+/// Adds one fetch/execute core to the design under construction.
+///
+/// The fetcher walks an instruction array; the executor recognises branch
+/// instructions (multiples of 8) and feeds redirect targets back to the
+/// fetcher through a non-blocking FIFO — the upstream/downstream feedback
+/// that makes this design Type C. At most `max_redirects` redirects are
+/// issued so the program always terminates.
+#[allow(clippy::too_many_arguments)]
+fn add_core(
+    d: &mut DesignBuilder,
+    core: usize,
+    prog: ArrayId,
+    n: i64,
+    fetched_out: Option<OutputId>,
+    executed_out: Option<OutputId>,
+    stats_fetched: Option<FifoId>,
+    stats_executed: Option<FifoId>,
+    max_redirects: i64,
+) -> (ModuleId, ModuleId) {
+    let instr_fifo = d.fifo(format!("instr_{core}"), 4);
+    let branch_fifo = d.fifo(format!("branch_{core}"), 2);
+
+    let fetcher = d.function(format!("fetcher_{core}"), |m| {
+        let pc = m.var("pc");
+        let fetched = m.var("fetched");
+        let entry = m.new_block();
+        let head = m.new_block();
+        let fetch = m.new_block();
+        let finish = m.new_block();
+        m.fill_block(entry, |b| {
+            b.assign(pc, Expr::imm(0))
+                .assign(fetched, Expr::imm(0))
+                .jump(head);
+        });
+        m.fill_block(head, |b| {
+            let (target, got) = b.fifo_nb_read(branch_fifo);
+            b.assign(pc, Expr::var(got).select(Expr::var(target), Expr::var(pc)));
+            b.branch(Expr::var(pc).lt(Expr::imm(n)), fetch, finish);
+        });
+        m.fill_block(fetch, |b| {
+            let instr = b.array_load(prog, Expr::var(pc));
+            b.fifo_write(instr_fifo, Expr::var(instr));
+            b.assign(pc, Expr::var(pc).add(Expr::imm(1)))
+                .assign(fetched, Expr::var(fetched).add(Expr::imm(1)))
+                .jump(head);
+        });
+        m.fill_block(finish, |b| {
+            b.fifo_write(instr_fifo, Expr::imm(-1));
+            if let Some(out) = fetched_out {
+                b.output(out, Expr::var(fetched));
+            }
+            if let Some(stats) = stats_fetched {
+                b.fifo_write(stats, Expr::var(fetched));
+            }
+            b.ret();
+        });
+    });
+
+    let executor = d.function(format!("executor_{core}"), |m| {
+        let executed = m.var("executed");
+        let redirects = m.var("redirects");
+        let entry = m.new_block();
+        let head = m.new_block();
+        let branch_handler = m.new_block();
+        let finish = m.new_block();
+        m.fill_block(entry, |b| {
+            b.assign(executed, Expr::imm(0))
+                .assign(redirects, Expr::imm(0))
+                .jump(head);
+        });
+        m.fill_block(head, |b| {
+            let instr = b.var("instr");
+            b.fifo_read_into(instr, instr_fifo);
+            b.latency(2);
+            let is_sentinel = Expr::var(instr).eq(Expr::imm(-1));
+            let is_branch = Expr::var(instr)
+                .rem(Expr::imm(8))
+                .eq(Expr::imm(0))
+                .bitand(is_sentinel.clone().logical_not());
+            let may_redirect = is_branch
+                .clone()
+                .bitand(Expr::var(redirects).lt(Expr::imm(max_redirects)));
+            b.assign(
+                executed,
+                Expr::var(executed).add(is_branch),
+            );
+            b.branch(
+                is_sentinel.clone().select(Expr::imm(2), may_redirect),
+                branch_handler,
+                head,
+            );
+        });
+        m.fill_block(branch_handler, |b| {
+            let instr = b.var("instr");
+            // A sentinel (-1) routed here exits; a real branch issues a
+            // redirect and continues.
+            let target = Expr::var(instr).mul(Expr::imm(7)).rem(Expr::imm(n));
+            b.fifo_nb_write_ignored(branch_fifo, target);
+            b.assign(redirects, Expr::var(redirects).add(Expr::imm(1)));
+            b.branch(Expr::var(instr).eq(Expr::imm(-1)), finish, head);
+        });
+        m.fill_block(finish, |b| {
+            if let Some(out) = executed_out {
+                b.output(out, Expr::var(executed));
+            }
+            if let Some(stats) = stats_executed {
+                b.fifo_write(stats, Expr::var(executed));
+            }
+            b.ret();
+        });
+    });
+
+    (fetcher, executor)
+}
+
+/// Instruction memory for the branch/multicore designs: a deterministic
+/// pseudo-random mix in which roughly one in eight instructions is a branch.
+fn program(n: i64, seed: i64) -> Vec<i64> {
+    (0..n)
+        .map(|i| {
+            let x = (i * 2654435761 + seed * 40503 + 12345) & 0x7fff_ffff;
+            1 + (x % 97)
+        })
+        .collect()
+}
+
+/// The `branch` design of Table 4: a downstream executor redirects an
+/// upstream instruction fetcher through a non-blocking feedback FIFO.
+pub fn branch(n: i64) -> Design {
+    let mut d = DesignBuilder::new("branch");
+    let prog = d.array("prog", program(n, 1));
+    let fetched = d.output("fetched");
+    let executed = d.output("executed");
+    let (fetcher, executor) = add_core(
+        &mut d,
+        0,
+        prog,
+        n,
+        Some(fetched),
+        Some(executed),
+        None,
+        None,
+        64,
+    );
+    d.dataflow_top("top", [fetcher, executor]);
+    d.build().expect("branch design is structurally valid")
+}
+
+/// The `multicore` design of Table 4: `cores` fetch/execute pairs plus a
+/// collector that aggregates per-core counters into `total_fetched` and
+/// `total_executed`.
+pub fn multicore(cores: usize, per_core_n: i64) -> Design {
+    let mut d = DesignBuilder::new("multicore");
+    let total_fetched = d.output("total_fetched");
+    let total_executed = d.output("total_executed");
+
+    let mut tasks = Vec::new();
+    let mut stat_fifos = Vec::new();
+    for core in 0..cores {
+        let prog = d.array(format!("prog_{core}"), program(per_core_n, core as i64));
+        let stats_f = d.fifo(format!("stats_fetched_{core}"), 1);
+        let stats_e = d.fifo(format!("stats_executed_{core}"), 1);
+        let (fetcher, executor) = add_core(
+            &mut d,
+            core,
+            prog,
+            per_core_n,
+            None,
+            None,
+            Some(stats_f),
+            Some(stats_e),
+            16,
+        );
+        tasks.push(fetcher);
+        tasks.push(executor);
+        stat_fifos.push((stats_f, stats_e));
+    }
+
+    let collector = d.function("collector", |m| {
+        let fetched = m.var("fetched");
+        let executed = m.var("executed");
+        m.entry(|b| {
+            b.assign(fetched, Expr::imm(0));
+            b.assign(executed, Expr::imm(0));
+        });
+        for (stats_f, stats_e) in &stat_fifos {
+            m.seq(|b| {
+                let f = b.fifo_read(*stats_f);
+                let e = b.fifo_read(*stats_e);
+                b.assign(fetched, Expr::var(fetched).add(Expr::var(f)));
+                b.assign(executed, Expr::var(executed).add(Expr::var(e)));
+            });
+        }
+        m.exit(|b| {
+            b.output(total_fetched, Expr::var(fetched));
+            b.output(total_executed, Expr::var(executed));
+        });
+    });
+    tasks.push(collector);
+    d.dataflow_top("top", tasks);
+    d.build().expect("multicore design is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_ir::taxonomy::{classify, DesignClass};
+
+    #[test]
+    fn deadlock_design_is_cyclic_type_b() {
+        let report = classify(&deadlock());
+        assert_eq!(report.class, DesignClass::TypeB);
+        assert!(report.cyclic_dataflow);
+        assert!(!report.uses_nonblocking);
+    }
+
+    #[test]
+    fn branch_design_is_cyclic_type_c() {
+        let report = classify(&branch(128));
+        assert_eq!(report.class, DesignClass::TypeC);
+        assert!(report.cyclic_dataflow);
+        assert!(report.uses_nonblocking);
+    }
+
+    #[test]
+    fn multicore_matches_table4_scale() {
+        let design = multicore(16, 64);
+        // 16 fetchers + 16 executors + collector + top region.
+        assert_eq!(design.modules.len(), 34);
+        // Per core: instruction FIFO, branch FIFO, two stats FIFOs.
+        assert_eq!(design.fifos.len(), 64);
+        let report = classify(&design);
+        assert_eq!(report.class, DesignClass::TypeC);
+    }
+
+    #[test]
+    fn program_mix_contains_branches() {
+        let prog = program(256, 1);
+        let branches = prog.iter().filter(|&&v| v % 8 == 0).count();
+        assert!(branches > 10, "expected a reasonable share of branches");
+        assert!(prog.iter().all(|&v| v > 0));
+    }
+}

@@ -1,0 +1,777 @@
+//! The Type A suite mirroring Table 5: Vitis HLS basic examples, kernels
+//! from Kastner et al.'s *Parallel Programming for FPGAs*, a streaming
+//! vector-add, and large many-module dataflow graphs standing in for the
+//! FlowGNN accelerators, INR-Arch and SkyNet.
+//!
+//! Every design here is Type A (blocking-only FIFO access, acyclic dataflow,
+//! bounded loops), which is what the LightningSim baseline supports; the
+//! Table 5 experiment compares OmniSim against LightningSim on exactly this
+//! set. The kernels are re-authored at the IR level with the same loop
+//! structure, array traffic and dataflow topology as their namesakes; the
+//! arithmetic is integer/fixed-point (the IR's value type), which preserves
+//! the schedule shape that drives simulation cost.
+
+use omnisim_ir::{Design, DesignBuilder, Expr};
+
+fn input(n: i64, seed: i64) -> Vec<i64> {
+    (0..n)
+        .map(|i| 1 + ((i * 1103515245 + seed * 12345 + 31) & 0xffff) % 251)
+        .collect()
+}
+
+/// Fixed-point square root: per element, 16 iterations of a shift-and-check
+/// loop inside a called sub-function.
+pub fn fixed_point_sqrt(n: i64) -> Design {
+    let mut d = DesignBuilder::new("fixed_point_sqrt");
+    let data = d.array("data", input(n, 1));
+    let out = d.output("checksum");
+    let sqrt = d.function("isqrt", |m| {
+        let x = m.var("x");
+        let root = m.var("root");
+        m.entry(|b| {
+            b.assign(root, Expr::imm(0));
+        });
+        m.counted_loop("bit", 16, 1, |b| {
+            let bit = b.var("bit");
+            let cand = Expr::var(root).bitor(Expr::imm(1).shl(Expr::imm(15).sub(Expr::var(bit))));
+            b.assign(
+                root,
+                cand.clone()
+                    .mul(cand.clone())
+                    .le(Expr::var(x))
+                    .select(cand, Expr::var(root)),
+            );
+        });
+        m.exit(|b| {
+            b.ret_val(Expr::var(root));
+        });
+    });
+    d.function_top("sqrt_top", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(data, i);
+            let r = b.call(sqrt, vec![Expr::var(v).shl(Expr::imm(8))]);
+            b.assign(acc, Expr::var(acc).add(Expr::var(r)));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    });
+    d.build().expect("fixed_point_sqrt is valid")
+}
+
+/// FIR filter over `n` samples with `taps` coefficients.
+pub fn fir_filter(n: i64, taps: i64) -> Design {
+    let mut d = DesignBuilder::new("fir_filter");
+    let samples = d.array("samples", input(n, 2));
+    let coeffs = d.array("coeffs", (1..=taps).collect::<Vec<i64>>());
+    let result = d.zero_array("result", n as usize);
+    let out = d.output("checksum");
+    d.function_top("fir", |m| {
+        let acc = m.var("acc");
+        let check = m.var("check");
+        m.entry(|b| {
+            b.assign(check, Expr::imm(0));
+        });
+        m.counted_loop("k", n * taps, 1, |b| {
+            let k = b.var_expr("k");
+            let i = k.clone().div(Expr::imm(taps));
+            let t = k.clone().rem(Expr::imm(taps));
+            let idx = i.clone().sub(t.clone()).max(Expr::imm(0));
+            let s = b.array_load(samples, idx);
+            let c = b.array_load(coeffs, t.clone());
+            b.assign(
+                acc,
+                t.eq(Expr::imm(0))
+                    .select(Expr::imm(0), Expr::var(acc))
+                    .add(Expr::var(s).mul(Expr::var(c))),
+            );
+            b.array_store(result, i, Expr::var(acc));
+            b.assign(check, Expr::var(check).add(Expr::var(acc)));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(check));
+        });
+    });
+    d.build().expect("fir_filter is valid")
+}
+
+/// Sliding-window convolution over `n` samples with window `w`.
+pub fn window_conv(n: i64, w: i64) -> Design {
+    let mut d = DesignBuilder::new("window_conv");
+    let data = d.array("data", input(n, 3));
+    let kernel = d.array("kernel", (1..=w).map(|i| i * 3 % 7 + 1).collect::<Vec<i64>>());
+    let out = d.output("checksum");
+    d.function_top("conv", |m| {
+        let acc = m.var("acc");
+        let check = m.var("check");
+        m.entry(|b| {
+            b.assign(check, Expr::imm(0));
+        });
+        m.counted_loop("k", n * w, 1, |b| {
+            let k = b.var_expr("k");
+            let i = k.clone().div(Expr::imm(w));
+            let j = k.rem(Expr::imm(w));
+            let idx = i.add(j.clone()).min(Expr::imm(n - 1));
+            let v = b.array_load(data, idx);
+            let c = b.array_load(kernel, j.clone());
+            b.assign(
+                acc,
+                j.eq(Expr::imm(0))
+                    .select(Expr::imm(0), Expr::var(acc))
+                    .add(Expr::var(v).mul(Expr::var(c))),
+            );
+            b.assign(check, Expr::var(check).add(Expr::var(acc)));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(check));
+        });
+    });
+    d.build().expect("window_conv is valid")
+}
+
+/// A small ALU interpreting an opcode stream (add/sub/mul/shift/compare).
+pub fn alu(n: i64) -> Design {
+    let mut d = DesignBuilder::new("arbitrary_precision_alu");
+    let a = d.array("a", input(n, 4));
+    let b_arr = d.array("b", input(n, 5));
+    let ops = d.array("ops", (0..n).map(|i| i % 5).collect::<Vec<i64>>());
+    let out = d.output("checksum");
+    d.function_top("alu", |m| {
+        let acc = m.var("acc");
+        m.entry(|blk| {
+            blk.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |blk| {
+            let i = blk.var_expr("i");
+            let x = blk.array_load(a, i.clone());
+            let y = blk.array_load(b_arr, i.clone());
+            let op = blk.array_load(ops, i);
+            let x = Expr::var(x);
+            let y = Expr::var(y);
+            let op = Expr::var(op);
+            let result = op
+                .clone()
+                .eq(Expr::imm(0))
+                .select(
+                    x.clone().add(y.clone()),
+                    op.clone().eq(Expr::imm(1)).select(
+                        x.clone().sub(y.clone()),
+                        op.clone().eq(Expr::imm(2)).select(
+                            x.clone().mul(y.clone()),
+                            op.eq(Expr::imm(3))
+                                .select(x.clone().shr(Expr::imm(2)), x.max(y)),
+                        ),
+                    ),
+                );
+            blk.assign(acc, Expr::var(acc).bitxor(result));
+        });
+        m.exit(|blk| {
+            blk.output(out, Expr::var(acc));
+        });
+    });
+    d.build().expect("alu is valid")
+}
+
+/// Two independent loops in a dataflow region.
+pub fn parallel_loops(n: i64) -> Design {
+    let mut d = DesignBuilder::new("parallel_loops");
+    let a = d.array("a", input(n, 6));
+    let b_arr = d.array("b", input(n, 7));
+    let out_a = d.output("sum_a");
+    let out_b = d.output("sum_b");
+    let sum_loop = |name: &'static str, arr, out, ii| {
+        move |m: &mut omnisim_ir::ModuleBuilder| {
+            let _ = name;
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(0));
+            });
+            m.counted_loop("i", n, ii, |b| {
+                let i = b.var_expr("i");
+                let v = b.array_load(arr, i);
+                b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            });
+            m.exit(|b| {
+                b.output(out, Expr::var(acc));
+            });
+        }
+    };
+    let t1 = d.function("loop_a", sum_loop("loop_a", a, out_a, 1));
+    let t2 = d.function("loop_b", sum_loop("loop_b", b_arr, out_b, 2));
+    d.dataflow_top("top", [t1, t2]);
+    d.build().expect("parallel_loops is valid")
+}
+
+/// An imperfect loop nest: the inner trip count depends on the outer index.
+pub fn imperfect_loops(rows: i64, cols: i64) -> Design {
+    let mut d = DesignBuilder::new("imperfect_loops");
+    let data = d.array("data", input(rows * cols, 8));
+    let out = d.output("checksum");
+    d.function_top("imperfect", |m| {
+        let acc = m.var("acc");
+        let i = m.var("i");
+        let j = m.var("j");
+        let entry = m.new_block();
+        let outer = m.new_block();
+        let inner = m.new_block();
+        let finish = m.new_block();
+        m.fill_block(entry, |b| {
+            b.assign(acc, Expr::imm(0)).assign(i, Expr::imm(0)).jump(outer);
+        });
+        m.fill_block(outer, |b| {
+            b.assign(j, Expr::imm(0));
+            b.branch(Expr::var(i).lt(Expr::imm(rows)), inner, finish);
+        });
+        m.fill_block(inner, |b| {
+            b.pipeline(1);
+            let v = b.array_load(data, Expr::var(i).mul(Expr::imm(cols)).add(Expr::var(j)));
+            b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            b.assign(j, Expr::var(j).add(Expr::imm(1)));
+            // Inner bound depends on the outer index: j < i % cols + 1.
+            let bound = Expr::var(i).rem(Expr::imm(cols)).add(Expr::imm(1));
+            let next_outer = Expr::var(j).ge(bound);
+            let i_next = Expr::var(i).add(next_outer.clone());
+            b.assign(i, i_next);
+            b.branch(next_outer, outer, inner);
+        });
+        m.fill_block(finish, |b| {
+            b.output(out, Expr::var(acc));
+            b.ret();
+        });
+    });
+    d.build().expect("imperfect_loops is valid")
+}
+
+/// A loop whose dynamic trip count (`actual`) is smaller than its static
+/// maximum bound (`max_bound`) — static estimates get this wrong, dynamic
+/// simulation does not.
+pub fn loop_max_bound(actual: i64, max_bound: i64) -> Design {
+    let mut d = DesignBuilder::new("loop_max_bound");
+    let mut data = input(max_bound, 9);
+    for slot in data.iter_mut().skip(actual as usize) {
+        *slot = 0;
+    }
+    let arr = d.array("data", data);
+    let out = d.output("sum");
+    d.function_top("bounded", |m| {
+        let acc = m.var("acc");
+        let i = m.var("i");
+        let entry = m.new_block();
+        let head = m.new_block();
+        let finish = m.new_block();
+        m.fill_block(entry, |b| {
+            b.assign(acc, Expr::imm(0)).assign(i, Expr::imm(0)).jump(head);
+        });
+        m.fill_block(head, |b| {
+            b.pipeline(1);
+            let v = b.array_load(arr, Expr::var(i));
+            b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            b.assign(i, Expr::var(i).add(Expr::imm(1)));
+            let stop = Expr::var(v)
+                .eq(Expr::imm(0))
+                .bitor(Expr::var(i).ge(Expr::imm(max_bound)));
+            b.branch(stop, finish, head);
+        });
+        m.fill_block(finish, |b| {
+            b.output(out, Expr::var(acc));
+            b.ret();
+        });
+    });
+    d.build().expect("loop_max_bound is valid")
+}
+
+/// A perfect two-level loop nest, optionally pipelined at II=1.
+pub fn nested_loops(outer: i64, inner: i64, pipelined: bool) -> Design {
+    let name = if pipelined {
+        "pipelined_nested_loops"
+    } else {
+        "perfect_nested_loops"
+    };
+    let mut d = DesignBuilder::new(name);
+    let data = d.array("data", input(outer * inner, 10));
+    let out = d.output("checksum");
+    let ii = if pipelined { 1 } else { 3 };
+    d.function_top("nest", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("k", outer * inner, ii, |b| {
+            if !pipelined {
+                b.latency(3);
+            }
+            let k = b.var_expr("k");
+            let v = b.array_load(data, k.clone());
+            b.assign(
+                acc,
+                Expr::var(acc).add(Expr::var(v).mul(k.rem(Expr::imm(inner)).add(Expr::imm(1)))),
+            );
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    });
+    d.build().expect("nested_loops is valid")
+}
+
+/// Two accumulators that run one after the other in the same function.
+pub fn sequential_accumulators(n: i64) -> Design {
+    let mut d = DesignBuilder::new("sequential_accumulators");
+    let a = d.array("a", input(n, 11));
+    let b_arr = d.array("b", input(n, 12));
+    let out = d.output("total");
+    d.function_top("accumulate", |m| {
+        let sum_a = m.var("sum_a");
+        let sum_b = m.var("sum_b");
+        m.entry(|b| {
+            b.assign(sum_a, Expr::imm(0));
+            b.assign(sum_b, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(a, i);
+            b.assign(sum_a, Expr::var(sum_a).add(Expr::var(v)));
+        });
+        m.counted_loop("j", n, 1, |b| {
+            let j = b.var_expr("j");
+            let v = b.array_load(b_arr, j);
+            b.assign(sum_b, Expr::var(sum_b).add(Expr::var(v)));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(sum_a).add(Expr::var(sum_b)));
+        });
+    });
+    d.build().expect("sequential_accumulators is valid")
+}
+
+/// A chain of accumulator stages connected by FIFOs inside a dataflow region.
+pub fn dataflow_accumulators(n: i64, stages: usize) -> Design {
+    dataflow_graph("accumulators_dataflow", stages, n, 1)
+}
+
+/// Stores then reloads a scratch memory (URAM/static-memory style).
+pub fn static_memory(n: i64) -> Design {
+    let mut d = DesignBuilder::new("static_memory");
+    let data = d.array("data", input(n, 13));
+    let scratch = d.zero_array("scratch", n as usize);
+    let out = d.output("checksum");
+    d.function_top("memory", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(data, i.clone());
+            b.array_store(scratch, i, Expr::var(v).mul(Expr::imm(3)));
+        });
+        m.counted_loop("j", n, 1, |b| {
+            let j = b.var_expr("j");
+            let v = b.array_load(scratch, Expr::imm(n - 1).sub(j));
+            b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    });
+    d.build().expect("static_memory is valid")
+}
+
+/// Packs pairs of values into a wide word and unpacks them again (the
+/// pointer-casting / double-pointer examples).
+pub fn pointer_casting(n: i64) -> Design {
+    let mut d = DesignBuilder::new("pointer_casting");
+    let data = d.array("data", input(n, 14));
+    let out = d.output("checksum");
+    d.function_top("cast", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n / 2, 1, |b| {
+            let i = b.var_expr("i");
+            let lo = b.array_load(data, i.clone().mul(Expr::imm(2)));
+            let hi = b.array_load(data, i.mul(Expr::imm(2)).add(Expr::imm(1)));
+            let packed = Expr::var(hi).shl(Expr::imm(16)).bitor(Expr::var(lo));
+            let unpacked_lo = packed.clone().bitand(Expr::imm(0xffff));
+            let unpacked_hi = packed.shr(Expr::imm(16));
+            b.assign(acc, Expr::var(acc).add(unpacked_lo).add(unpacked_hi));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    });
+    d.build().expect("pointer_casting is valid")
+}
+
+/// Reads bursts from an AXI master port, processes them, writes them back.
+pub fn axi4_master(n: i64, burst: i64) -> Design {
+    let mut d = DesignBuilder::new("axi4_master");
+    let mem = d.array("ddr", input(n, 15));
+    let axi = d.axi_port("gmem", mem, 6);
+    let out = d.output("checksum");
+    d.function_top("axi_master", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("blk", n / burst, 1, |b| {
+            let blk_idx = b.var_expr("blk");
+            let base = blk_idx.mul(Expr::imm(burst));
+            b.axi_read_req(axi, base.clone(), Expr::imm(burst));
+            for _ in 0..burst {
+                let v = b.axi_read(axi);
+                b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            }
+            b.axi_write_req(axi, base, Expr::imm(burst));
+            for k in 0..burst {
+                b.axi_write(axi, Expr::var(acc).add(Expr::imm(k)));
+            }
+            b.axi_write_resp(axi);
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    });
+    d.build().expect("axi4_master is valid")
+}
+
+/// Streaming vector add: two loaders, an adder and a writer in a dataflow
+/// region (the Vitis accel vadd example / AXIS example).
+pub fn vecadd_stream(n: i64, depth: usize) -> Design {
+    let mut d = DesignBuilder::new("vecadd_stream");
+    let a = d.array("a", input(n, 16));
+    let b_arr = d.array("b", input(n, 17));
+    let c_arr = d.zero_array("c", n as usize);
+    let out = d.output("checksum");
+    let fa = d.fifo("stream_a", depth);
+    let fb = d.fifo("stream_b", depth);
+    let fc = d.fifo("stream_c", depth);
+
+    let load_a = d.function("load_a", |m| {
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(a, i);
+            b.fifo_write(fa, Expr::var(v));
+        });
+    });
+    let load_b = d.function("load_b", |m| {
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(b_arr, i);
+            b.fifo_write(fb, Expr::var(v));
+        });
+    });
+    let adder = d.function("adder", |m| {
+        m.counted_loop("i", n, 1, |b| {
+            let x = b.fifo_read(fa);
+            let y = b.fifo_read(fb);
+            b.fifo_write(fc, Expr::var(x).add(Expr::var(y)));
+        });
+    });
+    let writer = d.function("writer", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.fifo_read(fc);
+            b.array_store(c_arr, i, Expr::var(v));
+            b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    });
+    d.dataflow_top("top", [load_a, load_b, adder, writer]);
+    d.build().expect("vecadd_stream is valid")
+}
+
+/// Touches several arrays per iteration (multiple / resolved array access).
+pub fn multiple_array_access(n: i64) -> Design {
+    let mut d = DesignBuilder::new("multiple_array_access");
+    let a = d.array("a", input(n, 18));
+    let b_arr = d.array("b", input(n, 19));
+    let c = d.array("c", input(n, 20));
+    let out = d.output("checksum");
+    d.function_top("access", |m| {
+        let acc = m.var("acc");
+        m.entry(|blk| {
+            blk.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |blk| {
+            let i = blk.var_expr("i");
+            let x = blk.array_load(a, i.clone());
+            let y = blk.array_load(b_arr, i.clone());
+            let z = blk.array_load(c, i);
+            blk.assign(
+                acc,
+                Expr::var(acc).add(Expr::var(x).mul(Expr::var(y)).sub(Expr::var(z))),
+            );
+        });
+        m.exit(|blk| {
+            blk.output(out, Expr::var(acc));
+        });
+    });
+    d.build().expect("multiple_array_access is valid")
+}
+
+/// Fixed-point Hamming-window weighting of a sample buffer.
+pub fn hamming_window(n: i64) -> Design {
+    let mut d = DesignBuilder::new("fixed_point_hamming");
+    let data = d.array("data", input(n, 21));
+    let out = d.output("checksum");
+    d.function_top("hamming", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(data, i.clone());
+            // 0.54 - 0.46 cos(2πi/N) approximated with a triangular profile
+            // in Q8 fixed point.
+            let phase = i.clone().rem(Expr::imm(n));
+            let tri = Expr::imm(n / 2).sub(phase.sub(Expr::imm(n / 2))).max(Expr::imm(0));
+            let coeff = Expr::imm(138).add(tri.mul(Expr::imm(118)).div(Expr::imm(n.max(1))));
+            b.assign(
+                acc,
+                Expr::var(acc).add(Expr::var(v).mul(coeff).shr(Expr::imm(8))),
+            );
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    });
+    d.build().expect("hamming_window is valid")
+}
+
+/// A chain of FFT-like butterfly stages connected by FIFOs. `stages == 1`
+/// models the unoptimised version, larger values the multi-stage pipeline.
+pub fn fft_stages(n: i64, stages: usize) -> Design {
+    dataflow_graph("fft_stages", stages, n, 1)
+}
+
+/// Histogram construction followed by a code-length accumulation pass
+/// (the Huffman encoding kernel's simulation-relevant structure).
+pub fn huffman_encoding(n: i64) -> Design {
+    let mut d = DesignBuilder::new("huffman_encoding");
+    let symbols = d.array("symbols", input(n, 22).iter().map(|v| v % 32).collect::<Vec<i64>>());
+    let hist = d.zero_array("histogram", 32);
+    let out = d.output("total_bits");
+    d.function_top("huffman", |m| {
+        let bits = m.var("bits");
+        m.entry(|b| {
+            b.assign(bits, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 2, |b| {
+            let i = b.var_expr("i");
+            let s = b.array_load(symbols, i);
+            let count = b.array_load(hist, Expr::var(s));
+            b.array_store(hist, Expr::var(s), Expr::var(count).add(Expr::imm(1)));
+        });
+        m.counted_loop("s", 32, 1, |b| {
+            let s = b.var_expr("s");
+            let count = b.array_load(hist, s.clone());
+            // Shorter codes for more frequent symbols: len = 1 + s % 6.
+            let len = Expr::imm(1).add(s.rem(Expr::imm(6)));
+            b.assign(bits, Expr::var(bits).add(Expr::var(count).mul(len)));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(bits));
+        });
+    });
+    d.build().expect("huffman_encoding is valid")
+}
+
+/// Dense matrix multiplication of two `size × size` matrices.
+pub fn matmul(size: i64) -> Design {
+    let mut d = DesignBuilder::new("matrix_multiplication");
+    let a = d.array("a", input(size * size, 23));
+    let b_arr = d.array("b", input(size * size, 24));
+    let c = d.zero_array("c", (size * size) as usize);
+    let out = d.output("checksum");
+    d.function_top("matmul", |m| {
+        let acc = m.var("acc");
+        let check = m.var("check");
+        m.entry(|blk| {
+            blk.assign(check, Expr::imm(0));
+        });
+        m.counted_loop("k", size * size * size, 1, |blk| {
+            let k = blk.var_expr("k");
+            let i = k.clone().div(Expr::imm(size * size));
+            let j = k.clone().div(Expr::imm(size)).rem(Expr::imm(size));
+            let l = k.rem(Expr::imm(size));
+            let x = blk.array_load(a, i.clone().mul(Expr::imm(size)).add(l.clone()));
+            let y = blk.array_load(b_arr, l.clone().mul(Expr::imm(size)).add(j.clone()));
+            blk.assign(
+                acc,
+                l.clone()
+                    .eq(Expr::imm(0))
+                    .select(Expr::imm(0), Expr::var(acc))
+                    .add(Expr::var(x).mul(Expr::var(y))),
+            );
+            let is_last = l.eq(Expr::imm(size - 1));
+            let c_idx = i.mul(Expr::imm(size)).add(j);
+            blk.array_store(
+                c,
+                is_last.clone().select(c_idx, Expr::imm(0)),
+                is_last
+                    .clone()
+                    .select(Expr::var(acc), Expr::imm(0)),
+            );
+            blk.assign(
+                check,
+                Expr::var(check).add(is_last.select(Expr::var(acc), Expr::imm(0))),
+            );
+        });
+        m.exit(|blk| {
+            blk.output(out, Expr::var(check));
+        });
+    });
+    d.build().expect("matmul is valid")
+}
+
+/// A compare-and-swap sorting network (odd–even transposition), standing in
+/// for the parallelised merge sort of the original suite: same all-to-all
+/// array traffic and nested-loop schedule shape.
+pub fn merge_sort(n: i64) -> Design {
+    let mut d = DesignBuilder::new("parallelized_merge_sort");
+    let data = d.array("data", input(n, 25));
+    let out = d.output("checksum");
+    d.function_top("sort", |m| {
+        let check = m.var("check");
+        m.entry(|b| {
+            b.assign(check, Expr::imm(0));
+        });
+        m.counted_loop("k", n * (n / 2), 1, |b| {
+            let k = b.var_expr("k");
+            let pass = k.clone().div(Expr::imm(n / 2));
+            let pair = k.rem(Expr::imm(n / 2));
+            // Odd passes compare (2i+1, 2i+2); even passes compare (2i, 2i+1).
+            let base = pair.mul(Expr::imm(2)).add(pass.rem(Expr::imm(2)));
+            let left_idx = base.clone().min(Expr::imm(n - 2));
+            let right_idx = left_idx.clone().add(Expr::imm(1));
+            let left = b.array_load(data, left_idx.clone());
+            let right = b.array_load(data, right_idx.clone());
+            let lo = Expr::var(left).min(Expr::var(right));
+            let hi = Expr::var(left).max(Expr::var(right));
+            b.array_store(data, left_idx, lo.clone());
+            b.array_store(data, right_idx, hi);
+            b.assign(check, Expr::var(check).add(lo));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(check));
+        });
+    });
+    d.build().expect("merge_sort is valid")
+}
+
+/// A linear dataflow pipeline: one source, `stages` compute stages and one
+/// sink, streaming `n` elements. This is the scalable skeleton behind the
+/// FlowGNN-style designs and the dataflow accumulator example.
+pub fn dataflow_graph(name: &str, stages: usize, n: i64, ii: u64) -> Design {
+    let mut d = DesignBuilder::new(name.to_owned());
+    let data = d.array("input", input(n, 26));
+    let out = d.output("checksum");
+    let mut fifos = Vec::new();
+    for s in 0..=stages {
+        fifos.push(d.fifo(format!("link_{s}"), 4));
+    }
+
+    let source = d.function("source", |m| {
+        m.counted_loop("i", n, ii, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(data, i);
+            b.fifo_write(fifos[0], Expr::var(v));
+        });
+    });
+    let mut tasks = vec![source];
+    for s in 0..stages {
+        let input_fifo = fifos[s];
+        let output_fifo = fifos[s + 1];
+        let stage_const = (s as i64 % 13) + 1;
+        let stage = d.function(format!("stage_{s}"), move |m| {
+            m.counted_loop("i", n, ii, |b| {
+                let v = b.fifo_read(input_fifo);
+                let processed = Expr::var(v)
+                    .mul(Expr::imm(3))
+                    .add(Expr::imm(stage_const))
+                    .shr(Expr::imm(1));
+                b.fifo_write(output_fifo, processed);
+            });
+        });
+        tasks.push(stage);
+    }
+    let sink_fifo = fifos[stages];
+    let sink = d.function("sink", move |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, ii, |b| {
+            let v = b.fifo_read(sink_fifo);
+            b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    });
+    tasks.push(sink);
+    d.dataflow_top("top", tasks);
+    d.build().expect("dataflow_graph is valid")
+}
+
+/// A SkyNet-style detection pipeline: a deep backbone chain plus a slower
+/// post-processing tail, the largest design in the suite.
+pub fn skynet(stages: usize, n: i64) -> Design {
+    dataflow_graph("skynet", stages, n, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_ir::taxonomy::{classify, DesignClass};
+
+    #[test]
+    fn representative_kernels_are_type_a() {
+        for design in [
+            fixed_point_sqrt(16),
+            fir_filter(32, 4),
+            alu(32),
+            parallel_loops(16),
+            imperfect_loops(8, 8),
+            loop_max_bound(10, 32),
+            axi4_master(32, 4),
+            vecadd_stream(32, 2),
+            matmul(4),
+            merge_sort(16),
+            dataflow_graph("tiny", 3, 16, 1),
+        ] {
+            let report = classify(&design);
+            assert_eq!(report.class, DesignClass::TypeA, "{}", design.name);
+        }
+    }
+
+    #[test]
+    fn dataflow_graph_scales_module_count() {
+        let design = dataflow_graph("scale", 10, 8, 1);
+        assert_eq!(design.dataflow_tasks().len(), 12);
+        assert_eq!(design.fifos.len(), 11);
+    }
+
+    #[test]
+    fn loop_max_bound_data_terminates_early() {
+        let design = loop_max_bound(10, 64);
+        // The zero terminator must be present inside the array.
+        let arr = &design.arrays[0].init;
+        assert_eq!(arr[10], 0);
+        assert!(arr[..10].iter().all(|&v| v != 0));
+    }
+}

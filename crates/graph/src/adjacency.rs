@@ -1,0 +1,247 @@
+//! Adjacency-list simulation graph used by the OmniSim engine (§7.3.1).
+//!
+//! Optimised for online construction: nodes and edges are appended while the
+//! simulation is still running, node times are maintained incrementally as a
+//! lower bound, and a full longest-path recomputation (with optional overlay
+//! edges) is run at finalization. One predecessor edge is stored inline with
+//! each node so the common single-predecessor case needs no extra allocation
+//! or pointer chasing.
+
+use crate::algo::{longest_path, CycleError, Edge};
+use crate::NodeId;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct PredEdge {
+    from: NodeId,
+    weight: i64,
+}
+
+#[derive(Debug, Clone, Default)]
+struct NodePreds {
+    /// Inline first predecessor: the overwhelmingly common case.
+    first: Option<PredEdge>,
+    /// Rare additional predecessors.
+    rest: Vec<PredEdge>,
+}
+
+/// Online-constructible simulation graph with incremental node times.
+///
+/// Node times maintained online are *lower bounds*: they include every edge
+/// known when the edge was added, but edges added later (for example
+/// depth-dependent write-after-read constraints discovered at finalization)
+/// only take effect after [`EventGraph::recompute`] or
+/// [`EventGraph::times_with_overlay`].
+#[derive(Debug, Clone, Default)]
+pub struct EventGraph {
+    base: Vec<u64>,
+    preds: Vec<NodePreds>,
+    time: Vec<u64>,
+    edge_count: usize,
+}
+
+impl EventGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty graph with capacity for `nodes` nodes.
+    pub fn with_capacity(nodes: usize) -> Self {
+        EventGraph {
+            base: Vec::with_capacity(nodes),
+            preds: Vec::with_capacity(nodes),
+            time: Vec::with_capacity(nodes),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds a node with the given intrinsic earliest cycle and returns its id.
+    pub fn add_node(&mut self, base: u64) -> NodeId {
+        let id = NodeId::from_index(self.base.len());
+        self.base.push(base);
+        self.preds.push(NodePreds::default());
+        self.time.push(base);
+        id
+    }
+
+    /// Adds an edge: `to` happens at least `weight` cycles after `from`.
+    ///
+    /// The target node's online time is raised immediately if the source
+    /// node's current time already implies a later cycle; times of nodes
+    /// downstream of `to` are *not* re-propagated until
+    /// [`EventGraph::recompute`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node does not exist.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: i64) {
+        assert!(from.index() < self.base.len(), "unknown source node");
+        assert!(to.index() < self.base.len(), "unknown target node");
+        let pred = PredEdge { from, weight };
+        let slot = &mut self.preds[to.index()];
+        if slot.first.is_none() {
+            slot.first = Some(pred);
+        } else {
+            slot.rest.push(pred);
+        }
+        self.edge_count += 1;
+        let cand = self.time[from.index()].saturating_add_signed(weight);
+        if cand > self.time[to.index()] {
+            self.time[to.index()] = cand;
+        }
+    }
+
+    /// Raises the intrinsic earliest cycle of a node (never lowers it).
+    pub fn raise_base(&mut self, node: NodeId, base: u64) {
+        if base > self.base[node.index()] {
+            self.base[node.index()] = base;
+        }
+        if base > self.time[node.index()] {
+            self.time[node.index()] = base;
+        }
+    }
+
+    /// The current (online, lower-bound) time of a node.
+    pub fn time(&self, node: NodeId) -> u64 {
+        self.time[node.index()]
+    }
+
+    /// The intrinsic earliest cycle of a node.
+    pub fn base(&self, node: NodeId) -> u64 {
+        self.base[node.index()]
+    }
+
+    /// The latest online node time, i.e. the current latency lower bound.
+    pub fn max_time(&self) -> u64 {
+        self.time.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Iterates over all edges of the graph.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + Clone + '_ {
+        self.preds.iter().enumerate().flat_map(|(to, preds)| {
+            let to = NodeId::from_index(to);
+            preds
+                .first
+                .iter()
+                .chain(preds.rest.iter())
+                .map(move |p| Edge::new(p.from, to, p.weight))
+        })
+    }
+
+    /// Recomputes exact longest-path times for every node in place and
+    /// returns the design latency (the maximum node time).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the graph contains a dependency cycle.
+    pub fn recompute(&mut self) -> Result<u64, CycleError> {
+        let times = longest_path(&self.base, self.edges())?;
+        self.time = times;
+        Ok(self.max_time())
+    }
+
+    /// Computes exact longest-path times with extra overlay edges, without
+    /// mutating the graph. Used to evaluate alternative FIFO depths during
+    /// finalization and incremental re-simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the combined edge set is cyclic.
+    pub fn times_with_overlay(&self, overlay: &[Edge]) -> Result<Vec<u64>, CycleError> {
+        longest_path(&self.base, self.edges().chain(overlay.iter().copied()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_times_are_lower_bounds() {
+        let mut g = EventGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(2);
+        let c = g.add_node(0);
+        g.add_edge(a, b, 5);
+        assert_eq!(g.time(b), 5, "edge raised the online time");
+        g.add_edge(b, c, 1);
+        assert_eq!(g.time(c), 6);
+        // Adding a later edge into `a` does not automatically propagate…
+        g.raise_base(a, 10);
+        assert_eq!(g.time(c), 6);
+        // …until recompute.
+        let latency = g.recompute().unwrap();
+        assert_eq!(g.time(b), 15);
+        assert_eq!(g.time(c), 16);
+        assert_eq!(latency, 16);
+    }
+
+    #[test]
+    fn overlay_edges_do_not_mutate() {
+        let mut g = EventGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(1);
+        g.add_edge(a, b, 1);
+        let overlay = vec![Edge::new(b, a, 0)]; // would create a cycle
+        assert!(g.times_with_overlay(&overlay).is_err());
+        // Graph itself is still acyclic and usable.
+        assert_eq!(g.recompute().unwrap(), 1);
+
+        let mut g2 = EventGraph::new();
+        let x = g2.add_node(0);
+        let y = g2.add_node(0);
+        let z = g2.add_node(0);
+        g2.add_edge(x, y, 2);
+        let times = g2
+            .times_with_overlay(&[Edge::new(y, z, 7)])
+            .unwrap();
+        assert_eq!(times, vec![0, 2, 9]);
+        // Overlay did not change stored times.
+        assert_eq!(g2.time(z), 0);
+    }
+
+    #[test]
+    fn multiple_predecessors_use_inline_then_spill() {
+        let mut g = EventGraph::new();
+        let a = g.add_node(3);
+        let b = g.add_node(4);
+        let c = g.add_node(0);
+        g.add_edge(a, c, 1);
+        g.add_edge(b, c, 1);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.recompute().unwrap(), 5);
+        assert_eq!(g.time(c), 5);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 2);
+    }
+
+    #[test]
+    fn max_time_of_empty_graph_is_zero() {
+        let g = EventGraph::new();
+        assert_eq!(g.max_time(), 0);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown target node")]
+    fn edge_to_missing_node_panics() {
+        let mut g = EventGraph::new();
+        let a = g.add_node(0);
+        g.add_edge(a, NodeId(5), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Longest-path analysis over simulation graphs.
+
+use crate::NodeId;
+use std::error::Error;
+use std::fmt;
+
+/// A timing constraint: the target node happens at least `weight` cycles
+/// after the source node.
+///
+/// Weights may be negative: sequential chaining of events inside a pipelined
+/// loop uses the (possibly negative) static-schedule distance between
+/// consecutive events so that a stall in one iteration propagates to the
+/// next iteration without over-constraining it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    /// Source node.
+    pub from: NodeId,
+    /// Target node.
+    pub to: NodeId,
+    /// Minimum cycle distance from source to target (may be negative).
+    pub weight: i64,
+}
+
+impl Edge {
+    /// Convenience constructor.
+    pub fn new(from: NodeId, to: NodeId, weight: i64) -> Self {
+        Edge { from, to, weight }
+    }
+}
+
+/// Returned when a simulation graph contains a dependency cycle, which would
+/// mean an event must happen strictly after itself. Well-formed simulations
+/// never produce one; encountering it indicates a simulator bug or a
+/// corrupted graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleError;
+
+impl fmt::Display for CycleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation graph contains a dependency cycle")
+    }
+}
+
+impl Error for CycleError {}
+
+/// Computes the longest-path time of every node.
+///
+/// `base[i]` is the intrinsic earliest cycle of node `i`; `edges` yields all
+/// timing constraints (including any overlay edges). The result satisfies
+/// `time[i] = max(base[i], max over incoming edges (time[from] + weight))`.
+///
+/// Runs Kahn's algorithm over the successor lists, so the complexity is
+/// `O(nodes + edges)`.
+///
+/// # Errors
+///
+/// Returns [`CycleError`] if the constraints are cyclic.
+pub fn longest_path(
+    base: &[u64],
+    edges: impl Iterator<Item = Edge> + Clone,
+) -> Result<Vec<u64>, CycleError> {
+    let n = base.len();
+    let mut successors: Vec<Vec<(u32, i64)>> = vec![Vec::new(); n];
+    let mut in_degree: Vec<u32> = vec![0; n];
+    for e in edges.clone() {
+        successors[e.from.index()].push((e.to.0, e.weight));
+        in_degree[e.to.index()] += 1;
+    }
+
+    let mut time = base.to_vec();
+    let mut ready: Vec<u32> = (0..n as u32).filter(|&i| in_degree[i as usize] == 0).collect();
+    let mut processed = 0usize;
+    while let Some(v) = ready.pop() {
+        processed += 1;
+        let tv = time[v as usize];
+        for &(w, weight) in &successors[v as usize] {
+            let cand = tv.saturating_add_signed(weight);
+            if cand > time[w as usize] {
+                time[w as usize] = cand;
+            }
+            in_degree[w as usize] -= 1;
+            if in_degree[w as usize] == 0 {
+                ready.push(w);
+            }
+        }
+    }
+    if processed != n {
+        return Err(CycleError);
+    }
+    Ok(time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn empty_graph_keeps_base_times() {
+        let times = longest_path(&[3, 1, 4], std::iter::empty()).unwrap();
+        assert_eq!(times, vec![3, 1, 4]);
+    }
+
+    #[test]
+    fn chain_accumulates_weights() {
+        let base = vec![0, 0, 0, 0];
+        let edges = vec![
+            Edge::new(n(0), n(1), 2),
+            Edge::new(n(1), n(2), 3),
+            Edge::new(n(2), n(3), 1),
+        ];
+        let times = longest_path(&base, edges.iter().copied()).unwrap();
+        assert_eq!(times, vec![0, 2, 5, 6]);
+    }
+
+    #[test]
+    fn base_times_act_as_lower_bounds() {
+        let base = vec![0, 10, 0];
+        let edges = vec![Edge::new(n(0), n(1), 1), Edge::new(n(1), n(2), 1)];
+        let times = longest_path(&base, edges.iter().copied()).unwrap();
+        assert_eq!(times, vec![0, 10, 11]);
+    }
+
+    #[test]
+    fn diamond_takes_the_longer_branch() {
+        let base = vec![0; 4];
+        let edges = vec![
+            Edge::new(n(0), n(1), 5),
+            Edge::new(n(0), n(2), 1),
+            Edge::new(n(1), n(3), 1),
+            Edge::new(n(2), n(3), 1),
+        ];
+        let times = longest_path(&base, edges.iter().copied()).unwrap();
+        assert_eq!(times[3], 6);
+    }
+
+    #[test]
+    fn cycle_is_detected() {
+        let base = vec![0, 0];
+        let edges = vec![Edge::new(n(0), n(1), 1), Edge::new(n(1), n(0), 1)];
+        assert_eq!(
+            longest_path(&base, edges.iter().copied()).unwrap_err(),
+            CycleError
+        );
+    }
+}

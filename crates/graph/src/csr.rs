@@ -1,0 +1,181 @@
+//! Compressed-sparse-row simulation graph, as used by LightningSimV2.
+//!
+//! The CSR form is built once, after trace generation has finished, and is
+//! then traversed for stall analysis. It cannot be extended afterwards —
+//! which is exactly the limitation §7.3.1 of the paper describes and the
+//! reason the OmniSim engine uses [`crate::EventGraph`] instead.
+
+use crate::algo::{longest_path, CycleError, Edge};
+use crate::NodeId;
+
+/// Accumulates nodes and edges before freezing them into a [`CsrGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct CsrGraphBuilder {
+    base: Vec<u64>,
+    edges: Vec<Edge>,
+}
+
+impl CsrGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with the given intrinsic earliest cycle.
+    pub fn add_node(&mut self, base: u64) -> NodeId {
+        let id = NodeId::from_index(self.base.len());
+        self.base.push(base);
+        id
+    }
+
+    /// Adds an edge: `to` happens at least `weight` cycles after `from`.
+    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: i64) {
+        self.edges.push(Edge::new(from, to, weight));
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// True if no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Freezes the builder into a compressed-sparse-row graph.
+    pub fn build(self) -> CsrGraph {
+        let n = self.base.len();
+        let mut counts = vec![0usize; n + 1];
+        for e in &self.edges {
+            counts[e.from.index() + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut col = vec![0u32; self.edges.len()];
+        let mut weight = vec![0i64; self.edges.len()];
+        let mut cursor = counts.clone();
+        for e in &self.edges {
+            let slot = cursor[e.from.index()];
+            col[slot] = e.to.0;
+            weight[slot] = e.weight;
+            cursor[e.from.index()] += 1;
+        }
+        CsrGraph {
+            base: self.base,
+            row_ptr: counts,
+            col,
+            weight,
+        }
+    }
+}
+
+/// A frozen simulation graph in compressed-sparse-row form.
+#[derive(Debug, Clone)]
+pub struct CsrGraph {
+    base: Vec<u64>,
+    row_ptr: Vec<usize>,
+    col: Vec<u32>,
+    weight: Vec<i64>,
+}
+
+impl CsrGraph {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// True if the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.base.is_empty()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.col.len()
+    }
+
+    /// The intrinsic earliest cycle of a node.
+    pub fn base(&self, node: NodeId) -> u64 {
+        self.base[node.index()]
+    }
+
+    /// Iterates over all edges.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + Clone + '_ {
+        (0..self.base.len()).flat_map(move |from| {
+            (self.row_ptr[from]..self.row_ptr[from + 1]).map(move |i| {
+                Edge::new(
+                    NodeId::from_index(from),
+                    NodeId(self.col[i]),
+                    self.weight[i],
+                )
+            })
+        })
+    }
+
+    /// Computes longest-path times with optional overlay edges (the
+    /// depth-dependent write-after-read constraints of Phase 2).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the combined edge set is cyclic.
+    pub fn times_with_overlay(&self, overlay: &[Edge]) -> Result<Vec<u64>, CycleError> {
+        longest_path(&self.base, self.edges().chain(overlay.iter().copied()))
+    }
+
+    /// Computes longest-path times for the graph alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the graph is cyclic.
+    pub fn times(&self) -> Result<Vec<u64>, CycleError> {
+        self.times_with_overlay(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_longest_path_matches_expectation() {
+        let mut b = CsrGraphBuilder::new();
+        let n0 = b.add_node(0);
+        let n1 = b.add_node(0);
+        let n2 = b.add_node(0);
+        let n3 = b.add_node(2);
+        b.add_edge(n0, n1, 3);
+        b.add_edge(n1, n2, 4);
+        b.add_edge(n0, n3, 1);
+        let g = b.build();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 3);
+        let t = g.times().unwrap();
+        assert_eq!(t, vec![0, 3, 7, 2]);
+    }
+
+    #[test]
+    fn overlay_edges_change_result_without_rebuilding() {
+        let mut b = CsrGraphBuilder::new();
+        let n0 = b.add_node(0);
+        let n1 = b.add_node(0);
+        let n2 = b.add_node(0);
+        b.add_edge(n0, n1, 1);
+        b.add_edge(n1, n2, 1);
+        let g = b.build();
+        let plain = g.times().unwrap();
+        assert_eq!(plain, vec![0, 1, 2]);
+        let with = g
+            .times_with_overlay(&[Edge::new(NodeId(0), NodeId(2), 10)])
+            .unwrap();
+        assert_eq!(with, vec![0, 1, 10]);
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = CsrGraphBuilder::new().build();
+        assert!(g.is_empty());
+        assert_eq!(g.times().unwrap(), Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,105 @@
+//! The [`SimBackend`] trait: the runtime-library interface of a simulator.
+//!
+//! Every hardware-visible action performed by an interpreted module is routed
+//! through this trait, exactly as the paper's runtime shared object receives
+//! every FIFO/AXI intrinsic call of the compiled design (§6.1). The methods
+//! mirror the request types of Table 1.
+
+use crate::error::SimError;
+use omnisim_ir::{ArrayId, AxiId, BlockId, FifoId, ModuleId, OutputId};
+use omnisim_ir::schedule::BlockSchedule;
+
+/// The interface between interpreted design code and a simulator.
+///
+/// Methods that correspond to scheduled operations receive the operation's
+/// cycle `offset` within the current basic block so that timing-aware
+/// backends can reconstruct exact hardware cycles; untimed backends are free
+/// to ignore it.
+///
+/// All methods have reasonable defaults where an action is purely
+/// informational, so simple backends only implement what they need.
+pub trait SimBackend {
+    /// A module entered a basic block (`TraceBlock` in Table 1).
+    ///
+    /// `back_edge` is true when the block is re-entered directly from itself
+    /// (a pipelined loop iteration), which timing-aware backends use to apply
+    /// the initiation interval instead of the full block latency.
+    fn block_start(
+        &mut self,
+        module: ModuleId,
+        block: BlockId,
+        schedule: BlockSchedule,
+        back_edge: bool,
+    ) -> Result<(), SimError>;
+
+    /// The module finished executing (returned from its entry block).
+    fn module_finish(&mut self, module: ModuleId) -> Result<(), SimError> {
+        let _ = module;
+        Ok(())
+    }
+
+    /// Blocking FIFO read: must return the popped value, stalling the
+    /// simulated module as long as necessary.
+    fn fifo_read(&mut self, fifo: FifoId, offset: u64) -> Result<i64, SimError>;
+
+    /// Blocking FIFO write.
+    fn fifo_write(&mut self, fifo: FifoId, value: i64, offset: u64) -> Result<(), SimError>;
+
+    /// Non-blocking FIFO read: `Some(value)` on success, `None` when the FIFO
+    /// is empty at the access cycle.
+    fn fifo_nb_read(&mut self, fifo: FifoId, offset: u64) -> Result<Option<i64>, SimError>;
+
+    /// Non-blocking FIFO write: `true` when the value was accepted, `false`
+    /// when the FIFO is full at the access cycle.
+    fn fifo_nb_write(&mut self, fifo: FifoId, value: i64, offset: u64)
+        -> Result<bool, SimError>;
+
+    /// FIFO `empty()` status check at the access cycle.
+    fn fifo_empty(&mut self, fifo: FifoId, offset: u64) -> Result<bool, SimError>;
+
+    /// FIFO `full()` status check at the access cycle.
+    fn fifo_full(&mut self, fifo: FifoId, offset: u64) -> Result<bool, SimError>;
+
+    /// Global array load.
+    fn array_load(&mut self, array: ArrayId, index: i64) -> Result<i64, SimError>;
+
+    /// Global array store.
+    fn array_store(&mut self, array: ArrayId, index: i64, value: i64) -> Result<(), SimError>;
+
+    /// AXI read-burst request (`AxiReadReq`).
+    fn axi_read_req(&mut self, bus: AxiId, addr: i64, len: i64, offset: u64)
+        -> Result<(), SimError>;
+
+    /// Consume one AXI read beat (`AxiRead`).
+    fn axi_read(&mut self, bus: AxiId, offset: u64) -> Result<i64, SimError>;
+
+    /// AXI write-burst request (`AxiWriteReq`).
+    fn axi_write_req(
+        &mut self,
+        bus: AxiId,
+        addr: i64,
+        len: i64,
+        offset: u64,
+    ) -> Result<(), SimError>;
+
+    /// Send one AXI write beat (`AxiWrite`).
+    fn axi_write(&mut self, bus: AxiId, value: i64, offset: u64) -> Result<(), SimError>;
+
+    /// Wait for the AXI write response (`AxiWriteResp`).
+    fn axi_write_resp(&mut self, bus: AxiId, offset: u64) -> Result<(), SimError>;
+
+    /// Record a testbench-visible output value.
+    fn output(&mut self, output: OutputId, value: i64) -> Result<(), SimError>;
+
+    /// A call to another function module is about to begin (`StartTask`-like).
+    fn call_enter(&mut self, callee: ModuleId, offset: u64) -> Result<(), SimError> {
+        let _ = (callee, offset);
+        Ok(())
+    }
+
+    /// A call to another function module returned.
+    fn call_exit(&mut self, callee: ModuleId) -> Result<(), SimError> {
+        let _ = callee;
+        Ok(())
+    }
+}

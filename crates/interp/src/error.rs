@@ -1,0 +1,100 @@
+//! Runtime errors raised while executing a design.
+
+use omnisim_ir::{ArrayId, FifoId, ModuleId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while interpreting a module or by a simulation backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An array access fell outside the array bounds.
+    ///
+    /// This is the IR-level analogue of the segmentation faults the paper's
+    /// C-simulation column reports in Table 3 when producers run off the end
+    /// of their input arrays.
+    ArrayOutOfBounds {
+        /// The array that was accessed.
+        array: ArrayId,
+        /// The out-of-range index.
+        index: i64,
+        /// The array length.
+        len: usize,
+    },
+    /// The interpreter exhausted its fuel budget (runaway loop protection).
+    OutOfFuel {
+        /// The module that was executing when fuel ran out.
+        module: ModuleId,
+    },
+    /// All dataflow tasks are blocked on FIFO accesses that can never
+    /// complete: a true design-level deadlock (§7.1 of the paper).
+    Deadlock {
+        /// Human-readable description of the blocked tasks.
+        detail: String,
+    },
+    /// An AXI data beat was issued without a matching outstanding request.
+    AxiProtocolViolation {
+        /// Description of the violation.
+        detail: String,
+    },
+    /// A FIFO read was attempted in a context where no data can ever arrive
+    /// (e.g. sequential C simulation reading an empty stream).
+    ReadWhileEmpty {
+        /// The FIFO that was read.
+        fifo: FifoId,
+    },
+    /// The simulation was aborted by the backend (e.g. the engine is shutting
+    /// down worker threads after an error elsewhere).
+    Aborted {
+        /// Reason for the abort.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::ArrayOutOfBounds { array, index, len } => write!(
+                f,
+                "array {array} index {index} out of bounds (length {len})"
+            ),
+            SimError::OutOfFuel { module } => {
+                write!(f, "fuel exhausted while executing module {module}")
+            }
+            SimError::Deadlock { detail } => write!(f, "design deadlock detected: {detail}"),
+            SimError::AxiProtocolViolation { detail } => {
+                write!(f, "axi protocol violation: {detail}")
+            }
+            SimError::ReadWhileEmpty { fifo } => {
+                write!(f, "fifo {fifo} read while empty and no producer can run")
+            }
+            SimError::Aborted { reason } => write!(f, "simulation aborted: {reason}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_key_details() {
+        let e = SimError::ArrayOutOfBounds {
+            array: ArrayId(2),
+            index: 99,
+            len: 10,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("a2"));
+        assert!(msg.contains("99"));
+        assert!(msg.contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + Error + 'static>() {}
+        assert_send_sync::<SimError>();
+    }
+}

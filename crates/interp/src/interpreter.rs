@@ -1,0 +1,548 @@
+//! The IR interpreter: executes function modules op by op, forwarding every
+//! hardware-visible action to a [`SimBackend`].
+
+use crate::backend::SimBackend;
+use crate::error::SimError;
+use omnisim_ir::{BlockId, Design, Expr, ModuleId, Op, Terminator, VarId};
+
+/// Default fuel budget (number of executed operations) before the interpreter
+/// aborts with [`SimError::OutOfFuel`]. Generous enough for the largest
+/// benchmark designs while still catching runaway infinite loops.
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+/// Result of executing one module to completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// The value returned by the module's `Return` terminator, if any.
+    pub return_value: Option<i64>,
+    /// Number of operations executed (including called modules).
+    pub ops_executed: u64,
+}
+
+/// Interprets function modules of a [`Design`] against a [`SimBackend`].
+///
+/// The interpreter is deliberately value-only: all state that hardware would
+/// hold outside a module's registers (FIFO contents, array memory, AXI
+/// buffers, outputs) lives in the backend, so different simulators can give
+/// the same design different semantics (infinite FIFOs for C simulation,
+/// hardware-timed FIFOs for OmniSim, …).
+#[derive(Debug)]
+pub struct Interpreter<'d> {
+    design: &'d Design,
+    fuel: u64,
+    initial_fuel: u64,
+}
+
+impl<'d> Interpreter<'d> {
+    /// Creates an interpreter with the default fuel budget.
+    pub fn new(design: &'d Design) -> Self {
+        Self::with_fuel(design, DEFAULT_FUEL)
+    }
+
+    /// Creates an interpreter with an explicit fuel budget.
+    pub fn with_fuel(design: &'d Design, fuel: u64) -> Self {
+        Interpreter {
+            design,
+            fuel,
+            initial_fuel: fuel,
+        }
+    }
+
+    /// The design being interpreted.
+    pub fn design(&self) -> &'d Design {
+        self.design
+    }
+
+    /// Remaining fuel.
+    pub fn remaining_fuel(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Fuel consumed so far (total operations executed).
+    pub fn fuel_used(&self) -> u64 {
+        self.initial_fuel - self.fuel
+    }
+
+    /// Executes a function module to completion.
+    ///
+    /// `args` are bound to the module's lowest-numbered variables; remaining
+    /// variables start at zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns any error raised by the backend, [`SimError::OutOfFuel`] if
+    /// the fuel budget is exhausted, or [`SimError::Aborted`] if `module`
+    /// refers to a dataflow region (regions are driven by the simulators
+    /// themselves, not the interpreter).
+    pub fn run_module<B: SimBackend>(
+        &mut self,
+        module: ModuleId,
+        args: &[i64],
+        backend: &mut B,
+    ) -> Result<ExecOutcome, SimError> {
+        let start_fuel = self.fuel;
+        let rv = self.exec_function(module, args, backend)?;
+        Ok(ExecOutcome {
+            return_value: rv,
+            ops_executed: start_fuel - self.fuel,
+        })
+    }
+
+    fn exec_function<B: SimBackend>(
+        &mut self,
+        mid: ModuleId,
+        args: &[i64],
+        backend: &mut B,
+    ) -> Result<Option<i64>, SimError> {
+        let module = self.design.module(mid);
+        if module.is_dataflow() {
+            return Err(SimError::Aborted {
+                reason: format!(
+                    "module {} is a dataflow region; regions are executed by the simulator, not the interpreter",
+                    module.name
+                ),
+            });
+        }
+        let mut vars = vec![0i64; module.num_vars as usize];
+        for (slot, value) in vars.iter_mut().zip(args) {
+            *slot = *value;
+        }
+
+        let mut current = BlockId(0);
+        let mut prev: Option<BlockId> = None;
+        loop {
+            let block = &module.blocks[current.index()];
+            backend.block_start(mid, current, block.schedule, prev == Some(current))?;
+            for sop in &block.ops {
+                self.consume_fuel(mid)?;
+                self.exec_op(mid, &sop.op, sop.offset, &mut vars, backend)?;
+            }
+            match &block.terminator {
+                Terminator::Jump(next) => {
+                    prev = Some(current);
+                    current = *next;
+                }
+                Terminator::Branch {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    let taken = eval(cond, &vars) != 0;
+                    prev = Some(current);
+                    current = if taken { *if_true } else { *if_false };
+                }
+                Terminator::Return(value) => {
+                    let rv = value.as_ref().map(|e| eval(e, &vars));
+                    backend.module_finish(mid)?;
+                    return Ok(rv);
+                }
+            }
+        }
+    }
+
+    fn consume_fuel(&mut self, module: ModuleId) -> Result<(), SimError> {
+        if self.fuel == 0 {
+            return Err(SimError::OutOfFuel { module });
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn exec_op<B: SimBackend>(
+        &mut self,
+        mid: ModuleId,
+        op: &Op,
+        offset: u64,
+        vars: &mut [i64],
+        backend: &mut B,
+    ) -> Result<(), SimError> {
+        match op {
+            Op::Assign { dst, expr } => {
+                vars[dst.index()] = eval(expr, vars);
+            }
+            Op::ArrayLoad { dst, array, index } => {
+                let idx = eval(index, vars);
+                vars[dst.index()] = backend.array_load(*array, idx)?;
+            }
+            Op::ArrayStore {
+                array,
+                index,
+                value,
+            } => {
+                let idx = eval(index, vars);
+                let val = eval(value, vars);
+                backend.array_store(*array, idx, val)?;
+            }
+            Op::FifoWrite { fifo, value } => {
+                let val = eval(value, vars);
+                backend.fifo_write(*fifo, val, offset)?;
+            }
+            Op::FifoRead { fifo, dst } => {
+                vars[dst.index()] = backend.fifo_read(*fifo, offset)?;
+            }
+            Op::FifoNbWrite {
+                fifo,
+                value,
+                success,
+            } => {
+                let val = eval(value, vars);
+                let ok = backend.fifo_nb_write(*fifo, val, offset)?;
+                if let Some(s) = success {
+                    vars[s.index()] = i64::from(ok);
+                }
+            }
+            Op::FifoNbRead { fifo, dst, success } => {
+                let result = backend.fifo_nb_read(*fifo, offset)?;
+                match result {
+                    Some(v) => {
+                        vars[dst.index()] = v;
+                        if let Some(s) = success {
+                            vars[s.index()] = 1;
+                        }
+                    }
+                    None => {
+                        if let Some(s) = success {
+                            vars[s.index()] = 0;
+                        }
+                    }
+                }
+            }
+            Op::FifoEmpty { fifo, dst } => {
+                // Checks whose result is unused were elided by the
+                // dead-check pass (§7.3.2) and cost nothing to simulate.
+                if let Some(d) = dst {
+                    vars[d.index()] = i64::from(backend.fifo_empty(*fifo, offset)?);
+                }
+            }
+            Op::FifoFull { fifo, dst } => {
+                if let Some(d) = dst {
+                    vars[d.index()] = i64::from(backend.fifo_full(*fifo, offset)?);
+                }
+            }
+            Op::AxiReadReq { bus, addr, len } => {
+                backend.axi_read_req(*bus, eval(addr, vars), eval(len, vars), offset)?;
+            }
+            Op::AxiRead { bus, dst } => {
+                vars[dst.index()] = backend.axi_read(*bus, offset)?;
+            }
+            Op::AxiWriteReq { bus, addr, len } => {
+                backend.axi_write_req(*bus, eval(addr, vars), eval(len, vars), offset)?;
+            }
+            Op::AxiWrite { bus, value } => {
+                backend.axi_write(*bus, eval(value, vars), offset)?;
+            }
+            Op::AxiWriteResp { bus } => {
+                backend.axi_write_resp(*bus, offset)?;
+            }
+            Op::Call { callee, args, dst } => {
+                let arg_values: Vec<i64> = args.iter().map(|a| eval(a, vars)).collect();
+                backend.call_enter(*callee, offset)?;
+                let rv = self.exec_function(*callee, &arg_values, backend)?;
+                backend.call_exit(*callee)?;
+                if let Some(d) = dst {
+                    vars[d.index()] = rv.unwrap_or(0);
+                }
+            }
+            Op::Output { output, value } => {
+                backend.output(*output, eval(value, vars))?;
+            }
+        }
+        let _ = mid;
+        Ok(())
+    }
+}
+
+fn eval(expr: &Expr, vars: &[i64]) -> i64 {
+    expr.eval(&|v: VarId| vars[v.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_ir::schedule::BlockSchedule;
+    use omnisim_ir::{ArrayId, AxiId, DesignBuilder, FifoId, OutputId};
+    use std::collections::{BTreeMap, VecDeque};
+
+    /// A minimal untimed backend with unbounded FIFOs, used only for
+    /// interpreter unit tests.
+    #[derive(Debug, Default)]
+    struct TestBackend {
+        arrays: Vec<Vec<i64>>,
+        fifos: Vec<VecDeque<i64>>,
+        outputs: BTreeMap<OutputId, i64>,
+        blocks_seen: usize,
+    }
+
+    impl TestBackend {
+        fn for_design(design: &Design) -> Self {
+            TestBackend {
+                arrays: design.arrays.iter().map(|a| a.init.clone()).collect(),
+                fifos: vec![VecDeque::new(); design.fifos.len()],
+                outputs: BTreeMap::new(),
+                blocks_seen: 0,
+            }
+        }
+    }
+
+    impl SimBackend for TestBackend {
+        fn block_start(
+            &mut self,
+            _module: ModuleId,
+            _block: BlockId,
+            _schedule: BlockSchedule,
+            _back_edge: bool,
+        ) -> Result<(), SimError> {
+            self.blocks_seen += 1;
+            Ok(())
+        }
+
+        fn fifo_read(&mut self, fifo: FifoId, _offset: u64) -> Result<i64, SimError> {
+            self.fifos[fifo.index()]
+                .pop_front()
+                .ok_or(SimError::ReadWhileEmpty { fifo })
+        }
+
+        fn fifo_write(&mut self, fifo: FifoId, value: i64, _offset: u64) -> Result<(), SimError> {
+            self.fifos[fifo.index()].push_back(value);
+            Ok(())
+        }
+
+        fn fifo_nb_read(&mut self, fifo: FifoId, _offset: u64) -> Result<Option<i64>, SimError> {
+            Ok(self.fifos[fifo.index()].pop_front())
+        }
+
+        fn fifo_nb_write(
+            &mut self,
+            fifo: FifoId,
+            value: i64,
+            _offset: u64,
+        ) -> Result<bool, SimError> {
+            self.fifos[fifo.index()].push_back(value);
+            Ok(true)
+        }
+
+        fn fifo_empty(&mut self, fifo: FifoId, _offset: u64) -> Result<bool, SimError> {
+            Ok(self.fifos[fifo.index()].is_empty())
+        }
+
+        fn fifo_full(&mut self, _fifo: FifoId, _offset: u64) -> Result<bool, SimError> {
+            Ok(false)
+        }
+
+        fn array_load(&mut self, array: ArrayId, index: i64) -> Result<i64, SimError> {
+            let data = &self.arrays[array.index()];
+            usize::try_from(index)
+                .ok()
+                .and_then(|i| data.get(i).copied())
+                .ok_or(SimError::ArrayOutOfBounds {
+                    array,
+                    index,
+                    len: data.len(),
+                })
+        }
+
+        fn array_store(&mut self, array: ArrayId, index: i64, value: i64) -> Result<(), SimError> {
+            let data = &mut self.arrays[array.index()];
+            let len = data.len();
+            let slot = usize::try_from(index)
+                .ok()
+                .and_then(|i| data.get_mut(i))
+                .ok_or(SimError::ArrayOutOfBounds {
+                    array,
+                    index,
+                    len,
+                })?;
+            *slot = value;
+            Ok(())
+        }
+
+        fn axi_read_req(
+            &mut self,
+            _bus: AxiId,
+            _addr: i64,
+            _len: i64,
+            _offset: u64,
+        ) -> Result<(), SimError> {
+            Ok(())
+        }
+
+        fn axi_read(&mut self, _bus: AxiId, _offset: u64) -> Result<i64, SimError> {
+            Ok(0)
+        }
+
+        fn axi_write_req(
+            &mut self,
+            _bus: AxiId,
+            _addr: i64,
+            _len: i64,
+            _offset: u64,
+        ) -> Result<(), SimError> {
+            Ok(())
+        }
+
+        fn axi_write(&mut self, _bus: AxiId, _value: i64, _offset: u64) -> Result<(), SimError> {
+            Ok(())
+        }
+
+        fn axi_write_resp(&mut self, _bus: AxiId, _offset: u64) -> Result<(), SimError> {
+            Ok(())
+        }
+
+        fn output(&mut self, output: OutputId, value: i64) -> Result<(), SimError> {
+            self.outputs.insert(output, value);
+            Ok(())
+        }
+    }
+
+    fn producer_consumer(n: i64) -> Design {
+        let mut d = DesignBuilder::new("pc");
+        let data = d.array("data", (1..=n).collect::<Vec<i64>>());
+        let out = d.output("sum");
+        let fifo = d.fifo("q", 2);
+        let p = d.function("producer", |m| {
+            m.counted_loop("i", n, 1, |b| {
+                let i = b.var_expr("i");
+                let v = b.array_load(data, i);
+                b.fifo_write(fifo, Expr::var(v));
+            });
+        });
+        let c = d.function("consumer", |m| {
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(0));
+            });
+            m.counted_loop("i", n, 1, |b| {
+                let v = b.fifo_read(fifo);
+                b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            });
+            m.exit(|b| {
+                b.output(out, Expr::var(acc));
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        d.build().unwrap()
+    }
+
+    #[test]
+    fn sequential_producer_then_consumer_computes_sum() {
+        let design = producer_consumer(10);
+        let mut backend = TestBackend::for_design(&design);
+        let mut interp = Interpreter::new(&design);
+        for task in design.dataflow_tasks() {
+            interp.run_module(task, &[], &mut backend).unwrap();
+        }
+        assert_eq!(backend.outputs[&OutputId(0)], 55);
+        assert!(backend.blocks_seen > 10);
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_reported() {
+        let mut d = DesignBuilder::new("spin");
+        let f = d.fifo("q", 1);
+        let spin = d.function("spin", |m| {
+            m.loop_block(1, |b| {
+                b.fifo_empty_unused(f);
+                let t = b.tmp();
+                b.assign(t, Expr::imm(1));
+            });
+        });
+        let other = d.function("other", |m| {
+            m.entry(|b| {
+                b.fifo_write(f, Expr::imm(1));
+            });
+        });
+        d.dataflow_top("top", [spin, other]);
+        let design = d.build().unwrap();
+        let mut backend = TestBackend::for_design(&design);
+        let mut interp = Interpreter::with_fuel(&design, 1000);
+        let err = interp
+            .run_module(design.dataflow_tasks()[0], &[], &mut backend)
+            .unwrap_err();
+        assert!(matches!(err, SimError::OutOfFuel { .. }));
+    }
+
+    #[test]
+    fn array_out_of_bounds_is_reported() {
+        let mut d = DesignBuilder::new("oob");
+        let data = d.array("data", vec![1, 2, 3]);
+        let out = d.output("x");
+        d.function_top("f", |m| {
+            m.entry(|b| {
+                let v = b.array_load(data, Expr::imm(10));
+                b.output(out, Expr::var(v));
+            });
+        });
+        let design = d.build().unwrap();
+        let mut backend = TestBackend::for_design(&design);
+        let mut interp = Interpreter::new(&design);
+        let err = interp.run_module(design.top, &[], &mut backend).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::ArrayOutOfBounds {
+                array: ArrayId(0),
+                index: 10,
+                len: 3
+            }
+        );
+    }
+
+    #[test]
+    fn calls_pass_arguments_and_return_values() {
+        let mut d = DesignBuilder::new("call");
+        let out = d.output("r");
+        let helper = d.function("double", |m| {
+            let x = m.var("x");
+            m.entry(|b| {
+                b.ret_val(Expr::var(x).mul(Expr::imm(2)));
+            });
+        });
+        d.function_top("main", |m| {
+            m.entry(|b| {
+                let r = b.call(helper, vec![Expr::imm(21)]);
+                b.output(out, Expr::var(r));
+            });
+        });
+        let design = d.build().unwrap();
+        let mut backend = TestBackend::for_design(&design);
+        let mut interp = Interpreter::new(&design);
+        let outcome = interp.run_module(design.top, &[], &mut backend).unwrap();
+        assert_eq!(backend.outputs[&OutputId(0)], 42);
+        assert!(outcome.ops_executed >= 2);
+    }
+
+    #[test]
+    fn nb_read_on_empty_fifo_sets_success_to_zero() {
+        let mut d = DesignBuilder::new("nb");
+        let f = d.fifo("q", 1);
+        let out_ok = d.output("ok");
+        let reader = d.function("reader", |m| {
+            m.entry(|b| {
+                let (_v, ok) = b.fifo_nb_read(f);
+                b.output(out_ok, Expr::var(ok));
+            });
+        });
+        let writer = d.function("writer", |m| {
+            m.entry(|b| {
+                b.fifo_nb_write_ignored(f, Expr::imm(5));
+            });
+        });
+        d.dataflow_top("top", [reader, writer]);
+        let design = d.build().unwrap();
+        let mut backend = TestBackend::for_design(&design);
+        let mut interp = Interpreter::new(&design);
+        // Run the reader first: FIFO is empty, so success must be zero.
+        interp
+            .run_module(design.dataflow_tasks()[0], &[], &mut backend)
+            .unwrap();
+        assert_eq!(backend.outputs[&OutputId(0)], 0);
+    }
+
+    #[test]
+    fn dataflow_region_is_rejected_by_the_interpreter() {
+        let design = producer_consumer(2);
+        let mut backend = TestBackend::for_design(&design);
+        let mut interp = Interpreter::new(&design);
+        let err = interp.run_module(design.top, &[], &mut backend).unwrap_err();
+        assert!(matches!(err, SimError::Aborted { .. }));
+    }
+}

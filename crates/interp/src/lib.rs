@@ -1,0 +1,34 @@
+//! # omnisim-interp
+//!
+//! Executes `omnisim-ir` modules against a pluggable [`SimBackend`].
+//!
+//! In the paper's artefact, the HLS design's LLVM IR is compiled to native
+//! code and linked against a runtime shared library that implements FIFO and
+//! AXI intrinsics and collects traces (§6.1). This crate plays both roles for
+//! our IR: the [`Interpreter`] walks a module's scheduled basic blocks and
+//! forwards every hardware-visible action to a [`SimBackend`] implementation.
+//!
+//! Backends provided elsewhere in the workspace:
+//!
+//! * `omnisim-csim` — infinite FIFOs, no timing (naive C simulation),
+//! * `omnisim-lightning` — trace recording for the decoupled baseline,
+//! * `omnisim` — the per-thread runtime of the OmniSim engine, which turns
+//!   backend calls into requests/queries for the Perf Sim thread.
+//!
+//! The [`Timeline`] helper implements the shared timing-model contract
+//! (block entry/exit, pipelined loop initiation intervals, stall accounting)
+//! so that all timing-aware simulators agree on the same cycle arithmetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backend;
+pub mod error;
+pub mod interpreter;
+pub mod timeline;
+
+pub use backend::SimBackend;
+pub use error::SimError;
+pub use interpreter::{ExecOutcome, Interpreter, DEFAULT_FUEL};
+pub use timeline::{ModuleClock, Timeline};

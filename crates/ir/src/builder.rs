@@ -1,0 +1,898 @@
+//! Fluent builders for constructing [`Design`]s in Rust code.
+//!
+//! The builders play the role of the HLS front end: benchmark designs (see
+//! the `omnisim-designs` crate) are authored directly against this API, which
+//! produces the same artefact a Vitis HLS front-end compilation would hand to
+//! OmniSim — scheduled basic blocks connected by FIFO channels.
+//!
+//! Two levels of API are provided:
+//!
+//! * a *sequential* API ([`ModuleBuilder::entry`], [`ModuleBuilder::seq`],
+//!   [`ModuleBuilder::counted_loop`], [`ModuleBuilder::loop_block`],
+//!   [`ModuleBuilder::exit`]) that chains blocks in program order, and
+//! * a *low-level* API ([`ModuleBuilder::new_block`],
+//!   [`ModuleBuilder::fill_block`]) for arbitrary control-flow graphs.
+
+use crate::design::{ArraySpec, AxiPortSpec, Design, FifoSpec, Module, ModuleKind};
+use crate::error::IrError;
+use crate::expr::Expr;
+use crate::ids::{ArrayId, AxiId, BlockId, FifoId, ModuleId, OutputId, VarId};
+use crate::op::{Block, Op, ScheduledOp, Terminator};
+use crate::schedule::BlockSchedule;
+use crate::validate;
+use std::collections::HashMap;
+
+/// Builds a [`Design`] incrementally.
+#[derive(Debug)]
+pub struct DesignBuilder {
+    name: String,
+    modules: Vec<Module>,
+    fifos: Vec<FifoSpec>,
+    arrays: Vec<ArraySpec>,
+    axi_ports: Vec<AxiPortSpec>,
+    outputs: Vec<String>,
+    top: Option<ModuleId>,
+}
+
+impl DesignBuilder {
+    /// Starts a new design with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DesignBuilder {
+            name: name.into(),
+            modules: Vec::new(),
+            fifos: Vec::new(),
+            arrays: Vec::new(),
+            axi_ports: Vec::new(),
+            outputs: Vec::new(),
+            top: None,
+        }
+    }
+
+    /// Declares a FIFO channel with the given buffer depth.
+    pub fn fifo(&mut self, name: impl Into<String>, depth: usize) -> FifoId {
+        let id = FifoId::from_index(self.fifos.len());
+        self.fifos.push(FifoSpec {
+            name: name.into(),
+            depth,
+        });
+        id
+    }
+
+    /// Declares a global array initialised with `init`.
+    pub fn array(&mut self, name: impl Into<String>, init: impl Into<Vec<i64>>) -> ArrayId {
+        let id = ArrayId::from_index(self.arrays.len());
+        self.arrays.push(ArraySpec {
+            name: name.into(),
+            init: init.into(),
+        });
+        id
+    }
+
+    /// Declares a zero-initialised global array of the given length.
+    pub fn zero_array(&mut self, name: impl Into<String>, len: usize) -> ArrayId {
+        self.array(name, vec![0; len])
+    }
+
+    /// Declares an AXI master port backed by `array` with the given request
+    /// latency.
+    pub fn axi_port(
+        &mut self,
+        name: impl Into<String>,
+        array: ArrayId,
+        request_latency: u64,
+    ) -> AxiId {
+        let id = AxiId::from_index(self.axi_ports.len());
+        self.axi_ports.push(AxiPortSpec {
+            name: name.into(),
+            array,
+            request_latency,
+        });
+        id
+    }
+
+    /// Declares a testbench-visible scalar output.
+    pub fn output(&mut self, name: impl Into<String>) -> OutputId {
+        let id = OutputId::from_index(self.outputs.len());
+        self.outputs.push(name.into());
+        id
+    }
+
+    /// Defines a function module by running `f` against a [`ModuleBuilder`].
+    pub fn function(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut ModuleBuilder),
+    ) -> ModuleId {
+        let mut mb = ModuleBuilder::new(name.into());
+        f(&mut mb);
+        let module = mb.finish();
+        let id = ModuleId::from_index(self.modules.len());
+        self.modules.push(module);
+        id
+    }
+
+    /// Defines a function module and marks it as the design top.
+    pub fn function_top(
+        &mut self,
+        name: impl Into<String>,
+        f: impl FnOnce(&mut ModuleBuilder),
+    ) -> ModuleId {
+        let id = self.function(name, f);
+        self.top = Some(id);
+        id
+    }
+
+    /// Defines a dataflow region whose children run concurrently and marks it
+    /// as the design top.
+    pub fn dataflow_top(
+        &mut self,
+        name: impl Into<String>,
+        children: impl IntoIterator<Item = ModuleId>,
+    ) -> ModuleId {
+        let id = ModuleId::from_index(self.modules.len());
+        self.modules.push(Module {
+            name: name.into(),
+            kind: ModuleKind::Dataflow {
+                children: children.into_iter().collect(),
+            },
+            blocks: Vec::new(),
+            num_vars: 0,
+            var_names: Vec::new(),
+        });
+        self.top = Some(id);
+        id
+    }
+
+    /// Finishes the design, running full validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IrError`] describing the first structural problem found
+    /// (dangling references, non point-to-point FIFOs, bad schedules, …).
+    pub fn build(self) -> Result<Design, IrError> {
+        let design = Design {
+            name: self.name,
+            modules: self.modules,
+            fifos: self.fifos,
+            arrays: self.arrays,
+            axi_ports: self.axi_ports,
+            outputs: self.outputs,
+            top: self.top.ok_or(IrError::MissingTop)?,
+        };
+        validate::validate(&design)?;
+        Ok(design)
+    }
+
+    /// Finishes the design without validation. Intended for tests that need
+    /// to construct deliberately malformed designs.
+    pub fn build_unchecked(self) -> Design {
+        Design {
+            name: self.name,
+            modules: self.modules,
+            fifos: self.fifos,
+            arrays: self.arrays,
+            axi_ports: self.axi_ports,
+            outputs: self.outputs,
+            top: self.top.unwrap_or(ModuleId(0)),
+        }
+    }
+}
+
+/// Which terminator slot of a block still needs to be pointed at the next
+/// sequential segment.
+#[derive(Debug, Clone, Copy)]
+enum PendingExit {
+    /// The block has no explicit terminator yet; it falls through.
+    FallThrough(BlockId),
+    /// The false edge of the block's branch terminator is unresolved.
+    BranchFalse(BlockId),
+    /// The true edge of the block's branch terminator is unresolved.
+    BranchTrue(BlockId),
+}
+
+/// Builds the basic blocks of one function module.
+#[derive(Debug)]
+pub struct ModuleBuilder {
+    name: String,
+    blocks: Vec<Block>,
+    vars: Vec<String>,
+    var_lookup: HashMap<String, VarId>,
+    pending: Vec<PendingExit>,
+    tmp_counter: u32,
+}
+
+impl ModuleBuilder {
+    fn new(name: String) -> Self {
+        ModuleBuilder {
+            name,
+            blocks: Vec::new(),
+            vars: Vec::new(),
+            var_lookup: HashMap::new(),
+            pending: Vec::new(),
+            tmp_counter: 0,
+        }
+    }
+
+    /// Returns the variable named `name`, creating it on first use.
+    pub fn var(&mut self, name: impl AsRef<str>) -> VarId {
+        let name = name.as_ref();
+        if let Some(&id) = self.var_lookup.get(name) {
+            return id;
+        }
+        let id = VarId::from_index(self.vars.len());
+        self.vars.push(name.to_owned());
+        self.var_lookup.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Shorthand for `Expr::var(self.var(name))`.
+    pub fn var_expr(&mut self, name: impl AsRef<str>) -> Expr {
+        Expr::var(self.var(name))
+    }
+
+    /// Allocates a fresh anonymous temporary variable.
+    pub fn tmp(&mut self) -> VarId {
+        self.tmp_counter += 1;
+        self.var(format!("%t{}", self.tmp_counter))
+    }
+
+    /// Allocates an empty placeholder block and returns its identifier.
+    /// Use [`ModuleBuilder::fill_block`] to populate it.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(Block::placeholder());
+        id
+    }
+
+    /// Populates a block previously allocated with [`ModuleBuilder::new_block`].
+    ///
+    /// This low-level entry point does not participate in sequential
+    /// chaining: the closure must set an explicit terminator (the default is
+    /// `Return(None)`).
+    pub fn fill_block(&mut self, id: BlockId, f: impl FnOnce(&mut BlockBuilder)) {
+        let mut bb = BlockBuilder::new(self, Some(id));
+        f(&mut bb);
+        let (block, _) = bb.finish();
+        self.blocks[id.index()] = block;
+    }
+
+    fn patch_pending_to(&mut self, target: BlockId) {
+        let pending = std::mem::take(&mut self.pending);
+        for exit in pending {
+            match exit {
+                PendingExit::FallThrough(b) => {
+                    self.blocks[b.index()].terminator = Terminator::Jump(target);
+                }
+                PendingExit::BranchFalse(b) => {
+                    if let Terminator::Branch { if_false, .. } =
+                        &mut self.blocks[b.index()].terminator
+                    {
+                        *if_false = target;
+                    }
+                }
+                PendingExit::BranchTrue(b) => {
+                    if let Terminator::Branch { if_true, .. } =
+                        &mut self.blocks[b.index()].terminator
+                    {
+                        *if_true = target;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Appends a sequential block. If a previous sequential segment exists,
+    /// its exit is linked to this block.
+    pub fn seq(&mut self, f: impl FnOnce(&mut BlockBuilder)) -> BlockId {
+        let id = self.new_block();
+        let mut bb = BlockBuilder::new(self, Some(id));
+        f(&mut bb);
+        let (block, explicit_term) = bb.finish();
+        self.blocks[id.index()] = block;
+        self.patch_pending_to(id);
+        if !explicit_term {
+            self.pending.push(PendingExit::FallThrough(id));
+        }
+        id
+    }
+
+    /// Alias of [`ModuleBuilder::seq`] naming the first block of a module.
+    pub fn entry(&mut self, f: impl FnOnce(&mut BlockBuilder)) -> BlockId {
+        self.seq(f)
+    }
+
+    /// Alias of [`ModuleBuilder::seq`] naming the last block of a module.
+    pub fn exit(&mut self, f: impl FnOnce(&mut BlockBuilder)) -> BlockId {
+        self.seq(f)
+    }
+
+    /// Appends a counted loop `for (name = 0; name < trip_count; name++)`
+    /// whose single-block body is pipelined with initiation interval `ii`.
+    ///
+    /// The body closure runs once to emit the loop-body operations; the
+    /// builder appends the induction-variable increment and the back edge.
+    pub fn counted_loop(
+        &mut self,
+        name: impl AsRef<str>,
+        trip_count: i64,
+        ii: u64,
+        f: impl FnOnce(&mut BlockBuilder),
+    ) -> BlockId {
+        let ivar = self.var(name);
+        // Initialise the induction variable in a small preheader block.
+        self.seq(|b| {
+            b.assign(ivar, Expr::imm(0));
+        });
+
+        let id = self.new_block();
+        let mut bb = BlockBuilder::new(self, Some(id));
+        f(&mut bb);
+        bb.assign(ivar, Expr::var(ivar).add(Expr::imm(1)));
+        let (mut block, _) = bb.finish();
+        let latency = block.schedule.latency;
+        block.schedule = if ii < latency {
+            BlockSchedule::pipelined(latency, ii)
+        } else {
+            BlockSchedule::new(latency.max(ii))
+        };
+        block.terminator = Terminator::Branch {
+            cond: Expr::var(ivar).lt(Expr::imm(trip_count)),
+            if_true: id,
+            if_false: id, // patched when the next segment is appended
+        };
+        self.blocks[id.index()] = block;
+        self.patch_pending_to(id);
+        self.pending.push(PendingExit::BranchFalse(id));
+        id
+    }
+
+    /// Appends a loop block that repeats until [`BlockBuilder::exit_loop_if`]
+    /// fires, with initiation interval `ii`. If no exit condition is given the
+    /// loop is infinite (`while (true)` with no break).
+    pub fn loop_block(&mut self, ii: u64, f: impl FnOnce(&mut BlockBuilder)) -> BlockId {
+        let id = self.new_block();
+        let mut bb = BlockBuilder::new(self, Some(id));
+        f(&mut bb);
+        let break_cond = bb.break_cond.take();
+        let (mut block, _) = bb.finish();
+        let latency = block.schedule.latency;
+        block.schedule = if ii < latency {
+            BlockSchedule::pipelined(latency, ii)
+        } else {
+            BlockSchedule::new(latency.max(ii))
+        };
+        block.terminator = match break_cond {
+            Some(cond) => Terminator::Branch {
+                cond,
+                if_true: id, // patched to the next segment
+                if_false: id,
+            },
+            None => Terminator::Jump(id),
+        };
+        self.blocks[id.index()] = block;
+        self.patch_pending_to(id);
+        if matches!(block_terminator(&self.blocks[id.index()]), Terminator::Branch { .. }) {
+            self.pending.push(PendingExit::BranchTrue(id));
+        }
+        id
+    }
+
+    fn finish(mut self) -> Module {
+        if self.blocks.is_empty() {
+            // A module with no body: single empty return block.
+            self.new_block();
+        }
+        // Any block still falling through keeps its placeholder Return(None)
+        // terminator; branch slots that were never patched need a real
+        // landing block.
+        let needs_landing = self
+            .pending
+            .iter()
+            .any(|p| matches!(p, PendingExit::BranchFalse(_) | PendingExit::BranchTrue(_)));
+        if needs_landing {
+            let landing = self.new_block();
+            let pending = std::mem::take(&mut self.pending);
+            for exit in pending {
+                match exit {
+                    PendingExit::FallThrough(b) => {
+                        self.blocks[b.index()].terminator = Terminator::Jump(landing);
+                    }
+                    PendingExit::BranchFalse(b) => {
+                        if let Terminator::Branch { if_false, .. } =
+                            &mut self.blocks[b.index()].terminator
+                        {
+                            *if_false = landing;
+                        }
+                    }
+                    PendingExit::BranchTrue(b) => {
+                        if let Terminator::Branch { if_true, .. } =
+                            &mut self.blocks[b.index()].terminator
+                        {
+                            *if_true = landing;
+                        }
+                    }
+                }
+            }
+        }
+        Module {
+            name: self.name,
+            kind: ModuleKind::Function,
+            blocks: self.blocks,
+            num_vars: u32::try_from(self.vars.len()).expect("too many variables"),
+            var_names: self.vars,
+        }
+    }
+}
+
+fn block_terminator(block: &Block) -> &Terminator {
+    &block.terminator
+}
+
+/// Builds the operations of one basic block.
+#[derive(Debug)]
+pub struct BlockBuilder<'m> {
+    module: &'m mut ModuleBuilder,
+    #[allow(dead_code)]
+    id: Option<BlockId>,
+    ops: Vec<ScheduledOp>,
+    offset: u64,
+    latency: Option<u64>,
+    ii: Option<u64>,
+    terminator: Option<Terminator>,
+    break_cond: Option<Expr>,
+}
+
+impl<'m> BlockBuilder<'m> {
+    fn new(module: &'m mut ModuleBuilder, id: Option<BlockId>) -> Self {
+        BlockBuilder {
+            module,
+            id,
+            ops: Vec::new(),
+            offset: 0,
+            latency: None,
+            ii: None,
+            terminator: None,
+            break_cond: None,
+        }
+    }
+
+    fn finish(self) -> (Block, bool) {
+        let max_offset = self.ops.iter().map(|o| o.offset).max().unwrap_or(0);
+        let latency = self.latency.unwrap_or(max_offset + 1).max(max_offset + 1);
+        let schedule = match self.ii {
+            Some(ii) if ii < latency => BlockSchedule::pipelined(latency, ii),
+            _ => BlockSchedule::new(latency),
+        };
+        let explicit = self.terminator.is_some();
+        (
+            Block {
+                ops: self.ops,
+                terminator: self.terminator.unwrap_or(Terminator::Return(None)),
+                schedule,
+            },
+            explicit,
+        )
+    }
+
+    /// Returns (creating if needed) the module variable named `name`.
+    pub fn var(&mut self, name: impl AsRef<str>) -> VarId {
+        self.module.var(name)
+    }
+
+    /// Shorthand for `Expr::var(self.var(name))`.
+    pub fn var_expr(&mut self, name: impl AsRef<str>) -> Expr {
+        let v = self.module.var(name);
+        Expr::var(v)
+    }
+
+    /// Allocates a fresh anonymous temporary variable.
+    pub fn tmp(&mut self) -> VarId {
+        self.module.tmp()
+    }
+
+    /// Sets the cycle offset at which subsequent operations are scheduled.
+    pub fn at(&mut self, offset: u64) -> &mut Self {
+        self.offset = offset;
+        self
+    }
+
+    /// Advances the schedule cursor by `cycles`.
+    pub fn step(&mut self, cycles: u64) -> &mut Self {
+        self.offset += cycles;
+        self
+    }
+
+    /// Sets the block latency explicitly (otherwise `max op offset + 1`).
+    pub fn latency(&mut self, cycles: u64) -> &mut Self {
+        self.latency = Some(cycles);
+        self
+    }
+
+    /// Marks the block as a pipelined loop body with the given initiation
+    /// interval (only meaningful when the block loops back to itself).
+    pub fn pipeline(&mut self, ii: u64) -> &mut Self {
+        self.ii = Some(ii);
+        self
+    }
+
+    fn push(&mut self, op: Op) {
+        self.ops.push(ScheduledOp {
+            offset: self.offset,
+            op,
+        });
+    }
+
+    /// Emits `dst = expr`.
+    pub fn assign(&mut self, dst: VarId, expr: Expr) -> &mut Self {
+        self.push(Op::Assign { dst, expr });
+        self
+    }
+
+    /// Emits an array load and returns the destination variable.
+    pub fn array_load(&mut self, array: ArrayId, index: Expr) -> VarId {
+        let dst = self.module.tmp();
+        self.push(Op::ArrayLoad { dst, array, index });
+        dst
+    }
+
+    /// Emits an array load into an existing variable.
+    pub fn array_load_into(&mut self, dst: VarId, array: ArrayId, index: Expr) -> &mut Self {
+        self.push(Op::ArrayLoad { dst, array, index });
+        self
+    }
+
+    /// Emits an array store.
+    pub fn array_store(&mut self, array: ArrayId, index: Expr, value: Expr) -> &mut Self {
+        self.push(Op::ArrayStore {
+            array,
+            index,
+            value,
+        });
+        self
+    }
+
+    /// Emits a blocking FIFO write.
+    pub fn fifo_write(&mut self, fifo: FifoId, value: Expr) -> &mut Self {
+        self.push(Op::FifoWrite { fifo, value });
+        self
+    }
+
+    /// Emits a blocking FIFO read and returns the destination variable.
+    pub fn fifo_read(&mut self, fifo: FifoId) -> VarId {
+        let dst = self.module.tmp();
+        self.push(Op::FifoRead { fifo, dst });
+        dst
+    }
+
+    /// Emits a blocking FIFO read into an existing variable.
+    pub fn fifo_read_into(&mut self, dst: VarId, fifo: FifoId) -> &mut Self {
+        self.push(Op::FifoRead { fifo, dst });
+        self
+    }
+
+    /// Emits a non-blocking FIFO write and returns the success-flag variable.
+    pub fn fifo_nb_write(&mut self, fifo: FifoId, value: Expr) -> VarId {
+        let success = self.module.tmp();
+        self.push(Op::FifoNbWrite {
+            fifo,
+            value,
+            success: Some(success),
+        });
+        success
+    }
+
+    /// Emits a non-blocking FIFO write whose success flag is ignored
+    /// (Fig. 4 Ex. 4a of the paper: data silently dropped on failure).
+    pub fn fifo_nb_write_ignored(&mut self, fifo: FifoId, value: Expr) -> &mut Self {
+        self.push(Op::FifoNbWrite {
+            fifo,
+            value,
+            success: None,
+        });
+        self
+    }
+
+    /// Emits a non-blocking FIFO read, returning `(data, success)` variables.
+    pub fn fifo_nb_read(&mut self, fifo: FifoId) -> (VarId, VarId) {
+        let dst = self.module.tmp();
+        let success = self.module.tmp();
+        self.push(Op::FifoNbRead {
+            fifo,
+            dst,
+            success: Some(success),
+        });
+        (dst, success)
+    }
+
+    /// Emits a non-blocking FIFO read into existing variables.
+    pub fn fifo_nb_read_into(
+        &mut self,
+        fifo: FifoId,
+        dst: VarId,
+        success: Option<VarId>,
+    ) -> &mut Self {
+        self.push(Op::FifoNbRead { fifo, dst, success });
+        self
+    }
+
+    /// Emits a FIFO `empty()` check and returns the result variable.
+    pub fn fifo_empty(&mut self, fifo: FifoId) -> VarId {
+        let dst = self.module.tmp();
+        self.push(Op::FifoEmpty {
+            fifo,
+            dst: Some(dst),
+        });
+        dst
+    }
+
+    /// Emits a FIFO `full()` check and returns the result variable.
+    pub fn fifo_full(&mut self, fifo: FifoId) -> VarId {
+        let dst = self.module.tmp();
+        self.push(Op::FifoFull {
+            fifo,
+            dst: Some(dst),
+        });
+        dst
+    }
+
+    /// Emits a FIFO `empty()` check whose result is discarded.
+    pub fn fifo_empty_unused(&mut self, fifo: FifoId) -> &mut Self {
+        self.push(Op::FifoEmpty { fifo, dst: None });
+        self
+    }
+
+    /// Emits an AXI read-burst request.
+    pub fn axi_read_req(&mut self, bus: AxiId, addr: Expr, len: Expr) -> &mut Self {
+        self.push(Op::AxiReadReq { bus, addr, len });
+        self
+    }
+
+    /// Consumes one AXI read beat and returns the destination variable.
+    pub fn axi_read(&mut self, bus: AxiId) -> VarId {
+        let dst = self.module.tmp();
+        self.push(Op::AxiRead { bus, dst });
+        dst
+    }
+
+    /// Emits an AXI write-burst request.
+    pub fn axi_write_req(&mut self, bus: AxiId, addr: Expr, len: Expr) -> &mut Self {
+        self.push(Op::AxiWriteReq { bus, addr, len });
+        self
+    }
+
+    /// Sends one AXI write beat.
+    pub fn axi_write(&mut self, bus: AxiId, value: Expr) -> &mut Self {
+        self.push(Op::AxiWrite { bus, value });
+        self
+    }
+
+    /// Waits for the AXI write response.
+    pub fn axi_write_resp(&mut self, bus: AxiId) -> &mut Self {
+        self.push(Op::AxiWriteResp { bus });
+        self
+    }
+
+    /// Calls another function module and returns the variable receiving the
+    /// callee's return value.
+    pub fn call(&mut self, callee: ModuleId, args: impl Into<Vec<Expr>>) -> VarId {
+        let dst = self.module.tmp();
+        self.push(Op::Call {
+            callee,
+            args: args.into(),
+            dst: Some(dst),
+        });
+        dst
+    }
+
+    /// Calls another function module, discarding its return value.
+    pub fn call_void(&mut self, callee: ModuleId, args: impl Into<Vec<Expr>>) -> &mut Self {
+        self.push(Op::Call {
+            callee,
+            args: args.into(),
+            dst: None,
+        });
+        self
+    }
+
+    /// Writes a testbench-visible output.
+    pub fn output(&mut self, output: OutputId, value: Expr) -> &mut Self {
+        self.push(Op::Output { output, value });
+        self
+    }
+
+    /// Within [`ModuleBuilder::loop_block`], exits the loop when `cond` is
+    /// non-zero at the end of an iteration.
+    pub fn exit_loop_if(&mut self, cond: Expr) -> &mut Self {
+        self.break_cond = Some(cond);
+        self
+    }
+
+    /// Sets an unconditional jump terminator.
+    pub fn jump(&mut self, target: BlockId) -> &mut Self {
+        self.terminator = Some(Terminator::Jump(target));
+        self
+    }
+
+    /// Sets a conditional branch terminator.
+    pub fn branch(&mut self, cond: Expr, if_true: BlockId, if_false: BlockId) -> &mut Self {
+        self.terminator = Some(Terminator::Branch {
+            cond,
+            if_true,
+            if_false,
+        });
+        self
+    }
+
+    /// Sets a `return` terminator with no value.
+    pub fn ret(&mut self) -> &mut Self {
+        self.terminator = Some(Terminator::Return(None));
+        self
+    }
+
+    /// Sets a `return value` terminator.
+    pub fn ret_val(&mut self, value: Expr) -> &mut Self {
+        self.terminator = Some(Terminator::Return(Some(value)));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_blocks_are_chained() {
+        let mut d = DesignBuilder::new("chain");
+        let out = d.output("o");
+        d.function_top("f", |m| {
+            let x = m.var("x");
+            m.entry(|b| {
+                b.assign(x, Expr::imm(1));
+            });
+            m.seq(|b| {
+                b.assign(x, Expr::var(x).add(Expr::imm(1)));
+            });
+            m.exit(|b| {
+                b.output(out, Expr::var(x));
+            });
+        });
+        let design = d.build().unwrap();
+        let m = design.module(design.top);
+        assert_eq!(m.blocks.len(), 3);
+        assert_eq!(m.blocks[0].terminator, Terminator::Jump(BlockId(1)));
+        assert_eq!(m.blocks[1].terminator, Terminator::Jump(BlockId(2)));
+        assert_eq!(m.blocks[2].terminator, Terminator::Return(None));
+    }
+
+    #[test]
+    fn counted_loop_builds_rotated_loop() {
+        let mut d = DesignBuilder::new("loop");
+        let out = d.output("o");
+        d.function_top("f", |m| {
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(0));
+            });
+            m.counted_loop("i", 10, 1, |b| {
+                let i = b.var("i");
+                b.assign(acc, Expr::var(acc).add(Expr::var(i)));
+            });
+            m.exit(|b| {
+                b.output(out, Expr::var(acc));
+            });
+        });
+        let design = d.build().unwrap();
+        let m = design.module(design.top);
+        // entry, preheader (i = 0), loop body, exit
+        assert_eq!(m.blocks.len(), 4);
+        let loop_block = &m.blocks[2];
+        match &loop_block.terminator {
+            Terminator::Branch {
+                if_true, if_false, ..
+            } => {
+                assert_eq!(*if_true, BlockId(2), "back edge loops to itself");
+                assert_eq!(*if_false, BlockId(3), "exit edge goes to next block");
+            }
+            t => panic!("expected branch, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_block_without_break_is_infinite() {
+        let mut d = DesignBuilder::new("inf");
+        let f = d.fifo("q", 1);
+        let producer = d.function("p", |m| {
+            m.loop_block(1, |b| {
+                b.fifo_nb_write_ignored(f, Expr::imm(1));
+            });
+        });
+        let consumer = d.function("c", |m| {
+            m.entry(|b| {
+                let _ = b.fifo_read(f);
+            });
+        });
+        d.dataflow_top("top", [producer, consumer]);
+        let design = d.build().unwrap();
+        let p = design.module(ModuleId(0));
+        assert_eq!(p.blocks[0].terminator, Terminator::Jump(BlockId(0)));
+    }
+
+    #[test]
+    fn loop_block_with_break_gets_landing_block() {
+        let mut d = DesignBuilder::new("brk");
+        let f = d.fifo("done", 1);
+        let out = d.output("n");
+        let watcher = d.function("w", |m| {
+            let n = m.var("n");
+            m.entry(|b| {
+                b.assign(n, Expr::imm(0));
+            });
+            m.loop_block(1, |b| {
+                let n = b.var("n");
+                let (_, ok) = b.fifo_nb_read(f);
+                b.assign(n, Expr::var(n).add(Expr::imm(1)));
+                b.exit_loop_if(Expr::var(ok));
+            });
+            m.exit(|b| {
+                let n = b.var_expr("n");
+                b.output(out, n);
+            });
+        });
+        let sender = d.function("s", |m| {
+            m.entry(|b| {
+                b.fifo_write(f, Expr::imm(1));
+            });
+        });
+        d.dataflow_top("top", [watcher, sender]);
+        let design = d.build().unwrap();
+        let w = design.module(ModuleId(0));
+        assert_eq!(w.blocks.len(), 3);
+        match &w.blocks[1].terminator {
+            Terminator::Branch {
+                if_true, if_false, ..
+            } => {
+                assert_eq!(*if_false, BlockId(1), "loop continues on false");
+                assert_eq!(*if_true, BlockId(2), "break jumps to exit block");
+            }
+            t => panic!("expected branch, got {t:?}"),
+        }
+    }
+
+    #[test]
+    fn variables_are_deduplicated_by_name() {
+        let mut d = DesignBuilder::new("vars");
+        d.function_top("f", |m| {
+            let a = m.var("a");
+            let a2 = m.var("a");
+            assert_eq!(a, a2);
+            let b = m.var("b");
+            assert_ne!(a, b);
+            m.entry(|blk| {
+                blk.assign(a, Expr::imm(1));
+                blk.assign(b, Expr::imm(2));
+            });
+        });
+        let design = d.build().unwrap();
+        assert_eq!(design.module(design.top).num_vars, 2);
+    }
+
+    #[test]
+    fn latency_defaults_to_max_offset_plus_one() {
+        let mut d = DesignBuilder::new("lat");
+        d.function_top("f", |m| {
+            m.entry(|b| {
+                let x = b.var("x");
+                b.assign(x, Expr::imm(0));
+                b.at(3).assign(x, Expr::imm(1));
+            });
+        });
+        let design = d.build().unwrap();
+        assert_eq!(design.module(design.top).blocks[0].schedule.latency, 4);
+    }
+
+    #[test]
+    fn missing_top_is_an_error() {
+        let d = DesignBuilder::new("empty");
+        assert_eq!(d.build().unwrap_err(), IrError::MissingTop);
+    }
+}

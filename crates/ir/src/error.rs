@@ -1,0 +1,181 @@
+//! Error types for IR construction and validation.
+
+use crate::ids::{ArrayId, BlockId, FifoId, ModuleId, VarId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors detected while building or validating a [`crate::Design`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IrError {
+    /// A design must contain at least one module and declare a top module.
+    MissingTop,
+    /// A module references a block index that does not exist.
+    UnknownBlock {
+        /// Module containing the dangling reference.
+        module: ModuleId,
+        /// The missing block.
+        block: BlockId,
+    },
+    /// An operation references a FIFO that does not exist.
+    UnknownFifo {
+        /// Module containing the reference.
+        module: ModuleId,
+        /// The missing FIFO.
+        fifo: FifoId,
+    },
+    /// An operation references an array that does not exist.
+    UnknownArray {
+        /// Module containing the reference.
+        module: ModuleId,
+        /// The missing array.
+        array: ArrayId,
+    },
+    /// An operation references a variable past the module's variable count.
+    UnknownVar {
+        /// Module containing the reference.
+        module: ModuleId,
+        /// The out-of-range variable.
+        var: VarId,
+    },
+    /// An operation references a module that does not exist.
+    UnknownModule {
+        /// The missing module.
+        module: ModuleId,
+    },
+    /// A dataflow region has a child that is itself a dataflow region or does
+    /// not exist.
+    InvalidDataflowChild {
+        /// The dataflow region.
+        region: ModuleId,
+        /// The offending child.
+        child: ModuleId,
+    },
+    /// A FIFO has more than one producer or more than one consumer module.
+    FifoNotPointToPoint {
+        /// The offending FIFO.
+        fifo: FifoId,
+        /// Modules that write the FIFO.
+        writers: Vec<ModuleId>,
+        /// Modules that read the FIFO.
+        readers: Vec<ModuleId>,
+    },
+    /// A FIFO was declared with a depth of zero.
+    ZeroDepthFifo {
+        /// The offending FIFO.
+        fifo: FifoId,
+    },
+    /// An operation's scheduled offset exceeds its block latency.
+    OffsetPastLatency {
+        /// Module containing the block.
+        module: ModuleId,
+        /// Block with the bad schedule.
+        block: BlockId,
+        /// Offending offset.
+        offset: u64,
+        /// Block latency.
+        latency: u64,
+    },
+    /// Scheduled op offsets within a block must be non-decreasing (program
+    /// order must agree with schedule order).
+    NonMonotonicOffsets {
+        /// Module containing the block.
+        module: ModuleId,
+        /// Block with the bad schedule.
+        block: BlockId,
+    },
+    /// A function module has no basic blocks.
+    EmptyFunction {
+        /// The offending module.
+        module: ModuleId,
+    },
+    /// Call graph of function modules contains a cycle (recursion is not
+    /// synthesizable and not simulatable).
+    RecursiveCall {
+        /// A module participating in the cycle.
+        module: ModuleId,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::MissingTop => write!(f, "design has no top module"),
+            IrError::UnknownBlock { module, block } => {
+                write!(f, "module {module} references unknown block {block}")
+            }
+            IrError::UnknownFifo { module, fifo } => {
+                write!(f, "module {module} references unknown fifo {fifo}")
+            }
+            IrError::UnknownArray { module, array } => {
+                write!(f, "module {module} references unknown array {array}")
+            }
+            IrError::UnknownVar { module, var } => {
+                write!(f, "module {module} references unknown variable {var}")
+            }
+            IrError::UnknownModule { module } => {
+                write!(f, "reference to unknown module {module}")
+            }
+            IrError::InvalidDataflowChild { region, child } => {
+                write!(f, "dataflow region {region} has invalid child {child}")
+            }
+            IrError::FifoNotPointToPoint {
+                fifo,
+                writers,
+                readers,
+            } => write!(
+                f,
+                "fifo {fifo} is not point-to-point ({} writers, {} readers)",
+                writers.len(),
+                readers.len()
+            ),
+            IrError::ZeroDepthFifo { fifo } => {
+                write!(f, "fifo {fifo} has zero depth")
+            }
+            IrError::OffsetPastLatency {
+                module,
+                block,
+                offset,
+                latency,
+            } => write!(
+                f,
+                "module {module} block {block}: op offset {offset} exceeds block latency {latency}"
+            ),
+            IrError::NonMonotonicOffsets { module, block } => write!(
+                f,
+                "module {module} block {block}: op offsets are not non-decreasing"
+            ),
+            IrError::EmptyFunction { module } => {
+                write!(f, "function module {module} has no basic blocks")
+            }
+            IrError::RecursiveCall { module } => {
+                write!(f, "call graph cycle involving module {module}")
+            }
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = IrError::UnknownFifo {
+            module: ModuleId(1),
+            fifo: FifoId(3),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("m1"));
+        assert!(msg.contains("f3"));
+        assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_: E) {}
+        takes_error(IrError::MissingTop);
+    }
+}

@@ -1,0 +1,78 @@
+//! # omnisim-ir
+//!
+//! An HLS-like intermediate representation (IR) of hardware dataflow designs,
+//! standing in for the LLVM IR + static-schedule inputs that the OmniSim paper
+//! (Sarkar & Hao, MICRO 2025) extracts from Vitis HLS.
+//!
+//! A [`Design`] is a set of [`Module`]s connected by FIFO channels and AXI
+//! ports. Each module is either a *dataflow region* (its children execute
+//! concurrently, exactly like a `#pragma HLS dataflow` region) or an ordinary
+//! *function* made of scheduled basic blocks. Every basic block carries a
+//! static schedule — a latency in clock cycles, an optional pipeline
+//! initiation interval, and a cycle offset for every operation — which is the
+//! information C synthesis would normally produce.
+//!
+//! The IR is consumed by every simulator in the workspace:
+//!
+//! * `omnisim-csim` — naive sequential C simulation,
+//! * `omnisim-rtlsim` — cycle-stepped reference simulation (co-sim stand-in),
+//! * `omnisim-lightning` — the decoupled two-phase LightningSim baseline,
+//! * `omnisim` — the OmniSim engine itself.
+//!
+//! # Example
+//!
+//! Build the producer/consumer design of Fig. 4 Ex. 1 of the paper:
+//!
+//! ```
+//! use omnisim_ir::builder::DesignBuilder;
+//! use omnisim_ir::expr::Expr;
+//!
+//! let mut d = DesignBuilder::new("producer_consumer");
+//! let data = d.array("data", (0..16).collect::<Vec<i64>>());
+//! let sum = d.output("sum_out");
+//! let fifo = d.fifo("stream", 2);
+//!
+//! let producer = d.function("producer", |m| {
+//!     m.counted_loop("i", 16, 1, |body| {
+//!         let i = body.var_expr("i");
+//!         let v = body.array_load(data, i);
+//!         body.fifo_write(fifo, Expr::var(v));
+//!     });
+//! });
+//! let consumer = d.function("consumer", |m| {
+//!     let acc = m.var("acc");
+//!     m.entry(|b| { b.assign(acc, Expr::imm(0)); });
+//!     m.counted_loop("i", 16, 1, |body| {
+//!         let v = body.fifo_read(fifo);
+//!         body.assign(acc, Expr::var(acc).add(Expr::var(v)));
+//!     });
+//!     m.exit(|b| { b.output(sum, Expr::var(acc)); });
+//! });
+//! d.dataflow_top("top", [producer, consumer]);
+//! let design = d.build().expect("valid design");
+//! assert_eq!(design.modules.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod builder;
+pub mod design;
+pub mod error;
+pub mod expr;
+pub mod ids;
+pub mod op;
+pub mod optimize;
+pub mod schedule;
+pub mod taxonomy;
+pub mod validate;
+
+pub use builder::{BlockBuilder, DesignBuilder, ModuleBuilder};
+pub use design::{ArraySpec, AxiPortSpec, Design, FifoSpec, Module, ModuleKind};
+pub use error::IrError;
+pub use expr::{BinOp, Expr, UnOp};
+pub use ids::{ArrayId, AxiId, BlockId, FifoId, ModuleId, OutputId, VarId};
+pub use op::{Block, Op, ScheduledOp, Terminator};
+pub use schedule::BlockSchedule;
+pub use taxonomy::{DesignClass, SimLevel, TaxonomyReport};

@@ -1,0 +1,156 @@
+//! IR-level optimisation passes applied before simulation.
+//!
+//! The only pass currently implemented mirrors §7.3.2 of the paper:
+//! *eliminating redundant FIFO checks*. `empty()` / `full()` calls whose
+//! result is never consumed would otherwise generate a hardware-cycle query
+//! per evaluation; marking them as dead lets every simulator skip the query.
+
+use crate::design::Design;
+use crate::ids::VarId;
+use crate::op::{Op, Terminator};
+use std::collections::HashSet;
+
+/// Statistics returned by [`eliminate_dead_fifo_checks`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeadCheckStats {
+    /// Number of `empty()` checks whose result was marked unused.
+    pub empty_checks_elided: usize,
+    /// Number of `full()` checks whose result was marked unused.
+    pub full_checks_elided: usize,
+}
+
+impl DeadCheckStats {
+    /// Total number of checks elided.
+    pub fn total(&self) -> usize {
+        self.empty_checks_elided + self.full_checks_elided
+    }
+}
+
+/// Marks FIFO `empty()`/`full()` checks whose result variable is never read
+/// anywhere in the module as dead (`dst = None`), so simulators can skip the
+/// associated hardware-cycle query (§7.3.2).
+///
+/// Returns how many checks were elided. The pass is idempotent.
+pub fn eliminate_dead_fifo_checks(design: &mut Design) -> DeadCheckStats {
+    let mut stats = DeadCheckStats::default();
+    for module in &mut design.modules {
+        // Collect every variable that is *read* by any expression, call
+        // argument or terminator in the module.
+        let mut read: HashSet<VarId> = HashSet::new();
+        let collect = |expr: &crate::expr::Expr, read: &mut HashSet<VarId>| {
+            let mut vars = Vec::new();
+            expr.collect_vars(&mut vars);
+            read.extend(vars);
+        };
+        for block in &module.blocks {
+            for sop in &block.ops {
+                match &sop.op {
+                    Op::Assign { expr, .. } => collect(expr, &mut read),
+                    Op::ArrayLoad { index, .. } => collect(index, &mut read),
+                    Op::ArrayStore { index, value, .. } => {
+                        collect(index, &mut read);
+                        collect(value, &mut read);
+                    }
+                    Op::FifoWrite { value, .. } | Op::FifoNbWrite { value, .. } => {
+                        collect(value, &mut read)
+                    }
+                    Op::AxiReadReq { addr, len, .. } | Op::AxiWriteReq { addr, len, .. } => {
+                        collect(addr, &mut read);
+                        collect(len, &mut read);
+                    }
+                    Op::AxiWrite { value, .. } => collect(value, &mut read),
+                    Op::Call { args, .. } => {
+                        for a in args {
+                            collect(a, &mut read);
+                        }
+                    }
+                    Op::Output { value, .. } => collect(value, &mut read),
+                    Op::FifoRead { .. }
+                    | Op::FifoNbRead { .. }
+                    | Op::FifoEmpty { .. }
+                    | Op::FifoFull { .. }
+                    | Op::AxiRead { .. }
+                    | Op::AxiWriteResp { .. } => {}
+                }
+            }
+            match &block.terminator {
+                Terminator::Branch { cond, .. } => collect(cond, &mut read),
+                Terminator::Return(Some(e)) => collect(e, &mut read),
+                _ => {}
+            }
+        }
+        for block in &mut module.blocks {
+            for sop in &mut block.ops {
+                match &mut sop.op {
+                    Op::FifoEmpty { dst, .. } => {
+                        if matches!(dst, Some(v) if !read.contains(v)) {
+                            *dst = None;
+                            stats.empty_checks_elided += 1;
+                        }
+                    }
+                    Op::FifoFull { dst, .. } => {
+                        if matches!(dst, Some(v) if !read.contains(v)) {
+                            *dst = None;
+                            stats.full_checks_elided += 1;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+    use crate::expr::Expr;
+
+    #[test]
+    fn unused_checks_are_elided_and_used_ones_kept() {
+        let mut d = DesignBuilder::new("checks");
+        let f = d.fifo("q", 1);
+        let out = d.output("o");
+        let p = d.function("p", |m| {
+            m.entry(|b| {
+                b.fifo_write(f, Expr::imm(1));
+                // full() result never read: should be elided.
+                let _unused = b.fifo_full(f);
+            });
+        });
+        let c = d.function("c", |m| {
+            m.entry(|b| {
+                // empty() result feeds an output: must be kept.
+                let e = b.fifo_empty(f);
+                b.output(out, Expr::var(e));
+                let _ = b.fifo_read(f);
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        let mut design = d.build().unwrap();
+
+        let stats = eliminate_dead_fifo_checks(&mut design);
+        assert_eq!(stats.full_checks_elided, 1);
+        assert_eq!(stats.empty_checks_elided, 0);
+        assert_eq!(stats.total(), 1);
+
+        // Second application changes nothing (idempotent).
+        let stats2 = eliminate_dead_fifo_checks(&mut design);
+        assert_eq!(stats2.total(), 0);
+
+        // The consumer's live check still carries its destination.
+        let consumer = &design.modules[1];
+        let live = consumer.blocks.iter().flat_map(|b| &b.ops).any(|s| {
+            matches!(s.op, Op::FifoEmpty { dst: Some(_), .. })
+        });
+        assert!(live);
+        // The producer's dead check no longer does.
+        let producer = &design.modules[0];
+        let dead = producer.blocks.iter().flat_map(|b| &b.ops).any(|s| {
+            matches!(s.op, Op::FifoFull { dst: None, .. })
+        });
+        assert!(dead);
+    }
+}

@@ -1,0 +1,500 @@
+//! Structural validation of designs.
+//!
+//! Validation is run automatically by [`crate::DesignBuilder::build`] and can
+//! be invoked directly on hand-constructed or deserialized designs. It
+//! rejects designs that no simulator in the workspace could give a meaning
+//! to: dangling identifiers, FIFOs with several producers or consumers,
+//! zero-depth FIFOs, malformed schedules, recursive call graphs and dataflow
+//! regions whose children are not plain functions.
+
+use crate::design::{Design, ModuleKind};
+use crate::error::IrError;
+use crate::expr::Expr;
+use crate::ids::{BlockId, FifoId, ModuleId, VarId};
+use crate::op::{Op, Terminator};
+
+/// Validates a design, returning the first structural error found.
+///
+/// # Errors
+///
+/// Returns an [`IrError`] describing the problem; see the enum variants for
+/// the full list of checks.
+pub fn validate(design: &Design) -> Result<(), IrError> {
+    if design.top.index() >= design.modules.len() {
+        return Err(IrError::MissingTop);
+    }
+    for (f_idx, fifo) in design.fifos.iter().enumerate() {
+        if fifo.depth == 0 {
+            return Err(IrError::ZeroDepthFifo {
+                fifo: FifoId::from_index(f_idx),
+            });
+        }
+    }
+    for (m_idx, module) in design.modules.iter().enumerate() {
+        let mid = ModuleId::from_index(m_idx);
+        match &module.kind {
+            ModuleKind::Dataflow { children } => {
+                for &child in children {
+                    if child.index() >= design.modules.len()
+                        || design.modules[child.index()].is_dataflow()
+                    {
+                        return Err(IrError::InvalidDataflowChild {
+                            region: mid,
+                            child,
+                        });
+                    }
+                }
+            }
+            ModuleKind::Function => {
+                if module.blocks.is_empty() {
+                    return Err(IrError::EmptyFunction { module: mid });
+                }
+                for (b_idx, block) in module.blocks.iter().enumerate() {
+                    let bid = BlockId::from_index(b_idx);
+                    let mut prev_offset = 0u64;
+                    for sop in &block.ops {
+                        if sop.offset >= block.schedule.latency {
+                            return Err(IrError::OffsetPastLatency {
+                                module: mid,
+                                block: bid,
+                                offset: sop.offset,
+                                latency: block.schedule.latency,
+                            });
+                        }
+                        if sop.offset < prev_offset {
+                            return Err(IrError::NonMonotonicOffsets {
+                                module: mid,
+                                block: bid,
+                            });
+                        }
+                        prev_offset = sop.offset;
+                        check_op(design, mid, module.num_vars, &sop.op)?;
+                    }
+                    check_terminator(design, mid, module, bid, &block.terminator)?;
+                }
+            }
+        }
+    }
+    check_fifo_point_to_point(design)?;
+    check_no_recursion(design)?;
+    Ok(())
+}
+
+fn check_expr_vars(
+    module: ModuleId,
+    num_vars: u32,
+    expr: &Expr,
+) -> Result<(), IrError> {
+    let mut vars = Vec::new();
+    expr.collect_vars(&mut vars);
+    for v in vars {
+        if v.0 >= num_vars {
+            return Err(IrError::UnknownVar { module, var: v });
+        }
+    }
+    Ok(())
+}
+
+fn check_var(module: ModuleId, num_vars: u32, var: VarId) -> Result<(), IrError> {
+    if var.0 >= num_vars {
+        return Err(IrError::UnknownVar { module, var });
+    }
+    Ok(())
+}
+
+fn check_op(design: &Design, mid: ModuleId, num_vars: u32, op: &Op) -> Result<(), IrError> {
+    let check_fifo = |fifo: FifoId| {
+        if fifo.index() >= design.fifos.len() {
+            Err(IrError::UnknownFifo { module: mid, fifo })
+        } else {
+            Ok(())
+        }
+    };
+    match op {
+        Op::Assign { dst, expr } => {
+            check_var(mid, num_vars, *dst)?;
+            check_expr_vars(mid, num_vars, expr)?;
+        }
+        Op::ArrayLoad { dst, array, index } => {
+            check_var(mid, num_vars, *dst)?;
+            if array.index() >= design.arrays.len() {
+                return Err(IrError::UnknownArray {
+                    module: mid,
+                    array: *array,
+                });
+            }
+            check_expr_vars(mid, num_vars, index)?;
+        }
+        Op::ArrayStore {
+            array,
+            index,
+            value,
+        } => {
+            if array.index() >= design.arrays.len() {
+                return Err(IrError::UnknownArray {
+                    module: mid,
+                    array: *array,
+                });
+            }
+            check_expr_vars(mid, num_vars, index)?;
+            check_expr_vars(mid, num_vars, value)?;
+        }
+        Op::FifoWrite { fifo, value } => {
+            check_fifo(*fifo)?;
+            check_expr_vars(mid, num_vars, value)?;
+        }
+        Op::FifoRead { fifo, dst } => {
+            check_fifo(*fifo)?;
+            check_var(mid, num_vars, *dst)?;
+        }
+        Op::FifoNbWrite {
+            fifo,
+            value,
+            success,
+        } => {
+            check_fifo(*fifo)?;
+            check_expr_vars(mid, num_vars, value)?;
+            if let Some(s) = success {
+                check_var(mid, num_vars, *s)?;
+            }
+        }
+        Op::FifoNbRead { fifo, dst, success } => {
+            check_fifo(*fifo)?;
+            check_var(mid, num_vars, *dst)?;
+            if let Some(s) = success {
+                check_var(mid, num_vars, *s)?;
+            }
+        }
+        Op::FifoEmpty { fifo, dst } | Op::FifoFull { fifo, dst } => {
+            check_fifo(*fifo)?;
+            if let Some(d) = dst {
+                check_var(mid, num_vars, *d)?;
+            }
+        }
+        Op::AxiReadReq { bus, addr, len } | Op::AxiWriteReq { bus, addr, len } => {
+            if bus.index() >= design.axi_ports.len() {
+                return Err(IrError::UnknownModule { module: mid });
+            }
+            check_expr_vars(mid, num_vars, addr)?;
+            check_expr_vars(mid, num_vars, len)?;
+        }
+        Op::AxiRead { bus, dst } => {
+            if bus.index() >= design.axi_ports.len() {
+                return Err(IrError::UnknownModule { module: mid });
+            }
+            check_var(mid, num_vars, *dst)?;
+        }
+        Op::AxiWrite { bus, value } => {
+            if bus.index() >= design.axi_ports.len() {
+                return Err(IrError::UnknownModule { module: mid });
+            }
+            check_expr_vars(mid, num_vars, value)?;
+        }
+        Op::AxiWriteResp { bus } => {
+            if bus.index() >= design.axi_ports.len() {
+                return Err(IrError::UnknownModule { module: mid });
+            }
+        }
+        Op::Call { callee, args, dst } => {
+            if callee.index() >= design.modules.len() {
+                return Err(IrError::UnknownModule { module: *callee });
+            }
+            if design.modules[callee.index()].is_dataflow() {
+                return Err(IrError::InvalidDataflowChild {
+                    region: mid,
+                    child: *callee,
+                });
+            }
+            for a in args {
+                check_expr_vars(mid, num_vars, a)?;
+            }
+            if let Some(d) = dst {
+                check_var(mid, num_vars, *d)?;
+            }
+            let callee_vars = design.modules[callee.index()].num_vars;
+            if args.len() as u32 > callee_vars {
+                return Err(IrError::UnknownVar {
+                    module: *callee,
+                    var: VarId(callee_vars),
+                });
+            }
+        }
+        Op::Output { output, value } => {
+            if output.index() >= design.outputs.len() {
+                return Err(IrError::UnknownModule { module: mid });
+            }
+            check_expr_vars(mid, num_vars, value)?;
+        }
+    }
+    Ok(())
+}
+
+fn check_terminator(
+    design: &Design,
+    mid: ModuleId,
+    module: &crate::design::Module,
+    bid: BlockId,
+    term: &Terminator,
+) -> Result<(), IrError> {
+    let _ = bid;
+    match term {
+        Terminator::Jump(target) => {
+            if target.index() >= module.blocks.len() {
+                return Err(IrError::UnknownBlock {
+                    module: mid,
+                    block: *target,
+                });
+            }
+        }
+        Terminator::Branch {
+            cond,
+            if_true,
+            if_false,
+        } => {
+            check_expr_vars(mid, module.num_vars, cond)?;
+            for t in [if_true, if_false] {
+                if t.index() >= module.blocks.len() {
+                    return Err(IrError::UnknownBlock {
+                        module: mid,
+                        block: *t,
+                    });
+                }
+            }
+        }
+        Terminator::Return(Some(expr)) => {
+            check_expr_vars(mid, module.num_vars, expr)?;
+        }
+        Terminator::Return(None) => {}
+    }
+    let _ = design;
+    Ok(())
+}
+
+/// Returns, for every FIFO, the modules that write it and the modules that
+/// read it (data accesses only; status checks do not count).
+pub fn fifo_endpoints(design: &Design) -> Vec<(Vec<ModuleId>, Vec<ModuleId>)> {
+    let mut endpoints = vec![(Vec::new(), Vec::new()); design.fifos.len()];
+    for (m_idx, module) in design.modules.iter().enumerate() {
+        let mid = ModuleId::from_index(m_idx);
+        for block in &module.blocks {
+            for sop in &block.ops {
+                if let Some(fifo) = sop.op.fifo() {
+                    if sop.op.is_fifo_write() {
+                        let writers: &mut Vec<ModuleId> = &mut endpoints[fifo.index()].0;
+                        if !writers.contains(&mid) {
+                            writers.push(mid);
+                        }
+                    } else if sop.op.is_fifo_read() {
+                        let readers: &mut Vec<ModuleId> = &mut endpoints[fifo.index()].1;
+                        if !readers.contains(&mid) {
+                            readers.push(mid);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    endpoints
+}
+
+fn check_fifo_point_to_point(design: &Design) -> Result<(), IrError> {
+    for (f_idx, (writers, readers)) in fifo_endpoints(design).into_iter().enumerate() {
+        if writers.len() > 1 || readers.len() > 1 {
+            return Err(IrError::FifoNotPointToPoint {
+                fifo: FifoId::from_index(f_idx),
+                writers,
+                readers,
+            });
+        }
+    }
+    Ok(())
+}
+
+fn check_no_recursion(design: &Design) -> Result<(), IrError> {
+    // DFS over the call graph of function modules.
+    #[derive(Clone, Copy, PartialEq)]
+    enum State {
+        Unvisited,
+        InStack,
+        Done,
+    }
+    fn dfs(design: &Design, m: usize, state: &mut [State]) -> Result<(), IrError> {
+        state[m] = State::InStack;
+        for block in &design.modules[m].blocks {
+            for sop in &block.ops {
+                if let Op::Call { callee, .. } = &sop.op {
+                    let c = callee.index();
+                    if c >= design.modules.len() {
+                        continue; // reported elsewhere
+                    }
+                    match state[c] {
+                        State::InStack => {
+                            return Err(IrError::RecursiveCall { module: *callee });
+                        }
+                        State::Unvisited => dfs(design, c, state)?,
+                        State::Done => {}
+                    }
+                }
+            }
+        }
+        state[m] = State::Done;
+        Ok(())
+    }
+    let mut state = vec![State::Unvisited; design.modules.len()];
+    for m in 0..design.modules.len() {
+        if state[m] == State::Unvisited {
+            dfs(design, m, &mut state)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+    use crate::op::{Block, ScheduledOp};
+    use crate::schedule::BlockSchedule;
+
+    #[test]
+    fn valid_design_passes() {
+        let mut d = DesignBuilder::new("ok");
+        let f = d.fifo("q", 2);
+        let p = d.function("p", |m| {
+            m.entry(|b| {
+                b.fifo_write(f, Expr::imm(1));
+            });
+        });
+        let c = d.function("c", |m| {
+            m.entry(|b| {
+                let _ = b.fifo_read(f);
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        assert!(d.build().is_ok());
+    }
+
+    #[test]
+    fn zero_depth_fifo_rejected() {
+        let mut d = DesignBuilder::new("bad");
+        let f = d.fifo("q", 0);
+        let p = d.function("p", |m| {
+            m.entry(|b| {
+                b.fifo_write(f, Expr::imm(1));
+            });
+        });
+        let c = d.function("c", |m| {
+            m.entry(|b| {
+                let _ = b.fifo_read(f);
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        assert!(matches!(
+            d.build().unwrap_err(),
+            IrError::ZeroDepthFifo { .. }
+        ));
+    }
+
+    #[test]
+    fn multi_writer_fifo_rejected() {
+        let mut d = DesignBuilder::new("bad");
+        let f = d.fifo("q", 2);
+        let p1 = d.function("p1", |m| {
+            m.entry(|b| {
+                b.fifo_write(f, Expr::imm(1));
+            });
+        });
+        let p2 = d.function("p2", |m| {
+            m.entry(|b| {
+                b.fifo_write(f, Expr::imm(2));
+            });
+        });
+        let c = d.function("c", |m| {
+            m.entry(|b| {
+                let _ = b.fifo_read(f);
+                let _ = b.fifo_read(f);
+            });
+        });
+        d.dataflow_top("top", [p1, p2, c]);
+        assert!(matches!(
+            d.build().unwrap_err(),
+            IrError::FifoNotPointToPoint { .. }
+        ));
+    }
+
+    #[test]
+    fn unknown_fifo_rejected() {
+        let mut d = DesignBuilder::new("bad");
+        d.function_top("f", |m| {
+            m.entry(|b| {
+                b.fifo_write(FifoId(5), Expr::imm(1));
+            });
+        });
+        assert!(matches!(d.build().unwrap_err(), IrError::UnknownFifo { .. }));
+    }
+
+    #[test]
+    fn recursive_call_rejected() {
+        let mut d = DesignBuilder::new("rec");
+        // Build a self-recursive module by hand.
+        let m = d.function_top("f", |m| {
+            m.entry(|b| {
+                b.call_void(ModuleId(0), vec![]);
+            });
+        });
+        assert_eq!(m, ModuleId(0));
+        assert!(matches!(
+            d.build().unwrap_err(),
+            IrError::RecursiveCall { .. }
+        ));
+    }
+
+    #[test]
+    fn offset_past_latency_rejected() {
+        let mut d = DesignBuilder::new("sched");
+        d.function_top("f", |m| {
+            m.entry(|b| {
+                let t = b.tmp();
+                b.assign(t, Expr::imm(0));
+            });
+        });
+        let mut design = d.build_unchecked();
+        // Corrupt the schedule: offset 5 with latency 1.
+        design.modules[0].blocks[0] = Block {
+            ops: vec![ScheduledOp {
+                offset: 5,
+                op: Op::Assign {
+                    dst: VarId(0),
+                    expr: Expr::imm(0),
+                },
+            }],
+            terminator: Terminator::Return(None),
+            schedule: BlockSchedule::new(1),
+        };
+        assert!(matches!(
+            validate(&design).unwrap_err(),
+            IrError::OffsetPastLatency { .. }
+        ));
+    }
+
+    #[test]
+    fn fifo_endpoints_reports_producer_and_consumer() {
+        let mut d = DesignBuilder::new("pc");
+        let f = d.fifo("q", 2);
+        let p = d.function("p", |m| {
+            m.entry(|b| {
+                b.fifo_write(f, Expr::imm(1));
+            });
+        });
+        let c = d.function("c", |m| {
+            m.entry(|b| {
+                let _ = b.fifo_read(f);
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        let design = d.build().unwrap();
+        let eps = fifo_endpoints(&design);
+        assert_eq!(eps[0].0, vec![ModuleId(0)]);
+        assert_eq!(eps[0].1, vec![ModuleId(1)]);
+    }
+}

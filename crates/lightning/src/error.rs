@@ -1,0 +1,76 @@
+//! Error type for the LightningSim baseline.
+
+use omnisim_graph::CycleError;
+use omnisim_interp::SimError;
+use omnisim_ir::DesignClass;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the LightningSim baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LightningError {
+    /// The design is not Type A: it uses non-blocking FIFO accesses, cyclic
+    /// dataflow dependencies or unbounded loops, which a decoupled two-phase
+    /// simulator cannot handle (§3 of the OmniSim paper).
+    Unsupported {
+        /// The design's inferred class.
+        class: DesignClass,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The functional execution of Phase 1 failed.
+    Execution(SimError),
+    /// The simulation graph was cyclic (indicates a simulator bug).
+    Graph(CycleError),
+    /// Phase 2 was requested with a FIFO-depth vector of the wrong length.
+    DepthMismatch {
+        /// Number of FIFOs in the design.
+        expected: usize,
+        /// Number of depths supplied.
+        got: usize,
+    },
+    /// Phase 2 was requested before Phase 1 produced a trace.
+    TraceMissing,
+}
+
+impl fmt::Display for LightningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LightningError::Unsupported { class, reason } => {
+                write!(f, "design is Type {class}, not supported by LightningSim: {reason}")
+            }
+            LightningError::Execution(e) => write!(f, "phase 1 execution failed: {e}"),
+            LightningError::Graph(e) => write!(f, "simulation graph error: {e}"),
+            LightningError::DepthMismatch { expected, got } => write!(
+                f,
+                "fifo depth vector has {got} entries but the design has {expected} fifos"
+            ),
+            LightningError::TraceMissing => {
+                write!(f, "phase 2 requested before phase 1 trace generation")
+            }
+        }
+    }
+}
+
+impl Error for LightningError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LightningError::Execution(e) => Some(e),
+            LightningError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for LightningError {
+    fn from(value: SimError) -> Self {
+        LightningError::Execution(value)
+    }
+}
+
+impl From<CycleError> for LightningError {
+    fn from(value: CycleError) -> Self {
+        LightningError::Graph(value)
+    }
+}

@@ -1,0 +1,42 @@
+//! # omnisim-lightning
+//!
+//! A re-implementation of the **LightningSim / LightningSimV2** approach
+//! (Sarkar & Hao, FCCM 2023/2024): the state-of-the-art baseline the OmniSim
+//! paper compares against in Table 5.
+//!
+//! LightningSim fully decouples functionality simulation from performance
+//! simulation:
+//!
+//! 1. **Phase 1 — trace generation (untimed).** The design is executed
+//!    sequentially with unbounded FIFOs. Every FIFO access becomes a node of
+//!    a simulation graph with its statically scheduled cycle as the node's
+//!    base time; read-after-write edges link the *r*-th read of a FIFO to its
+//!    *r*-th write. Everything is stored in a compressed-sparse-row graph
+//!    ([`omnisim_graph::CsrGraph`]), which is cheap to traverse but cannot be
+//!    extended afterwards.
+//! 2. **Phase 2 — stall analysis (timed).** Given concrete FIFO depths, the
+//!    depth-dependent write-after-read constraints are overlaid on the graph
+//!    and a longest-path pass produces the cycle-accurate latency. Changing
+//!    FIFO depths only repeats Phase 2, which is what makes LightningSim's
+//!    incremental design-space exploration fast.
+//!
+//! The decoupling is exactly why the approach only works for **Type A**
+//! designs (blocking-only, acyclic): for Type B/C designs the *functional*
+//! behaviour depends on hardware cycles, which are not known until Phase 2.
+//! [`LightningSimulator::new`] therefore rejects such designs with
+//! [`LightningError::Unsupported`], mirroring the "not supported" entries of
+//! the paper's comparison tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+mod report;
+mod simulator;
+mod trace;
+
+pub use error::LightningError;
+pub use report::LightningReport;
+pub use simulator::LightningSimulator;
+pub use trace::LightningTrace;

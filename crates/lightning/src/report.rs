@@ -1,0 +1,33 @@
+//! LightningSim baseline results.
+
+use omnisim_ir::design::OutputMap;
+use std::time::Duration;
+
+/// Result of a complete LightningSim run (Phase 1 + Phase 2).
+#[derive(Debug, Clone)]
+pub struct LightningReport {
+    /// Functional outputs observed during Phase 1.
+    pub outputs: OutputMap,
+    /// End-to-end latency in clock cycles computed by Phase 2.
+    pub total_cycles: u64,
+    /// Wall-clock time spent in Phase 1 (trace + graph generation).
+    pub phase1_time: Duration,
+    /// Wall-clock time spent in Phase 2 (stall analysis).
+    pub phase2_time: Duration,
+    /// Number of nodes in the simulation graph.
+    pub node_count: usize,
+    /// Number of edges in the simulation graph (excluding Phase 2 overlays).
+    pub edge_count: usize,
+}
+
+impl LightningReport {
+    /// Convenience accessor: value of a named output, if written.
+    pub fn output(&self, name: &str) -> Option<i64> {
+        self.outputs.get(name).copied()
+    }
+
+    /// Total wall-clock time of both phases.
+    pub fn total_time(&self) -> Duration {
+        self.phase1_time + self.phase2_time
+    }
+}

@@ -1,0 +1,274 @@
+//! The two-phase LightningSim driver.
+
+use crate::error::LightningError;
+use crate::report::LightningReport;
+use crate::trace::{generate_trace, LightningTrace};
+use omnisim_ir::taxonomy::{classify, DesignClass};
+use omnisim_ir::Design;
+use std::time::Instant;
+
+/// The decoupled two-phase simulator (LightningSim baseline).
+///
+/// # Example
+///
+/// ```
+/// use omnisim_lightning::LightningSimulator;
+/// use omnisim_ir::{DesignBuilder, Expr};
+///
+/// let mut d = DesignBuilder::new("pc");
+/// let data = d.array("data", (1..=16).collect::<Vec<i64>>());
+/// let out = d.output("sum");
+/// let q = d.fifo("q", 2);
+/// let p = d.function("producer", |m| {
+///     m.counted_loop("i", 16, 1, |b| {
+///         let i = b.var_expr("i");
+///         let v = b.array_load(data, i);
+///         b.fifo_write(q, Expr::var(v));
+///     });
+/// });
+/// let c = d.function("consumer", |m| {
+///     let acc = m.var("acc");
+///     m.entry(|b| { b.assign(acc, Expr::imm(0)); });
+///     m.counted_loop("i", 16, 1, |b| {
+///         let v = b.fifo_read(q);
+///         b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+///     });
+///     m.exit(|b| { b.output(out, Expr::var(acc)); });
+/// });
+/// d.dataflow_top("top", [p, c]);
+/// let design = d.build().unwrap();
+///
+/// let mut sim = LightningSimulator::new(&design).unwrap();
+/// let report = sim.simulate().unwrap();
+/// assert_eq!(report.outputs["sum"], 136);
+/// assert!(report.total_cycles > 16);
+/// ```
+#[derive(Debug)]
+pub struct LightningSimulator<'d> {
+    design: &'d Design,
+    trace: Option<LightningTrace>,
+}
+
+impl<'d> LightningSimulator<'d> {
+    /// Creates a simulator for a design, rejecting designs that are not
+    /// Type A in the paper's taxonomy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LightningError::Unsupported`] for Type B / Type C designs.
+    pub fn new(design: &'d Design) -> Result<Self, LightningError> {
+        let report = classify(design);
+        if report.class != DesignClass::TypeA {
+            let mut reasons = Vec::new();
+            if report.uses_nonblocking {
+                reasons.push("non-blocking FIFO accesses");
+            }
+            if report.cyclic_dataflow {
+                reasons.push("cyclic dataflow dependencies");
+            }
+            if report.has_infinite_loop {
+                reasons.push("unbounded loops");
+            }
+            return Err(LightningError::Unsupported {
+                class: report.class,
+                reason: reasons.join(", "),
+            });
+        }
+        Ok(LightningSimulator {
+            design,
+            trace: None,
+        })
+    }
+
+    /// The design under simulation.
+    pub fn design(&self) -> &'d Design {
+        self.design
+    }
+
+    /// Phase 1: generates (or returns the cached) execution trace and
+    /// simulation graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LightningError::Execution`] if functional execution fails.
+    pub fn trace(&mut self) -> Result<&LightningTrace, LightningError> {
+        if self.trace.is_none() {
+            self.trace = Some(generate_trace(self.design)?);
+        }
+        Ok(self.trace.as_ref().expect("trace just generated"))
+    }
+
+    /// Phase 2 only: recomputes the latency for new FIFO depths, reusing the
+    /// cached Phase 1 trace. This is LightningSim's incremental
+    /// design-space-exploration mode.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LightningError::TraceMissing`] if Phase 1 has not run yet.
+    pub fn analyze_with_depths(&self, depths: &[usize]) -> Result<u64, LightningError> {
+        let trace = self.trace.as_ref().ok_or(LightningError::TraceMissing)?;
+        trace.analyze(depths)
+    }
+
+    /// Runs both phases with the design's declared FIFO depths.
+    ///
+    /// # Errors
+    ///
+    /// Propagates Phase 1 and Phase 2 errors.
+    pub fn simulate(&mut self) -> Result<LightningReport, LightningError> {
+        let phase1_start = Instant::now();
+        if self.trace.is_none() {
+            self.trace = Some(generate_trace(self.design)?);
+        }
+        let phase1_time = phase1_start.elapsed();
+        let trace = self.trace.as_ref().expect("trace generated above");
+
+        let phase2_start = Instant::now();
+        let depths = self.design.fifo_depths();
+        let total_cycles = trace.analyze(&depths)?;
+        let phase2_time = phase2_start.elapsed();
+
+        Ok(LightningReport {
+            outputs: trace.outputs.clone(),
+            total_cycles,
+            phase1_time,
+            phase2_time,
+            node_count: trace.node_count(),
+            edge_count: trace.edge_count(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_ir::{DesignBuilder, Expr};
+    use omnisim_rtlsim::RtlSimulator;
+
+    fn producer_consumer(n: i64, depth: usize, consumer_ii: u64) -> Design {
+        let mut d = DesignBuilder::new("pc");
+        let data = d.array("data", (1..=n).collect::<Vec<i64>>());
+        let out = d.output("sum");
+        let q = d.fifo("q", depth);
+        let p = d.function("producer", |m| {
+            m.counted_loop("i", n, 1, |b| {
+                let i = b.var_expr("i");
+                let v = b.array_load(data, i);
+                b.fifo_write(q, Expr::var(v));
+            });
+        });
+        let c = d.function("consumer", |m| {
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(0));
+            });
+            m.counted_loop("i", n, consumer_ii, |b| {
+                let v = b.fifo_read(q);
+                b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            });
+            m.exit(|b| {
+                b.output(out, Expr::var(acc));
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        d.build().unwrap()
+    }
+
+    #[test]
+    fn matches_reference_simulator_on_type_a() {
+        for (n, depth, ii) in [(32, 2, 1), (64, 4, 2), (100, 1, 1), (16, 16, 4)] {
+            let design = producer_consumer(n, depth, ii);
+            let reference = RtlSimulator::new(&design).run().unwrap();
+            let mut sim = LightningSimulator::new(&design).unwrap();
+            let report = sim.simulate().unwrap();
+            assert_eq!(report.outputs, reference.outputs, "outputs for n={n}");
+            assert_eq!(
+                report.total_cycles, reference.total_cycles,
+                "cycles for n={n} depth={depth} ii={ii}"
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_phase2_matches_full_runs() {
+        let design = producer_consumer(64, 2, 2);
+        let mut sim = LightningSimulator::new(&design).unwrap();
+        sim.trace().unwrap();
+        for depth in [1usize, 2, 4, 16, 64] {
+            let incremental = sim.analyze_with_depths(&[depth]).unwrap();
+            let full_design = design.with_fifo_depths(&[depth]);
+            let reference = RtlSimulator::new(&full_design).run().unwrap();
+            assert_eq!(
+                incremental, reference.total_cycles,
+                "incremental analysis for depth {depth}"
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_fifos_never_slow_down_the_design() {
+        let design = producer_consumer(50, 1, 3);
+        let mut sim = LightningSimulator::new(&design).unwrap();
+        sim.trace().unwrap();
+        let mut prev = u64::MAX;
+        for depth in [1usize, 2, 4, 8, 64] {
+            let cycles = sim.analyze_with_depths(&[depth]).unwrap();
+            assert!(cycles <= prev);
+            prev = cycles;
+        }
+    }
+
+    #[test]
+    fn type_b_designs_are_rejected() {
+        // Cyclic dependency through blocking FIFOs (Fig. 4 Ex. 3).
+        let mut d = DesignBuilder::new("cyclic");
+        let req = d.fifo("req", 2);
+        let resp = d.fifo("resp", 2);
+        let out = d.output("sum");
+        let controller = d.function("controller", |m| {
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(0));
+            });
+            m.counted_loop("i", 8, 1, |b| {
+                let i = b.var_expr("i");
+                b.fifo_write(req, i);
+                let v = b.fifo_read(resp);
+                b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            });
+            m.exit(|b| {
+                b.output(out, Expr::var(acc));
+            });
+        });
+        let processor = d.function("processor", |m| {
+            m.counted_loop("i", 8, 1, |b| {
+                let v = b.fifo_read(req);
+                b.fifo_write(resp, Expr::var(v).mul(Expr::imm(2)));
+            });
+        });
+        d.dataflow_top("top", [controller, processor]);
+        let design = d.build().unwrap();
+        match LightningSimulator::new(&design) {
+            Err(LightningError::Unsupported { reason, .. }) => {
+                assert!(reason.contains("cyclic"));
+            }
+            other => panic!("expected Unsupported, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_mismatch_is_reported() {
+        let design = producer_consumer(8, 2, 1);
+        let mut sim = LightningSimulator::new(&design).unwrap();
+        sim.trace().unwrap();
+        assert!(matches!(
+            sim.analyze_with_depths(&[1, 2]),
+            Err(LightningError::DepthMismatch { .. })
+        ));
+        let fresh = LightningSimulator::new(&design).unwrap();
+        assert!(matches!(
+            fresh.analyze_with_depths(&[1]),
+            Err(LightningError::TraceMissing)
+        ));
+    }
+}

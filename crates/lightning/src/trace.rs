@@ -1,0 +1,408 @@
+//! Phase 1: trace generation and simulation-graph construction.
+
+use crate::error::LightningError;
+use omnisim_graph::{CsrGraph, CsrGraphBuilder, Edge, NodeId};
+use omnisim_interp::{Interpreter, ModuleClock, SimBackend, SimError};
+use omnisim_ir::design::OutputMap;
+use omnisim_ir::schedule::BlockSchedule;
+use omnisim_ir::validate::fifo_endpoints;
+use omnisim_ir::{ArrayId, AxiId, BlockId, Design, FifoId, ModuleId, OutputId};
+use std::collections::VecDeque;
+
+/// The artefact of Phase 1: the functional outputs, the frozen simulation
+/// graph and the per-FIFO access orders needed by Phase 2.
+#[derive(Debug)]
+pub struct LightningTrace {
+    pub(crate) graph: CsrGraph,
+    pub(crate) fifo_writes: Vec<Vec<NodeId>>,
+    pub(crate) fifo_reads: Vec<Vec<NodeId>>,
+    pub(crate) end_nodes: Vec<NodeId>,
+    /// Functional outputs observed during trace generation.
+    pub outputs: OutputMap,
+}
+
+impl LightningTrace {
+    /// Number of nodes in the simulation graph.
+    pub fn node_count(&self) -> usize {
+        self.graph.len()
+    }
+
+    /// Number of edges in the simulation graph (without Phase 2 overlays).
+    pub fn edge_count(&self) -> usize {
+        self.graph.edge_count()
+    }
+
+    /// Phase 2: computes the design latency for the given FIFO depths by
+    /// overlaying the depth-dependent write-after-read constraints and
+    /// running a longest-path pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LightningError::DepthMismatch`] if `depths` does not have
+    /// one entry per FIFO, or [`LightningError::Graph`] if the combined
+    /// constraint set is cyclic (which indicates a simulator bug).
+    pub fn analyze(&self, depths: &[usize]) -> Result<u64, LightningError> {
+        if depths.len() != self.fifo_writes.len() {
+            return Err(LightningError::DepthMismatch {
+                expected: self.fifo_writes.len(),
+                got: depths.len(),
+            });
+        }
+        let mut overlay = Vec::new();
+        for (fifo, &depth) in depths.iter().enumerate() {
+            let writes = &self.fifo_writes[fifo];
+            let reads = &self.fifo_reads[fifo];
+            for w in (depth + 1)..=writes.len() {
+                // The w-th write must wait for the (w - depth)-th read.
+                if let Some(&read_node) = reads.get(w - depth - 1) {
+                    overlay.push(Edge::new(read_node, writes[w - 1], 1));
+                }
+            }
+        }
+        let times = self.graph.times_with_overlay(&overlay)?;
+        let end = self
+            .end_nodes
+            .iter()
+            .map(|n| times[n.index()])
+            .max()
+            .unwrap_or(0);
+        Ok(end + 1)
+    }
+}
+
+/// Runs Phase 1 on a design, executing its tasks sequentially (in topological
+/// order of the dataflow graph) with unbounded FIFOs.
+pub(crate) fn generate_trace(design: &Design) -> Result<LightningTrace, LightningError> {
+    let order = topological_task_order(design);
+    let mut backend = TraceBackend::new(design);
+    let mut interp = Interpreter::new(design);
+    for task in order {
+        backend.begin_task();
+        interp.run_module(task, &[], &mut backend)?;
+        backend.finish_task();
+    }
+    Ok(LightningTrace {
+        graph: backend.graph.build(),
+        fifo_writes: backend.fifo_writes,
+        fifo_reads: backend.fifo_reads,
+        end_nodes: backend.end_nodes,
+        outputs: backend.outputs,
+    })
+}
+
+/// Orders the dataflow tasks so that every FIFO producer runs before its
+/// consumer. For Type A designs (acyclic) this always succeeds; ties and
+/// isolated tasks keep declaration order.
+fn topological_task_order(design: &Design) -> Vec<ModuleId> {
+    let tasks = design.dataflow_tasks();
+    let endpoints = fifo_endpoints(design);
+    let index_of = |m: ModuleId| tasks.iter().position(|&t| t == m);
+    let n = tasks.len();
+    let mut adj = vec![Vec::new(); n];
+    let mut in_degree = vec![0usize; n];
+    for (writers, readers) in &endpoints {
+        for w in writers {
+            for r in readers {
+                if let (Some(wi), Some(ri)) = (index_of(*w), index_of(*r)) {
+                    if wi != ri {
+                        adj[wi].push(ri);
+                        in_degree[ri] += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mut ready: VecDeque<usize> = (0..n).filter(|&i| in_degree[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(i) = ready.pop_front() {
+        order.push(tasks[i]);
+        for &j in &adj[i] {
+            in_degree[j] -= 1;
+            if in_degree[j] == 0 {
+                ready.push_back(j);
+            }
+        }
+    }
+    if order.len() != n {
+        // Cyclic (not Type A) — caller has already rejected this, but fall
+        // back to declaration order for robustness.
+        return tasks;
+    }
+    order
+}
+
+/// The Phase 1 backend: executes functionally with unbounded FIFOs while
+/// recording the simulation graph.
+#[derive(Debug)]
+struct TraceBackend<'d> {
+    design: &'d Design,
+    clock: ModuleClock,
+    graph: CsrGraphBuilder,
+    fifo_values: Vec<VecDeque<i64>>,
+    fifo_writes: Vec<Vec<NodeId>>,
+    fifo_reads: Vec<Vec<NodeId>>,
+    end_nodes: Vec<NodeId>,
+    last_event: Option<(NodeId, u64)>,
+    arrays: Vec<Vec<i64>>,
+    axi_read_state: Vec<AxiReadState>,
+    axi_write_state: Vec<AxiWriteState>,
+    outputs: OutputMap,
+}
+
+#[derive(Debug, Default, Clone)]
+struct AxiReadState {
+    queue: VecDeque<i64>,
+    next_beat_ready: u64,
+}
+
+#[derive(Debug, Default, Clone)]
+struct AxiWriteState {
+    addr: i64,
+    beats_done: i64,
+    last_beat_cycle: u64,
+    active: bool,
+}
+
+impl<'d> TraceBackend<'d> {
+    fn new(design: &'d Design) -> Self {
+        TraceBackend {
+            design,
+            clock: ModuleClock::starting_at(1),
+            graph: CsrGraphBuilder::new(),
+            fifo_values: vec![VecDeque::new(); design.fifos.len()],
+            fifo_writes: vec![Vec::new(); design.fifos.len()],
+            fifo_reads: vec![Vec::new(); design.fifos.len()],
+            end_nodes: Vec::new(),
+            last_event: None,
+            arrays: design.arrays.iter().map(|a| a.init.clone()).collect(),
+            axi_read_state: vec![AxiReadState::default(); design.axi_ports.len()],
+            axi_write_state: vec![AxiWriteState::default(); design.axi_ports.len()],
+            outputs: OutputMap::new(),
+        }
+    }
+
+    fn begin_task(&mut self) {
+        // Every dataflow task starts at cycle 1, concurrently in hardware.
+        self.clock = ModuleClock::starting_at(1);
+        self.last_event = None;
+    }
+
+    fn finish_task(&mut self) {
+        let end_cycle = self.clock.block_exit();
+        let node = self.event_node(end_cycle);
+        self.end_nodes.push(node);
+    }
+
+    /// Creates an event node at `cycle` and chains it to the previous event
+    /// of the same task with the static-schedule distance.
+    fn event_node(&mut self, cycle: u64) -> NodeId {
+        let node = self.graph.add_node(cycle);
+        if let Some((prev, prev_cycle)) = self.last_event {
+            self.graph
+                .add_edge(prev, node, cycle as i64 - prev_cycle as i64);
+        }
+        self.last_event = Some((node, cycle));
+        node
+    }
+}
+
+impl SimBackend for TraceBackend<'_> {
+    fn block_start(
+        &mut self,
+        _module: ModuleId,
+        _block: BlockId,
+        schedule: BlockSchedule,
+        back_edge: bool,
+    ) -> Result<(), SimError> {
+        self.clock.enter_block(&schedule, back_edge);
+        Ok(())
+    }
+
+    fn fifo_read(&mut self, fifo: FifoId, offset: u64) -> Result<i64, SimError> {
+        let value = self.fifo_values[fifo.index()]
+            .pop_front()
+            .ok_or(SimError::ReadWhileEmpty { fifo })?;
+        let cycle = self.clock.op_cycle(offset);
+        let node = self.event_node(cycle);
+        let reads = self.fifo_reads[fifo.index()].len();
+        // Read-after-write: the r-th read happens strictly after the r-th write.
+        let write_node = self.fifo_writes[fifo.index()][reads];
+        self.graph.add_edge(write_node, node, 1);
+        self.fifo_reads[fifo.index()].push(node);
+        Ok(value)
+    }
+
+    fn fifo_write(&mut self, fifo: FifoId, value: i64, offset: u64) -> Result<(), SimError> {
+        self.fifo_values[fifo.index()].push_back(value);
+        let cycle = self.clock.op_cycle(offset);
+        let node = self.event_node(cycle);
+        self.fifo_writes[fifo.index()].push(node);
+        Ok(())
+    }
+
+    fn fifo_nb_read(&mut self, fifo: FifoId, _offset: u64) -> Result<Option<i64>, SimError> {
+        // Non-blocking accesses require cycle-dependent functional behaviour,
+        // which a decoupled Phase 1 cannot provide.
+        Err(SimError::Aborted {
+            reason: format!(
+                "non-blocking read on fifo '{}' is not supported by LightningSim",
+                self.design.fifo(fifo).name
+            ),
+        })
+    }
+
+    fn fifo_nb_write(
+        &mut self,
+        fifo: FifoId,
+        _value: i64,
+        _offset: u64,
+    ) -> Result<bool, SimError> {
+        Err(SimError::Aborted {
+            reason: format!(
+                "non-blocking write on fifo '{}' is not supported by LightningSim",
+                self.design.fifo(fifo).name
+            ),
+        })
+    }
+
+    fn fifo_empty(&mut self, fifo: FifoId, _offset: u64) -> Result<bool, SimError> {
+        Err(SimError::Aborted {
+            reason: format!(
+                "fifo status check on '{}' is not supported by LightningSim",
+                self.design.fifo(fifo).name
+            ),
+        })
+    }
+
+    fn fifo_full(&mut self, fifo: FifoId, offset: u64) -> Result<bool, SimError> {
+        self.fifo_empty(fifo, offset)
+    }
+
+    fn array_load(&mut self, array: ArrayId, index: i64) -> Result<i64, SimError> {
+        let data = &self.arrays[array.index()];
+        usize::try_from(index)
+            .ok()
+            .and_then(|i| data.get(i).copied())
+            .ok_or(SimError::ArrayOutOfBounds {
+                array,
+                index,
+                len: data.len(),
+            })
+    }
+
+    fn array_store(&mut self, array: ArrayId, index: i64, value: i64) -> Result<(), SimError> {
+        let data = &mut self.arrays[array.index()];
+        let len = data.len();
+        let slot = usize::try_from(index)
+            .ok()
+            .and_then(|i| data.get_mut(i))
+            .ok_or(SimError::ArrayOutOfBounds { array, index, len })?;
+        *slot = value;
+        Ok(())
+    }
+
+    fn axi_read_req(
+        &mut self,
+        bus: AxiId,
+        addr: i64,
+        len: i64,
+        offset: u64,
+    ) -> Result<(), SimError> {
+        let port = self.design.axi_port(bus);
+        let cycle = self.clock.op_cycle(offset);
+        let data = &self.arrays[port.array.index()];
+        for beat in 0..len {
+            let idx = addr + beat;
+            let value = usize::try_from(idx)
+                .ok()
+                .and_then(|i| data.get(i).copied())
+                .ok_or(SimError::ArrayOutOfBounds {
+                    array: port.array,
+                    index: idx,
+                    len: data.len(),
+                })?;
+            self.axi_read_state[bus.index()].queue.push_back(value);
+        }
+        self.axi_read_state[bus.index()].next_beat_ready = cycle + port.request_latency;
+        Ok(())
+    }
+
+    fn axi_read(&mut self, bus: AxiId, offset: u64) -> Result<i64, SimError> {
+        let state = &mut self.axi_read_state[bus.index()];
+        let value = state
+            .queue
+            .pop_front()
+            .ok_or_else(|| SimError::AxiProtocolViolation {
+                detail: "axi read beat without outstanding request".to_owned(),
+            })?;
+        let ready = state.next_beat_ready;
+        state.next_beat_ready = ready + 1;
+        self.clock.stall_until(offset, ready);
+        Ok(value)
+    }
+
+    fn axi_write_req(
+        &mut self,
+        bus: AxiId,
+        addr: i64,
+        _len: i64,
+        _offset: u64,
+    ) -> Result<(), SimError> {
+        self.axi_write_state[bus.index()] = AxiWriteState {
+            addr,
+            beats_done: 0,
+            last_beat_cycle: 0,
+            active: true,
+        };
+        Ok(())
+    }
+
+    fn axi_write(&mut self, bus: AxiId, value: i64, offset: u64) -> Result<(), SimError> {
+        let port = self.design.axi_port(bus);
+        let cycle = self.clock.op_cycle(offset);
+        let state = &mut self.axi_write_state[bus.index()];
+        if !state.active {
+            return Err(SimError::AxiProtocolViolation {
+                detail: "axi write beat without outstanding request".to_owned(),
+            });
+        }
+        let idx = state.addr + state.beats_done;
+        state.beats_done += 1;
+        state.last_beat_cycle = cycle;
+        let data = &mut self.arrays[port.array.index()];
+        let len = data.len();
+        let slot = usize::try_from(idx)
+            .ok()
+            .and_then(|i| data.get_mut(i))
+            .ok_or(SimError::ArrayOutOfBounds {
+                array: port.array,
+                index: idx,
+                len,
+            })?;
+        *slot = value;
+        Ok(())
+    }
+
+    fn axi_write_resp(&mut self, bus: AxiId, offset: u64) -> Result<(), SimError> {
+        let port = self.design.axi_port(bus);
+        let ready = self.axi_write_state[bus.index()].last_beat_cycle + port.request_latency;
+        self.clock.stall_until(offset, ready);
+        Ok(())
+    }
+
+    fn output(&mut self, output: OutputId, value: i64) -> Result<(), SimError> {
+        self.outputs
+            .insert(self.design.output_name(output).to_owned(), value);
+        Ok(())
+    }
+
+    fn call_enter(&mut self, _callee: ModuleId, offset: u64) -> Result<(), SimError> {
+        self.clock.call_enter(offset);
+        Ok(())
+    }
+
+    fn call_exit(&mut self, _callee: ModuleId) -> Result<(), SimError> {
+        self.clock.call_exit();
+        Ok(())
+    }
+}

@@ -1,0 +1,313 @@
+//! Cycle-accurate FIFO and AXI channel state.
+
+use omnisim_ir::{AxiPortSpec, FifoSpec};
+use std::collections::VecDeque;
+
+/// Cycle-accurate state of one FIFO channel.
+///
+/// The channel records the commit cycle of every access so that the
+/// "strictly before" visibility rule of the timing-model contract can be
+/// evaluated independently of the order in which tasks are stepped within a
+/// global cycle:
+///
+/// * the *r*-th read may commit at cycle `c` only if the *r*-th write
+///   committed strictly before `c`;
+/// * the *w*-th write may commit at cycle `c` only if `w ≤ depth` or the
+///   *(w − depth)*-th read committed strictly before `c`.
+#[derive(Debug, Clone)]
+pub struct FifoChannel {
+    depth: usize,
+    values: VecDeque<i64>,
+    write_cycles: Vec<u64>,
+    read_cycles: Vec<u64>,
+}
+
+impl FifoChannel {
+    /// Creates the channel for a FIFO specification.
+    pub fn new(spec: &FifoSpec) -> Self {
+        FifoChannel {
+            depth: spec.depth,
+            values: VecDeque::new(),
+            write_cycles: Vec::new(),
+            read_cycles: Vec::new(),
+        }
+    }
+
+    /// Buffer capacity in elements.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of writes committed so far.
+    pub fn writes_committed(&self) -> usize {
+        self.write_cycles.len()
+    }
+
+    /// Number of reads committed so far.
+    pub fn reads_committed(&self) -> usize {
+        self.read_cycles.len()
+    }
+
+    /// Number of elements currently buffered (ignoring visibility cycles).
+    pub fn occupancy(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Can a write commit at cycle `cycle`?
+    pub fn can_write(&self, cycle: u64) -> bool {
+        let w = self.write_cycles.len() + 1;
+        if w <= self.depth {
+            return true;
+        }
+        let freeing_read = w - self.depth; // 1-indexed
+        self.read_cycles
+            .get(freeing_read - 1)
+            .is_some_and(|&rc| rc < cycle)
+    }
+
+    /// Can a read commit at cycle `cycle`?
+    pub fn can_read(&self, cycle: u64) -> bool {
+        let r = self.read_cycles.len() + 1;
+        self.write_cycles.get(r - 1).is_some_and(|&wc| wc < cycle)
+    }
+
+    /// `empty()` as observed by hardware at cycle `cycle`.
+    pub fn is_empty_at(&self, cycle: u64) -> bool {
+        !self.can_read(cycle)
+    }
+
+    /// `full()` as observed by hardware at cycle `cycle`.
+    pub fn is_full_at(&self, cycle: u64) -> bool {
+        !self.can_write(cycle)
+    }
+
+    /// Commits a write at `cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write is not allowed at `cycle`; callers must check
+    /// [`FifoChannel::can_write`] first.
+    pub fn push(&mut self, value: i64, cycle: u64) {
+        assert!(self.can_write(cycle), "fifo write committed while full");
+        self.values.push_back(value);
+        self.write_cycles.push(cycle);
+    }
+
+    /// Commits a read at `cycle` and returns the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read is not allowed at `cycle`; callers must check
+    /// [`FifoChannel::can_read`] first.
+    pub fn pop(&mut self, cycle: u64) -> i64 {
+        assert!(self.can_read(cycle), "fifo read committed while empty");
+        let value = self.values.pop_front().expect("value present");
+        self.read_cycles.push(cycle);
+        value
+    }
+
+    /// Values still buffered at the end of simulation (leftover data).
+    pub fn leftover(&self) -> usize {
+        self.values.len()
+    }
+}
+
+/// One outstanding AXI read or write burst.
+#[derive(Debug, Clone)]
+struct Burst {
+    addr: i64,
+    len: i64,
+    ready_cycle: u64,
+    beats_done: i64,
+}
+
+/// Cycle-accurate state of one AXI master port.
+///
+/// The model is deliberately simple and identical across all simulators in
+/// the workspace: a burst request issued at cycle `c` delivers (accepts) its
+/// first beat no earlier than `c + request_latency`, subsequent beats one
+/// cycle apart, and the write response arrives `request_latency` cycles after
+/// the last write beat.
+#[derive(Debug, Clone)]
+pub struct AxiChannel {
+    request_latency: u64,
+    read_bursts: VecDeque<Burst>,
+    write_bursts: VecDeque<Burst>,
+    last_write_beat_cycle: u64,
+}
+
+impl AxiChannel {
+    /// Creates the channel for an AXI port specification.
+    pub fn new(spec: &AxiPortSpec) -> Self {
+        AxiChannel {
+            request_latency: spec.request_latency,
+            read_bursts: VecDeque::new(),
+            write_bursts: VecDeque::new(),
+            last_write_beat_cycle: 0,
+        }
+    }
+
+    /// Issues a read-burst request at `cycle`.
+    pub fn read_req(&mut self, addr: i64, len: i64, cycle: u64) {
+        self.read_bursts.push_back(Burst {
+            addr,
+            len,
+            ready_cycle: cycle + self.request_latency,
+            beats_done: 0,
+        });
+    }
+
+    /// The earliest cycle at which the next read beat can be consumed, and
+    /// the memory address it reads, if a burst is outstanding.
+    pub fn next_read_beat(&self) -> Option<(u64, i64)> {
+        self.read_bursts.front().map(|b| {
+            (
+                b.ready_cycle + b.beats_done as u64,
+                b.addr + b.beats_done,
+            )
+        })
+    }
+
+    /// Consumes one read beat (the caller has verified the cycle).
+    pub fn take_read_beat(&mut self) {
+        let done = {
+            let burst = self.read_bursts.front_mut().expect("outstanding read burst");
+            burst.beats_done += 1;
+            burst.beats_done >= burst.len
+        };
+        if done {
+            self.read_bursts.pop_front();
+        }
+    }
+
+    /// Issues a write-burst request at `cycle`.
+    pub fn write_req(&mut self, addr: i64, len: i64, cycle: u64) {
+        self.write_bursts.push_back(Burst {
+            addr,
+            len,
+            ready_cycle: cycle + self.request_latency,
+            beats_done: 0,
+        });
+    }
+
+    /// The memory address the next write beat stores to, if a burst is
+    /// outstanding.
+    pub fn next_write_addr(&self) -> Option<i64> {
+        self.write_bursts.front().map(|b| b.addr + b.beats_done)
+    }
+
+    /// Records one write beat at `cycle`.
+    pub fn take_write_beat(&mut self, cycle: u64) {
+        self.last_write_beat_cycle = cycle;
+        let done = {
+            let burst = self
+                .write_bursts
+                .front_mut()
+                .expect("outstanding write burst");
+            burst.beats_done += 1;
+            burst.beats_done >= burst.len
+        };
+        if done {
+            self.write_bursts.pop_front();
+        }
+    }
+
+    /// The cycle at which the write response for the last burst arrives.
+    pub fn write_resp_ready(&self) -> u64 {
+        self.last_write_beat_cycle + self.request_latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fifo(depth: usize) -> FifoChannel {
+        FifoChannel::new(&FifoSpec {
+            name: "q".into(),
+            depth,
+        })
+    }
+
+    #[test]
+    fn write_visible_only_strictly_after_its_cycle() {
+        let mut f = fifo(4);
+        assert!(f.can_write(1));
+        f.push(42, 1);
+        assert!(!f.can_read(1), "same-cycle read must not see the write");
+        assert!(f.can_read(2));
+        assert_eq!(f.pop(2), 42);
+        assert_eq!(f.reads_committed(), 1);
+    }
+
+    #[test]
+    fn depth_limits_writes_until_a_read_frees_space() {
+        let mut f = fifo(1);
+        f.push(1, 1);
+        assert!(!f.can_write(2), "depth-1 fifo is full");
+        assert!(f.can_read(2));
+        f.pop(2);
+        assert!(!f.can_write(2), "space frees strictly after the read cycle");
+        assert!(f.can_write(3));
+        f.push(2, 3);
+        assert_eq!(f.writes_committed(), 2);
+    }
+
+    #[test]
+    fn empty_and_full_status_track_cycles() {
+        let mut f = fifo(2);
+        assert!(f.is_empty_at(5));
+        assert!(!f.is_full_at(5));
+        f.push(7, 5);
+        assert!(f.is_empty_at(5));
+        assert!(!f.is_empty_at(6));
+        f.push(8, 6);
+        assert!(f.is_full_at(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "fifo write committed while full")]
+    fn pushing_to_full_fifo_panics() {
+        let mut f = fifo(1);
+        f.push(1, 1);
+        f.push(2, 1);
+    }
+
+    #[test]
+    fn axi_read_burst_timing() {
+        let spec = AxiPortSpec {
+            name: "gmem".into(),
+            array: omnisim_ir::ArrayId(0),
+            request_latency: 4,
+        };
+        let mut axi = AxiChannel::new(&spec);
+        axi.read_req(10, 3, 2);
+        let (ready, addr) = axi.next_read_beat().unwrap();
+        assert_eq!(ready, 6);
+        assert_eq!(addr, 10);
+        axi.take_read_beat();
+        let (ready, addr) = axi.next_read_beat().unwrap();
+        assert_eq!(ready, 7);
+        assert_eq!(addr, 11);
+        axi.take_read_beat();
+        axi.take_read_beat();
+        assert!(axi.next_read_beat().is_none());
+    }
+
+    #[test]
+    fn axi_write_response_waits_for_latency() {
+        let spec = AxiPortSpec {
+            name: "gmem".into(),
+            array: omnisim_ir::ArrayId(0),
+            request_latency: 3,
+        };
+        let mut axi = AxiChannel::new(&spec);
+        axi.write_req(0, 2, 1);
+        assert_eq!(axi.next_write_addr(), Some(0));
+        axi.take_write_beat(4);
+        assert_eq!(axi.next_write_addr(), Some(1));
+        axi.take_write_beat(5);
+        assert!(axi.next_write_addr().is_none());
+        assert_eq!(axi.write_resp_ready(), 8);
+    }
+}

@@ -1,0 +1,61 @@
+//! Reference-simulation results.
+
+use omnisim_ir::design::OutputMap;
+use std::time::Duration;
+
+/// How the reference simulation ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtlOutcome {
+    /// Every dataflow task ran to completion.
+    Completed,
+    /// A design-level deadlock was detected: every unfinished task was
+    /// blocked on a FIFO access that can never complete.
+    Deadlock {
+        /// Cycle at which the deadlock was detected.
+        cycle: u64,
+        /// Names of the blocked tasks and the FIFOs they are blocked on.
+        blocked: Vec<String>,
+    },
+    /// The configured cycle limit was reached before completion.
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl RtlOutcome {
+    /// True if the simulation completed normally.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RtlOutcome::Completed)
+    }
+
+    /// True if a deadlock was detected.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, RtlOutcome::Deadlock { .. })
+    }
+}
+
+/// The result of a reference (cycle-stepped) simulation run.
+#[derive(Debug, Clone)]
+pub struct RtlReport {
+    /// How the run ended.
+    pub outcome: RtlOutcome,
+    /// Final value of every testbench-visible output that was written.
+    pub outputs: OutputMap,
+    /// End-to-end latency in clock cycles (for deadlocks, the detection
+    /// cycle; for cycle-limit aborts, the limit).
+    pub total_cycles: u64,
+    /// Number of simulated clock cycles actually stepped.
+    pub cycles_stepped: u64,
+    /// Total FIFO accesses committed (reads + writes).
+    pub fifo_accesses: u64,
+    /// Host wall-clock time of the run.
+    pub wall_time: Duration,
+}
+
+impl RtlReport {
+    /// Convenience accessor: value of a named output, if written.
+    pub fn output(&self, name: &str) -> Option<i64> {
+        self.outputs.get(name).copied()
+    }
+}

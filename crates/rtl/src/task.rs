@@ -1,0 +1,498 @@
+//! Per-task resumable execution for the cycle-stepped reference simulator.
+//!
+//! Unlike the run-to-completion interpreter in `omnisim-interp`, the
+//! reference simulator must be able to *suspend* a task mid-block whenever an
+//! operation cannot commit at the current clock cycle and resume it on a
+//! later cycle. Each task therefore carries an explicit frame stack (for
+//! calls into sub-functions) with a per-frame [`Timeline`].
+
+use crate::channel::{AxiChannel, FifoChannel};
+use omnisim_interp::{SimError, Timeline};
+use omnisim_ir::design::OutputMap;
+use omnisim_ir::{BlockId, Design, Expr, ModuleId, Op, Terminator, VarId};
+
+/// State shared by every task: FIFO channels, AXI ports, array memory and the
+/// testbench-visible outputs.
+#[derive(Debug)]
+pub struct SharedState {
+    /// FIFO channel state, indexed by `FifoId`.
+    pub fifos: Vec<FifoChannel>,
+    /// AXI port state, indexed by `AxiId`.
+    pub axis: Vec<AxiChannel>,
+    /// Array memory, indexed by `ArrayId`.
+    pub arrays: Vec<Vec<i64>>,
+    /// Final output values.
+    pub outputs: OutputMap,
+    /// Total FIFO accesses committed.
+    pub fifo_accesses: u64,
+}
+
+impl SharedState {
+    /// Initialises shared state from a design.
+    pub fn new(design: &Design) -> Self {
+        SharedState {
+            fifos: design.fifos.iter().map(FifoChannel::new).collect(),
+            axis: design.axi_ports.iter().map(AxiChannel::new).collect(),
+            arrays: design.arrays.iter().map(|a| a.init.clone()).collect(),
+            outputs: OutputMap::new(),
+            fifo_accesses: 0,
+        }
+    }
+}
+
+/// The per-cycle status of one task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskStatus {
+    /// The task has run to completion.
+    Finished,
+    /// The task's next operation is scheduled at a future cycle.
+    Waiting,
+    /// The task is stalled on a blocking FIFO access that could not commit
+    /// this cycle. Carries a human-readable description for deadlock reports.
+    Blocked(String),
+}
+
+/// Result of stepping one task for one clock cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// True if at least one operation committed during this cycle.
+    pub progressed: bool,
+    /// The task's status at the end of the cycle.
+    pub status: TaskStatus,
+}
+
+#[derive(Debug)]
+struct Frame {
+    module: ModuleId,
+    vars: Vec<i64>,
+    block: BlockId,
+    op_idx: usize,
+    timeline: Timeline,
+    /// Caller bookkeeping (absent for the root frame): destination variable
+    /// for the return value and the scheduled offset of the call op.
+    ret_dst: Option<VarId>,
+    call_offset: u64,
+}
+
+/// One dataflow task (or the non-dataflow top function) being simulated
+/// cycle by cycle.
+#[derive(Debug)]
+pub struct TaskState<'d> {
+    design: &'d Design,
+    /// Root module of the task (for reporting).
+    pub module: ModuleId,
+    frames: Vec<Frame>,
+    finished: bool,
+    end_time: u64,
+    ops_executed: u64,
+}
+
+impl<'d> TaskState<'d> {
+    /// Creates a task whose root module starts executing at `start_cycle`.
+    pub fn new(design: &'d Design, module: ModuleId, start_cycle: u64) -> Self {
+        let m = design.module(module);
+        debug_assert!(!m.is_dataflow(), "tasks must be function modules");
+        let mut timeline = Timeline::starting_at(start_cycle);
+        timeline.enter_block(&m.blocks[0].schedule, false);
+        TaskState {
+            design,
+            module,
+            frames: vec![Frame {
+                module,
+                vars: vec![0; m.num_vars as usize],
+                block: BlockId(0),
+                op_idx: 0,
+                timeline,
+                ret_dst: None,
+                call_offset: 0,
+            }],
+            finished: false,
+            end_time: start_cycle,
+            ops_executed: 0,
+        }
+    }
+
+    /// True once the task has returned from its root module.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Cycle at which the task finished (meaningful once finished).
+    pub fn end_time(&self) -> u64 {
+        self.end_time
+    }
+
+    /// Total operations committed by this task.
+    pub fn ops_executed(&self) -> u64 {
+        self.ops_executed
+    }
+
+    /// Name of the task's root module.
+    pub fn name(&self) -> &str {
+        &self.design.module(self.module).name
+    }
+
+    /// Executes every operation of this task that can commit at `cycle`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] for array out-of-bounds accesses and AXI
+    /// protocol violations.
+    pub fn step_cycle(
+        &mut self,
+        cycle: u64,
+        shared: &mut SharedState,
+    ) -> Result<StepOutcome, SimError> {
+        let mut progressed = false;
+        loop {
+            if self.finished {
+                return Ok(StepOutcome {
+                    progressed,
+                    status: TaskStatus::Finished,
+                });
+            }
+            let frame = self.frames.last_mut().expect("unfinished task has a frame");
+            let module = self.design.module(frame.module);
+            let block = &module.blocks[frame.block.index()];
+
+            if frame.timeline.block_entry() > cycle {
+                return Ok(StepOutcome {
+                    progressed,
+                    status: TaskStatus::Waiting,
+                });
+            }
+
+            if frame.op_idx < block.ops.len() {
+                let sop = &block.ops[frame.op_idx];
+                let effective = frame.timeline.op_cycle(sop.offset);
+                if effective > cycle {
+                    return Ok(StepOutcome {
+                        progressed,
+                        status: TaskStatus::Waiting,
+                    });
+                }
+                match Self::try_op(self.design, frame, sop.offset, &sop.op, cycle, shared)? {
+                    OpResult::Committed => {
+                        frame.op_idx += 1;
+                        progressed = true;
+                        self.ops_executed += 1;
+                    }
+                    OpResult::Blocked(reason) => {
+                        return Ok(StepOutcome {
+                            progressed,
+                            status: TaskStatus::Blocked(reason),
+                        });
+                    }
+                    OpResult::WaitFuture => {
+                        return Ok(StepOutcome {
+                            progressed,
+                            status: TaskStatus::Waiting,
+                        });
+                    }
+                    OpResult::EnterCall {
+                        callee,
+                        args,
+                        dst,
+                        offset,
+                    } => {
+                        let callee_module = self.design.module(callee);
+                        let start = frame.timeline.op_cycle(offset) + 1;
+                        let mut timeline = Timeline::starting_at(start);
+                        timeline.enter_block(&callee_module.blocks[0].schedule, false);
+                        let mut vars = vec![0; callee_module.num_vars as usize];
+                        for (slot, value) in vars.iter_mut().zip(&args) {
+                            *slot = *value;
+                        }
+                        self.frames.push(Frame {
+                            module: callee,
+                            vars,
+                            block: BlockId(0),
+                            op_idx: 0,
+                            timeline,
+                            ret_dst: dst,
+                            call_offset: offset,
+                        });
+                        progressed = true;
+                        self.ops_executed += 1;
+                    }
+                }
+                continue;
+            }
+
+            // All ops of the block committed: evaluate the terminator.
+            match &block.terminator {
+                Terminator::Jump(next) => {
+                    let next = *next;
+                    let back_edge = next == frame.block;
+                    frame.block = next;
+                    frame.op_idx = 0;
+                    frame
+                        .timeline
+                        .enter_block(&module.blocks[next.index()].schedule, back_edge);
+                }
+                Terminator::Branch {
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    let taken = eval(cond, &frame.vars) != 0;
+                    let next = if taken { *if_true } else { *if_false };
+                    let back_edge = next == frame.block;
+                    frame.block = next;
+                    frame.op_idx = 0;
+                    frame
+                        .timeline
+                        .enter_block(&module.blocks[next.index()].schedule, back_edge);
+                }
+                Terminator::Return(value) => {
+                    let rv = value.as_ref().map(|e| eval(e, &frame.vars));
+                    let exit = frame.timeline.block_exit();
+                    let ret_dst = frame.ret_dst;
+                    let call_offset = frame.call_offset;
+                    let is_root = self.frames.len() == 1;
+                    self.frames.pop();
+                    if is_root {
+                        self.finished = true;
+                        self.end_time = exit;
+                        return Ok(StepOutcome {
+                            progressed,
+                            status: TaskStatus::Finished,
+                        });
+                    }
+                    let caller = self.frames.last_mut().expect("caller frame");
+                    if let (Some(dst), Some(v)) = (ret_dst, rv) {
+                        caller.vars[dst.index()] = v;
+                    }
+                    caller.timeline.stall_until(call_offset, exit + 1);
+                    caller.op_idx += 1;
+                    progressed = true;
+                }
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn try_op(
+        design: &Design,
+        frame: &mut Frame,
+        offset: u64,
+        op: &Op,
+        cycle: u64,
+        shared: &mut SharedState,
+    ) -> Result<OpResult, SimError> {
+        let vars = &mut frame.vars;
+        match op {
+            Op::Assign { dst, expr } => {
+                vars[dst.index()] = eval(expr, vars);
+                Ok(OpResult::Committed)
+            }
+            Op::ArrayLoad { dst, array, index } => {
+                let idx = eval(index, vars);
+                let data = &shared.arrays[array.index()];
+                let value = usize::try_from(idx)
+                    .ok()
+                    .and_then(|i| data.get(i).copied())
+                    .ok_or(SimError::ArrayOutOfBounds {
+                        array: *array,
+                        index: idx,
+                        len: data.len(),
+                    })?;
+                vars[dst.index()] = value;
+                Ok(OpResult::Committed)
+            }
+            Op::ArrayStore {
+                array,
+                index,
+                value,
+            } => {
+                let idx = eval(index, vars);
+                let val = eval(value, vars);
+                let data = &mut shared.arrays[array.index()];
+                let len = data.len();
+                let slot = usize::try_from(idx)
+                    .ok()
+                    .and_then(|i| data.get_mut(i))
+                    .ok_or(SimError::ArrayOutOfBounds {
+                        array: *array,
+                        index: idx,
+                        len,
+                    })?;
+                *slot = val;
+                Ok(OpResult::Committed)
+            }
+            Op::FifoWrite { fifo, value } => {
+                let channel = &mut shared.fifos[fifo.index()];
+                if channel.can_write(cycle) {
+                    let val = eval(value, vars);
+                    frame.timeline.stall_until(offset, cycle);
+                    channel.push(val, cycle);
+                    shared.fifo_accesses += 1;
+                    Ok(OpResult::Committed)
+                } else {
+                    Ok(OpResult::Blocked(format!(
+                        "blocking write to full fifo '{}'",
+                        design.fifo(*fifo).name
+                    )))
+                }
+            }
+            Op::FifoRead { fifo, dst } => {
+                let channel = &mut shared.fifos[fifo.index()];
+                if channel.can_read(cycle) {
+                    frame.timeline.stall_until(offset, cycle);
+                    vars[dst.index()] = channel.pop(cycle);
+                    shared.fifo_accesses += 1;
+                    Ok(OpResult::Committed)
+                } else {
+                    Ok(OpResult::Blocked(format!(
+                        "blocking read from empty fifo '{}'",
+                        design.fifo(*fifo).name
+                    )))
+                }
+            }
+            Op::FifoNbWrite {
+                fifo,
+                value,
+                success,
+            } => {
+                let channel = &mut shared.fifos[fifo.index()];
+                let ok = channel.can_write(cycle);
+                if ok {
+                    let val = eval(value, vars);
+                    channel.push(val, cycle);
+                    shared.fifo_accesses += 1;
+                }
+                if let Some(s) = success {
+                    vars[s.index()] = i64::from(ok);
+                }
+                Ok(OpResult::Committed)
+            }
+            Op::FifoNbRead { fifo, dst, success } => {
+                let channel = &mut shared.fifos[fifo.index()];
+                let ok = channel.can_read(cycle);
+                if ok {
+                    vars[dst.index()] = channel.pop(cycle);
+                    shared.fifo_accesses += 1;
+                }
+                if let Some(s) = success {
+                    vars[s.index()] = i64::from(ok);
+                }
+                Ok(OpResult::Committed)
+            }
+            Op::FifoEmpty { fifo, dst } => {
+                if let Some(d) = dst {
+                    vars[d.index()] = i64::from(shared.fifos[fifo.index()].is_empty_at(cycle));
+                }
+                Ok(OpResult::Committed)
+            }
+            Op::FifoFull { fifo, dst } => {
+                if let Some(d) = dst {
+                    vars[d.index()] = i64::from(shared.fifos[fifo.index()].is_full_at(cycle));
+                }
+                Ok(OpResult::Committed)
+            }
+            Op::AxiReadReq { bus, addr, len } => {
+                let a = eval(addr, vars);
+                let l = eval(len, vars);
+                shared.axis[bus.index()].read_req(a, l, cycle);
+                Ok(OpResult::Committed)
+            }
+            Op::AxiRead { bus, dst } => {
+                let port = design.axi_port(*bus);
+                let channel = &mut shared.axis[bus.index()];
+                let (ready, addr) = channel.next_read_beat().ok_or_else(|| {
+                    SimError::AxiProtocolViolation {
+                        detail: format!("read beat on '{}' without an outstanding burst", port.name),
+                    }
+                })?;
+                if cycle < ready {
+                    return Ok(OpResult::WaitFuture);
+                }
+                let data = &shared.arrays[port.array.index()];
+                let value = usize::try_from(addr)
+                    .ok()
+                    .and_then(|i| data.get(i).copied())
+                    .ok_or(SimError::ArrayOutOfBounds {
+                        array: port.array,
+                        index: addr,
+                        len: data.len(),
+                    })?;
+                frame.timeline.stall_until(offset, cycle);
+                channel.take_read_beat();
+                vars[dst.index()] = value;
+                Ok(OpResult::Committed)
+            }
+            Op::AxiWriteReq { bus, addr, len } => {
+                let a = eval(addr, vars);
+                let l = eval(len, vars);
+                shared.axis[bus.index()].write_req(a, l, cycle);
+                Ok(OpResult::Committed)
+            }
+            Op::AxiWrite { bus, value } => {
+                let port = design.axi_port(*bus);
+                let val = eval(value, vars);
+                let addr = shared.axis[bus.index()].next_write_addr().ok_or_else(|| {
+                    SimError::AxiProtocolViolation {
+                        detail: format!(
+                            "write beat on '{}' without an outstanding burst",
+                            port.name
+                        ),
+                    }
+                })?;
+                let data = &mut shared.arrays[port.array.index()];
+                let len = data.len();
+                let slot = usize::try_from(addr)
+                    .ok()
+                    .and_then(|i| data.get_mut(i))
+                    .ok_or(SimError::ArrayOutOfBounds {
+                        array: port.array,
+                        index: addr,
+                        len,
+                    })?;
+                *slot = val;
+                shared.axis[bus.index()].take_write_beat(cycle);
+                Ok(OpResult::Committed)
+            }
+            Op::AxiWriteResp { bus } => {
+                let ready = shared.axis[bus.index()].write_resp_ready();
+                if cycle < ready {
+                    return Ok(OpResult::WaitFuture);
+                }
+                frame.timeline.stall_until(offset, cycle);
+                Ok(OpResult::Committed)
+            }
+            Op::Call { callee, args, dst } => {
+                let arg_values: Vec<i64> = args.iter().map(|a| eval(a, vars)).collect();
+                Ok(OpResult::EnterCall {
+                    callee: *callee,
+                    args: arg_values,
+                    dst: *dst,
+                    offset,
+                })
+            }
+            Op::Output { output, value } => {
+                let val = eval(value, vars);
+                shared
+                    .outputs
+                    .insert(design.output_name(*output).to_owned(), val);
+                Ok(OpResult::Committed)
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+enum OpResult {
+    Committed,
+    Blocked(String),
+    WaitFuture,
+    EnterCall {
+        callee: ModuleId,
+        args: Vec<i64>,
+        dst: Option<VarId>,
+        offset: u64,
+    },
+}
+
+fn eval(expr: &Expr, vars: &[i64]) -> i64 {
+    expr.eval(&|v: VarId| vars[v.index()])
+}

@@ -1,0 +1,62 @@
+//! FIFO-sizing design-space exploration on the congestion-aware dispatcher
+//! of Fig. 4 Ex. 5 — the workflow behind Table 6 of the paper.
+//!
+//! For every candidate (depth1, depth2) pair the example first tries the
+//! incremental re-simulation path (microseconds); only when the recorded
+//! constraints are violated does it fall back to a full re-simulation.
+//!
+//! Run with: `cargo run --release --example fifo_sizing_dse`
+
+use omnisim_suite::designs::fig4;
+use omnisim_suite::omnisim::{IncrementalOutcome, OmniSimulator};
+use std::time::Instant;
+
+fn main() {
+    let n = 1024;
+    let base_depths = (2usize, 2usize);
+    let design = fig4::ex5_with_depths(n, base_depths.0, base_depths.1);
+
+    println!("initial run with FIFO depths {base_depths:?}…");
+    let start = Instant::now();
+    let baseline = OmniSimulator::new(&design).run().expect("baseline run");
+    println!(
+        "  latency {} cycles, P1 handled {:?}, P2 handled {:?}  ({:.2?})",
+        baseline.total_cycles,
+        baseline.output("processed_by_p1"),
+        baseline.output("processed_by_p2"),
+        start.elapsed()
+    );
+
+    println!("\n{:>8} {:>8} {:>12} {:>14} {:>12}", "depth1", "depth2", "cycles", "method", "time");
+    let mut incremental_hits = 0;
+    let mut full_runs = 0;
+    for depth1 in [1usize, 2, 4, 8, 16, 100] {
+        for depth2 in [1usize, 2, 4, 16, 100] {
+            let start = Instant::now();
+            let (cycles, method) = match baseline
+                .incremental
+                .try_with_depths(&[depth1, depth2])
+                .expect("finalization succeeds")
+            {
+                IncrementalOutcome::Valid { total_cycles } => {
+                    incremental_hits += 1;
+                    (total_cycles, "incremental")
+                }
+                IncrementalOutcome::ConstraintViolated { .. } => {
+                    full_runs += 1;
+                    let resized = fig4::ex5_with_depths(n, depth1, depth2);
+                    let full = OmniSimulator::new(&resized).run().expect("full re-run");
+                    (full.total_cycles, "full re-sim")
+                }
+            };
+            println!(
+                "{depth1:>8} {depth2:>8} {cycles:>12} {method:>14} {:>12.2?}",
+                start.elapsed()
+            );
+        }
+    }
+    println!(
+        "\n{} configurations answered incrementally, {} needed a full re-simulation",
+        incremental_hits, full_runs
+    );
+}

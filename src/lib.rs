@@ -1,0 +1,27 @@
+//! # omnisim-suite
+//!
+//! Facade crate for the OmniSim reproduction workspace. It re-exports every
+//! member crate under a short name so that examples, integration tests and
+//! downstream users can depend on a single crate:
+//!
+//! * [`ir`] — the HLS-like design IR and builders,
+//! * [`interp`] — the IR interpreter and `SimBackend` trait,
+//! * [`graph`] — simulation-graph structures and longest-path analysis,
+//! * [`rtlsim`] — the cycle-stepped reference simulator (co-sim stand-in),
+//! * [`csim`] — naive sequential C simulation,
+//! * [`lightning`] — the decoupled two-phase LightningSim baseline,
+//! * [`omnisim`] — the OmniSim engine itself,
+//! * [`designs`] — the benchmark designs of the paper's evaluation.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
+
+pub use omnisim;
+pub use omnisim_csim as csim;
+pub use omnisim_designs as designs;
+pub use omnisim_graph as graph;
+pub use omnisim_interp as interp;
+pub use omnisim_ir as ir;
+pub use omnisim_lightning as lightning;
+pub use omnisim_rtlsim as rtlsim;

@@ -1,0 +1,165 @@
+//! Cross-simulator integration tests: every Table 4 design is run through
+//! the cycle-stepped reference simulator (co-sim stand-in), OmniSim and naive
+//! C simulation, and the results are cross-checked. This regenerates, in
+//! test form, the claims behind Table 3 and Fig. 8(a) of the paper.
+
+use omnisim::{OmniOutcome, OmniSimulator};
+use omnisim_csim as csim;
+use omnisim_designs::table4_designs_with_n;
+use omnisim_rtlsim::{RtlOutcome, RtlSimulator};
+
+/// Workload size used for integration testing (smaller than the benchmark
+/// default so the cycle-stepped reference stays fast).
+const TEST_N: i64 = 256;
+
+/// Maximum relative cycle-count error tolerated between OmniSim and the
+/// reference simulator, mirroring the ≤0.2% deviations of Fig. 8(a).
+const CYCLE_TOLERANCE: f64 = 0.005;
+
+#[test]
+fn omnisim_matches_reference_functionally_on_every_table4_design() {
+    for bench in table4_designs_with_n(TEST_N) {
+        let reference = RtlSimulator::new(&bench.design)
+            .run()
+            .unwrap_or_else(|e| panic!("reference failed on {}: {e}", bench.name));
+        let report = OmniSimulator::new(&bench.design)
+            .run()
+            .unwrap_or_else(|e| panic!("omnisim failed on {}: {e}", bench.name));
+
+        if bench.name == "deadlock" {
+            assert!(
+                reference.outcome.is_deadlock(),
+                "reference must deadlock on {}",
+                bench.name
+            );
+            assert!(
+                report.outcome.is_deadlock(),
+                "omnisim must deadlock on {}",
+                bench.name
+            );
+            continue;
+        }
+
+        assert!(
+            matches!(reference.outcome, RtlOutcome::Completed),
+            "reference did not complete on {}: {:?}",
+            bench.name,
+            reference.outcome
+        );
+        assert!(
+            matches!(report.outcome, OmniOutcome::Completed),
+            "omnisim did not complete on {}: {:?}",
+            bench.name,
+            report.outcome
+        );
+        assert_eq!(
+            report.outputs, reference.outputs,
+            "functional outputs diverge on {}",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn omnisim_cycle_counts_track_the_reference() {
+    for bench in table4_designs_with_n(TEST_N) {
+        if bench.name == "deadlock" {
+            continue;
+        }
+        let reference = RtlSimulator::new(&bench.design).run().unwrap();
+        let report = OmniSimulator::new(&bench.design).run().unwrap();
+        let reference_cycles = reference.total_cycles as f64;
+        let omnisim_cycles = report.total_cycles as f64;
+        let error = (omnisim_cycles - reference_cycles).abs() / reference_cycles;
+        assert!(
+            error <= CYCLE_TOLERANCE,
+            "{}: omnisim {} vs reference {} cycles ({:.3}% error)",
+            bench.name,
+            report.total_cycles,
+            reference.total_cycles,
+            error * 100.0
+        );
+    }
+}
+
+#[test]
+fn csim_fails_to_reproduce_type_bc_behaviour() {
+    let mut wrong_or_crashed = 0usize;
+    let mut total = 0usize;
+    for bench in table4_designs_with_n(TEST_N) {
+        if bench.name == "deadlock" {
+            // C simulation "completes" with warnings on the deadlock design;
+            // the reference deadlocks, so there is nothing to compare.
+            let c = csim::simulate(&bench.design);
+            assert!(c.warning_count() > 0, "deadlock design must warn under C sim");
+            continue;
+        }
+        total += 1;
+        let c = csim::simulate(&bench.design);
+        let reference = RtlSimulator::new(&bench.design).run().unwrap();
+        let differs = !c.outcome.is_completed() || c.outputs != reference.outputs;
+        if differs {
+            wrong_or_crashed += 1;
+        }
+    }
+    assert!(
+        wrong_or_crashed * 10 >= total * 8,
+        "C simulation should get most Type B/C designs wrong ({wrong_or_crashed}/{total})"
+    );
+}
+
+#[test]
+fn csim_crashes_with_sigsegv_on_done_signal_producers() {
+    for bench in table4_designs_with_n(TEST_N) {
+        if matches!(bench.name, "fig4_ex2" | "fig4_ex4a_d" | "fig4_ex4b_d") {
+            let c = csim::simulate(&bench.design);
+            assert!(
+                !c.outcome.is_completed(),
+                "{} must crash under sequential C simulation",
+                bench.name
+            );
+            assert!(
+                c.outcome.describe().contains("SIGSEGV"),
+                "{} should fail with a segmentation fault, got: {}",
+                bench.name,
+                c.outcome.describe()
+            );
+        }
+    }
+}
+
+#[test]
+fn fig2_timer_counts_real_hardware_cycles() {
+    let bench = table4_designs_with_n(TEST_N)
+        .into_iter()
+        .find(|b| b.name == "fig2_timer")
+        .unwrap();
+    let reference = RtlSimulator::new(&bench.design).run().unwrap();
+    let report = OmniSimulator::new(&bench.design).run().unwrap();
+    let c = csim::simulate(&bench.design);
+
+    let reference_count = reference.output("timer_cycles").unwrap();
+    assert!(reference_count > 0, "the timer must observe a non-zero wait");
+    assert_eq!(report.output("timer_cycles"), Some(reference_count));
+    assert_eq!(
+        c.output("timer_cycles"),
+        Some(0),
+        "C simulation sees the result immediately and counts zero cycles"
+    );
+}
+
+#[test]
+fn omnisim_reports_are_deterministic_across_runs() {
+    for bench in table4_designs_with_n(64) {
+        let first = OmniSimulator::new(&bench.design).run().unwrap();
+        for _ in 0..3 {
+            let again = OmniSimulator::new(&bench.design).run().unwrap();
+            assert_eq!(again.outputs, first.outputs, "{} outputs", bench.name);
+            assert_eq!(
+                again.total_cycles, first.total_cycles,
+                "{} cycles",
+                bench.name
+            );
+        }
+    }
+}

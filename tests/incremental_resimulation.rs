@@ -1,0 +1,81 @@
+//! Incremental re-simulation (§7.2, Table 6): changing FIFO depths should be
+//! answerable from the recorded constraints whenever the control flow would
+//! not change, and must be flagged as requiring a full re-simulation when it
+//! would.
+
+use omnisim::{IncrementalOutcome, OmniSimulator};
+use omnisim_designs::fig4;
+
+const N: i64 = 512;
+
+#[test]
+fn growing_the_uncontended_fifo_is_incrementally_valid() {
+    // Table 6, row "Incremental": depths (2, 2) -> (2, 100).
+    let design = fig4::ex5_with_depths(N, 2, 2);
+    let report = OmniSimulator::new(&design).run().unwrap();
+    match report.incremental.try_with_depths(&[2, 100]).unwrap() {
+        IncrementalOutcome::Valid { total_cycles } => {
+            // Cross-check against a full re-simulation of the resized design.
+            let resized = fig4::ex5_with_depths(N, 2, 100);
+            let full = OmniSimulator::new(&resized).run().unwrap();
+            assert_eq!(total_cycles, full.total_cycles);
+            assert_eq!(report.outputs, full.outputs, "behaviour must be unchanged");
+        }
+        other => panic!("expected the (2, 100) re-simulation to be incremental, got {other:?}"),
+    }
+}
+
+#[test]
+fn growing_the_contended_fifo_violates_constraints() {
+    // Table 6, row "Non-incremental": depths (2, 2) -> (100, 2). With a huge
+    // first FIFO the controller's non-blocking writes stop failing, so the
+    // recorded outcomes no longer hold and a full re-simulation is required.
+    let design = fig4::ex5_with_depths(N, 2, 2);
+    let report = OmniSimulator::new(&design).run().unwrap();
+    match report.incremental.try_with_depths(&[100, 2]).unwrap() {
+        IncrementalOutcome::ConstraintViolated { .. } => {}
+        other => panic!("expected constraint violation for (100, 2), got {other:?}"),
+    }
+
+    // The full re-simulation indeed produces different functional results.
+    let resized = fig4::ex5_with_depths(N, 100, 2);
+    let full = OmniSimulator::new(&resized).run().unwrap();
+    assert_ne!(
+        report.output("processed_by_p2"),
+        full.output("processed_by_p2"),
+        "work distribution must change when fifo1 stops back-pressuring"
+    );
+}
+
+#[test]
+fn identical_depths_reproduce_the_original_latency() {
+    let design = fig4::ex5_with_depths(N, 2, 2);
+    let report = OmniSimulator::new(&design).run().unwrap();
+    match report.incremental.try_with_depths(&[2, 2]).unwrap() {
+        IncrementalOutcome::Valid { total_cycles } => {
+            assert_eq!(total_cycles, report.total_cycles);
+        }
+        other => panic!("expected valid, got {other:?}"),
+    }
+}
+
+#[test]
+fn incremental_analysis_is_orders_of_magnitude_faster_than_resimulation() {
+    use std::time::Instant;
+    let design = fig4::ex5_with_depths(2025, 2, 2);
+    let report = OmniSimulator::new(&design).run().unwrap();
+
+    let start = Instant::now();
+    let _ = report.incremental.try_with_depths(&[2, 100]).unwrap();
+    let incremental_time = start.elapsed();
+
+    let start = Instant::now();
+    let resized = fig4::ex5_with_depths(2025, 2, 100);
+    let _ = OmniSimulator::new(&resized).run().unwrap();
+    let full_time = start.elapsed();
+
+    assert!(
+        incremental_time * 20 < full_time,
+        "incremental ({incremental_time:?}) should be far cheaper than full re-simulation ({full_time:?})"
+    );
+}

@@ -1,0 +1,126 @@
+//! Property-based tests over randomly generated dataflow pipelines and FIFO
+//! access patterns.
+
+use omnisim::OmniSimulator;
+use omnisim_lightning::LightningSimulator;
+use omnisim_rtlsim::RtlSimulator;
+use omnisim_suite::designs::typea::dataflow_graph;
+use omnisim_suite::ir::{DesignBuilder, Expr};
+use proptest::prelude::*;
+
+/// Builds a producer/consumer design with arbitrary trip count, FIFO depth
+/// and producer/consumer initiation intervals.
+fn producer_consumer(n: i64, depth: usize, prod_ii: u64, cons_ii: u64) -> omnisim_suite::ir::Design {
+    let mut d = DesignBuilder::new("prop_pc");
+    let data = d.array("data", (1..=n).collect::<Vec<i64>>());
+    let out = d.output("sum");
+    let q = d.fifo("q", depth);
+    let p = d.function("producer", |m| {
+        m.counted_loop("i", n, prod_ii, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(data, i);
+            b.fifo_write(q, Expr::var(v));
+        });
+    });
+    let c = d.function("consumer", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, cons_ii, |b| {
+            let v = b.fifo_read(q);
+            b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    });
+    d.dataflow_top("top", [p, c]);
+    d.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All three simulators agree on arbitrary blocking producer/consumer
+    /// configurations (the Type A core of the timing-model contract).
+    #[test]
+    fn simulators_agree_on_random_producer_consumer(
+        n in 1i64..120,
+        depth in 1usize..16,
+        prod_ii in 1u64..4,
+        cons_ii in 1u64..4,
+    ) {
+        let design = producer_consumer(n, depth, prod_ii, cons_ii);
+        let reference = RtlSimulator::new(&design).run().unwrap();
+        let omni = OmniSimulator::new(&design).run().unwrap();
+        let light = LightningSimulator::new(&design).unwrap().simulate().unwrap();
+
+        prop_assert_eq!(&omni.outputs, &reference.outputs);
+        prop_assert_eq!(&light.outputs, &reference.outputs);
+        prop_assert_eq!(omni.total_cycles, reference.total_cycles);
+        prop_assert_eq!(light.total_cycles, reference.total_cycles);
+        // Expected sum: 1 + 2 + … + n.
+        prop_assert_eq!(omni.outputs["sum"], n * (n + 1) / 2);
+    }
+
+    /// Deeper FIFOs never increase latency (monotonicity of stall analysis).
+    #[test]
+    fn deeper_fifos_never_hurt(
+        n in 1i64..100,
+        prod_ii in 1u64..3,
+        cons_ii in 1u64..3,
+        d1 in 1usize..8,
+        extra in 1usize..16,
+    ) {
+        let shallow = producer_consumer(n, d1, prod_ii, cons_ii);
+        let deep = producer_consumer(n, d1 + extra, prod_ii, cons_ii);
+        let shallow_cycles = OmniSimulator::new(&shallow).run().unwrap().total_cycles;
+        let deep_cycles = OmniSimulator::new(&deep).run().unwrap().total_cycles;
+        prop_assert!(deep_cycles <= shallow_cycles);
+    }
+
+    /// Incremental re-analysis brackets the truth whenever it declares
+    /// itself valid: it never under-estimates the latency of the resized
+    /// design (stalls observed in the original run stay baked into the node
+    /// times) and never exceeds the original latency when FIFOs only grow.
+    #[test]
+    fn incremental_is_a_sound_conservative_estimate(
+        n in 1i64..80,
+        depth in 1usize..6,
+        extra_depth in 0usize..32,
+        cons_ii in 1u64..3,
+    ) {
+        let design = producer_consumer(n, depth, 1, cons_ii);
+        let report = OmniSimulator::new(&design).run().unwrap();
+        let new_depth = depth + extra_depth;
+        if let omnisim::IncrementalOutcome::Valid { total_cycles } =
+            report.incremental.try_with_depths(&[new_depth]).unwrap()
+        {
+            let resized = design.with_fifo_depths(&[new_depth]);
+            let full = OmniSimulator::new(&resized).run().unwrap();
+            prop_assert!(total_cycles >= full.total_cycles,
+                "incremental {} must not under-estimate full {}", total_cycles, full.total_cycles);
+            prop_assert!(total_cycles <= report.total_cycles,
+                "growing FIFOs can only improve the incremental estimate");
+        }
+    }
+
+    /// Pipelines of arbitrary depth stay consistent between OmniSim and
+    /// LightningSim, and OmniSim is deterministic across repeated runs.
+    #[test]
+    fn pipelines_agree_and_are_deterministic(
+        stages in 1usize..6,
+        n in 1i64..80,
+        ii in 1u64..3,
+    ) {
+        let design = dataflow_graph("prop_pipeline", stages, n, ii);
+        let light = LightningSimulator::new(&design).unwrap().simulate().unwrap();
+        let first = OmniSimulator::new(&design).run().unwrap();
+        let second = OmniSimulator::new(&design).run().unwrap();
+        prop_assert_eq!(&first.outputs, &light.outputs);
+        prop_assert_eq!(first.total_cycles, light.total_cycles);
+        prop_assert_eq!(&first.outputs, &second.outputs);
+        prop_assert_eq!(first.total_cycles, second.total_cycles);
+    }
+}

@@ -1,0 +1,97 @@
+//! Type A equivalence: on LightningSim's home turf (Table 5 designs), the
+//! OmniSim engine, the LightningSim baseline and the cycle-stepped reference
+//! simulator must agree on functional outputs and cycle counts.
+
+use omnisim::OmniSimulator;
+use omnisim_designs::typea_suite;
+use omnisim_lightning::LightningSimulator;
+use omnisim_rtlsim::RtlSimulator;
+
+#[test]
+fn omnisim_and_lightningsim_agree_on_the_typea_suite() {
+    for bench in typea_suite() {
+        // The largest designs are covered by the benchmarks; keep tests fast.
+        if !bench.reference_feasible {
+            continue;
+        }
+        let mut lightning = LightningSimulator::new(&bench.design)
+            .unwrap_or_else(|e| panic!("{} rejected by lightning: {e}", bench.name));
+        let lightning_report = lightning
+            .simulate()
+            .unwrap_or_else(|e| panic!("lightning failed on {}: {e}", bench.name));
+        let omni_report = OmniSimulator::new(&bench.design)
+            .run()
+            .unwrap_or_else(|e| panic!("omnisim failed on {}: {e}", bench.name));
+
+        assert_eq!(
+            omni_report.outputs, lightning_report.outputs,
+            "outputs diverge on {}",
+            bench.name
+        );
+        assert_eq!(
+            omni_report.total_cycles, lightning_report.total_cycles,
+            "cycle counts diverge on {}",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn graph_based_simulators_match_the_reference_on_small_typea_designs() {
+    // A hand-picked subset that is cheap enough for per-cycle simulation.
+    let interesting = [
+        "fir_filter",
+        "vecadd_stream",
+        "accumulators_dataflow",
+        "parallel_loops",
+        "matrix_multiplication",
+        "axi4_master",
+        "imperfect_loops",
+        "loop_max_bound",
+    ];
+    for bench in typea_suite() {
+        if !interesting.contains(&bench.name) {
+            continue;
+        }
+        let reference = RtlSimulator::new(&bench.design)
+            .run()
+            .unwrap_or_else(|e| panic!("reference failed on {}: {e}", bench.name));
+        let omni = OmniSimulator::new(&bench.design).run().unwrap();
+        let mut lightning = LightningSimulator::new(&bench.design).unwrap();
+        let light = lightning.simulate().unwrap();
+
+        assert_eq!(omni.outputs, reference.outputs, "{} outputs", bench.name);
+        assert_eq!(light.outputs, reference.outputs, "{} outputs", bench.name);
+        assert_eq!(
+            omni.total_cycles, reference.total_cycles,
+            "{} omnisim cycles",
+            bench.name
+        );
+        assert_eq!(
+            light.total_cycles, reference.total_cycles,
+            "{} lightning cycles",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn dead_check_elision_does_not_change_results() {
+    use omnisim::SimConfig;
+    for bench in omnisim_designs::table4_designs_with_n(128) {
+        if bench.name == "deadlock" {
+            continue;
+        }
+        let with = OmniSimulator::with_config(&bench.design, SimConfig::default())
+            .run()
+            .unwrap();
+        let without = OmniSimulator::with_config(
+            &bench.design,
+            SimConfig::default().with_dead_check_elision(false),
+        )
+        .run()
+        .unwrap();
+        assert_eq!(with.outputs, without.outputs, "{}", bench.name);
+        assert_eq!(with.total_cycles, without.total_cycles, "{}", bench.name);
+    }
+}
