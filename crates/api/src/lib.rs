@@ -1,0 +1,490 @@
+//! # omnisim-api
+//!
+//! The unified simulation API shared by every backend in the workspace.
+//!
+//! The paper's whole evaluation is a *cross-backend comparison* — naive C
+//! simulation vs the LightningSim baseline vs OmniSim vs the cycle-stepped
+//! reference — so the backends need one vocabulary for "simulate this design
+//! and tell me what happened". This crate provides it:
+//!
+//! * [`Simulator`] — an object-safe trait (`name()`, `capabilities()`,
+//!   `simulate(&Design)`) implemented by `omnisim-csim`,
+//!   `omnisim-lightning`, `omnisim-rtlsim` and the `omnisim` engine itself,
+//! * [`SimReport`] — the unified result: outputs, a common [`SimOutcome`],
+//!   optional cycle count, per-phase [`SimTimings`], warnings and an
+//!   [`Extras`] escape hatch for backend-specific payloads (e.g. the
+//!   OmniSim engine's `IncrementalState`),
+//! * [`SimFailure`] — the unified error, distinguishing designs a backend
+//!   *cannot* handle ([`SimFailure::Unsupported`], e.g. Type B/C designs
+//!   under LightningSim) from runs that *failed* ([`SimFailure::Execution`]).
+//!
+//! Each backend's native outcome type converts into [`SimOutcome`] via
+//! `From` impls located in the backend's own crate; the `omnisim-suite`
+//! facade adds a string-keyed backend registry and a batch `Sweep` API on
+//! top of this trait.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use omnisim_ir::design::OutputMap;
+use omnisim_ir::{Design, DesignClass};
+use std::any::Any;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// An HLS-design simulator, as seen by the cross-backend tooling.
+///
+/// The trait is object-safe on purpose: registries, comparison harnesses and
+/// sweep drivers hold `Box<dyn Simulator>` and treat every backend
+/// identically. Construction cost (front-end elaboration, trace caching) is
+/// the implementation's business; `simulate` is a complete end-to-end run.
+pub trait Simulator: Send + Sync {
+    /// Stable, registry-friendly backend name (e.g. `"omnisim"`, `"csim"`).
+    fn name(&self) -> &'static str;
+
+    /// What this backend can and cannot do.
+    fn capabilities(&self) -> Capabilities;
+
+    /// Runs the design end to end.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFailure::Unsupported`] when the design falls outside the
+    /// backend's supported taxonomy classes, and [`SimFailure::Execution`] /
+    /// [`SimFailure::Internal`] when a run starts but cannot produce a
+    /// report. Deadlocks, crashes-by-design and cycle-limit aborts are *not*
+    /// failures — they are reported through [`SimReport::outcome`], because
+    /// observing them is exactly what the evaluation tables compare.
+    fn simulate(&self, design: &Design) -> Result<SimReport, SimFailure>;
+}
+
+impl fmt::Debug for dyn Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("name", &self.name())
+            .field("capabilities", &self.capabilities())
+            .finish()
+    }
+}
+
+/// Feature matrix of one backend (the rows of the paper's Table 3/5
+/// comparisons).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Capabilities {
+    /// Produces hardware-accurate cycle counts.
+    pub cycle_accurate: bool,
+    /// Correctly simulates Type B designs (blocking-only accesses whose
+    /// *timing* feeds back into behaviour: cyclic dependencies, deadlocks).
+    pub handles_type_b: bool,
+    /// Correctly simulates Type C designs (non-blocking FIFO accesses whose
+    /// *outcome* feeds back into behaviour).
+    pub handles_type_c: bool,
+    /// Fills in the per-phase [`SimTimings`] breakdown.
+    pub produces_timings: bool,
+    /// Ships an incremental-DSE payload in [`SimReport::extras`] that can
+    /// re-answer FIFO-depth changes without a full re-run.
+    pub incremental_dse: bool,
+}
+
+impl Capabilities {
+    /// True if the backend claims correct results for the given taxonomy
+    /// class.
+    pub fn supports(&self, class: DesignClass) -> bool {
+        match class {
+            DesignClass::TypeA => true,
+            DesignClass::TypeB => self.handles_type_b,
+            DesignClass::TypeC => self.handles_type_c,
+        }
+    }
+}
+
+/// How a simulation run ended, across all backends.
+///
+/// Native outcome types (`OmniOutcome`, `RtlOutcome`, `CsimOutcome`) convert
+/// into this via `From` impls in their home crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimOutcome {
+    /// Every task ran to completion.
+    Completed,
+    /// A design-level deadlock was detected.
+    Deadlock {
+        /// One human-readable entry per blocked task/FIFO pair.
+        blocked: Vec<String>,
+    },
+    /// The simulated program itself crashed (e.g. the `SIGSEGV` rows of
+    /// Table 3 under sequential C simulation).
+    Crashed {
+        /// What went wrong, styled after the originating tool's output.
+        reason: String,
+    },
+    /// The backend's configured cycle limit was reached before completion.
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl SimOutcome {
+    /// True if the run completed normally.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, SimOutcome::Completed)
+    }
+
+    /// True if a design deadlock was detected.
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, SimOutcome::Deadlock { .. })
+    }
+
+    /// True if the simulated program crashed.
+    pub fn is_crashed(&self) -> bool {
+        matches!(self, SimOutcome::Crashed { .. })
+    }
+
+    /// A short human-readable description for table cells.
+    pub fn describe(&self) -> String {
+        match self {
+            SimOutcome::Completed => "completed".to_owned(),
+            SimOutcome::Deadlock { blocked } if blocked.is_empty() => {
+                "deadlock detected".to_owned()
+            }
+            SimOutcome::Deadlock { blocked } => {
+                format!("deadlock detected: {}", blocked.join("; "))
+            }
+            SimOutcome::Crashed { reason } => reason.clone(),
+            SimOutcome::CycleLimit { limit } => format!("cycle limit {limit} reached"),
+        }
+    }
+}
+
+/// Wall-clock time breakdown of a run, mirroring Fig. 8(c) of the paper.
+///
+/// Backends map their native phases onto the three slots: the OmniSim engine
+/// reports elaboration / multi-threaded execution / finalization, the
+/// LightningSim baseline reports Phase 1 under `execution` and Phase 2 under
+/// `finalize`, and single-phase backends report everything under
+/// `execution`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimTimings {
+    /// Front-end elaboration: design copy, optimisation passes, taxonomy.
+    pub front_end: Duration,
+    /// The main simulation work.
+    pub execution: Duration,
+    /// Finalization / analysis after execution.
+    pub finalize: Duration,
+}
+
+impl SimTimings {
+    /// Total wall-clock time.
+    pub fn total(&self) -> Duration {
+        self.front_end + self.execution + self.finalize
+    }
+}
+
+/// Type-keyed container for backend-specific payloads riding on a
+/// [`SimReport`] — e.g. the OmniSim engine's `SimStats` and
+/// `IncrementalState`, or the reference simulator's native report.
+///
+/// At most one value per type is stored; inserting a second value of the
+/// same type replaces the first.
+#[derive(Default)]
+pub struct Extras {
+    items: Vec<Box<dyn Any + Send>>,
+}
+
+impl Extras {
+    /// Creates an empty container.
+    pub fn new() -> Self {
+        Extras::default()
+    }
+
+    /// Stores `value`, replacing any existing payload of the same type.
+    pub fn insert<T: Any + Send>(&mut self, value: T) {
+        self.remove_slot::<T>();
+        self.items.push(Box::new(value));
+    }
+
+    /// Borrows the payload of type `T`, if present.
+    pub fn get<T: Any>(&self) -> Option<&T> {
+        self.items.iter().find_map(|item| item.downcast_ref::<T>())
+    }
+
+    /// Removes and returns the payload of type `T`, if present.
+    pub fn take<T: Any>(&mut self) -> Option<T> {
+        self.remove_slot::<T>()
+    }
+
+    fn remove_slot<T: Any>(&mut self) -> Option<T> {
+        let position = self.items.iter().position(|item| item.as_ref().is::<T>())?;
+        self.items
+            .swap_remove(position)
+            .downcast::<T>()
+            .ok()
+            .map(|boxed| *boxed)
+    }
+
+    /// Number of stored payloads.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if no payload is stored.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl fmt::Debug for Extras {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Extras({} payloads)", self.items.len())
+    }
+}
+
+/// The unified result of a simulation run.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Name of the backend that produced this report.
+    pub backend: &'static str,
+    /// How the run ended.
+    pub outcome: SimOutcome,
+    /// Final value of every testbench-visible output that was written.
+    pub outputs: OutputMap,
+    /// End-to-end latency in clock cycles. `None` for backends with no
+    /// notion of hardware time (naive C simulation).
+    pub total_cycles: Option<u64>,
+    /// Wall-clock time breakdown.
+    pub timings: SimTimings,
+    /// Warning messages and how often each occurred.
+    pub warnings: BTreeMap<String, usize>,
+    /// Backend-specific payloads (incremental-DSE state, native stats, …).
+    pub extras: Extras,
+}
+
+impl SimReport {
+    /// Creates an empty report for a backend and outcome; callers fill in
+    /// the remaining fields.
+    pub fn new(backend: &'static str, outcome: SimOutcome) -> Self {
+        SimReport {
+            backend,
+            outcome,
+            outputs: OutputMap::new(),
+            total_cycles: None,
+            timings: SimTimings::default(),
+            warnings: BTreeMap::new(),
+            extras: Extras::new(),
+        }
+    }
+
+    /// Convenience accessor: value of a named output, if written.
+    pub fn output(&self, name: &str) -> Option<i64> {
+        self.outputs.get(name).copied()
+    }
+
+    /// Total number of warnings emitted.
+    pub fn warning_count(&self) -> usize {
+        self.warnings.values().sum()
+    }
+}
+
+/// Why a backend could not produce a [`SimReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimFailure {
+    /// The design falls outside the backend's supported taxonomy classes
+    /// (the "not supported" cells of the paper's comparison tables).
+    Unsupported {
+        /// The rejecting backend.
+        backend: &'static str,
+        /// Why the design is out of scope.
+        reason: String,
+    },
+    /// The run started but failed (interpreter error, thread panic, …).
+    Execution {
+        /// The failing backend.
+        backend: &'static str,
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// An invariant violation inside the backend itself.
+    Internal {
+        /// The failing backend.
+        backend: &'static str,
+        /// Human-readable description of the bug.
+        message: String,
+    },
+}
+
+impl SimFailure {
+    /// Creates an [`SimFailure::Unsupported`] failure.
+    pub fn unsupported(backend: &'static str, reason: impl Into<String>) -> Self {
+        SimFailure::Unsupported {
+            backend,
+            reason: reason.into(),
+        }
+    }
+
+    /// Creates an [`SimFailure::Execution`] failure.
+    pub fn execution(backend: &'static str, message: impl Into<String>) -> Self {
+        SimFailure::Execution {
+            backend,
+            message: message.into(),
+        }
+    }
+
+    /// Creates an [`SimFailure::Internal`] failure.
+    pub fn internal(backend: &'static str, message: impl Into<String>) -> Self {
+        SimFailure::Internal {
+            backend,
+            message: message.into(),
+        }
+    }
+
+    /// The backend that produced this failure.
+    pub fn backend(&self) -> &'static str {
+        match self {
+            SimFailure::Unsupported { backend, .. }
+            | SimFailure::Execution { backend, .. }
+            | SimFailure::Internal { backend, .. } => backend,
+        }
+    }
+
+    /// True if the design was rejected as out of scope (rather than a run
+    /// going wrong).
+    pub fn is_unsupported(&self) -> bool {
+        matches!(self, SimFailure::Unsupported { .. })
+    }
+}
+
+impl fmt::Display for SimFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimFailure::Unsupported { backend, reason } => {
+                write!(f, "design not supported by backend '{backend}': {reason}")
+            }
+            SimFailure::Execution { backend, message } => {
+                write!(f, "backend '{backend}' failed: {message}")
+            }
+            SimFailure::Internal { backend, message } => {
+                write!(f, "internal error in backend '{backend}': {message}")
+            }
+        }
+    }
+}
+
+impl Error for SimFailure {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_predicates_and_descriptions() {
+        assert!(SimOutcome::Completed.is_completed());
+        let d = SimOutcome::Deadlock {
+            blocked: vec!["task 'a' blocked reading fifo 'q'".into()],
+        };
+        assert!(d.is_deadlock());
+        assert!(!d.is_completed());
+        assert!(d.describe().contains("task 'a'"));
+        let c = SimOutcome::Crashed {
+            reason: "@E Simulation failed: SIGSEGV.".into(),
+        };
+        assert!(c.is_crashed());
+        assert_eq!(c.describe(), "@E Simulation failed: SIGSEGV.");
+        assert!(SimOutcome::CycleLimit { limit: 7 }.describe().contains('7'));
+    }
+
+    #[test]
+    fn capabilities_support_matrix() {
+        let lightning_like = Capabilities {
+            cycle_accurate: true,
+            handles_type_b: false,
+            handles_type_c: false,
+            produces_timings: true,
+            incremental_dse: true,
+        };
+        assert!(lightning_like.supports(DesignClass::TypeA));
+        assert!(!lightning_like.supports(DesignClass::TypeB));
+        assert!(!lightning_like.supports(DesignClass::TypeC));
+    }
+
+    #[test]
+    fn timings_total() {
+        let t = SimTimings {
+            front_end: Duration::from_millis(2),
+            execution: Duration::from_millis(5),
+            finalize: Duration::from_millis(1),
+        };
+        assert_eq!(t.total(), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn extras_stores_one_payload_per_type() {
+        #[derive(Debug, PartialEq)]
+        struct Stats(u64);
+        #[derive(Debug, PartialEq)]
+        struct Other(&'static str);
+
+        let mut extras = Extras::new();
+        assert!(extras.is_empty());
+        extras.insert(Stats(1));
+        extras.insert(Other("x"));
+        extras.insert(Stats(2)); // replaces Stats(1)
+        assert_eq!(extras.len(), 2);
+        assert_eq!(extras.get::<Stats>(), Some(&Stats(2)));
+        assert_eq!(extras.get::<Other>(), Some(&Other("x")));
+        assert_eq!(extras.take::<Stats>(), Some(Stats(2)));
+        assert_eq!(extras.get::<Stats>(), None);
+        assert_eq!(extras.len(), 1);
+    }
+
+    #[test]
+    fn report_accessors() {
+        let mut report = SimReport::new("test", SimOutcome::Completed);
+        report.outputs.insert("sum".into(), 55);
+        report.warnings.insert("read while empty".into(), 3);
+        assert_eq!(report.output("sum"), Some(55));
+        assert_eq!(report.output("missing"), None);
+        assert_eq!(report.warning_count(), 3);
+        assert_eq!(report.total_cycles, None);
+    }
+
+    #[test]
+    fn failures_format_and_classify() {
+        let u = SimFailure::unsupported("lightning", "non-blocking FIFO accesses");
+        assert!(u.is_unsupported());
+        assert_eq!(u.backend(), "lightning");
+        assert!(u.to_string().contains("lightning"));
+        let e = SimFailure::execution("omnisim", "task 'p' failed");
+        assert!(!e.is_unsupported());
+        fn assert_err<E: Error + Send + Sync + 'static>(_: &E) {}
+        assert_err(&e);
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        struct Dummy;
+        impl Simulator for Dummy {
+            fn name(&self) -> &'static str {
+                "dummy"
+            }
+            fn capabilities(&self) -> Capabilities {
+                Capabilities {
+                    cycle_accurate: false,
+                    handles_type_b: false,
+                    handles_type_c: false,
+                    produces_timings: false,
+                    incremental_dse: false,
+                }
+            }
+            fn simulate(&self, _design: &Design) -> Result<SimReport, SimFailure> {
+                Ok(SimReport::new("dummy", SimOutcome::Completed))
+            }
+        }
+        let boxed: Box<dyn Simulator> = Box::new(Dummy);
+        assert_eq!(boxed.name(), "dummy");
+        assert!(format!("{boxed:?}").contains("dummy"));
+    }
+}

@@ -1,146 +1,160 @@
-//! Criterion benchmarks comparing the simulators on representative designs
-//! (the measured counterparts of Fig. 8(b) and Table 5), plus the
-//! incremental-re-simulation microbenchmark behind Table 6.
+//! Benchmarks comparing the simulators on representative designs (the
+//! measured counterparts of Fig. 8(b) and Table 5), plus the incremental
+//! re-simulation microbenchmark behind Table 6 and the §7.3 ablations.
+//!
+//! The build container has no access to external crates, so this is a
+//! plain `harness = false` binary with a manual timing loop (median of N
+//! iterations after warmup) instead of Criterion. Run with:
+//! `cargo bench -p omnisim-bench`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use omnisim::OmniSimulator;
-use omnisim_csim as csim;
 use omnisim_designs::{fig4, misc, typea};
-use omnisim_lightning::LightningSimulator;
-use omnisim_rtlsim::RtlSimulator;
-use std::time::Duration;
+use omnisim_suite::omnisim::IncrementalState;
+use omnisim_suite::{backend, Simulator};
+use std::time::{Duration, Instant};
+
+/// Times `f` over `iters` iterations (after one warmup call) and returns
+/// the median.
+fn median_time(iters: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warmup
+    let mut samples: Vec<Duration> = (0..iters)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn report(group: &str, name: &str, time: Duration) {
+    println!("{group:<28} {name:<36} {time:>12.2?}");
+}
+
+fn header(group: &str) {
+    println!("\n== {group} ==");
+}
 
 /// Fig. 8(b): reference (co-sim stand-in) vs OmniSim vs C-sim on Type B/C
-/// designs, at a reduced workload size to keep Criterion runs short.
-fn cosim_vs_omnisim(c: &mut Criterion) {
+/// designs, at a reduced workload size to keep runs short.
+fn cosim_vs_omnisim() {
+    header("fig8b_runtime");
     let n = 512;
     let designs = vec![
         ("fig4_ex5", fig4::ex5(n)),
         ("fig4_ex4b", fig4::ex4b(n)),
         ("branch", misc::branch(n)),
     ];
-    let mut group = c.benchmark_group("fig8b_runtime");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(2));
-    for (name, design) in &designs {
-        group.bench_with_input(BenchmarkId::new("reference", name), design, |b, d| {
-            b.iter(|| RtlSimulator::new(d).run().unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("omnisim", name), design, |b, d| {
-            b.iter(|| OmniSimulator::new(d).run().unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("csim", name), design, |b, d| {
-            b.iter(|| csim::simulate(d));
-        });
+    for sim_name in ["rtl", "omnisim", "csim"] {
+        let sim = backend(sim_name).expect("registered");
+        for (name, design) in &designs {
+            let time = median_time(10, || {
+                sim.simulate(design).expect("benchmark run succeeds");
+            });
+            report("fig8b_runtime", &format!("{sim_name}/{name}"), time);
+        }
     }
-    group.finish();
 }
 
 /// Table 5: LightningSim baseline vs OmniSim on Type A designs of increasing
 /// size (the largest corresponds to a FlowGNN-scale dataflow graph).
-fn lightning_vs_omnisim(c: &mut Criterion) {
+fn lightning_vs_omnisim() {
+    header("table5_typea");
     let designs = vec![
         ("matmul_16", typea::matmul(16)),
         ("vecadd_4k", typea::vecadd_stream(4096, 4)),
-        ("pipeline_12x4k", typea::dataflow_graph("pipeline_12x4k", 12, 4096, 1)),
+        (
+            "pipeline_12x4k",
+            typea::dataflow_graph("pipeline_12x4k", 12, 4096, 1),
+        ),
     ];
-    let mut group = c.benchmark_group("table5_typea");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(2));
-    for (name, design) in &designs {
-        group.bench_with_input(BenchmarkId::new("lightningsim", name), design, |b, d| {
-            b.iter(|| LightningSimulator::new(d).unwrap().simulate().unwrap());
-        });
-        group.bench_with_input(BenchmarkId::new("omnisim", name), design, |b, d| {
-            b.iter(|| OmniSimulator::new(d).run().unwrap());
-        });
+    for sim_name in ["lightning", "omnisim"] {
+        let sim = backend(sim_name).expect("registered");
+        for (name, design) in &designs {
+            let time = median_time(10, || {
+                sim.simulate(design).expect("benchmark run succeeds");
+            });
+            report("table5_typea", &format!("{sim_name}/{name}"), time);
+        }
     }
-    group.finish();
 }
 
 /// Table 6: incremental re-analysis vs full re-simulation of fig4_ex5.
-fn incremental_resimulation(c: &mut Criterion) {
+fn incremental_resimulation() {
+    header("table6_incremental");
     let n = 1024;
     let design = fig4::ex5_with_depths(n, 2, 2);
-    let report = OmniSimulator::new(&design).run().unwrap();
-    let mut group = c.benchmark_group("table6_incremental");
-    group.sample_size(20);
-    group.measurement_time(Duration::from_secs(2));
-    group.bench_function("incremental_depth_change", |b| {
-        b.iter(|| report.incremental.try_with_depths(&[2, 100]).unwrap());
+    let omni = backend("omnisim").expect("registered");
+    let baseline = omni.simulate(&design).expect("baseline run");
+    let incremental = baseline
+        .extras
+        .get::<IncrementalState>()
+        .expect("omnisim ships incremental state");
+
+    let time = median_time(20, || {
+        incremental.try_with_depths(&[2, 100]).unwrap();
     });
-    group.bench_function("full_resimulation", |b| {
-        let resized = fig4::ex5_with_depths(n, 2, 100);
-        b.iter(|| OmniSimulator::new(&resized).run().unwrap());
+    report("table6_incremental", "incremental_depth_change", time);
+
+    let resized = fig4::ex5_with_depths(n, 2, 100);
+    let time = median_time(10, || {
+        omni.simulate(&resized).expect("full re-simulation");
     });
-    group.finish();
+    report("table6_incremental", "full_resimulation", time);
 }
 
 /// Ablations called out in §7.3: adjacency-list vs CSR simulation graphs,
 /// and the dead FIFO-check elision pass.
-fn ablations(c: &mut Criterion) {
+fn ablations() {
     use omnisim_graph::{CsrGraphBuilder, EventGraph};
+    use omnisim_suite::omnisim::{OmniBackend, SimConfig};
 
+    header("ablation_graph_structure");
     let nodes = 50_000usize;
-    let mut group = c.benchmark_group("ablation_graph_structure");
-    group.sample_size(20);
-    group.measurement_time(Duration::from_secs(2));
-    group.bench_function("adjacency_build_and_time", |b| {
-        b.iter(|| {
-            let mut g = EventGraph::with_capacity(nodes);
-            let mut prev = g.add_node(0);
-            for i in 1..nodes {
-                let node = g.add_node(i as u64);
-                g.add_edge(prev, node, 1);
-                prev = node;
-            }
-            g.recompute().unwrap()
-        });
+    let time = median_time(20, || {
+        let mut g = EventGraph::with_capacity(nodes);
+        let mut prev = g.add_node(0);
+        for i in 1..nodes {
+            let node = g.add_node(i as u64);
+            g.add_edge(prev, node, 1);
+            prev = node;
+        }
+        g.recompute().unwrap();
     });
-    group.bench_function("csr_build_and_time", |b| {
-        b.iter(|| {
-            let mut builder = CsrGraphBuilder::new();
-            let mut prev = builder.add_node(0);
-            for i in 1..nodes {
-                let node = builder.add_node(i as u64);
-                builder.add_edge(prev, node, 1);
-                prev = node;
-            }
-            let g = builder.build();
-            g.times().unwrap()
-        });
-    });
-    group.finish();
+    report("ablation_graph_structure", "adjacency_build_and_time", time);
 
-    let mut group = c.benchmark_group("ablation_dead_check_elision");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(2));
+    let time = median_time(20, || {
+        let mut builder = CsrGraphBuilder::new();
+        let mut prev = builder.add_node(0);
+        for i in 1..nodes {
+            let node = builder.add_node(i as u64);
+            builder.add_edge(prev, node, 1);
+            prev = node;
+        }
+        let g = builder.build();
+        g.times().unwrap();
+    });
+    report("ablation_graph_structure", "csr_build_and_time", time);
+
+    header("ablation_dead_check_elision");
     let design = fig4::ex2(512);
-    group.bench_function("with_elision", |b| {
-        b.iter(|| {
-            OmniSimulator::with_config(&design, omnisim::SimConfig::default())
-                .run()
-                .unwrap()
-        });
+    let with_elision = OmniBackend::with_config(SimConfig::default());
+    let without_elision =
+        OmniBackend::with_config(SimConfig::default().with_dead_check_elision(false));
+    let time = median_time(10, || {
+        with_elision.simulate(&design).unwrap();
     });
-    group.bench_function("without_elision", |b| {
-        b.iter(|| {
-            OmniSimulator::with_config(
-                &design,
-                omnisim::SimConfig::default().with_dead_check_elision(false),
-            )
-            .run()
-            .unwrap()
-        });
+    report("ablation_dead_check_elision", "with_elision", time);
+    let time = median_time(10, || {
+        without_elision.simulate(&design).unwrap();
     });
-    group.finish();
+    report("ablation_dead_check_elision", "without_elision", time);
 }
 
-criterion_group!(
-    benches,
-    cosim_vs_omnisim,
-    lightning_vs_omnisim,
-    incremental_resimulation,
-    ablations
-);
-criterion_main!(benches);
+fn main() {
+    // `cargo bench` passes harness flags like `--bench`; ignore them.
+    cosim_vs_omnisim();
+    lightning_vs_omnisim();
+    incremental_resimulation();
+    ablations();
+}

@@ -1,10 +1,10 @@
 //! Regenerates **Fig. 8(a)**: OmniSim's cycle-count accuracy against the
-//! cycle-stepped reference simulator on every Type B/C design.
+//! cycle-stepped reference simulator on every Type B/C design, through the
+//! unified `Simulator` API.
 
-use omnisim::OmniSimulator;
 use omnisim_bench::percent_error;
 use omnisim_designs::table4_designs;
-use omnisim_rtlsim::RtlSimulator;
+use omnisim_suite::backend;
 
 fn main() {
     println!("Fig. 8(a): cycle-count accuracy (reference vs OmniSim)\n");
@@ -13,10 +13,14 @@ fn main() {
         "design", "reference", "omnisim", "error"
     );
     omnisim_bench::rule(56);
+    let reference_sim = backend("rtl").expect("registered");
+    let omni_sim = backend("omnisim").expect("registered");
     let mut errors = Vec::new();
     for bench in table4_designs() {
-        let reference = RtlSimulator::new(&bench.design).run().expect("reference run");
-        let omni = OmniSimulator::new(&bench.design).run().expect("omnisim run");
+        let reference = reference_sim
+            .simulate(&bench.design)
+            .expect("reference run");
+        let omni = omni_sim.simulate(&bench.design).expect("omnisim run");
         if bench.name == "deadlock" {
             println!(
                 "{:<14} {:>14} {:>14} {:>10}",
@@ -24,11 +28,13 @@ fn main() {
             );
             continue;
         }
-        let err = percent_error(omni.total_cycles, reference.total_cycles);
+        let reference_cycles = reference.total_cycles.expect("reference is cycle-accurate");
+        let omni_cycles = omni.total_cycles.expect("omnisim is cycle-accurate");
+        let err = percent_error(omni_cycles, reference_cycles);
         errors.push(err);
         println!(
             "{:<14} {:>14} {:>14} {:>9.2}%",
-            bench.name, reference.total_cycles, omni.total_cycles, err
+            bench.name, reference_cycles, omni_cycles, err
         );
     }
     omnisim_bench::rule(56);

@@ -1,12 +1,12 @@
 //! Regenerates **Fig. 8(b)** and **Fig. 8(c)**: wall-clock runtime of the
 //! cycle-stepped reference simulator vs OmniSim, and the breakdown of
 //! OmniSim's runtime into front-end elaboration, multi-threaded execution
-//! and finalization.
+//! and finalization — all through the unified `Simulator` API, whose
+//! `SimTimings` carry the per-phase breakdown.
 
-use omnisim::OmniSimulator;
 use omnisim_bench::{geomean, secs};
 use omnisim_designs::table4_designs;
-use omnisim_rtlsim::RtlSimulator;
+use omnisim_suite::backend;
 use std::time::Instant;
 
 fn main() {
@@ -16,16 +16,18 @@ fn main() {
         "design", "reference", "omnisim", "speedup", "front-end", "execution", "finalize"
     );
     omnisim_bench::rule(90);
+    let reference_sim = backend("rtl").expect("registered");
+    let omni_sim = backend("omnisim").expect("registered");
     let mut speedups = Vec::new();
     for bench in table4_designs() {
         let reference_start = Instant::now();
-        let reference = RtlSimulator::new(&bench.design).run().expect("reference run");
+        let _reference = reference_sim
+            .simulate(&bench.design)
+            .expect("reference run");
         let reference_time = reference_start.elapsed();
-        let _ = &reference;
 
         let omni_start = Instant::now();
-        let simulator = OmniSimulator::new(&bench.design);
-        let report = simulator.run().expect("omnisim run");
+        let report = omni_sim.simulate(&bench.design).expect("omnisim run");
         let omni_time = omni_start.elapsed();
 
         let speedup = reference_time.as_secs_f64() / omni_time.as_secs_f64().max(1e-9);
@@ -42,7 +44,10 @@ fn main() {
         );
     }
     omnisim_bench::rule(90);
-    println!("\ngeomean speedup over the reference simulator: {:.1}x", geomean(&speedups));
+    println!(
+        "\ngeomean speedup over the reference simulator: {:.1}x",
+        geomean(&speedups)
+    );
     println!(
         "(the paper reports a 30.7x geomean speedup over RTL co-simulation; absolute ratios depend on \
          the reference's per-cycle cost, the shape — large, consistent wins — is the reproduced claim)"

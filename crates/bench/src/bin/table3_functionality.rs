@@ -1,12 +1,29 @@
 //! Regenerates **Table 3**: functional results of C simulation, the
 //! cycle-stepped reference simulator (co-simulation stand-in) and OmniSim on
-//! the eleven Type B/C designs.
+//! the eleven Type B/C designs, all driven through the unified `Simulator`
+//! API.
 
-use omnisim::{OmniOutcome, OmniSimulator};
 use omnisim_bench::format_outputs;
-use omnisim_csim as csim;
 use omnisim_designs::table4_designs;
-use omnisim_rtlsim::{RtlOutcome, RtlSimulator};
+use omnisim_suite::{backend, SimOutcome, SimReport};
+
+fn cell(report: &SimReport) -> String {
+    match &report.outcome {
+        SimOutcome::Completed => {
+            let warn = if report.warning_count() > 0 {
+                format!(" [{} warnings]", report.warning_count())
+            } else {
+                String::new()
+            };
+            format!("{}{}", format_outputs(&report.outputs), warn)
+        }
+        SimOutcome::Deadlock { .. } => match report.total_cycles {
+            Some(cycle) => format!("DEADLOCK DETECTED at cycle {cycle}"),
+            None => "DEADLOCK DETECTED".to_owned(),
+        },
+        other => other.describe(),
+    }
+}
 
 fn main() {
     println!("Table 3: functionality simulation across C-sim, reference co-sim and OmniSim\n");
@@ -16,35 +33,18 @@ fn main() {
     );
     omnisim_bench::rule(164);
 
+    let csim = backend("csim").expect("registered");
+    let reference_sim = backend("rtl").expect("registered");
+    let omni_sim = backend("omnisim").expect("registered");
+
     let mut matches = 0usize;
     let mut comparable = 0usize;
     for bench in table4_designs() {
-        let c = csim::simulate(&bench.design);
-        let csim_cell = if c.outcome.is_completed() {
-            let warn = if c.warning_count() > 0 {
-                format!(" [{} warnings]", c.warning_count())
-            } else {
-                String::new()
-            };
-            format!("{}{}", format_outputs(&c.outputs), warn)
-        } else {
-            c.outcome.describe()
-        };
-
-        let reference = RtlSimulator::new(&bench.design).run().expect("reference run");
-        let reference_cell = match &reference.outcome {
-            RtlOutcome::Completed => format_outputs(&reference.outputs),
-            RtlOutcome::Deadlock { cycle, .. } => {
-                format!("DEADLOCK DETECTED at cycle {cycle}")
-            }
-            RtlOutcome::CycleLimit { limit } => format!("cycle limit {limit} reached"),
-        };
-
-        let omni = OmniSimulator::new(&bench.design).run().expect("omnisim run");
-        let omni_cell = match &omni.outcome {
-            OmniOutcome::Completed => format_outputs(&omni.outputs),
-            OmniOutcome::Deadlock { .. } => "unresolvable deadlock detected".to_owned(),
-        };
+        let c = csim.simulate(&bench.design).expect("csim run");
+        let reference = reference_sim
+            .simulate(&bench.design)
+            .expect("reference run");
+        let omni = omni_sim.simulate(&bench.design).expect("omnisim run");
 
         if bench.name != "deadlock" {
             comparable += 1;
@@ -55,7 +55,10 @@ fn main() {
 
         println!(
             "{:<14} | {:<52} | {:<44} | {:<44}",
-            bench.name, csim_cell, reference_cell, omni_cell
+            bench.name,
+            cell(&c),
+            cell(&reference),
+            cell(&omni)
         );
     }
     omnisim_bench::rule(164);

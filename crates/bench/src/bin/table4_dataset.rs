@@ -7,8 +7,8 @@ use omnisim_ir::taxonomy::classify;
 fn main() {
     println!("Table 4: evaluated Type B and Type C designs\n");
     println!(
-        "{:<14} {:>5} {:>6} {:>6} {:>7} {:>8}   {}",
-        "name", "type", "#mod", "#fifo", "B/NB", "cyclic?", "description"
+        "{:<14} {:>5} {:>6} {:>6} {:>7} {:>8}   description",
+        "name", "type", "#mod", "#fifo", "B/NB", "cyclic?"
     );
     omnisim_bench::rule(100);
     for bench in table4_designs() {

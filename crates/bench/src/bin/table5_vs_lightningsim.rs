@@ -1,32 +1,33 @@
 //! Regenerates **Table 5**: OmniSim vs the LightningSimV2-style baseline on
 //! the Type A benchmark suite, with OmniSim's runtime broken down into
-//! front-end (FE) and multi-threaded execution (MT).
+//! front-end (FE) and multi-threaded execution (MT) — all through the
+//! unified `Simulator` API.
 
-use omnisim::OmniSimulator;
 use omnisim_bench::{geomean, secs};
 use omnisim_designs::typea_suite;
-use omnisim_lightning::LightningSimulator;
+use omnisim_suite::backend;
 use std::time::Instant;
 
 fn main() {
     println!("Table 5: OmniSim vs LightningSim baseline on the Type A suite\n");
     println!(
-        "{:<26} {:>11} {:>11} {:>9} {:>9} {:>9}   {}",
-        "benchmark", "LightningSim", "OmniSim", "FE", "MT", "speedup", "match?"
+        "{:<26} {:>11} {:>11} {:>9} {:>9} {:>9}   match?",
+        "benchmark", "LightningSim", "OmniSim", "FE", "MT", "speedup"
     );
     omnisim_bench::rule(100);
 
+    let lightning = backend("lightning").expect("registered");
+    let omni = backend("omnisim").expect("registered");
     let mut speedups = Vec::new();
     for bench in typea_suite() {
         let light_start = Instant::now();
-        let mut lightning =
-            LightningSimulator::new(&bench.design).expect("suite designs are Type A");
-        let light_report = lightning.simulate().expect("lightning run");
+        let light_report = lightning
+            .simulate(&bench.design)
+            .expect("suite designs are Type A");
         let light_time = light_start.elapsed();
 
         let omni_start = Instant::now();
-        let simulator = OmniSimulator::new(&bench.design);
-        let omni_report = simulator.run().expect("omnisim run");
+        let omni_report = omni.simulate(&bench.design).expect("omnisim run");
         let omni_time = omni_start.elapsed();
 
         let agree = light_report.outputs == omni_report.outputs

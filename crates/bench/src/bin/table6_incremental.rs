@@ -1,26 +1,35 @@
 //! Regenerates **Table 6**: incremental re-simulation of `fig4_ex5` under
-//! changed FIFO depths.
+//! changed FIFO depths, through the unified `Simulator` API — the
+//! `IncrementalState` payload rides in the report's extras.
 //!
 //! * `(2, 2) -> (2, 100)`: constraints hold, so the incremental path answers
 //!   in microseconds.
 //! * `(2, 2) -> (100, 2)`: constraints are violated (the congestion pattern
 //!   changes), so a full re-simulation is required; the already-elaborated
 //!   design still makes it cheaper than the initial run.
+//!
+//! The batch equivalent of this workflow is `omnisim_suite::Sweep`, shown at
+//! the end.
 
-use omnisim::{IncrementalOutcome, OmniSimulator, SimConfig};
 use omnisim_bench::secs;
 use omnisim_designs::{fig4, DEFAULT_N};
+use omnisim_suite::omnisim::{IncrementalOutcome, IncrementalState};
+use omnisim_suite::{backend, Sweep};
 use std::time::Instant;
 
 fn main() {
     let n = DEFAULT_N;
     println!("Table 6: evaluating fig4_ex5 under different FIFO depths (N = {n})\n");
 
+    let omni = backend("omnisim").expect("registered");
     let initial_start = Instant::now();
     let design = fig4::ex5_with_depths(n, 2, 2);
-    let simulator = OmniSimulator::new(&design);
-    let report = simulator.run().expect("initial run");
+    let report = omni.simulate(&design).expect("initial run");
     let initial_time = initial_start.elapsed();
+    let incremental = report
+        .extras
+        .get::<IncrementalState>()
+        .expect("omnisim reports carry incremental-DSE state");
 
     println!(
         "{:<18} {:>10} {:>14} {:>8} {:>12} {:>12}",
@@ -39,8 +48,7 @@ fn main() {
 
     // Case 1: growing the uncontended FIFO — incremental analysis succeeds.
     let start = Instant::now();
-    let outcome = report
-        .incremental
+    let outcome = incremental
         .try_with_depths(&[2, 100])
         .expect("finalization succeeds");
     let incr_time = start.elapsed();
@@ -63,8 +71,7 @@ fn main() {
 
     // Case 2: growing the contended FIFO — constraints violated, full re-run.
     let start = Instant::now();
-    let outcome = report
-        .incremental
+    let outcome = incremental
         .try_with_depths(&[100, 2])
         .expect("finalization succeeds");
     let check_time = start.elapsed();
@@ -72,11 +79,7 @@ fn main() {
         IncrementalOutcome::ConstraintViolated { constraint } => {
             let rerun_start = Instant::now();
             let resized = fig4::ex5_with_depths(n, 100, 2);
-            // Reusing the already-elaborated front end corresponds to reusing
-            // the compiled executable in the paper's Table 6.
-            let rerun = OmniSimulator::with_config(&resized, SimConfig::default())
-                .run()
-                .expect("full re-simulation");
+            let rerun = omni.simulate(&resized).expect("full re-simulation");
             let rerun_time = rerun_start.elapsed();
             let total = check_time + rerun_time;
             let speedup = initial_time.as_secs_f64() / total.as_secs_f64().max(1e-9);
@@ -92,7 +95,7 @@ fn main() {
             println!(
                 "                   -> constraint #{constraint} violated; full re-simulation gives {} cycles, \
                  work split changes to P1={:?} / P2={:?}",
-                rerun.total_cycles,
+                rerun.total_cycles.unwrap(),
                 rerun.output("processed_by_p1"),
                 rerun.output("processed_by_p2"),
             );
@@ -103,8 +106,22 @@ fn main() {
     omnisim_bench::rule(82);
     println!(
         "\noriginal run: {} cycles, P1={:?}, P2={:?}",
-        report.total_cycles,
+        report.total_cycles.unwrap(),
         report.output("processed_by_p1"),
         report.output("processed_by_p2"),
+    );
+
+    // The same workflow in batch form: one Sweep call covers both rows.
+    let start = Instant::now();
+    let sweep = Sweep::new(&design)
+        .point([2usize, 100])
+        .point([100usize, 2])
+        .run()
+        .expect("sweep succeeds");
+    println!(
+        "\nbatch Sweep over the same two points: {} incremental / {} full re-sim in {}",
+        sweep.incremental_hits(),
+        sweep.full_resims(),
+        secs(start.elapsed())
     );
 }

@@ -47,9 +47,14 @@ pub fn geomean(values: &[f64]) -> f64 {
 }
 
 /// Relative error of `measured` against `reference`, in percent.
+///
+/// A zero reference only means zero error when the measurement is also
+/// zero; a non-zero measurement against a zero reference is unbounded
+/// divergence and reported as `f64::INFINITY` rather than silently masked
+/// as 0%.
 pub fn percent_error(measured: u64, reference: u64) -> f64 {
     if reference == 0 {
-        return 0.0;
+        return if measured == 0 { 0.0 } else { f64::INFINITY };
     }
     (measured as f64 - reference as f64).abs() / reference as f64 * 100.0
 }
@@ -72,7 +77,16 @@ mod tests {
     fn percent_error_basics() {
         assert_eq!(percent_error(100, 100), 0.0);
         assert!((percent_error(101, 100) - 1.0).abs() < 1e-9);
-        assert_eq!(percent_error(5, 0), 0.0);
+    }
+
+    #[test]
+    fn percent_error_zero_reference_distinguishes_divergence() {
+        // A zero reference with a zero measurement is an exact match…
+        assert_eq!(percent_error(0, 0), 0.0);
+        // …but a non-zero measurement against a zero reference is unbounded
+        // divergence, not 0% error (the regression this guards against).
+        assert!(percent_error(5, 0).is_infinite());
+        assert!(percent_error(1, 0) > 1e300);
     }
 
     #[test]

@@ -8,15 +8,15 @@ use crate::query::{Query, QueryKind, QueryPool, Resolution};
 use crate::report::{OmniError, OmniOutcome, OmniReport, SimStats, SimTimings};
 use crate::request::{Request, Response, ThreadId};
 use crate::runtime::FuncRuntime;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use omnisim_graph::{EventGraph, NodeId};
 use omnisim_interp::{Interpreter, SimError};
 use omnisim_ir::design::OutputMap;
 use omnisim_ir::optimize::eliminate_dead_fifo_checks;
 use omnisim_ir::taxonomy::{classify, TaxonomyReport};
 use omnisim_ir::Design;
-use parking_lot::Mutex;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, sync_channel, Receiver, SyncSender};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// The OmniSim simulator for one design.
@@ -101,11 +101,11 @@ impl<'d> OmniSimulator<'d> {
             .map(|a| Mutex::new(a.init.clone()))
             .collect();
 
-        let (req_tx, req_rx) = unbounded::<Request>();
+        let (req_tx, req_rx) = channel::<Request>();
         let mut resp_senders = Vec::with_capacity(thread_count);
         let mut resp_receivers = Vec::with_capacity(thread_count);
         for _ in 0..thread_count {
-            let (tx, rx) = bounded::<Response>(1);
+            let (tx, rx) = sync_channel::<Response>(1);
             resp_senders.push(tx);
             resp_receivers.push(rx);
         }
@@ -118,9 +118,7 @@ impl<'d> OmniSimulator<'d> {
         let fuel = self.config.fuel;
 
         std::thread::scope(|scope| {
-            for (thread_id, (&task, resp_rx)) in
-                tasks.iter().zip(resp_receivers.into_iter()).enumerate()
-            {
+            for (thread_id, (&task, resp_rx)) in tasks.iter().zip(resp_receivers).enumerate() {
                 let req_tx = req_tx.clone();
                 let arrays = &arrays;
                 scope.spawn(move || {
@@ -186,22 +184,30 @@ impl<'d> OmniSimulator<'d> {
 
         let incremental = IncrementalState {
             graph: std::mem::take(&mut perf.graph),
-            fifo_write_nodes: perf.tables.iter().map(|t| t.write_nodes().to_vec()).collect(),
+            fifo_write_nodes: perf
+                .tables
+                .iter()
+                .map(|t| t.write_nodes().to_vec())
+                .collect(),
             fifo_write_blocking: perf
                 .tables
                 .iter()
                 .map(|t| t.write_blocking_flags().to_vec())
                 .collect(),
-            fifo_read_nodes: perf.tables.iter().map(|t| t.read_nodes().to_vec()).collect(),
+            fifo_read_nodes: perf
+                .tables
+                .iter()
+                .map(|t| t.read_nodes().to_vec())
+                .collect(),
             end_nodes: std::mem::take(&mut perf.end_nodes),
             constraints: std::mem::take(&mut perf.constraints),
             original_depths: depths.clone(),
         };
 
         let (outcome, total_cycles) = match deadlock {
-            Some(detail) => {
+            Some(blocked) => {
                 let cycles = incremental.graph.max_time();
-                (OmniOutcome::Deadlock { detail }, cycles)
+                (OmniOutcome::Deadlock { blocked }, cycles)
             }
             None => {
                 let cycles = incremental.finalize_latency(&depths)?;
@@ -241,7 +247,7 @@ struct PerfState<'d> {
     design: &'d Design,
     depths: Vec<usize>,
     task_names: Vec<String>,
-    responders: Vec<Sender<Response>>,
+    responders: Vec<SyncSender<Response>>,
 
     tables: Vec<FifoTable>,
     graph: EventGraph,
@@ -259,7 +265,7 @@ struct PerfState<'d> {
     failed: usize,
     shutdown: bool,
     failure: Option<(ThreadId, SimError)>,
-    deadlock: Option<String>,
+    deadlock: Option<Vec<String>>,
 
     fifo_accesses: u64,
     queries_created: usize,
@@ -281,7 +287,7 @@ impl<'d> PerfState<'d> {
         design: &'d Design,
         depths: &[usize],
         task_names: Vec<String>,
-        responders: Vec<Sender<Response>>,
+        responders: Vec<SyncSender<Response>>,
     ) -> Self {
         let threads = responders.len();
         PerfState {
@@ -574,7 +580,12 @@ impl<'d> PerfState<'d> {
         let depth = self.depths[fifo];
         let ordinal = self.tables[fifo].writes_committed() + 1;
         let ready = if ordinal <= depth {
-            Some(self.tables[fifo].pending_write().expect("pending write").cycle)
+            Some(
+                self.tables[fifo]
+                    .pending_write()
+                    .expect("pending write")
+                    .cycle,
+            )
         } else {
             self.tables[fifo]
                 .read_cycle(ordinal - depth)
@@ -668,7 +679,8 @@ impl<'d> PerfState<'d> {
             }
             QueryKind::NbRead => {
                 if outcome {
-                    let value = self.tables[query.fifo.index()].commit_read(query.cycle, query.node);
+                    let value =
+                        self.tables[query.fifo.index()].commit_read(query.cycle, query.node);
                     self.fifo_accesses += 1;
                     self.respond(query.thread, Response::NbRead { value: Some(value) });
                     self.service_pending_write(query.fifo.index());
@@ -723,15 +735,16 @@ impl<'d> PerfState<'d> {
                 // cannot be strictly before it — the access fails.
                 self.apply_resolution(query, false);
             } else {
-                let detail = self.describe_deadlock();
-                self.deadlock = Some(detail.clone());
+                let blocked = self.describe_deadlock();
+                let summary = blocked.join("; ");
+                self.deadlock = Some(blocked);
                 self.shutdown = true;
-                self.abort_all_paused(&format!("unresolvable deadlock detected: {detail}"));
+                self.abort_all_paused(&format!("unresolvable deadlock detected: {summary}"));
             }
         }
     }
 
-    fn describe_deadlock(&self) -> String {
+    fn describe_deadlock(&self) -> Vec<String> {
         let mut blocked = Vec::new();
         for (fifo_index, table) in self.tables.iter().enumerate() {
             if let Some(pending) = table.pending_read() {
@@ -752,9 +765,9 @@ impl<'d> PerfState<'d> {
             }
         }
         if blocked.is_empty() {
-            "all tasks are paused with no pending queries".to_owned()
+            vec!["all tasks are paused with no pending queries".to_owned()]
         } else {
-            blocked.join("; ")
+            blocked
         }
     }
 }
@@ -763,37 +776,9 @@ impl<'d> PerfState<'d> {
 mod tests {
     use super::*;
     use crate::incremental::IncrementalOutcome;
+    use crate::test_fixtures::{nb_drop_counter, producer_consumer};
     use omnisim_ir::{DesignBuilder, Expr};
     use omnisim_rtlsim::RtlSimulator;
-
-    fn producer_consumer(n: i64, depth: usize, consumer_ii: u64) -> Design {
-        let mut d = DesignBuilder::new("pc");
-        let data = d.array("data", (1..=n).collect::<Vec<i64>>());
-        let out = d.output("sum");
-        let q = d.fifo("q", depth);
-        let p = d.function("producer", |m| {
-            m.counted_loop("i", n, 1, |b| {
-                let i = b.var_expr("i");
-                let v = b.array_load(data, i);
-                b.fifo_write(q, Expr::var(v));
-            });
-        });
-        let c = d.function("consumer", |m| {
-            let acc = m.var("acc");
-            m.entry(|b| {
-                b.assign(acc, Expr::imm(0));
-            });
-            m.counted_loop("i", n, consumer_ii, |b| {
-                let v = b.fifo_read(q);
-                b.assign(acc, Expr::var(acc).add(Expr::var(v)));
-            });
-            m.exit(|b| {
-                b.output(out, Expr::var(acc));
-            });
-        });
-        d.dataflow_top("top", [p, c]);
-        d.build().unwrap()
-    }
 
     fn cyclic_controller_processor(n: i64) -> Design {
         let mut d = DesignBuilder::new("ex3");
@@ -822,45 +807,6 @@ mod tests {
             });
         });
         d.dataflow_top("top", [controller, processor]);
-        d.build().unwrap()
-    }
-
-    fn nb_drop_counter(n: i64, depth: usize, consumer_ii: u64) -> Design {
-        let mut d = DesignBuilder::new("ex4b");
-        let q = d.fifo("q", depth);
-        let dropped = d.output("dropped");
-        let received = d.output("received");
-        let p = d.function("producer", |m| {
-            let drops = m.var("drops");
-            m.entry(|b| {
-                b.assign(drops, Expr::imm(0));
-            });
-            m.counted_loop("i", n, 1, |b| {
-                let i = b.var_expr("i");
-                let ok = b.fifo_nb_write(q, i);
-                b.assign(
-                    drops,
-                    Expr::var(ok).select(Expr::var(drops), Expr::var(drops).add(Expr::imm(1))),
-                );
-            });
-            m.exit(|b| {
-                b.output(dropped, Expr::var(drops));
-            });
-        });
-        let c = d.function("consumer", |m| {
-            let got = m.var("got");
-            m.entry(|b| {
-                b.assign(got, Expr::imm(0));
-            });
-            m.counted_loop("i", n, consumer_ii, |b| {
-                let (_v, ok) = b.fifo_nb_read(q);
-                b.assign(got, Expr::var(got).add(Expr::var(ok)));
-            });
-            m.exit(|b| {
-                b.output(received, Expr::var(got));
-            });
-        });
-        d.dataflow_top("top", [p, c]);
         d.build().unwrap()
     }
 
@@ -926,7 +872,8 @@ mod tests {
         let report = OmniSimulator::new(&design).run().unwrap();
         assert!(report.outcome.is_deadlock());
         match &report.outcome {
-            OmniOutcome::Deadlock { detail } => {
+            OmniOutcome::Deadlock { blocked } => {
+                let detail = blocked.join("; ");
                 assert!(detail.contains("task_a"));
                 assert!(detail.contains("task_b"));
             }

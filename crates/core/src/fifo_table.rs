@@ -279,7 +279,10 @@ mod tests {
     fn pending_read_park_and_take() {
         let mut t = FifoTable::new();
         assert!(t.pending_read().is_none());
-        t.park_read(PendingRead { thread: 2, cycle: 11 });
+        t.park_read(PendingRead {
+            thread: 2,
+            cycle: 11,
+        });
         assert_eq!(t.pending_read().unwrap().thread, 2);
         let taken = t.take_pending_read().unwrap();
         assert_eq!(taken.cycle, 11);
@@ -290,8 +293,14 @@ mod tests {
     #[should_panic(expected = "two blocking reads parked")]
     fn double_park_panics() {
         let mut t = FifoTable::new();
-        t.park_read(PendingRead { thread: 0, cycle: 1 });
-        t.park_read(PendingRead { thread: 1, cycle: 2 });
+        t.park_read(PendingRead {
+            thread: 0,
+            cycle: 1,
+        });
+        t.park_read(PendingRead {
+            thread: 1,
+            cycle: 2,
+        });
     }
 
     #[test]

@@ -72,6 +72,18 @@
 //! let report = OmniSimulator::new(&design).run().unwrap();
 //! assert!(report.outcome.is_completed());
 //! assert!(report.outputs["cycles"] > 0);
+//!
+//! // Via the unified API: the same engine as a `dyn Simulator`, with the
+//! // incremental-DSE state riding along in the report extras.
+//! use omnisim_api::Simulator;
+//! let backend: Box<dyn Simulator> = Box::new(omnisim::OmniBackend::default());
+//! assert!(backend.capabilities().incremental_dse);
+//! let unified = backend.simulate(&design).unwrap();
+//! assert_eq!(unified.output("cycles"), report.output("cycles"));
+//! assert!(unified
+//!     .extras
+//!     .get::<omnisim::IncrementalState>()
+//!     .is_some());
 //! ```
 
 #![forbid(unsafe_code)]
@@ -86,6 +98,10 @@ pub mod query;
 pub mod report;
 pub mod request;
 pub mod runtime;
+pub mod sweep;
+#[cfg(test)]
+mod test_fixtures;
+pub mod unified;
 
 pub use config::SimConfig;
 pub use engine::OmniSimulator;
@@ -93,3 +109,5 @@ pub use incremental::{IncrementalOutcome, IncrementalState};
 pub use query::{QueryKind, QueryPool};
 pub use report::{OmniError, OmniOutcome, OmniReport, SimStats, SimTimings};
 pub use request::{Request, Response};
+pub use sweep::{Sweep, SweepMethod, SweepPoint, SweepReport};
+pub use unified::OmniBackend;

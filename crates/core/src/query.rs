@@ -5,10 +5,10 @@ use crate::fifo_table::FifoTable;
 use crate::request::ThreadId;
 use omnisim_graph::NodeId;
 use omnisim_ir::FifoId;
-use serde::{Deserialize, Serialize};
 
 /// The kind of non-blocking access a query represents.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum QueryKind {
     /// `write_nb()` — can the w-th write commit?
     NbWrite,
@@ -175,11 +175,18 @@ mod tests {
         let q = query(QueryKind::NbWrite, 4, 3);
         assert_eq!(q.resolve(&table, 2), Resolution::Unknown);
         table.commit_read(4, NodeId(2));
-        assert_eq!(q.resolve(&table, 2), Resolution::False, "read at same cycle");
+        assert_eq!(
+            q.resolve(&table, 2),
+            Resolution::False,
+            "read at same cycle"
+        );
         let q_later = query(QueryKind::NbWrite, 5, 3);
         assert_eq!(q_later.resolve(&table, 2), Resolution::True);
         // With a larger depth the write is unconditionally fine.
-        assert_eq!(query(QueryKind::NbWrite, 1, 3).resolve(&table, 8), Resolution::True);
+        assert_eq!(
+            query(QueryKind::NbWrite, 1, 3).resolve(&table, 8),
+            Resolution::True
+        );
     }
 
     #[test]

@@ -6,7 +6,6 @@ use omnisim_interp::SimError;
 use omnisim_ir::design::OutputMap;
 use std::error::Error;
 use std::fmt;
-use std::time::Duration;
 
 /// How an OmniSim run ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -16,8 +15,8 @@ pub enum OmniOutcome {
     /// A true design-level deadlock was detected (§7.1): every thread was
     /// paused, no query was pending, and no FIFO access could ever commit.
     Deadlock {
-        /// Description of the blocked tasks and FIFOs.
-        detail: String,
+        /// One human-readable entry per blocked task/FIFO pair.
+        blocked: Vec<String>,
     },
 }
 
@@ -31,26 +30,22 @@ impl OmniOutcome {
     pub fn is_deadlock(&self) -> bool {
         matches!(self, OmniOutcome::Deadlock { .. })
     }
-}
 
-/// Wall-clock time breakdown of a run, mirroring Fig. 8(c) of the paper
-/// (front-end compilation vs multi-threaded execution).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SimTimings {
-    /// Front-end elaboration: design copy, optimisation passes, taxonomy.
-    pub front_end: Duration,
-    /// Multi-threaded execution (Func Sim + Perf Sim threads).
-    pub execution: Duration,
-    /// Finalization: write-after-read overlay and longest-path analysis.
-    pub finalize: Duration,
-}
-
-impl SimTimings {
-    /// Total wall-clock time.
-    pub fn total(&self) -> Duration {
-        self.front_end + self.execution + self.finalize
+    /// A one-line description of a deadlock (empty for completed runs).
+    pub fn deadlock_detail(&self) -> String {
+        match self {
+            OmniOutcome::Completed => String::new(),
+            OmniOutcome::Deadlock { blocked } => blocked.join("; "),
+        }
     }
 }
+
+/// Wall-clock time breakdown of a run, mirroring Fig. 8(c) of the paper.
+///
+/// This is the workspace-wide unified type: `front_end` covers elaboration,
+/// `execution` the multi-threaded run, `finalize` the write-after-read
+/// overlay and longest-path analysis.
+pub use omnisim_api::SimTimings;
 
 /// Counters describing the size of the simulation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -114,6 +109,14 @@ pub enum OmniError {
     Graph(CycleError),
     /// A Func Sim thread panicked.
     ThreadPanic,
+    /// A caller supplied a FIFO-depth vector of the wrong length to the
+    /// sweep/DSE API (a usage error, not an engine bug).
+    DepthMismatch {
+        /// Number of FIFOs in the design.
+        expected: usize,
+        /// Number of depths supplied.
+        got: usize,
+    },
     /// Phase-agnostic invariant violation inside the engine.
     Internal(String),
 }
@@ -124,6 +127,10 @@ impl fmt::Display for OmniError {
             OmniError::Task { task, error } => write!(f, "task '{task}' failed: {error}"),
             OmniError::Graph(e) => write!(f, "simulation graph error: {e}"),
             OmniError::ThreadPanic => write!(f, "a functionality-simulation thread panicked"),
+            OmniError::DepthMismatch { expected, got } => write!(
+                f,
+                "depth vector has {got} entries but the design has {expected} fifos"
+            ),
             OmniError::Internal(msg) => write!(f, "internal engine error: {msg}"),
         }
     }
@@ -153,20 +160,12 @@ mod tests {
     fn outcome_predicates() {
         assert!(OmniOutcome::Completed.is_completed());
         let d = OmniOutcome::Deadlock {
-            detail: "t1 waits on f0".into(),
+            blocked: vec!["t1 waits on f0".into(), "t2 waits on f1".into()],
         };
         assert!(d.is_deadlock());
         assert!(!d.is_completed());
-    }
-
-    #[test]
-    fn timings_total() {
-        let t = SimTimings {
-            front_end: Duration::from_millis(2),
-            execution: Duration::from_millis(5),
-            finalize: Duration::from_millis(1),
-        };
-        assert_eq!(t.total(), Duration::from_millis(8));
+        assert_eq!(d.deadlock_detail(), "t1 waits on f0; t2 waits on f1");
+        assert_eq!(OmniOutcome::Completed.deadlock_detail(), "");
     }
 
     #[test]

@@ -187,7 +187,10 @@ mod tests {
             value: 1,
             cycle: 3,
         };
-        assert!(w.pauses_thread(), "blocking writes stall while the fifo is full");
+        assert!(
+            w.pauses_thread(),
+            "blocking writes stall while the fifo is full"
+        );
         let r = Request::FifoRead {
             thread: 1,
             fifo: FifoId(0),

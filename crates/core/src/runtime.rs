@@ -8,12 +8,12 @@
 //! reported back by the Perf Sim thread).
 
 use crate::request::{Request, Response, ThreadId};
-use crossbeam::channel::{Receiver, Sender};
 use omnisim_interp::{ModuleClock, SimBackend, SimError};
 use omnisim_ir::schedule::BlockSchedule;
 use omnisim_ir::{ArrayId, AxiId, BlockId, Design, FifoId, ModuleId, OutputId};
-use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Mutex;
 
 #[derive(Debug, Default, Clone)]
 struct AxiReadState {
@@ -107,7 +107,10 @@ impl SimBackend for FuncRuntime<'_> {
             cycle,
         })?;
         match self.wait()? {
-            Response::ReadValue { value, cycle: commit } => {
+            Response::ReadValue {
+                value,
+                cycle: commit,
+            } => {
                 self.clock.stall_until(offset, commit);
                 Ok(value)
             }
@@ -151,12 +154,7 @@ impl SimBackend for FuncRuntime<'_> {
         }
     }
 
-    fn fifo_nb_write(
-        &mut self,
-        fifo: FifoId,
-        value: i64,
-        offset: u64,
-    ) -> Result<bool, SimError> {
+    fn fifo_nb_write(&mut self, fifo: FifoId, value: i64, offset: u64) -> Result<bool, SimError> {
         let cycle = self.clock.op_cycle(offset);
         self.send(Request::FifoNbWrite {
             thread: self.thread,
@@ -203,7 +201,9 @@ impl SimBackend for FuncRuntime<'_> {
     }
 
     fn array_load(&mut self, array: ArrayId, index: i64) -> Result<i64, SimError> {
-        let data = self.arrays[array.index()].lock();
+        let data = self.arrays[array.index()]
+            .lock()
+            .expect("array mutex poisoned");
         usize::try_from(index)
             .ok()
             .and_then(|i| data.get(i).copied())
@@ -215,7 +215,9 @@ impl SimBackend for FuncRuntime<'_> {
     }
 
     fn array_store(&mut self, array: ArrayId, index: i64, value: i64) -> Result<(), SimError> {
-        let mut data = self.arrays[array.index()].lock();
+        let mut data = self.arrays[array.index()]
+            .lock()
+            .expect("array mutex poisoned");
         let len = data.len();
         let slot = usize::try_from(index)
             .ok()
@@ -234,7 +236,9 @@ impl SimBackend for FuncRuntime<'_> {
     ) -> Result<(), SimError> {
         let port = self.design.axi_port(bus);
         let cycle = self.clock.op_cycle(offset);
-        let data = self.arrays[port.array.index()].lock();
+        let data = self.arrays[port.array.index()]
+            .lock()
+            .expect("array mutex poisoned");
         for beat in 0..len {
             let idx = addr + beat;
             let value = usize::try_from(idx)
@@ -293,7 +297,9 @@ impl SimBackend for FuncRuntime<'_> {
         let idx = state.addr + state.beats_done;
         state.beats_done += 1;
         state.last_beat_cycle = cycle;
-        let mut data = self.arrays[port.array.index()].lock();
+        let mut data = self.arrays[port.array.index()]
+            .lock()
+            .expect("array mutex poisoned");
         let len = data.len();
         let slot = usize::try_from(idx)
             .ok()

@@ -1,0 +1,385 @@
+//! Batch FIFO-depth design-space exploration — the Table 6 workflow as a
+//! first-class API.
+//!
+//! [`Sweep`] runs the design once, then answers every candidate depth vector
+//! from the recorded [`IncrementalState`](crate::IncrementalState) whenever
+//! the constraints still hold (§7.2), transparently falling back to a full
+//! re-simulation of the resized design when they do not. Fallback runs are
+//! independent, so by default they execute in parallel on scoped threads
+//! (the container build has no access to external crates, otherwise this
+//! would be a `rayon` parallel iterator); [`Sweep::sequential`] disables
+//! that for deterministic profiling.
+//!
+//! ```
+//! use omnisim::Sweep;
+//! use omnisim_ir::{DesignBuilder, Expr};
+//!
+//! let mut d = DesignBuilder::new("pc");
+//! let out = d.output("sum");
+//! let q = d.fifo("q", 2);
+//! let p = d.function("p", |m| {
+//!     m.counted_loop("i", 16, 1, |b| {
+//!         let i = b.var_expr("i");
+//!         b.fifo_write(q, i.add(Expr::imm(1)));
+//!     });
+//! });
+//! let c = d.function("c", |m| {
+//!     let acc = m.var("acc");
+//!     m.entry(|b| { b.assign(acc, Expr::imm(0)); });
+//!     m.counted_loop("i", 16, 2, |b| {
+//!         let v = b.fifo_read(q);
+//!         b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+//!     });
+//!     m.exit(|b| { b.output(out, Expr::var(acc)); });
+//! });
+//! d.dataflow_top("top", [p, c]);
+//! let design = d.build().unwrap();
+//!
+//! let sweep = Sweep::new(&design).grid(&[&[1, 2, 4, 8]]).run().unwrap();
+//! assert_eq!(sweep.points.len(), 4);
+//! assert!(sweep.incremental_hits() + sweep.full_resims() == 4);
+//! ```
+
+use crate::config::SimConfig;
+use crate::engine::OmniSimulator;
+use crate::incremental::IncrementalOutcome;
+use crate::report::{OmniError, OmniReport};
+use omnisim_ir::design::OutputMap;
+use omnisim_ir::Design;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Result of one full re-simulation: end-to-end cycles plus the functional
+/// outputs (behaviour may differ from the baseline when constraints flip).
+type ResimOutcome = Result<(u64, OutputMap), OmniError>;
+
+/// How one sweep point was answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepMethod {
+    /// Answered from the baseline run's recorded constraints, without
+    /// re-simulating (microseconds).
+    Incremental,
+    /// A recorded constraint was violated under the new depths, so the
+    /// resized design was fully re-simulated.
+    FullResim,
+}
+
+impl SweepMethod {
+    /// Short label for tables (`"incremental"` / `"full re-sim"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SweepMethod::Incremental => "incremental",
+            SweepMethod::FullResim => "full re-sim",
+        }
+    }
+}
+
+/// The answer for one candidate depth vector.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// The FIFO depths of this design point (one entry per FIFO).
+    pub depths: Vec<usize>,
+    /// End-to-end latency under these depths.
+    pub total_cycles: u64,
+    /// How the point was answered.
+    pub method: SweepMethod,
+    /// Functional outputs of the full re-simulation. `None` for incremental
+    /// answers: the constraints held, so behaviour is unchanged from
+    /// [`SweepReport::baseline`].
+    pub outputs: Option<OutputMap>,
+}
+
+/// The result of a [`Sweep`] run.
+#[derive(Debug)]
+pub struct SweepReport {
+    /// The initial full run at the design's declared depths.
+    pub baseline: OmniReport,
+    /// One answer per requested point, in request order.
+    pub points: Vec<SweepPoint>,
+}
+
+impl SweepReport {
+    /// Number of points answered incrementally.
+    pub fn incremental_hits(&self) -> usize {
+        self.points
+            .iter()
+            .filter(|p| p.method == SweepMethod::Incremental)
+            .count()
+    }
+
+    /// Number of points that required a full re-simulation.
+    pub fn full_resims(&self) -> usize {
+        self.points.len() - self.incremental_hits()
+    }
+}
+
+/// Builder for a batch FIFO-depth design-space exploration.
+#[derive(Debug)]
+pub struct Sweep<'d> {
+    design: &'d Design,
+    config: SimConfig,
+    points: Vec<Vec<usize>>,
+    parallel: bool,
+}
+
+impl<'d> Sweep<'d> {
+    /// Creates a sweep over `design` with the default engine configuration.
+    pub fn new(design: &'d Design) -> Self {
+        Sweep {
+            design,
+            config: SimConfig::default(),
+            points: Vec::new(),
+            parallel: true,
+        }
+    }
+
+    /// Uses an explicit engine configuration for the baseline run and every
+    /// full re-simulation.
+    pub fn with_config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs full re-simulations one at a time instead of on scoped worker
+    /// threads.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Adds one candidate depth vector (one entry per FIFO of the design).
+    pub fn point(mut self, depths: impl Into<Vec<usize>>) -> Self {
+        self.points.push(depths.into());
+        self
+    }
+
+    /// Adds many candidate depth vectors.
+    pub fn points<I, D>(mut self, points: I) -> Self
+    where
+        I: IntoIterator<Item = D>,
+        D: Into<Vec<usize>>,
+    {
+        self.points.extend(points.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds the cartesian product of per-FIFO candidate depths: `axes[i]`
+    /// lists the depths to try for FIFO *i*. Points are generated with the
+    /// last axis varying fastest, matching a nested-loop sweep.
+    pub fn grid(mut self, axes: &[&[usize]]) -> Self {
+        let mut acc: Vec<Vec<usize>> = vec![Vec::new()];
+        for axis in axes {
+            let mut next = Vec::with_capacity(acc.len() * axis.len().max(1));
+            for prefix in &acc {
+                for &depth in *axis {
+                    let mut point = prefix.clone();
+                    point.push(depth);
+                    next.push(point);
+                }
+            }
+            acc = next;
+        }
+        self.points.extend(acc);
+        self
+    }
+
+    /// Runs the baseline simulation and answers every requested point.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmniError::DepthMismatch`] if a point's depth vector has
+    /// the wrong length, the baseline run's error if it fails, and any full
+    /// re-simulation's error otherwise.
+    pub fn run(self) -> Result<SweepReport, OmniError> {
+        let Sweep {
+            design,
+            config,
+            points,
+            parallel,
+        } = self;
+        let fifo_count = design.fifos.len();
+        for point in &points {
+            if point.len() != fifo_count {
+                return Err(OmniError::DepthMismatch {
+                    expected: fifo_count,
+                    got: point.len(),
+                });
+            }
+        }
+
+        let baseline = OmniSimulator::with_config(design, config).run()?;
+
+        let mut answers: Vec<Option<SweepPoint>> = Vec::with_capacity(points.len());
+        let mut fallback: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (index, depths) in points.into_iter().enumerate() {
+            match baseline.incremental.try_with_depths(&depths)? {
+                IncrementalOutcome::Valid { total_cycles } => {
+                    answers.push(Some(SweepPoint {
+                        depths,
+                        total_cycles,
+                        method: SweepMethod::Incremental,
+                        outputs: None,
+                    }));
+                }
+                IncrementalOutcome::ConstraintViolated { .. } => {
+                    answers.push(None);
+                    fallback.push((index, depths));
+                }
+            }
+        }
+
+        let resimulate = |depths: &[usize]| -> ResimOutcome {
+            let resized = design.with_fifo_depths(depths);
+            let report = OmniSimulator::with_config(&resized, config).run()?;
+            Ok((report.total_cycles, report.outputs))
+        };
+
+        let outcomes: Vec<ResimOutcome> = if parallel && fallback.len() > 1 {
+            let workers = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(fallback.len());
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<ResimOutcome>>> =
+                (0..fallback.len()).map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= fallback.len() {
+                            break;
+                        }
+                        let outcome = resimulate(&fallback[i].1);
+                        *slots[i].lock().expect("sweep slot poisoned") = Some(outcome);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("sweep slot poisoned")
+                        .expect("sweep worker filled every claimed slot")
+                })
+                .collect()
+        } else {
+            fallback
+                .iter()
+                .map(|(_, depths)| resimulate(depths))
+                .collect()
+        };
+
+        for ((index, depths), outcome) in fallback.into_iter().zip(outcomes) {
+            let (total_cycles, outputs) = outcome?;
+            answers[index] = Some(SweepPoint {
+                depths,
+                total_cycles,
+                method: SweepMethod::FullResim,
+                outputs: Some(outputs),
+            });
+        }
+
+        Ok(SweepReport {
+            baseline,
+            points: answers
+                .into_iter()
+                .map(|point| point.expect("every sweep point answered"))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_fixtures::{nb_drop_counter, producer_consumer};
+
+    #[test]
+    fn all_incremental_sweep_matches_manual_analysis() {
+        let design = producer_consumer(64, 2, 2);
+        let sweep = Sweep::new(&design).grid(&[&[1, 2, 4, 16]]).run().unwrap();
+        assert_eq!(sweep.points.len(), 4);
+        assert_eq!(sweep.incremental_hits(), 4);
+        for point in &sweep.points {
+            let manual = sweep
+                .baseline
+                .incremental
+                .try_with_depths(&point.depths)
+                .unwrap();
+            match manual {
+                IncrementalOutcome::Valid { total_cycles } => {
+                    assert_eq!(point.total_cycles, total_cycles);
+                }
+                other => panic!("expected valid, got {other:?}"),
+            }
+            assert!(point.outputs.is_none(), "incremental points reuse baseline");
+        }
+    }
+
+    #[test]
+    fn fallback_points_match_full_resimulation() {
+        let design = nb_drop_counter(48, 2, 3);
+        let sweep = Sweep::new(&design).grid(&[&[1, 2, 64, 128]]).run().unwrap();
+        assert!(
+            sweep.full_resims() >= 1,
+            "growing depths must flip outcomes"
+        );
+        for point in &sweep.points {
+            let resized = design.with_fifo_depths(&point.depths);
+            let full = OmniSimulator::new(&resized).run().unwrap();
+            assert_eq!(
+                point.total_cycles, full.total_cycles,
+                "depths {:?}",
+                point.depths
+            );
+            if let Some(outputs) = &point.outputs {
+                assert_eq!(outputs, &full.outputs, "depths {:?}", point.depths);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_sequential_fallback_agree() {
+        let design = nb_drop_counter(40, 1, 4);
+        let grid: &[&[usize]] = &[&[1, 8, 32, 64, 128]];
+        let parallel = Sweep::new(&design).grid(grid).run().unwrap();
+        let sequential = Sweep::new(&design).grid(grid).sequential().run().unwrap();
+        assert_eq!(parallel.points.len(), sequential.points.len());
+        for (p, s) in parallel.points.iter().zip(&sequential.points) {
+            assert_eq!(p.depths, s.depths);
+            assert_eq!(p.total_cycles, s.total_cycles);
+            assert_eq!(p.method, s.method);
+            assert_eq!(p.outputs, s.outputs);
+        }
+    }
+
+    #[test]
+    fn wrong_length_point_is_rejected_as_caller_error() {
+        let design = producer_consumer(8, 2, 1);
+        let err = Sweep::new(&design).point([1, 2]).run().unwrap_err();
+        assert_eq!(
+            err,
+            OmniError::DepthMismatch {
+                expected: 1,
+                got: 2
+            }
+        );
+        assert!(err.to_string().contains("2 entries"));
+        assert!(err.to_string().contains("1 fifos"));
+    }
+
+    #[test]
+    fn grid_generates_cartesian_product_in_nested_loop_order() {
+        let design = producer_consumer(8, 2, 1);
+        let sweep = Sweep::new(&design);
+        let sweep = sweep.grid(&[&[1, 2]]);
+        assert_eq!(sweep.points, vec![vec![1], vec![2]]);
+        // Two axes: last axis varies fastest.
+        let mut two_axis = Sweep::new(&design);
+        two_axis = two_axis.grid(&[&[1, 2], &[7, 9]]);
+        assert_eq!(
+            two_axis.points,
+            vec![vec![1, 7], vec![1, 9], vec![2, 7], vec![2, 9]]
+        );
+    }
+}

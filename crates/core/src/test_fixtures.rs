@@ -1,0 +1,78 @@
+//! Designs shared by the engine, sweep and unified-API test suites.
+
+use omnisim_ir::{Design, DesignBuilder, Expr};
+
+/// Blocking producer/consumer: the producer streams `data[0..n]` (values
+/// `1..=n`) through a FIFO of the given depth; the consumer sums them at
+/// the given initiation interval and outputs `sum`.
+pub(crate) fn producer_consumer(n: i64, depth: usize, consumer_ii: u64) -> Design {
+    let mut d = DesignBuilder::new("pc");
+    let data = d.array("data", (1..=n).collect::<Vec<i64>>());
+    let out = d.output("sum");
+    let q = d.fifo("q", depth);
+    let p = d.function("producer", |m| {
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(data, i);
+            b.fifo_write(q, Expr::var(v));
+        });
+    });
+    let c = d.function("consumer", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, consumer_ii, |b| {
+            let v = b.fifo_read(q);
+            b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    });
+    d.dataflow_top("top", [p, c]);
+    d.build().unwrap()
+}
+
+/// Non-blocking drop counter (Fig. 4 Ex. 4b shape): the producer attempts
+/// `n` non-blocking writes and counts the drops; the slower consumer polls
+/// with non-blocking reads. Growing the FIFO flips recorded `false` write
+/// outcomes, which is what exercises the full-re-simulation fallback.
+pub(crate) fn nb_drop_counter(n: i64, depth: usize, consumer_ii: u64) -> Design {
+    let mut d = DesignBuilder::new("ex4b");
+    let q = d.fifo("q", depth);
+    let dropped = d.output("dropped");
+    let received = d.output("received");
+    let p = d.function("producer", |m| {
+        let drops = m.var("drops");
+        m.entry(|b| {
+            b.assign(drops, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let ok = b.fifo_nb_write(q, i);
+            b.assign(
+                drops,
+                Expr::var(ok).select(Expr::var(drops), Expr::var(drops).add(Expr::imm(1))),
+            );
+        });
+        m.exit(|b| {
+            b.output(dropped, Expr::var(drops));
+        });
+    });
+    let c = d.function("consumer", |m| {
+        let got = m.var("got");
+        m.entry(|b| {
+            b.assign(got, Expr::imm(0));
+        });
+        m.counted_loop("i", n, consumer_ii, |b| {
+            let (_v, ok) = b.fifo_nb_read(q);
+            b.assign(got, Expr::var(got).add(Expr::var(ok)));
+        });
+        m.exit(|b| {
+            b.output(received, Expr::var(got));
+        });
+    });
+    d.dataflow_top("top", [p, c]);
+    d.build().unwrap()
+}

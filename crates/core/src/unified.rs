@@ -1,0 +1,175 @@
+//! Unified-API adapter: the OmniSim engine as a [`Simulator`] backend, plus
+//! the conversions from the native report, outcome and error types.
+//!
+//! The engine's extras payloads are the interesting part: every
+//! [`SimReport`] produced here carries the run's [`SimStats`](crate::SimStats)
+//! and its [`IncrementalState`](crate::IncrementalState), so FIFO-depth
+//! design-space exploration can be
+//! answered from a finished unified report exactly as it can from a native
+//! [`OmniReport`] (see [`crate::sweep::Sweep`] for the batch driver).
+
+use crate::config::SimConfig;
+use crate::engine::OmniSimulator;
+use crate::report::{OmniError, OmniOutcome, OmniReport};
+use omnisim_api::{Capabilities, SimFailure, SimOutcome, SimReport, Simulator};
+use omnisim_ir::Design;
+
+/// The OmniSim engine as a unified [`Simulator`] backend: cycle-accurate on
+/// every taxonomy class, with per-phase timings and incremental-DSE state.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OmniBackend {
+    /// Configuration used for every run.
+    pub config: SimConfig,
+}
+
+impl OmniBackend {
+    /// Creates a backend with an explicit configuration.
+    pub fn with_config(config: SimConfig) -> Self {
+        OmniBackend { config }
+    }
+}
+
+impl Simulator for OmniBackend {
+    fn name(&self) -> &'static str {
+        "omnisim"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            cycle_accurate: true,
+            handles_type_b: true,
+            handles_type_c: true,
+            produces_timings: true,
+            incremental_dse: true,
+        }
+    }
+
+    fn simulate(&self, design: &Design) -> Result<SimReport, SimFailure> {
+        OmniSimulator::with_config(design, self.config)
+            .run()
+            .map(SimReport::from)
+            .map_err(SimFailure::from)
+    }
+}
+
+impl From<OmniOutcome> for SimOutcome {
+    fn from(outcome: OmniOutcome) -> SimOutcome {
+        match outcome {
+            OmniOutcome::Completed => SimOutcome::Completed,
+            OmniOutcome::Deadlock { blocked } => SimOutcome::Deadlock { blocked },
+        }
+    }
+}
+
+impl From<OmniReport> for SimReport {
+    fn from(report: OmniReport) -> SimReport {
+        let OmniReport {
+            outcome,
+            outputs,
+            total_cycles,
+            timings,
+            stats,
+            incremental,
+        } = report;
+        let mut unified = SimReport::new("omnisim", outcome.into());
+        unified.outputs = outputs;
+        unified.total_cycles = Some(total_cycles);
+        unified.timings = timings;
+        unified.extras.insert(stats);
+        unified.extras.insert(incremental);
+        unified
+    }
+}
+
+impl From<OmniError> for SimFailure {
+    fn from(error: OmniError) -> SimFailure {
+        match &error {
+            // Task failures and wrong-arity depth vectors are the caller's
+            // design/input going wrong; everything else is an engine bug.
+            OmniError::Task { .. } | OmniError::DepthMismatch { .. } => {
+                SimFailure::execution("omnisim", error.to_string())
+            }
+            _ => SimFailure::internal("omnisim", error.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::incremental::IncrementalState;
+    use crate::report::SimStats;
+    use crate::test_fixtures::producer_consumer;
+    use omnisim_interp::SimError;
+    use omnisim_ir::ModuleId;
+
+    #[test]
+    fn report_conversion_preserves_results_and_extras() {
+        let design = producer_consumer(10, 2, 1);
+        let native = OmniSimulator::new(&design).run().unwrap();
+        let native_cycles = native.total_cycles;
+        let native_threads = native.stats.threads;
+        let unified: SimReport = native.into();
+
+        assert_eq!(unified.backend, "omnisim");
+        assert!(unified.outcome.is_completed());
+        assert_eq!(unified.output("sum"), Some(55));
+        assert_eq!(unified.total_cycles, Some(native_cycles));
+        // Stats and incremental state ride along as extras.
+        assert_eq!(
+            unified.extras.get::<SimStats>().unwrap().threads,
+            native_threads
+        );
+        let incremental = unified.extras.get::<IncrementalState>().unwrap();
+        assert_eq!(incremental.original_depths, vec![2]);
+    }
+
+    #[test]
+    fn incremental_state_still_answers_dse_through_extras() {
+        let design = producer_consumer(16, 2, 1);
+        let unified = OmniBackend::default().simulate(&design).unwrap();
+        let incremental = unified.extras.get::<IncrementalState>().unwrap();
+        let outcome = incremental.try_with_depths(&[32]).unwrap();
+        assert!(
+            outcome.is_valid(),
+            "growing the only FIFO stays incremental"
+        );
+    }
+
+    #[test]
+    fn deadlock_blocked_list_passes_through_structurally() {
+        // The engine reports one entry per blocked task/FIFO pair; the
+        // conversion must preserve the list as-is, even when user-chosen
+        // names contain separator-looking substrings.
+        let outcome = OmniOutcome::Deadlock {
+            blocked: vec![
+                "task 'a' blocked reading fifo 'req; ack' since cycle 1".to_owned(),
+                "task 'b' blocked reading fifo 'y' since cycle 1".to_owned(),
+            ],
+        };
+        match SimOutcome::from(outcome) {
+            SimOutcome::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 2);
+                assert!(blocked[0].contains("'req; ack'"));
+                assert!(blocked[1].contains("task 'b'"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn task_errors_become_execution_failures() {
+        let failure: SimFailure = OmniError::Task {
+            task: "producer".into(),
+            error: SimError::OutOfFuel {
+                module: ModuleId(0),
+            },
+        }
+        .into();
+        assert!(matches!(failure, SimFailure::Execution { .. }));
+        assert!(failure.to_string().contains("producer"));
+
+        let internal: SimFailure = OmniError::ThreadPanic.into();
+        assert!(matches!(internal, SimFailure::Internal { .. }));
+    }
+}

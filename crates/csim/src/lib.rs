@@ -19,11 +19,52 @@
 //!
 //! The point of this crate is to *reproduce the failure modes*, so that the
 //! Table 3 comparison (C-sim vs reference vs OmniSim) can be regenerated.
+//!
+//! ## Via the unified API
+//!
+//! [`CsimBackend`] exposes this crate through the workspace-wide
+//! [`omnisim_api::Simulator`] trait; note the missing cycle count — C
+//! simulation has no notion of hardware time:
+//!
+//! ```
+//! use omnisim_api::Simulator;
+//! use omnisim_csim::CsimBackend;
+//! use omnisim_ir::{DesignBuilder, Expr};
+//!
+//! let mut d = DesignBuilder::new("pc");
+//! let out = d.output("sum");
+//! let q = d.fifo("q", 2);
+//! let p = d.function("p", |m| {
+//!     m.counted_loop("i", 4, 1, |b| {
+//!         let i = b.var_expr("i");
+//!         b.fifo_write(q, i.add(Expr::imm(1)));
+//!     });
+//! });
+//! let c = d.function("c", |m| {
+//!     let acc = m.var("acc");
+//!     m.entry(|b| { b.assign(acc, Expr::imm(0)); });
+//!     m.counted_loop("i", 4, 1, |b| {
+//!         let v = b.fifo_read(q);
+//!         b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+//!     });
+//!     m.exit(|b| { b.output(out, Expr::var(acc)); });
+//! });
+//! d.dataflow_top("top", [p, c]);
+//! let design = d.build().unwrap();
+//!
+//! let backend = CsimBackend::default();
+//! assert!(!backend.capabilities().cycle_accurate);
+//! let report = backend.simulate(&design).unwrap();
+//! assert!(report.outcome.is_completed());
+//! assert_eq!(report.output("sum"), Some(10));
+//! assert_eq!(report.total_cycles, None, "C sim produces no cycle counts");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use omnisim_api::{Capabilities, SimFailure, SimOutcome, SimReport, Simulator};
 use omnisim_interp::{Interpreter, SimBackend, SimError};
 use omnisim_ir::design::OutputMap;
 use omnisim_ir::schedule::BlockSchedule;
@@ -59,9 +100,7 @@ impl CsimOutcome {
         match self {
             CsimOutcome::Completed => "completed".to_owned(),
             CsimOutcome::Crashed { error, .. } => match error {
-                SimError::ArrayOutOfBounds { .. } => {
-                    "@E Simulation failed: SIGSEGV.".to_owned()
-                }
+                SimError::ArrayOutOfBounds { .. } => "@E Simulation failed: SIGSEGV.".to_owned(),
                 SimError::OutOfFuel { .. } => {
                     "@E Simulation failed: did not terminate (killed).".to_owned()
                 }
@@ -118,13 +157,16 @@ pub fn simulate(design: &Design) -> CsimReport {
 /// Runs naive sequential C simulation with an explicit configuration.
 pub fn simulate_with_config(design: &Design, config: CsimConfig) -> CsimReport {
     let started = Instant::now();
-    let mut backend = CsimBackend::new(design);
+    let mut backend = SeqBackend::new(design);
     let mut interp = Interpreter::with_fuel(design, config.fuel);
     let mut outcome = CsimOutcome::Completed;
 
     for (index, task) in design.dataflow_tasks().into_iter().enumerate() {
         if let Err(error) = interp.run_module(task, &[], &mut backend) {
-            outcome = CsimOutcome::Crashed { error, task_index: index };
+            outcome = CsimOutcome::Crashed {
+                error,
+                task_index: index,
+            };
             break;
         }
     }
@@ -148,9 +190,69 @@ pub fn simulate_with_config(design: &Design, config: CsimConfig) -> CsimReport {
     }
 }
 
+/// Naive sequential C simulation as a unified [`Simulator`] backend.
+///
+/// The capability matrix is all-false on purpose: the backend exists to
+/// reproduce what commercial C simulation gets *wrong* on Type B/C designs,
+/// so cross-backend harnesses must not trust its results there.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct CsimBackend {
+    /// Configuration used for every run.
+    pub config: CsimConfig,
+}
+
+impl CsimBackend {
+    /// Creates a backend with an explicit configuration.
+    pub fn with_config(config: CsimConfig) -> Self {
+        CsimBackend { config }
+    }
+}
+
+impl Simulator for CsimBackend {
+    fn name(&self) -> &'static str {
+        "csim"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            cycle_accurate: false,
+            handles_type_b: false,
+            handles_type_c: false,
+            produces_timings: false,
+            incremental_dse: false,
+        }
+    }
+
+    fn simulate(&self, design: &Design) -> Result<SimReport, SimFailure> {
+        Ok(simulate_with_config(design, self.config).into())
+    }
+}
+
+impl From<CsimOutcome> for SimOutcome {
+    fn from(outcome: CsimOutcome) -> SimOutcome {
+        match &outcome {
+            CsimOutcome::Completed => SimOutcome::Completed,
+            CsimOutcome::Crashed { .. } => SimOutcome::Crashed {
+                reason: outcome.describe(),
+            },
+        }
+    }
+}
+
+impl From<CsimReport> for SimReport {
+    fn from(report: CsimReport) -> SimReport {
+        let mut unified = SimReport::new("csim", report.outcome.clone().into());
+        unified.outputs = report.outputs.clone();
+        unified.warnings = report.warnings.clone();
+        unified.timings.execution = report.wall_time;
+        unified.extras.insert(report);
+        unified
+    }
+}
+
 /// The untimed, infinite-depth FIFO backend used by C simulation.
 #[derive(Debug)]
-struct CsimBackend<'d> {
+struct SeqBackend<'d> {
     design: &'d Design,
     fifos: Vec<VecDeque<i64>>,
     arrays: Vec<Vec<i64>>,
@@ -160,9 +262,9 @@ struct CsimBackend<'d> {
     warnings: BTreeMap<String, usize>,
 }
 
-impl<'d> CsimBackend<'d> {
+impl<'d> SeqBackend<'d> {
     fn new(design: &'d Design) -> Self {
-        CsimBackend {
+        SeqBackend {
             design,
             fifos: vec![VecDeque::new(); design.fifos.len()],
             arrays: design.arrays.iter().map(|a| a.init.clone()).collect(),
@@ -178,7 +280,7 @@ impl<'d> CsimBackend<'d> {
     }
 }
 
-impl SimBackend for CsimBackend<'_> {
+impl SimBackend for SeqBackend<'_> {
     fn block_start(
         &mut self,
         _module: ModuleId,
@@ -209,12 +311,7 @@ impl SimBackend for CsimBackend<'_> {
         Ok(self.fifos[fifo.index()].pop_front())
     }
 
-    fn fifo_nb_write(
-        &mut self,
-        fifo: FifoId,
-        value: i64,
-        _offset: u64,
-    ) -> Result<bool, SimError> {
+    fn fifo_nb_write(&mut self, fifo: FifoId, value: i64, _offset: u64) -> Result<bool, SimError> {
         // During C simulation streams are infinite, so a non-blocking write
         // can never observe a full FIFO — the root cause of the wrong
         // results in Table 3.
@@ -405,10 +502,7 @@ mod tests {
             .warnings
             .keys()
             .any(|w| w.contains("read while empty")));
-        assert!(report
-            .warnings
-            .keys()
-            .any(|w| w.contains("leftover data")));
+        assert!(report.warnings.keys().any(|w| w.contains("leftover data")));
     }
 
     #[test]

@@ -73,7 +73,10 @@ mod tests {
     fn timer_is_type_c() {
         let report = classify(&timer(32));
         assert_eq!(report.class, DesignClass::TypeC);
-        assert!(report.uses_nonblocking, "empty() checks are cycle-dependent");
+        assert!(
+            report.uses_nonblocking,
+            "empty() checks are cycle-dependent"
+        );
     }
 
     #[test]

@@ -300,31 +300,29 @@ pub fn ex5_with_depths(n: i64, depth1: usize, depth2: usize) -> Design {
         });
     });
 
-    let mut processor = |name: &'static str,
-                         fifo: omnisim_ir::FifoId,
-                         sum_out: omnisim_ir::OutputId,
-                         ii: u64| {
-        d.function(name, move |m| {
-            let acc = m.var("acc");
-            m.entry(|b| {
-                b.assign(acc, Expr::imm(0));
-            });
-            m.loop_block(ii, |b| {
-                let v = b.fifo_read(fifo);
-                let is_done = Expr::var(v).eq(Expr::imm(-1));
-                b.assign(
-                    acc,
-                    is_done
-                        .clone()
-                        .select(Expr::var(acc), Expr::var(acc).add(Expr::var(v))),
-                );
-                b.exit_loop_if(is_done);
-            });
-            m.exit(|b| {
-                b.output(sum_out, Expr::var(acc));
-            });
-        })
-    };
+    let mut processor =
+        |name: &'static str, fifo: omnisim_ir::FifoId, sum_out: omnisim_ir::OutputId, ii: u64| {
+            d.function(name, move |m| {
+                let acc = m.var("acc");
+                m.entry(|b| {
+                    b.assign(acc, Expr::imm(0));
+                });
+                m.loop_block(ii, |b| {
+                    let v = b.fifo_read(fifo);
+                    let is_done = Expr::var(v).eq(Expr::imm(-1));
+                    b.assign(
+                        acc,
+                        is_done
+                            .clone()
+                            .select(Expr::var(acc), Expr::var(acc).add(Expr::var(v))),
+                    );
+                    b.exit_loop_if(is_done);
+                });
+                m.exit(|b| {
+                    b.output(sum_out, Expr::var(acc));
+                });
+            })
+        };
     let p1 = processor("processor1", f1, sum_p1, 5);
     let p2 = processor("processor2", f2, sum_p2, 2);
     d.dataflow_top("top", [controller, p1, p2]);

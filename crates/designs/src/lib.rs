@@ -153,46 +153,228 @@ pub fn table4_designs_with_n(n: i64) -> Vec<BenchDesign> {
 pub fn typea_suite() -> Vec<BenchDesign> {
     use typea as t;
     let mut suite = vec![
-        BenchDesign::new("fixed_point_sqrt", t::fixed_point_sqrt(256), DesignClass::TypeA, "Fixed-point square root"),
-        BenchDesign::new("fir_filter", t::fir_filter(512, 16), DesignClass::TypeA, "FIR filter"),
-        BenchDesign::new("fixed_point_window_conv", t::window_conv(256, 8), DesignClass::TypeA, "Fixed-point window convolution"),
-        BenchDesign::new("float_conv", t::window_conv(192, 12), DesignClass::TypeA, "Floating-point convolution (fixed-point model)"),
-        BenchDesign::new("arbitrary_precision_alu", t::alu(512), DesignClass::TypeA, "Arbitrary precision ALU"),
-        BenchDesign::new("parallel_loops", t::parallel_loops(256), DesignClass::TypeA, "Parallel loops"),
-        BenchDesign::new("imperfect_loops", t::imperfect_loops(64, 32), DesignClass::TypeA, "Imperfect loops"),
-        BenchDesign::new("loop_max_bound", t::loop_max_bound(300, 512), DesignClass::TypeA, "Loop with maximum bound"),
-        BenchDesign::new("perfect_nested_loops", t::nested_loops(48, 48, false), DesignClass::TypeA, "Perfect nested loops"),
-        BenchDesign::new("pipelined_nested_loops", t::nested_loops(48, 48, true), DesignClass::TypeA, "Pipelined nested loops"),
-        BenchDesign::new("sequential_accumulators", t::sequential_accumulators(512), DesignClass::TypeA, "Sequential accumulators"),
-        BenchDesign::new("accumulators_asserts", t::sequential_accumulators(480), DesignClass::TypeA, "Accumulators with asserts"),
-        BenchDesign::new("accumulators_dataflow", t::dataflow_accumulators(512, 4), DesignClass::TypeA, "Accumulators in a dataflow region"),
-        BenchDesign::new("static_memory", t::static_memory(256), DesignClass::TypeA, "Static memory example"),
-        BenchDesign::new("pointer_casting", t::pointer_casting(256), DesignClass::TypeA, "Pointer casting example"),
-        BenchDesign::new("double_pointer", t::pointer_casting(320), DesignClass::TypeA, "Double pointer example"),
-        BenchDesign::new("axi4_master", t::axi4_master(256, 8), DesignClass::TypeA, "AXI4 master burst interface"),
-        BenchDesign::new("axis_no_side_channel", t::vecadd_stream(512, 2), DesignClass::TypeA, "AXI-Stream without side channel"),
-        BenchDesign::new("multiple_array_access", t::multiple_array_access(256), DesignClass::TypeA, "Multiple array access"),
-        BenchDesign::new("resolved_array_access", t::multiple_array_access(320), DesignClass::TypeA, "Resolved array access"),
-        BenchDesign::new("uram_ecc", t::static_memory(384), DesignClass::TypeA, "URAM with ECC"),
-        BenchDesign::new("fixed_point_hamming", t::hamming_window(256), DesignClass::TypeA, "Fixed-point Hamming window"),
-        BenchDesign::new("unoptimized_fft", t::fft_stages(128, 1), DesignClass::TypeA, "Unoptimized FFT"),
-        BenchDesign::new("multi_stage_fft", t::fft_stages(128, 7), DesignClass::TypeA, "Multi-stage pipelined FFT"),
-        BenchDesign::new("huffman_encoding", t::huffman_encoding(256), DesignClass::TypeA, "Huffman encoding (histogram + encode)"),
-        BenchDesign::new("matrix_multiplication", t::matmul(24), DesignClass::TypeA, "Matrix multiplication"),
-        BenchDesign::new("parallelized_merge_sort", t::merge_sort(256), DesignClass::TypeA, "Parallelized merge sort"),
-        BenchDesign::new("vecadd_stream", t::vecadd_stream(1024, 4), DesignClass::TypeA, "Vector add with streams"),
+        BenchDesign::new(
+            "fixed_point_sqrt",
+            t::fixed_point_sqrt(256),
+            DesignClass::TypeA,
+            "Fixed-point square root",
+        ),
+        BenchDesign::new(
+            "fir_filter",
+            t::fir_filter(512, 16),
+            DesignClass::TypeA,
+            "FIR filter",
+        ),
+        BenchDesign::new(
+            "fixed_point_window_conv",
+            t::window_conv(256, 8),
+            DesignClass::TypeA,
+            "Fixed-point window convolution",
+        ),
+        BenchDesign::new(
+            "float_conv",
+            t::window_conv(192, 12),
+            DesignClass::TypeA,
+            "Floating-point convolution (fixed-point model)",
+        ),
+        BenchDesign::new(
+            "arbitrary_precision_alu",
+            t::alu(512),
+            DesignClass::TypeA,
+            "Arbitrary precision ALU",
+        ),
+        BenchDesign::new(
+            "parallel_loops",
+            t::parallel_loops(256),
+            DesignClass::TypeA,
+            "Parallel loops",
+        ),
+        BenchDesign::new(
+            "imperfect_loops",
+            t::imperfect_loops(64, 32),
+            DesignClass::TypeA,
+            "Imperfect loops",
+        ),
+        BenchDesign::new(
+            "loop_max_bound",
+            t::loop_max_bound(300, 512),
+            DesignClass::TypeA,
+            "Loop with maximum bound",
+        ),
+        BenchDesign::new(
+            "perfect_nested_loops",
+            t::nested_loops(48, 48, false),
+            DesignClass::TypeA,
+            "Perfect nested loops",
+        ),
+        BenchDesign::new(
+            "pipelined_nested_loops",
+            t::nested_loops(48, 48, true),
+            DesignClass::TypeA,
+            "Pipelined nested loops",
+        ),
+        BenchDesign::new(
+            "sequential_accumulators",
+            t::sequential_accumulators(512),
+            DesignClass::TypeA,
+            "Sequential accumulators",
+        ),
+        BenchDesign::new(
+            "accumulators_asserts",
+            t::sequential_accumulators(480),
+            DesignClass::TypeA,
+            "Accumulators with asserts",
+        ),
+        BenchDesign::new(
+            "accumulators_dataflow",
+            t::dataflow_accumulators(512, 4),
+            DesignClass::TypeA,
+            "Accumulators in a dataflow region",
+        ),
+        BenchDesign::new(
+            "static_memory",
+            t::static_memory(256),
+            DesignClass::TypeA,
+            "Static memory example",
+        ),
+        BenchDesign::new(
+            "pointer_casting",
+            t::pointer_casting(256),
+            DesignClass::TypeA,
+            "Pointer casting example",
+        ),
+        BenchDesign::new(
+            "double_pointer",
+            t::pointer_casting(320),
+            DesignClass::TypeA,
+            "Double pointer example",
+        ),
+        BenchDesign::new(
+            "axi4_master",
+            t::axi4_master(256, 8),
+            DesignClass::TypeA,
+            "AXI4 master burst interface",
+        ),
+        BenchDesign::new(
+            "axis_no_side_channel",
+            t::vecadd_stream(512, 2),
+            DesignClass::TypeA,
+            "AXI-Stream without side channel",
+        ),
+        BenchDesign::new(
+            "multiple_array_access",
+            t::multiple_array_access(256),
+            DesignClass::TypeA,
+            "Multiple array access",
+        ),
+        BenchDesign::new(
+            "resolved_array_access",
+            t::multiple_array_access(320),
+            DesignClass::TypeA,
+            "Resolved array access",
+        ),
+        BenchDesign::new(
+            "uram_ecc",
+            t::static_memory(384),
+            DesignClass::TypeA,
+            "URAM with ECC",
+        ),
+        BenchDesign::new(
+            "fixed_point_hamming",
+            t::hamming_window(256),
+            DesignClass::TypeA,
+            "Fixed-point Hamming window",
+        ),
+        BenchDesign::new(
+            "unoptimized_fft",
+            t::fft_stages(128, 1),
+            DesignClass::TypeA,
+            "Unoptimized FFT",
+        ),
+        BenchDesign::new(
+            "multi_stage_fft",
+            t::fft_stages(128, 7),
+            DesignClass::TypeA,
+            "Multi-stage pipelined FFT",
+        ),
+        BenchDesign::new(
+            "huffman_encoding",
+            t::huffman_encoding(256),
+            DesignClass::TypeA,
+            "Huffman encoding (histogram + encode)",
+        ),
+        BenchDesign::new(
+            "matrix_multiplication",
+            t::matmul(24),
+            DesignClass::TypeA,
+            "Matrix multiplication",
+        ),
+        BenchDesign::new(
+            "parallelized_merge_sort",
+            t::merge_sort(256),
+            DesignClass::TypeA,
+            "Parallelized merge sort",
+        ),
+        BenchDesign::new(
+            "vecadd_stream",
+            t::vecadd_stream(1024, 4),
+            DesignClass::TypeA,
+            "Vector add with streams",
+        ),
     ];
     // Large many-module dataflow graphs standing in for the FlowGNN variants,
     // INR-Arch and SkyNet: these exist to exercise simulator scalability, so
     // the cycle-stepped reference simulator is not expected to run on them.
     let large = vec![
-        BenchDesign::new("flowgnn_gin", t::dataflow_graph("flowgnn_gin", 12, 6_000, 1), DesignClass::TypeA, "FlowGNN GIN-style dataflow graph").slow_reference(),
-        BenchDesign::new("flowgnn_gcn", t::dataflow_graph("flowgnn_gcn", 16, 6_000, 1), DesignClass::TypeA, "FlowGNN GCN-style dataflow graph").slow_reference(),
-        BenchDesign::new("flowgnn_gat", t::dataflow_graph("flowgnn_gat", 20, 8_000, 1), DesignClass::TypeA, "FlowGNN GAT-style dataflow graph").slow_reference(),
-        BenchDesign::new("flowgnn_pna", t::dataflow_graph("flowgnn_pna", 24, 8_000, 1), DesignClass::TypeA, "FlowGNN PNA-style dataflow graph").slow_reference(),
-        BenchDesign::new("flowgnn_dgn", t::dataflow_graph("flowgnn_dgn", 12, 10_000, 1), DesignClass::TypeA, "FlowGNN DGN-style dataflow graph").slow_reference(),
-        BenchDesign::new("inr_arch", t::dataflow_graph("inr_arch", 32, 12_000, 1), DesignClass::TypeA, "INR-Arch-style gradient dataflow graph").slow_reference(),
-        BenchDesign::new("skynet", t::skynet(48, 25_000), DesignClass::TypeA, "SkyNet-style detection pipeline").slow_reference(),
+        BenchDesign::new(
+            "flowgnn_gin",
+            t::dataflow_graph("flowgnn_gin", 12, 6_000, 1),
+            DesignClass::TypeA,
+            "FlowGNN GIN-style dataflow graph",
+        )
+        .slow_reference(),
+        BenchDesign::new(
+            "flowgnn_gcn",
+            t::dataflow_graph("flowgnn_gcn", 16, 6_000, 1),
+            DesignClass::TypeA,
+            "FlowGNN GCN-style dataflow graph",
+        )
+        .slow_reference(),
+        BenchDesign::new(
+            "flowgnn_gat",
+            t::dataflow_graph("flowgnn_gat", 20, 8_000, 1),
+            DesignClass::TypeA,
+            "FlowGNN GAT-style dataflow graph",
+        )
+        .slow_reference(),
+        BenchDesign::new(
+            "flowgnn_pna",
+            t::dataflow_graph("flowgnn_pna", 24, 8_000, 1),
+            DesignClass::TypeA,
+            "FlowGNN PNA-style dataflow graph",
+        )
+        .slow_reference(),
+        BenchDesign::new(
+            "flowgnn_dgn",
+            t::dataflow_graph("flowgnn_dgn", 12, 10_000, 1),
+            DesignClass::TypeA,
+            "FlowGNN DGN-style dataflow graph",
+        )
+        .slow_reference(),
+        BenchDesign::new(
+            "inr_arch",
+            t::dataflow_graph("inr_arch", 32, 12_000, 1),
+            DesignClass::TypeA,
+            "INR-Arch-style gradient dataflow graph",
+        )
+        .slow_reference(),
+        BenchDesign::new(
+            "skynet",
+            t::skynet(48, 25_000),
+            DesignClass::TypeA,
+            "SkyNet-style detection pipeline",
+        )
+        .slow_reference(),
     ];
     suite.extend(large);
     suite

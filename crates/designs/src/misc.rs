@@ -135,10 +135,7 @@ fn add_core(
             let may_redirect = is_branch
                 .clone()
                 .bitand(Expr::var(redirects).lt(Expr::imm(max_redirects)));
-            b.assign(
-                executed,
-                Expr::var(executed).add(is_branch),
-            );
+            b.assign(executed, Expr::var(executed).add(is_branch));
             b.branch(
                 is_sentinel.clone().select(Expr::imm(2), may_redirect),
                 branch_handler,

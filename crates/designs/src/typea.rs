@@ -104,7 +104,10 @@ pub fn fir_filter(n: i64, taps: i64) -> Design {
 pub fn window_conv(n: i64, w: i64) -> Design {
     let mut d = DesignBuilder::new("window_conv");
     let data = d.array("data", input(n, 3));
-    let kernel = d.array("kernel", (1..=w).map(|i| i * 3 % 7 + 1).collect::<Vec<i64>>());
+    let kernel = d.array(
+        "kernel",
+        (1..=w).map(|i| i * 3 % 7 + 1).collect::<Vec<i64>>(),
+    );
     let out = d.output("checksum");
     d.function_top("conv", |m| {
         let acc = m.var("acc");
@@ -154,20 +157,17 @@ pub fn alu(n: i64) -> Design {
             let x = Expr::var(x);
             let y = Expr::var(y);
             let op = Expr::var(op);
-            let result = op
-                .clone()
-                .eq(Expr::imm(0))
-                .select(
-                    x.clone().add(y.clone()),
-                    op.clone().eq(Expr::imm(1)).select(
-                        x.clone().sub(y.clone()),
-                        op.clone().eq(Expr::imm(2)).select(
-                            x.clone().mul(y.clone()),
-                            op.eq(Expr::imm(3))
-                                .select(x.clone().shr(Expr::imm(2)), x.max(y)),
-                        ),
+            let result = op.clone().eq(Expr::imm(0)).select(
+                x.clone().add(y.clone()),
+                op.clone().eq(Expr::imm(1)).select(
+                    x.clone().sub(y.clone()),
+                    op.clone().eq(Expr::imm(2)).select(
+                        x.clone().mul(y.clone()),
+                        op.eq(Expr::imm(3))
+                            .select(x.clone().shr(Expr::imm(2)), x.max(y)),
                     ),
-                );
+                ),
+            );
             blk.assign(acc, Expr::var(acc).bitxor(result));
         });
         m.exit(|blk| {
@@ -221,7 +221,9 @@ pub fn imperfect_loops(rows: i64, cols: i64) -> Design {
         let inner = m.new_block();
         let finish = m.new_block();
         m.fill_block(entry, |b| {
-            b.assign(acc, Expr::imm(0)).assign(i, Expr::imm(0)).jump(outer);
+            b.assign(acc, Expr::imm(0))
+                .assign(i, Expr::imm(0))
+                .jump(outer);
         });
         m.fill_block(outer, |b| {
             b.assign(j, Expr::imm(0));
@@ -265,7 +267,9 @@ pub fn loop_max_bound(actual: i64, max_bound: i64) -> Design {
         let head = m.new_block();
         let finish = m.new_block();
         m.fill_block(entry, |b| {
-            b.assign(acc, Expr::imm(0)).assign(i, Expr::imm(0)).jump(head);
+            b.assign(acc, Expr::imm(0))
+                .assign(i, Expr::imm(0))
+                .jump(head);
         });
         m.fill_block(head, |b| {
             b.pipeline(1);
@@ -538,7 +542,9 @@ pub fn hamming_window(n: i64) -> Design {
             // 0.54 - 0.46 cos(2πi/N) approximated with a triangular profile
             // in Q8 fixed point.
             let phase = i.clone().rem(Expr::imm(n));
-            let tri = Expr::imm(n / 2).sub(phase.sub(Expr::imm(n / 2))).max(Expr::imm(0));
+            let tri = Expr::imm(n / 2)
+                .sub(phase.sub(Expr::imm(n / 2)))
+                .max(Expr::imm(0));
             let coeff = Expr::imm(138).add(tri.mul(Expr::imm(118)).div(Expr::imm(n.max(1))));
             b.assign(
                 acc,
@@ -562,7 +568,10 @@ pub fn fft_stages(n: i64, stages: usize) -> Design {
 /// (the Huffman encoding kernel's simulation-relevant structure).
 pub fn huffman_encoding(n: i64) -> Design {
     let mut d = DesignBuilder::new("huffman_encoding");
-    let symbols = d.array("symbols", input(n, 22).iter().map(|v| v % 32).collect::<Vec<i64>>());
+    let symbols = d.array(
+        "symbols",
+        input(n, 22).iter().map(|v| v % 32).collect::<Vec<i64>>(),
+    );
     let hist = d.zero_array("histogram", 32);
     let out = d.output("total_bits");
     d.function_top("huffman", |m| {
@@ -622,9 +631,7 @@ pub fn matmul(size: i64) -> Design {
             blk.array_store(
                 c,
                 is_last.clone().select(c_idx, Expr::imm(0)),
-                is_last
-                    .clone()
-                    .select(Expr::var(acc), Expr::imm(0)),
+                is_last.clone().select(Expr::var(acc), Expr::imm(0)),
             );
             blk.assign(
                 check,

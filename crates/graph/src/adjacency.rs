@@ -207,9 +207,7 @@ mod tests {
         let y = g2.add_node(0);
         let z = g2.add_node(0);
         g2.add_edge(x, y, 2);
-        let times = g2
-            .times_with_overlay(&[Edge::new(y, z, 7)])
-            .unwrap();
+        let times = g2.times_with_overlay(&[Edge::new(y, z, 7)]).unwrap();
         assert_eq!(times, vec![0, 2, 9]);
         // Overlay did not change stored times.
         assert_eq!(g2.time(z), 0);

@@ -68,7 +68,9 @@ pub fn longest_path(
     }
 
     let mut time = base.to_vec();
-    let mut ready: Vec<u32> = (0..n as u32).filter(|&i| in_degree[i as usize] == 0).collect();
+    let mut ready: Vec<u32> = (0..n as u32)
+        .filter(|&i| in_degree[i as usize] == 0)
+        .collect();
     let mut processed = 0usize;
     while let Some(v) = ready.pop() {
         processed += 1;
@@ -107,7 +109,7 @@ mod tests {
     #[test]
     fn chain_accumulates_weights() {
         let base = vec![0, 0, 0, 0];
-        let edges = vec![
+        let edges = [
             Edge::new(n(0), n(1), 2),
             Edge::new(n(1), n(2), 3),
             Edge::new(n(2), n(3), 1),
@@ -119,7 +121,7 @@ mod tests {
     #[test]
     fn base_times_act_as_lower_bounds() {
         let base = vec![0, 10, 0];
-        let edges = vec![Edge::new(n(0), n(1), 1), Edge::new(n(1), n(2), 1)];
+        let edges = [Edge::new(n(0), n(1), 1), Edge::new(n(1), n(2), 1)];
         let times = longest_path(&base, edges.iter().copied()).unwrap();
         assert_eq!(times, vec![0, 10, 11]);
     }
@@ -127,7 +129,7 @@ mod tests {
     #[test]
     fn diamond_takes_the_longer_branch() {
         let base = vec![0; 4];
-        let edges = vec![
+        let edges = [
             Edge::new(n(0), n(1), 5),
             Edge::new(n(0), n(2), 1),
             Edge::new(n(1), n(3), 1),
@@ -140,7 +142,7 @@ mod tests {
     #[test]
     fn cycle_is_detected() {
         let base = vec![0, 0];
-        let edges = vec![Edge::new(n(0), n(1), 1), Edge::new(n(1), n(0), 1)];
+        let edges = [Edge::new(n(0), n(1), 1), Edge::new(n(1), n(0), 1)];
         assert_eq!(
             longest_path(&base, edges.iter().copied()).unwrap_err(),
             CycleError

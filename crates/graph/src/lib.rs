@@ -38,11 +38,11 @@ pub use adjacency::EventGraph;
 pub use algo::{longest_path, CycleError, Edge};
 pub use csr::{CsrGraph, CsrGraphBuilder};
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Identifies a node of a simulation graph.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct NodeId(pub u32);
 
 impl NodeId {

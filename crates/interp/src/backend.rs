@@ -6,8 +6,8 @@
 //! mirror the request types of Table 1.
 
 use crate::error::SimError;
-use omnisim_ir::{ArrayId, AxiId, BlockId, FifoId, ModuleId, OutputId};
 use omnisim_ir::schedule::BlockSchedule;
+use omnisim_ir::{ArrayId, AxiId, BlockId, FifoId, ModuleId, OutputId};
 
 /// The interface between interpreted design code and a simulator.
 ///
@@ -51,8 +51,7 @@ pub trait SimBackend {
 
     /// Non-blocking FIFO write: `true` when the value was accepted, `false`
     /// when the FIFO is full at the access cycle.
-    fn fifo_nb_write(&mut self, fifo: FifoId, value: i64, offset: u64)
-        -> Result<bool, SimError>;
+    fn fifo_nb_write(&mut self, fifo: FifoId, value: i64, offset: u64) -> Result<bool, SimError>;
 
     /// FIFO `empty()` status check at the access cycle.
     fn fifo_empty(&mut self, fifo: FifoId, offset: u64) -> Result<bool, SimError>;
@@ -67,8 +66,13 @@ pub trait SimBackend {
     fn array_store(&mut self, array: ArrayId, index: i64, value: i64) -> Result<(), SimError>;
 
     /// AXI read-burst request (`AxiReadReq`).
-    fn axi_read_req(&mut self, bus: AxiId, addr: i64, len: i64, offset: u64)
-        -> Result<(), SimError>;
+    fn axi_read_req(
+        &mut self,
+        bus: AxiId,
+        addr: i64,
+        len: i64,
+        offset: u64,
+    ) -> Result<(), SimError>;
 
     /// Consume one AXI read beat (`AxiRead`).
     fn axi_read(&mut self, bus: AxiId, offset: u64) -> Result<i64, SimError>;

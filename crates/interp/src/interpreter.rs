@@ -347,11 +347,7 @@ mod tests {
             let slot = usize::try_from(index)
                 .ok()
                 .and_then(|i| data.get_mut(i))
-                .ok_or(SimError::ArrayOutOfBounds {
-                    array,
-                    index,
-                    len,
-                })?;
+                .ok_or(SimError::ArrayOutOfBounds { array, index, len })?;
             *slot = value;
             Ok(())
         }
@@ -475,7 +471,9 @@ mod tests {
         let design = d.build().unwrap();
         let mut backend = TestBackend::for_design(&design);
         let mut interp = Interpreter::new(&design);
-        let err = interp.run_module(design.top, &[], &mut backend).unwrap_err();
+        let err = interp
+            .run_module(design.top, &[], &mut backend)
+            .unwrap_err();
         assert_eq!(
             err,
             SimError::ArrayOutOfBounds {
@@ -542,7 +540,9 @@ mod tests {
         let design = producer_consumer(2);
         let mut backend = TestBackend::for_design(&design);
         let mut interp = Interpreter::new(&design);
-        let err = interp.run_module(design.top, &[], &mut backend).unwrap_err();
+        let err = interp
+            .run_module(design.top, &[], &mut backend)
+            .unwrap_err();
         assert!(matches!(err, SimError::Aborted { .. }));
     }
 }

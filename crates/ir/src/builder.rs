@@ -371,7 +371,10 @@ impl ModuleBuilder {
         };
         self.blocks[id.index()] = block;
         self.patch_pending_to(id);
-        if matches!(block_terminator(&self.blocks[id.index()]), Terminator::Branch { .. }) {
+        if matches!(
+            block_terminator(&self.blocks[id.index()]),
+            Terminator::Branch { .. }
+        ) {
             self.pending.push(PendingExit::BranchTrue(id));
         }
         id

@@ -6,11 +6,11 @@
 //! the integer/fixed-point arithmetic of the paper's benchmark designs.
 
 use crate::ids::VarId;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Binary operators available in [`Expr::Binary`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[allow(missing_docs)]
 pub enum BinOp {
     Add,
@@ -34,7 +34,8 @@ pub enum BinOp {
 }
 
 /// Unary operators available in [`Expr::Unary`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[allow(missing_docs)]
 pub enum UnOp {
     Neg,
@@ -53,7 +54,8 @@ pub enum UnOp {
 /// let e = Expr::var(VarId(0)).mul(Expr::imm(2)).add(Expr::imm(1));
 /// assert_eq!(e.eval(&|_| 10), 21);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Expr {
     /// A constant value.
     Const(i64),
@@ -173,6 +175,9 @@ macro_rules! expr_method {
     ($(#[$doc:meta])* $name:ident, $op:ident) => {
         impl Expr {
             $(#[$doc])*
+            // The names deliberately mirror `std::ops` — this is a builder
+            // DSL producing IR nodes, not an arithmetic implementation.
+            #[allow(clippy::should_implement_trait)]
             pub fn $name(self, rhs: Expr) -> Expr {
                 Expr::bin(BinOp::$op, self, rhs)
             }
@@ -255,6 +260,7 @@ expr_method!(
 
 impl Expr {
     /// Builds the arithmetic negation of this expression.
+    #[allow(clippy::should_implement_trait)]
     pub fn neg(self) -> Expr {
         Expr::Unary(UnOp::Neg, Box::new(self))
     }
@@ -299,7 +305,9 @@ mod tests {
 
     #[test]
     fn arithmetic_evaluation() {
-        let e = Expr::var(VarId(0)).add(Expr::imm(3)).mul(Expr::var(VarId(1)));
+        let e = Expr::var(VarId(0))
+            .add(Expr::imm(3))
+            .mul(Expr::var(VarId(1)));
         assert_eq!(e.eval(&env(&[2, 4])), 20);
     }
 

@@ -8,10 +8,10 @@
 use crate::expr::Expr;
 use crate::ids::{ArrayId, AxiId, BlockId, FifoId, ModuleId, OutputId, VarId};
 use crate::schedule::BlockSchedule;
-use serde::{Deserialize, Serialize};
 
 /// One operation of a basic block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Op {
     /// `dst = expr`
     Assign {
@@ -195,7 +195,8 @@ impl Op {
 }
 
 /// An operation together with its scheduled cycle offset inside the block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct ScheduledOp {
     /// Cycle offset relative to block entry at which the operation executes.
     pub offset: u64,
@@ -204,7 +205,8 @@ pub struct ScheduledOp {
 }
 
 /// Control-flow terminator of a basic block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Terminator {
     /// Unconditional jump.
     Jump(BlockId),
@@ -235,7 +237,8 @@ impl Terminator {
 }
 
 /// A scheduled basic block.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Block {
     /// Operations in program order, each with its scheduled offset.
     pub ops: Vec<ScheduledOp>,

@@ -142,15 +142,19 @@ mod tests {
 
         // The consumer's live check still carries its destination.
         let consumer = &design.modules[1];
-        let live = consumer.blocks.iter().flat_map(|b| &b.ops).any(|s| {
-            matches!(s.op, Op::FifoEmpty { dst: Some(_), .. })
-        });
+        let live = consumer
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .any(|s| matches!(s.op, Op::FifoEmpty { dst: Some(_), .. }));
         assert!(live);
         // The producer's dead check no longer does.
         let producer = &design.modules[0];
-        let dead = producer.blocks.iter().flat_map(|b| &b.ops).any(|s| {
-            matches!(s.op, Op::FifoFull { dst: None, .. })
-        });
+        let dead = producer
+            .blocks
+            .iter()
+            .flat_map(|b| &b.ops)
+            .any(|s| matches!(s.op, Op::FifoFull { dst: None, .. }));
         assert!(dead);
     }
 }

@@ -6,8 +6,6 @@
 //! (II). All simulators in this workspace honour the same interpretation,
 //! documented on [`BlockSchedule`].
 
-use serde::{Deserialize, Serialize};
-
 /// The static schedule of one basic block.
 ///
 /// *Interpretation* (the "timing model contract" shared by every simulator):
@@ -21,7 +19,8 @@ use serde::{Deserialize, Serialize};
 ///   iteration enters at `T + ii` (plus stalls) rather than at block exit,
 ///   which reproduces the `(trip_count − 1) × II + latency` latency formula
 ///   of a pipelined HLS loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct BlockSchedule {
     /// Number of clock cycles from block entry to block exit, absent stalls.
     pub latency: u64,

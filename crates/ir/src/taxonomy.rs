@@ -23,12 +23,12 @@ use crate::design::{Design, ModuleKind};
 use crate::ids::{ModuleId, VarId};
 use crate::op::{Op, Terminator};
 use crate::validate::fifo_endpoints;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use std::fmt;
 
 /// The design classes of the paper's taxonomy (Fig. 3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum DesignClass {
     /// Blocking-only, acyclic, single-behaviour designs.
     TypeA,
@@ -50,7 +50,8 @@ impl fmt::Display for DesignClass {
 }
 
 /// Simulation requirement levels (Fig. 4, top row).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum SimLevel {
     /// Concurrency-independent, cycle-independent.
     L1,
@@ -91,7 +92,8 @@ impl DesignClass {
 
 /// Structural features of a design relevant to the taxonomy, plus the
 /// resulting classification.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct TaxonomyReport {
     /// The inferred design class.
     pub class: DesignClass,
@@ -143,9 +145,9 @@ pub fn classify(design: &Design) -> TaxonomyReport {
     });
     let uses_blocking = design.modules.iter().any(|m| {
         m.blocks.iter().any(|b| {
-            b.ops.iter().any(|s| {
-                matches!(s.op, Op::FifoRead { .. } | Op::FifoWrite { .. })
-            })
+            b.ops
+                .iter()
+                .any(|s| matches!(s.op, Op::FifoRead { .. } | Op::FifoWrite { .. }))
         })
     });
     let cyclic_dataflow = dataflow_graph_has_cycle(design);
@@ -311,15 +313,13 @@ fn nb_outcome_observable(design: &Design, mid: ModuleId) -> bool {
     for block in &module.blocks {
         for sop in &block.ops {
             match &sop.op {
-                Op::Output { value, .. } => {
-                    if expr_tainted(value, &tainted) {
-                        return true;
-                    }
+                Op::Output { value, .. } if expr_tainted(value, &tainted) => {
+                    return true;
                 }
-                Op::ArrayStore { index, value, .. } => {
-                    if expr_tainted(index, &tainted) || expr_tainted(value, &tainted) {
-                        return true;
-                    }
+                Op::ArrayStore { index, value, .. }
+                    if expr_tainted(index, &tainted) || expr_tainted(value, &tainted) =>
+                {
+                    return true;
                 }
                 _ => {}
             }
@@ -392,10 +392,7 @@ mod tests {
                 let iv = Expr::var(b.var("i"));
                 let v = b.array_load(data, iv.clone());
                 let ok = b.fifo_nb_write(f, Expr::var(v));
-                b.assign(
-                    i,
-                    Expr::var(ok).select(iv.clone().add(Expr::imm(1)), iv),
-                );
+                b.assign(i, Expr::var(ok).select(iv.clone().add(Expr::imm(1)), iv));
                 let (_d, got) = b.fifo_nb_read(done);
                 b.exit_loop_if(Expr::var(got));
             });

@@ -38,10 +38,7 @@ pub fn validate(design: &Design) -> Result<(), IrError> {
                     if child.index() >= design.modules.len()
                         || design.modules[child.index()].is_dataflow()
                     {
-                        return Err(IrError::InvalidDataflowChild {
-                            region: mid,
-                            child,
-                        });
+                        return Err(IrError::InvalidDataflowChild { region: mid, child });
                     }
                 }
             }
@@ -80,11 +77,7 @@ pub fn validate(design: &Design) -> Result<(), IrError> {
     Ok(())
 }
 
-fn check_expr_vars(
-    module: ModuleId,
-    num_vars: u32,
-    expr: &Expr,
-) -> Result<(), IrError> {
+fn check_expr_vars(module: ModuleId, num_vars: u32, expr: &Expr) -> Result<(), IrError> {
     let mut vars = Vec::new();
     expr.collect_vars(&mut vars);
     for v in vars {
@@ -430,7 +423,10 @@ mod tests {
                 b.fifo_write(FifoId(5), Expr::imm(1));
             });
         });
-        assert!(matches!(d.build().unwrap_err(), IrError::UnknownFifo { .. }));
+        assert!(matches!(
+            d.build().unwrap_err(),
+            IrError::UnknownFifo { .. }
+        ));
     }
 
     #[test]

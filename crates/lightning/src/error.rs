@@ -38,7 +38,10 @@ impl fmt::Display for LightningError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             LightningError::Unsupported { class, reason } => {
-                write!(f, "design is Type {class}, not supported by LightningSim: {reason}")
+                write!(
+                    f,
+                    "design is Type {class}, not supported by LightningSim: {reason}"
+                )
             }
             LightningError::Execution(e) => write!(f, "phase 1 execution failed: {e}"),
             LightningError::Graph(e) => write!(f, "simulation graph error: {e}"),

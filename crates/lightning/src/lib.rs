@@ -26,6 +26,45 @@
 //! [`LightningSimulator::new`] therefore rejects such designs with
 //! [`LightningError::Unsupported`], mirroring the "not supported" entries of
 //! the paper's comparison tables.
+//!
+//! ## Via the unified API
+//!
+//! [`LightningBackend`] exposes the baseline through the workspace-wide
+//! [`omnisim_api::Simulator`] trait; Type B/C designs surface as
+//! [`omnisim_api::SimFailure::Unsupported`]:
+//!
+//! ```
+//! use omnisim_api::Simulator;
+//! use omnisim_lightning::LightningBackend;
+//! use omnisim_ir::{DesignBuilder, Expr};
+//!
+//! let mut d = DesignBuilder::new("pc");
+//! let out = d.output("sum");
+//! let q = d.fifo("q", 2);
+//! let p = d.function("p", |m| {
+//!     m.counted_loop("i", 8, 1, |b| {
+//!         let i = b.var_expr("i");
+//!         b.fifo_write(q, i.add(Expr::imm(1)));
+//!     });
+//! });
+//! let c = d.function("c", |m| {
+//!     let acc = m.var("acc");
+//!     m.entry(|b| { b.assign(acc, Expr::imm(0)); });
+//!     m.counted_loop("i", 8, 1, |b| {
+//!         let v = b.fifo_read(q);
+//!         b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+//!     });
+//!     m.exit(|b| { b.output(out, Expr::var(acc)); });
+//! });
+//! d.dataflow_top("top", [p, c]);
+//! let design = d.build().unwrap();
+//!
+//! let backend = LightningBackend;
+//! assert!(!backend.capabilities().handles_type_c);
+//! let report = backend.simulate(&design).unwrap();
+//! assert_eq!(report.output("sum"), Some(36));
+//! assert!(report.total_cycles.unwrap() > 8);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,8 +74,10 @@ mod error;
 mod report;
 mod simulator;
 mod trace;
+mod unified;
 
 pub use error::LightningError;
 pub use report::LightningReport;
 pub use simulator::LightningSimulator;
 pub use trace::LightningTrace;
+pub use unified::LightningBackend;

@@ -98,6 +98,13 @@ impl<'d> LightningSimulator<'d> {
         Ok(self.trace.as_ref().expect("trace just generated"))
     }
 
+    /// Consumes the simulator, returning the cached Phase 1 trace (if Phase 1
+    /// has run). Used by the unified API to hand the trace to callers as a
+    /// [`SimReport`](omnisim_api::SimReport) extra.
+    pub fn into_trace(self) -> Option<LightningTrace> {
+        self.trace
+    }
+
     /// Phase 2 only: recomputes the latency for new FIFO depths, reusing the
     /// cached Phase 1 trace. This is LightningSim's incremental
     /// design-space-exploration mode.

@@ -251,12 +251,7 @@ impl SimBackend for TraceBackend<'_> {
         })
     }
 
-    fn fifo_nb_write(
-        &mut self,
-        fifo: FifoId,
-        _value: i64,
-        _offset: u64,
-    ) -> Result<bool, SimError> {
+    fn fifo_nb_write(&mut self, fifo: FifoId, _value: i64, _offset: u64) -> Result<bool, SimError> {
         Err(SimError::Aborted {
             reason: format!(
                 "non-blocking write on fifo '{}' is not supported by LightningSim",

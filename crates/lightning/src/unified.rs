@@ -1,0 +1,128 @@
+//! Unified-API adapter: the LightningSim baseline as a [`Simulator`]
+//! backend, plus the conversions from the native report and error types.
+
+use crate::error::LightningError;
+use crate::report::LightningReport;
+use crate::simulator::LightningSimulator;
+use omnisim_api::{Capabilities, SimFailure, SimOutcome, SimReport, Simulator};
+use omnisim_ir::Design;
+
+/// The decoupled two-phase LightningSim baseline as a unified [`Simulator`]
+/// backend.
+///
+/// Cycle-accurate, but only for Type A designs: Type B/C designs are
+/// rejected with [`SimFailure::Unsupported`], mirroring the "not supported"
+/// cells of the paper's comparison tables. The Phase 1 trace rides along in
+/// [`SimReport::extras`] as a [`LightningTrace`](crate::LightningTrace),
+/// whose `analyze` method re-answers FIFO-depth changes without re-running
+/// Phase 1 — LightningSim's incremental DSE mode.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LightningBackend;
+
+impl Simulator for LightningBackend {
+    fn name(&self) -> &'static str {
+        "lightning"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            cycle_accurate: true,
+            handles_type_b: false,
+            handles_type_c: false,
+            produces_timings: true,
+            incremental_dse: true,
+        }
+    }
+
+    fn simulate(&self, design: &Design) -> Result<SimReport, SimFailure> {
+        let mut simulator = LightningSimulator::new(design)?;
+        let report = simulator.simulate()?;
+        let mut unified = SimReport::from(report);
+        if let Some(trace) = simulator.into_trace() {
+            unified.extras.insert(trace);
+        }
+        Ok(unified)
+    }
+}
+
+impl From<LightningReport> for SimReport {
+    fn from(report: LightningReport) -> SimReport {
+        // A LightningReport only exists for completed runs; unsupported
+        // designs and execution failures never produce one.
+        let mut unified = SimReport::new("lightning", SimOutcome::Completed);
+        unified.outputs = report.outputs.clone();
+        unified.total_cycles = Some(report.total_cycles);
+        unified.timings.execution = report.phase1_time;
+        unified.timings.finalize = report.phase2_time;
+        unified.extras.insert(report);
+        unified
+    }
+}
+
+impl From<LightningError> for SimFailure {
+    fn from(error: LightningError) -> SimFailure {
+        match &error {
+            LightningError::Unsupported { .. } => {
+                SimFailure::unsupported("lightning", error.to_string())
+            }
+            LightningError::Graph(_) => SimFailure::internal("lightning", error.to_string()),
+            _ => SimFailure::execution("lightning", error.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_graph::CycleError;
+    use omnisim_ir::design::OutputMap;
+    use omnisim_ir::DesignClass;
+    use std::time::Duration;
+
+    #[test]
+    fn report_converts_with_phase_timings() {
+        let mut outputs = OutputMap::new();
+        outputs.insert("sum".into(), 136);
+        let report = LightningReport {
+            outputs,
+            total_cycles: 21,
+            phase1_time: Duration::from_millis(5),
+            phase2_time: Duration::from_millis(1),
+            node_count: 32,
+            edge_count: 31,
+        };
+        let unified: SimReport = report.into();
+        assert_eq!(unified.backend, "lightning");
+        assert!(unified.outcome.is_completed());
+        assert_eq!(unified.total_cycles, Some(21));
+        assert_eq!(unified.timings.execution, Duration::from_millis(5));
+        assert_eq!(unified.timings.finalize, Duration::from_millis(1));
+        assert_eq!(unified.timings.total(), Duration::from_millis(6));
+        let native = unified.extras.get::<LightningReport>().unwrap();
+        assert_eq!(native.node_count, 32);
+    }
+
+    #[test]
+    fn unsupported_designs_map_to_unsupported_failures() {
+        let failure: SimFailure = LightningError::Unsupported {
+            class: DesignClass::TypeC,
+            reason: "non-blocking FIFO accesses".into(),
+        }
+        .into();
+        assert!(failure.is_unsupported());
+        assert_eq!(failure.backend(), "lightning");
+        assert!(failure.to_string().contains("non-blocking"));
+    }
+
+    #[test]
+    fn graph_bugs_map_to_internal_failures() {
+        let failure: SimFailure = LightningError::Graph(CycleError).into();
+        assert!(matches!(failure, SimFailure::Internal { .. }));
+    }
+
+    #[test]
+    fn other_errors_map_to_execution_failures() {
+        let failure: SimFailure = LightningError::TraceMissing.into();
+        assert!(matches!(failure, SimFailure::Execution { .. }));
+    }
+}

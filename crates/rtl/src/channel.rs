@@ -160,18 +160,18 @@ impl AxiChannel {
     /// The earliest cycle at which the next read beat can be consumed, and
     /// the memory address it reads, if a burst is outstanding.
     pub fn next_read_beat(&self) -> Option<(u64, i64)> {
-        self.read_bursts.front().map(|b| {
-            (
-                b.ready_cycle + b.beats_done as u64,
-                b.addr + b.beats_done,
-            )
-        })
+        self.read_bursts
+            .front()
+            .map(|b| (b.ready_cycle + b.beats_done as u64, b.addr + b.beats_done))
     }
 
     /// Consumes one read beat (the caller has verified the cycle).
     pub fn take_read_beat(&mut self) {
         let done = {
-            let burst = self.read_bursts.front_mut().expect("outstanding read burst");
+            let burst = self
+                .read_bursts
+                .front_mut()
+                .expect("outstanding read burst");
             burst.beats_done += 1;
             burst.beats_done >= burst.len
         };

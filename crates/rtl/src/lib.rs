@@ -48,6 +48,14 @@
 //! let report = RtlSimulator::new(&design).run().unwrap();
 //! assert_eq!(report.outputs["sum"], 36);
 //! assert!(report.total_cycles > 8);
+//!
+//! // Via the unified API: the same run through `dyn Simulator`.
+//! use omnisim_api::Simulator;
+//! let backend: Box<dyn Simulator> = Box::new(omnisim_rtlsim::RtlBackend::default());
+//! assert!(backend.capabilities().cycle_accurate);
+//! let unified = backend.simulate(&design).unwrap();
+//! assert_eq!(unified.output("sum"), Some(36));
+//! assert_eq!(unified.total_cycles, Some(report.total_cycles));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -58,6 +66,8 @@ pub mod channel;
 pub mod report;
 pub mod simulator;
 pub mod task;
+pub mod unified;
 
 pub use report::{RtlOutcome, RtlReport};
 pub use simulator::{RtlConfig, RtlSimulator};
+pub use unified::RtlBackend;

@@ -87,10 +87,7 @@ impl<'d> RtlSimulator<'d> {
 
             let unfinished = tasks.iter().filter(|t| !t.is_finished()).count();
             if unfinished > 0 && !progressed_any && !any_waiting && !blocked.is_empty() {
-                break RtlOutcome::Deadlock {
-                    cycle,
-                    blocked,
-                };
+                break RtlOutcome::Deadlock { cycle, blocked };
             }
             cycle += 1;
         };
@@ -223,10 +220,7 @@ mod tests {
             m.counted_loop("i", 16, 1, |b| {
                 let i = b.var_expr("i");
                 let ok = b.fifo_nb_write(q, i);
-                b.assign(
-                    ok_count,
-                    Expr::var(ok_count).add(Expr::var(ok)),
-                );
+                b.assign(ok_count, Expr::var(ok_count).add(Expr::var(ok)));
             });
             m.exit(|b| {
                 b.output(sent, Expr::var(ok_count));

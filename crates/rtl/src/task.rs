@@ -399,11 +399,15 @@ impl<'d> TaskState<'d> {
             Op::AxiRead { bus, dst } => {
                 let port = design.axi_port(*bus);
                 let channel = &mut shared.axis[bus.index()];
-                let (ready, addr) = channel.next_read_beat().ok_or_else(|| {
-                    SimError::AxiProtocolViolation {
-                        detail: format!("read beat on '{}' without an outstanding burst", port.name),
-                    }
-                })?;
+                let (ready, addr) =
+                    channel
+                        .next_read_beat()
+                        .ok_or_else(|| SimError::AxiProtocolViolation {
+                            detail: format!(
+                                "read beat on '{}' without an outstanding burst",
+                                port.name
+                            ),
+                        })?;
                 if cycle < ready {
                     return Ok(OpResult::WaitFuture);
                 }

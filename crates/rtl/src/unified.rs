@@ -1,0 +1,126 @@
+//! Unified-API adapter: the cycle-stepped reference simulator as a
+//! [`Simulator`] backend, plus the conversions from the native report types.
+
+use crate::report::{RtlOutcome, RtlReport};
+use crate::simulator::{RtlConfig, RtlSimulator};
+use omnisim_api::{Capabilities, SimFailure, SimOutcome, SimReport, Simulator};
+use omnisim_ir::Design;
+
+/// The cycle-stepped reference simulator as a unified [`Simulator`] backend.
+///
+/// Cycle-accurate on every taxonomy class, but slow: runtime scales with the
+/// simulated cycle count, exactly like the RTL co-simulation it stands in
+/// for.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RtlBackend {
+    /// Configuration used for every run.
+    pub config: RtlConfig,
+}
+
+impl RtlBackend {
+    /// Creates a backend with an explicit configuration.
+    pub fn with_config(config: RtlConfig) -> Self {
+        RtlBackend { config }
+    }
+}
+
+impl Simulator for RtlBackend {
+    fn name(&self) -> &'static str {
+        "rtl"
+    }
+
+    fn capabilities(&self) -> Capabilities {
+        Capabilities {
+            cycle_accurate: true,
+            handles_type_b: true,
+            handles_type_c: true,
+            produces_timings: false,
+            incremental_dse: false,
+        }
+    }
+
+    fn simulate(&self, design: &Design) -> Result<SimReport, SimFailure> {
+        RtlSimulator::with_config(design, self.config)
+            .run()
+            .map(SimReport::from)
+            .map_err(|error| SimFailure::execution("rtl", error.to_string()))
+    }
+}
+
+impl From<RtlOutcome> for SimOutcome {
+    fn from(outcome: RtlOutcome) -> SimOutcome {
+        match outcome {
+            RtlOutcome::Completed => SimOutcome::Completed,
+            RtlOutcome::Deadlock { blocked, .. } => SimOutcome::Deadlock { blocked },
+            RtlOutcome::CycleLimit { limit } => SimOutcome::CycleLimit { limit },
+        }
+    }
+}
+
+impl From<RtlReport> for SimReport {
+    fn from(report: RtlReport) -> SimReport {
+        let mut unified = SimReport::new("rtl", report.outcome.clone().into());
+        unified.outputs = report.outputs.clone();
+        unified.total_cycles = Some(report.total_cycles);
+        unified.timings.execution = report.wall_time;
+        unified.extras.insert(report);
+        unified
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_ir::design::OutputMap;
+    use std::time::Duration;
+
+    fn sample_report(outcome: RtlOutcome) -> RtlReport {
+        let mut outputs = OutputMap::new();
+        outputs.insert("sum".into(), 55);
+        RtlReport {
+            outcome,
+            outputs,
+            total_cycles: 42,
+            cycles_stepped: 42,
+            fifo_accesses: 20,
+            wall_time: Duration::from_millis(3),
+        }
+    }
+
+    #[test]
+    fn completed_report_converts() {
+        let unified: SimReport = sample_report(RtlOutcome::Completed).into();
+        assert_eq!(unified.backend, "rtl");
+        assert!(unified.outcome.is_completed());
+        assert_eq!(unified.output("sum"), Some(55));
+        assert_eq!(unified.total_cycles, Some(42));
+        assert_eq!(unified.timings.execution, Duration::from_millis(3));
+        // The native report rides along in the extras.
+        let native = unified.extras.get::<RtlReport>().unwrap();
+        assert_eq!(native.cycles_stepped, 42);
+        assert_eq!(native.fifo_accesses, 20);
+    }
+
+    #[test]
+    fn deadlock_keeps_blocked_tasks() {
+        let outcome = RtlOutcome::Deadlock {
+            cycle: 17,
+            blocked: vec!["task 'a' blocked on fifo 'q'".into()],
+        };
+        let unified: SimOutcome = outcome.into();
+        match &unified {
+            SimOutcome::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 1);
+                assert!(blocked[0].contains("task 'a'"));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+        assert!(unified.is_deadlock());
+    }
+
+    #[test]
+    fn cycle_limit_maps_to_cycle_limit() {
+        let unified: SimOutcome = RtlOutcome::CycleLimit { limit: 99 }.into();
+        assert_eq!(unified, SimOutcome::CycleLimit { limit: 99 });
+    }
+}

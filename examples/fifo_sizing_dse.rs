@@ -1,62 +1,29 @@
 //! FIFO-sizing design-space exploration on the congestion-aware dispatcher
 //! of Fig. 4 Ex. 5 — the workflow behind Table 6 of the paper.
 //!
-//! For every candidate (depth1, depth2) pair the example first tries the
-//! incremental re-simulation path (microseconds); only when the recorded
-//! constraints are violated does it fall back to a full re-simulation.
+//! The batch [`Sweep`] API answers every candidate (depth1, depth2) pair
+//! from the baseline run's recorded constraints (microseconds) and falls
+//! back to a parallel full re-simulation only where they are violated —
+//! replacing the hand-rolled incremental/fallback loop this example needed
+//! before the unified API existed.
 //!
 //! Run with: `cargo run --release --example fifo_sizing_dse`
 
 use omnisim_suite::designs::fig4;
-use omnisim_suite::omnisim::{IncrementalOutcome, OmniSimulator};
-use std::time::Instant;
+use omnisim_suite::Sweep;
 
 fn main() {
-    let n = 1024;
-    let base_depths = (2usize, 2usize);
-    let design = fig4::ex5_with_depths(n, base_depths.0, base_depths.1);
+    let design = fig4::ex5_with_depths(1024, 2, 2);
+    let sweep = Sweep::new(&design)
+        .grid(&[&[1, 2, 4, 8, 16, 100], &[1, 2, 4, 16, 100]])
+        .run()
+        .expect("sweep succeeds");
 
-    println!("initial run with FIFO depths {base_depths:?}…");
-    let start = Instant::now();
-    let baseline = OmniSimulator::new(&design).run().expect("baseline run");
-    println!(
-        "  latency {} cycles, P1 handled {:?}, P2 handled {:?}  ({:.2?})",
-        baseline.total_cycles,
-        baseline.output("processed_by_p1"),
-        baseline.output("processed_by_p2"),
-        start.elapsed()
-    );
-
-    println!("\n{:>8} {:>8} {:>12} {:>14} {:>12}", "depth1", "depth2", "cycles", "method", "time");
-    let mut incremental_hits = 0;
-    let mut full_runs = 0;
-    for depth1 in [1usize, 2, 4, 8, 16, 100] {
-        for depth2 in [1usize, 2, 4, 16, 100] {
-            let start = Instant::now();
-            let (cycles, method) = match baseline
-                .incremental
-                .try_with_depths(&[depth1, depth2])
-                .expect("finalization succeeds")
-            {
-                IncrementalOutcome::Valid { total_cycles } => {
-                    incremental_hits += 1;
-                    (total_cycles, "incremental")
-                }
-                IncrementalOutcome::ConstraintViolated { .. } => {
-                    full_runs += 1;
-                    let resized = fig4::ex5_with_depths(n, depth1, depth2);
-                    let full = OmniSimulator::new(&resized).run().expect("full re-run");
-                    (full.total_cycles, "full re-sim")
-                }
-            };
-            println!(
-                "{depth1:>8} {depth2:>8} {cycles:>12} {method:>14} {:>12.2?}",
-                start.elapsed()
-            );
-        }
+    println!("baseline (2, 2): {} cycles\n", sweep.baseline.total_cycles);
+    for p in &sweep.points {
+        let label = p.method.label();
+        println!("{:?}: {} cycles ({label})", p.depths, p.total_cycles);
     }
-    println!(
-        "\n{} configurations answered incrementally, {} needed a full re-simulation",
-        incremental_hits, full_runs
-    );
+    let (hits, full) = (sweep.incremental_hits(), sweep.full_resims());
+    println!("\n{hits} configurations answered incrementally, {full} full re-simulations");
 }

@@ -1,13 +1,14 @@
 //! Simulating the largest Type B/C benchmark — the 34-module `multicore`
 //! design (16 fetch/execute cores with branch feedback plus a collector) —
 //! and the deliberately deadlocking design, exercising OmniSim's deadlock
-//! detector.
+//! detector through the unified `Simulator` API.
 //!
 //! Run with: `cargo run --release --example multicore_soc`
 
 use omnisim_suite::designs::misc;
-use omnisim_suite::omnisim::{OmniOutcome, OmniSimulator};
-use omnisim_suite::rtlsim::RtlSimulator;
+use omnisim_suite::ir::taxonomy::classify;
+use omnisim_suite::omnisim::SimStats;
+use omnisim_suite::{backend, SimOutcome};
 
 fn main() {
     // --- multicore -------------------------------------------------------
@@ -18,43 +19,50 @@ fn main() {
         design.fifos.len(),
         design.op_count()
     );
+    println!("taxonomy: Type {}", classify(&design).class);
 
-    let simulator = OmniSimulator::new(&design);
-    println!("taxonomy: Type {}", simulator.taxonomy().class);
-    let report = simulator.run().expect("multicore simulation");
+    let omni = backend("omnisim").unwrap();
+    let report = omni.simulate(&design).expect("multicore simulation");
     println!(
         "omnisim:   total_fetched = {:?}, total_executed = {:?}, latency = {} cycles",
         report.output("total_fetched"),
         report.output("total_executed"),
-        report.total_cycles
+        report.total_cycles.unwrap()
     );
+    let stats = report
+        .extras
+        .get::<SimStats>()
+        .expect("omnisim ships stats");
     println!(
         "           {} threads, {} queries ({} resolved by forward progress), {:.2?} execution",
-        report.stats.threads,
-        report.stats.queries,
-        report.stats.queries_forced_false,
-        report.timings.execution
+        stats.threads, stats.queries, stats.queries_forced_false, report.timings.execution
     );
 
-    let reference = RtlSimulator::new(&design).run().expect("reference simulation");
+    let reference = backend("rtl")
+        .unwrap()
+        .simulate(&design)
+        .expect("reference simulation");
     println!(
         "reference: total_fetched = {:?}, total_executed = {:?}, latency = {} cycles ({:.2?})",
         reference.output("total_fetched"),
         reference.output("total_executed"),
-        reference.total_cycles,
-        reference.wall_time
+        reference.total_cycles.unwrap(),
+        reference.timings.execution
     );
     assert_eq!(report.outputs, reference.outputs);
 
     // --- deadlock detection ----------------------------------------------
     println!("\ndeadlock design:");
     let deadlock = misc::deadlock();
-    let report = OmniSimulator::new(&deadlock).run().expect("deadlock run");
+    let report = omni.simulate(&deadlock).expect("deadlock run");
     match &report.outcome {
-        OmniOutcome::Deadlock { detail } => {
-            println!("  deadlock detected immediately (no hang): {detail}");
+        SimOutcome::Deadlock { blocked } => {
+            println!("  deadlock detected immediately (no hang):");
+            for entry in blocked {
+                println!("    - {entry}");
+            }
         }
-        OmniOutcome::Completed => unreachable!("the deadlock design cannot complete"),
+        other => unreachable!("the deadlock design cannot complete: {other:?}"),
     }
     println!(
         "  the independent bystander task still finished: bystander = {:?}",

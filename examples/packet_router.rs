@@ -3,20 +3,22 @@
 //! writes steer packets to the less-congested of two processing lanes, and
 //! packets are dropped when both lanes are saturated.
 //!
-//! The example shows that naive C simulation silently reports zero drops and
-//! a completely wrong lane balance, while OmniSim agrees with the
+//! The example drives all three backends through the unified `Simulator`
+//! API and shows that naive C simulation silently reports zero drops and a
+//! completely wrong lane balance, while OmniSim agrees with the
 //! cycle-stepped reference.
 //!
 //! Run with: `cargo run --release --example packet_router`
 
-use omnisim_suite::csim;
+use omnisim_suite::backend;
 use omnisim_suite::ir::{DesignBuilder, Expr};
-use omnisim_suite::omnisim::OmniSimulator;
-use omnisim_suite::rtlsim::RtlSimulator;
 
 fn build_router(packets: i64) -> omnisim_suite::ir::Design {
     let mut d = DesignBuilder::new("packet_router");
-    let payloads = d.array("payloads", (0..packets).map(|i| 1 + i % 97).collect::<Vec<i64>>());
+    let payloads = d.array(
+        "payloads",
+        (0..packets).map(|i| 1 + i % 97).collect::<Vec<i64>>(),
+    );
     let fast_lane = d.fifo("fast_lane", 4);
     let slow_lane = d.fifo("slow_lane", 4);
     let routed_fast = d.output("routed_fast");
@@ -97,8 +99,12 @@ fn build_router(packets: i64) -> omnisim_suite::ir::Design {
             });
         })
     };
-    let fast = lane("fast_lane_proc", fast_lane, fast_work, 2);
-    let slow = lane("slow_lane_proc", slow_lane, slow_work, 7);
+    // Both lanes drain slower than the router can produce (roughly one
+    // packet every 3 cycles), so the fast lane periodically backs up,
+    // traffic spills onto the even-slower slow lane, and packets drop —
+    // the congestion behaviour C simulation cannot see.
+    let fast = lane("fast_lane_proc", fast_lane, fast_work, 5);
+    let slow = lane("slow_lane_proc", slow_lane, slow_work, 11);
     d.dataflow_top("top", [router, fast, slow]);
     d.build().expect("router design is valid")
 }
@@ -106,12 +112,30 @@ fn build_router(packets: i64) -> omnisim_suite::ir::Design {
 fn main() {
     let design = build_router(2000);
 
-    let omni = OmniSimulator::new(&design).run().expect("omnisim run");
-    let reference = RtlSimulator::new(&design).run().expect("reference run");
-    let c = csim::simulate(&design);
+    let omni = backend("omnisim")
+        .unwrap()
+        .simulate(&design)
+        .expect("omnisim run");
+    let reference = backend("rtl")
+        .unwrap()
+        .simulate(&design)
+        .expect("reference run");
+    let c = backend("csim")
+        .unwrap()
+        .simulate(&design)
+        .expect("csim run");
 
-    println!("{:<22} {:>12} {:>12} {:>12}", "", "OmniSim", "reference", "C-sim");
-    for key in ["routed_fast", "routed_slow", "dropped", "fast_lane_work", "slow_lane_work"] {
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "", "OmniSim", "reference", "C-sim"
+    );
+    for key in [
+        "routed_fast",
+        "routed_slow",
+        "dropped",
+        "fast_lane_work",
+        "slow_lane_work",
+    ] {
         println!(
             "{:<22} {:>12} {:>12} {:>12}",
             key,
@@ -122,9 +146,15 @@ fn main() {
     }
     println!(
         "{:<22} {:>12} {:>12} {:>12}",
-        "latency (cycles)", omni.total_cycles, reference.total_cycles, "n/a"
+        "latency (cycles)",
+        omni.total_cycles.unwrap(),
+        reference.total_cycles.unwrap(),
+        "n/a"
     );
-    assert_eq!(omni.outputs, reference.outputs, "OmniSim must match the reference");
+    assert_eq!(
+        omni.outputs, reference.outputs,
+        "OmniSim must match the reference"
+    );
     assert_ne!(
         c.output("dropped"),
         reference.output("dropped"),

@@ -1,13 +1,14 @@
-//! Quickstart: author a small dataflow design with the IR builder, simulate
-//! it with OmniSim, and compare against the cycle-stepped reference
-//! simulator and naive C simulation.
+//! Quickstart: author a small dataflow design with the IR builder, then
+//! drive every registered backend through the unified `Simulator` API and
+//! compare the reports.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use omnisim_suite::csim;
+use omnisim_suite::designs::typea;
+use omnisim_suite::ir::taxonomy::classify;
 use omnisim_suite::ir::{DesignBuilder, Expr};
-use omnisim_suite::omnisim::OmniSimulator;
-use omnisim_suite::rtlsim::RtlSimulator;
+use omnisim_suite::omnisim::SimStats;
+use omnisim_suite::{all_backends, backend, Sweep};
 
 fn main() {
     // A producer streams 64 values into a depth-4 FIFO; a consumer sums them.
@@ -40,52 +41,66 @@ fn main() {
     d.dataflow_top("top", [producer, consumer]);
     let design = d.build().expect("valid design");
 
-    // OmniSim: near-C-speed functionality + cycle-accurate performance.
-    let simulator = OmniSimulator::new(&design);
+    let taxonomy = classify(&design);
     println!(
         "taxonomy: Type {} (func sim {}, perf sim {})",
-        simulator.taxonomy().class,
-        simulator.taxonomy().func_sim_level(),
-        simulator.taxonomy().perf_sim_level()
-    );
-    let report = simulator.run().expect("simulation succeeds");
-    println!(
-        "omnisim:   sum = {:?}, latency = {} cycles, {} FIFO accesses, {} graph nodes",
-        report.output("sum"),
-        report.total_cycles,
-        report.stats.fifo_accesses,
-        report.stats.graph_nodes
+        taxonomy.class,
+        taxonomy.func_sim_level(),
+        taxonomy.perf_sim_level()
     );
 
-    // The cycle-stepped reference (co-simulation stand-in) agrees.
-    let reference = RtlSimulator::new(&design).run().expect("reference succeeds");
+    // Every backend, one loop, one API.
     println!(
-        "reference: sum = {:?}, latency = {} cycles ({} cycles stepped)",
-        reference.output("sum"),
-        reference.total_cycles,
-        reference.cycles_stepped
+        "\n{:<10} {:>10} {:>12} {:>10}   capabilities",
+        "backend", "sum", "cycles", "warnings"
     );
-    assert_eq!(report.outputs, reference.outputs);
-    assert_eq!(report.total_cycles, reference.total_cycles);
-
-    // Naive C simulation gets the functionality right for this Type A design
-    // but has no notion of cycles at all.
-    let c = csim::simulate(&design);
-    println!(
-        "c-sim:     sum = {:?} (no timing information, {} warnings)",
-        c.output("sum"),
-        c.warning_count()
-    );
-
-    println!("\nFIFO-sizing sweep via incremental re-simulation:");
-    for depth in [1usize, 2, 4, 8, 16] {
-        match report.incremental.try_with_depths(&[depth]).unwrap() {
-            omnisim_suite::omnisim::IncrementalOutcome::Valid { total_cycles } => {
-                println!("  depth {depth:>2}: {total_cycles} cycles (incremental)");
-            }
-            omnisim_suite::omnisim::IncrementalOutcome::ConstraintViolated { .. } => {
-                println!("  depth {depth:>2}: requires full re-simulation");
-            }
-        }
+    for sim in all_backends() {
+        let caps = sim.capabilities();
+        let report = sim.simulate(&design).expect("Type A runs everywhere");
+        println!(
+            "{:<10} {:>10} {:>12} {:>10}   cycle-accurate: {}, Type B/C: {}/{}",
+            sim.name(),
+            report.output("sum").map_or("-".into(), |v| v.to_string()),
+            report.total_cycles.map_or("n/a".into(), |c| c.to_string()),
+            report.warning_count(),
+            caps.cycle_accurate,
+            caps.handles_type_b,
+            caps.handles_type_c,
+        );
     }
+
+    // The cycle-accurate backends agree exactly.
+    let omni = backend("omnisim").unwrap().simulate(&design).unwrap();
+    let reference = backend("rtl").unwrap().simulate(&design).unwrap();
+    assert_eq!(omni.outputs, reference.outputs);
+    assert_eq!(omni.total_cycles, reference.total_cycles);
+    if let Some(stats) = omni.extras.get::<SimStats>() {
+        println!(
+            "\nomnisim internals: {} threads, {} FIFO accesses, {} graph nodes",
+            stats.threads, stats.fifo_accesses, stats.graph_nodes
+        );
+    }
+
+    // FIFO-sizing sweep: answered from the baseline's recorded constraints.
+    println!("\nFIFO-sizing sweep via the batch DSE API:");
+    let sweep = Sweep::new(&design)
+        .grid(&[&[1, 2, 4, 8, 16]])
+        .run()
+        .expect("sweep succeeds");
+    for point in &sweep.points {
+        println!(
+            "  depth {:>2}: {} cycles ({})",
+            point.depths[0],
+            point.total_cycles,
+            point.method.label()
+        );
+    }
+
+    // Larger designs from the benchmark suite work the same way.
+    let fir = typea::fir_filter(128, 8);
+    let report = backend("omnisim").unwrap().simulate(&fir).unwrap();
+    println!(
+        "\nfir_filter(128, 8): {} cycles through the same API",
+        report.total_cycles.unwrap()
+    );
 }

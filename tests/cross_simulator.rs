@@ -1,12 +1,11 @@
 //! Cross-simulator integration tests: every Table 4 design is run through
 //! the cycle-stepped reference simulator (co-sim stand-in), OmniSim and naive
-//! C simulation, and the results are cross-checked. This regenerates, in
-//! test form, the claims behind Table 3 and Fig. 8(a) of the paper.
+//! C simulation — all through the unified [`Simulator`] API — and the
+//! results are cross-checked. This regenerates, in test form, the claims
+//! behind Table 3 and Fig. 8(a) of the paper.
 
-use omnisim::{OmniOutcome, OmniSimulator};
-use omnisim_csim as csim;
-use omnisim_designs::table4_designs_with_n;
-use omnisim_rtlsim::{RtlOutcome, RtlSimulator};
+use omnisim_suite::designs::table4_designs_with_n;
+use omnisim_suite::{backend, SimReport, Simulator};
 
 /// Workload size used for integration testing (smaller than the benchmark
 /// default so the cycle-stepped reference stays fast).
@@ -16,15 +15,18 @@ const TEST_N: i64 = 256;
 /// reference simulator, mirroring the ≤0.2% deviations of Fig. 8(a).
 const CYCLE_TOLERANCE: f64 = 0.005;
 
+fn run(sim: &dyn Simulator, design: &omnisim_suite::ir::Design, name: &str) -> SimReport {
+    sim.simulate(design)
+        .unwrap_or_else(|e| panic!("{} failed on {name}: {e}", sim.name()))
+}
+
 #[test]
 fn omnisim_matches_reference_functionally_on_every_table4_design() {
+    let reference_sim = backend("rtl").unwrap();
+    let omni_sim = backend("omnisim").unwrap();
     for bench in table4_designs_with_n(TEST_N) {
-        let reference = RtlSimulator::new(&bench.design)
-            .run()
-            .unwrap_or_else(|e| panic!("reference failed on {}: {e}", bench.name));
-        let report = OmniSimulator::new(&bench.design)
-            .run()
-            .unwrap_or_else(|e| panic!("omnisim failed on {}: {e}", bench.name));
+        let reference = run(reference_sim.as_ref(), &bench.design, bench.name);
+        let report = run(omni_sim.as_ref(), &bench.design, bench.name);
 
         if bench.name == "deadlock" {
             assert!(
@@ -41,13 +43,13 @@ fn omnisim_matches_reference_functionally_on_every_table4_design() {
         }
 
         assert!(
-            matches!(reference.outcome, RtlOutcome::Completed),
+            reference.outcome.is_completed(),
             "reference did not complete on {}: {:?}",
             bench.name,
             reference.outcome
         );
         assert!(
-            matches!(report.outcome, OmniOutcome::Completed),
+            report.outcome.is_completed(),
             "omnisim did not complete on {}: {:?}",
             bench.name,
             report.outcome
@@ -62,21 +64,24 @@ fn omnisim_matches_reference_functionally_on_every_table4_design() {
 
 #[test]
 fn omnisim_cycle_counts_track_the_reference() {
+    let reference_sim = backend("rtl").unwrap();
+    let omni_sim = backend("omnisim").unwrap();
     for bench in table4_designs_with_n(TEST_N) {
         if bench.name == "deadlock" {
             continue;
         }
-        let reference = RtlSimulator::new(&bench.design).run().unwrap();
-        let report = OmniSimulator::new(&bench.design).run().unwrap();
-        let reference_cycles = reference.total_cycles as f64;
-        let omnisim_cycles = report.total_cycles as f64;
-        let error = (omnisim_cycles - reference_cycles).abs() / reference_cycles;
+        let reference = run(reference_sim.as_ref(), &bench.design, bench.name);
+        let report = run(omni_sim.as_ref(), &bench.design, bench.name);
+        let reference_cycles = reference.total_cycles.expect("reference is cycle-accurate");
+        let omnisim_cycles = report.total_cycles.expect("omnisim is cycle-accurate");
+        let error =
+            (omnisim_cycles as f64 - reference_cycles as f64).abs() / reference_cycles as f64;
         assert!(
             error <= CYCLE_TOLERANCE,
             "{}: omnisim {} vs reference {} cycles ({:.3}% error)",
             bench.name,
-            report.total_cycles,
-            reference.total_cycles,
+            omnisim_cycles,
+            reference_cycles,
             error * 100.0
         );
     }
@@ -84,19 +89,24 @@ fn omnisim_cycle_counts_track_the_reference() {
 
 #[test]
 fn csim_fails_to_reproduce_type_bc_behaviour() {
+    let csim_sim = backend("csim").unwrap();
+    let reference_sim = backend("rtl").unwrap();
     let mut wrong_or_crashed = 0usize;
     let mut total = 0usize;
     for bench in table4_designs_with_n(TEST_N) {
+        let c = run(csim_sim.as_ref(), &bench.design, bench.name);
+        assert_eq!(c.total_cycles, None, "C sim must not claim cycle accuracy");
         if bench.name == "deadlock" {
             // C simulation "completes" with warnings on the deadlock design;
             // the reference deadlocks, so there is nothing to compare.
-            let c = csim::simulate(&bench.design);
-            assert!(c.warning_count() > 0, "deadlock design must warn under C sim");
+            assert!(
+                c.warning_count() > 0,
+                "deadlock design must warn under C sim"
+            );
             continue;
         }
         total += 1;
-        let c = csim::simulate(&bench.design);
-        let reference = RtlSimulator::new(&bench.design).run().unwrap();
+        let reference = run(reference_sim.as_ref(), &bench.design, bench.name);
         let differs = !c.outcome.is_completed() || c.outputs != reference.outputs;
         if differs {
             wrong_or_crashed += 1;
@@ -110,11 +120,12 @@ fn csim_fails_to_reproduce_type_bc_behaviour() {
 
 #[test]
 fn csim_crashes_with_sigsegv_on_done_signal_producers() {
+    let csim_sim = backend("csim").unwrap();
     for bench in table4_designs_with_n(TEST_N) {
         if matches!(bench.name, "fig4_ex2" | "fig4_ex4a_d" | "fig4_ex4b_d") {
-            let c = csim::simulate(&bench.design);
+            let c = run(csim_sim.as_ref(), &bench.design, bench.name);
             assert!(
-                !c.outcome.is_completed(),
+                c.outcome.is_crashed(),
                 "{} must crash under sequential C simulation",
                 bench.name
             );
@@ -134,12 +145,19 @@ fn fig2_timer_counts_real_hardware_cycles() {
         .into_iter()
         .find(|b| b.name == "fig2_timer")
         .unwrap();
-    let reference = RtlSimulator::new(&bench.design).run().unwrap();
-    let report = OmniSimulator::new(&bench.design).run().unwrap();
-    let c = csim::simulate(&bench.design);
+    let reference = run(backend("rtl").unwrap().as_ref(), &bench.design, bench.name);
+    let report = run(
+        backend("omnisim").unwrap().as_ref(),
+        &bench.design,
+        bench.name,
+    );
+    let c = run(backend("csim").unwrap().as_ref(), &bench.design, bench.name);
 
     let reference_count = reference.output("timer_cycles").unwrap();
-    assert!(reference_count > 0, "the timer must observe a non-zero wait");
+    assert!(
+        reference_count > 0,
+        "the timer must observe a non-zero wait"
+    );
     assert_eq!(report.output("timer_cycles"), Some(reference_count));
     assert_eq!(
         c.output("timer_cycles"),
@@ -150,10 +168,11 @@ fn fig2_timer_counts_real_hardware_cycles() {
 
 #[test]
 fn omnisim_reports_are_deterministic_across_runs() {
+    let omni_sim = backend("omnisim").unwrap();
     for bench in table4_designs_with_n(64) {
-        let first = OmniSimulator::new(&bench.design).run().unwrap();
+        let first = run(omni_sim.as_ref(), &bench.design, bench.name);
         for _ in 0..3 {
-            let again = OmniSimulator::new(&bench.design).run().unwrap();
+            let again = run(omni_sim.as_ref(), &bench.design, bench.name);
             assert_eq!(again.outputs, first.outputs, "{} outputs", bench.name);
             assert_eq!(
                 again.total_cycles, first.total_cycles,

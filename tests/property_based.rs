@@ -1,16 +1,49 @@
 //! Property-based tests over randomly generated dataflow pipelines and FIFO
 //! access patterns.
+//!
+//! The build container has no access to external crates, so instead of
+//! `proptest` these use a small deterministic xorshift PRNG: every run
+//! explores the same pseudo-random sample of the configuration space, and a
+//! failing case prints its exact parameters for replay.
 
 use omnisim::OmniSimulator;
 use omnisim_lightning::LightningSimulator;
 use omnisim_rtlsim::RtlSimulator;
 use omnisim_suite::designs::typea::dataflow_graph;
 use omnisim_suite::ir::{DesignBuilder, Expr};
-use proptest::prelude::*;
+
+/// Deterministic xorshift64* PRNG — enough statistical quality for sampling
+/// test parameters, with zero dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+}
 
 /// Builds a producer/consumer design with arbitrary trip count, FIFO depth
 /// and producer/consumer initiation intervals.
-fn producer_consumer(n: i64, depth: usize, prod_ii: u64, cons_ii: u64) -> omnisim_suite::ir::Design {
+fn producer_consumer(
+    n: i64,
+    depth: usize,
+    prod_ii: u64,
+    cons_ii: u64,
+) -> omnisim_suite::ir::Design {
     let mut d = DesignBuilder::new("prop_pc");
     let data = d.array("data", (1..=n).collect::<Vec<i64>>());
     let out = d.output("sum");
@@ -39,58 +72,70 @@ fn producer_consumer(n: i64, depth: usize, prod_ii: u64, cons_ii: u64) -> omnisi
     d.build().unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// All three simulators agree on arbitrary blocking producer/consumer
+/// configurations (the Type A core of the timing-model contract).
+#[test]
+fn simulators_agree_on_random_producer_consumer() {
+    let mut rng = Rng::new(0x5EED_0001);
+    for case in 0..24 {
+        let n = rng.range(1, 120) as i64;
+        let depth = rng.range(1, 16) as usize;
+        let prod_ii = rng.range(1, 4);
+        let cons_ii = rng.range(1, 4);
+        let ctx = format!("case {case}: n={n} depth={depth} prod_ii={prod_ii} cons_ii={cons_ii}");
 
-    /// All three simulators agree on arbitrary blocking producer/consumer
-    /// configurations (the Type A core of the timing-model contract).
-    #[test]
-    fn simulators_agree_on_random_producer_consumer(
-        n in 1i64..120,
-        depth in 1usize..16,
-        prod_ii in 1u64..4,
-        cons_ii in 1u64..4,
-    ) {
         let design = producer_consumer(n, depth, prod_ii, cons_ii);
         let reference = RtlSimulator::new(&design).run().unwrap();
         let omni = OmniSimulator::new(&design).run().unwrap();
-        let light = LightningSimulator::new(&design).unwrap().simulate().unwrap();
+        let light = LightningSimulator::new(&design)
+            .unwrap()
+            .simulate()
+            .unwrap();
 
-        prop_assert_eq!(&omni.outputs, &reference.outputs);
-        prop_assert_eq!(&light.outputs, &reference.outputs);
-        prop_assert_eq!(omni.total_cycles, reference.total_cycles);
-        prop_assert_eq!(light.total_cycles, reference.total_cycles);
+        assert_eq!(omni.outputs, reference.outputs, "{ctx}");
+        assert_eq!(light.outputs, reference.outputs, "{ctx}");
+        assert_eq!(omni.total_cycles, reference.total_cycles, "{ctx}");
+        assert_eq!(light.total_cycles, reference.total_cycles, "{ctx}");
         // Expected sum: 1 + 2 + … + n.
-        prop_assert_eq!(omni.outputs["sum"], n * (n + 1) / 2);
+        assert_eq!(omni.outputs["sum"], n * (n + 1) / 2, "{ctx}");
     }
+}
 
-    /// Deeper FIFOs never increase latency (monotonicity of stall analysis).
-    #[test]
-    fn deeper_fifos_never_hurt(
-        n in 1i64..100,
-        prod_ii in 1u64..3,
-        cons_ii in 1u64..3,
-        d1 in 1usize..8,
-        extra in 1usize..16,
-    ) {
+/// Deeper FIFOs never increase latency (monotonicity of stall analysis).
+#[test]
+fn deeper_fifos_never_hurt() {
+    let mut rng = Rng::new(0x5EED_0002);
+    for case in 0..16 {
+        let n = rng.range(1, 100) as i64;
+        let prod_ii = rng.range(1, 3);
+        let cons_ii = rng.range(1, 3);
+        let d1 = rng.range(1, 8) as usize;
+        let extra = rng.range(1, 16) as usize;
+        let ctx =
+            format!("case {case}: n={n} d1={d1} extra={extra} prod_ii={prod_ii} cons_ii={cons_ii}");
+
         let shallow = producer_consumer(n, d1, prod_ii, cons_ii);
         let deep = producer_consumer(n, d1 + extra, prod_ii, cons_ii);
         let shallow_cycles = OmniSimulator::new(&shallow).run().unwrap().total_cycles;
         let deep_cycles = OmniSimulator::new(&deep).run().unwrap().total_cycles;
-        prop_assert!(deep_cycles <= shallow_cycles);
+        assert!(deep_cycles <= shallow_cycles, "{ctx}");
     }
+}
 
-    /// Incremental re-analysis brackets the truth whenever it declares
-    /// itself valid: it never under-estimates the latency of the resized
-    /// design (stalls observed in the original run stay baked into the node
-    /// times) and never exceeds the original latency when FIFOs only grow.
-    #[test]
-    fn incremental_is_a_sound_conservative_estimate(
-        n in 1i64..80,
-        depth in 1usize..6,
-        extra_depth in 0usize..32,
-        cons_ii in 1u64..3,
-    ) {
+/// Incremental re-analysis brackets the truth whenever it declares itself
+/// valid: it never under-estimates the latency of the resized design (stalls
+/// observed in the original run stay baked into the node times) and never
+/// exceeds the original latency when FIFOs only grow.
+#[test]
+fn incremental_is_a_sound_conservative_estimate() {
+    let mut rng = Rng::new(0x5EED_0003);
+    for case in 0..16 {
+        let n = rng.range(1, 80) as i64;
+        let depth = rng.range(1, 6) as usize;
+        let extra_depth = rng.range(0, 32) as usize;
+        let cons_ii = rng.range(1, 3);
+        let ctx = format!("case {case}: n={n} depth={depth} extra={extra_depth} cons_ii={cons_ii}");
+
         let design = producer_consumer(n, depth, 1, cons_ii);
         let report = OmniSimulator::new(&design).run().unwrap();
         let new_depth = depth + extra_depth;
@@ -99,28 +144,41 @@ proptest! {
         {
             let resized = design.with_fifo_depths(&[new_depth]);
             let full = OmniSimulator::new(&resized).run().unwrap();
-            prop_assert!(total_cycles >= full.total_cycles,
-                "incremental {} must not under-estimate full {}", total_cycles, full.total_cycles);
-            prop_assert!(total_cycles <= report.total_cycles,
-                "growing FIFOs can only improve the incremental estimate");
+            assert!(
+                total_cycles >= full.total_cycles,
+                "{ctx}: incremental {} must not under-estimate full {}",
+                total_cycles,
+                full.total_cycles
+            );
+            assert!(
+                total_cycles <= report.total_cycles,
+                "{ctx}: growing FIFOs can only improve the incremental estimate"
+            );
         }
     }
+}
 
-    /// Pipelines of arbitrary depth stay consistent between OmniSim and
-    /// LightningSim, and OmniSim is deterministic across repeated runs.
-    #[test]
-    fn pipelines_agree_and_are_deterministic(
-        stages in 1usize..6,
-        n in 1i64..80,
-        ii in 1u64..3,
-    ) {
+/// Pipelines of arbitrary depth stay consistent between OmniSim and
+/// LightningSim, and OmniSim is deterministic across repeated runs.
+#[test]
+fn pipelines_agree_and_are_deterministic() {
+    let mut rng = Rng::new(0x5EED_0004);
+    for case in 0..12 {
+        let stages = rng.range(1, 6) as usize;
+        let n = rng.range(1, 80) as i64;
+        let ii = rng.range(1, 3);
+        let ctx = format!("case {case}: stages={stages} n={n} ii={ii}");
+
         let design = dataflow_graph("prop_pipeline", stages, n, ii);
-        let light = LightningSimulator::new(&design).unwrap().simulate().unwrap();
+        let light = LightningSimulator::new(&design)
+            .unwrap()
+            .simulate()
+            .unwrap();
         let first = OmniSimulator::new(&design).run().unwrap();
         let second = OmniSimulator::new(&design).run().unwrap();
-        prop_assert_eq!(&first.outputs, &light.outputs);
-        prop_assert_eq!(first.total_cycles, light.total_cycles);
-        prop_assert_eq!(&first.outputs, &second.outputs);
-        prop_assert_eq!(first.total_cycles, second.total_cycles);
+        assert_eq!(first.outputs, light.outputs, "{ctx}");
+        assert_eq!(first.total_cycles, light.total_cycles, "{ctx}");
+        assert_eq!(first.outputs, second.outputs, "{ctx}");
+        assert_eq!(first.total_cycles, second.total_cycles, "{ctx}");
     }
 }

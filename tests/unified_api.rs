@@ -1,0 +1,205 @@
+//! Conformance tests for the unified `Simulator` API: every registered
+//! backend is driven through `dyn Simulator` on the same designs and the
+//! reports are cross-checked, and the `Sweep` batch DSE driver is verified
+//! against the manual incremental/full-re-simulation workflow it replaces.
+
+use omnisim_suite::designs::fig4;
+use omnisim_suite::ir::taxonomy::classify;
+use omnisim_suite::ir::{Design, DesignBuilder, Expr};
+use omnisim_suite::omnisim::{IncrementalOutcome, IncrementalState, OmniSimulator, SimStats};
+use omnisim_suite::{all_backends, backend, Sweep, SweepMethod};
+
+/// A small Type A producer/consumer design every backend can simulate.
+fn type_a_design(n: i64) -> Design {
+    let mut d = DesignBuilder::new("conformance");
+    let data = d.array("data", (1..=n).collect::<Vec<i64>>());
+    let out = d.output("sum");
+    let q = d.fifo("q", 2);
+    let p = d.function("producer", |m| {
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.array_load(data, i);
+            b.fifo_write(q, Expr::var(v));
+        });
+    });
+    let c = d.function("consumer", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 2, |b| {
+            let v = b.fifo_read(q);
+            b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    });
+    d.dataflow_top("top", [p, c]);
+    d.build().unwrap()
+}
+
+#[test]
+fn every_registered_backend_agrees_on_a_type_a_design() {
+    let n = 48;
+    let design = type_a_design(n);
+    let expected_sum = n * (n + 1) / 2;
+    let mut cycle_counts = Vec::new();
+
+    for sim in all_backends() {
+        let report = sim
+            .simulate(&design)
+            .unwrap_or_else(|e| panic!("{} rejected a Type A design: {e}", sim.name()));
+        assert_eq!(report.backend, sim.name(), "report names its backend");
+        assert!(
+            report.outcome.is_completed(),
+            "{} did not complete: {:?}",
+            sim.name(),
+            report.outcome
+        );
+        assert_eq!(
+            report.output("sum"),
+            Some(expected_sum),
+            "{} got the functional result wrong",
+            sim.name()
+        );
+        let caps = sim.capabilities();
+        match report.total_cycles {
+            Some(cycles) => {
+                assert!(
+                    caps.cycle_accurate,
+                    "{} reports cycles without claiming cycle accuracy",
+                    sim.name()
+                );
+                cycle_counts.push((sim.name(), cycles));
+            }
+            None => assert!(
+                !caps.cycle_accurate,
+                "{} claims cycle accuracy but reported no cycles",
+                sim.name()
+            ),
+        }
+    }
+
+    // All cycle-accurate backends agree exactly on Type A designs.
+    assert!(
+        cycle_counts.len() >= 3,
+        "rtl, lightning and omnisim report cycles"
+    );
+    let (first_name, first_cycles) = cycle_counts[0];
+    for (name, cycles) in &cycle_counts[1..] {
+        assert_eq!(
+            *cycles, first_cycles,
+            "{name} and {first_name} disagree on cycle count"
+        );
+    }
+}
+
+#[test]
+fn capabilities_predict_type_c_support() {
+    let design = fig4::ex5_with_depths(128, 2, 2);
+    let class = classify(&design).class;
+    for sim in all_backends() {
+        let caps = sim.capabilities();
+        let result = sim.simulate(&design);
+        if sim.name() == "lightning" {
+            // The only backend that *rejects* out-of-scope designs.
+            assert!(!caps.supports(class));
+            let failure = result.expect_err("lightning must reject Type C designs");
+            assert!(failure.is_unsupported(), "got {failure:?}");
+        } else {
+            assert!(result.is_ok(), "{} errored: {:?}", sim.name(), result.err());
+        }
+    }
+}
+
+#[test]
+fn incremental_capability_matches_shipped_extras() {
+    let design = type_a_design(16);
+    for sim in all_backends() {
+        let Ok(report) = sim.simulate(&design) else {
+            continue;
+        };
+        if sim.name() == "omnisim" {
+            assert!(sim.capabilities().incremental_dse);
+            assert!(report.extras.get::<IncrementalState>().is_some());
+            assert!(report.extras.get::<SimStats>().is_some());
+        }
+        if !sim.capabilities().incremental_dse {
+            assert!(report.extras.get::<IncrementalState>().is_none());
+        }
+    }
+}
+
+/// The `Sweep` API must reproduce the `fifo_sizing_dse` example's
+/// incremental-hit/full-rerun split with identical cycle counts.
+#[test]
+fn sweep_reproduces_the_manual_dse_workflow() {
+    let n = 256;
+    let design = fig4::ex5_with_depths(n, 2, 2);
+    let depth1_axis = [1usize, 2, 4, 16];
+    let depth2_axis = [1usize, 2, 100];
+
+    // The manual workflow the example used before the Sweep API existed.
+    let baseline = OmniSimulator::new(&design).run().expect("baseline run");
+    let mut manual: Vec<(Vec<usize>, u64, SweepMethod)> = Vec::new();
+    for &d1 in &depth1_axis {
+        for &d2 in &depth2_axis {
+            match baseline.incremental.try_with_depths(&[d1, d2]).unwrap() {
+                IncrementalOutcome::Valid { total_cycles } => {
+                    manual.push((vec![d1, d2], total_cycles, SweepMethod::Incremental));
+                }
+                IncrementalOutcome::ConstraintViolated { .. } => {
+                    let resized = fig4::ex5_with_depths(n, d1, d2);
+                    let full = OmniSimulator::new(&resized).run().unwrap();
+                    manual.push((vec![d1, d2], full.total_cycles, SweepMethod::FullResim));
+                }
+            }
+        }
+    }
+
+    let sweep = Sweep::new(&design)
+        .grid(&[&depth1_axis, &depth2_axis])
+        .run()
+        .expect("sweep succeeds");
+
+    assert_eq!(sweep.points.len(), manual.len());
+    for (point, (depths, cycles, method)) in sweep.points.iter().zip(&manual) {
+        assert_eq!(&point.depths, depths);
+        assert_eq!(point.total_cycles, *cycles, "depths {depths:?}");
+        assert_eq!(point.method, *method, "depths {depths:?}");
+    }
+    let manual_hits = manual
+        .iter()
+        .filter(|(_, _, m)| *m == SweepMethod::Incremental)
+        .count();
+    assert_eq!(sweep.incremental_hits(), manual_hits);
+    assert_eq!(sweep.full_resims(), manual.len() - manual_hits);
+    assert!(
+        sweep.full_resims() > 0,
+        "the grid must exercise the fallback"
+    );
+    assert!(
+        sweep.incremental_hits() > 0,
+        "the grid must exercise the fast path"
+    );
+}
+
+#[test]
+fn deadlocks_surface_uniformly_across_cycle_accurate_backends() {
+    let design = omnisim_suite::designs::misc::deadlock();
+    for name in ["omnisim", "rtl"] {
+        let report = backend(name).unwrap().simulate(&design).unwrap();
+        assert!(
+            report.outcome.is_deadlock(),
+            "{name} must detect the deadlock, got {:?}",
+            report.outcome
+        );
+        match &report.outcome {
+            omnisim_suite::SimOutcome::Deadlock { blocked } => {
+                assert!(!blocked.is_empty(), "{name} must name the blocked tasks");
+            }
+            _ => unreachable!(),
+        }
+    }
+}
