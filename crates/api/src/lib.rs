@@ -86,6 +86,10 @@ pub struct Capabilities {
     /// Ships an incremental-DSE payload in [`SimReport::extras`] that can
     /// re-answer FIFO-depth changes without a full re-run.
     pub incremental_dse: bool,
+    /// The extras payload can additionally be *compiled* into a frozen
+    /// batch sweep plan (`omnisim-dse`'s `SweepPlan::from_report`) for
+    /// allocation-free, delta-evaluated grid solving.
+    pub compiled_dse: bool,
 }
 
 impl Capabilities {
@@ -404,6 +408,7 @@ mod tests {
             handles_type_c: false,
             produces_timings: true,
             incremental_dse: true,
+            compiled_dse: false,
         };
         assert!(lightning_like.supports(DesignClass::TypeA));
         assert!(!lightning_like.supports(DesignClass::TypeB));
@@ -477,6 +482,7 @@ mod tests {
                     handles_type_c: false,
                     produces_timings: false,
                     incremental_dse: false,
+                    compiled_dse: false,
                 }
             }
             fn simulate(&self, _design: &Design) -> Result<SimReport, SimFailure> {

@@ -1,0 +1,156 @@
+//! DSE throughput benchmark: compiled [`SweepPlan`] vs per-point
+//! incremental analysis vs full re-simulation, in points per second.
+//!
+//! Sweeps a ≥ 1000-point (depth1, depth2) grid over `fig4_ex5` three ways:
+//!
+//! 1. **compiled** — `SweepPlan::evaluate_batch`, sequential and parallel
+//!    (delta evaluation, no per-point allocation),
+//! 2. **incremental** — one `IncrementalState::try_with_depths` call per
+//!    point (the pre-plan fast path: rebuilds the WAR overlay and runs a
+//!    cold longest-path pass every time),
+//! 3. **full re-sim** — a timed sample of complete re-simulations,
+//!    extrapolated to points per second.
+//!
+//! Results are printed as a table and written to `BENCH_dse.json` so the
+//! perf trajectory of the compiled engine is recorded over time. Pass
+//! `--smoke` for a seconds-scale run (used by CI) — same measurements,
+//! smaller workload.
+
+use omnisim_bench::secs;
+use omnisim_designs::fig4;
+use omnisim_suite::omnisim::{IncrementalOutcome, OmniSimulator};
+use omnisim_suite::SweepPlan;
+use std::time::Instant;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n: i64 = if smoke { 256 } else { 1024 };
+    let resim_sample = if smoke { 8 } else { 24 };
+
+    // 40 x 25 = 1000 points, nested-loop order (last axis fastest) so the
+    // compiled path's delta evaluation sees realistic single-axis steps.
+    let axis1: Vec<usize> = (1..=40).collect();
+    let axis2: Vec<usize> = (1..=25).collect();
+    let points: Vec<Vec<usize>> = axis1
+        .iter()
+        .flat_map(|&d1| axis2.iter().map(move |&d2| vec![d1, d2]))
+        .collect();
+
+    println!(
+        "DSE throughput on fig4_ex5 (N = {n}): {} points{}\n",
+        points.len(),
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let design = fig4::ex5_with_depths(n, 2, 2);
+    let start = Instant::now();
+    let baseline = OmniSimulator::new(&design).run().expect("baseline run");
+    let baseline_time = start.elapsed();
+
+    let start = Instant::now();
+    let plan = SweepPlan::compile(&baseline.incremental).expect("plan compiles");
+    let compile_time = start.elapsed();
+    println!(
+        "baseline run {} + plan compile {} ({} nodes, {} edges, {} constraints)",
+        secs(baseline_time),
+        secs(compile_time),
+        plan.node_count(),
+        plan.edge_count(),
+        plan.constraint_count()
+    );
+
+    // 1a. Compiled, sequential (one evaluator, pure delta evaluation).
+    let start = Instant::now();
+    let compiled = plan
+        .evaluate_batch(&points, false)
+        .expect("compiled batch succeeds");
+    let compiled_time = start.elapsed();
+    let compiled_pps = points.len() as f64 / compiled_time.as_secs_f64().max(1e-9);
+
+    // 1b. Compiled, parallel (chunked over scoped threads).
+    let start = Instant::now();
+    let compiled_par = plan
+        .evaluate_batch(&points, true)
+        .expect("compiled parallel batch succeeds");
+    let compiled_par_time = start.elapsed();
+    let compiled_par_pps = points.len() as f64 / compiled_par_time.as_secs_f64().max(1e-9);
+    assert_eq!(compiled, compiled_par, "parallel chunking changes nothing");
+
+    // 2. Uncompiled incremental path, one cold pass per point.
+    let start = Instant::now();
+    let mut agreement = 0usize;
+    for (point, compiled_outcome) in points.iter().zip(&compiled) {
+        let outcome = baseline
+            .incremental
+            .try_with_depths(point)
+            .expect("incremental pass succeeds");
+        agreement += usize::from(&outcome == compiled_outcome);
+    }
+    let incremental_time = start.elapsed();
+    let incremental_pps = points.len() as f64 / incremental_time.as_secs_f64().max(1e-9);
+    assert_eq!(
+        agreement,
+        points.len(),
+        "compiled and incremental answers must be identical"
+    );
+
+    // 3. Full re-simulation, sampled and extrapolated.
+    let stride = (points.len() / resim_sample).max(1);
+    let sample: Vec<&Vec<usize>> = points.iter().step_by(stride).collect();
+    let start = Instant::now();
+    for point in &sample {
+        let resized = design.with_fifo_depths(point);
+        OmniSimulator::new(&resized).run().expect("full re-sim");
+    }
+    let resim_time = start.elapsed();
+    let resim_pps = sample.len() as f64 / resim_time.as_secs_f64().max(1e-9);
+
+    let valid = compiled
+        .iter()
+        .filter(|o| matches!(o, IncrementalOutcome::Valid { .. }))
+        .count();
+    println!(
+        "{valid}/{} points certified by the plan; {} would fall back to re-simulation\n",
+        points.len(),
+        points.len() - valid
+    );
+
+    println!("{:<24} {:>12} {:>16}", "method", "time", "points/sec");
+    omnisim_bench::rule(54);
+    let rows = [
+        ("compiled (sequential)", compiled_time, compiled_pps),
+        ("compiled (parallel)", compiled_par_time, compiled_par_pps),
+        ("incremental per-point", incremental_time, incremental_pps),
+        ("full re-sim (sampled)", resim_time, resim_pps),
+    ];
+    for (label, time, pps) in rows {
+        println!("{label:<24} {:>12} {pps:>16.0}", secs(time));
+    }
+    let speedup_incremental = compiled_pps / incremental_pps.max(1e-9);
+    let speedup_resim = compiled_pps / resim_pps.max(1e-9);
+    omnisim_bench::rule(54);
+    println!(
+        "compiled vs incremental: {speedup_incremental:.1}x    compiled vs full re-sim: {speedup_resim:.0}x"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"dse_throughput\",\n  \"design\": \"fig4_ex5\",\n  \"n\": {n},\n  \
+         \"points\": {},\n  \"smoke\": {smoke},\n  \"plan_nodes\": {},\n  \"plan_edges\": {},\n  \
+         \"plan_compile_secs\": {:.6},\n  \"compiled_pps\": {compiled_pps:.1},\n  \
+         \"compiled_parallel_pps\": {compiled_par_pps:.1},\n  \"incremental_pps\": {incremental_pps:.1},\n  \
+         \"full_resim_pps\": {resim_pps:.3},\n  \"speedup_compiled_vs_incremental\": {speedup_incremental:.2},\n  \
+         \"speedup_compiled_vs_full_resim\": {speedup_resim:.1}\n}}\n",
+        points.len(),
+        plan.node_count(),
+        plan.edge_count(),
+        compile_time.as_secs_f64(),
+    );
+    std::fs::write("BENCH_dse.json", &json).expect("write BENCH_dse.json");
+    println!("\nwrote BENCH_dse.json");
+
+    assert!(
+        speedup_incremental >= 10.0,
+        "the compiled plan must be >= 10x faster than per-point incremental analysis \
+         (got {speedup_incremental:.1}x)"
+    );
+}

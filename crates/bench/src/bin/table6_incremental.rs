@@ -9,12 +9,13 @@
 //!   design still makes it cheaper than the initial run.
 //!
 //! The batch equivalent of this workflow is `omnisim_suite::Sweep`, shown at
-//! the end.
+//! the end together with the compiled `SweepPlan` it runs on (the plan is
+//! compiled straight from the unified report's extras payload).
 
 use omnisim_bench::secs;
 use omnisim_designs::{fig4, DEFAULT_N};
 use omnisim_suite::omnisim::{IncrementalOutcome, IncrementalState};
-use omnisim_suite::{backend, Sweep};
+use omnisim_suite::{backend, Sweep, SweepPlan};
 use std::time::Instant;
 
 fn main() {
@@ -111,7 +112,31 @@ fn main() {
         report.output("processed_by_p2"),
     );
 
-    // The same workflow in batch form: one Sweep call covers both rows.
+    // The same two queries against the *compiled* plan: the incremental
+    // state in the unified report's extras freezes into a CSR sweep plan
+    // whose per-point evaluation allocates nothing.
+    let start = Instant::now();
+    let plan = SweepPlan::from_report(&report)
+        .expect("omnisim reports carry incremental-DSE state")
+        .expect("plan compiles");
+    let compile_time = start.elapsed();
+    let start = Instant::now();
+    let mut evaluator = plan.evaluator();
+    let compiled_a = evaluator.evaluate(&[2, 100]).expect("plan evaluates");
+    let compiled_b = evaluator.evaluate(&[100, 2]).expect("plan evaluates");
+    let eval_time = start.elapsed();
+    assert_eq!(compiled_a, incremental.try_with_depths(&[2, 100]).unwrap());
+    assert_eq!(compiled_b, incremental.try_with_depths(&[100, 2]).unwrap());
+    println!(
+        "\ncompiled plan: {} nodes compiled in {}, both queries re-answered in {:.1?} \
+         (identical verdicts)",
+        plan.node_count(),
+        secs(compile_time),
+        eval_time
+    );
+
+    // The same workflow in batch form: one Sweep call covers both rows and
+    // compiles this plan internally.
     let start = Instant::now();
     let sweep = Sweep::new(&design)
         .point([2usize, 100])
@@ -119,7 +144,7 @@ fn main() {
         .run()
         .expect("sweep succeeds");
     println!(
-        "\nbatch Sweep over the same two points: {} incremental / {} full re-sim in {}",
+        "batch Sweep over the same two points: {} incremental / {} full re-sim in {}",
         sweep.incremental_hits(),
         sweep.full_resims(),
         secs(start.elapsed())

@@ -12,7 +12,9 @@
 //! * `fig8_accuracy` — cycle-count accuracy vs the reference simulator,
 //! * `fig8_runtime` — runtime vs the reference simulator + OmniSim breakdown,
 //! * `table5_vs_lightningsim` — OmniSim vs the LightningSim baseline,
-//! * `table6_incremental` — the incremental FIFO-resizing case study.
+//! * `table6_incremental` — the incremental FIFO-resizing case study,
+//! * `dse_throughput` — compiled `SweepPlan` vs per-point incremental vs
+//!   full re-simulation, in points/sec (writes `BENCH_dse.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

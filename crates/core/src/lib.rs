@@ -33,6 +33,9 @@
 //!   [`incremental::IncrementalState`] bundled with each report re-evaluates
 //!   those constraints under new FIFO depths so that FIFO sizing DSE can skip
 //!   full re-simulation whenever the control flow would not change (§7.2).
+//!   The companion `omnisim-dse` crate compiles that state into a frozen
+//!   CSR *sweep plan* for batch design-space exploration (its `Sweep`
+//!   driver is re-exported by the `omnisim-suite` facade).
 //!
 //! ## Example
 //!
@@ -98,9 +101,8 @@ pub mod query;
 pub mod report;
 pub mod request;
 pub mod runtime;
-pub mod sweep;
-#[cfg(test)]
-mod test_fixtures;
+#[doc(hidden)]
+pub mod test_fixtures;
 pub mod unified;
 
 pub use config::SimConfig;
@@ -109,5 +111,4 @@ pub use incremental::{IncrementalOutcome, IncrementalState};
 pub use query::{QueryKind, QueryPool};
 pub use report::{OmniError, OmniOutcome, OmniReport, SimStats, SimTimings};
 pub use request::{Request, Response};
-pub use sweep::{Sweep, SweepMethod, SweepPoint, SweepReport};
 pub use unified::OmniBackend;

@@ -117,6 +117,14 @@ pub enum OmniError {
         /// Number of depths supplied.
         got: usize,
     },
+    /// A caller supplied an empty axis to a sweep grid. The cartesian
+    /// product of anything with an empty axis is empty, so accepting it
+    /// would make the whole grid silently vanish (a usage error, not an
+    /// engine bug).
+    EmptyGridAxis {
+        /// Zero-based index of the offending axis.
+        axis: usize,
+    },
     /// Phase-agnostic invariant violation inside the engine.
     Internal(String),
 }
@@ -130,6 +138,10 @@ impl fmt::Display for OmniError {
             OmniError::DepthMismatch { expected, got } => write!(
                 f,
                 "depth vector has {got} entries but the design has {expected} fifos"
+            ),
+            OmniError::EmptyGridAxis { axis } => write!(
+                f,
+                "sweep grid axis {axis} is empty, so the grid would produce no points"
             ),
             OmniError::Internal(msg) => write!(f, "internal engine error: {msg}"),
         }

@@ -1,11 +1,15 @@
-//! Designs shared by the engine, sweep and unified-API test suites.
+//! Designs shared by the engine, DSE and unified-API test suites.
+//!
+//! Public (but `#[doc(hidden)]`) so that downstream test suites — notably
+//! the `omnisim-dse` crate's differential tests — can drive the exact same
+//! fixtures without duplicating the builders.
 
 use omnisim_ir::{Design, DesignBuilder, Expr};
 
 /// Blocking producer/consumer: the producer streams `data[0..n]` (values
 /// `1..=n`) through a FIFO of the given depth; the consumer sums them at
 /// the given initiation interval and outputs `sum`.
-pub(crate) fn producer_consumer(n: i64, depth: usize, consumer_ii: u64) -> Design {
+pub fn producer_consumer(n: i64, depth: usize, consumer_ii: u64) -> Design {
     let mut d = DesignBuilder::new("pc");
     let data = d.array("data", (1..=n).collect::<Vec<i64>>());
     let out = d.output("sum");
@@ -38,7 +42,7 @@ pub(crate) fn producer_consumer(n: i64, depth: usize, consumer_ii: u64) -> Desig
 /// `n` non-blocking writes and counts the drops; the slower consumer polls
 /// with non-blocking reads. Growing the FIFO flips recorded `false` write
 /// outcomes, which is what exercises the full-re-simulation fallback.
-pub(crate) fn nb_drop_counter(n: i64, depth: usize, consumer_ii: u64) -> Design {
+pub fn nb_drop_counter(n: i64, depth: usize, consumer_ii: u64) -> Design {
     let mut d = DesignBuilder::new("ex4b");
     let q = d.fifo("q", depth);
     let dropped = d.output("dropped");

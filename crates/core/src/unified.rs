@@ -6,7 +6,7 @@
 //! and its [`IncrementalState`](crate::IncrementalState), so FIFO-depth
 //! design-space exploration can be
 //! answered from a finished unified report exactly as it can from a native
-//! [`OmniReport`] (see [`crate::sweep::Sweep`] for the batch driver).
+//! [`OmniReport`] (see `omnisim-dse`'s `Sweep` for the batch driver).
 
 use crate::config::SimConfig;
 use crate::engine::OmniSimulator;
@@ -41,6 +41,7 @@ impl Simulator for OmniBackend {
             handles_type_c: true,
             produces_timings: true,
             incremental_dse: true,
+            compiled_dse: true,
         }
     }
 

@@ -220,6 +220,7 @@ impl Simulator for CsimBackend {
             handles_type_c: false,
             produces_timings: false,
             incremental_dse: false,
+            compiled_dse: false,
         }
     }
 

@@ -1,0 +1,47 @@
+//! # omnisim-dse
+//!
+//! The compiled design-space-exploration engine for the OmniSim workspace.
+//!
+//! OmniSim's incremental re-simulation (§7.2 of the paper) answers one
+//! FIFO-depth query without re-running the design — but the uncompiled
+//! path re-allocates the write-after-read overlay and re-runs a cold
+//! longest-path pass for *every* point, so a 10k-point grid does 10k
+//! allocations and 10k full traversals. Following the LightningSimV2
+//! insight that compiling the trace into a static CSR graph is what turns
+//! per-query analysis into microseconds, this crate freezes a baseline run
+//! **once** and then answers points from the frozen form:
+//!
+//! * [`SweepPlan`] — the baseline [`IncrementalState`](omnisim::IncrementalState)
+//!   compiled into a CSR graph + transpose, depth-parameterized WAR edges
+//!   partitioned per FIFO, one cached topological order valid for every
+//!   depth vector ≥ 1, and a flat constraint table;
+//! * [`PlanEvaluator`] — reusable time buffers evaluating points by
+//!   in-place levelized relaxation, with **delta evaluation** between
+//!   consecutive points (only nodes downstream of FIFOs whose depth
+//!   changed are recomputed);
+//! * [`SweepPlan::evaluate_batch`] — chunked multi-threaded batch solving
+//!   over scoped threads;
+//! * [`SweepPlan::min_depths`] — the inverse query: per-FIFO binary search
+//!   for the smallest depths whose certified latency meets a target;
+//! * [`Sweep`] — the batch DSE driver (moved here from the engine crate),
+//!   now using the plan as its fast path and parallel full re-simulation
+//!   as its fallback for constraint-violating points.
+//!
+//! Answers are bit-identical to
+//! [`IncrementalState::try_with_depths`](omnisim::IncrementalState::try_with_depths)
+//! and to full re-simulation wherever the recorded constraints hold; the
+//! differential suite in `tests/compiled_dse.rs` (workspace root) pins all
+//! three against each other on randomized grids.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod min_depths;
+pub mod plan;
+mod pool;
+pub mod sweep;
+
+pub use min_depths::MinDepthsReport;
+pub use plan::{PlanError, PlanEvaluator, SweepPlan};
+pub use sweep::{Sweep, SweepMethod, SweepPoint, SweepReport};

@@ -1,0 +1,710 @@
+//! The compiled sweep plan: a baseline run frozen into a CSR graph that
+//! answers FIFO-depth queries with no per-point allocation.
+//!
+//! [`SweepPlan::compile`] is run **once** per baseline
+//! [`IncrementalState`]. It freezes the engine's online
+//! [`EventGraph`](omnisim_graph::EventGraph) into a
+//! [`CsrGraph`](omnisim_graph::CsrGraph) (plus its transpose for
+//! incoming-edge traversal), partitions the depth-parameterized
+//! write-after-read constraints per FIFO, caches one topological order that
+//! stays valid for *every* depth vector with depths ≥ 1, and compiles the
+//! recorded query constraints into a flat table. Each
+//! [`PlanEvaluator`] then owns a reusable time buffer and answers points by
+//!
+//! * **levelized relaxation** — one pass over the cached topological order,
+//!   relaxing CSR successors plus the WAR edge implied by the current
+//!   depths, touching no allocator, and
+//! * **delta evaluation** — between consecutive points, only nodes
+//!   downstream of FIFOs whose depth actually changed are recomputed, via a
+//!   topo-rank-ordered worklist that stops propagating wherever a node's
+//!   time is unchanged.
+//!
+//! [`SweepPlan::evaluate_batch`] splits a point list into contiguous chunks
+//! and solves them on scoped threads, one evaluator per chunk, so grid
+//! sweeps keep their delta locality while using every core.
+//!
+//! The depth-1 lower bound exists because the cached topological order must
+//! anticipate every WAR edge any depth vector can introduce: for depth `S`,
+//! the *w*-th blocking write gains an edge from the *(w − S)*-th read, and
+//! all of those are covered by ordering each FIFO's reads in commit order
+//! plus one read-before-next-write skeleton edge — but only for `S ≥ 1`.
+//! Depth-0 points (which the engine itself usually rejects as cyclic) must
+//! go through [`IncrementalState::try_with_depths`] instead; the `Sweep`
+//! driver does exactly that.
+
+use crate::pool;
+use omnisim::{IncrementalOutcome, IncrementalState, OmniError};
+use omnisim_api::SimReport;
+use omnisim_graph::{CsrGraph, CsrGraphBuilder, CycleError, Edge, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::error::Error;
+use std::fmt;
+
+/// Sentinel for "this node is not a FIFO access" in the lookup tables.
+const NONE: u32 = u32::MAX;
+
+/// Per-FIFO access lanes, frozen from the baseline run's commit order.
+#[derive(Debug, Clone)]
+struct FifoLane {
+    /// Node of each committed write, in commit order.
+    writes: Vec<u32>,
+    /// Blocking flag of each committed write (only blocking writes stall,
+    /// so only they receive WAR edges).
+    write_blocking: Vec<bool>,
+    /// Node of each committed read, in commit order.
+    reads: Vec<u32>,
+}
+
+impl FifoLane {
+    /// The WAR predecessor (a read node) of write `iw` under `depth`, if
+    /// the edge exists for that depth.
+    fn war_pred(&self, iw: usize, depth: usize) -> Option<u32> {
+        if !self.write_blocking[iw] || iw < depth {
+            return None;
+        }
+        self.reads.get(iw - depth).copied()
+    }
+}
+
+/// A recorded query outcome in flat form, re-checked per point.
+#[derive(Debug, Clone, Copy)]
+struct CompiledConstraint {
+    /// True for write-side queries (Table 2 rows 1–2).
+    write_side: bool,
+    /// FIFO index.
+    fifo: u32,
+    /// 1-based access ordinal.
+    ordinal: u32,
+    /// Node representing the query itself.
+    node: u32,
+    /// Outcome observed during the baseline run.
+    outcome: bool,
+}
+
+/// Errors returned when evaluating points against a [`SweepPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// The depth vector's length does not match the design's FIFO count.
+    DepthMismatch {
+        /// Number of FIFOs the plan was compiled for.
+        expected: usize,
+        /// Number of depths supplied.
+        got: usize,
+    },
+    /// A depth of zero was supplied; the plan's cached topological order
+    /// only covers depths ≥ 1 (use the uncompiled
+    /// [`IncrementalState::try_with_depths`] path for depth-0 probes).
+    ZeroDepth {
+        /// Index of the FIFO with the zero depth.
+        fifo: usize,
+    },
+    /// A zero search bound was passed to `SweepPlan::min_depths`; FIFO
+    /// depths start at 1, so there is nothing to search.
+    ZeroBound,
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::DepthMismatch { expected, got } => write!(
+                f,
+                "depth vector has {got} entries but the plan was compiled for {expected} fifos"
+            ),
+            PlanError::ZeroDepth { fifo } => write!(
+                f,
+                "fifo {fifo} has depth 0, which the compiled plan does not evaluate"
+            ),
+            PlanError::ZeroBound => write!(
+                f,
+                "min_depths search bound is 0, but fifo depths start at 1"
+            ),
+        }
+    }
+}
+
+impl Error for PlanError {}
+
+impl From<PlanError> for OmniError {
+    fn from(error: PlanError) -> OmniError {
+        match error {
+            PlanError::DepthMismatch { expected, got } => {
+                OmniError::DepthMismatch { expected, got }
+            }
+            PlanError::ZeroDepth { .. } | PlanError::ZeroBound => {
+                OmniError::Internal(error.to_string())
+            }
+        }
+    }
+}
+
+/// A baseline run compiled for repeated FIFO-depth evaluation.
+///
+/// See the [module docs](self) for the design; see
+/// [`SweepPlan::compile`] / [`SweepPlan::evaluator`] /
+/// [`SweepPlan::evaluate_batch`] for the entry points. Evaluation answers
+/// are bit-identical to [`IncrementalState::try_with_depths`] — same
+/// latencies, same first-violated-constraint indices — just without the
+/// per-point overlay allocation and graph rebuild.
+#[derive(Debug)]
+pub struct SweepPlan {
+    /// The frozen baseline graph (bases + successor lists).
+    fwd: CsrGraph,
+    /// Its transpose, for recomputing one node from its predecessors.
+    rev: CsrGraph,
+    /// Topological order valid for the base edges plus any WAR overlay
+    /// with all depths ≥ 1.
+    topo: Vec<u32>,
+    /// Node → position in `topo`.
+    topo_rank: Vec<u32>,
+    /// Per-FIFO access lanes.
+    lanes: Vec<FifoLane>,
+    /// Node → `(fifo, read index)` when the node is a committed read.
+    war_read: Vec<(u32, u32)>,
+    /// Node → `(fifo, write index)` when the node is a committed
+    /// **blocking** write.
+    war_write: Vec<(u32, u32)>,
+    /// Flat constraint table, in the baseline's recording order.
+    constraints: Vec<CompiledConstraint>,
+    /// End node of every task that finished.
+    end_nodes: Vec<u32>,
+    /// FIFO depths of the baseline run.
+    original_depths: Vec<usize>,
+}
+
+impl SweepPlan {
+    /// Compiles a baseline run into a frozen sweep plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if no topological order covering every
+    /// depth-parameterized WAR overlay exists (callers should fall back to
+    /// [`IncrementalState::try_with_depths`]; well-formed runs of the
+    /// engine always compile).
+    pub fn compile(state: &IncrementalState) -> Result<SweepPlan, CycleError> {
+        let n = state.graph.len();
+        let mut builder = CsrGraphBuilder::new();
+        for i in 0..n {
+            builder.add_node(state.graph.base(NodeId::from_index(i)));
+        }
+        for e in state.graph.edges() {
+            builder.add_edge(e.from, e.to, e.weight);
+        }
+        let fwd = builder.build();
+        let rev = fwd.transpose();
+
+        let lanes: Vec<FifoLane> = state
+            .fifo_write_nodes
+            .iter()
+            .zip(&state.fifo_write_blocking)
+            .zip(&state.fifo_read_nodes)
+            .map(|((writes, blocking), reads)| FifoLane {
+                writes: writes.iter().map(|n| n.0).collect(),
+                write_blocking: blocking.clone(),
+                reads: reads.iter().map(|n| n.0).collect(),
+            })
+            .collect();
+
+        // Ordering skeleton: one order that dominates every depth ≥ 1
+        // overlay. Chaining each FIFO's reads in commit order and ordering
+        // write w after read min(w−1, last) covers the WAR edge
+        // read(w−S) → write(w) for every S ≥ 1, because the source read is
+        // always at or before the skeleton read in the chain. Non-blocking
+        // writes never receive WAR edges, so constraining them here would
+        // only risk a spurious cycle.
+        let mut skeleton: Vec<Edge> = Vec::new();
+        for lane in &lanes {
+            for pair in lane.reads.windows(2) {
+                skeleton.push(Edge::new(NodeId(pair[0]), NodeId(pair[1]), 0));
+            }
+            if lane.reads.is_empty() {
+                continue;
+            }
+            for (iw, &write) in lane.writes.iter().enumerate().skip(1) {
+                if !lane.write_blocking[iw] {
+                    continue;
+                }
+                let anchor = lane.reads[(iw - 1).min(lane.reads.len() - 1)];
+                skeleton.push(Edge::new(NodeId(anchor), NodeId(write), 0));
+            }
+        }
+        let topo: Vec<u32> = fwd
+            .topo_order_with(skeleton.iter().copied())?
+            .into_iter()
+            .map(|n| n.0)
+            .collect();
+        let mut topo_rank = vec![0u32; n];
+        for (rank, &node) in topo.iter().enumerate() {
+            topo_rank[node as usize] = rank as u32;
+        }
+
+        let mut war_read = vec![(NONE, NONE); n];
+        let mut war_write = vec![(NONE, NONE); n];
+        for (f, lane) in lanes.iter().enumerate() {
+            for (j, &read) in lane.reads.iter().enumerate() {
+                war_read[read as usize] = (f as u32, j as u32);
+            }
+            for (iw, &write) in lane.writes.iter().enumerate() {
+                if lane.write_blocking[iw] {
+                    war_write[write as usize] = (f as u32, iw as u32);
+                }
+            }
+        }
+
+        let constraints = state
+            .constraints
+            .iter()
+            .map(|c| CompiledConstraint {
+                write_side: c.kind.is_write_side(),
+                fifo: c.fifo.index() as u32,
+                ordinal: c.ordinal as u32,
+                node: c.node.0,
+                outcome: c.outcome,
+            })
+            .collect();
+
+        Ok(SweepPlan {
+            fwd,
+            rev,
+            topo,
+            topo_rank,
+            lanes,
+            war_read,
+            war_write,
+            constraints,
+            end_nodes: state.end_nodes.iter().flatten().map(|n| n.0).collect(),
+            original_depths: state.original_depths.clone(),
+        })
+    }
+
+    /// Compiles a plan from a unified [`SimReport`], if the backend shipped
+    /// an [`IncrementalState`] in the report extras (the `omnisim` backend
+    /// does; see `Capabilities::compiled_dse`).
+    pub fn from_report(report: &SimReport) -> Option<Result<SweepPlan, CycleError>> {
+        report
+            .extras
+            .get::<IncrementalState>()
+            .map(SweepPlan::compile)
+    }
+
+    /// Number of FIFOs the plan was compiled for.
+    pub fn fifo_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Number of nodes in the frozen graph.
+    pub fn node_count(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Number of edges in the frozen graph (excluding the WAR overlay).
+    pub fn edge_count(&self) -> usize {
+        self.fwd.edge_count()
+    }
+
+    /// Number of recorded constraints re-checked per point.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// FIFO depths of the baseline run the plan was compiled from.
+    pub fn original_depths(&self) -> &[usize] {
+        &self.original_depths
+    }
+
+    /// Creates a fresh evaluator with its own reusable scratch buffers.
+    pub fn evaluator(&self) -> PlanEvaluator<'_> {
+        PlanEvaluator {
+            plan: self,
+            time: Vec::with_capacity(self.fwd.len()),
+            depths: Vec::new(),
+            heap: BinaryHeap::new(),
+            queued: vec![false; self.fwd.len()],
+        }
+    }
+
+    /// Validates one depth vector against the plan.
+    fn validate(&self, depths: &[usize]) -> Result<(), PlanError> {
+        if depths.len() != self.lanes.len() {
+            return Err(PlanError::DepthMismatch {
+                expected: self.lanes.len(),
+                got: depths.len(),
+            });
+        }
+        if let Some(fifo) = depths.iter().position(|&d| d == 0) {
+            return Err(PlanError::ZeroDepth { fifo });
+        }
+        Ok(())
+    }
+
+    /// Evaluates every point, in order, chunking the list across scoped
+    /// worker threads when `parallel` is set (chunks stay contiguous so
+    /// delta evaluation keeps its locality within each chunk). Points may
+    /// be owned vectors or borrowed slices — nothing is copied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if any point has the wrong arity or contains a
+    /// zero depth; no evaluation happens in that case.
+    pub fn evaluate_batch<P>(
+        &self,
+        points: &[P],
+        parallel: bool,
+    ) -> Result<Vec<IncrementalOutcome>, PlanError>
+    where
+        P: AsRef<[usize]> + Sync,
+    {
+        for point in points {
+            self.validate(point.as_ref())?;
+        }
+        if points.is_empty() {
+            return Ok(Vec::new());
+        }
+        let workers = pool::worker_count(parallel).min(points.len());
+        let chunk_size = points.len().div_ceil(workers);
+        let chunks: Vec<&[P]> = points.chunks(chunk_size).collect();
+        let per_chunk = pool::parallel_map(&chunks, workers, |chunk| {
+            let mut eval = self.evaluator();
+            chunk
+                .iter()
+                .map(|p| eval.evaluate_validated(p.as_ref()))
+                .collect::<Vec<IncrementalOutcome>>()
+        });
+        Ok(per_chunk.into_iter().flatten().collect())
+    }
+}
+
+/// Reusable per-thread evaluation state for one [`SweepPlan`].
+///
+/// The first [`PlanEvaluator::evaluate`] call runs a full levelized
+/// relaxation; subsequent calls recompute only nodes downstream of FIFOs
+/// whose depth changed since the previous point.
+#[derive(Debug)]
+pub struct PlanEvaluator<'p> {
+    plan: &'p SweepPlan,
+    /// Longest-path time of every node under `depths` (valid once
+    /// `depths` is non-empty).
+    time: Vec<u64>,
+    /// Depth vector `time` currently reflects; empty before the first
+    /// evaluation.
+    depths: Vec<usize>,
+    /// Worklist for delta evaluation, ordered by topological rank.
+    heap: BinaryHeap<Reverse<(u32, u32)>>,
+    /// Deduplication flags for `heap`.
+    queued: Vec<bool>,
+}
+
+impl PlanEvaluator<'_> {
+    /// The plan this evaluator runs against.
+    pub fn plan(&self) -> &SweepPlan {
+        self.plan
+    }
+
+    /// Evaluates one depth vector: recomputes node times (fully on first
+    /// use, incrementally afterwards), re-checks every recorded constraint
+    /// and reports the latency, exactly as
+    /// [`IncrementalState::try_with_depths`] would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] for wrong-arity or zero-depth vectors.
+    pub fn evaluate(&mut self, depths: &[usize]) -> Result<IncrementalOutcome, PlanError> {
+        self.plan.validate(depths)?;
+        Ok(self.evaluate_validated(depths))
+    }
+
+    /// Evaluation core; `depths` must already be validated.
+    fn evaluate_validated(&mut self, depths: &[usize]) -> IncrementalOutcome {
+        if self.depths.is_empty() {
+            self.full_relaxation(depths);
+        } else if self.depths != depths {
+            self.delta_update(depths);
+        }
+        self.depths.clear();
+        self.depths.extend_from_slice(depths);
+
+        for (index, c) in self.plan.constraints.iter().enumerate() {
+            if self.check_constraint(c) != c.outcome {
+                return IncrementalOutcome::ConstraintViolated { constraint: index };
+            }
+        }
+        IncrementalOutcome::Valid {
+            total_cycles: self.latency(),
+        }
+    }
+
+    /// One full pass over the cached topological order, relaxing CSR
+    /// successors plus the WAR edge each read implies under `depths`.
+    fn full_relaxation(&mut self, depths: &[usize]) {
+        let plan = self.plan;
+        self.time.clear();
+        self.time.extend_from_slice(plan.fwd.base_times());
+        for &u in &plan.topo {
+            let tu = self.time[u as usize];
+            for (v, w) in plan.fwd.successors(NodeId(u)) {
+                let cand = tu.saturating_add_signed(w);
+                if cand > self.time[v.index()] {
+                    self.time[v.index()] = cand;
+                }
+            }
+            if let Some(target) = war_successor(plan, depths, u) {
+                let cand = tu.saturating_add(1);
+                if cand > self.time[target as usize] {
+                    self.time[target as usize] = cand;
+                }
+            }
+        }
+    }
+
+    /// Recomputes only nodes downstream of FIFOs whose depth changed,
+    /// using a topo-rank-ordered worklist. Propagation stops at any node
+    /// whose recomputed time is unchanged.
+    fn delta_update(&mut self, depths: &[usize]) {
+        let plan = self.plan;
+        // Seed with every blocking write whose WAR predecessor differs
+        // between the old and new depth of a changed FIFO. Removed edges
+        // can *lower* times, so seeds are recomputed from scratch off the
+        // transpose rather than merely relaxed.
+        for (f, lane) in plan.lanes.iter().enumerate() {
+            let (old, new) = (self.depths[f], depths[f]);
+            if old == new {
+                continue;
+            }
+            for iw in old.min(new)..lane.writes.len() {
+                if lane.war_pred(iw, old) != lane.war_pred(iw, new) {
+                    let node = lane.writes[iw];
+                    if !self.queued[node as usize] {
+                        self.queued[node as usize] = true;
+                        self.heap
+                            .push(Reverse((plan.topo_rank[node as usize], node)));
+                    }
+                }
+            }
+        }
+
+        while let Some(Reverse((_, u))) = self.heap.pop() {
+            self.queued[u as usize] = false;
+            let mut t = plan.rev.base(NodeId(u));
+            for (p, w) in plan.rev.successors(NodeId(u)) {
+                let cand = self.time[p.index()].saturating_add_signed(w);
+                if cand > t {
+                    t = cand;
+                }
+            }
+            let (f, iw) = plan.war_write[u as usize];
+            if f != NONE {
+                if let Some(read) = plan.lanes[f as usize].war_pred(iw as usize, depths[f as usize])
+                {
+                    let cand = self.time[read as usize].saturating_add(1);
+                    if cand > t {
+                        t = cand;
+                    }
+                }
+            }
+            if t == self.time[u as usize] {
+                continue;
+            }
+            self.time[u as usize] = t;
+            for (v, _) in plan.fwd.successors(NodeId(u)) {
+                if !self.queued[v.index()] {
+                    self.queued[v.index()] = true;
+                    self.heap.push(Reverse((plan.topo_rank[v.index()], v.0)));
+                }
+            }
+            if let Some(target) = war_successor(plan, depths, u) {
+                if !self.queued[target as usize] {
+                    self.queued[target as usize] = true;
+                    self.heap
+                        .push(Reverse((plan.topo_rank[target as usize], target)));
+                }
+            }
+        }
+    }
+
+    /// Replicates `IncrementalState::evaluate_constraint` against the
+    /// plan's time buffer.
+    fn check_constraint(&self, c: &CompiledConstraint) -> bool {
+        let lane = &self.plan.lanes[c.fifo as usize];
+        let query_time = self.time[c.node as usize];
+        let ordinal = c.ordinal as usize;
+        if c.write_side {
+            let depth = self.depths[c.fifo as usize];
+            if ordinal <= depth {
+                return true;
+            }
+            match lane.reads.get(ordinal - depth - 1) {
+                Some(&read) => self.time[read as usize] < query_time,
+                None => false,
+            }
+        } else {
+            match lane.writes.get(ordinal - 1) {
+                Some(&write) => self.time[write as usize] < query_time,
+                None => false,
+            }
+        }
+    }
+
+    /// Replicates `IncrementalState::latency_from_times`.
+    fn latency(&self) -> u64 {
+        let end = self
+            .plan
+            .end_nodes
+            .iter()
+            .map(|&n| self.time[n as usize])
+            .max();
+        match end {
+            Some(t) => t + 1,
+            None => self.time.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+/// The node the WAR edge from node `u` targets under `depths`, if `u` is a
+/// committed read whose paired blocking write exists.
+fn war_successor(plan: &SweepPlan, depths: &[usize], u: u32) -> Option<u32> {
+    let (f, j) = plan.war_read[u as usize];
+    if f == NONE {
+        return None;
+    }
+    let lane = &plan.lanes[f as usize];
+    let iw = (j as usize).checked_add(depths[f as usize])?;
+    if iw < lane.writes.len() && lane.write_blocking[iw] {
+        Some(lane.writes[iw])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim::test_fixtures::{nb_drop_counter, producer_consumer};
+    use omnisim::{OmniBackend, OmniSimulator};
+    use omnisim_api::Simulator;
+
+    /// Deterministic xorshift64* so the randomized grids are reproducible.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+
+        fn depth(&mut self, max: usize) -> usize {
+            1 + (self.next() as usize) % max
+        }
+    }
+
+    #[test]
+    fn plan_matches_try_with_depths_on_randomized_points() {
+        for design in [nb_drop_counter(48, 2, 3), producer_consumer(48, 3, 2)] {
+            let baseline = OmniSimulator::new(&design).run().unwrap();
+            let plan = SweepPlan::compile(&baseline.incremental).unwrap();
+            let mut eval = plan.evaluator();
+            let mut rng = Rng(0x5eed_cafe_f00d_0001);
+            for _ in 0..60 {
+                let depths: Vec<usize> = (0..plan.fifo_count()).map(|_| rng.depth(130)).collect();
+                let expected = baseline.incremental.try_with_depths(&depths).unwrap();
+                let got = eval.evaluate(&depths).unwrap();
+                assert_eq!(got, expected, "depths {depths:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_evaluation_matches_a_fresh_full_relaxation() {
+        // Walk one evaluator through a depth sequence with small deltas and
+        // check every answer against a brand-new evaluator (which must do a
+        // full relaxation) — this isolates the incremental update path.
+        let design = nb_drop_counter(40, 2, 3);
+        let baseline = OmniSimulator::new(&design).run().unwrap();
+        let plan = SweepPlan::compile(&baseline.incremental).unwrap();
+        let mut warm = plan.evaluator();
+        let mut rng = Rng(0xdead_beef_0000_0002);
+        let mut depths = vec![2usize];
+        for step in 0..50 {
+            // Mostly small moves, occasionally a jump.
+            depths[0] = if step % 7 == 0 {
+                rng.depth(128)
+            } else {
+                (depths[0] + rng.depth(3)).saturating_sub(1).max(1)
+            };
+            let warm_answer = warm.evaluate(&depths).unwrap();
+            let cold_answer = plan.evaluator().evaluate(&depths).unwrap();
+            assert_eq!(warm_answer, cold_answer, "step {step} depths {depths:?}");
+        }
+    }
+
+    #[test]
+    fn batch_parallel_sequential_and_manual_agree() {
+        let design = nb_drop_counter(32, 1, 4);
+        let baseline = OmniSimulator::new(&design).run().unwrap();
+        let plan = SweepPlan::compile(&baseline.incremental).unwrap();
+        let points: Vec<Vec<usize>> = (1..=64).map(|d| vec![d]).collect();
+        let sequential = plan.evaluate_batch(&points, false).unwrap();
+        let parallel = plan.evaluate_batch(&points, true).unwrap();
+        assert_eq!(sequential, parallel);
+        for (point, outcome) in points.iter().zip(&sequential) {
+            let manual = baseline.incremental.try_with_depths(point).unwrap();
+            assert_eq!(*outcome, manual, "depths {point:?}");
+        }
+    }
+
+    #[test]
+    fn validation_errors_are_reported_before_any_work() {
+        let design = producer_consumer(8, 2, 1);
+        let baseline = OmniSimulator::new(&design).run().unwrap();
+        let plan = SweepPlan::compile(&baseline.incremental).unwrap();
+        assert_eq!(
+            plan.evaluator().evaluate(&[1, 2]).unwrap_err(),
+            PlanError::DepthMismatch {
+                expected: 1,
+                got: 2
+            }
+        );
+        assert_eq!(
+            plan.evaluator().evaluate(&[0]).unwrap_err(),
+            PlanError::ZeroDepth { fifo: 0 }
+        );
+        assert_eq!(
+            plan.evaluate_batch(&[vec![1], vec![0]], true).unwrap_err(),
+            PlanError::ZeroDepth { fifo: 0 }
+        );
+        let omni: OmniError = PlanError::DepthMismatch {
+            expected: 1,
+            got: 2,
+        }
+        .into();
+        assert_eq!(
+            omni,
+            OmniError::DepthMismatch {
+                expected: 1,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn plan_compiles_from_a_unified_report_extras_payload() {
+        let design = producer_consumer(16, 2, 1);
+        let backend = OmniBackend::default();
+        assert!(
+            backend.capabilities().compiled_dse,
+            "the omnisim backend advertises plan-compilable extras"
+        );
+        let report = backend.simulate(&design).unwrap();
+        let plan = SweepPlan::from_report(&report)
+            .expect("omnisim ships incremental state in extras")
+            .expect("plan compiles");
+        assert_eq!(plan.fifo_count(), 1);
+        assert_eq!(plan.original_depths(), &[2]);
+        assert!(plan.node_count() > 0);
+        assert!(plan.edge_count() > 0);
+        assert!(plan.constraint_count() <= plan.node_count());
+    }
+}

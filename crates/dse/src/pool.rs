@@ -1,0 +1,79 @@
+//! Shared scoped-thread worker pool for the batch solvers.
+//!
+//! Both batch paths — plan evaluation chunks and full-re-simulation
+//! fallbacks — need the same shape of parallelism: a fixed item list, a
+//! `Sync` closure, results in item order. The container build has no
+//! access to external crates, otherwise this would be a `rayon` parallel
+//! iterator.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item on up to `workers` scoped threads and returns
+/// the results in item order. With one worker (or fewer than two items)
+/// this degenerates to a plain in-order map on the calling thread.
+pub(crate) fn parallel_map<T, R>(items: &[T], workers: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let workers = workers.min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let outcome = f(&items[i]);
+                *slots[i].lock().expect("dse pool slot poisoned") = Some(outcome);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("dse pool slot poisoned")
+                .expect("dse pool filled every claimed slot")
+        })
+        .collect()
+}
+
+/// The number of workers a batch may use: the machine's parallelism when
+/// `parallel` is requested, otherwise one.
+pub(crate) fn worker_count(parallel: bool) -> usize {
+    if parallel {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_stay_in_item_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let doubled = parallel_map(&items, 8, |&x| x * 2);
+        assert_eq!(doubled, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+        // Degenerate cases.
+        assert_eq!(parallel_map(&items, 1, |&x| x + 1)[99], 100);
+        assert!(parallel_map(&Vec::<usize>::new(), 4, |&x: &usize| x).is_empty());
+    }
+
+    #[test]
+    fn worker_count_honours_the_sequential_flag() {
+        assert_eq!(worker_count(false), 1);
+        assert!(worker_count(true) >= 1);
+    }
+}

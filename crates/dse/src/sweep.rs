@@ -1,17 +1,18 @@
 //! Batch FIFO-depth design-space exploration — the Table 6 workflow as a
-//! first-class API.
+//! first-class API, now backed by the compiled [`SweepPlan`].
 //!
-//! [`Sweep`] runs the design once, then answers every candidate depth vector
-//! from the recorded [`IncrementalState`](crate::IncrementalState) whenever
-//! the constraints still hold (§7.2), transparently falling back to a full
-//! re-simulation of the resized design when they do not. Fallback runs are
-//! independent, so by default they execute in parallel on scoped threads
-//! (the container build has no access to external crates, otherwise this
-//! would be a `rayon` parallel iterator); [`Sweep::sequential`] disables
-//! that for deterministic profiling.
+//! [`Sweep`] runs the design once, compiles the baseline into a
+//! [`SweepPlan`], and answers every candidate depth vector from the frozen
+//! plan (delta evaluation, no per-point allocation) whenever the recorded
+//! constraints still hold (§7.2), transparently falling back to a full
+//! re-simulation of the resized design when they do not. Plan evaluation
+//! and fallback runs are independent, so by default both execute in
+//! parallel on scoped threads (the container build has no access to
+//! external crates, otherwise this would be a `rayon` parallel iterator);
+//! [`Sweep::sequential`] disables that for deterministic profiling.
 //!
 //! ```
-//! use omnisim::Sweep;
+//! use omnisim_dse::Sweep;
 //! use omnisim_ir::{DesignBuilder, Expr};
 //!
 //! let mut d = DesignBuilder::new("pc");
@@ -38,16 +39,14 @@
 //! let sweep = Sweep::new(&design).grid(&[&[1, 2, 4, 8]]).run().unwrap();
 //! assert_eq!(sweep.points.len(), 4);
 //! assert!(sweep.incremental_hits() + sweep.full_resims() == 4);
+//! assert!(sweep.plan.is_some(), "the compiled plan rides on the report");
 //! ```
 
-use crate::config::SimConfig;
-use crate::engine::OmniSimulator;
-use crate::incremental::IncrementalOutcome;
-use crate::report::{OmniError, OmniReport};
+use crate::plan::SweepPlan;
+use crate::pool;
+use omnisim::{IncrementalOutcome, OmniError, OmniReport, OmniSimulator, SimConfig};
 use omnisim_ir::design::OutputMap;
 use omnisim_ir::Design;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Result of one full re-simulation: end-to-end cycles plus the functional
 /// outputs (behaviour may differ from the baseline when constraints flip).
@@ -56,7 +55,8 @@ type ResimOutcome = Result<(u64, OutputMap), OmniError>;
 /// How one sweep point was answered.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SweepMethod {
-    /// Answered from the baseline run's recorded constraints, without
+    /// Answered from the baseline run's recorded constraints — through the
+    /// compiled plan or the uncompiled incremental path — without
     /// re-simulating (microseconds).
     Incremental,
     /// A recorded constraint was violated under the new depths, so the
@@ -96,10 +96,15 @@ pub struct SweepReport {
     pub baseline: OmniReport,
     /// One answer per requested point, in request order.
     pub points: Vec<SweepPoint>,
+    /// The compiled plan the points were answered from, reusable for
+    /// follow-up queries ([`SweepPlan::min_depths`], more batches). `None`
+    /// only when plan compilation failed and the sweep fell back to the
+    /// uncompiled incremental path throughout.
+    pub plan: Option<SweepPlan>,
 }
 
 impl SweepReport {
-    /// Number of points answered incrementally.
+    /// Number of points answered incrementally (without re-simulation).
     pub fn incremental_hits(&self) -> usize {
         self.points
             .iter()
@@ -120,6 +125,7 @@ pub struct Sweep<'d> {
     config: SimConfig,
     points: Vec<Vec<usize>>,
     parallel: bool,
+    grid_error: Option<OmniError>,
 }
 
 impl<'d> Sweep<'d> {
@@ -130,6 +136,7 @@ impl<'d> Sweep<'d> {
             config: SimConfig::default(),
             points: Vec::new(),
             parallel: true,
+            grid_error: None,
         }
     }
 
@@ -140,8 +147,8 @@ impl<'d> Sweep<'d> {
         self
     }
 
-    /// Runs full re-simulations one at a time instead of on scoped worker
-    /// threads.
+    /// Runs plan evaluation and full re-simulations one at a time instead
+    /// of on scoped worker threads.
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
         self
@@ -166,10 +173,20 @@ impl<'d> Sweep<'d> {
     /// Adds the cartesian product of per-FIFO candidate depths: `axes[i]`
     /// lists the depths to try for FIFO *i*. Points are generated with the
     /// last axis varying fastest, matching a nested-loop sweep.
+    ///
+    /// An empty axis would make the whole product empty — the grid would
+    /// silently vanish — so it is rejected:
+    /// [`Sweep::run`] reports [`OmniError::EmptyGridAxis`] naming the first
+    /// empty axis.
     pub fn grid(mut self, axes: &[&[usize]]) -> Self {
+        if let Some(axis) = axes.iter().position(|axis| axis.is_empty()) {
+            self.grid_error
+                .get_or_insert(OmniError::EmptyGridAxis { axis });
+            return self;
+        }
         let mut acc: Vec<Vec<usize>> = vec![Vec::new()];
         for axis in axes {
-            let mut next = Vec::with_capacity(acc.len() * axis.len().max(1));
+            let mut next = Vec::with_capacity(acc.len() * axis.len());
             for prefix in &acc {
                 for &depth in *axis {
                     let mut point = prefix.clone();
@@ -183,11 +200,16 @@ impl<'d> Sweep<'d> {
         self
     }
 
-    /// Runs the baseline simulation and answers every requested point.
+    /// Runs the baseline simulation and answers every requested point:
+    /// through the compiled [`SweepPlan`] where possible, through the
+    /// uncompiled incremental path for depth-0 points (or if plan
+    /// compilation fails), and through parallel full re-simulation wherever
+    /// a recorded constraint is violated.
     ///
     /// # Errors
     ///
-    /// Returns [`OmniError::DepthMismatch`] if a point's depth vector has
+    /// Returns [`OmniError::EmptyGridAxis`] if a [`Sweep::grid`] axis was
+    /// empty, [`OmniError::DepthMismatch`] if a point's depth vector has
     /// the wrong length, the baseline run's error if it fails, and any full
     /// re-simulation's error otherwise.
     pub fn run(self) -> Result<SweepReport, OmniError> {
@@ -196,7 +218,11 @@ impl<'d> Sweep<'d> {
             config,
             points,
             parallel,
+            grid_error,
         } = self;
+        if let Some(error) = grid_error {
+            return Err(error);
+        }
         let fifo_count = design.fifos.len();
         for point in &points {
             if point.len() != fifo_count {
@@ -208,22 +234,54 @@ impl<'d> Sweep<'d> {
         }
 
         let baseline = OmniSimulator::with_config(design, config).run()?;
+        // Compilation fails only when no depth-independent topological
+        // order exists; the uncompiled path still answers every point.
+        let plan = SweepPlan::compile(&baseline.incremental).ok();
 
-        let mut answers: Vec<Option<SweepPoint>> = Vec::with_capacity(points.len());
+        let mut answers: Vec<Option<SweepPoint>> = (0..points.len()).map(|_| None).collect();
         let mut fallback: Vec<(usize, Vec<usize>)> = Vec::new();
+        let mut compiled: Vec<(usize, Vec<usize>)> = Vec::new();
         for (index, depths) in points.into_iter().enumerate() {
-            match baseline.incremental.try_with_depths(&depths)? {
-                IncrementalOutcome::Valid { total_cycles } => {
-                    answers.push(Some(SweepPoint {
-                        depths,
-                        total_cycles,
-                        method: SweepMethod::Incremental,
-                        outputs: None,
-                    }));
+            if plan.is_some() && depths.iter().all(|&d| d >= 1) {
+                compiled.push((index, depths));
+            } else {
+                match baseline.incremental.try_with_depths(&depths)? {
+                    IncrementalOutcome::Valid { total_cycles } => {
+                        answers[index] = Some(SweepPoint {
+                            depths,
+                            total_cycles,
+                            method: SweepMethod::Incremental,
+                            outputs: None,
+                        });
+                    }
+                    IncrementalOutcome::ConstraintViolated { .. } => {
+                        fallback.push((index, depths));
+                    }
                 }
-                IncrementalOutcome::ConstraintViolated { .. } => {
-                    answers.push(None);
-                    fallback.push((index, depths));
+            }
+        }
+
+        if let Some(plan) = &plan {
+            let batch: Vec<&[usize]> = compiled
+                .iter()
+                .map(|(_, depths)| depths.as_slice())
+                .collect();
+            let outcomes = plan
+                .evaluate_batch(&batch, parallel)
+                .map_err(OmniError::from)?;
+            for ((index, depths), outcome) in compiled.into_iter().zip(outcomes) {
+                match outcome {
+                    IncrementalOutcome::Valid { total_cycles } => {
+                        answers[index] = Some(SweepPoint {
+                            depths,
+                            total_cycles,
+                            method: SweepMethod::Incremental,
+                            outputs: None,
+                        });
+                    }
+                    IncrementalOutcome::ConstraintViolated { .. } => {
+                        fallback.push((index, depths));
+                    }
                 }
             }
         }
@@ -234,40 +292,10 @@ impl<'d> Sweep<'d> {
             Ok((report.total_cycles, report.outputs))
         };
 
-        let outcomes: Vec<ResimOutcome> = if parallel && fallback.len() > 1 {
-            let workers = std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-                .min(fallback.len());
-            let cursor = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<ResimOutcome>>> =
-                (0..fallback.len()).map(|_| Mutex::new(None)).collect();
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= fallback.len() {
-                            break;
-                        }
-                        let outcome = resimulate(&fallback[i].1);
-                        *slots[i].lock().expect("sweep slot poisoned") = Some(outcome);
-                    });
-                }
+        let outcomes: Vec<ResimOutcome> =
+            pool::parallel_map(&fallback, pool::worker_count(parallel), |(_, depths)| {
+                resimulate(depths)
             });
-            slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("sweep slot poisoned")
-                        .expect("sweep worker filled every claimed slot")
-                })
-                .collect()
-        } else {
-            fallback
-                .iter()
-                .map(|(_, depths)| resimulate(depths))
-                .collect()
-        };
 
         for ((index, depths), outcome) in fallback.into_iter().zip(outcomes) {
             let (total_cycles, outputs) = outcome?;
@@ -285,6 +313,7 @@ impl<'d> Sweep<'d> {
                 .into_iter()
                 .map(|point| point.expect("every sweep point answered"))
                 .collect(),
+            plan,
         })
     }
 }
@@ -292,7 +321,7 @@ impl<'d> Sweep<'d> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::test_fixtures::{nb_drop_counter, producer_consumer};
+    use omnisim::test_fixtures::{nb_drop_counter, producer_consumer};
 
     #[test]
     fn all_incremental_sweep_matches_manual_analysis() {
@@ -339,7 +368,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_and_sequential_fallback_agree() {
+    fn parallel_and_sequential_sweeps_agree() {
         let design = nb_drop_counter(40, 1, 4);
         let grid: &[&[usize]] = &[&[1, 8, 32, 64, 128]];
         let parallel = Sweep::new(&design).grid(grid).run().unwrap();
@@ -381,5 +410,64 @@ mod tests {
             two_axis.points,
             vec![vec![1, 7], vec![1, 9], vec![2, 7], vec![2, 9]]
         );
+    }
+
+    #[test]
+    fn empty_grid_axis_is_rejected_not_swallowed() {
+        // Regression: an empty axis used to annihilate the whole cartesian
+        // product, so the sweep silently answered zero points.
+        let design = producer_consumer(8, 2, 1);
+        let err = Sweep::new(&design).grid(&[&[1, 2], &[]]).run().unwrap_err();
+        assert_eq!(err, OmniError::EmptyGridAxis { axis: 1 });
+        assert!(err.to_string().contains("axis 1"));
+
+        // The first offending axis is reported even when several grids are
+        // stacked, and valid points added before the bad grid don't save it.
+        let err = Sweep::new(&design)
+            .point([1usize])
+            .grid(&[&[], &[3]])
+            .grid(&[&[]])
+            .run()
+            .unwrap_err();
+        assert_eq!(err, OmniError::EmptyGridAxis { axis: 0 });
+    }
+
+    #[test]
+    fn depth_zero_points_take_the_uncompiled_path() {
+        // Depth 0 is outside the plan's cached topological order, so such
+        // points are routed through try_with_depths exactly as before the
+        // plan existed. For a blocking design, depth 0 makes the combined
+        // constraint set cyclic (the w-th write must follow the w-th read
+        // which must follow the w-th write), and that error surfaces.
+        let design = producer_consumer(12, 2, 1);
+        let err = Sweep::new(&design).point([0usize]).run().unwrap_err();
+        assert!(matches!(err, OmniError::Graph(_)), "got {err:?}");
+        let manual = design;
+        let baseline = OmniSimulator::new(&manual).run().unwrap();
+        assert!(
+            baseline.incremental.try_with_depths(&[0]).is_err(),
+            "the uncompiled path agrees that depth 0 is cyclic here"
+        );
+    }
+
+    #[test]
+    fn report_retains_the_compiled_plan_for_follow_up_queries() {
+        let design = producer_consumer(32, 2, 2);
+        let sweep = Sweep::new(&design).grid(&[&[1, 2, 8]]).run().unwrap();
+        let plan = sweep.plan.as_ref().expect("plan compiles for this design");
+        assert_eq!(plan.fifo_count(), 1);
+        let outcome = plan.evaluator().evaluate(&[8]).unwrap();
+        let expected = sweep
+            .points
+            .iter()
+            .find(|p| p.depths == [8])
+            .unwrap()
+            .total_cycles;
+        match outcome {
+            IncrementalOutcome::Valid { total_cycles } => {
+                assert_eq!(total_cycles, expected)
+            }
+            other => panic!("expected valid, got {other:?}"),
+        }
     }
 }

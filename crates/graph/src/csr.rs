@@ -1,9 +1,17 @@
 //! Compressed-sparse-row simulation graph, as used by LightningSimV2.
 //!
 //! The CSR form is built once, after trace generation has finished, and is
-//! then traversed for stall analysis. It cannot be extended afterwards —
-//! which is exactly the limitation §7.3.1 of the paper describes and the
-//! reason the OmniSim engine uses [`crate::EventGraph`] instead.
+//! then traversed for stall analysis. Its node/edge set cannot be extended
+//! afterwards — the limitation §7.3.1 of the paper describes and the reason
+//! the OmniSim engine builds its *online* graph as a [`crate::EventGraph`]
+//! instead. That limitation only applies while the graph is still growing,
+//! though: once a run has finished, its event graph is immutable, and the
+//! compiled DSE engine (`omnisim-dse`) freezes it into a `CsrGraph` (plus a
+//! cached [`CsrGraph::topo_order`] and a [`CsrGraph::transpose`] for
+//! incoming-edge traversal) precisely *because* the frozen form is so much
+//! cheaper to re-traverse. A new baseline run simply recompiles a new plan,
+//! so "cannot be extended" never bites: extension and fast traversal happen
+//! in different phases on different representations.
 
 use crate::algo::{longest_path, CycleError, Edge};
 use crate::NodeId;
@@ -101,6 +109,89 @@ impl CsrGraph {
         self.base[node.index()]
     }
 
+    /// The intrinsic earliest cycle of every node, indexed by node.
+    pub fn base_times(&self) -> &[u64] {
+        &self.base
+    }
+
+    /// Iterates over the out-edges of one node as `(target, weight)` pairs.
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = (NodeId, i64)> + '_ {
+        let from = node.index();
+        (self.row_ptr[from]..self.row_ptr[from + 1])
+            .map(move |i| (NodeId(self.col[i]), self.weight[i]))
+    }
+
+    /// Builds the transposed graph (every edge reversed, same weights and
+    /// base times), for incoming-edge traversal.
+    pub fn transpose(&self) -> CsrGraph {
+        let mut builder = CsrGraphBuilder::new();
+        for &base in &self.base {
+            builder.add_node(base);
+        }
+        for e in self.edges() {
+            builder.add_edge(e.to, e.from, e.weight);
+        }
+        builder.build()
+    }
+
+    /// Computes a topological order of the nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the graph is cyclic.
+    pub fn topo_order(&self) -> Result<Vec<NodeId>, CycleError> {
+        self.topo_order_with(std::iter::empty())
+    }
+
+    /// Computes a topological order consistent with the graph's edges *and*
+    /// an extra set of ordering edges (whose weights are ignored). The
+    /// compiled DSE engine uses this to obtain one order that stays valid
+    /// for every depth-parameterized write-after-read overlay.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CycleError`] if the combined edge set is cyclic.
+    pub fn topo_order_with(
+        &self,
+        extra: impl Iterator<Item = Edge> + Clone,
+    ) -> Result<Vec<NodeId>, CycleError> {
+        let n = self.base.len();
+        let mut in_degree = vec![0u32; n];
+        for e in self.edges() {
+            in_degree[e.to.index()] += 1;
+        }
+        for e in extra.clone() {
+            in_degree[e.to.index()] += 1;
+        }
+        let mut extra_successors: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for e in extra {
+            extra_successors[e.from.index()].push(e.to.0);
+        }
+        let mut order = Vec::with_capacity(n);
+        let mut ready: Vec<u32> = (0..n as u32)
+            .filter(|&i| in_degree[i as usize] == 0)
+            .collect();
+        while let Some(v) = ready.pop() {
+            order.push(NodeId(v));
+            for (w, _) in self.successors(NodeId(v)) {
+                in_degree[w.index()] -= 1;
+                if in_degree[w.index()] == 0 {
+                    ready.push(w.0);
+                }
+            }
+            for &w in &extra_successors[v as usize] {
+                in_degree[w as usize] -= 1;
+                if in_degree[w as usize] == 0 {
+                    ready.push(w);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(CycleError);
+        }
+        Ok(order)
+    }
+
     /// Iterates over all edges.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + Clone + '_ {
         (0..self.base.len()).flat_map(move |from| {
@@ -177,5 +268,65 @@ mod tests {
         let g = CsrGraphBuilder::new().build();
         assert!(g.is_empty());
         assert_eq!(g.times().unwrap(), Vec::<u64>::new());
+        assert_eq!(g.topo_order().unwrap(), Vec::<NodeId>::new());
+    }
+
+    #[test]
+    fn successors_match_edges() {
+        let mut b = CsrGraphBuilder::new();
+        let n0 = b.add_node(0);
+        let n1 = b.add_node(0);
+        let n2 = b.add_node(0);
+        b.add_edge(n0, n1, 3);
+        b.add_edge(n0, n2, 4);
+        b.add_edge(n1, n2, 5);
+        let g = b.build();
+        let from0: Vec<_> = g.successors(n0).collect();
+        assert_eq!(from0, vec![(n1, 3), (n2, 4)]);
+        let from2: Vec<_> = g.successors(n2).collect();
+        assert!(from2.is_empty());
+        assert_eq!(g.base_times(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn transpose_reverses_every_edge() {
+        let mut b = CsrGraphBuilder::new();
+        let n0 = b.add_node(7);
+        let n1 = b.add_node(0);
+        b.add_edge(n0, n1, 2);
+        let g = b.build();
+        let t = g.transpose();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.base(n0), 7);
+        let preds_of_1: Vec<_> = t.successors(n1).collect();
+        assert_eq!(preds_of_1, vec![(n0, 2)]);
+        assert!(t.successors(n0).next().is_none());
+    }
+
+    #[test]
+    fn topo_order_respects_base_and_extra_edges() {
+        let mut b = CsrGraphBuilder::new();
+        let n0 = b.add_node(0);
+        let n1 = b.add_node(0);
+        let n2 = b.add_node(0);
+        b.add_edge(n0, n1, 1);
+        let g = b.build();
+        // Without extra edges, any order with n0 before n1 is valid.
+        let order = g.topo_order().unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(n0) < pos(n1));
+        // An extra ordering edge n1 -> n2 must be respected too.
+        let order = g
+            .topo_order_with([Edge::new(n1, n2, 0)].iter().copied())
+            .unwrap();
+        let pos = |n: NodeId| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos(n0) < pos(n1));
+        assert!(pos(n1) < pos(n2));
+        // Extra edges that close a cycle are detected.
+        assert_eq!(
+            g.topo_order_with([Edge::new(n1, n0, 0)].iter().copied())
+                .unwrap_err(),
+            CycleError
+        );
     }
 }

@@ -31,6 +31,9 @@ impl Simulator for LightningBackend {
             handles_type_c: false,
             produces_timings: true,
             incremental_dse: true,
+            // The trace payload answers depth queries but is not an
+            // `IncrementalState`, so it cannot compile into a `SweepPlan`.
+            compiled_dse: false,
         }
     }
 

@@ -36,6 +36,7 @@ impl Simulator for RtlBackend {
             handles_type_c: true,
             produces_timings: false,
             incremental_dse: false,
+            compiled_dse: false,
         }
     }
 

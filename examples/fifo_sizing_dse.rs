@@ -1,11 +1,13 @@
 //! FIFO-sizing design-space exploration on the congestion-aware dispatcher
 //! of Fig. 4 Ex. 5 — the workflow behind Table 6 of the paper.
 //!
-//! The batch [`Sweep`] API answers every candidate (depth1, depth2) pair
-//! from the baseline run's recorded constraints (microseconds) and falls
-//! back to a parallel full re-simulation only where they are violated —
-//! replacing the hand-rolled incremental/fallback loop this example needed
-//! before the unified API existed.
+//! The batch [`Sweep`] API runs the baseline once, compiles it into a
+//! frozen [`SweepPlan`] (CSR graph + cached topological order + reusable
+//! time buffers), and answers every candidate (depth1, depth2) pair from
+//! the plan with delta evaluation — falling back to a parallel full
+//! re-simulation only where the recorded constraints are violated. The
+//! compiled plan rides on the report, so follow-up queries (here: a
+//! min-depth search) reuse the same baseline for free.
 //!
 //! Run with: `cargo run --release --example fifo_sizing_dse`
 
@@ -25,5 +27,28 @@ fn main() {
         println!("{:?}: {} cycles ({label})", p.depths, p.total_cycles);
     }
     let (hits, full) = (sweep.incremental_hits(), sweep.full_resims());
-    println!("\n{hits} configurations answered incrementally, {full} full re-simulations");
+    println!("\n{hits} configurations answered from the compiled plan, {full} full re-simulations");
+
+    // The compiled plan is retained on the report: ask the inverse question
+    // ("smallest depths within 1% of the baseline latency") without
+    // re-simulating anything.
+    let plan = sweep.plan.as_ref().expect("plan compiled");
+    println!(
+        "\ncompiled plan: {} nodes, {} edges, {} constraints",
+        plan.node_count(),
+        plan.edge_count(),
+        plan.constraint_count()
+    );
+    let target = sweep.baseline.total_cycles + sweep.baseline.total_cycles / 100;
+    let search = plan.min_depths(target, 64).expect("search succeeds");
+    println!(
+        "smallest certified depths for <= {target} cycles: {:?} ({} probes, combined {})",
+        search.depths,
+        search.probes,
+        if search.combined_meets_target() {
+            "meets the target"
+        } else {
+            "needs a full re-sim to certify"
+        }
+    );
 }

@@ -11,106 +11,10 @@
 //! Run with: `cargo run --release --example packet_router`
 
 use omnisim_suite::backend;
-use omnisim_suite::ir::{DesignBuilder, Expr};
-
-fn build_router(packets: i64) -> omnisim_suite::ir::Design {
-    let mut d = DesignBuilder::new("packet_router");
-    let payloads = d.array(
-        "payloads",
-        (0..packets).map(|i| 1 + i % 97).collect::<Vec<i64>>(),
-    );
-    let fast_lane = d.fifo("fast_lane", 4);
-    let slow_lane = d.fifo("slow_lane", 4);
-    let routed_fast = d.output("routed_fast");
-    let routed_slow = d.output("routed_slow");
-    let dropped = d.output("dropped");
-    let fast_work = d.output("fast_lane_work");
-    let slow_work = d.output("slow_lane_work");
-
-    let router = d.function("router", |m| {
-        let i = m.var("i");
-        let fast = m.var("fast");
-        let slow = m.var("slow");
-        let drop_count = m.var("drop_count");
-        let payload = m.var("payload");
-        let entry = m.new_block();
-        let head = m.new_block();
-        let try_fast = m.new_block();
-        let fast_ok = m.new_block();
-        let try_slow = m.new_block();
-        let finish = m.new_block();
-        m.fill_block(entry, |b| {
-            b.assign(i, Expr::imm(0))
-                .assign(fast, Expr::imm(0))
-                .assign(slow, Expr::imm(0))
-                .assign(drop_count, Expr::imm(0))
-                .jump(head);
-        });
-        m.fill_block(head, |b| {
-            b.branch(Expr::var(i).lt(Expr::imm(packets)), try_fast, finish);
-        });
-        m.fill_block(try_fast, |b| {
-            b.array_load_into(payload, payloads, Expr::var(i));
-            b.assign(i, Expr::var(i).add(Expr::imm(1)));
-            let ok = b.fifo_nb_write(fast_lane, Expr::var(payload));
-            b.branch(Expr::var(ok), fast_ok, try_slow);
-        });
-        m.fill_block(fast_ok, |b| {
-            b.assign(fast, Expr::var(fast).add(Expr::imm(1))).jump(head);
-        });
-        m.fill_block(try_slow, |b| {
-            let ok = b.fifo_nb_write(slow_lane, Expr::var(payload));
-            b.assign(slow, Expr::var(slow).add(Expr::var(ok)));
-            b.assign(
-                drop_count,
-                Expr::var(drop_count).add(Expr::var(ok).logical_not()),
-            );
-            b.jump(head);
-        });
-        m.fill_block(finish, |b| {
-            b.fifo_write(fast_lane, Expr::imm(-1));
-            b.fifo_write(slow_lane, Expr::imm(-1));
-            b.output(routed_fast, Expr::var(fast));
-            b.output(routed_slow, Expr::var(slow));
-            b.output(dropped, Expr::var(drop_count));
-            b.ret();
-        });
-    });
-
-    let mut lane = |name: &'static str, fifo, out, ii: u64| {
-        d.function(name, move |m| {
-            let acc = m.var("acc");
-            m.entry(|b| {
-                b.assign(acc, Expr::imm(0));
-            });
-            m.loop_block(ii, |b| {
-                let v = b.fifo_read(fifo);
-                let is_done = Expr::var(v).eq(Expr::imm(-1));
-                b.assign(
-                    acc,
-                    is_done
-                        .clone()
-                        .select(Expr::var(acc), Expr::var(acc).add(Expr::var(v))),
-                );
-                b.exit_loop_if(is_done);
-            });
-            m.exit(|b| {
-                b.output(out, Expr::var(acc));
-            });
-        })
-    };
-    // Both lanes drain slower than the router can produce (roughly one
-    // packet every 3 cycles), so the fast lane periodically backs up,
-    // traffic spills onto the even-slower slow lane, and packets drop —
-    // the congestion behaviour C simulation cannot see.
-    let fast = lane("fast_lane_proc", fast_lane, fast_work, 5);
-    let slow = lane("slow_lane_proc", slow_lane, slow_work, 11);
-    d.dataflow_top("top", [router, fast, slow]);
-    d.build().expect("router design is valid")
-}
+use omnisim_suite::designs::misc::packet_router;
 
 fn main() {
-    let design = build_router(2000);
+    let design = packet_router(2000, 4, 4);
 
     let omni = backend("omnisim")
         .unwrap()

@@ -57,7 +57,9 @@
 //! * [`rtlsim`] — the cycle-stepped reference simulator (co-sim stand-in),
 //! * [`csim`] — naive sequential C simulation,
 //! * [`lightning`] — the decoupled two-phase LightningSim baseline,
-//! * [`omnisim`] — the OmniSim engine itself (including [`Sweep`]),
+//! * [`omnisim`] — the OmniSim engine itself,
+//! * [`dse`] — the compiled DSE engine ([`SweepPlan`], [`Sweep`],
+//!   min-depth search),
 //! * [`designs`] — the benchmark designs of the paper's evaluation.
 //!
 //! See `README.md` for a quickstart, the backend matrix and how to
@@ -70,15 +72,19 @@ pub use omnisim;
 pub use omnisim_api as api;
 pub use omnisim_csim as csim;
 pub use omnisim_designs as designs;
+pub use omnisim_dse as dse;
 pub use omnisim_graph as graph;
 pub use omnisim_interp as interp;
 pub use omnisim_ir as ir;
 pub use omnisim_lightning as lightning;
 pub use omnisim_rtlsim as rtlsim;
 
-pub use omnisim::{Sweep, SweepMethod, SweepPoint, SweepReport};
 pub use omnisim_api::{
     Capabilities, Extras, SimFailure, SimOutcome, SimReport, SimTimings, Simulator,
+};
+pub use omnisim_dse::{
+    MinDepthsReport, PlanError, PlanEvaluator, Sweep, SweepMethod, SweepPlan, SweepPoint,
+    SweepReport,
 };
 
 /// Canonical names of every registered backend, in the order the paper's

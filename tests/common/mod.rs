@@ -1,0 +1,35 @@
+//! Helpers shared by the workspace-root integration tests.
+
+// Each integration test compiles this module independently and uses a
+// different subset of it.
+#![allow(dead_code)]
+
+/// Deterministic xorshift64* PRNG so randomized tests are reproducible.
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a non-zero-coerced seed.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next() % (hi - lo)
+    }
+
+    /// Uniform FIFO depth in `1..=max`.
+    pub fn depth(&mut self, max: usize) -> usize {
+        1 + (self.next() as usize) % max
+    }
+}

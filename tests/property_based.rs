@@ -12,29 +12,9 @@ use omnisim_rtlsim::RtlSimulator;
 use omnisim_suite::designs::typea::dataflow_graph;
 use omnisim_suite::ir::{DesignBuilder, Expr};
 
-/// Deterministic xorshift64* PRNG — enough statistical quality for sampling
-/// test parameters, with zero dependencies.
-struct Rng(u64);
+mod common;
 
-impl Rng {
-    fn new(seed: u64) -> Self {
-        Rng(seed.max(1))
-    }
-
-    fn next(&mut self) -> u64 {
-        let mut x = self.0;
-        x ^= x >> 12;
-        x ^= x << 25;
-        x ^= x >> 27;
-        self.0 = x;
-        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
-    }
-
-    /// Uniform value in `[lo, hi)`.
-    fn range(&mut self, lo: u64, hi: u64) -> u64 {
-        lo + self.next() % (hi - lo)
-    }
-}
+use common::Rng;
 
 /// Builds a producer/consumer design with arbitrary trip count, FIFO depth
 /// and producer/consumer initiation intervals.
