@@ -1,0 +1,167 @@
+//! Cross-backend differential fuzzing CLI.
+//!
+//! Drives `omnisim-gen` over a seed range and reports every violated claim,
+//! shrinking failures to minimal committable blueprints. A failing seed from
+//! CI or the integration suite reproduces bit-identically here:
+//!
+//! ```text
+//! cargo run --release -p omnisim-bench --bin fuzz -- --seed 17 --class c
+//! ```
+//!
+//! Options:
+//!
+//! * `--class a|b|c|mixed` — taxonomy targeting preset (default `mixed`),
+//! * `--seeds N`           — number of seeds to fuzz (default 1000),
+//! * `--start S`           — first seed (default 0),
+//! * `--seed X`            — fuzz exactly one seed (overrides the range),
+//! * `--deadlocks P`       — forced-deadlock probability in percent,
+//! * `--no-shrink`         — skip shrinking on failure,
+//! * `--smoke`             — CI preset: 120 seeds per class, all classes.
+//!
+//! Exits non-zero if any seed fails.
+
+use omnisim_gen::{check_seeded, fuzz_seed, shrink, CsimAgreement, DiffConfig, GenConfig};
+use std::time::Instant;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn preset(name: &str) -> GenConfig {
+    match name {
+        "a" => GenConfig::type_a(),
+        "b" => GenConfig::type_b(),
+        "c" => GenConfig::type_c(),
+        "mixed" => GenConfig::mixed(),
+        other => {
+            eprintln!("unknown class '{other}' (expected a, b, c or mixed)");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[derive(Default)]
+struct Tally {
+    designs: usize,
+    completed: usize,
+    deadlocked: usize,
+    csim_agreed: usize,
+    csim_diverged: usize,
+    csim_crashed: usize,
+    dse_points: usize,
+    failures: usize,
+}
+
+fn fuzz_range(
+    label: &str,
+    cfg: &GenConfig,
+    diff: &DiffConfig,
+    seeds: impl Iterator<Item = u64>,
+    shrink_failures: bool,
+    tally: &mut Tally,
+) {
+    for seed in seeds {
+        let (generated, report) = fuzz_seed(cfg, diff, seed);
+        tally.designs += 1;
+        if report.completed {
+            tally.completed += 1;
+        } else {
+            tally.deadlocked += 1;
+        }
+        match report.csim {
+            Some(CsimAgreement::Agreed) => tally.csim_agreed += 1,
+            Some(CsimAgreement::Diverged) => tally.csim_diverged += 1,
+            Some(CsimAgreement::Crashed) => tally.csim_crashed += 1,
+            None => {}
+        }
+        tally.dse_points += report.dse_points_checked;
+        if report.passed() {
+            continue;
+        }
+        tally.failures += 1;
+        println!(
+            "\nFAIL class {label} seed {seed} (design class {:?}):",
+            generated.class
+        );
+        for failure in &report.failures {
+            println!("  - {failure}");
+        }
+        println!("  reproduce: cargo run --release -p omnisim-bench --bin fuzz -- --seed {seed} --class {label}");
+        if shrink_failures {
+            let minimal = shrink(&generated.blueprint, |bp| {
+                !check_seeded(&bp.lower(), diff, seed).passed()
+            });
+            let minimal_failures = check_seeded(&minimal.lower(), diff, seed).failures;
+            println!("  minimized blueprint (failures {minimal_failures:?}):");
+            println!("{minimal:#?}");
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let shrink_failures = !args.iter().any(|a| a == "--no-shrink");
+    let start: u64 = arg_value(&args, "--start")
+        .map(|v| v.parse().expect("--start takes a number"))
+        .unwrap_or(0);
+    let count: u64 = arg_value(&args, "--seeds")
+        .map(|v| v.parse().expect("--seeds takes a number"))
+        .unwrap_or(1000);
+    let single: Option<u64> =
+        arg_value(&args, "--seed").map(|v| v.parse().expect("--seed takes a number"));
+    let deadlocks: Option<u32> =
+        arg_value(&args, "--deadlocks").map(|v| v.parse().expect("--deadlocks takes a percent"));
+
+    let diff = DiffConfig::default();
+    let mut tally = Tally::default();
+    let started = Instant::now();
+
+    let classes: Vec<String> = match arg_value(&args, "--class") {
+        Some(c) => vec![c],
+        None if smoke => vec!["a".into(), "b".into(), "c".into(), "mixed".into()],
+        None => vec!["mixed".into()],
+    };
+    let per_class = if smoke { 120 } else { count };
+
+    for class in &classes {
+        let mut cfg = preset(class);
+        if let Some(p) = deadlocks {
+            cfg = cfg.with_deadlocks(p);
+        }
+        match single {
+            Some(seed) => fuzz_range(class, &cfg, &diff, seed..=seed, shrink_failures, &mut tally),
+            None => fuzz_range(
+                class,
+                &cfg,
+                &diff,
+                start..start + per_class,
+                shrink_failures,
+                &mut tally,
+            ),
+        }
+    }
+
+    let elapsed = started.elapsed();
+    let per_sec = tally.designs as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "\nfuzzed {} designs in {} ({per_sec:.0} designs/sec): \
+         {} completed, {} deadlocked, {} DSE points checked",
+        tally.designs,
+        omnisim_bench::secs(elapsed),
+        tally.completed,
+        tally.deadlocked,
+        tally.dse_points,
+    );
+    println!(
+        "csim bookkeeping: {} agreed, {} diverged, {} crashed",
+        tally.csim_agreed, tally.csim_diverged, tally.csim_crashed
+    );
+    if tally.failures > 0 {
+        println!("{} seed(s) FAILED", tally.failures);
+        std::process::exit(1);
+    }
+    println!("all seeds passed");
+}

@@ -14,7 +14,11 @@
 //! * `table5_vs_lightningsim` — OmniSim vs the LightningSim baseline,
 //! * `table6_incremental` — the incremental FIFO-resizing case study,
 //! * `dse_throughput` — compiled `SweepPlan` vs per-point incremental vs
-//!   full re-simulation, in points/sec (writes `BENCH_dse.json`).
+//!   full re-simulation, in points/sec (writes `BENCH_dse.json`),
+//! * `fuzz` — cross-backend differential fuzzing over seeded random designs
+//!   (reproduce any failing seed with `--seed N --class X`),
+//! * `gen_throughput` — generator / fuzzing-loop throughput (writes
+//!   `BENCH_gen.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -257,6 +257,9 @@ struct PerfState<'d> {
     outputs: OutputMap,
     end_nodes: Vec<Option<NodeId>>,
     paused: Vec<bool>,
+    /// Forward-progress frontier of each paused thread: no future FIFO
+    /// access of that thread can be scheduled strictly before this cycle.
+    frontier: Vec<u64>,
 
     total_threads: usize,
     active: usize,
@@ -303,6 +306,7 @@ impl<'d> PerfState<'d> {
             outputs: OutputMap::new(),
             end_nodes: vec![None; threads],
             paused: vec![false; threads],
+            frontier: vec![0; threads],
             total_threads: threads,
             active: threads,
             finished: 0,
@@ -348,9 +352,10 @@ impl<'d> PerfState<'d> {
         }
     }
 
-    fn pause(&mut self, thread: ThreadId) {
+    fn pause(&mut self, thread: ThreadId, frontier: u64) {
         debug_assert!(!self.paused[thread]);
         self.paused[thread] = true;
+        self.frontier[thread] = frontier;
         self.active -= 1;
     }
 
@@ -372,13 +377,34 @@ impl<'d> PerfState<'d> {
         }
     }
 
-    fn new_event_node(&mut self, thread: ThreadId, cycle: u64) -> NodeId {
-        let node = self.graph.add_node(cycle);
-        if let Some((last, last_cycle)) = self.last_node[thread] {
-            self.graph
-                .add_edge(last, node, cycle as i64 - last_cycle as i64);
-        }
-        self.last_node[thread] = Some((node, cycle));
+    /// Records an event node for `thread`.
+    ///
+    /// `request` is the cycle the thread's *schedule* placed the event at
+    /// (before any FIFO-availability stall); `commit` is the cycle the event
+    /// actually happened. Only schedule-intrinsic quantities enter the
+    /// graph: a thread's first event keeps its request as intrinsic time
+    /// (nothing can have stalled before it), every later event gets the
+    /// program-order edge `request - commit_prev` — the schedule distance,
+    /// which is invariant under re-finalization — and an intrinsic time of
+    /// zero. Depth-dependent stalls therefore live exclusively in the
+    /// data/WAR edges, so the incremental finalization (§7.2) can *relax*
+    /// them when a deeper FIFO would have removed the stall, instead of
+    /// keeping the baseline's stalled schedule as a floor.
+    fn new_event_node(&mut self, thread: ThreadId, request: u64, commit: u64) -> NodeId {
+        debug_assert!(commit >= request, "commits never precede their request");
+        let node = match self.last_node[thread] {
+            Some((last, last_commit)) => {
+                // The distance may be negative: in a pipelined loop the next
+                // iteration's early operations are scheduled before the
+                // previous iteration's late ones commit.
+                let node = self.graph.add_node(0);
+                self.graph
+                    .add_edge(last, node, request as i64 - last_commit as i64);
+                node
+            }
+            None => self.graph.add_node(request),
+        };
+        self.last_node[thread] = Some((node, commit));
         node
     }
 
@@ -408,8 +434,9 @@ impl<'d> PerfState<'d> {
                 fifo,
                 value,
                 cycle,
+                frontier,
             } => {
-                self.pause(thread);
+                self.pause(thread, frontier);
                 let depth = self.depths[fifo.index()];
                 let table = &self.tables[fifo.index()];
                 let ordinal = table.writes_committed() + 1;
@@ -435,8 +462,9 @@ impl<'d> PerfState<'d> {
                 thread,
                 fifo,
                 cycle,
+                frontier,
             } => {
-                self.pause(thread);
+                self.pause(thread, frontier);
                 let table = &self.tables[fifo.index()];
                 if let Some(write_cycle) = table.next_read_ready() {
                     self.commit_blocking_read(thread, fifo.index(), cycle, write_cycle);
@@ -449,10 +477,11 @@ impl<'d> PerfState<'d> {
                 fifo,
                 value,
                 cycle,
+                frontier,
             } => {
-                self.pause(thread);
+                self.pause(thread, frontier);
                 self.queries_created += 1;
-                let node = self.new_event_node(thread, cycle);
+                let node = self.new_event_node(thread, cycle, cycle);
                 let ordinal = self.tables[fifo.index()].writes_committed() + 1;
                 let query = Query {
                     thread,
@@ -469,10 +498,11 @@ impl<'d> PerfState<'d> {
                 thread,
                 fifo,
                 cycle,
+                frontier,
             } => {
-                self.pause(thread);
+                self.pause(thread, frontier);
                 self.queries_created += 1;
-                let node = self.new_event_node(thread, cycle);
+                let node = self.new_event_node(thread, cycle, cycle);
                 let ordinal = self.tables[fifo.index()].reads_committed() + 1;
                 let query = Query {
                     thread,
@@ -489,10 +519,11 @@ impl<'d> PerfState<'d> {
                 thread,
                 fifo,
                 cycle,
+                frontier,
             } => {
-                self.pause(thread);
+                self.pause(thread, frontier);
                 self.queries_created += 1;
-                let node = self.new_event_node(thread, cycle);
+                let node = self.new_event_node(thread, cycle, cycle);
                 let ordinal = self.tables[fifo.index()].reads_committed() + 1;
                 let query = Query {
                     thread,
@@ -509,10 +540,11 @@ impl<'d> PerfState<'d> {
                 thread,
                 fifo,
                 cycle,
+                frontier,
             } => {
-                self.pause(thread);
+                self.pause(thread, frontier);
                 self.queries_created += 1;
-                let node = self.new_event_node(thread, cycle);
+                let node = self.new_event_node(thread, cycle, cycle);
                 let ordinal = self.tables[fifo.index()].writes_committed() + 1;
                 let query = Query {
                     thread,
@@ -541,7 +573,7 @@ impl<'d> PerfState<'d> {
                 self.finished += 1;
                 self.active -= 1;
                 self.ops_executed += ops_executed;
-                let node = self.new_event_node(thread, end_cycle);
+                let node = self.new_event_node(thread, end_cycle, end_cycle);
                 self.end_nodes[thread] = Some(node);
             }
             Request::TaskFailed { thread, error } => {
@@ -560,11 +592,11 @@ impl<'d> PerfState<'d> {
         &mut self,
         thread: ThreadId,
         fifo: usize,
-        _attempt_cycle: u64,
+        attempt_cycle: u64,
         commit: u64,
         value: i64,
     ) {
-        let node = self.new_event_node(thread, commit);
+        let node = self.new_event_node(thread, attempt_cycle, commit);
         self.tables[fifo].commit_write(value, commit, node, true);
         self.fifo_accesses += 1;
         self.respond(thread, Response::WriteDone { cycle: commit });
@@ -615,7 +647,7 @@ impl<'d> PerfState<'d> {
         let write_node = self.tables[fifo]
             .write_node(ordinal)
             .expect("matching write exists");
-        let node = self.new_event_node(thread, commit);
+        let node = self.new_event_node(thread, request_cycle, commit);
         self.graph.add_edge(write_node, node, 1);
         let value = self.tables[fifo].commit_read(commit, node);
         self.fifo_accesses += 1;
@@ -694,6 +726,50 @@ impl<'d> PerfState<'d> {
         }
     }
 
+    /// Picks the pending query to force-resolve as `false` when every
+    /// thread is paused and nothing can otherwise make progress.
+    ///
+    /// The naive §7.1 rule ("force the earliest query") assumes each
+    /// thread's future accesses are at or past its pending one — which
+    /// pipelined iteration overlap violates: a paused thread's *next*
+    /// iteration can schedule accesses earlier than its pending
+    /// late-offset access. The selection therefore consults each paused
+    /// thread's forward-progress frontier:
+    ///
+    /// * a query is *safe* to force when every other paused thread's
+    ///   frontier is at or past the query's cycle (no enabling access can
+    ///   still appear strictly before it) — the forced `false` is then
+    ///   exact, not heuristic;
+    /// * candidates are ordered by `(cycle, frontier descending, thread)`:
+    ///   earliest first, and among same-cycle queries the thread that can
+    ///   reach further back in time is kept runnable longer;
+    /// * if no query is provably safe (mutual overlap), the first candidate
+    ///   in that order is forced to keep the simulation moving — the same
+    ///   deterministic order the cycle-stepped reference applies, so the
+    ///   two backends agree even on the heuristic corner.
+    fn choose_forced_query(&self) -> Option<usize> {
+        if self.pool.is_empty() {
+            return None;
+        }
+        let mut order: Vec<usize> = (0..self.pool.pending()).collect();
+        order.sort_by_key(|&i| {
+            let q = self.pool.get(i);
+            (
+                q.cycle,
+                std::cmp::Reverse(self.frontier[q.thread]),
+                q.thread,
+            )
+        });
+        let safe = order.iter().copied().find(|&i| {
+            let q = self.pool.get(i);
+            self.paused
+                .iter()
+                .enumerate()
+                .all(|(t, &p)| t == q.thread || !p || self.frontier[t] >= q.cycle)
+        });
+        safe.or(Some(order[0]))
+    }
+
     /// Step 4 of Fig. 7: with every Func Sim thread paused, resolve as many
     /// queries as possible; if none can be resolved, apply the
     /// forward-progress rule of §7.1 or report a deadlock.
@@ -729,10 +805,11 @@ impl<'d> PerfState<'d> {
         }
 
         if self.active == 0 && self.accounted() < self.total_threads {
-            if let Some(query) = self.pool.take_earliest_forced() {
-                // §7.1: every thread has progressed to at least the cycle of
-                // the earliest query, so its target event (still unknown)
-                // cannot be strictly before it — the access fails.
+            if let Some(index) = self.choose_forced_query() {
+                // §7.1 forward progress: the chosen access's target event
+                // (still unknown) cannot commit strictly before it, so the
+                // access fails.
+                let query = self.pool.take_forced_at(index);
                 self.apply_resolution(query, false);
             } else {
                 let blocked = self.describe_deadlock();

@@ -129,24 +129,12 @@ impl QueryPool {
         self.queries.iter().enumerate()
     }
 
-    /// Index of the pending query with the earliest hardware cycle, if any.
-    ///
-    /// This is the query that the forward-progress rule of §7.1 resolves as
-    /// `false` when every thread is paused and nothing else can make
-    /// progress.
-    pub fn earliest(&self) -> Option<usize> {
-        self.queries
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, q)| q.cycle)
-            .map(|(i, _)| i)
-    }
-
-    /// Removes the earliest query and counts it as force-resolved.
-    pub fn take_earliest_forced(&mut self) -> Option<Query> {
-        let idx = self.earliest()?;
+    /// Removes the query at `index` and counts it as force-resolved. The
+    /// engine picks the index: the earliest *safely forceable* query under
+    /// the frontier-aware forward-progress rule of §7.1.
+    pub fn take_forced_at(&mut self, index: usize) -> Query {
         self.forced_false += 1;
-        Some(self.queries.remove(idx))
+        self.queries.remove(index)
     }
 }
 
@@ -217,14 +205,13 @@ mod tests {
     }
 
     #[test]
-    fn pool_earliest_selects_minimum_cycle() {
+    fn pool_take_forced_counts_and_removes() {
         let mut pool = QueryPool::new();
         pool.push(query(QueryKind::NbWrite, 9, 1));
         pool.push(query(QueryKind::NbRead, 3, 1));
         pool.push(query(QueryKind::CanRead, 7, 1));
         assert_eq!(pool.pending(), 3);
-        assert_eq!(pool.earliest(), Some(1));
-        let forced = pool.take_earliest_forced().unwrap();
+        let forced = pool.take_forced_at(1);
         assert_eq!(forced.cycle, 3);
         assert_eq!(pool.forced_false(), 1);
         assert_eq!(pool.pending(), 2);

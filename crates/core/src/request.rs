@@ -28,6 +28,10 @@ pub enum Request {
         value: i64,
         /// Hardware cycle at which the write is first attempted.
         cycle: u64,
+        /// Lower bound on the hardware cycle of any *future* FIFO access
+        /// this thread could issue (its forward-progress frontier, used to
+        /// order forced query resolution under pipelined iteration overlap).
+        frontier: u64,
     },
     /// A blocking FIFO read at `cycle` (pauses until data is available).
     FifoRead {
@@ -37,6 +41,10 @@ pub enum Request {
         fifo: FifoId,
         /// Hardware cycle at which the read is first attempted.
         cycle: u64,
+        /// Lower bound on the hardware cycle of any *future* FIFO access
+        /// this thread could issue (its forward-progress frontier, used to
+        /// order forced query resolution under pipelined iteration overlap).
+        frontier: u64,
     },
     /// A non-blocking FIFO write attempt at `cycle` (pauses; query).
     FifoNbWrite {
@@ -48,6 +56,10 @@ pub enum Request {
         value: i64,
         /// Hardware cycle of the attempt.
         cycle: u64,
+        /// Lower bound on the hardware cycle of any *future* FIFO access
+        /// this thread could issue (its forward-progress frontier, used to
+        /// order forced query resolution under pipelined iteration overlap).
+        frontier: u64,
     },
     /// A non-blocking FIFO read attempt at `cycle` (pauses; query).
     FifoNbRead {
@@ -57,6 +69,10 @@ pub enum Request {
         fifo: FifoId,
         /// Hardware cycle of the attempt.
         cycle: u64,
+        /// Lower bound on the hardware cycle of any *future* FIFO access
+        /// this thread could issue (its forward-progress frontier, used to
+        /// order forced query resolution under pipelined iteration overlap).
+        frontier: u64,
     },
     /// A FIFO `empty()` check at `cycle` (pauses; query).
     FifoCanRead {
@@ -66,6 +82,10 @@ pub enum Request {
         fifo: FifoId,
         /// Hardware cycle of the check.
         cycle: u64,
+        /// Lower bound on the hardware cycle of any *future* FIFO access
+        /// this thread could issue (its forward-progress frontier, used to
+        /// order forced query resolution under pipelined iteration overlap).
+        frontier: u64,
     },
     /// A FIFO `full()` check at `cycle` (pauses; query).
     FifoCanWrite {
@@ -75,6 +95,10 @@ pub enum Request {
         fifo: FifoId,
         /// Hardware cycle of the check.
         cycle: u64,
+        /// Lower bound on the hardware cycle of any *future* FIFO access
+        /// this thread could issue (its forward-progress frontier, used to
+        /// order forced query resolution under pipelined iteration overlap).
+        frontier: u64,
     },
     /// A testbench-visible output was written (never pauses).
     Output {
@@ -186,6 +210,7 @@ mod tests {
             fifo: FifoId(0),
             value: 1,
             cycle: 3,
+            frontier: 3,
         };
         assert!(
             w.pauses_thread(),
@@ -195,6 +220,7 @@ mod tests {
             thread: 1,
             fifo: FifoId(0),
             cycle: 3,
+            frontier: 3,
         };
         assert!(r.pauses_thread());
         let nb = Request::FifoNbWrite {
@@ -202,6 +228,7 @@ mod tests {
             fifo: FifoId(0),
             value: 9,
             cycle: 7,
+            frontier: 5,
         };
         assert!(nb.pauses_thread());
         assert_eq!(nb.thread(), 2);

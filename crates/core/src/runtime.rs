@@ -101,10 +101,12 @@ impl SimBackend for FuncRuntime<'_> {
 
     fn fifo_read(&mut self, fifo: FifoId, offset: u64) -> Result<i64, SimError> {
         let cycle = self.clock.op_cycle(offset);
+        let frontier = cycle.min(self.clock.next_entry_floor());
         self.send(Request::FifoRead {
             thread: self.thread,
             fifo,
             cycle,
+            frontier,
         })?;
         match self.wait()? {
             Response::ReadValue {
@@ -122,11 +124,13 @@ impl SimBackend for FuncRuntime<'_> {
 
     fn fifo_write(&mut self, fifo: FifoId, value: i64, offset: u64) -> Result<(), SimError> {
         let cycle = self.clock.op_cycle(offset);
+        let frontier = cycle.min(self.clock.next_entry_floor());
         self.send(Request::FifoWrite {
             thread: self.thread,
             fifo,
             value,
             cycle,
+            frontier,
         })?;
         match self.wait()? {
             Response::WriteDone { cycle: commit } => {
@@ -141,10 +145,12 @@ impl SimBackend for FuncRuntime<'_> {
 
     fn fifo_nb_read(&mut self, fifo: FifoId, offset: u64) -> Result<Option<i64>, SimError> {
         let cycle = self.clock.op_cycle(offset);
+        let frontier = cycle.min(self.clock.next_entry_floor());
         self.send(Request::FifoNbRead {
             thread: self.thread,
             fifo,
             cycle,
+            frontier,
         })?;
         match self.wait()? {
             Response::NbRead { value } => Ok(value),
@@ -156,11 +162,13 @@ impl SimBackend for FuncRuntime<'_> {
 
     fn fifo_nb_write(&mut self, fifo: FifoId, value: i64, offset: u64) -> Result<bool, SimError> {
         let cycle = self.clock.op_cycle(offset);
+        let frontier = cycle.min(self.clock.next_entry_floor());
         self.send(Request::FifoNbWrite {
             thread: self.thread,
             fifo,
             value,
             cycle,
+            frontier,
         })?;
         match self.wait()? {
             Response::NbWrite { accepted } => Ok(accepted),
@@ -172,10 +180,12 @@ impl SimBackend for FuncRuntime<'_> {
 
     fn fifo_empty(&mut self, fifo: FifoId, offset: u64) -> Result<bool, SimError> {
         let cycle = self.clock.op_cycle(offset);
+        let frontier = cycle.min(self.clock.next_entry_floor());
         self.send(Request::FifoCanRead {
             thread: self.thread,
             fifo,
             cycle,
+            frontier,
         })?;
         match self.wait()? {
             Response::Status { value: can_read } => Ok(!can_read),
@@ -187,10 +197,12 @@ impl SimBackend for FuncRuntime<'_> {
 
     fn fifo_full(&mut self, fifo: FifoId, offset: u64) -> Result<bool, SimError> {
         let cycle = self.clock.op_cycle(offset);
+        let frontier = cycle.min(self.clock.next_entry_floor());
         self.send(Request::FifoCanWrite {
             thread: self.thread,
             fifo,
             cycle,
+            frontier,
         })?;
         match self.wait()? {
             Response::Status { value: can_write } => Ok(!can_write),

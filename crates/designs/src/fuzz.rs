@@ -1,0 +1,209 @@
+//! Minimized regression designs found by the differential fuzzer
+//! (`omnisim-gen` + `tests/fuzz_differential.rs`).
+//!
+//! Each design here is a shrunk witness of a real divergence the fuzzer
+//! surfaced between two backends (or between the incremental DSE path and
+//! ground truth). They are committed as permanent fixtures so the scenario
+//! corpus only ever grows: the regression tests in
+//! `tests/fuzz_differential.rs` re-assert cross-backend agreement on every
+//! one of them.
+//!
+//! The designs are hand-lowered from the minimized `omnisim_gen::Blueprint`
+//! the shrinker produced (quoted in each function's documentation), using
+//! the same task protocol the generator emits: every task loops `n` times,
+//! folds `i` plus its read values into an accumulator, and reports the
+//! accumulator as a testbench output.
+
+use omnisim_ir::{Design, DesignBuilder, Expr, FifoId, ModuleId, OutputId};
+
+/// The generator's source-task body: `acc += i + (i + 1)` per iteration,
+/// then one write of `acc + i` into `q` — blocking or lossy.
+fn accumulating_producer(
+    d: &mut DesignBuilder,
+    name: &str,
+    out: OutputId,
+    q: FifoId,
+    lossy: bool,
+    n: i64,
+) -> ModuleId {
+    d.function(name, |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            b.assign(
+                acc,
+                Expr::var(acc)
+                    .add(i.clone())
+                    .add(i.clone().add(Expr::imm(1))),
+            );
+            let value = Expr::var(acc).add(i);
+            if lossy {
+                b.fifo_nb_write_ignored(q, value);
+            } else {
+                b.fifo_write(q, value);
+            }
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    })
+}
+
+/// A two-task blocking chain over a depth-1 FIFO whose consumer folds each
+/// read value and then spends `work` extra schedule cycles per iteration
+/// (with `work > 0` the loop body is genuinely pipelined: latency
+/// `work + 1`, II = 1).
+fn blocking_chain(design_name: &str, n: i64, work: u64) -> Design {
+    let mut d = DesignBuilder::new(design_name);
+    let out_p = d.output("t0_acc");
+    let out_c = d.output("t1_acc");
+    let q = d.fifo("e0_0to1", 1);
+    let producer = accumulating_producer(&mut d, "t0", out_p, q, false, n);
+    let consumer = d.function("t1", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.fifo_read(q);
+            b.assign(acc, Expr::var(acc).add(i).add(Expr::var(v)));
+            if work > 0 {
+                b.step(work);
+            }
+        });
+        m.exit(|b| {
+            b.output(out_c, Expr::var(acc));
+        });
+    });
+    d.dataflow_top("top", [producer, consumer]);
+    d.build().expect("fixture is well-formed")
+}
+
+/// Witness of the pipelined-iteration-overlap bug in the cycle-stepped
+/// reference simulator (fixed in the same PR that added the fuzzer).
+///
+/// A 2-token producer feeds a depth-1 FIFO into a consumer whose loop body
+/// is genuinely pipelined (latency 4, II = 1) with the FIFO read at offset 0
+/// and the induction-variable increment at offset 3. The reference's op walk
+/// serialized iteration 2's read behind iteration 1's offset-3 operation,
+/// reporting 13 total cycles where real pipelined hardware (and the
+/// graph-based engines) overlap the iterations: 12 cycles.
+///
+/// Shrunk from `GenConfig::type_a()` seed 0:
+/// `Blueprint { tokens: 2, tasks: [minimal, minimal + work 3],
+///   edges: [0 -> 1, depth 1, Blocking] }`.
+pub fn pipelined_reader_overlap(n: i64) -> Design {
+    blocking_chain("fuzz_pipelined_reader_overlap", n, 3)
+}
+
+/// Witness of the baked-in-baseline-stall bug in the engine's incremental
+/// DSE state (fixed in the same PR that added the fuzzer).
+///
+/// The simplest possible producer/consumer over a depth-1 FIFO: the
+/// baseline run write-after-read-stalls the second write, and the event
+/// graph used to record that stall in the node base times and program-order
+/// deltas — so `try_with_depths` could never *relax* latency for deeper
+/// FIFOs (it certified 9 cycles at every depth where ground truth is 8 from
+/// depth 2 up). Node bases are now schedule-intrinsic and the stall lives
+/// only in the depth-parameterized WAR edge.
+///
+/// Shrunk from `GenConfig::type_a()` seed 0:
+/// `Blueprint { tokens: 2, tasks: [minimal, minimal],
+///   edges: [0 -> 1, depth 1, Blocking] }`.
+pub fn depth_relaxation(n: i64) -> Design {
+    blocking_chain("fuzz_depth_relaxation", n, 0)
+}
+
+/// Witness of the undecided-non-blocking-outcome race in the reference
+/// simulator (fixed in the same PR that added the fuzzer).
+///
+/// A lossy producer non-blocking-writes a depth-1 FIFO into a pipelined
+/// consumer (NB read at offset 0, blocking forward write at offset 3,
+/// II = 1) that feeds a blocking sink. The consumer's retroactively
+/// committed reads freed buffer space *earlier* than the reference's wall
+/// clock observed, so NB writes evaluated against incomplete channel state
+/// dropped tokens that real hardware accepts — wrong outputs on a Type C
+/// design. The fix evaluates NB outcomes three-valued (with §7.1 forced
+/// resolution), mirroring the engine's query pool.
+///
+/// Shrunk from `GenConfig::type_c()` seed 5:
+/// `Blueprint { tokens: 3, tasks: [minimal, minimal + work 3, minimal],
+///   edges: [0 -> 1 depth 1 NbDrop{ignored}, 1 -> 2 depth 1 Blocking] }`.
+pub fn nb_undecided_race(n: i64) -> Design {
+    let mut d = DesignBuilder::new("fuzz_nb_undecided_race");
+    let out0 = d.output("t0_acc");
+    let out1 = d.output("t1_acc");
+    let out2 = d.output("t2_acc");
+    let lossy = d.fifo("e0_0to1", 1);
+    let fwd = d.fifo("e1_1to2", 1);
+    let producer = accumulating_producer(&mut d, "t0", out0, lossy, true, n);
+    let middle = d.function("t1", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let (v, ok) = b.fifo_nb_read(lossy);
+            b.assign(
+                acc,
+                Expr::var(acc)
+                    .add(i.clone())
+                    .add(Expr::var(ok).select(Expr::var(v), Expr::imm(0))),
+            );
+            b.step(3);
+            b.fifo_write(fwd, Expr::var(acc).add(i).add(Expr::imm(1)));
+        });
+        m.exit(|b| {
+            b.output(out1, Expr::var(acc));
+        });
+    });
+    let sink = d.function("t2", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.fifo_read(fwd);
+            b.assign(acc, Expr::var(acc).add(i).add(Expr::var(v)));
+        });
+        m.exit(|b| {
+            b.output(out2, Expr::var(acc));
+        });
+    });
+    d.dataflow_top("top", [producer, middle, sink]);
+    d.build().expect("fixture is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_ir::taxonomy::classify;
+    use omnisim_ir::DesignClass;
+
+    #[test]
+    fn fixtures_build_and_classify() {
+        assert_eq!(
+            classify(&pipelined_reader_overlap(2)).class,
+            DesignClass::TypeA
+        );
+        assert_eq!(classify(&nb_undecided_race(3)).class, DesignClass::TypeC);
+        assert_eq!(classify(&depth_relaxation(2)).class, DesignClass::TypeA);
+    }
+
+    #[test]
+    fn overlap_fixture_has_a_genuinely_pipelined_consumer() {
+        let design = pipelined_reader_overlap(2);
+        let consumer = design.module(design.module_by_name("t1").unwrap());
+        let pipelined = consumer
+            .blocks
+            .iter()
+            .any(|b| b.schedule.ii.is_some() && b.schedule.latency > 1);
+        assert!(pipelined, "the loop body must overlap iterations");
+    }
+}

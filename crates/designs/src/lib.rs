@@ -9,7 +9,10 @@
 //! * [`typea_suite`] — a Type A suite mirroring the LightningSimV2 benchmark
 //!   set of Table 5 (Vitis HLS basic examples, Kastner et al. kernels,
 //!   FlowGNN-style and SkyNet-scale dataflow graphs),
-//! * workload generators used by the benches and examples.
+//! * workload generators used by the benches and examples,
+//! * [`fuzz`] — minimized regression designs found by the cross-backend
+//!   differential fuzzer (`omnisim-gen`), committed so the scenario corpus
+//!   only ever grows.
 //!
 //! Every design is returned as a [`BenchDesign`] carrying the design itself,
 //! its hand-assigned taxonomy class (as in Table 4), a short description and
@@ -24,6 +27,7 @@
 
 pub mod fig2;
 pub mod fig4;
+pub mod fuzz;
 pub mod misc;
 pub mod typea;
 

@@ -1,0 +1,632 @@
+//! The shrinkable intermediate form of a generated design.
+//!
+//! The generator does not emit `omnisim-ir` directly: it first builds a
+//! [`Blueprint`] — a compact, structural description of a dataflow design
+//! (worker tasks plus typed edges) — and *lowers* it deterministically to a
+//! validated [`Design`]. Everything downstream benefits:
+//!
+//! * **shrinking** operates on the blueprint (drop a task, drop an edge,
+//!   halve the token count, simplify an access kind) and re-lowers, so every
+//!   shrink candidate is well-formed by construction;
+//! * **reproduction** is trivial: a failing case is its blueprint, which is
+//!   tiny, printable and committable as a regression fixture;
+//! * **taxonomy targeting** is compositional: each [`EdgeKind`] maps onto a
+//!   known row of the paper's Type A/B/C taxonomy.
+//!
+//! ## The task protocol
+//!
+//! Every pipeline edge carries exactly [`Blueprint::tokens`] values. Each
+//! worker task loops `tokens` times; one iteration reads one value from
+//! every forward in-edge, folds the values into an accumulator, then writes
+//! one value to every out-edge. Response edges ([`EdgeKind::Response`]) are
+//! read at the *end* of an iteration — after the requests have been written
+//! — which closes request/response cycles without deadlocking (the
+//! controller always leads). Setting the `deadlock` flag moves that read
+//! *before* the writes, producing a guaranteed design-level deadlock that
+//! both cycle-accurate backends must diagnose identically.
+
+use crate::rng::Rng;
+use omnisim_ir::builder::{BlockBuilder, DesignBuilder};
+use omnisim_ir::{ArrayId, Design, Expr, FifoId, OutputId};
+
+/// How a dataflow edge accesses its FIFO.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeKind {
+    /// Blocking write, blocking read: one token per iteration on both sides
+    /// (Type A behaviour).
+    Blocking,
+    /// The producer is a dedicated source task that retries a non-blocking
+    /// write until it succeeds (Fig. 4 Ex. 2). The value sequence does not
+    /// depend on the outcomes, so this is a Type B feature. The consumer
+    /// side reads blocking.
+    NbRetry,
+    /// Lossy non-blocking edge: the producer drops the token when the FIFO
+    /// is full, the consumer folds only successfully read values. Outcomes
+    /// are observable (Fig. 4 Ex. 4), so this is a Type C feature.
+    NbDrop {
+        /// True: the producer counts its drops (Ex. 4b) and reports them as
+        /// an output; false: the success flag is ignored entirely (Ex. 4a).
+        counted: bool,
+    },
+    /// A response edge closing a request/response cycle over an existing
+    /// forward edge (Fig. 4 Ex. 3): the controller (`dst`) reads it at the
+    /// end of each iteration, after writing its requests. Cyclic dataflow is
+    /// a Type B feature.
+    Response {
+        /// True: the controller reads the response *before* writing the
+        /// request, deadlocking the cycle on purpose.
+        deadlock: bool,
+    },
+}
+
+impl EdgeKind {
+    /// Structural weight used by the shrinker: simpler kinds weigh less.
+    pub(crate) fn weight(self) -> u64 {
+        match self {
+            EdgeKind::Blocking => 0,
+            EdgeKind::Response { deadlock: false } => 1,
+            EdgeKind::Response { deadlock: true } | EdgeKind::NbRetry => 2,
+            EdgeKind::NbDrop { counted: false } => 2,
+            EdgeKind::NbDrop { counted: true } => 3,
+        }
+    }
+
+    /// True for the non-blocking kinds.
+    pub fn is_nonblocking(self) -> bool {
+        matches!(self, EdgeKind::NbRetry | EdgeKind::NbDrop { .. })
+    }
+}
+
+/// One FIFO-backed dataflow edge between two tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EdgePlan {
+    /// Producer task index.
+    pub src: usize,
+    /// Consumer task index.
+    pub dst: usize,
+    /// FIFO depth (≥ 1).
+    pub depth: usize,
+    /// Access style.
+    pub kind: EdgeKind,
+}
+
+/// One worker task of the generated design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskPlan {
+    /// Loop initiation interval (1..=3 in generated designs).
+    pub ii: u64,
+    /// Extra schedule cycles between the reads and the writes of one
+    /// iteration (models computation latency).
+    pub work: u64,
+    /// Accumulator start value.
+    pub start: i64,
+    /// Mixing coefficient applied to read values and the induction variable.
+    pub coef: i64,
+    /// True: `while`-style loop with a data-dependent exit; false: counted
+    /// `for` loop.
+    pub dynamic_loop: bool,
+    /// True: a source task streams values from a pre-initialised input array
+    /// instead of computing them from the induction variable.
+    pub array_source: bool,
+    /// True: the task reports its final accumulator as a testbench output.
+    pub emits_output: bool,
+}
+
+impl TaskPlan {
+    /// The simplest possible task: counted loop, II = 1, no extra work.
+    pub fn minimal() -> Self {
+        TaskPlan {
+            ii: 1,
+            work: 0,
+            start: 0,
+            coef: 1,
+            dynamic_loop: false,
+            array_source: false,
+            emits_output: true,
+        }
+    }
+
+    pub(crate) fn weight(&self) -> u64 {
+        self.ii
+            + self.work
+            + self.start.unsigned_abs()
+            + self.coef.unsigned_abs()
+            + u64::from(self.dynamic_loop)
+            + u64::from(self.array_source)
+    }
+}
+
+/// A complete structural description of one generated design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Blueprint {
+    /// Design name (carries the generating seed for reproduction).
+    pub name: String,
+    /// Tokens carried by every pipeline edge (loop trip count).
+    pub tokens: i64,
+    /// Worker tasks; retry sources are ordinary entries whose single edge is
+    /// [`EdgeKind::NbRetry`].
+    pub tasks: Vec<TaskPlan>,
+    /// Dataflow edges; each lowers to its own point-to-point FIFO.
+    pub edges: Vec<EdgePlan>,
+}
+
+impl Blueprint {
+    /// Checks the structural invariants the lowering relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn well_formed(&self) -> Result<(), String> {
+        if self.tasks.is_empty() {
+            return Err("blueprint has no tasks".into());
+        }
+        if self.tokens < 1 {
+            return Err(format!("token count {} must be at least 1", self.tokens));
+        }
+        for (i, e) in self.edges.iter().enumerate() {
+            if e.src >= self.tasks.len() || e.dst >= self.tasks.len() {
+                return Err(format!("edge {i} references a missing task"));
+            }
+            if e.src == e.dst {
+                return Err(format!("edge {i} is a self-loop"));
+            }
+            if e.depth == 0 {
+                return Err(format!("edge {i} has zero depth"));
+            }
+            match e.kind {
+                EdgeKind::Blocking | EdgeKind::NbDrop { .. } => {
+                    if e.src > e.dst {
+                        return Err(format!(
+                            "forward edge {i} must flow from a lower to a higher task index"
+                        ));
+                    }
+                }
+                EdgeKind::NbRetry => {
+                    let incident = self
+                        .edges
+                        .iter()
+                        .filter(|o| o.src == e.src || o.dst == e.src)
+                        .count();
+                    if incident != 1 {
+                        return Err(format!(
+                            "retry source of edge {i} must have exactly one incident edge"
+                        ));
+                    }
+                    if self.tasks[e.src].emits_output {
+                        return Err(format!(
+                            "retry source of edge {i} must not emit an output \
+                             (its state is taint-reachable from the NB outcome)"
+                        ));
+                    }
+                }
+                EdgeKind::Response { .. } => {}
+            }
+        }
+        // A forced deadlock starves every downstream consumer; a retry
+        // source feeding such a consumer would spin forever — a livelock
+        // that neither cycle-accurate backend can diagnose as a deadlock
+        // (OmniSim would burn its fuel, the reference its cycle budget).
+        // Keep the two features mutually exclusive.
+        if self.has_forced_deadlock() && self.edges.iter().any(|e| e.kind == EdgeKind::NbRetry) {
+            return Err(
+                "a forced-deadlock response edge cannot coexist with a retry source".into(),
+            );
+        }
+        Ok(())
+    }
+
+    /// Total size metric used by the greedy shrinker; every shrink step
+    /// strictly decreases it, so shrinking terminates.
+    pub fn size(&self) -> u64 {
+        let task_weight: u64 = self.tasks.iter().map(TaskPlan::weight).sum();
+        let edge_weight: u64 = self
+            .edges
+            .iter()
+            .map(|e| e.depth as u64 + e.kind.weight())
+            .sum();
+        self.tasks.len() as u64 * 1_000
+            + self.edges.len() as u64 * 200
+            + self.tokens as u64 * 4
+            + task_weight
+            + edge_weight
+    }
+
+    /// True if the blueprint contains a deliberately deadlocked response
+    /// cycle.
+    pub fn has_forced_deadlock(&self) -> bool {
+        self.edges
+            .iter()
+            .any(|e| e.kind == EdgeKind::Response { deadlock: true })
+    }
+
+    /// Lowers the blueprint to a validated design.
+    ///
+    /// Lowering is deterministic: the same blueprint always produces the
+    /// same design, bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the blueprint is not [well-formed](Blueprint::well_formed);
+    /// the generator and the shrinker only ever construct well-formed
+    /// blueprints.
+    pub fn lower(&self) -> Design {
+        if let Err(e) = self.well_formed() {
+            panic!("cannot lower a malformed blueprint: {e}");
+        }
+        let mut d = DesignBuilder::new(self.name.clone());
+        let n = self.tokens;
+
+        let fifos: Vec<FifoId> = self
+            .edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| d.fifo(format!("e{i}_{}to{}", e.src, e.dst), e.depth))
+            .collect();
+
+        // A task is a retry source iff its single edge is an NbRetry edge it
+        // produces.
+        let retry_out = |t: usize| {
+            self.edges
+                .iter()
+                .position(|e| e.kind == EdgeKind::NbRetry && e.src == t)
+        };
+
+        // Source arrays for array-streaming tasks (deterministic contents).
+        let arrays: Vec<Option<ArrayId>> = (0..self.tasks.len())
+            .map(|t| {
+                let is_source = !self
+                    .edges
+                    .iter()
+                    .any(|e| e.dst == t && !matches!(e.kind, EdgeKind::Response { .. }));
+                (is_source && self.tasks[t].array_source).then(|| {
+                    let init: Vec<i64> =
+                        (0..n).map(|i| (i * 31 + t as i64 * 17 + 5) % 97).collect();
+                    d.array(format!("src{t}"), init)
+                })
+            })
+            .collect();
+
+        let acc_outs: Vec<Option<OutputId>> = (0..self.tasks.len())
+            .map(|t| {
+                (self.tasks[t].emits_output && retry_out(t).is_none())
+                    .then(|| d.output(format!("t{t}_acc")))
+            })
+            .collect();
+        let drop_outs: Vec<Option<OutputId>> = (0..self.tasks.len())
+            .map(|t| {
+                let counts_drops = self
+                    .edges
+                    .iter()
+                    .any(|e| e.src == t && e.kind == (EdgeKind::NbDrop { counted: true }));
+                (counts_drops && self.tasks[t].emits_output)
+                    .then(|| d.output(format!("t{t}_drops")))
+            })
+            .collect();
+
+        let mut children = Vec::with_capacity(self.tasks.len());
+        for t in 0..self.tasks.len() {
+            let module = if let Some(edge_idx) = retry_out(t) {
+                self.lower_retry_task(&mut d, t, edge_idx, fifos[edge_idx], arrays[t])
+            } else {
+                self.lower_worker_task(&mut d, t, &fifos, arrays[t], acc_outs[t], drop_outs[t])
+            };
+            children.push(module);
+        }
+        d.dataflow_top("top", children);
+        d.build()
+            .expect("well-formed blueprints always lower to valid designs")
+    }
+
+    /// Fig. 4 Ex. 2-style source: retry a non-blocking write until it
+    /// succeeds, advancing the token index only on success.
+    fn lower_retry_task(
+        &self,
+        d: &mut DesignBuilder,
+        t: usize,
+        edge_idx: usize,
+        fifo: FifoId,
+        array: Option<ArrayId>,
+    ) -> omnisim_ir::ModuleId {
+        let plan = self.tasks[t];
+        let n = self.tokens;
+        d.function(format!("t{t}_retry"), |m| {
+            let i = m.var("i");
+            m.entry(|b| {
+                b.assign(i, Expr::imm(0));
+            });
+            m.loop_block(plan.ii, |b| {
+                let iv = Expr::var(i);
+                let value = match array {
+                    Some(a) => {
+                        let v = b.array_load(a, iv.clone());
+                        Expr::var(v)
+                    }
+                    None => iv
+                        .clone()
+                        .mul(Expr::imm(plan.coef))
+                        .add(Expr::imm(plan.start + edge_idx as i64 + 1)),
+                };
+                let ok = b.fifo_nb_write(fifo, value);
+                b.assign(i, Expr::var(ok).select(iv.clone().add(Expr::imm(1)), iv));
+                b.exit_loop_if(Expr::var(i).ge(Expr::imm(n)));
+            });
+        })
+    }
+
+    /// An ordinary worker: read every forward in-edge, fold, write every
+    /// out-edge, then collect responses.
+    fn lower_worker_task(
+        &self,
+        d: &mut DesignBuilder,
+        t: usize,
+        fifos: &[FifoId],
+        array: Option<ArrayId>,
+        acc_out: Option<OutputId>,
+        drop_out: Option<OutputId>,
+    ) -> omnisim_ir::ModuleId {
+        let plan = self.tasks[t];
+        let n = self.tokens;
+        let in_fwd: Vec<usize> = (0..self.edges.len())
+            .filter(|&i| {
+                self.edges[i].dst == t && !matches!(self.edges[i].kind, EdgeKind::Response { .. })
+            })
+            .collect();
+        let in_resp: Vec<usize> = (0..self.edges.len())
+            .filter(|&i| {
+                self.edges[i].dst == t && matches!(self.edges[i].kind, EdgeKind::Response { .. })
+            })
+            .collect();
+        let outs: Vec<usize> = (0..self.edges.len())
+            .filter(|&i| self.edges[i].src == t)
+            .collect();
+        let counts_drops = outs
+            .iter()
+            .any(|&i| self.edges[i].kind == EdgeKind::NbDrop { counted: true });
+
+        d.function(format!("t{t}"), |m| {
+            let acc = m.var("acc");
+            let drops = counts_drops.then(|| m.var("drops"));
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(plan.start));
+                if let Some(drops) = drops {
+                    b.assign(drops, Expr::imm(0));
+                }
+            });
+
+            let body = |b: &mut BlockBuilder, iv: Expr| {
+                // 1. Read the forward inputs.
+                let mut terms: Vec<Expr> = Vec::new();
+                for &i in &in_fwd {
+                    let f = fifos[i];
+                    match self.edges[i].kind {
+                        EdgeKind::NbDrop { .. } => {
+                            let (v, ok) = b.fifo_nb_read(f);
+                            // Mask the value so a failed read contributes
+                            // nothing (the dst register's stale content must
+                            // never become observable).
+                            terms.push(Expr::var(ok).select(Expr::var(v), Expr::imm(0)));
+                        }
+                        _ => {
+                            let v = b.fifo_read(f);
+                            terms.push(Expr::var(v).mul(Expr::imm(plan.coef)));
+                        }
+                    }
+                }
+                if in_fwd.is_empty() {
+                    terms.push(match array {
+                        Some(a) => {
+                            let v = b.array_load(a, iv.clone());
+                            Expr::var(v)
+                        }
+                        None => iv.clone().mul(Expr::imm(plan.coef)).add(Expr::imm(1)),
+                    });
+                }
+
+                // 2. Fold into the accumulator.
+                let mut update = Expr::var(acc).add(iv.clone());
+                for term in terms {
+                    update = update.add(term);
+                }
+                b.assign(acc, update);
+                if plan.work > 0 {
+                    b.step(plan.work);
+                }
+
+                // 3a. A deliberately deadlocked controller reads its
+                // response *before* issuing the request.
+                for &i in &in_resp {
+                    if self.edges[i].kind == (EdgeKind::Response { deadlock: true }) {
+                        let r = b.fifo_read(fifos[i]);
+                        b.assign(acc, Expr::var(acc).add(Expr::var(r)));
+                    }
+                }
+
+                // 3b. Write the outputs.
+                for &i in &outs {
+                    let value = Expr::var(acc).add(iv.clone()).add(Expr::imm(i as i64));
+                    match self.edges[i].kind {
+                        EdgeKind::NbDrop { counted: true } => {
+                            let ok = b.fifo_nb_write(fifos[i], value);
+                            let drops = drops.expect("counted drop edge declares the counter");
+                            b.assign(
+                                drops,
+                                Expr::var(ok)
+                                    .select(Expr::var(drops), Expr::var(drops).add(Expr::imm(1))),
+                            );
+                        }
+                        EdgeKind::NbDrop { counted: false } => {
+                            b.fifo_nb_write_ignored(fifos[i], value);
+                        }
+                        _ => {
+                            b.fifo_write(fifos[i], value);
+                        }
+                    }
+                }
+
+                // 4. Collect well-ordered responses (controller leads, so
+                // the cycle stays live).
+                for &i in &in_resp {
+                    if self.edges[i].kind == (EdgeKind::Response { deadlock: false }) {
+                        let r = b.fifo_read(fifos[i]);
+                        b.assign(acc, Expr::var(acc).add(Expr::var(r)));
+                    }
+                }
+            };
+
+            if plan.dynamic_loop {
+                let i = m.var("i");
+                m.seq(|b| {
+                    b.assign(i, Expr::imm(0));
+                });
+                m.loop_block(plan.ii, |b| {
+                    body(b, Expr::var(i));
+                    b.assign(i, Expr::var(i).add(Expr::imm(1)));
+                    b.exit_loop_if(Expr::var(i).ge(Expr::imm(n)));
+                });
+            } else {
+                m.counted_loop("i", n, plan.ii, |b| {
+                    let iv = b.var_expr("i");
+                    body(b, iv);
+                });
+            }
+
+            if acc_out.is_some() || drop_out.is_some() {
+                m.exit(|b| {
+                    if let Some(out) = acc_out {
+                        b.output(out, Expr::var(acc));
+                    }
+                    if let (Some(out), Some(drops)) = (drop_out, drops) {
+                        b.output(out, Expr::var(drops));
+                    }
+                });
+            }
+        })
+    }
+
+    /// A random FIFO-depth vector for this blueprint's edge count, used by
+    /// the DSE consistency checks.
+    pub fn random_depths(&self, rng: &mut Rng, max_depth: usize) -> Vec<usize> {
+        (0..self.edges.len())
+            .map(|_| rng.depth(max_depth))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_ir::taxonomy::classify;
+    use omnisim_ir::DesignClass;
+
+    fn two_task_chain() -> Blueprint {
+        Blueprint {
+            name: "chain".into(),
+            tokens: 4,
+            tasks: vec![TaskPlan::minimal(), TaskPlan::minimal()],
+            edges: vec![EdgePlan {
+                src: 0,
+                dst: 1,
+                depth: 2,
+                kind: EdgeKind::Blocking,
+            }],
+        }
+    }
+
+    #[test]
+    fn blocking_chain_lowers_to_type_a() {
+        let bp = two_task_chain();
+        assert!(bp.well_formed().is_ok());
+        let design = bp.lower();
+        assert_eq!(design.fifos.len(), 1);
+        assert_eq!(design.modules.len(), 3, "two tasks + dataflow top");
+        assert_eq!(classify(&design).class, DesignClass::TypeA);
+    }
+
+    #[test]
+    fn response_edge_makes_type_b() {
+        let mut bp = two_task_chain();
+        bp.edges.push(EdgePlan {
+            src: 1,
+            dst: 0,
+            depth: 1,
+            kind: EdgeKind::Response { deadlock: false },
+        });
+        let design = bp.lower();
+        let report = classify(&design);
+        assert!(report.cyclic_dataflow);
+        assert_eq!(report.class, DesignClass::TypeB);
+    }
+
+    #[test]
+    fn retry_source_makes_type_b() {
+        let mut bp = two_task_chain();
+        bp.tasks.push(TaskPlan {
+            emits_output: false,
+            ..TaskPlan::minimal()
+        });
+        bp.edges.push(EdgePlan {
+            src: 2,
+            dst: 1,
+            depth: 1,
+            kind: EdgeKind::NbRetry,
+        });
+        let design = bp.lower();
+        let report = classify(&design);
+        assert!(report.uses_nonblocking);
+        assert_eq!(report.class, DesignClass::TypeB);
+    }
+
+    #[test]
+    fn lossy_edge_makes_type_c() {
+        let mut bp = two_task_chain();
+        bp.edges[0].kind = EdgeKind::NbDrop { counted: true };
+        let design = bp.lower();
+        assert_eq!(classify(&design).class, DesignClass::TypeC);
+        assert!(design.outputs.iter().any(|o| o.ends_with("_drops")));
+    }
+
+    #[test]
+    fn lowering_is_deterministic() {
+        let bp = two_task_chain();
+        assert_eq!(bp.lower(), bp.lower());
+    }
+
+    #[test]
+    fn malformed_blueprints_are_rejected() {
+        let mut bp = two_task_chain();
+        bp.edges[0].dst = 0;
+        assert!(bp.well_formed().is_err());
+
+        let mut bp = two_task_chain();
+        bp.edges[0].depth = 0;
+        assert!(bp.well_formed().is_err());
+
+        let mut bp = two_task_chain();
+        bp.tokens = 0;
+        assert!(bp.well_formed().is_err());
+
+        let mut bp = two_task_chain();
+        // A backwards Blocking edge breaks the C-sim-friendly forward order.
+        bp.edges[0] = EdgePlan {
+            src: 1,
+            dst: 0,
+            depth: 1,
+            kind: EdgeKind::Blocking,
+        };
+        assert!(bp.well_formed().is_err());
+    }
+
+    #[test]
+    fn size_counts_structure() {
+        let small = two_task_chain();
+        let mut bigger = small.clone();
+        bigger.tasks.push(TaskPlan::minimal());
+        bigger.edges.push(EdgePlan {
+            src: 0,
+            dst: 2,
+            depth: 4,
+            kind: EdgeKind::NbDrop { counted: true },
+        });
+        assert!(bigger.size() > small.size());
+    }
+}

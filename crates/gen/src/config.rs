@@ -1,0 +1,177 @@
+//! Generator configuration: how big, how connected and how adversarial the
+//! random designs are, and which taxonomy class they must land in.
+
+use omnisim_ir::DesignClass;
+
+/// Parameters of the random design generator.
+///
+/// All probabilities are integer percentages (0–100). The per-class
+/// constructors ([`GenConfig::type_a`], [`GenConfig::type_b`],
+/// [`GenConfig::type_c`]) return configurations whose feature mix
+/// *guarantees* the requested class by construction; [`GenConfig::mixed`]
+/// leaves the class unconstrained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenConfig {
+    /// Required taxonomy class, or `None` for an unconstrained mix.
+    pub target: Option<DesignClass>,
+    /// Inclusive range of worker task counts (before retry sources are
+    /// appended).
+    pub tasks: (usize, usize),
+    /// Maximum number of extra dataflow edges beyond the spanning in-edge
+    /// every non-root task receives.
+    pub extra_edges: usize,
+    /// Inclusive range of FIFO depths.
+    pub depth: (usize, usize),
+    /// Inclusive range of the per-edge token count `n` (every pipeline edge
+    /// carries exactly `n` tokens).
+    pub tokens: (i64, i64),
+    /// Probability of closing a request/response cycle over a forward edge
+    /// (creates Type B cyclic dependencies).
+    pub back_edge_percent: u32,
+    /// Probability of adding a dedicated non-blocking retry producer
+    /// (Fig. 4 Ex. 2 style; outcome-invisible, so Type B).
+    pub nb_retry_percent: u32,
+    /// Per-forward-edge probability of converting it to a lossy non-blocking
+    /// edge whose drops are observable (Fig. 4 Ex. 4 style, Type C).
+    pub nb_drop_percent: u32,
+    /// Probability that a task uses a data-dependent `while`-style loop
+    /// bound instead of a counted `for` loop.
+    pub dynamic_loop_percent: u32,
+    /// Probability that a source task streams from a random input array
+    /// instead of computing values from its induction variable.
+    pub array_source_percent: u32,
+    /// Probability that a request/response cycle is deliberately mis-ordered
+    /// into a guaranteed design deadlock (both simulators must agree on the
+    /// diagnosis). Only meaningful where back edges can occur.
+    pub deadlock_percent: u32,
+}
+
+impl GenConfig {
+    /// Baseline knobs shared by every preset.
+    fn base() -> Self {
+        GenConfig {
+            target: None,
+            tasks: (2, 6),
+            extra_edges: 3,
+            depth: (1, 8),
+            tokens: (2, 24),
+            back_edge_percent: 0,
+            nb_retry_percent: 0,
+            nb_drop_percent: 0,
+            dynamic_loop_percent: 30,
+            array_source_percent: 40,
+            deadlock_percent: 0,
+        }
+    }
+
+    /// Blocking-only acyclic pipelines: always Type A.
+    pub fn type_a() -> Self {
+        GenConfig {
+            target: Some(DesignClass::TypeA),
+            ..Self::base()
+        }
+    }
+
+    /// Cyclic request/response pairs and/or outcome-invisible non-blocking
+    /// retry producers: always Type B.
+    pub fn type_b() -> Self {
+        GenConfig {
+            target: Some(DesignClass::TypeB),
+            back_edge_percent: 60,
+            nb_retry_percent: 60,
+            ..Self::base()
+        }
+    }
+
+    /// At least one lossy non-blocking edge with observable drops (plus any
+    /// Type B feature): always Type C.
+    pub fn type_c() -> Self {
+        GenConfig {
+            target: Some(DesignClass::TypeC),
+            back_edge_percent: 30,
+            nb_retry_percent: 20,
+            nb_drop_percent: 50,
+            ..Self::base()
+        }
+    }
+
+    /// Unconstrained mix of every feature; the class falls where it falls.
+    pub fn mixed() -> Self {
+        GenConfig {
+            target: None,
+            back_edge_percent: 25,
+            nb_retry_percent: 20,
+            nb_drop_percent: 25,
+            ..Self::base()
+        }
+    }
+
+    /// The targeting preset for a given class.
+    pub fn for_class(class: DesignClass) -> Self {
+        match class {
+            DesignClass::TypeA => Self::type_a(),
+            DesignClass::TypeB => Self::type_b(),
+            DesignClass::TypeC => Self::type_c(),
+        }
+    }
+
+    /// Returns this configuration with the task-count range replaced.
+    pub fn with_tasks(mut self, min: usize, max: usize) -> Self {
+        self.tasks = (min, max);
+        self
+    }
+
+    /// Returns this configuration with the token-count range replaced.
+    pub fn with_tokens(mut self, min: i64, max: i64) -> Self {
+        self.tokens = (min, max);
+        self
+    }
+
+    /// Returns this configuration with the deadlock probability replaced.
+    pub fn with_deadlocks(mut self, percent: u32) -> Self {
+        self.deadlock_percent = percent;
+        self
+    }
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self::mixed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_target_their_class() {
+        assert_eq!(GenConfig::type_a().target, Some(DesignClass::TypeA));
+        assert_eq!(GenConfig::type_b().target, Some(DesignClass::TypeB));
+        assert_eq!(GenConfig::type_c().target, Some(DesignClass::TypeC));
+        assert_eq!(GenConfig::mixed().target, None);
+        for class in [DesignClass::TypeA, DesignClass::TypeB, DesignClass::TypeC] {
+            assert_eq!(GenConfig::for_class(class).target, Some(class));
+        }
+    }
+
+    #[test]
+    fn type_a_has_no_nonblocking_or_cyclic_features() {
+        let cfg = GenConfig::type_a();
+        assert_eq!(cfg.back_edge_percent, 0);
+        assert_eq!(cfg.nb_retry_percent, 0);
+        assert_eq!(cfg.nb_drop_percent, 0);
+        assert_eq!(cfg.deadlock_percent, 0);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let cfg = GenConfig::type_b()
+            .with_tasks(3, 4)
+            .with_tokens(8, 8)
+            .with_deadlocks(10);
+        assert_eq!(cfg.tasks, (3, 4));
+        assert_eq!(cfg.tokens, (8, 8));
+        assert_eq!(cfg.deadlock_percent, 10);
+    }
+}

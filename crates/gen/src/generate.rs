@@ -1,0 +1,311 @@
+//! The seeded random design generator.
+//!
+//! [`generate`] maps `(GenConfig, seed)` deterministically onto a
+//! well-formed [`Blueprint`] and its lowered [`Design`]. Taxonomy targeting
+//! is compositional — each feature the generator can add corresponds to a
+//! known row of the paper's Type A/B/C taxonomy — so a requested class is
+//! guaranteed by construction and double-checked against `omnisim-ir`'s
+//! classifier before the design is returned.
+
+use crate::blueprint::{Blueprint, EdgeKind, EdgePlan, TaskPlan};
+use crate::config::GenConfig;
+use crate::rng::Rng;
+use omnisim_ir::taxonomy::classify;
+use omnisim_ir::{Design, DesignClass};
+
+/// A generated design together with its provenance.
+#[derive(Debug, Clone)]
+pub struct Generated {
+    /// The seed that produced it.
+    pub seed: u64,
+    /// The class `omnisim-ir`'s classifier assigns to the design.
+    pub class: DesignClass,
+    /// The shrinkable structural form.
+    pub blueprint: Blueprint,
+    /// The lowered, validated design.
+    pub design: Design,
+}
+
+/// Mixing constant decorrelating consecutive seeds (splitmix64 increment).
+const SEED_STRIDE: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Generates one design from a seed.
+///
+/// Deterministic: the same `(config, seed)` pair always returns the same
+/// blueprint and design. When the configuration targets a class, the
+/// returned design is guaranteed to classify as that class.
+///
+/// # Panics
+///
+/// Panics if the configured ranges are empty (`min > max`) or if a targeted
+/// class cannot be hit — the latter would be a generator bug, since every
+/// target is reachable by construction.
+pub fn generate(cfg: &GenConfig, seed: u64) -> Generated {
+    // The construction below guarantees the target class, so the retry loop
+    // is a safety net (and keeps generation total if a future feature breaks
+    // the guarantee in a corner case).
+    for attempt in 0..16u64 {
+        let mut rng = Rng::new(
+            (seed ^ 0x6f6d_6e69_5f67_656e).wrapping_add(attempt.wrapping_mul(SEED_STRIDE)),
+        );
+        let blueprint = build_blueprint(cfg, seed, &mut rng);
+        debug_assert_eq!(blueprint.well_formed(), Ok(()));
+        let design = blueprint.lower();
+        let class = classify(&design).class;
+        if cfg.target.is_none_or(|t| t == class) {
+            return Generated {
+                seed,
+                class,
+                blueprint,
+                design,
+            };
+        }
+    }
+    panic!(
+        "generator bug: no design of class {:?} within 16 attempts for seed {seed}",
+        cfg.target
+    );
+}
+
+fn build_blueprint(cfg: &GenConfig, seed: u64, rng: &mut Rng) -> Blueprint {
+    let tokens = rng.range_i64(cfg.tokens.0, cfg.tokens.1);
+    let min_tasks = match cfg.target {
+        // Type C needs at least one forward edge to make lossy.
+        Some(DesignClass::TypeC) => cfg.tasks.0.max(2),
+        _ => cfg.tasks.0.max(1),
+    };
+    let task_count = rng.range_usize(min_tasks, cfg.tasks.1.max(min_tasks));
+
+    let mut tasks: Vec<TaskPlan> = (0..task_count)
+        .map(|_| TaskPlan {
+            ii: rng.range(1, 4),
+            work: rng.range(0, 4),
+            start: rng.range_i64(0, 9),
+            coef: rng.range_i64(1, 3),
+            dynamic_loop: rng.chance(cfg.dynamic_loop_percent),
+            array_source: rng.chance(cfg.array_source_percent),
+            emits_output: true,
+        })
+        .collect();
+
+    // Spanning forward edges: every non-root task consumes from some earlier
+    // task, then a few extra forward edges for reconvergence.
+    let mut edges: Vec<EdgePlan> = Vec::new();
+    let mut depth = |rng: &mut Rng| rng.range_usize(cfg.depth.0.max(1), cfg.depth.1);
+    for dst in 1..task_count {
+        let src = rng.range_usize(0, dst - 1);
+        let d = depth(rng);
+        edges.push(EdgePlan {
+            src,
+            dst,
+            depth: d,
+            kind: EdgeKind::Blocking,
+        });
+    }
+    if task_count >= 2 && cfg.extra_edges > 0 {
+        for _ in 0..rng.range_usize(0, cfg.extra_edges) {
+            let src = rng.range_usize(0, task_count - 2);
+            let dst = rng.range_usize(src + 1, task_count - 1);
+            let d = depth(rng);
+            edges.push(EdgePlan {
+                src,
+                dst,
+                depth: d,
+                kind: EdgeKind::Blocking,
+            });
+        }
+    }
+    let forward_count = edges.len();
+
+    // --- Type B features -------------------------------------------------
+    // Response edges close request/response cycles over existing forward
+    // edges; their forward partners are protected from the lossy conversion
+    // below so the liveness (or forced-deadlock) analysis stays valid.
+    let mut protected = vec![false; forward_count];
+    let mut has_b_feature = false;
+    if forward_count > 0 && rng.chance(cfg.back_edge_percent) {
+        has_b_feature = true;
+        add_response(cfg, rng, &mut edges, &mut protected, &mut depth);
+        // Occasionally a second, independent cycle.
+        if rng.chance(cfg.back_edge_percent / 2) {
+            add_response(cfg, rng, &mut edges, &mut protected, &mut depth);
+        }
+    }
+    // A forced deadlock must never coexist with a retry source: the retry
+    // producer would spin forever against a FIFO nobody will ever drain — a
+    // livelock neither backend can diagnose as a deadlock (see
+    // `Blueprint::well_formed`).
+    let has_forced_deadlock = edges
+        .iter()
+        .any(|e| e.kind == EdgeKind::Response { deadlock: true });
+    if !has_forced_deadlock && rng.chance(cfg.nb_retry_percent) {
+        has_b_feature = true;
+        add_retry_source(rng, &mut tasks, &mut edges, &mut depth, cfg);
+    }
+    if cfg.target == Some(DesignClass::TypeB) && !has_b_feature {
+        // Deterministic fallback: a retry source is always possible.
+        add_retry_source(rng, &mut tasks, &mut edges, &mut depth, cfg);
+    }
+
+    // --- Type C features -------------------------------------------------
+    let mut has_c_feature = false;
+    if cfg.nb_drop_percent > 0 {
+        for (i, &is_protected) in protected.iter().enumerate() {
+            if !is_protected && rng.chance(cfg.nb_drop_percent) {
+                make_lossy(rng, &mut tasks, &mut edges, i);
+                has_c_feature = true;
+            }
+        }
+    }
+    if cfg.target == Some(DesignClass::TypeC) && !has_c_feature {
+        match (0..forward_count).find(|&i| !protected[i]) {
+            Some(i) => make_lossy(rng, &mut tasks, &mut edges, i),
+            None => {
+                // Every forward edge is a protected response partner: add a
+                // fresh forward edge just to make it lossy.
+                let d = depth(rng);
+                edges.push(EdgePlan {
+                    src: 0,
+                    dst: 1,
+                    depth: d,
+                    kind: EdgeKind::Blocking,
+                });
+                let i = edges.len() - 1;
+                make_lossy(rng, &mut tasks, &mut edges, i);
+            }
+        }
+    }
+
+    Blueprint {
+        name: format!("gen_{seed:016x}"),
+        tokens,
+        tasks,
+        edges,
+    }
+}
+
+/// Closes a request/response cycle over a random forward edge, marking the
+/// partner as protected.
+fn add_response(
+    cfg: &GenConfig,
+    rng: &mut Rng,
+    edges: &mut Vec<EdgePlan>,
+    protected: &mut [bool],
+    depth: &mut impl FnMut(&mut Rng) -> usize,
+) {
+    let partner = rng.range_usize(0, protected.len() - 1);
+    protected[partner] = true;
+    let (src, dst) = (edges[partner].dst, edges[partner].src);
+    let d = depth(rng);
+    edges.push(EdgePlan {
+        src,
+        dst,
+        depth: d,
+        kind: EdgeKind::Response {
+            deadlock: rng.chance(cfg.deadlock_percent),
+        },
+    });
+}
+
+/// Appends a dedicated non-blocking retry source feeding a random existing
+/// task.
+fn add_retry_source(
+    rng: &mut Rng,
+    tasks: &mut Vec<TaskPlan>,
+    edges: &mut Vec<EdgePlan>,
+    depth: &mut impl FnMut(&mut Rng) -> usize,
+    cfg: &GenConfig,
+) {
+    let dst = rng.range_usize(0, tasks.len() - 1);
+    let src = tasks.len();
+    tasks.push(TaskPlan {
+        ii: rng.range(1, 4),
+        work: 0,
+        start: rng.range_i64(0, 9),
+        coef: rng.range_i64(1, 3),
+        dynamic_loop: false,
+        array_source: rng.chance(cfg.array_source_percent),
+        // The retry state is taint-reachable from the NB outcome; keeping it
+        // un-observable is what keeps the design Type B.
+        emits_output: false,
+    });
+    let d = depth(rng);
+    edges.push(EdgePlan {
+        src,
+        dst,
+        depth: d,
+        kind: EdgeKind::NbRetry,
+    });
+}
+
+/// Converts a forward edge into a lossy NB edge and makes its consumer's
+/// accumulator observable, guaranteeing Type C.
+fn make_lossy(rng: &mut Rng, tasks: &mut [TaskPlan], edges: &mut [EdgePlan], i: usize) {
+    edges[i].kind = EdgeKind::NbDrop {
+        counted: rng.chance(50),
+    };
+    tasks[edges[i].dst].emits_output = true;
+    tasks[edges[i].src].emits_output = true;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in 0..32 {
+            let a = generate(&GenConfig::mixed(), seed);
+            let b = generate(&GenConfig::mixed(), seed);
+            assert_eq!(a.blueprint, b.blueprint, "seed {seed}");
+            assert_eq!(a.design, b.design, "seed {seed}");
+            assert_eq!(a.class, b.class, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig::mixed(), 1);
+        let b = generate(&GenConfig::mixed(), 2);
+        assert_ne!(a.blueprint, b.blueprint);
+    }
+
+    #[test]
+    fn class_targeting_holds_across_seeds() {
+        for class in [DesignClass::TypeA, DesignClass::TypeB, DesignClass::TypeC] {
+            let cfg = GenConfig::for_class(class);
+            for seed in 0..64 {
+                let g = generate(&cfg, seed);
+                assert_eq!(g.class, class, "seed {seed} missed target {class:?}");
+                assert_eq!(classify(&g.design).class, class, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn generated_designs_pass_ir_validation() {
+        for seed in 0..48 {
+            let g = generate(&GenConfig::mixed(), seed);
+            assert_eq!(
+                omnisim_ir::validate::validate(&g.design),
+                Ok(()),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn deadlock_knob_produces_forced_deadlocks() {
+        let cfg = GenConfig {
+            back_edge_percent: 100,
+            deadlock_percent: 100,
+            ..GenConfig::mixed()
+        };
+        let mut saw_deadlock = false;
+        for seed in 0..16 {
+            let g = generate(&cfg, seed);
+            saw_deadlock |= g.blueprint.has_forced_deadlock();
+        }
+        assert!(saw_deadlock, "deadlock probability 100% never fired");
+    }
+}

@@ -1,0 +1,370 @@
+//! The cross-backend differential oracle.
+//!
+//! One generated design, every claim the workspace makes about it:
+//!
+//! * **omnisim == rtl, bit for bit** — same outcome kind, same outputs, and
+//!   (for completed runs) the same total cycle count. This is the paper's
+//!   headline claim, checked on an unbounded design population instead of a
+//!   dozen hand-written fixtures.
+//! * **lightning is right on Type A and honest elsewhere** — on Type A it
+//!   must complete with the reference's outputs and cycle count; on Type B/C
+//!   it must reject the design as unsupported (accepting one would silently
+//!   produce wrong numbers, the exact failure mode of the paper's Table 5
+//!   comparison).
+//! * **csim diverges exactly where the paper says it does** — correct on
+//!   Type A, wrong or crashing on most Type B/C designs; the oracle records
+//!   the expected-divergence bookkeeping instead of asserting equality.
+//! * **the DSE tower is self-consistent** — compiled `SweepPlan` answers ==
+//!   uncompiled `try_with_depths` answers on random depth vectors, and
+//!   certified answers == a full re-simulation of the resized design.
+//!
+//! [`differential_check`] returns a [`DiffReport`]; an empty
+//! [`DiffReport::failures`] means every claim held.
+
+use crate::rng::Rng;
+use omnisim::{IncrementalOutcome, OmniSimulator, SimConfig};
+use omnisim_api::Simulator;
+use omnisim_csim::CsimBackend;
+use omnisim_dse::SweepPlan;
+use omnisim_ir::taxonomy::classify;
+use omnisim_ir::{Design, DesignClass};
+use omnisim_lightning::{LightningError, LightningSimulator};
+use omnisim_rtlsim::{RtlConfig, RtlOutcome, RtlSimulator};
+
+/// Knobs of the differential check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiffConfig {
+    /// Random FIFO-depth vectors evaluated per design by the DSE
+    /// consistency check.
+    pub dse_points: usize,
+    /// Maximum depth of those vectors.
+    pub dse_max_depth: usize,
+    /// Verify certified DSE answers against a full re-simulation.
+    pub dse_resim: bool,
+    /// Cycle budget for the cycle-stepped reference (a generated design
+    /// exceeding it counts as a hang, which is itself a failure).
+    pub rtl_max_cycles: u64,
+    /// Per-thread operation budget for the OmniSim engine — a backstop so a
+    /// runaway generated design aborts with an error instead of hanging the
+    /// fuzzer.
+    pub omni_fuel: u64,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        DiffConfig {
+            dse_points: 3,
+            dse_max_depth: 16,
+            dse_resim: true,
+            rtl_max_cycles: 500_000,
+            omni_fuel: 10_000_000,
+        }
+    }
+}
+
+/// How naive C simulation fared against the reference, for the
+/// expected-divergence bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsimAgreement {
+    /// Completed with exactly the reference's outputs.
+    Agreed,
+    /// Completed with different outputs (wrong drop counts, zero-cycle
+    /// timers, …).
+    Diverged,
+    /// Crashed (the paper's `SIGSEGV` rows).
+    Crashed,
+}
+
+/// The outcome of one differential check.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Taxonomy class of the checked design.
+    pub class: DesignClass,
+    /// True if both cycle-accurate backends completed the run (as opposed
+    /// to agreeing on a deadlock).
+    pub completed: bool,
+    /// Agreed total cycle count, when completed.
+    pub total_cycles: Option<u64>,
+    /// C-simulation bookkeeping (`None` when the check aborted before csim
+    /// ran).
+    pub csim: Option<CsimAgreement>,
+    /// Number of DSE depth vectors checked.
+    pub dse_points_checked: usize,
+    /// Every violated claim, human-readable. Empty means the design passed.
+    pub failures: Vec<String>,
+}
+
+impl DiffReport {
+    /// True if every differential claim held.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Salt mixed into a fuzz seed to derive the DSE depth-vector generator, so
+/// that a failing seed reproduces bit-identically in the test harness, the
+/// `fuzz` CLI and CI.
+pub const DSE_RNG_SALT: u64 = 0x0d5e_5eed_f022_ce00;
+
+/// Generates the design for `seed` and differential-checks it, deriving the
+/// DSE depth vectors deterministically from the same seed.
+pub fn fuzz_seed(
+    gen_cfg: &crate::config::GenConfig,
+    diff: &DiffConfig,
+    seed: u64,
+) -> (crate::generate::Generated, DiffReport) {
+    let generated = crate::generate::generate(gen_cfg, seed);
+    let report = check_seeded(&generated.design, diff, seed);
+    (generated, report)
+}
+
+/// Differential-checks one design with the deterministic DSE vectors for
+/// `seed` — the reproduction (and shrinking) entry point behind
+/// [`fuzz_seed`].
+pub fn check_seeded(design: &Design, diff: &DiffConfig, seed: u64) -> DiffReport {
+    differential_check(design, diff, &mut Rng::new(seed ^ DSE_RNG_SALT))
+}
+
+/// Runs every backend on `design` and cross-checks the results.
+///
+/// The `rng` drives only the DSE depth vectors; pass a freshly seeded
+/// generator for reproducible checks.
+pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> DiffReport {
+    let class = classify(design).class;
+    let mut failures = Vec::new();
+
+    // --- omnisim vs the cycle-stepped reference --------------------------
+    let omni_config = SimConfig::default().with_fuel(cfg.omni_fuel);
+    let omni = match OmniSimulator::with_config(design, omni_config).run() {
+        Ok(report) => report,
+        Err(e) => {
+            return DiffReport {
+                class,
+                completed: false,
+                total_cycles: None,
+                csim: None,
+                dse_points_checked: 0,
+                failures: vec![format!("omnisim failed to run: {e}")],
+            };
+        }
+    };
+    let rtl = match RtlSimulator::with_config(
+        design,
+        RtlConfig {
+            max_cycles: cfg.rtl_max_cycles,
+        },
+    )
+    .run()
+    {
+        Ok(report) => report,
+        Err(e) => {
+            return DiffReport {
+                class,
+                completed: false,
+                total_cycles: None,
+                csim: None,
+                dse_points_checked: 0,
+                failures: vec![format!("reference simulator failed to run: {e}")],
+            };
+        }
+    };
+
+    if let RtlOutcome::CycleLimit { limit } = rtl.outcome {
+        failures.push(format!(
+            "reference hit its {limit}-cycle budget: generated design does not terminate"
+        ));
+    }
+    match (omni.outcome.is_completed(), rtl.outcome.is_completed()) {
+        (true, true) | (false, false) => {}
+        (o, _) => failures.push(format!(
+            "outcome mismatch: omnisim {} but reference {:?}",
+            if o { "completed" } else { "deadlocked" },
+            rtl.outcome
+        )),
+    }
+    let completed = omni.outcome.is_completed() && rtl.outcome.is_completed();
+    // Outputs are compared only for completed runs: on a deadlock, OmniSim's
+    // optimistic functional threads (blocking writes never pause, §7.1) may
+    // have run tasks to completion that real hardware leaves stalled, so the
+    // partial output sets are incomparable by design.
+    if completed && omni.outputs != rtl.outputs {
+        failures.push(format!(
+            "output mismatch: omnisim {:?} vs reference {:?}",
+            omni.outputs, rtl.outputs
+        ));
+    }
+    if completed && omni.total_cycles != rtl.total_cycles {
+        failures.push(format!(
+            "cycle mismatch: omnisim {} vs reference {}",
+            omni.total_cycles, rtl.total_cycles
+        ));
+    }
+
+    // --- lightning: correct on Type A, honest rejection on B/C -----------
+    match class {
+        DesignClass::TypeA => {
+            match LightningSimulator::new(design).and_then(|mut s| s.simulate()) {
+                Ok(light) => {
+                    if light.outputs != rtl.outputs {
+                        failures.push(format!(
+                            "lightning output mismatch on Type A: {:?} vs {:?}",
+                            light.outputs, rtl.outputs
+                        ));
+                    }
+                    if completed && light.total_cycles != rtl.total_cycles {
+                        failures.push(format!(
+                            "lightning cycle mismatch on Type A: {} vs {}",
+                            light.total_cycles, rtl.total_cycles
+                        ));
+                    }
+                }
+                Err(e) => failures.push(format!("lightning failed on a Type A design: {e}")),
+            }
+        }
+        DesignClass::TypeB | DesignClass::TypeC => {
+            match LightningSimulator::new(design).and_then(|mut s| s.simulate()) {
+                Ok(_) => failures.push(format!(
+                    "lightning accepted a Type {class} design instead of rejecting it"
+                )),
+                Err(LightningError::Unsupported { .. }) => {}
+                Err(e) => failures.push(format!(
+                    "lightning rejected a Type {class} design with the wrong error: {e}"
+                )),
+            }
+        }
+    }
+
+    // --- csim bookkeeping -------------------------------------------------
+    let csim = match CsimBackend::default().simulate(design) {
+        Ok(report) if report.outcome.is_crashed() => Some(CsimAgreement::Crashed),
+        Ok(report) if report.outcome.is_completed() && report.outputs == rtl.outputs => {
+            Some(CsimAgreement::Agreed)
+        }
+        Ok(_) => Some(CsimAgreement::Diverged),
+        Err(e) => {
+            failures.push(format!("csim refused to run: {e}"));
+            None
+        }
+    };
+    if class == DesignClass::TypeA && csim != Some(CsimAgreement::Agreed) {
+        failures.push(format!(
+            "csim must reproduce Type A behaviour exactly, got {csim:?}"
+        ));
+    }
+
+    // --- compiled DSE == incremental == full re-simulation ---------------
+    let mut dse_points_checked = 0;
+    if !design.fifos.is_empty() && cfg.dse_points > 0 {
+        match SweepPlan::compile(&omni.incremental) {
+            Ok(plan) => {
+                let mut evaluator = plan.evaluator();
+                for _ in 0..cfg.dse_points {
+                    let depths: Vec<usize> = (0..design.fifos.len())
+                        .map(|_| rng.depth(cfg.dse_max_depth))
+                        .collect();
+                    let compiled = match evaluator.evaluate(&depths) {
+                        Ok(o) => o,
+                        Err(e) => {
+                            failures.push(format!("plan evaluation failed at {depths:?}: {e}"));
+                            continue;
+                        }
+                    };
+                    let incremental = match omni.incremental.try_with_depths(&depths) {
+                        Ok(o) => o,
+                        Err(e) => {
+                            failures.push(format!("incremental pass failed at {depths:?}: {e}"));
+                            continue;
+                        }
+                    };
+                    dse_points_checked += 1;
+                    if compiled != incremental {
+                        failures.push(format!(
+                            "compiled DSE disagrees with try_with_depths at {depths:?}: \
+                             {compiled:?} vs {incremental:?}"
+                        ));
+                        continue;
+                    }
+                    if cfg.dse_resim && completed {
+                        if let IncrementalOutcome::Valid { total_cycles } = compiled {
+                            match OmniSimulator::with_config(
+                                &design.with_fifo_depths(&depths),
+                                omni_config,
+                            )
+                            .run()
+                            {
+                                Ok(full) if full.total_cycles == total_cycles => {}
+                                Ok(full) => failures.push(format!(
+                                    "certified DSE answer {total_cycles} diverges from full \
+                                     re-simulation {} at {depths:?}",
+                                    full.total_cycles
+                                )),
+                                Err(e) => failures
+                                    .push(format!("full re-simulation failed at {depths:?}: {e}")),
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) => failures.push(format!("sweep plan failed to compile: {e}")),
+        }
+    }
+
+    DiffReport {
+        class,
+        completed,
+        total_cycles: completed.then_some(omni.total_cycles),
+        csim,
+        dse_points_checked,
+        failures,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenConfig;
+    use crate::generate::generate;
+
+    #[test]
+    fn every_class_passes_on_a_small_seed_window() {
+        let diff = DiffConfig::default();
+        for class in [DesignClass::TypeA, DesignClass::TypeB, DesignClass::TypeC] {
+            let cfg = GenConfig::for_class(class);
+            for seed in 0..8 {
+                let g = generate(&cfg, seed);
+                let mut rng = Rng::new(seed ^ 0xdeed);
+                let report = differential_check(&g.design, &diff, &mut rng);
+                assert_eq!(report.class, class);
+                assert!(
+                    report.passed(),
+                    "class {class:?} seed {seed} failed:\n  {}\nblueprint: {:#?}",
+                    report.failures.join("\n  "),
+                    g.blueprint
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forced_deadlocks_are_diagnosed_identically() {
+        let cfg = GenConfig::type_b().with_tasks(2, 4).with_deadlocks(100);
+        let diff = DiffConfig::default();
+        let mut saw_deadlock = false;
+        for seed in 0..12 {
+            let g = generate(&cfg, seed);
+            if !g.blueprint.has_forced_deadlock() {
+                continue;
+            }
+            saw_deadlock = true;
+            let mut rng = Rng::new(seed);
+            let report = differential_check(&g.design, &diff, &mut rng);
+            assert!(
+                report.passed(),
+                "seed {seed} failed:\n  {}",
+                report.failures.join("\n  ")
+            );
+            assert!(!report.completed, "forced deadlock must not complete");
+        }
+        assert!(saw_deadlock, "no forced deadlock in 12 seeds at 100%");
+    }
+}

@@ -1,0 +1,124 @@
+//! The workspace's seeded PRNG.
+//!
+//! The build container has no access to external crates, so instead of
+//! `rand` every randomized harness in the workspace — the integration tests,
+//! the design generator, the differential fuzzer — shares this deterministic
+//! xorshift64* generator. Same seed, same sequence, forever: a failing fuzz
+//! seed reproduces bit-identically on any machine.
+
+/// Deterministic xorshift64* PRNG so randomized tests are reproducible.
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// Creates a generator from a non-zero-coerced seed.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed.max(1))
+    }
+
+    /// Next raw 64-bit value.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.next() % (hi - lo)
+    }
+
+    /// Uniform `usize` in the inclusive range `lo..=hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range(lo as u64, hi as u64 + 1) as usize
+    }
+
+    /// Uniform `i64` in the inclusive range `lo..=hi` (non-negative bounds).
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        self.range(lo as u64, hi as u64 + 1) as i64
+    }
+
+    /// Uniform FIFO depth in `1..=max`.
+    pub fn depth(&mut self, max: usize) -> usize {
+        1 + (self.next() as usize) % max
+    }
+
+    /// True with probability `percent / 100` (values above 100 are always
+    /// true).
+    pub fn chance(&mut self, percent: u32) -> bool {
+        self.range(0, 100) < u64::from(percent)
+    }
+
+    /// Picks a uniformly random element of a non-empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.range(0, items.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next(), b.next());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_coerced() {
+        let mut z = Rng::new(0);
+        let mut one = Rng::new(1);
+        assert_eq!(z.next(), one.next());
+    }
+
+    #[test]
+    fn range_respects_bounds() {
+        let mut rng = Rng::new(7);
+        for _ in 0..256 {
+            let v = rng.range(3, 9);
+            assert!((3..9).contains(&v));
+            let d = rng.depth(5);
+            assert!((1..=5).contains(&d));
+            let u = rng.range_usize(2, 2);
+            assert_eq!(u, 2);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::new(11);
+        for _ in 0..64 {
+            assert!(!rng.chance(0));
+            assert!(rng.chance(100));
+        }
+    }
+
+    #[test]
+    fn pick_covers_the_slice() {
+        let mut rng = Rng::new(13);
+        let items = [1, 2, 3];
+        let mut seen = [false; 3];
+        for _ in 0..64 {
+            seen[*rng.pick(&items) as usize - 1] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Greedy test-case shrinking over [`Blueprint`]s.
+//!
+//! Given a failing blueprint and a predicate that reproduces the failure,
+//! [`shrink`] repeatedly tries structural simplifications — drop a task,
+//! drop an edge, reduce the token count, flatten depths, downgrade access
+//! kinds, strip scheduling noise — keeping a candidate only when the
+//! predicate still holds on it. Every accepted candidate strictly decreases
+//! [`Blueprint::size`], so shrinking always terminates, and because the
+//! predicate is re-evaluated on the *lowered design* of every candidate, the
+//! result is sound by construction: the minimized blueprint still fails.
+
+use crate::blueprint::{Blueprint, EdgeKind};
+
+/// Minimizes `blueprint` while `interesting` keeps returning true.
+///
+/// `interesting` receives candidate blueprints (all well-formed) and must
+/// return true when the candidate still reproduces the failure being
+/// investigated. The input blueprint itself must be interesting; if it is
+/// not, it is returned unchanged.
+pub fn shrink(blueprint: &Blueprint, mut interesting: impl FnMut(&Blueprint) -> bool) -> Blueprint {
+    if !interesting(blueprint) {
+        return blueprint.clone();
+    }
+    let mut current = blueprint.clone();
+    // `size` strictly decreases on every accepted step, so the loop is
+    // bounded by the initial size; the explicit cap is belt and braces.
+    for _round in 0..100_000 {
+        let before = current.size();
+        let next = candidates(&current).into_iter().find(|c| {
+            debug_assert_eq!(c.well_formed(), Ok(()));
+            debug_assert!(c.size() < before, "shrink candidates must shrink");
+            interesting(c)
+        });
+        match next {
+            Some(c) => current = c,
+            None => break,
+        }
+    }
+    current
+}
+
+/// Every one-step simplification of `blueprint`, smallest-impact candidates
+/// last so the greedy search takes big structural steps first.
+fn candidates(bp: &Blueprint) -> Vec<Blueprint> {
+    let mut out = Vec::new();
+
+    // 1. Drop a task (and every edge touching it).
+    if bp.tasks.len() > 1 {
+        for t in 0..bp.tasks.len() {
+            let mut c = bp.clone();
+            c.tasks.remove(t);
+            c.edges.retain(|e| e.src != t && e.dst != t);
+            for e in &mut c.edges {
+                if e.src > t {
+                    e.src -= 1;
+                }
+                if e.dst > t {
+                    e.dst -= 1;
+                }
+            }
+            out.push(c);
+        }
+    }
+
+    // 2. Drop an edge.
+    for i in 0..bp.edges.len() {
+        let mut c = bp.clone();
+        c.edges.remove(i);
+        out.push(c);
+    }
+
+    // 3. Reduce the token count.
+    if bp.tokens > 1 {
+        let mut one = bp.clone();
+        one.tokens = 1;
+        out.push(one);
+        if bp.tokens > 2 {
+            let mut half = bp.clone();
+            half.tokens = bp.tokens / 2;
+            out.push(half);
+        }
+        let mut minus = bp.clone();
+        minus.tokens = bp.tokens - 1;
+        out.push(minus);
+    }
+
+    // 4. Downgrade an edge kind (strictly lighter kinds only).
+    for i in 0..bp.edges.len() {
+        let kind = bp.edges[i].kind;
+        let mut downgrades: Vec<EdgeKind> = Vec::new();
+        match kind {
+            EdgeKind::NbDrop { counted: true } => {
+                downgrades.push(EdgeKind::NbDrop { counted: false });
+                downgrades.push(EdgeKind::Blocking);
+            }
+            EdgeKind::NbDrop { counted: false } => downgrades.push(EdgeKind::Blocking),
+            EdgeKind::Response { deadlock: true } => {
+                downgrades.push(EdgeKind::Response { deadlock: false })
+            }
+            // NbRetry sources sit *after* their consumer in declaration
+            // order, so the edge cannot become a forward Blocking edge;
+            // dropping it (step 2) is the only simplification.
+            EdgeKind::NbRetry | EdgeKind::Response { deadlock: false } | EdgeKind::Blocking => {}
+        }
+        for kind in downgrades {
+            let mut c = bp.clone();
+            c.edges[i].kind = kind;
+            out.push(c);
+        }
+    }
+
+    // 5. Flatten a FIFO depth.
+    for i in 0..bp.edges.len() {
+        if bp.edges[i].depth > 1 {
+            let mut c = bp.clone();
+            c.edges[i].depth = 1;
+            out.push(c);
+        }
+    }
+
+    // 6. Strip per-task scheduling and data noise.
+    for t in 0..bp.tasks.len() {
+        let plan = bp.tasks[t];
+        let mut simplify = |f: fn(&mut crate::blueprint::TaskPlan)| {
+            let mut c = bp.clone();
+            f(&mut c.tasks[t]);
+            out.push(c);
+        };
+        if plan.dynamic_loop {
+            simplify(|p| p.dynamic_loop = false);
+        }
+        if plan.array_source {
+            simplify(|p| p.array_source = false);
+        }
+        if plan.ii > 1 {
+            simplify(|p| p.ii = 1);
+        }
+        if plan.work > 0 {
+            simplify(|p| p.work = 0);
+        }
+        if plan.start != 0 {
+            simplify(|p| p.start = 0);
+        }
+        if plan.coef > 1 {
+            simplify(|p| p.coef = 1);
+        }
+    }
+
+    out.retain(|c| c.well_formed().is_ok());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GenConfig;
+    use crate::generate::generate;
+    use omnisim_ir::taxonomy::classify;
+    use omnisim_ir::DesignClass;
+
+    #[test]
+    fn shrinks_to_a_minimal_type_c_witness() {
+        let g = generate(&GenConfig::type_c().with_tasks(4, 6), 7);
+        // "Interesting" = the design still classifies as Type C.
+        let minimal = shrink(&g.blueprint, |bp| {
+            classify(&bp.lower()).class == DesignClass::TypeC
+        });
+        // Soundness: the shrunk blueprint still satisfies the predicate.
+        assert_eq!(classify(&minimal.lower()).class, DesignClass::TypeC);
+        // Minimality: nothing bigger than the smallest lossy witness
+        // survives: one producer, one consumer, one token, one NB edge.
+        assert!(minimal.size() <= g.blueprint.size());
+        assert_eq!(minimal.tasks.len(), 2);
+        assert_eq!(minimal.edges.len(), 1);
+        assert_eq!(minimal.tokens, 1);
+        assert!(minimal.edges[0].kind.is_nonblocking());
+    }
+
+    #[test]
+    fn uninteresting_input_is_returned_unchanged() {
+        let g = generate(&GenConfig::type_a(), 3);
+        let same = shrink(&g.blueprint, |_| false);
+        assert_eq!(same, g.blueprint);
+    }
+
+    #[test]
+    fn every_candidate_is_well_formed_and_smaller() {
+        for seed in 0..24 {
+            let g = generate(&GenConfig::mixed(), seed);
+            for c in candidates(&g.blueprint) {
+                assert_eq!(c.well_formed(), Ok(()), "seed {seed}");
+                assert!(c.size() < g.blueprint.size(), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn shrinking_preserves_a_failing_cycle_structure() {
+        let cfg = GenConfig {
+            back_edge_percent: 100,
+            ..GenConfig::type_b()
+        };
+        let g = generate(&cfg, 11);
+        let minimal = shrink(&g.blueprint, |bp| classify(&bp.lower()).cyclic_dataflow);
+        assert!(classify(&minimal.lower()).cyclic_dataflow);
+        // A cycle needs two tasks and two edges; the shrinker must reach
+        // exactly that skeleton.
+        assert_eq!(minimal.tasks.len(), 2);
+        assert_eq!(minimal.edges.len(), 2);
+    }
+}

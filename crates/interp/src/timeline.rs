@@ -79,6 +79,18 @@ impl Timeline {
         self.entry
     }
 
+    /// Lower bound on the entry cycle of any *future* block instance: the
+    /// next instance starts no earlier than `entry + delay + interval`
+    /// (pipelined back edges re-enter after the initiation interval; every
+    /// other transition advances by the full latency, which is at least the
+    /// interval). Because stalls only ever push entries later, no operation
+    /// of a future block instance can be scheduled before this cycle — the
+    /// thread's forward-progress *frontier* used by the engines' forced
+    /// query resolution.
+    pub fn next_entry_floor(&self) -> u64 {
+        self.entry + self.delay + self.interval
+    }
+
     /// Total stall accumulated within the current block.
     pub fn accumulated_delay(&self) -> u64 {
         self.delay
@@ -145,6 +157,12 @@ impl ModuleClock {
     /// See [`Timeline::block_entry`].
     pub fn block_entry(&self) -> u64 {
         self.current.block_entry()
+    }
+
+    /// See [`Timeline::next_entry_floor`] (of the currently executing
+    /// module's timeline).
+    pub fn next_entry_floor(&self) -> u64 {
+        self.current.next_entry_floor()
     }
 
     /// Begins a call whose call operation is scheduled at `offset` in the

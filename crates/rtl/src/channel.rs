@@ -71,6 +71,25 @@ impl FifoChannel {
         self.write_cycles.get(r - 1).is_some_and(|&wc| wc < cycle)
     }
 
+    /// Earliest cycle at which the next read could commit, given the writes
+    /// recorded so far, or `None` if the matching write is not recorded yet.
+    pub fn next_read_ready(&self) -> Option<u64> {
+        let r = self.read_cycles.len();
+        self.write_cycles.get(r).map(|&wc| wc + 1)
+    }
+
+    /// Earliest cycle at which the next write could commit, given the reads
+    /// recorded so far: `Some(0)` while buffer slack remains, the freeing
+    /// read's cycle + 1 once the buffer is at capacity, or `None` if that
+    /// read is not recorded yet.
+    pub fn next_write_ready(&self) -> Option<u64> {
+        let w = self.write_cycles.len() + 1;
+        if w <= self.depth {
+            return Some(0);
+        }
+        self.read_cycles.get(w - self.depth - 1).map(|&rc| rc + 1)
+    }
+
     /// `empty()` as observed by hardware at cycle `cycle`.
     pub fn is_empty_at(&self, cycle: u64) -> bool {
         !self.can_read(cycle)
@@ -81,14 +100,57 @@ impl FifoChannel {
         !self.can_write(cycle)
     }
 
+    /// Three-valued [`FifoChannel::can_read`] for evaluation at a possibly
+    /// retroactive cycle: `None` while the matching write is unrecorded but
+    /// could still be labelled before `cycle` (commit cycles per side are
+    /// nondecreasing, so once the last recorded write is at or past `cycle`
+    /// the answer is a definite no).
+    pub fn can_read_decided(&self, cycle: u64) -> Option<bool> {
+        let r = self.read_cycles.len();
+        match self.write_cycles.get(r) {
+            Some(&wc) => Some(wc < cycle),
+            None => match self.write_cycles.last() {
+                Some(&last) if last >= cycle => Some(false),
+                _ => None,
+            },
+        }
+    }
+
+    /// Three-valued [`FifoChannel::can_write`]; see
+    /// [`FifoChannel::can_read_decided`].
+    pub fn can_write_decided(&self, cycle: u64) -> Option<bool> {
+        let w = self.write_cycles.len() + 1;
+        if w <= self.depth {
+            return Some(true);
+        }
+        match self.read_cycles.get(w - self.depth - 1) {
+            Some(&rc) => Some(rc < cycle),
+            None => match self.read_cycles.last() {
+                Some(&last) if last >= cycle => Some(false),
+                _ => None,
+            },
+        }
+    }
+
     /// Commits a write at `cycle`.
     ///
     /// # Panics
     ///
-    /// Panics if the write is not allowed at `cycle`; callers must check
-    /// [`FifoChannel::can_write`] first.
+    /// Panics if the write is not allowed at `cycle` (callers must check
+    /// [`FifoChannel::can_write`] first), or if `cycle` precedes an earlier
+    /// committed write. Per-side commit cycles must be nondecreasing — the
+    /// three-valued [`FifoChannel::can_read_decided`] /
+    /// [`FifoChannel::can_write_decided`] rules depend on it — and a design
+    /// that accesses one FIFO at schedule offsets further apart than its
+    /// loop's initiation interval could violate it via retroactive commits;
+    /// failing loudly here beats silently mis-deciding a non-blocking
+    /// outcome.
     pub fn push(&mut self, value: i64, cycle: u64) {
         assert!(self.can_write(cycle), "fifo write committed while full");
+        assert!(
+            self.write_cycles.last().is_none_or(|&last| cycle >= last),
+            "fifo write commit cycles must be nondecreasing"
+        );
         self.values.push_back(value);
         self.write_cycles.push(cycle);
     }
@@ -97,10 +159,16 @@ impl FifoChannel {
     ///
     /// # Panics
     ///
-    /// Panics if the read is not allowed at `cycle`; callers must check
-    /// [`FifoChannel::can_read`] first.
+    /// Panics if the read is not allowed at `cycle` (callers must check
+    /// [`FifoChannel::can_read`] first) or if `cycle` precedes an earlier
+    /// committed read; see [`FifoChannel::push`] for why commit cycles must
+    /// be nondecreasing per side.
     pub fn pop(&mut self, cycle: u64) -> i64 {
         assert!(self.can_read(cycle), "fifo read committed while empty");
+        assert!(
+            self.read_cycles.last().is_none_or(|&last| cycle >= last),
+            "fifo read commit cycles must be nondecreasing"
+        );
         let value = self.values.pop_front().expect("value present");
         self.read_cycles.push(cycle);
         value

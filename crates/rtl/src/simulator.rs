@@ -72,13 +72,27 @@ impl<'d> RtlSimulator<'d> {
             let mut progressed_any = false;
             let mut any_waiting = false;
             let mut blocked: Vec<String> = Vec::new();
-            for task in tasks.iter_mut().filter(|t| !t.is_finished()) {
-                let outcome = task.step_cycle(cycle, &mut shared)?;
+            // Forward-progress frontier of every stuck task, indexed by task.
+            let mut frontiers: Vec<Option<u64>> = vec![None; tasks.len()];
+            let mut undecided: Vec<(u64, usize)> = Vec::new();
+            for (index, task) in tasks.iter_mut().enumerate() {
+                if task.is_finished() {
+                    continue;
+                }
+                let outcome = task.step_cycle(cycle, &mut shared, false)?;
                 progressed_any |= outcome.progressed;
                 match outcome.status {
                     TaskStatus::Waiting => any_waiting = true,
-                    TaskStatus::Blocked(reason) => {
+                    TaskStatus::Blocked { reason, frontier } => {
                         blocked.push(format!("{}: {}", task.name(), reason));
+                        frontiers[index] = Some(frontier);
+                    }
+                    TaskStatus::Undecided {
+                        effective,
+                        frontier,
+                    } => {
+                        undecided.push((effective, index));
+                        frontiers[index] = Some(frontier);
                     }
                     TaskStatus::Finished => {}
                 }
@@ -86,8 +100,36 @@ impl<'d> RtlSimulator<'d> {
             cycles_stepped += 1;
 
             let unfinished = tasks.iter().filter(|t| !t.is_finished()).count();
-            if unfinished > 0 && !progressed_any && !any_waiting && !blocked.is_empty() {
-                break RtlOutcome::Deadlock { cycle, blocked };
+            if unfinished > 0 && !progressed_any && !any_waiting {
+                if !undecided.is_empty() {
+                    // Forward progress (§7.1, frontier-aware): the whole
+                    // simulation is stuck on undecided non-blocking outcomes,
+                    // so one is resolved pessimistically using the exact
+                    // selection rule of the engine's query pool: candidates
+                    // ordered by (cycle, frontier descending, task), the
+                    // first *safe* one (no other stuck task's frontier below
+                    // its cycle) preferred, the first in order as fallback.
+                    undecided.sort_by_key(|&(effective, index)| {
+                        (
+                            effective,
+                            std::cmp::Reverse(frontiers[index].unwrap_or(u64::MAX)),
+                            index,
+                        )
+                    });
+                    let chosen = undecided
+                        .iter()
+                        .copied()
+                        .find(|&(effective, index)| {
+                            frontiers
+                                .iter()
+                                .enumerate()
+                                .all(|(t, f)| t == index || f.is_none_or(|f| f >= effective))
+                        })
+                        .unwrap_or(undecided[0]);
+                    let _ = tasks[chosen.1].step_cycle(cycle, &mut shared, true)?;
+                } else if !blocked.is_empty() {
+                    break RtlOutcome::Deadlock { cycle, blocked };
+                }
             }
             cycle += 1;
         };

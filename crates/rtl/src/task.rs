@@ -48,8 +48,26 @@ pub enum TaskStatus {
     /// The task's next operation is scheduled at a future cycle.
     Waiting,
     /// The task is stalled on a blocking FIFO access that could not commit
-    /// this cycle. Carries a human-readable description for deadlock reports.
-    Blocked(String),
+    /// this cycle. Carries a human-readable description for deadlock reports
+    /// and the task's forward-progress frontier.
+    Blocked {
+        /// What the task is blocked on.
+        reason: String,
+        /// Lower bound on the cycle of any future FIFO access of this task.
+        frontier: u64,
+    },
+    /// The task's next operation is a non-blocking access (or status check)
+    /// whose outcome cannot be decided yet: the peer side has not recorded
+    /// the access that determines it. Mirrors a pending query in the OmniSim
+    /// engine's query pool; if the whole simulation gets stuck, the driver
+    /// force-resolves one such access pessimistically (§7.1 forward
+    /// progress, frontier-aware).
+    Undecided {
+        /// Scheduled hardware cycle of the undecided access.
+        effective: u64,
+        /// Lower bound on the cycle of any future FIFO access of this task.
+        frontier: u64,
+    },
 }
 
 /// Result of stepping one task for one clock cycle.
@@ -138,10 +156,15 @@ impl<'d> TaskState<'d> {
     ///
     /// Propagates [`SimError`] for array out-of-bounds accesses and AXI
     /// protocol violations.
+    /// `force_nb` pessimistically resolves the first undecided non-blocking
+    /// access encountered (at most one per call) instead of reporting
+    /// [`TaskStatus::Undecided`]; the driver sets it when the whole
+    /// simulation is stuck.
     pub fn step_cycle(
         &mut self,
         cycle: u64,
         shared: &mut SharedState,
+        mut force_nb: bool,
     ) -> Result<StepOutcome, SimError> {
         let mut progressed = false;
         loop {
@@ -165,28 +188,63 @@ impl<'d> TaskState<'d> {
             if frame.op_idx < block.ops.len() {
                 let sop = &block.ops[frame.op_idx];
                 let effective = frame.timeline.op_cycle(sop.offset);
-                if effective > cycle {
+                // Only channel-interacting operations are gated on the wall
+                // clock: their hardware cycle must not run ahead of the
+                // global step, so that every access is committed against
+                // channel state that is final up to that cycle. Local
+                // operations (assigns, array traffic, outputs) have no
+                // cross-task timing and execute as soon as program order
+                // reaches them — their hardware time is fully described by
+                // the timeline. Without this split, an operation scheduled
+                // late in a pipelined loop body would serialize against the
+                // next iteration's early operations, which real pipelined
+                // hardware overlaps.
+                if interacts_with_channels(&sop.op) && effective > cycle {
                     return Ok(StepOutcome {
                         progressed,
                         status: TaskStatus::Waiting,
                     });
                 }
-                match Self::try_op(self.design, frame, sop.offset, &sop.op, cycle, shared)? {
+                match Self::try_op(
+                    self.design,
+                    frame,
+                    sop.offset,
+                    &sop.op,
+                    cycle,
+                    shared,
+                    &mut force_nb,
+                )? {
                     OpResult::Committed => {
                         frame.op_idx += 1;
                         progressed = true;
                         self.ops_executed += 1;
                     }
                     OpResult::Blocked(reason) => {
+                        let frame = self.frames.last().expect("frame");
+                        let sop = &self.design.module(frame.module).blocks[frame.block.index()].ops
+                            [frame.op_idx];
+                        let effective = frame.timeline.op_cycle(sop.offset);
+                        let frontier = effective.min(frame.timeline.next_entry_floor());
                         return Ok(StepOutcome {
                             progressed,
-                            status: TaskStatus::Blocked(reason),
+                            status: TaskStatus::Blocked { reason, frontier },
                         });
                     }
                     OpResult::WaitFuture => {
                         return Ok(StepOutcome {
                             progressed,
                             status: TaskStatus::Waiting,
+                        });
+                    }
+                    OpResult::Undecided { effective } => {
+                        let frame = self.frames.last().expect("frame");
+                        let frontier = effective.min(frame.timeline.next_entry_floor());
+                        return Ok(StepOutcome {
+                            progressed,
+                            status: TaskStatus::Undecided {
+                                effective,
+                                frontier,
+                            },
                         });
                     }
                     OpResult::EnterCall {
@@ -279,8 +337,20 @@ impl<'d> TaskState<'d> {
         op: &Op,
         cycle: u64,
         shared: &mut SharedState,
+        force_nb: &mut bool,
     ) -> Result<OpResult, SimError> {
         let vars = &mut frame.vars;
+        // Pessimistically resolves an undecided non-blocking outcome when
+        // the driver forces forward progress, consuming the force so at most
+        // one access per call is resolved this way.
+        let mut decide = |decision: Option<bool>, effective: u64| match decision {
+            Some(b) => Ok(b),
+            None if *force_nb => {
+                *force_nb = false;
+                Ok(false)
+            }
+            None => Err(OpResult::Undecided { effective }),
+        };
         match op {
             Op::Assign { dst, expr } => {
                 vars[dst.index()] = eval(expr, vars);
@@ -321,32 +391,49 @@ impl<'d> TaskState<'d> {
                 Ok(OpResult::Committed)
             }
             Op::FifoWrite { fifo, value } => {
+                // The write commits at the earliest cycle that satisfies
+                // both its schedule and the buffer rule — which may lie
+                // *before* the wall cycle when the op walk lagged behind a
+                // pipelined iteration overlap (the timeline, not the walk,
+                // is hardware time).
+                let effective = frame.timeline.op_cycle(offset);
                 let channel = &mut shared.fifos[fifo.index()];
-                if channel.can_write(cycle) {
-                    let val = eval(value, vars);
-                    frame.timeline.stall_until(offset, cycle);
-                    channel.push(val, cycle);
-                    shared.fifo_accesses += 1;
-                    Ok(OpResult::Committed)
-                } else {
-                    Ok(OpResult::Blocked(format!(
+                match channel.next_write_ready() {
+                    Some(ready) => {
+                        let commit = ready.max(effective);
+                        if commit > cycle {
+                            return Ok(OpResult::WaitFuture);
+                        }
+                        let val = eval(value, vars);
+                        frame.timeline.stall_until(offset, commit);
+                        channel.push(val, commit);
+                        shared.fifo_accesses += 1;
+                        Ok(OpResult::Committed)
+                    }
+                    None => Ok(OpResult::Blocked(format!(
                         "blocking write to full fifo '{}'",
                         design.fifo(*fifo).name
-                    )))
+                    ))),
                 }
             }
             Op::FifoRead { fifo, dst } => {
+                let effective = frame.timeline.op_cycle(offset);
                 let channel = &mut shared.fifos[fifo.index()];
-                if channel.can_read(cycle) {
-                    frame.timeline.stall_until(offset, cycle);
-                    vars[dst.index()] = channel.pop(cycle);
-                    shared.fifo_accesses += 1;
-                    Ok(OpResult::Committed)
-                } else {
-                    Ok(OpResult::Blocked(format!(
+                match channel.next_read_ready() {
+                    Some(ready) => {
+                        let commit = ready.max(effective);
+                        if commit > cycle {
+                            return Ok(OpResult::WaitFuture);
+                        }
+                        frame.timeline.stall_until(offset, commit);
+                        vars[dst.index()] = channel.pop(commit);
+                        shared.fifo_accesses += 1;
+                        Ok(OpResult::Committed)
+                    }
+                    None => Ok(OpResult::Blocked(format!(
                         "blocking read from empty fifo '{}'",
                         design.fifo(*fifo).name
-                    )))
+                    ))),
                 }
             }
             Op::FifoNbWrite {
@@ -354,11 +441,19 @@ impl<'d> TaskState<'d> {
                 value,
                 success,
             } => {
+                // Non-blocking accesses and status checks observe the
+                // channel at their *scheduled* hardware cycle (never later):
+                // the wall gate in `step_cycle` guarantees the channel state
+                // up to that cycle is final.
+                let effective = frame.timeline.op_cycle(offset);
                 let channel = &mut shared.fifos[fifo.index()];
-                let ok = channel.can_write(cycle);
+                let ok = match decide(channel.can_write_decided(effective), effective) {
+                    Ok(b) => b,
+                    Err(undecided) => return Ok(undecided),
+                };
                 if ok {
                     let val = eval(value, vars);
-                    channel.push(val, cycle);
+                    channel.push(val, effective);
                     shared.fifo_accesses += 1;
                 }
                 if let Some(s) = success {
@@ -367,10 +462,14 @@ impl<'d> TaskState<'d> {
                 Ok(OpResult::Committed)
             }
             Op::FifoNbRead { fifo, dst, success } => {
+                let effective = frame.timeline.op_cycle(offset);
                 let channel = &mut shared.fifos[fifo.index()];
-                let ok = channel.can_read(cycle);
+                let ok = match decide(channel.can_read_decided(effective), effective) {
+                    Ok(b) => b,
+                    Err(undecided) => return Ok(undecided),
+                };
                 if ok {
-                    vars[dst.index()] = channel.pop(cycle);
+                    vars[dst.index()] = channel.pop(effective);
                     shared.fifo_accesses += 1;
                 }
                 if let Some(s) = success {
@@ -379,21 +478,34 @@ impl<'d> TaskState<'d> {
                 Ok(OpResult::Committed)
             }
             Op::FifoEmpty { fifo, dst } => {
+                let effective = frame.timeline.op_cycle(offset);
                 if let Some(d) = dst {
-                    vars[d.index()] = i64::from(shared.fifos[fifo.index()].is_empty_at(cycle));
+                    let channel = &shared.fifos[fifo.index()];
+                    let can = match decide(channel.can_read_decided(effective), effective) {
+                        Ok(b) => b,
+                        Err(undecided) => return Ok(undecided),
+                    };
+                    vars[d.index()] = i64::from(!can);
                 }
                 Ok(OpResult::Committed)
             }
             Op::FifoFull { fifo, dst } => {
+                let effective = frame.timeline.op_cycle(offset);
                 if let Some(d) = dst {
-                    vars[d.index()] = i64::from(shared.fifos[fifo.index()].is_full_at(cycle));
+                    let channel = &shared.fifos[fifo.index()];
+                    let can = match decide(channel.can_write_decided(effective), effective) {
+                        Ok(b) => b,
+                        Err(undecided) => return Ok(undecided),
+                    };
+                    vars[d.index()] = i64::from(!can);
                 }
                 Ok(OpResult::Committed)
             }
             Op::AxiReadReq { bus, addr, len } => {
                 let a = eval(addr, vars);
                 let l = eval(len, vars);
-                shared.axis[bus.index()].read_req(a, l, cycle);
+                let effective = frame.timeline.op_cycle(offset);
+                shared.axis[bus.index()].read_req(a, l, effective);
                 Ok(OpResult::Committed)
             }
             Op::AxiRead { bus, dst } => {
@@ -408,7 +520,9 @@ impl<'d> TaskState<'d> {
                                 port.name
                             ),
                         })?;
-                if cycle < ready {
+                let effective = frame.timeline.op_cycle(offset);
+                let commit = ready.max(effective);
+                if commit > cycle {
                     return Ok(OpResult::WaitFuture);
                 }
                 let data = &shared.arrays[port.array.index()];
@@ -420,7 +534,7 @@ impl<'d> TaskState<'d> {
                         index: addr,
                         len: data.len(),
                     })?;
-                frame.timeline.stall_until(offset, cycle);
+                frame.timeline.stall_until(offset, commit);
                 channel.take_read_beat();
                 vars[dst.index()] = value;
                 Ok(OpResult::Committed)
@@ -428,7 +542,8 @@ impl<'d> TaskState<'d> {
             Op::AxiWriteReq { bus, addr, len } => {
                 let a = eval(addr, vars);
                 let l = eval(len, vars);
-                shared.axis[bus.index()].write_req(a, l, cycle);
+                let effective = frame.timeline.op_cycle(offset);
+                shared.axis[bus.index()].write_req(a, l, effective);
                 Ok(OpResult::Committed)
             }
             Op::AxiWrite { bus, value } => {
@@ -453,15 +568,18 @@ impl<'d> TaskState<'d> {
                         len,
                     })?;
                 *slot = val;
-                shared.axis[bus.index()].take_write_beat(cycle);
+                let effective = frame.timeline.op_cycle(offset);
+                shared.axis[bus.index()].take_write_beat(effective);
                 Ok(OpResult::Committed)
             }
             Op::AxiWriteResp { bus } => {
                 let ready = shared.axis[bus.index()].write_resp_ready();
-                if cycle < ready {
+                let effective = frame.timeline.op_cycle(offset);
+                let commit = ready.max(effective);
+                if commit > cycle {
                     return Ok(OpResult::WaitFuture);
                 }
-                frame.timeline.stall_until(offset, cycle);
+                frame.timeline.stall_until(offset, commit);
                 Ok(OpResult::Committed)
             }
             Op::Call { callee, args, dst } => {
@@ -489,6 +607,9 @@ enum OpResult {
     Committed,
     Blocked(String),
     WaitFuture,
+    Undecided {
+        effective: u64,
+    },
     EnterCall {
         callee: ModuleId,
         args: Vec<i64>,
@@ -499,4 +620,24 @@ enum OpResult {
 
 fn eval(expr: &Expr, vars: &[i64]) -> i64 {
     expr.eval(&|v: VarId| vars[v.index()])
+}
+
+/// True for operations whose timing is visible to other tasks through a
+/// shared channel (FIFO or AXI): only these are gated on the wall clock in
+/// [`TaskState::step_cycle`].
+fn interacts_with_channels(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::FifoWrite { .. }
+            | Op::FifoRead { .. }
+            | Op::FifoNbWrite { .. }
+            | Op::FifoNbRead { .. }
+            | Op::FifoEmpty { .. }
+            | Op::FifoFull { .. }
+            | Op::AxiReadReq { .. }
+            | Op::AxiRead { .. }
+            | Op::AxiWriteReq { .. }
+            | Op::AxiWrite { .. }
+            | Op::AxiWriteResp { .. }
+    )
 }

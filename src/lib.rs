@@ -60,6 +60,8 @@
 //! * [`omnisim`] — the OmniSim engine itself,
 //! * [`dse`] — the compiled DSE engine ([`SweepPlan`], [`Sweep`],
 //!   min-depth search),
+//! * [`gen`] — the seeded random design generator, test-case shrinker and
+//!   cross-backend differential fuzzing oracle,
 //! * [`designs`] — the benchmark designs of the paper's evaluation.
 //!
 //! See `README.md` for a quickstart, the backend matrix and how to
@@ -73,6 +75,7 @@ pub use omnisim_api as api;
 pub use omnisim_csim as csim;
 pub use omnisim_designs as designs;
 pub use omnisim_dse as dse;
+pub use omnisim_gen as gen;
 pub use omnisim_graph as graph;
 pub use omnisim_interp as interp;
 pub use omnisim_ir as ir;

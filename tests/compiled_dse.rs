@@ -11,9 +11,7 @@ use omnisim_suite::omnisim::test_fixtures::{nb_drop_counter, producer_consumer};
 use omnisim_suite::omnisim::{IncrementalOutcome, OmniSimulator};
 use omnisim_suite::{all_backends, Sweep, SweepPlan};
 
-mod common;
-
-use common::Rng;
+use omnisim_suite::gen::Rng;
 
 /// Every fixture design the differential suite runs on, with a label for
 /// failure messages and the declared taxonomy class for coverage checks.

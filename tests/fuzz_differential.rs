@@ -1,0 +1,226 @@
+//! Cross-backend differential fuzzing over seeded random designs.
+//!
+//! `omnisim-gen` generates well-formed dataflow designs targeted at each
+//! taxonomy class; for every seed the differential oracle asserts
+//!
+//! * `omnisim` == cycle-stepped reference, **bit for bit** (outcome,
+//!   outputs, total cycles),
+//! * `lightning` exactly right on Type A, honestly rejecting Type B/C,
+//! * `csim` exactly right on Type A, book-kept on its documented Type B/C
+//!   divergence,
+//! * compiled `SweepPlan` == `try_with_depths` == full re-simulation on
+//!   random FIFO-depth vectors.
+//!
+//! A failing seed is shrunk to a minimal blueprint and reported with a CLI
+//! reproduction line (`cargo run -p omnisim-bench --bin fuzz -- --seed N
+//! --class X`). Divergences the fuzzer has already caught live on as
+//! fixtures in `omnisim_suite::designs::fuzz` and are re-pinned below.
+
+use omnisim_suite::backend;
+use omnisim_suite::designs::fuzz as fuzz_fixtures;
+use omnisim_suite::gen::{
+    check_seeded, fuzz_seed, shrink, CsimAgreement, DiffConfig, DiffReport, GenConfig,
+};
+use omnisim_suite::ir::DesignClass;
+use omnisim_suite::omnisim::{IncrementalOutcome, OmniSimulator};
+
+/// Seeds fuzzed per taxonomy class; 3 × 400 > the 1000-design floor the
+/// subsystem promises, while staying debug-build friendly.
+const SEEDS_PER_CLASS: u64 = 400;
+
+#[derive(Default)]
+struct CorpusStats {
+    completed: usize,
+    deadlocked: usize,
+    csim_agreed: usize,
+    csim_diverged: usize,
+    csim_crashed: usize,
+    dse_points: usize,
+}
+
+impl CorpusStats {
+    fn record(&mut self, report: &DiffReport) {
+        if report.completed {
+            self.completed += 1;
+        } else {
+            self.deadlocked += 1;
+        }
+        match report.csim {
+            Some(CsimAgreement::Agreed) => self.csim_agreed += 1,
+            Some(CsimAgreement::Diverged) => self.csim_diverged += 1,
+            Some(CsimAgreement::Crashed) => self.csim_crashed += 1,
+            None => {}
+        }
+        self.dse_points += report.dse_points_checked;
+    }
+
+    fn total(&self) -> usize {
+        self.completed + self.deadlocked
+    }
+}
+
+/// Fuzzes `seeds` seeds of `cfg`, shrinking and reporting the first failure.
+fn fuzz_corpus(label: &str, cfg: &GenConfig, seeds: u64) -> CorpusStats {
+    let diff = DiffConfig::default();
+    let mut stats = CorpusStats::default();
+    for seed in 0..seeds {
+        let (generated, report) = fuzz_seed(cfg, &diff, seed);
+        if let Some(class) = cfg.target {
+            assert_eq!(generated.class, class, "{label}: seed {seed} missed class");
+        }
+        if !report.passed() {
+            let minimal = shrink(&generated.blueprint, |bp| {
+                !check_seeded(&bp.lower(), &diff, seed).passed()
+            });
+            let minimal_report = check_seeded(&minimal.lower(), &diff, seed);
+            panic!(
+                "{label}: seed {seed} (class {:?}) failed the differential check:\n  {}\n\
+                 reproduce with: cargo run -p omnisim-bench --bin fuzz -- --seed {seed} --class {label}\n\
+                 minimized blueprint (failures: {:?}):\n{minimal:#?}",
+                generated.class,
+                report.failures.join("\n  "),
+                minimal_report.failures,
+            );
+        }
+        stats.record(&report);
+    }
+    assert_eq!(stats.total() as u64, seeds);
+    stats
+}
+
+#[test]
+fn type_a_designs_agree_across_all_backends() {
+    let stats = fuzz_corpus("a", &GenConfig::type_a(), SEEDS_PER_CLASS);
+    // Type A is every backend's home turf: csim must have agreed everywhere
+    // (the oracle already asserts it per design) and nothing may deadlock.
+    assert_eq!(stats.csim_agreed, stats.total());
+    assert_eq!(stats.deadlocked, 0, "Type A pipelines cannot deadlock");
+    assert!(stats.dse_points > 0, "DSE consistency must be exercised");
+}
+
+#[test]
+fn type_b_designs_agree_between_the_cycle_accurate_backends() {
+    let stats = fuzz_corpus("b", &GenConfig::type_b(), SEEDS_PER_CLASS);
+    // Expected-divergence bookkeeping: sequential C simulation gets most
+    // cyclic / retry designs wrong (its reads of not-yet-produced data
+    // return defaults), mirroring the paper's Table 3.
+    assert!(
+        (stats.csim_diverged + stats.csim_crashed) * 2 > stats.total(),
+        "csim agreed suspiciously often on Type B: {}/{} diverged",
+        stats.csim_diverged + stats.csim_crashed,
+        stats.total()
+    );
+}
+
+#[test]
+fn type_c_designs_agree_between_the_cycle_accurate_backends() {
+    let stats = fuzz_corpus("c", &GenConfig::type_c(), SEEDS_PER_CLASS);
+    assert!(
+        (stats.csim_diverged + stats.csim_crashed) * 2 > stats.total(),
+        "csim agreed suspiciously often on Type C: {}/{} diverged",
+        stats.csim_diverged + stats.csim_crashed,
+        stats.total()
+    );
+}
+
+#[test]
+fn mixed_corpus_spans_all_three_classes() {
+    let cfg = GenConfig::mixed();
+    let mut seen = [false; 3];
+    for seed in 0..100 {
+        let g = omnisim_suite::gen::generate(&cfg, seed);
+        seen[match g.class {
+            DesignClass::TypeA => 0,
+            DesignClass::TypeB => 1,
+            DesignClass::TypeC => 2,
+        }] = true;
+    }
+    assert_eq!(seen, [true; 3], "mixed config must reach every class");
+}
+
+#[test]
+fn forced_deadlocks_are_diagnosed_identically_by_both_backends() {
+    let cfg = GenConfig::mixed().with_deadlocks(60);
+    let stats = fuzz_corpus("mixed+deadlocks", &cfg, 100);
+    assert!(
+        stats.deadlocked > 0,
+        "the deadlock knob must produce deadlocking designs"
+    );
+    assert!(
+        stats.completed > 0,
+        "not every design should deadlock at 60%"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Regression pins for divergences the fuzzer has already caught. Each
+// fixture in `designs::fuzz` is a shrunk witness of a real bug; the designs
+// stay in the corpus forever.
+// ---------------------------------------------------------------------------
+
+/// Every fuzz fixture must pass the full differential oracle.
+#[test]
+fn minimized_fuzz_fixtures_pass_the_differential_oracle() {
+    let diff = DiffConfig::default();
+    let fixtures = [
+        (
+            "pipelined_reader_overlap",
+            fuzz_fixtures::pipelined_reader_overlap(2),
+        ),
+        ("nb_undecided_race", fuzz_fixtures::nb_undecided_race(3)),
+        ("depth_relaxation", fuzz_fixtures::depth_relaxation(2)),
+        // Larger workloads of the same shapes.
+        (
+            "pipelined_reader_overlap_64",
+            fuzz_fixtures::pipelined_reader_overlap(64),
+        ),
+        ("nb_undecided_race_64", fuzz_fixtures::nb_undecided_race(64)),
+    ];
+    for (name, design) in fixtures {
+        let report = check_seeded(&design, &diff, 0xf1f0);
+        assert!(
+            report.passed(),
+            "fixture {name} regressed:\n  {}",
+            report.failures.join("\n  ")
+        );
+    }
+}
+
+/// The reference simulator must overlap pipelined loop iterations: the
+/// original divergence was rtl reporting 13 cycles against the engines' 12.
+#[test]
+fn pipelined_overlap_fixture_cycle_count_is_pinned() {
+    let design = fuzz_fixtures::pipelined_reader_overlap(2);
+    let omni = backend("omnisim").unwrap().simulate(&design).unwrap();
+    let rtl = backend("rtl").unwrap().simulate(&design).unwrap();
+    let lightning = backend("lightning").unwrap().simulate(&design).unwrap();
+    assert_eq!(omni.total_cycles, Some(12), "engine timing model moved");
+    assert_eq!(
+        rtl.total_cycles,
+        Some(12),
+        "reference lost iteration overlap"
+    );
+    assert_eq!(lightning.total_cycles, Some(12));
+}
+
+/// Incremental DSE must *relax* write-after-read stalls for deeper FIFOs:
+/// the original divergence certified the baseline's 9 cycles at every depth
+/// where ground truth is 8 from depth 2 up.
+#[test]
+fn depth_relaxation_fixture_relaxes_with_depth() {
+    let design = fuzz_fixtures::depth_relaxation(2);
+    let baseline = OmniSimulator::new(&design).run().unwrap();
+    assert_eq!(baseline.total_cycles, 9);
+    for depth in 2..=16 {
+        let incremental = baseline.incremental.try_with_depths(&[depth]).unwrap();
+        let full = OmniSimulator::new(&design.with_fifo_depths(&[depth]))
+            .run()
+            .unwrap();
+        assert_eq!(full.total_cycles, 8);
+        assert_eq!(
+            incremental,
+            IncrementalOutcome::Valid { total_cycles: 8 },
+            "depth {depth}: the baked-in-stall bug is back"
+        );
+    }
+}

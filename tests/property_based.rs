@@ -12,9 +12,7 @@ use omnisim_rtlsim::RtlSimulator;
 use omnisim_suite::designs::typea::dataflow_graph;
 use omnisim_suite::ir::{DesignBuilder, Expr};
 
-mod common;
-
-use common::Rng;
+use omnisim_suite::gen::Rng;
 
 /// Builds a producer/consumer design with arbitrary trip count, FIFO depth
 /// and producer/consumer initiation intervals.
