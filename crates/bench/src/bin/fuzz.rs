@@ -5,18 +5,24 @@
 //! CI or the integration suite reproduces bit-identically here:
 //!
 //! ```text
-//! cargo run --release -p omnisim-bench --bin fuzz -- --seed 17 --class c
+//! cargo run --release -p omnisim-bench --bin fuzz -- --seed 17 --preset c
 //! ```
 //!
 //! Options:
 //!
-//! * `--class a|b|c|mixed` — taxonomy targeting preset (default `mixed`),
-//! * `--seeds N`           — number of seeds to fuzz (default 1000),
-//! * `--start S`           — first seed (default 0),
-//! * `--seed X`            — fuzz exactly one seed (overrides the range),
-//! * `--deadlocks P`       — forced-deadlock probability in percent,
-//! * `--no-shrink`         — skip shrinking on failure,
-//! * `--smoke`             — CI preset: 120 seeds per class, all classes.
+//! * `--preset a|b|c|mixed|axi|calls|multirate|all` — generator preset
+//!   (default `mixed`): the class presets target one taxonomy row, the
+//!   dimension presets concentrate on AXI bursts, `Op::Call` chains or
+//!   multi-rate/leftover dataflow, and `all` walks every preset (`--class`
+//!   is an accepted alias),
+//! * `--seeds N` / `--count N` — number of seeds to fuzz (default 1000),
+//! * `--start S` — first seed (default 0),
+//! * `--seed X` — fuzz exactly one seed (overrides the range),
+//! * `--deadlocks P` — forced-deadlock probability in percent,
+//! * `--min-depths` — also ground-truth the `min_depths` certificate with
+//!   full re-simulations (the tightness oracle),
+//! * `--no-shrink` — skip shrinking on failure,
+//! * `--smoke` — CI preset: 120 seeds per preset, all presets.
 //!
 //! Exits non-zero if any seed fails.
 
@@ -30,13 +36,13 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
 }
 
 fn preset(name: &str) -> GenConfig {
-    match name {
-        "a" => GenConfig::type_a(),
-        "b" => GenConfig::type_b(),
-        "c" => GenConfig::type_c(),
-        "mixed" => GenConfig::mixed(),
-        other => {
-            eprintln!("unknown class '{other}' (expected a, b, c or mixed)");
+    match GenConfig::preset(name) {
+        Some(cfg) => cfg,
+        None => {
+            eprintln!(
+                "unknown preset '{name}' (expected one of {} or all)",
+                GenConfig::PRESET_NAMES.join(", ")
+            );
             std::process::exit(2);
         }
     }
@@ -51,6 +57,7 @@ struct Tally {
     csim_diverged: usize,
     csim_crashed: usize,
     dse_points: usize,
+    min_depth_probes: usize,
     failures: usize,
 }
 
@@ -77,18 +84,22 @@ fn fuzz_range(
             None => {}
         }
         tally.dse_points += report.dse_points_checked;
+        tally.min_depth_probes += report.min_depths_probes;
         if report.passed() {
             continue;
         }
         tally.failures += 1;
         println!(
-            "\nFAIL class {label} seed {seed} (design class {:?}):",
+            "\nFAIL preset {label} seed {seed} (design class {:?}):",
             generated.class
         );
         for failure in &report.failures {
             println!("  - {failure}");
         }
-        println!("  reproduce: cargo run --release -p omnisim-bench --bin fuzz -- --seed {seed} --class {label}");
+        println!(
+            "  reproduce: cargo run --release -p omnisim-bench --bin fuzz -- \
+             --seed {seed} --preset {label}"
+        );
         if shrink_failures {
             let minimal = shrink(&generated.blueprint, |bp| {
                 !check_seeded(&bp.lower(), diff, seed).passed()
@@ -108,36 +119,48 @@ fn main() {
         .map(|v| v.parse().expect("--start takes a number"))
         .unwrap_or(0);
     let count: u64 = arg_value(&args, "--seeds")
-        .map(|v| v.parse().expect("--seeds takes a number"))
+        .or_else(|| arg_value(&args, "--count"))
+        .map(|v| v.parse().expect("--seeds/--count take a number"))
         .unwrap_or(1000);
     let single: Option<u64> =
         arg_value(&args, "--seed").map(|v| v.parse().expect("--seed takes a number"));
     let deadlocks: Option<u32> =
         arg_value(&args, "--deadlocks").map(|v| v.parse().expect("--deadlocks takes a percent"));
 
-    let diff = DiffConfig::default();
+    let mut diff = DiffConfig::default();
+    if args.iter().any(|a| a == "--min-depths") {
+        diff.min_depths_resim = true;
+    }
     let mut tally = Tally::default();
     let started = Instant::now();
 
-    let classes: Vec<String> = match arg_value(&args, "--class") {
-        Some(c) => vec![c],
-        None if smoke => vec!["a".into(), "b".into(), "c".into(), "mixed".into()],
+    let requested = arg_value(&args, "--preset").or_else(|| arg_value(&args, "--class"));
+    let presets: Vec<String> = match requested.as_deref() {
+        Some("all") => GenConfig::PRESET_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        Some(name) => vec![name.to_owned()],
+        None if smoke => GenConfig::PRESET_NAMES
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         None => vec!["mixed".into()],
     };
-    let per_class = if smoke { 120 } else { count };
+    let per_preset = if smoke { 120 } else { count };
 
-    for class in &classes {
-        let mut cfg = preset(class);
+    for name in &presets {
+        let mut cfg = preset(name);
         if let Some(p) = deadlocks {
             cfg = cfg.with_deadlocks(p);
         }
         match single {
-            Some(seed) => fuzz_range(class, &cfg, &diff, seed..=seed, shrink_failures, &mut tally),
+            Some(seed) => fuzz_range(name, &cfg, &diff, seed..=seed, shrink_failures, &mut tally),
             None => fuzz_range(
-                class,
+                name,
                 &cfg,
                 &diff,
-                start..start + per_class,
+                start..start + per_preset,
                 shrink_failures,
                 &mut tally,
             ),
@@ -148,12 +171,13 @@ fn main() {
     let per_sec = tally.designs as f64 / elapsed.as_secs_f64().max(1e-9);
     println!(
         "\nfuzzed {} designs in {} ({per_sec:.0} designs/sec): \
-         {} completed, {} deadlocked, {} DSE points checked",
+         {} completed, {} deadlocked, {} DSE points, {} min-depth probes",
         tally.designs,
         omnisim_bench::secs(elapsed),
         tally.completed,
         tally.deadlocked,
         tally.dse_points,
+        tally.min_depth_probes,
     );
     println!(
         "csim bookkeeping: {} agreed, {} diverged, {} crashed",

@@ -1,83 +1,97 @@
-//! Generator throughput benchmark: how fast the fuzzing loop turns over.
+//! Generator throughput benchmark: how fast the fuzzing loop turns over,
+//! per preset.
 //!
-//! Measures three rates over a fixed seed window of the mixed configuration:
+//! For every generator preset (the three taxonomy classes, the mixed
+//! configuration, and the AXI / call-chain / multi-rate dimension presets)
+//! two rates are measured over a fixed seed window:
 //!
 //! 1. **generate** — blueprint construction + lowering + validation,
-//! 2. **generate + simulate** — the above plus one OmniSim run,
-//! 3. **full differential check** — the above plus the reference, lightning,
-//!    csim and the compiled-DSE consistency probes (what the fuzzer actually
-//!    spends per seed).
+//! 2. **oracle** — the full differential check (reference, lightning, csim,
+//!    compiled-DSE consistency and the `min_depths` inverse query — what
+//!    the fuzzer actually spends per seed).
 //!
 //! Results are printed and written to `BENCH_gen.json` so the fuzzing
-//! loop's perf trajectory is recorded over time. Pass `--smoke` for the
-//! seconds-scale CI run.
+//! loop's perf trajectory is recorded over time per dimension. Pass
+//! `--smoke` for the seconds-scale CI run.
 
-use omnisim::OmniSimulator;
 use omnisim_gen::{check_seeded, generate, DiffConfig, GenConfig};
+use std::fmt::Write as _;
 use std::time::Instant;
+
+struct PresetResult {
+    name: &'static str,
+    gen_rate: f64,
+    oracle_rate: f64,
+    ops: usize,
+    failures: usize,
+}
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let seeds: u64 = if smoke { 150 } else { 1500 };
-    let cfg = GenConfig::mixed();
+    let seeds: u64 = if smoke { 60 } else { 600 };
     let diff = DiffConfig::default();
 
     println!(
-        "generator throughput over {seeds} mixed-config seeds{}\n",
+        "generator throughput over {seeds} seeds per preset{}\n",
         if smoke { " [smoke]" } else { "" }
     );
-
-    // 1. Generation alone (blueprint + lowering + validation).
-    let start = Instant::now();
-    let mut ops = 0usize;
-    for seed in 0..seeds {
-        ops += generate(&cfg, seed).design.op_count();
-    }
-    let gen_time = start.elapsed();
-    let gen_rate = seeds as f64 / gen_time.as_secs_f64().max(1e-9);
-
-    // 2. Generation + one OmniSim run per design.
-    let start = Instant::now();
-    for seed in 0..seeds {
-        let g = generate(&cfg, seed);
-        OmniSimulator::new(&g.design)
-            .run()
-            .expect("generated designs simulate");
-    }
-    let sim_time = start.elapsed();
-    let sim_rate = seeds as f64 / sim_time.as_secs_f64().max(1e-9);
-
-    // 3. The full differential check (what the fuzzer pays per seed).
-    let start = Instant::now();
-    let mut failures = 0usize;
-    for seed in 0..seeds {
-        let g = generate(&cfg, seed);
-        failures += usize::from(!check_seeded(&g.design, &diff, seed).passed());
-    }
-    let diff_time = start.elapsed();
-    let diff_rate = seeds as f64 / diff_time.as_secs_f64().max(1e-9);
-
-    println!("{:<28} {:>12} {:>16}", "stage", "time", "designs/sec");
-    omnisim_bench::rule(58);
-    for (label, time, rate) in [
-        ("generate", gen_time, gen_rate),
-        ("generate + omnisim", sim_time, sim_rate),
-        ("full differential check", diff_time, diff_rate),
-    ] {
-        println!("{label:<28} {:>12} {rate:>16.0}", omnisim_bench::secs(time));
-    }
-    omnisim_bench::rule(58);
     println!(
-        "{} ops generated across the window; {} differential failure(s)",
-        ops, failures
+        "{:<12} {:>16} {:>16} {:>12}",
+        "preset", "generate/sec", "oracle/sec", "ops"
+    );
+    omnisim_bench::rule(60);
+
+    let mut results: Vec<PresetResult> = Vec::new();
+    for name in GenConfig::PRESET_NAMES {
+        let cfg = GenConfig::preset(name).expect("preset names are exhaustive");
+
+        let start = Instant::now();
+        let mut ops = 0usize;
+        for seed in 0..seeds {
+            ops += generate(&cfg, seed).design.op_count();
+        }
+        let gen_rate = seeds as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+        let start = Instant::now();
+        let mut failures = 0usize;
+        for seed in 0..seeds {
+            let g = generate(&cfg, seed);
+            failures += usize::from(!check_seeded(&g.design, &diff, seed).passed());
+        }
+        let oracle_rate = seeds as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+        println!("{name:<12} {gen_rate:>16.0} {oracle_rate:>16.0} {ops:>12}");
+        results.push(PresetResult {
+            name,
+            gen_rate,
+            oracle_rate,
+            ops,
+            failures,
+        });
+    }
+    omnisim_bench::rule(60);
+
+    let failures: usize = results.iter().map(|r| r.failures).sum();
+    println!(
+        "{} differential failure(s) across every preset window",
+        failures
     );
 
-    let json = format!(
-        "{{\n  \"bench\": \"gen_throughput\",\n  \"seeds\": {seeds},\n  \"smoke\": {smoke},\n  \
-         \"generate_per_sec\": {gen_rate:.1},\n  \"generate_simulate_per_sec\": {sim_rate:.1},\n  \
-         \"differential_check_per_sec\": {diff_rate:.1},\n  \"ops_generated\": {ops},\n  \
-         \"failures\": {failures}\n}}\n"
-    );
+    let mut json = String::from("{\n  \"bench\": \"gen_throughput\",\n");
+    let _ = writeln!(json, "  \"seeds_per_preset\": {seeds},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    let _ = writeln!(json, "  \"failures\": {failures},");
+    json.push_str("  \"presets\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    \"{}\": {{ \"generate_per_sec\": {:.1}, \"oracle_per_sec\": {:.1}, \
+             \"ops_generated\": {} }}",
+            r.name, r.gen_rate, r.oracle_rate, r.ops
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  }\n}\n");
     std::fs::write("BENCH_gen.json", &json).expect("write BENCH_gen.json");
     println!("\nwrote BENCH_gen.json");
 

@@ -252,6 +252,12 @@ struct PerfState<'d> {
     tables: Vec<FifoTable>,
     graph: EventGraph,
     last_node: Vec<Option<(NodeId, u64)>>,
+    /// Per `[thread][bus]`: the event node of every issued AXI read-burst
+    /// request, in issue order — beats anchor to their burst's request node.
+    axi_read_req_nodes: Vec<Vec<Vec<NodeId>>>,
+    /// Per `[thread][bus]`: the event node of the last AXI write beat — the
+    /// write response anchors `request_latency` cycles after it.
+    axi_last_write_beat: Vec<Vec<Option<NodeId>>>,
     pool: QueryPool,
     constraints: Vec<Constraint>,
     outputs: OutputMap,
@@ -301,6 +307,8 @@ impl<'d> PerfState<'d> {
             tables: (0..design.fifos.len()).map(|_| FifoTable::new()).collect(),
             graph: EventGraph::new(),
             last_node: vec![None; threads],
+            axi_read_req_nodes: vec![vec![Vec::new(); design.axi_ports.len()]; threads],
+            axi_last_write_beat: vec![vec![None; design.axi_ports.len()]; threads],
             pool: QueryPool::new(),
             constraints: Vec::new(),
             outputs: OutputMap::new(),
@@ -556,6 +564,44 @@ impl<'d> PerfState<'d> {
                     node,
                 };
                 self.try_resolve_or_pool(query);
+            }
+            Request::AxiReadReq { thread, bus, cycle } => {
+                let node = self.new_event_node(thread, cycle, cycle);
+                self.axi_read_req_nodes[thread][bus.index()].push(node);
+            }
+            Request::AxiReadBeat {
+                thread,
+                bus,
+                burst,
+                beat,
+                request,
+                commit,
+            } => {
+                let node = self.new_event_node(thread, request, commit);
+                let req_node = self.axi_read_req_nodes[thread][bus.index()][burst as usize];
+                // The bus delivers the burst's first beat `request_latency`
+                // cycles after the request, later beats one cycle apart —
+                // an anchor that holds at *every* FIFO depth, unlike the
+                // program-order distance, which only reflects the baseline.
+                let latency = self.design.axi_port(bus).request_latency;
+                self.graph
+                    .add_edge(req_node, node, (latency + u64::from(beat)) as i64);
+            }
+            Request::AxiWriteBeat { thread, bus, cycle } => {
+                let node = self.new_event_node(thread, cycle, cycle);
+                self.axi_last_write_beat[thread][bus.index()] = Some(node);
+            }
+            Request::AxiWriteResp {
+                thread,
+                bus,
+                request,
+                commit,
+            } => {
+                let node = self.new_event_node(thread, request, commit);
+                if let Some(beat_node) = self.axi_last_write_beat[thread][bus.index()] {
+                    let latency = self.design.axi_port(bus).request_latency;
+                    self.graph.add_edge(beat_node, node, latency as i64);
+                }
             }
             Request::Output {
                 thread: _,

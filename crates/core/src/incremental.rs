@@ -54,6 +54,26 @@ pub enum IncrementalOutcome {
         /// violated constraint.
         constraint: usize,
     },
+    /// Under the new depths, a committed **blocking** write has no freeing
+    /// read at all (`ordinal > depth + total reads`): the write could never
+    /// commit, so the resized design would deadlock (or behave differently
+    /// if non-blocking outcomes unblock it). The baseline graph cannot
+    /// certify such a point; a full re-simulation is required. This arises
+    /// when the baseline run leaves data in a FIFO (the producer wrote more
+    /// than the consumer read) and a probe shrinks that FIFO below the
+    /// leftover amount.
+    DepthInfeasible {
+        /// Index of the first FIFO (in declaration order) whose depth is
+        /// infeasible.
+        fifo: usize,
+    },
+    /// The write-after-read overlay at these depths is cyclic: with
+    /// blocking semantics every execution order violates a constraint, so
+    /// the resized design deadlocks at these depths (or, if non-blocking
+    /// outcomes would flip, diverges). Multi-rate reconvergent pipelines
+    /// reach this with undersized FIFOs. The baseline graph cannot certify
+    /// such a point; a full re-simulation is required to characterise it.
+    DepthCyclic,
 }
 
 impl IncrementalOutcome {
@@ -159,7 +179,14 @@ impl IncrementalState {
             self.fifo_write_nodes.len(),
             "depth vector length must match the number of FIFOs"
         );
-        let times = self.finalize_times(depths)?;
+        if let Some(fifo) = self.first_infeasible_fifo(depths) {
+            return Ok(IncrementalOutcome::DepthInfeasible { fifo });
+        }
+        // A cyclic overlay is an answer, not an engine error: it means the
+        // constraints admit no schedule, i.e. the resized design deadlocks.
+        let Ok(times) = self.finalize_times(depths) else {
+            return Ok(IncrementalOutcome::DepthCyclic);
+        };
         for (index, constraint) in self.constraints.iter().enumerate() {
             let new_outcome = self.evaluate_constraint(constraint, depths, &times);
             if new_outcome != constraint.outcome {
@@ -168,6 +195,21 @@ impl IncrementalState {
         }
         Ok(IncrementalOutcome::Valid {
             total_cycles: self.latency_from_times(&times),
+        })
+    }
+
+    /// The first FIFO (in declaration order) holding a committed blocking
+    /// write whose freeing read does not exist under `depths` — the
+    /// [`IncrementalOutcome::DepthInfeasible`] detection shared verbatim
+    /// with the compiled `SweepPlan` evaluator.
+    pub fn first_infeasible_fifo(&self, depths: &[usize]) -> Option<usize> {
+        depths.iter().enumerate().position(|(f, &depth)| {
+            let writes = self.fifo_write_nodes[f].len();
+            let reads = self.fifo_read_nodes[f].len();
+            writes > depth + reads
+                && self.fifo_write_blocking[f][depth + reads..writes]
+                    .iter()
+                    .any(|&blocking| blocking)
         })
     }
 

@@ -2,7 +2,7 @@
 //! Perf Sim thread (Table 1 of the paper).
 
 use omnisim_interp::SimError;
-use omnisim_ir::{FifoId, OutputId};
+use omnisim_ir::{AxiId, FifoId, OutputId};
 
 /// Index of a Func Sim thread (one per dataflow task).
 pub type ThreadId = usize;
@@ -100,6 +100,57 @@ pub enum Request {
         /// order forced query resolution under pipelined iteration overlap).
         frontier: u64,
     },
+    /// An AXI read-burst request was issued (never pauses). The Perf Sim
+    /// thread records an event node for it so that the burst's beats can be
+    /// anchored at `request cycle + latency + beat` in the simulation graph —
+    /// an absolute pacing constraint that must survive incremental
+    /// re-finalization under different FIFO depths (the beats may stall on
+    /// the bus even when the surrounding FIFO stalls disappear).
+    AxiReadReq {
+        /// Issuing thread.
+        thread: ThreadId,
+        /// AXI port.
+        bus: AxiId,
+        /// Hardware cycle at which the request was issued.
+        cycle: u64,
+    },
+    /// One beat of an AXI read burst was consumed (never pauses).
+    AxiReadBeat {
+        /// Issuing thread.
+        thread: ThreadId,
+        /// AXI port.
+        bus: AxiId,
+        /// 0-based index of the burst on this port (order of `AxiReadReq`).
+        burst: u32,
+        /// 0-based beat index within the burst.
+        beat: u32,
+        /// Cycle the schedule placed the beat at (before the bus stall).
+        request: u64,
+        /// Cycle the beat actually committed (`max(request, ready)`).
+        commit: u64,
+    },
+    /// One beat of an AXI write burst was sent (never pauses; write beats
+    /// are not paced by the bus, only the response is).
+    AxiWriteBeat {
+        /// Issuing thread.
+        thread: ThreadId,
+        /// AXI port.
+        bus: AxiId,
+        /// Cycle the beat was sent at.
+        cycle: u64,
+    },
+    /// The write response of the last AXI write burst was awaited (never
+    /// pauses). Anchored `latency` cycles after the last write beat.
+    AxiWriteResp {
+        /// Issuing thread.
+        thread: ThreadId,
+        /// AXI port.
+        bus: AxiId,
+        /// Cycle the schedule placed the wait at (before the bus stall).
+        request: u64,
+        /// Cycle the response actually arrived (`max(request, ready)`).
+        commit: u64,
+    },
     /// A testbench-visible output was written (never pauses).
     Output {
         /// Issuing thread.
@@ -137,6 +188,10 @@ impl Request {
             | Request::FifoNbRead { thread, .. }
             | Request::FifoCanRead { thread, .. }
             | Request::FifoCanWrite { thread, .. }
+            | Request::AxiReadReq { thread, .. }
+            | Request::AxiReadBeat { thread, .. }
+            | Request::AxiWriteBeat { thread, .. }
+            | Request::AxiWriteResp { thread, .. }
             | Request::Output { thread, .. }
             | Request::TaskFinished { thread, .. }
             | Request::TaskFailed { thread, .. } => *thread,

@@ -15,18 +15,37 @@ use std::collections::VecDeque;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Mutex;
 
+/// One outstanding AXI read burst: the values snapshotted at request time
+/// plus the per-burst beat pacing (the first beat is ready `request_latency`
+/// cycles after the request, subsequent beats one cycle apart) — the same
+/// per-burst rule the cycle-stepped reference's `AxiChannel` applies, so
+/// outstanding and interleaved bursts pace identically on both backends.
+#[derive(Debug, Clone)]
+struct ReadBurst {
+    values: VecDeque<i64>,
+    ready: u64,
+    index: u32,
+    beats_done: u32,
+}
+
 #[derive(Debug, Default, Clone)]
 struct AxiReadState {
-    queue: VecDeque<i64>,
-    next_beat_ready: u64,
+    bursts: VecDeque<ReadBurst>,
+    issued: u32,
+}
+
+/// One outstanding AXI write burst (beats address `addr + beats_done`).
+#[derive(Debug, Clone)]
+struct WriteBurst {
+    addr: i64,
+    len: i64,
+    beats_done: i64,
 }
 
 #[derive(Debug, Default, Clone)]
 struct AxiWriteState {
-    addr: i64,
-    beats_done: i64,
+    bursts: VecDeque<WriteBurst>,
     last_beat_cycle: u64,
-    active: bool,
 }
 
 /// The backend driving one Func Sim thread.
@@ -248,36 +267,71 @@ impl SimBackend for FuncRuntime<'_> {
     ) -> Result<(), SimError> {
         let port = self.design.axi_port(bus);
         let cycle = self.clock.op_cycle(offset);
-        let data = self.arrays[port.array.index()]
-            .lock()
-            .expect("array mutex poisoned");
-        for beat in 0..len {
-            let idx = addr + beat;
-            let value = usize::try_from(idx)
-                .ok()
-                .and_then(|i| data.get(i).copied())
-                .ok_or(SimError::ArrayOutOfBounds {
-                    array: port.array,
-                    index: idx,
-                    len: data.len(),
-                })?;
-            self.axi_read[bus.index()].queue.push_back(value);
+        let mut values = VecDeque::with_capacity(usize::try_from(len).unwrap_or(0));
+        {
+            let data = self.arrays[port.array.index()]
+                .lock()
+                .expect("array mutex poisoned");
+            for beat in 0..len {
+                let idx = addr + beat;
+                let value = usize::try_from(idx)
+                    .ok()
+                    .and_then(|i| data.get(i).copied())
+                    .ok_or(SimError::ArrayOutOfBounds {
+                        array: port.array,
+                        index: idx,
+                        len: data.len(),
+                    })?;
+                values.push_back(value);
+            }
         }
-        self.axi_read[bus.index()].next_beat_ready = cycle + port.request_latency;
-        Ok(())
+        let state = &mut self.axi_read[bus.index()];
+        let index = state.issued;
+        state.issued += 1;
+        state.bursts.push_back(ReadBurst {
+            values,
+            ready: cycle + port.request_latency,
+            index,
+            beats_done: 0,
+        });
+        self.send(Request::AxiReadReq {
+            thread: self.thread,
+            bus,
+            cycle,
+        })
     }
 
     fn axi_read(&mut self, bus: AxiId, offset: u64) -> Result<i64, SimError> {
-        let state = &mut self.axi_read[bus.index()];
-        let value = state
-            .queue
-            .pop_front()
-            .ok_or_else(|| SimError::AxiProtocolViolation {
-                detail: "axi read beat without outstanding request".to_owned(),
-            })?;
-        let ready = state.next_beat_ready;
-        state.next_beat_ready = ready + 1;
-        self.clock.stall_until(offset, ready);
+        let request = self.clock.op_cycle(offset);
+        let (value, ready, burst, beat, done) = {
+            let state = &mut self.axi_read[bus.index()];
+            let front = state
+                .bursts
+                .front_mut()
+                .ok_or_else(|| SimError::AxiProtocolViolation {
+                    detail: "axi read beat without outstanding request".to_owned(),
+                })?;
+            let value = front
+                .values
+                .pop_front()
+                .expect("burst has a value per beat");
+            let beat = front.beats_done;
+            front.beats_done += 1;
+            let ready = front.ready + u64::from(beat);
+            (value, ready, front.index, beat, front.values.is_empty())
+        };
+        if done {
+            self.axi_read[bus.index()].bursts.pop_front();
+        }
+        let commit = self.clock.stall_until(offset, ready);
+        self.send(Request::AxiReadBeat {
+            thread: self.thread,
+            bus,
+            burst,
+            beat,
+            request,
+            commit,
+        })?;
         Ok(value)
     }
 
@@ -285,15 +339,14 @@ impl SimBackend for FuncRuntime<'_> {
         &mut self,
         bus: AxiId,
         addr: i64,
-        _len: i64,
+        len: i64,
         _offset: u64,
     ) -> Result<(), SimError> {
-        self.axi_write[bus.index()] = AxiWriteState {
+        self.axi_write[bus.index()].bursts.push_back(WriteBurst {
             addr,
+            len,
             beats_done: 0,
-            last_beat_cycle: 0,
-            active: true,
-        };
+        });
         Ok(())
     }
 
@@ -301,14 +354,19 @@ impl SimBackend for FuncRuntime<'_> {
         let port = self.design.axi_port(bus);
         let cycle = self.clock.op_cycle(offset);
         let state = &mut self.axi_write[bus.index()];
-        if !state.active {
-            return Err(SimError::AxiProtocolViolation {
+        let front = state
+            .bursts
+            .front_mut()
+            .ok_or_else(|| SimError::AxiProtocolViolation {
                 detail: "axi write beat without outstanding request".to_owned(),
-            });
-        }
-        let idx = state.addr + state.beats_done;
-        state.beats_done += 1;
+            })?;
+        let idx = front.addr + front.beats_done;
+        front.beats_done += 1;
+        let done = front.beats_done >= front.len;
         state.last_beat_cycle = cycle;
+        if done {
+            state.bursts.pop_front();
+        }
         let mut data = self.arrays[port.array.index()]
             .lock()
             .expect("array mutex poisoned");
@@ -322,14 +380,25 @@ impl SimBackend for FuncRuntime<'_> {
                 len,
             })?;
         *slot = value;
-        Ok(())
+        drop(data);
+        self.send(Request::AxiWriteBeat {
+            thread: self.thread,
+            bus,
+            cycle,
+        })
     }
 
     fn axi_write_resp(&mut self, bus: AxiId, offset: u64) -> Result<(), SimError> {
         let port = self.design.axi_port(bus);
+        let request = self.clock.op_cycle(offset);
         let ready = self.axi_write[bus.index()].last_beat_cycle + port.request_latency;
-        self.clock.stall_until(offset, ready);
-        Ok(())
+        let commit = self.clock.stall_until(offset, ready);
+        self.send(Request::AxiWriteResp {
+            thread: self.thread,
+            bus,
+            request,
+            commit,
+        })
     }
 
     fn output(&mut self, output: OutputId, value: i64) -> Result<(), SimError> {

@@ -16,6 +16,11 @@
 
 use omnisim_ir::{Design, DesignBuilder, Expr, FifoId, ModuleId, OutputId};
 
+/// Deterministic DDR contents for the AXI fixtures.
+fn ddr(n: i64) -> Vec<i64> {
+    (0..n).map(|i| (i * 23 + 7) % 89).collect()
+}
+
 /// The generator's source-task body: `acc += i + (i + 1)` per iteration,
 /// then one write of `acc + i` into `q` — blocking or lossy.
 fn accumulating_producer(
@@ -180,6 +185,292 @@ pub fn nb_undecided_race(n: i64) -> Design {
     d.build().expect("fixture is well-formed")
 }
 
+/// Witness of the outstanding-AXI-burst pacing bug in the OmniSim runtime
+/// and the LightningSim trace backend (fixed in the same PR that taught the
+/// fuzzer to generate AXI traffic).
+///
+/// A single DMA-style task issues *two* read-burst requests back to back
+/// (the second two cycles after the first) and only then drains the beats.
+/// Both engines used to keep one `next_beat_ready` per port, so the second
+/// request *re-paced* the first burst's undelivered beats to its own later
+/// ready cycle — while the cycle-stepped reference paces each burst from
+/// its own request (`ready = request + latency + beat`). The fix mirrors
+/// the reference's per-burst queue in both backends.
+///
+/// Shrunk from `GenConfig::axi()` seeds with `prefetch > 0`:
+/// `Blueprint { tokens: 2·n, tasks: [rate n, AxiPlan { ReadSource
+///   { prefetch: 1, .. }, latency 4 }], edges: [] }`.
+pub fn axi_outstanding_bursts(n: i64) -> Design {
+    let mut d = DesignBuilder::new("fuzz_axi_outstanding_bursts");
+    let mem = d.array("ddr", ddr(2 * n));
+    let axi = d.axi_port("gmem", mem, 4);
+    let out = d.output("acc");
+    d.function_top("dma", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+            b.axi_read_req(axi, Expr::imm(0), Expr::imm(n));
+            b.at(2).axi_read_req(axi, Expr::imm(n), Expr::imm(n));
+        });
+        m.counted_loop("i", 2 * n, 1, |b| {
+            let v = b.axi_read(axi);
+            b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    });
+    d.build().expect("fixture is well-formed")
+}
+
+/// Witness of the absolute-bus-anchor unsoundness in the incremental DSE
+/// model and LightningSim's Phase 2 (fixed in the same PR).
+///
+/// An AXI read source interleaves each beat with a blocking write into a
+/// depth-1 FIFO whose consumer is slow (3 extra cycles per iteration). In
+/// the baseline the FIFO stalls dominate and the bus is never the
+/// bottleneck; with a deeper FIFO the writes move earlier and the beats run
+/// into the bus's absolute ready cycles (`request + latency + beat`). Both
+/// graph-based paths froze the baseline's bus waits into program-order
+/// distances, so re-finalization shifted the beats along with the writes —
+/// under- or over-estimating the resized latency. The fix gives every
+/// request an event node and anchors each beat to it with a
+/// `latency + beat` edge, which re-finalization re-evaluates per point.
+///
+/// Shrunk from `GenConfig::axi()` seeds with `interleave: true`:
+/// `Blueprint { tokens: 2·n, tasks: [rate n AXI ReadSource interleave,
+///   rate 1 work 3], edges: [0 -> 1, depth 1, Blocking] }`.
+pub fn axi_beat_stall_anchor(n: i64) -> Design {
+    let mut d = DesignBuilder::new("fuzz_axi_beat_stall_anchor");
+    let mem = d.array("ddr", ddr(2 * n));
+    let axi = d.axi_port("gmem", mem, 6);
+    let out0 = d.output("t0_acc");
+    let out1 = d.output("t1_acc");
+    let q = d.fifo("e0_0to1", 1);
+    let source = d.function("t0", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", 2, n.max(2) as u64, |m_b| {
+            let i = m_b.var_expr("i");
+            m_b.axi_read_req(axi, i.clone().mul(Expr::imm(n)), Expr::imm(n));
+            for j in 0..n {
+                m_b.at(j as u64);
+                let v = m_b.axi_read(axi);
+                m_b.assign(
+                    acc,
+                    Expr::var(acc)
+                        .add(i.clone().mul(Expr::imm(n)).add(Expr::imm(j)))
+                        .add(Expr::var(v)),
+                );
+                m_b.fifo_write(q, Expr::var(acc).add(Expr::imm(j)));
+            }
+        });
+        m.exit(|b| {
+            b.output(out0, Expr::var(acc));
+        });
+    });
+    let sink = d.function("t1", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", 2 * n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.fifo_read(q);
+            b.assign(acc, Expr::var(acc).add(i).add(Expr::var(v)));
+            b.step(3);
+        });
+        m.exit(|b| {
+            b.output(out1, Expr::var(acc));
+        });
+    });
+    d.dataflow_top("top", [source, sink]);
+    d.build().expect("fixture is well-formed")
+}
+
+/// Witness of the missing-freeing-read soundness hole in incremental DSE
+/// (fixed in the same PR): leftover data.
+///
+/// The producer writes `n + surplus` values; the consumer drains `n`. The
+/// design is live at its declared depth (`depth ≥ surplus`), but any probe
+/// shallower than the surplus could never commit the leftover writes — the
+/// resized design deadlocks. `try_with_depths` and the compiled plan used
+/// to skip the non-existent write-after-read edge and *certify a latency*
+/// for those probes; they now report `DepthInfeasible`.
+///
+/// Shrunk from `GenConfig::multirate()` seeds:
+/// `Blueprint { tokens: n, tasks: [minimal, minimal],
+///   edges: [0 -> 1, depth, Blocking, surplus] }`.
+pub fn multirate_leftover(n: i64, depth: usize, surplus: usize) -> Design {
+    let mut d = DesignBuilder::new("fuzz_multirate_leftover");
+    let out_p = d.output("t0_acc");
+    let out_c = d.output("t1_acc");
+    let q = d.fifo("e0_0to1", depth);
+    let producer = d.function("t0", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            b.assign(acc, Expr::var(acc).add(i.clone()));
+            b.fifo_write(q, Expr::var(acc).add(i));
+        });
+        m.seq(|b| {
+            for s in 0..surplus {
+                b.fifo_write(q, Expr::var(acc).add(Expr::imm(s as i64)));
+            }
+        });
+        m.exit(|b| {
+            b.output(out_p, Expr::var(acc));
+        });
+    });
+    let consumer = d.function("t1", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let v = b.fifo_read(q);
+            b.assign(acc, Expr::var(acc).add(i).add(Expr::var(v)));
+        });
+        m.exit(|b| {
+            b.output(out_c, Expr::var(acc));
+        });
+    });
+    d.dataflow_top("top", [producer, consumer]);
+    d.build().expect("fixture is well-formed")
+}
+
+/// Witness of the over-strong compiled-plan skeleton (fixed in the same
+/// PR): multi-rate reconvergence.
+///
+/// A diamond `t0 → t1 → t2 → t3` with a bypass `t0 → t3`, where `t1`
+/// consumes two tokens per iteration and `t2` three. `t2` must buffer three
+/// tokens before its first output, so `t3`'s early bypass reads outrun the
+/// long path by more than one token — the depth-1 write-after-read overlay
+/// is *cyclic* (the design genuinely deadlocks when `bypass_depth` is
+/// small). The plan's one cached topological order used to bake the depth-1
+/// anchors in unconditionally, so compilation failed on the *completed*
+/// baseline; it now relaxes the skeleton per FIFO (recording the supported
+/// minimum depth) and answers sub-threshold probes through a per-point
+/// order that reports `DepthCyclic` exactly like `try_with_depths`.
+///
+/// Shrunk from `GenConfig::type_b()` seed 0 (the multi-rate dimension
+/// riding along): `Blueprint { tokens: 6, tasks: [rate 1, rate 2, rate 3,
+///   rate 1], edges: [0→1, 1→2, 0→3 (bypass_depth), 2→3, all Blocking] }`.
+pub fn multirate_diamond(bypass_depth: usize) -> Design {
+    let mut d = DesignBuilder::new("fuzz_multirate_diamond");
+    let out = d.output("t3_acc");
+    let f0 = d.fifo("e0_0to1", 1);
+    let f1 = d.fifo("e1_1to2", 1);
+    let f2 = d.fifo("e2_0to3", bypass_depth);
+    let f3 = d.fifo("e3_2to3", 1);
+    let t0 = d.function("t0", |m| {
+        m.counted_loop("i", 6, 1, |b| {
+            let i = b.var_expr("i");
+            b.fifo_write(f0, i.clone().add(Expr::imm(1)));
+            b.fifo_write(f2, i.mul(Expr::imm(2)).add(Expr::imm(1)));
+        });
+    });
+    let t1 = d.function("t1", |m| {
+        m.counted_loop("i", 3, 3, |b| {
+            let a = b.at(0).fifo_read(f0);
+            let c = b.at(1).fifo_read(f0);
+            b.at(1).fifo_write(f1, Expr::var(a).add(Expr::imm(1)));
+            b.at(2).fifo_write(f1, Expr::var(c).add(Expr::imm(2)));
+        });
+    });
+    let t2 = d.function("t2", |m| {
+        m.counted_loop("i", 2, 3, |b| {
+            let a = b.at(0).fifo_read(f1);
+            let c = b.at(1).fifo_read(f1);
+            let e = b.at(2).fifo_read(f1);
+            b.at(2).fifo_write(f3, Expr::var(a).add(Expr::var(c)));
+            b.at(3).fifo_write(f3, Expr::var(c).add(Expr::var(e)));
+            b.at(4).fifo_write(f3, Expr::var(e).add(Expr::imm(3)));
+        });
+    });
+    let t3 = d.function("t3", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", 6, 1, |b| {
+            let i = b.var_expr("i");
+            let bypass = b.fifo_read(f2);
+            let chain = b.fifo_read(f3);
+            b.assign(
+                acc,
+                Expr::var(acc)
+                    .add(i)
+                    .add(Expr::var(bypass))
+                    .add(Expr::var(chain)),
+            );
+        });
+        m.exit(|b| {
+            b.output(out, Expr::var(acc));
+        });
+    });
+    d.dataflow_top("top", [t0, t1, t2, t3]);
+    d.build().expect("fixture is well-formed")
+}
+
+/// Witness of the call-blind task ordering in LightningSim's Phase 1 and
+/// the taxonomy's cycle analysis (fixed in the same PR).
+///
+/// The consumer's blocking read happens inside a two-deep private callee
+/// chain, so the FIFO's reader *module* is the innermost callee while the
+/// read runs on the consumer task's thread. Lightning's topological task
+/// order only looked at direct endpoints, dropped the producer→consumer
+/// edge, ran the consumer first and crashed on the empty FIFO. Endpoints
+/// are now attributed through `Op::Call` closures.
+///
+/// Shrunk from `GenConfig::calls()` seed 0:
+/// `Blueprint { tokens: n, tasks: [minimal, minimal + CallPlan { depth: 2,
+///   private, wrap_reads }], edges: [0 -> 1, depth 1, Blocking] }`.
+pub fn call_wrapped_reader(n: i64) -> Design {
+    let mut d = DesignBuilder::new("fuzz_call_wrapped_reader");
+    let out_p = d.output("t0_acc");
+    let out_c = d.output("t1_acc");
+    let q = d.fifo("e0_0to1", 1);
+    let producer = accumulating_producer(&mut d, "t0", out_p, q, false, n);
+    let inner = d.function("t1_mix1", |m| {
+        let x = m.var("x");
+        m.entry(|b| {
+            let v = b.fifo_read(q);
+            b.latency(3);
+            b.ret_val(Expr::var(v).add(Expr::var(x)).add(Expr::imm(7)));
+        });
+    });
+    let outer = d.function("t1_mix0", |m| {
+        let x = m.var("x");
+        m.entry(|b| {
+            let r = b.call(inner, vec![Expr::var(x).add(Expr::imm(1))]);
+            b.ret_val(Expr::var(r).add(Expr::imm(1)));
+        });
+    });
+    let consumer = d.function("t1", |m| {
+        let acc = m.var("acc");
+        m.entry(|b| {
+            b.assign(acc, Expr::imm(0));
+        });
+        m.counted_loop("i", n, 1, |b| {
+            let i = b.var_expr("i");
+            let r = b.call(outer, vec![i.clone()]);
+            b.assign(acc, Expr::var(acc).add(i).add(Expr::var(r)));
+        });
+        m.exit(|b| {
+            b.output(out_c, Expr::var(acc));
+        });
+    });
+    d.dataflow_top("top", [producer, consumer]);
+    d.build().expect("fixture is well-formed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +485,20 @@ mod tests {
         );
         assert_eq!(classify(&nb_undecided_race(3)).class, DesignClass::TypeC);
         assert_eq!(classify(&depth_relaxation(2)).class, DesignClass::TypeA);
+        assert_eq!(
+            classify(&axi_outstanding_bursts(4)).class,
+            DesignClass::TypeA
+        );
+        assert_eq!(
+            classify(&axi_beat_stall_anchor(3)).class,
+            DesignClass::TypeA
+        );
+        assert_eq!(
+            classify(&multirate_leftover(4, 2, 2)).class,
+            DesignClass::TypeA
+        );
+        assert_eq!(classify(&multirate_diamond(5)).class, DesignClass::TypeA);
+        assert_eq!(classify(&call_wrapped_reader(4)).class, DesignClass::TypeA);
     }
 
     #[test]

@@ -170,6 +170,12 @@ pub struct SweepPlan {
     end_nodes: Vec<u32>,
     /// FIFO depths of the baseline run.
     original_depths: Vec<usize>,
+    /// Per-FIFO minimum depth the cached topological order supports. For
+    /// single-rate pipelines this is 1 everywhere; multi-rate reconvergence
+    /// can make the depth-1 overlay genuinely cyclic (the design would
+    /// deadlock at depth 1), in which case the skeleton is relaxed and
+    /// points probing below this bound take the allocating slow path.
+    supported_min_depth: Vec<usize>,
 }
 
 impl SweepPlan {
@@ -205,34 +211,75 @@ impl SweepPlan {
             })
             .collect();
 
-        // Ordering skeleton: one order that dominates every depth ≥ 1
-        // overlay. Chaining each FIFO's reads in commit order and ordering
-        // write w after read min(w−1, last) covers the WAR edge
-        // read(w−S) → write(w) for every S ≥ 1, because the source read is
-        // always at or before the skeleton read in the chain. Non-blocking
-        // writes never receive WAR edges, so constraining them here would
-        // only risk a spurious cycle.
-        let mut skeleton: Vec<Edge> = Vec::new();
-        for lane in &lanes {
-            for pair in lane.reads.windows(2) {
-                skeleton.push(Edge::new(NodeId(pair[0]), NodeId(pair[1]), 0));
-            }
-            if lane.reads.is_empty() {
-                continue;
-            }
-            for (iw, &write) in lane.writes.iter().enumerate().skip(1) {
-                if !lane.write_blocking[iw] {
+        // Ordering skeleton: one order that dominates every overlay with
+        // depths ≥ `supported_min_depth`. Chaining each FIFO's reads in
+        // commit order and ordering write w after read min(w−m, last)
+        // covers the WAR edge read(w−S) → write(w) for every S ≥ m,
+        // because the source read is always at or before the skeleton read
+        // in the chain. Non-blocking writes never receive WAR edges, so
+        // constraining them here would only risk a spurious cycle.
+        //
+        // `m` starts at 1 per FIFO. When the combined skeleton is cyclic —
+        // which happens exactly when a depth-m assignment deadlocks, e.g.
+        // multi-rate reconvergent pipelines at depth 1 — the anchors are
+        // relaxed one depth at a time until an order exists; points below
+        // the supported bound are answered by the evaluator's slow path.
+        let build_skeleton = |bounds: &[usize]| {
+            let mut skeleton: Vec<Edge> = Vec::new();
+            for (f, lane) in lanes.iter().enumerate() {
+                for pair in lane.reads.windows(2) {
+                    skeleton.push(Edge::new(NodeId(pair[0]), NodeId(pair[1]), 0));
+                }
+                if lane.reads.is_empty() {
                     continue;
                 }
-                let anchor = lane.reads[(iw - 1).min(lane.reads.len() - 1)];
-                skeleton.push(Edge::new(NodeId(anchor), NodeId(write), 0));
+                let m = bounds[f];
+                for (iw, &write) in lane.writes.iter().enumerate().skip(m) {
+                    if !lane.write_blocking[iw] {
+                        continue;
+                    }
+                    let anchor = lane.reads[(iw - m).min(lane.reads.len() - 1)];
+                    skeleton.push(Edge::new(NodeId(anchor), NodeId(write), 0));
+                }
+            }
+            skeleton
+        };
+        let mut supported_min_depth = vec![1usize; lanes.len()];
+        let mut topo: Vec<u32> = loop {
+            match fwd.topo_order_with(build_skeleton(&supported_min_depth).iter().copied()) {
+                Ok(order) => break order.into_iter().map(|n| n.0).collect(),
+                Err(e) => {
+                    let mut relaxed = false;
+                    for (f, lane) in lanes.iter().enumerate() {
+                        if !lane.reads.is_empty() && supported_min_depth[f] < lane.writes.len() {
+                            supported_min_depth[f] += 1;
+                            relaxed = true;
+                        }
+                    }
+                    if !relaxed {
+                        // No anchors left to relax: the base graph itself is
+                        // cyclic, which is an engine bug.
+                        return Err(e);
+                    }
+                }
+            }
+        };
+        // The relaxation loop bumps every FIFO; most are innocent of the
+        // cycle. Re-tighten each back to 1 where an order still exists, so
+        // their depth-1 probes keep the allocation-free fast path.
+        if supported_min_depth.iter().any(|&m| m > 1) {
+            for f in 0..lanes.len() {
+                if supported_min_depth[f] == 1 {
+                    continue;
+                }
+                let mut trial = supported_min_depth.clone();
+                trial[f] = 1;
+                if let Ok(order) = fwd.topo_order_with(build_skeleton(&trial).iter().copied()) {
+                    supported_min_depth = trial;
+                    topo = order.into_iter().map(|n| n.0).collect();
+                }
             }
         }
-        let topo: Vec<u32> = fwd
-            .topo_order_with(skeleton.iter().copied())?
-            .into_iter()
-            .map(|n| n.0)
-            .collect();
         let mut topo_rank = vec![0u32; n];
         for (rank, &node) in topo.iter().enumerate() {
             topo_rank[node as usize] = rank as u32;
@@ -274,6 +321,7 @@ impl SweepPlan {
             constraints,
             end_nodes: state.end_nodes.iter().flatten().map(|n| n.0).collect(),
             original_depths: state.original_depths.clone(),
+            supported_min_depth,
         })
     }
 
@@ -321,6 +369,20 @@ impl SweepPlan {
             heap: BinaryHeap::new(),
             queued: vec![false; self.fwd.len()],
         }
+    }
+
+    /// The first FIFO whose depth is infeasible for the baseline's access
+    /// counts — replicates `IncrementalState::first_infeasible_fifo` so the
+    /// compiled path returns bit-identical outcomes.
+    fn first_infeasible_fifo(&self, depths: &[usize]) -> Option<usize> {
+        depths.iter().enumerate().position(|(f, &depth)| {
+            let lane = &self.lanes[f];
+            let (writes, reads) = (lane.writes.len(), lane.reads.len());
+            writes > depth + reads
+                && lane.write_blocking[depth + reads..writes]
+                    .iter()
+                    .any(|&blocking| blocking)
+        })
     }
 
     /// Validates one depth vector against the plan.
@@ -415,6 +477,24 @@ impl PlanEvaluator<'_> {
 
     /// Evaluation core; `depths` must already be validated.
     fn evaluate_validated(&mut self, depths: &[usize]) -> IncrementalOutcome {
+        // Infeasible depths (a committed blocking write with no freeing
+        // read) are rejected before touching the time buffer, exactly as
+        // `try_with_depths` rejects them before re-finalizing; the buffer
+        // keeps reflecting `self.depths` for the next delta evaluation.
+        if let Some(fifo) = self.plan.first_infeasible_fifo(depths) {
+            return IncrementalOutcome::DepthInfeasible { fifo };
+        }
+        // Points below the cached order's supported bound may introduce WAR
+        // edges that go backwards in that order (they may even be cyclic,
+        // i.e. deadlock); they take the allocating slow path, which derives
+        // its own order per point.
+        if depths
+            .iter()
+            .zip(&self.plan.supported_min_depth)
+            .any(|(&d, &m)| d < m)
+        {
+            return self.evaluate_slow(depths);
+        }
         if self.depths.is_empty() {
             self.full_relaxation(depths);
         } else if self.depths != depths {
@@ -422,7 +502,11 @@ impl PlanEvaluator<'_> {
         }
         self.depths.clear();
         self.depths.extend_from_slice(depths);
+        self.verdict()
+    }
 
+    /// Constraint re-check plus latency over the current time buffer.
+    fn verdict(&self) -> IncrementalOutcome {
         for (index, c) in self.plan.constraints.iter().enumerate() {
             if self.check_constraint(c) != c.outcome {
                 return IncrementalOutcome::ConstraintViolated { constraint: index };
@@ -431,6 +515,80 @@ impl PlanEvaluator<'_> {
         IncrementalOutcome::Valid {
             total_cycles: self.latency(),
         }
+    }
+
+    /// The allocating per-point path for depths below the cached order's
+    /// bound: a fresh Kahn pass over base + overlay edges (reporting
+    /// [`IncrementalOutcome::DepthCyclic`] when none exists, bit-identical
+    /// to `try_with_depths`), then a relaxation in that order. The time
+    /// buffer it leaves behind is exact, so later fast-path points can
+    /// still delta-update from it.
+    fn evaluate_slow(&mut self, depths: &[usize]) -> IncrementalOutcome {
+        let plan = self.plan;
+        let n = plan.fwd.len();
+        let mut overlay: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (f, lane) in plan.lanes.iter().enumerate() {
+            let depth = depths[f];
+            for iw in depth..lane.writes.len() {
+                if !lane.write_blocking[iw] {
+                    continue;
+                }
+                if let Some(&read) = lane.reads.get(iw - depth) {
+                    overlay[read as usize].push(lane.writes[iw]);
+                }
+            }
+        }
+        let mut indegree = vec![0u32; n];
+        for (u, targets) in overlay.iter().enumerate() {
+            for (v, _) in plan.fwd.successors(NodeId(u as u32)) {
+                indegree[v.index()] += 1;
+            }
+            for &v in targets {
+                indegree[v as usize] += 1;
+            }
+        }
+        let mut ready: Vec<u32> = (0..n as u32)
+            .filter(|&u| indegree[u as usize] == 0)
+            .collect();
+        let mut order: Vec<u32> = Vec::with_capacity(n);
+        while let Some(u) = ready.pop() {
+            order.push(u);
+            for (v, _) in plan.fwd.successors(NodeId(u)) {
+                indegree[v.index()] -= 1;
+                if indegree[v.index()] == 0 {
+                    ready.push(v.0);
+                }
+            }
+            for &v in &overlay[u as usize] {
+                indegree[v as usize] -= 1;
+                if indegree[v as usize] == 0 {
+                    ready.push(v);
+                }
+            }
+        }
+        if order.len() != n {
+            return IncrementalOutcome::DepthCyclic;
+        }
+        self.time.clear();
+        self.time.extend_from_slice(plan.fwd.base_times());
+        for &u in &order {
+            let tu = self.time[u as usize];
+            for (v, w) in plan.fwd.successors(NodeId(u)) {
+                let cand = tu.saturating_add_signed(w);
+                if cand > self.time[v.index()] {
+                    self.time[v.index()] = cand;
+                }
+            }
+            for &v in &overlay[u as usize] {
+                let cand = tu.saturating_add(1);
+                if cand > self.time[v as usize] {
+                    self.time[v as usize] = cand;
+                }
+            }
+        }
+        self.depths.clear();
+        self.depths.extend_from_slice(depths);
+        self.verdict()
     }
 
     /// One full pass over the cached topological order, relaxing CSR

@@ -254,7 +254,17 @@ impl<'d> Sweep<'d> {
                             outputs: None,
                         });
                     }
-                    IncrementalOutcome::ConstraintViolated { .. } => {
+                    IncrementalOutcome::ConstraintViolated { .. }
+                    | IncrementalOutcome::DepthInfeasible { .. }
+                    | IncrementalOutcome::DepthCyclic => {
+                        // An uncertifiable zero-depth point is not a design
+                        // point at all — the resized design would not even
+                        // validate — so it stays an error rather than a
+                        // resim candidate (which would assert on the zero
+                        // depth).
+                        if depths.contains(&0) {
+                            return Err(OmniError::Graph(omnisim_graph::CycleError));
+                        }
                         fallback.push((index, depths));
                     }
                 }
@@ -279,7 +289,9 @@ impl<'d> Sweep<'d> {
                             outputs: None,
                         });
                     }
-                    IncrementalOutcome::ConstraintViolated { .. } => {
+                    IncrementalOutcome::ConstraintViolated { .. }
+                    | IncrementalOutcome::DepthInfeasible { .. }
+                    | IncrementalOutcome::DepthCyclic => {
                         fallback.push((index, depths));
                     }
                 }
@@ -444,10 +456,56 @@ mod tests {
         assert!(matches!(err, OmniError::Graph(_)), "got {err:?}");
         let manual = design;
         let baseline = OmniSimulator::new(&manual).run().unwrap();
-        assert!(
-            baseline.incremental.try_with_depths(&[0]).is_err(),
+        assert_eq!(
+            baseline.incremental.try_with_depths(&[0]).unwrap(),
+            IncrementalOutcome::DepthCyclic,
             "the uncompiled path agrees that depth 0 is cyclic here"
         );
+    }
+
+    #[test]
+    fn depth_zero_on_an_infeasible_fifo_errors_instead_of_resimulating() {
+        // A producer that leaves surplus data in the FIFO: depth 0 is
+        // DepthInfeasible (not DepthCyclic), and must still surface as an
+        // error — routing it to the resim fallback would panic on
+        // `with_fifo_depths`'s zero-depth assertion.
+        let mut d = omnisim_ir::DesignBuilder::new("surplus");
+        let q = d.fifo("q", 2);
+        let out = d.output("sum");
+        let p = d.function("p", |m| {
+            m.counted_loop("i", 4, 1, |b| {
+                let i = b.var_expr("i");
+                b.fifo_write(q, i);
+            });
+            m.exit(|b| {
+                b.fifo_write(q, omnisim_ir::Expr::imm(99));
+            });
+        });
+        let c = d.function("c", |m| {
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, omnisim_ir::Expr::imm(0));
+            });
+            m.counted_loop("i", 4, 1, |b| {
+                let v = b.fifo_read(q);
+                b.assign(
+                    acc,
+                    omnisim_ir::Expr::var(acc).add(omnisim_ir::Expr::var(v)),
+                );
+            });
+            m.exit(|b| {
+                b.output(out, omnisim_ir::Expr::var(acc));
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        let design = d.build().unwrap();
+        let baseline = OmniSimulator::new(&design).run().unwrap();
+        assert_eq!(
+            baseline.incremental.try_with_depths(&[0]).unwrap(),
+            IncrementalOutcome::DepthInfeasible { fifo: 0 }
+        );
+        let err = Sweep::new(&design).point([0usize]).run().unwrap_err();
+        assert!(matches!(err, OmniError::Graph(_)), "got {err:?}");
     }
 
     #[test]

@@ -6,28 +6,50 @@
 //! validated [`Design`]. Everything downstream benefits:
 //!
 //! * **shrinking** operates on the blueprint (drop a task, drop an edge,
-//!   halve the token count, simplify an access kind) and re-lowers, so every
-//!   shrink candidate is well-formed by construction;
+//!   halve the token count, simplify an access kind, strip a call chain,
+//!   flatten a burst) and re-lowers, so every shrink candidate is
+//!   well-formed by construction;
 //! * **reproduction** is trivial: a failing case is its blueprint, which is
 //!   tiny, printable and committable as a regression fixture;
 //! * **taxonomy targeting** is compositional: each [`EdgeKind`] maps onto a
-//!   known row of the paper's Type A/B/C taxonomy.
+//!   known row of the paper's Type A/B/C taxonomy, and the orthogonal
+//!   dimensions (AXI bursts, call chains, multi-rate edges) never change the
+//!   class.
 //!
 //! ## The task protocol
 //!
-//! Every pipeline edge carries exactly [`Blueprint::tokens`] values. Each
-//! worker task loops `tokens` times; one iteration reads one value from
-//! every forward in-edge, folds the values into an accumulator, then writes
-//! one value to every out-edge. Response edges ([`EdgeKind::Response`]) are
-//! read at the *end* of an iteration — after the requests have been written
-//! — which closes request/response cycles without deadlocking (the
-//! controller always leads). Setting the `deadlock` flag moves that read
-//! *before* the writes, producing a guaranteed design-level deadlock that
-//! both cycle-accurate backends must diagnose identically.
+//! Every pipeline edge carries exactly [`Blueprint::tokens`] values. A
+//! worker task with rate `r` loops `tokens / r` times; one iteration reads
+//! `r` values from every forward in-edge (sub-token `j` at schedule offset
+//! `j`), folds them into an accumulator, then writes `r` values to every
+//! out-edge. Two tasks with different rates joined by an edge form a
+//! *multi-rate* boundary: the totals balance but the pipelines do not,
+//! exercising transient backlog on the FIFO. A *surplus* on an edge makes
+//! the producer emit `surplus` extra values after its main loop — leftover
+//! data that the consumer never drains, which is live exactly when the FIFO
+//! is at least `surplus` deep (and makes shallower DSE probes infeasible).
+//!
+//! Response edges ([`EdgeKind::Response`]) are read at the *end* of an
+//! iteration — after the requests have been written — which closes
+//! request/response cycles without deadlocking (the controller always
+//! leads). Setting the `deadlock` flag moves that read *before* the writes,
+//! producing a guaranteed design-level deadlock that both cycle-accurate
+//! backends must diagnose identically.
+//!
+//! [`AxiPlan`] replaces a task's local value source/sink with AXI master
+//! bursts (the `axi4_master` shapes): a read source issues one `rate`-beat
+//! burst per iteration (optionally prefetching bursts ahead so several
+//! transactions are outstanding, optionally interleaving beats with its
+//! FIFO writes), a write sink streams its folded values back to memory and
+//! awaits the write response, and an isolated read/write task does both.
+//! [`CallPlan`] wraps a task's fold (and optionally its blocking reads) in
+//! a chain of `Op::Call` sub-functions, exercising the call-timing contract
+//! (callee enters one cycle after the call, caller resumes one cycle after
+//! the callee's exit) under FIFO and bus stalls.
 
 use crate::rng::Rng;
 use omnisim_ir::builder::{BlockBuilder, DesignBuilder};
-use omnisim_ir::{ArrayId, Design, Expr, FifoId, OutputId};
+use omnisim_ir::{ArrayId, AxiId, Design, Expr, FifoId, ModuleId, OutputId};
 
 /// How a dataflow edge accesses its FIFO.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,12 +110,81 @@ pub struct EdgePlan {
     pub depth: usize,
     /// Access style.
     pub kind: EdgeKind,
+    /// Extra values the producer writes after its main loop (leftover data
+    /// the consumer never reads). Blocking edges only; must not exceed
+    /// `depth` or the design deadlocks on its own declared sizes.
+    pub surplus: usize,
+}
+
+impl EdgePlan {
+    /// A plain blocking edge with no surplus.
+    pub fn blocking(src: usize, dst: usize, depth: usize) -> Self {
+        EdgePlan {
+            src,
+            dst,
+            depth,
+            kind: EdgeKind::Blocking,
+            surplus: 0,
+        }
+    }
+}
+
+/// A chain of `Op::Call` sub-functions wrapped around a task's fold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallPlan {
+    /// Nesting depth of the chain (1–3 nested calls per invocation).
+    pub depth: u8,
+    /// True: the task calls into the design's one shared (pure) callee
+    /// chain; false: the task gets its own private chain.
+    pub shared: bool,
+    /// True (private chains only): the innermost callee performs the task's
+    /// blocking forward-edge reads, so FIFO stalls surface *inside* the
+    /// callee and propagate out through the call-timing contract.
+    pub wrap_reads: bool,
+}
+
+/// What an AXI-backed task does with its private master port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AxiRole {
+    /// A source with no forward in-edges: per iteration it issues one
+    /// `rate`-beat read burst and streams the beats into its out-edges.
+    ReadSource {
+        /// Bursts requested ahead of consumption (0–2). With `prefetch > 0`
+        /// several transactions are outstanding at once, exercising
+        /// per-burst beat pacing.
+        prefetch: u8,
+        /// True: each beat is consumed and immediately written to the
+        /// out-edges (beat, write, beat, write, …) so bus stalls and FIFO
+        /// stalls interleave; false: the whole burst is drained first.
+        interleave: bool,
+    },
+    /// A sink with no out-edges: per iteration it issues one `rate`-beat
+    /// write burst, fills it with the folded in-edge values, and waits for
+    /// the write response.
+    WriteSink,
+    /// An isolated task (no dataflow edges at all): reads a burst, folds
+    /// it, writes the transformed burst back to a disjoint region of the
+    /// same port — the `axi4_master` shape.
+    ReadWrite,
+}
+
+/// An AXI master port attached to one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AxiPlan {
+    /// What the task does with the port.
+    pub role: AxiRole,
+    /// Request latency of the port (first beat ready `latency` cycles after
+    /// the burst request; the write response arrives `latency` cycles after
+    /// the last write beat).
+    pub latency: u64,
 }
 
 /// One worker task of the generated design.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TaskPlan {
-    /// Loop initiation interval (1..=3 in generated designs).
+    /// Loop initiation interval (1..=3 in generated designs, raised to at
+    /// least `rate` so same-FIFO accesses of consecutive iterations keep
+    /// nondecreasing commit cycles).
     pub ii: u64,
     /// Extra schedule cycles between the reads and the writes of one
     /// iteration (models computation latency).
@@ -110,6 +201,14 @@ pub struct TaskPlan {
     pub array_source: bool,
     /// True: the task reports its final accumulator as a testbench output.
     pub emits_output: bool,
+    /// Tokens consumed from every in-edge (and produced to every out-edge)
+    /// per loop iteration. Must divide [`Blueprint::tokens`]; the loop trips
+    /// `tokens / rate` times. Doubles as the AXI burst length.
+    pub rate: i64,
+    /// Optional `Op::Call` chain wrapped around the fold.
+    pub call: Option<CallPlan>,
+    /// Optional AXI master port replacing the task's value source/sink.
+    pub axi: Option<AxiPlan>,
 }
 
 impl TaskPlan {
@@ -123,16 +222,40 @@ impl TaskPlan {
             dynamic_loop: false,
             array_source: false,
             emits_output: true,
+            rate: 1,
+            call: None,
+            axi: None,
         }
     }
 
     pub(crate) fn weight(&self) -> u64 {
+        let call_weight = match self.call {
+            Some(c) => 3 + 2 * u64::from(c.depth) + 2 * u64::from(c.wrap_reads),
+            None => 0,
+        };
+        let axi_weight = match self.axi {
+            Some(a) => {
+                let role = match a.role {
+                    AxiRole::ReadSource {
+                        prefetch,
+                        interleave,
+                    } => 2 * u64::from(prefetch) + u64::from(interleave),
+                    AxiRole::WriteSink => 1,
+                    AxiRole::ReadWrite => 2,
+                };
+                4 + a.latency + role
+            }
+            None => 0,
+        };
         self.ii
             + self.work
             + self.start.unsigned_abs()
             + self.coef.unsigned_abs()
             + u64::from(self.dynamic_loop)
             + u64::from(self.array_source)
+            + 2 * (self.rate.unsigned_abs().saturating_sub(1))
+            + call_weight
+            + axi_weight
     }
 }
 
@@ -141,7 +264,8 @@ impl TaskPlan {
 pub struct Blueprint {
     /// Design name (carries the generating seed for reproduction).
     pub name: String,
-    /// Tokens carried by every pipeline edge (loop trip count).
+    /// Tokens carried by every pipeline edge (total, across all loop
+    /// iterations of both endpoints).
     pub tokens: i64,
     /// Worker tasks; retry sources are ordinary entries whose single edge is
     /// [`EdgeKind::NbRetry`].
@@ -163,6 +287,94 @@ impl Blueprint {
         if self.tokens < 1 {
             return Err(format!("token count {} must be at least 1", self.tokens));
         }
+        for (t, plan) in self.tasks.iter().enumerate() {
+            if plan.rate < 1 || plan.rate > 8 {
+                return Err(format!("task {t} rate {} out of range 1..=8", plan.rate));
+            }
+            if self.tokens % plan.rate != 0 {
+                return Err(format!(
+                    "task {t} rate {} does not divide token count {}",
+                    plan.rate, self.tokens
+                ));
+            }
+            if plan.rate > 1 && plan.ii < plan.rate as u64 {
+                return Err(format!(
+                    "task {t} ii {} below its rate {}: same-FIFO accesses of \
+                     consecutive iterations could commit out of order",
+                    plan.ii, plan.rate
+                ));
+            }
+            if let Some(call) = plan.call {
+                if call.depth == 0 || call.depth > 3 {
+                    return Err(format!("task {t} call depth {} out of 1..=3", call.depth));
+                }
+                if call.wrap_reads && call.shared {
+                    return Err(format!(
+                        "task {t} wraps reads in a shared callee chain (shared chains are pure)"
+                    ));
+                }
+                if plan.axi.is_some() {
+                    return Err(format!("task {t} combines a call chain with an AXI plan"));
+                }
+                if call.wrap_reads {
+                    if !self.edges.iter().any(|e| {
+                        e.dst == t && matches!(e.kind, EdgeKind::Blocking | EdgeKind::NbRetry)
+                    }) {
+                        return Err(format!(
+                            "task {t} wraps reads but has no blocking forward in-edge"
+                        ));
+                    }
+                    // A wrapped read moves the FIFO endpoint into the callee
+                    // module; the module-level cycle analysis (and the
+                    // classifier) would no longer see a response cycle
+                    // through this task, so cycle membership is forbidden.
+                    if self.edges.iter().any(|e| {
+                        matches!(e.kind, EdgeKind::Response { .. }) && (e.src == t || e.dst == t)
+                    }) {
+                        return Err(format!(
+                            "task {t} wraps reads while part of a request/response cycle"
+                        ));
+                    }
+                }
+            }
+            if let Some(axi) = plan.axi {
+                if axi.latency == 0 || axi.latency > 16 {
+                    return Err(format!(
+                        "task {t} AXI latency {} out of 1..=16",
+                        axi.latency
+                    ));
+                }
+                let has_in_fwd = self
+                    .edges
+                    .iter()
+                    .any(|e| e.dst == t && !matches!(e.kind, EdgeKind::Response { .. }));
+                let has_out = self.edges.iter().any(|e| e.src == t);
+                match axi.role {
+                    AxiRole::ReadSource { prefetch, .. } => {
+                        if prefetch > 2 {
+                            return Err(format!("task {t} AXI prefetch {prefetch} out of 0..=2"));
+                        }
+                        if has_in_fwd {
+                            return Err(format!(
+                                "task {t} is an AXI read source but has forward in-edges"
+                            ));
+                        }
+                    }
+                    AxiRole::WriteSink => {
+                        if has_out {
+                            return Err(format!("task {t} is an AXI write sink but has out-edges"));
+                        }
+                    }
+                    AxiRole::ReadWrite => {
+                        if has_in_fwd || has_out || self.edges.iter().any(|e| e.dst == t) {
+                            return Err(format!(
+                                "task {t} is an AXI read/write task but has dataflow edges"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
         for (i, e) in self.edges.iter().enumerate() {
             if e.src >= self.tasks.len() || e.dst >= self.tasks.len() {
                 return Err(format!("edge {i} references a missing task"));
@@ -172,6 +384,18 @@ impl Blueprint {
             }
             if e.depth == 0 {
                 return Err(format!("edge {i} has zero depth"));
+            }
+            if e.surplus > 0 {
+                if e.kind != EdgeKind::Blocking {
+                    return Err(format!("edge {i} has surplus on a non-blocking kind"));
+                }
+                if e.surplus > e.depth {
+                    return Err(format!(
+                        "edge {i} surplus {} exceeds its depth {}: the leftover data \
+                         could never be written",
+                        e.surplus, e.depth
+                    ));
+                }
             }
             match e.kind {
                 EdgeKind::Blocking | EdgeKind::NbDrop { .. } => {
@@ -198,8 +422,50 @@ impl Blueprint {
                              (its state is taint-reachable from the NB outcome)"
                         ));
                     }
+                    let src = &self.tasks[e.src];
+                    if src.rate != 1 || src.call.is_some() || src.axi.is_some() {
+                        return Err(format!(
+                            "retry source of edge {i} must stay rate-1 with no call/AXI plan"
+                        ));
+                    }
+                    // Multi-rate reconvergence can deadlock on undersized
+                    // FIFOs (a legitimate, diagnosable behaviour) — but a
+                    // retry source feeding a deadlocked pipeline spins
+                    // forever, a livelock neither backend can diagnose.
+                    if self.tasks.iter().any(|t| t.rate > 1) {
+                        return Err(format!(
+                            "retry source of edge {i} cannot coexist with multi-rate tasks \
+                             (an emergent buffering deadlock would starve it into a livelock)"
+                        ));
+                    }
                 }
-                EdgeKind::Response { .. } => {}
+                EdgeKind::Response { .. } => {
+                    // A response edge without its forward partner is just a
+                    // backward blocking edge: the design would classify as
+                    // Type A (acyclic) while sequential C simulation, which
+                    // runs tasks in declaration order, reads it before it is
+                    // written — breaking the oracle's "csim exact on Type A"
+                    // claim on a design no HLS front end would emit.
+                    if !self.edges.iter().any(|f| {
+                        f.src == e.dst
+                            && f.dst == e.src
+                            && f.src < f.dst
+                            && !matches!(f.kind, EdgeKind::Response { .. })
+                    }) {
+                        return Err(format!("response edge {i} has no forward partner edge"));
+                    }
+                    // Unequal rates across a request/response cycle starve
+                    // the slower side mid-iteration: the controller blocks
+                    // on responses the responder will only produce after
+                    // requests the controller has not issued yet.
+                    if self.tasks[e.src].rate != self.tasks[e.dst].rate {
+                        return Err(format!(
+                            "response edge {i} joins tasks with different rates \
+                             ({} vs {}), which deadlocks the cycle",
+                            self.tasks[e.src].rate, self.tasks[e.dst].rate
+                        ));
+                    }
+                }
             }
         }
         // A forced deadlock starves every downstream consumer; a retry
@@ -222,7 +488,7 @@ impl Blueprint {
         let edge_weight: u64 = self
             .edges
             .iter()
-            .map(|e| e.depth as u64 + e.kind.weight())
+            .map(|e| e.depth as u64 + e.kind.weight() + 2 * e.surplus as u64)
             .sum();
         self.tasks.len() as u64 * 1_000
             + self.edges.len() as u64 * 200
@@ -237,6 +503,22 @@ impl Blueprint {
         self.edges
             .iter()
             .any(|e| e.kind == EdgeKind::Response { deadlock: true })
+    }
+
+    /// True if any task carries an [`AxiPlan`].
+    pub fn uses_axi(&self) -> bool {
+        self.tasks.iter().any(|t| t.axi.is_some())
+    }
+
+    /// True if any task carries a [`CallPlan`].
+    pub fn uses_calls(&self) -> bool {
+        self.tasks.iter().any(|t| t.call.is_some())
+    }
+
+    /// True if any edge joins tasks with different rates, any task has a
+    /// rate above 1, or any edge carries surplus tokens.
+    pub fn is_multirate(&self) -> bool {
+        self.tasks.iter().any(|t| t.rate > 1) || self.edges.iter().any(|e| e.surplus > 0)
     }
 
     /// Lowers the blueprint to a validated design.
@@ -278,10 +560,44 @@ impl Blueprint {
                     .edges
                     .iter()
                     .any(|e| e.dst == t && !matches!(e.kind, EdgeKind::Response { .. }));
-                (is_source && self.tasks[t].array_source).then(|| {
-                    let init: Vec<i64> =
-                        (0..n).map(|i| (i * 31 + t as i64 * 17 + 5) % 97).collect();
-                    d.array(format!("src{t}"), init)
+                (is_source && self.tasks[t].array_source && self.tasks[t].axi.is_none()).then(
+                    || {
+                        let init: Vec<i64> =
+                            (0..n).map(|i| (i * 31 + t as i64 * 17 + 5) % 97).collect();
+                        d.array(format!("src{t}"), init)
+                    },
+                )
+            })
+            .collect();
+
+        // One private AXI port (plus backing memory) per AXI task.
+        let axi_ports: Vec<Option<AxiId>> = (0..self.tasks.len())
+            .map(|t| {
+                self.tasks[t].axi.map(|axi| {
+                    let rate = self.tasks[t].rate;
+                    let init: Vec<i64> = match axi.role {
+                        AxiRole::ReadSource { prefetch, .. } => {
+                            // Prefetched bursts run `prefetch * rate` beats
+                            // past the consumed window; the tail is junk the
+                            // task never folds, but the request still
+                            // snapshots it.
+                            (0..n + i64::from(prefetch) * rate)
+                                .map(|i| (i * 23 + t as i64 * 13 + 7) % 89)
+                                .collect()
+                        }
+                        AxiRole::WriteSink => vec![0; n as usize],
+                        AxiRole::ReadWrite => {
+                            // Read region [0, n), disjoint write-back region
+                            // [n, 2n) — keeps the value stream independent
+                            // of the write-back order on every backend.
+                            let mut init: Vec<i64> =
+                                (0..n).map(|i| (i * 23 + t as i64 * 13 + 7) % 89).collect();
+                            init.resize(2 * n as usize, 0);
+                            init
+                        }
+                    };
+                    let mem = d.array(format!("ddr{t}"), init);
+                    d.axi_port(format!("gmem{t}"), mem, axi.latency)
                 })
             })
             .collect();
@@ -303,18 +619,117 @@ impl Blueprint {
             })
             .collect();
 
+        // The one shared (pure) callee chain, if any task calls into it.
+        let shared_chain = self
+            .tasks
+            .iter()
+            .any(|t| t.call.is_some_and(|c| c.shared))
+            .then(|| Self::lower_shared_chain(&mut d));
+
         let mut children = Vec::with_capacity(self.tasks.len());
         for t in 0..self.tasks.len() {
             let module = if let Some(edge_idx) = retry_out(t) {
                 self.lower_retry_task(&mut d, t, edge_idx, fifos[edge_idx], arrays[t])
             } else {
-                self.lower_worker_task(&mut d, t, &fifos, arrays[t], acc_outs[t], drop_outs[t])
+                self.lower_worker_task(
+                    &mut d,
+                    t,
+                    &fifos,
+                    arrays[t],
+                    axi_ports[t],
+                    shared_chain.as_deref(),
+                    acc_outs[t],
+                    drop_outs[t],
+                )
             };
             children.push(module);
         }
         d.dataflow_top("top", children);
         d.build()
             .expect("well-formed blueprints always lower to valid designs")
+    }
+
+    /// The design-wide shared callee chain: three nested pure functions
+    /// `shared_0 → shared_1 → shared_2`. A task with call depth `d` enters
+    /// at `shared_{3 - d}`, so every depth reuses the same modules.
+    fn lower_shared_chain(d: &mut DesignBuilder) -> Vec<ModuleId> {
+        let innermost = d.function("shared_2", |m| {
+            let x = m.var("x");
+            let y = m.var("y");
+            m.entry(|b| {
+                b.latency(3);
+                b.ret_val(
+                    Expr::var(x)
+                        .mul(Expr::imm(2))
+                        .add(Expr::var(y))
+                        .add(Expr::imm(11)),
+                );
+            });
+        });
+        let mid = d.function("shared_1", |m| {
+            let x = m.var("x");
+            let y = m.var("y");
+            m.entry(|b| {
+                let r = b.call(
+                    innermost,
+                    vec![Expr::var(x).add(Expr::imm(3)), Expr::var(y)],
+                );
+                b.ret_val(Expr::var(r).add(Expr::imm(1)));
+            });
+        });
+        let outer = d.function("shared_0", |m| {
+            let x = m.var("x");
+            let y = m.var("y");
+            m.entry(|b| {
+                let r = b.call(mid, vec![Expr::var(x).add(Expr::imm(5)), Expr::var(y)]);
+                b.ret_val(Expr::var(r).add(Expr::imm(2)));
+            });
+        });
+        vec![outer, mid, innermost]
+    }
+
+    /// A task-private callee chain of the given depth. When `wrapped` is
+    /// non-empty the innermost callee performs the blocking reads of those
+    /// FIFOs (one value each per call) and folds them into its result.
+    fn lower_private_chain(
+        d: &mut DesignBuilder,
+        t: usize,
+        depth: u8,
+        coef: i64,
+        wrapped: &[FifoId],
+    ) -> ModuleId {
+        let wrapped = wrapped.to_vec();
+        let mut callee = d.function(format!("t{t}_mix{}", depth - 1), move |m| {
+            let x = m.var("x");
+            let y = m.var("y");
+            m.entry(|b| {
+                let mut value = Expr::var(x).mul(Expr::imm(coef)).add(Expr::var(y));
+                for (k, &fifo) in wrapped.iter().enumerate() {
+                    let v = b.at(k as u64).fifo_read(fifo);
+                    value = value.add(Expr::var(v).mul(Expr::imm(coef)));
+                }
+                b.latency(wrapped.len() as u64 + 2);
+                b.ret_val(value.add(Expr::imm(7)));
+            });
+        });
+        for level in (0..depth - 1).rev() {
+            let inner = callee;
+            callee = d.function(format!("t{t}_mix{level}"), move |m| {
+                let x = m.var("x");
+                let y = m.var("y");
+                m.entry(|b| {
+                    let r = b.call(
+                        inner,
+                        vec![
+                            Expr::var(x).add(Expr::imm(i64::from(level) + 1)),
+                            Expr::var(y),
+                        ],
+                    );
+                    b.ret_val(Expr::var(r).add(Expr::imm(1)));
+                });
+            });
+        }
+        callee
     }
 
     /// Fig. 4 Ex. 2-style source: retry a non-blocking write until it
@@ -353,19 +768,27 @@ impl Blueprint {
         })
     }
 
-    /// An ordinary worker: read every forward in-edge, fold, write every
-    /// out-edge, then collect responses.
+    /// An ordinary worker: read `rate` values from every forward in-edge,
+    /// fold, write `rate` values to every out-edge, then collect responses.
+    /// AXI roles replace the local value source/sink with burst traffic;
+    /// call plans route the fold (and optionally the blocking reads)
+    /// through a callee chain.
+    #[allow(clippy::too_many_arguments)]
     fn lower_worker_task(
         &self,
         d: &mut DesignBuilder,
         t: usize,
         fifos: &[FifoId],
         array: Option<ArrayId>,
+        axi_port: Option<AxiId>,
+        shared_chain: Option<&[ModuleId]>,
         acc_out: Option<OutputId>,
         drop_out: Option<OutputId>,
     ) -> omnisim_ir::ModuleId {
         let plan = self.tasks[t];
         let n = self.tokens;
+        let rate = plan.rate;
+        let trip = n / rate;
         let in_fwd: Vec<usize> = (0..self.edges.len())
             .filter(|&i| {
                 self.edges[i].dst == t && !matches!(self.edges[i].kind, EdgeKind::Response { .. })
@@ -383,6 +806,32 @@ impl Blueprint {
             .iter()
             .any(|&i| self.edges[i].kind == EdgeKind::NbDrop { counted: true });
 
+        // Which in-edges the innermost callee reads (blocking kinds only;
+        // lossy NB reads stay in the task body so the taint analysis sees
+        // them next to the observable accumulator).
+        let wrap = plan.call.is_some_and(|c| c.wrap_reads);
+        let wrapped: Vec<usize> = if wrap {
+            in_fwd
+                .iter()
+                .copied()
+                .filter(|&i| matches!(self.edges[i].kind, EdgeKind::Blocking | EdgeKind::NbRetry))
+                .collect()
+        } else {
+            Vec::new()
+        };
+
+        // The call-chain entry module for this task, if any.
+        let chain: Option<ModuleId> = plan.call.map(|c| {
+            if c.shared {
+                let chain = shared_chain.expect("shared chain built when requested");
+                chain[chain.len() - usize::from(c.depth)]
+            } else {
+                let wrapped_fifos: Vec<FifoId> = wrapped.iter().map(|&i| fifos[i]).collect();
+                Self::lower_private_chain(d, t, c.depth, plan.coef, &wrapped_fifos)
+            }
+        });
+
+        let axi = plan.axi;
         d.function(format!("t{t}"), |m| {
             let acc = m.var("acc");
             let drops = counts_drops.then(|| m.var("drops"));
@@ -391,84 +840,225 @@ impl Blueprint {
                 if let Some(drops) = drops {
                     b.assign(drops, Expr::imm(0));
                 }
+                // Prefetched read bursts: several transactions outstanding
+                // before the first beat is consumed.
+                if let (
+                    Some(AxiPlan {
+                        role: AxiRole::ReadSource { prefetch, .. },
+                        ..
+                    }),
+                    Some(port),
+                ) = (axi, axi_port)
+                {
+                    for q in 0..i64::from(prefetch) {
+                        b.axi_read_req(port, Expr::imm(q * rate), Expr::imm(rate));
+                    }
+                }
             });
 
             let body = |b: &mut BlockBuilder, iv: Expr| {
-                // 1. Read the forward inputs.
-                let mut terms: Vec<Expr> = Vec::new();
-                for &i in &in_fwd {
-                    let f = fifos[i];
-                    match self.edges[i].kind {
-                        EdgeKind::NbDrop { .. } => {
-                            let (v, ok) = b.fifo_nb_read(f);
-                            // Mask the value so a failed read contributes
-                            // nothing (the dst register's stale content must
-                            // never become observable).
-                            terms.push(Expr::var(ok).select(Expr::var(v), Expr::imm(0)));
-                        }
-                        _ => {
-                            let v = b.fifo_read(f);
-                            terms.push(Expr::var(v).mul(Expr::imm(plan.coef)));
-                        }
-                    }
-                }
-                if in_fwd.is_empty() {
-                    terms.push(match array {
-                        Some(a) => {
-                            let v = b.array_load(a, iv.clone());
-                            Expr::var(v)
-                        }
-                        None => iv.clone().mul(Expr::imm(plan.coef)).add(Expr::imm(1)),
-                    });
-                }
-
-                // 2. Fold into the accumulator.
-                let mut update = Expr::var(acc).add(iv.clone());
-                for term in terms {
-                    update = update.add(term);
-                }
-                b.assign(acc, update);
-                if plan.work > 0 {
-                    b.step(plan.work);
-                }
-
-                // 3a. A deliberately deadlocked controller reads its
-                // response *before* issuing the request.
+                // 0a. A deliberately deadlocked controller reads its
+                // response before doing *anything* else — in particular
+                // before any interleaved out-edge write could feed the
+                // cycle.
                 for &i in &in_resp {
                     if self.edges[i].kind == (EdgeKind::Response { deadlock: true }) {
-                        let r = b.fifo_read(fifos[i]);
-                        b.assign(acc, Expr::var(acc).add(Expr::var(r)));
+                        for _ in 0..rate {
+                            let r = b.fifo_read(fifos[i]);
+                            b.assign(acc, Expr::var(acc).add(Expr::var(r)));
+                        }
                     }
                 }
 
-                // 3b. Write the outputs.
-                for &i in &outs {
-                    let value = Expr::var(acc).add(iv.clone()).add(Expr::imm(i as i64));
-                    match self.edges[i].kind {
-                        EdgeKind::NbDrop { counted: true } => {
-                            let ok = b.fifo_nb_write(fifos[i], value);
-                            let drops = drops.expect("counted drop edge declares the counter");
-                            b.assign(
-                                drops,
-                                Expr::var(ok)
-                                    .select(Expr::var(drops), Expr::var(drops).add(Expr::imm(1))),
-                            );
+                // 0b. Issue this iteration's AXI burst request(s).
+                let interleave_axi = match (axi, axi_port) {
+                    (
+                        Some(AxiPlan {
+                            role:
+                                AxiRole::ReadSource {
+                                    prefetch,
+                                    interleave,
+                                },
+                            ..
+                        }),
+                        Some(port),
+                    ) => {
+                        let base = iv
+                            .clone()
+                            .add(Expr::imm(i64::from(prefetch)))
+                            .mul(Expr::imm(rate));
+                        b.axi_read_req(port, base, Expr::imm(rate));
+                        interleave
+                    }
+                    (
+                        Some(AxiPlan {
+                            role: AxiRole::ReadWrite,
+                            ..
+                        }),
+                        Some(port),
+                    ) => {
+                        b.axi_read_req(port, iv.clone().mul(Expr::imm(rate)), Expr::imm(rate));
+                        false
+                    }
+                    (
+                        Some(AxiPlan {
+                            role: AxiRole::WriteSink,
+                            ..
+                        }),
+                        Some(port),
+                    ) => {
+                        b.axi_write_req(port, iv.clone().mul(Expr::imm(rate)), Expr::imm(rate));
+                        false
+                    }
+                    _ => false,
+                };
+
+                // 1. Read the forward inputs, `rate` sub-tokens per
+                // iteration, sub-token j at schedule offset j.
+                for j in 0..rate {
+                    b.at(j as u64);
+                    let token_iv = iv.clone().mul(Expr::imm(rate)).add(Expr::imm(j));
+                    let mut terms: Vec<Expr> = Vec::new();
+                    for &i in &in_fwd {
+                        if wrapped.contains(&i) {
+                            continue; // read inside the callee chain below
                         }
-                        EdgeKind::NbDrop { counted: false } => {
-                            b.fifo_nb_write_ignored(fifos[i], value);
-                        }
-                        _ => {
-                            b.fifo_write(fifos[i], value);
+                        let f = fifos[i];
+                        match self.edges[i].kind {
+                            EdgeKind::NbDrop { .. } => {
+                                let (v, ok) = b.fifo_nb_read(f);
+                                // Mask the value so a failed read contributes
+                                // nothing (the dst register's stale content
+                                // must never become observable).
+                                terms.push(Expr::var(ok).select(Expr::var(v), Expr::imm(0)));
+                            }
+                            _ => {
+                                let v = b.fifo_read(f);
+                                terms.push(Expr::var(v).mul(Expr::imm(plan.coef)));
+                            }
                         }
                     }
+                    if wrap {
+                        // The innermost callee reads one value from every
+                        // wrapped FIFO and folds them with its argument.
+                        let chain = chain.expect("wrapping requires a chain");
+                        let r = b.call(chain, vec![token_iv.clone(), Expr::imm(plan.start)]);
+                        terms.push(Expr::var(r));
+                    }
+                    if in_fwd.is_empty() {
+                        match (axi, axi_port) {
+                            (
+                                Some(AxiPlan {
+                                    role: AxiRole::ReadSource { .. } | AxiRole::ReadWrite,
+                                    ..
+                                }),
+                                Some(port),
+                            ) => {
+                                let v = b.axi_read(port);
+                                terms.push(Expr::var(v).mul(Expr::imm(plan.coef)));
+                            }
+                            _ => {
+                                terms.push(match array {
+                                    Some(a) => {
+                                        let v = b.array_load(a, token_iv.clone());
+                                        Expr::var(v)
+                                    }
+                                    None => {
+                                        token_iv.clone().mul(Expr::imm(plan.coef)).add(Expr::imm(1))
+                                    }
+                                });
+                            }
+                        }
+                    }
+
+                    // 2. Fold sub-token j into the accumulator.
+                    let mut update = Expr::var(acc).add(token_iv.clone());
+                    for term in &terms {
+                        update = update.add(term.clone());
+                    }
+                    if let (Some(chain), false) = (chain, wrap) {
+                        let r = b.call(chain, vec![update, token_iv.clone()]);
+                        b.assign(acc, Expr::var(r));
+                    } else {
+                        b.assign(acc, update);
+                    }
+
+                    // AXI sinks stream the running fold back out, one beat
+                    // per sub-token; interleaved sources emit their FIFO
+                    // writes right between the beats.
+                    if let (
+                        Some(AxiPlan {
+                            role: AxiRole::WriteSink,
+                            ..
+                        }),
+                        Some(port),
+                    ) = (axi, axi_port)
+                    {
+                        b.axi_write(port, Expr::var(acc).add(Expr::imm(j)));
+                    }
+                    if interleave_axi {
+                        self.write_outs(b, fifos, &outs, drops, acc, &iv, j);
+                    }
+                }
+
+                let wbase = (rate - 1) as u64 + plan.work;
+                if plan.work > 0 {
+                    b.at(wbase);
+                }
+
+                // 3. Write the outputs (already emitted per beat when the
+                // AXI source interleaves). Skipped when there is nothing to
+                // write so the schedule cursor stays put for the AXI
+                // write-back below.
+                if !interleave_axi && !outs.is_empty() {
+                    for j in 0..rate {
+                        b.at(wbase + j as u64);
+                        self.write_outs(b, fifos, &outs, drops, acc, &iv, j);
+                    }
+                }
+
+                // 3b. AXI write-backs of the read/write shape, then the
+                // write response (sinks await theirs too).
+                match (axi, axi_port) {
+                    (
+                        Some(AxiPlan {
+                            role: AxiRole::ReadWrite,
+                            ..
+                        }),
+                        Some(port),
+                    ) => {
+                        b.axi_write_req(
+                            port,
+                            Expr::imm(n).add(iv.clone().mul(Expr::imm(rate))),
+                            Expr::imm(rate),
+                        );
+                        for j in 0..rate {
+                            b.at(wbase + j as u64);
+                            b.axi_write(port, Expr::var(acc).add(Expr::imm(j)));
+                        }
+                        b.axi_write_resp(port);
+                    }
+                    (
+                        Some(AxiPlan {
+                            role: AxiRole::WriteSink,
+                            ..
+                        }),
+                        Some(port),
+                    ) => {
+                        b.at(wbase);
+                        b.axi_write_resp(port);
+                    }
+                    _ => {}
                 }
 
                 // 4. Collect well-ordered responses (controller leads, so
                 // the cycle stays live).
                 for &i in &in_resp {
                     if self.edges[i].kind == (EdgeKind::Response { deadlock: false }) {
-                        let r = b.fifo_read(fifos[i]);
-                        b.assign(acc, Expr::var(acc).add(Expr::var(r)));
+                        for _ in 0..rate {
+                            let r = b.fifo_read(fifos[i]);
+                            b.assign(acc, Expr::var(acc).add(Expr::var(r)));
+                        }
                     }
                 }
             };
@@ -481,12 +1071,33 @@ impl Blueprint {
                 m.loop_block(plan.ii, |b| {
                     body(b, Expr::var(i));
                     b.assign(i, Expr::var(i).add(Expr::imm(1)));
-                    b.exit_loop_if(Expr::var(i).ge(Expr::imm(n)));
+                    b.exit_loop_if(Expr::var(i).ge(Expr::imm(trip)));
                 });
             } else {
-                m.counted_loop("i", n, plan.ii, |b| {
+                m.counted_loop("i", trip, plan.ii, |b| {
                     let iv = b.var_expr("i");
                     body(b, iv);
+                });
+            }
+
+            // Surplus: leftover data the consumer never drains, written
+            // after the main loop. Live because every surplus fits its
+            // FIFO's remaining capacity (well-formedness).
+            let surplus_edges: Vec<usize> = outs
+                .iter()
+                .copied()
+                .filter(|&i| self.edges[i].surplus > 0)
+                .collect();
+            if !surplus_edges.is_empty() {
+                m.seq(|b| {
+                    for &i in &surplus_edges {
+                        for s in 0..self.edges[i].surplus {
+                            b.fifo_write(
+                                fifos[i],
+                                Expr::var(acc).add(Expr::imm(s as i64 + i as i64)),
+                            );
+                        }
+                    }
                 });
             }
 
@@ -501,6 +1112,39 @@ impl Blueprint {
                 });
             }
         })
+    }
+
+    /// Emits sub-token `j`'s write to every out-edge at the current offset.
+    #[allow(clippy::too_many_arguments)]
+    fn write_outs(
+        &self,
+        b: &mut BlockBuilder,
+        fifos: &[FifoId],
+        outs: &[usize],
+        drops: Option<omnisim_ir::VarId>,
+        acc: omnisim_ir::VarId,
+        iv: &Expr,
+        j: i64,
+    ) {
+        for &i in outs {
+            let value = Expr::var(acc).add(iv.clone()).add(Expr::imm(i as i64 + j));
+            match self.edges[i].kind {
+                EdgeKind::NbDrop { counted: true } => {
+                    let ok = b.fifo_nb_write(fifos[i], value);
+                    let drops = drops.expect("counted drop edge declares the counter");
+                    b.assign(
+                        drops,
+                        Expr::var(ok).select(Expr::var(drops), Expr::var(drops).add(Expr::imm(1))),
+                    );
+                }
+                EdgeKind::NbDrop { counted: false } => {
+                    b.fifo_nb_write_ignored(fifos[i], value);
+                }
+                _ => {
+                    b.fifo_write(fifos[i], value);
+                }
+            }
+        }
     }
 
     /// A random FIFO-depth vector for this blueprint's edge count, used by
@@ -523,12 +1167,7 @@ mod tests {
             name: "chain".into(),
             tokens: 4,
             tasks: vec![TaskPlan::minimal(), TaskPlan::minimal()],
-            edges: vec![EdgePlan {
-                src: 0,
-                dst: 1,
-                depth: 2,
-                kind: EdgeKind::Blocking,
-            }],
+            edges: vec![EdgePlan::blocking(0, 1, 2)],
         }
     }
 
@@ -550,6 +1189,7 @@ mod tests {
             dst: 0,
             depth: 1,
             kind: EdgeKind::Response { deadlock: false },
+            surplus: 0,
         });
         let design = bp.lower();
         let report = classify(&design);
@@ -569,6 +1209,7 @@ mod tests {
             dst: 1,
             depth: 1,
             kind: EdgeKind::NbRetry,
+            surplus: 0,
         });
         let design = bp.lower();
         let report = classify(&design);
@@ -592,6 +1233,103 @@ mod tests {
     }
 
     #[test]
+    fn axi_source_and_sink_stay_type_a() {
+        let mut bp = two_task_chain();
+        bp.tokens = 12;
+        bp.tasks[0].rate = 3;
+        bp.tasks[0].ii = 3;
+        bp.tasks[0].axi = Some(AxiPlan {
+            role: AxiRole::ReadSource {
+                prefetch: 1,
+                interleave: true,
+            },
+            latency: 4,
+        });
+        bp.tasks[1].axi = Some(AxiPlan {
+            role: AxiRole::WriteSink,
+            latency: 2,
+        });
+        assert_eq!(bp.well_formed(), Ok(()));
+        let design = bp.lower();
+        assert_eq!(design.axi_ports.len(), 2);
+        assert_eq!(classify(&design).class, DesignClass::TypeA);
+    }
+
+    #[test]
+    fn isolated_read_write_task_lowers_like_axi4_master() {
+        let bp = Blueprint {
+            name: "rw".into(),
+            tokens: 8,
+            tasks: vec![TaskPlan {
+                rate: 4,
+                ii: 4,
+                axi: Some(AxiPlan {
+                    role: AxiRole::ReadWrite,
+                    latency: 6,
+                }),
+                ..TaskPlan::minimal()
+            }],
+            edges: vec![],
+        };
+        assert_eq!(bp.well_formed(), Ok(()));
+        let design = bp.lower();
+        assert_eq!(design.fifos.len(), 0);
+        assert_eq!(design.axi_ports.len(), 1);
+        assert_eq!(
+            design.arrays[0].init.len(),
+            16,
+            "read region plus disjoint write-back region"
+        );
+        assert_eq!(classify(&design).class, DesignClass::TypeA);
+    }
+
+    #[test]
+    fn call_chains_stay_type_a_and_add_callee_modules() {
+        let mut bp = two_task_chain();
+        bp.tasks[1].call = Some(CallPlan {
+            depth: 2,
+            shared: false,
+            wrap_reads: true,
+        });
+        assert_eq!(bp.well_formed(), Ok(()));
+        let design = bp.lower();
+        // 2 tasks + 2 private callees + top.
+        assert_eq!(design.modules.len(), 5);
+        assert_eq!(classify(&design).class, DesignClass::TypeA);
+
+        let mut shared = two_task_chain();
+        shared.tasks[0].call = Some(CallPlan {
+            depth: 3,
+            shared: true,
+            wrap_reads: false,
+        });
+        shared.tasks[1].call = Some(CallPlan {
+            depth: 1,
+            shared: true,
+            wrap_reads: false,
+        });
+        let design = shared.lower();
+        // 2 tasks + 3 shared chain modules + top.
+        assert_eq!(design.modules.len(), 6);
+        assert_eq!(classify(&design).class, DesignClass::TypeA);
+    }
+
+    #[test]
+    fn multirate_and_surplus_are_well_formed() {
+        let mut bp = two_task_chain();
+        bp.tokens = 12;
+        bp.tasks[0].rate = 3;
+        bp.tasks[0].ii = 3;
+        bp.tasks[1].rate = 2;
+        bp.tasks[1].ii = 2;
+        bp.edges[0].surplus = 2;
+        assert_eq!(bp.well_formed(), Ok(()));
+        assert!(bp.is_multirate());
+        let design = bp.lower();
+        assert_eq!(classify(&design).class, DesignClass::TypeA);
+    }
+
+    #[test]
     fn malformed_blueprints_are_rejected() {
         let mut bp = two_task_chain();
         bp.edges[0].dst = 0;
@@ -607,12 +1345,64 @@ mod tests {
 
         let mut bp = two_task_chain();
         // A backwards Blocking edge breaks the C-sim-friendly forward order.
-        bp.edges[0] = EdgePlan {
+        bp.edges[0] = EdgePlan::blocking(1, 0, 1);
+        assert!(bp.well_formed().is_err());
+
+        // Rate must divide the token count.
+        let mut bp = two_task_chain();
+        bp.tasks[0].rate = 3;
+        bp.tasks[0].ii = 3;
+        assert!(bp.well_formed().is_err());
+
+        // II below the rate risks out-of-order same-FIFO commits.
+        let mut bp = two_task_chain();
+        bp.tasks[0].rate = 2;
+        bp.tasks[0].ii = 1;
+        assert!(bp.well_formed().is_err());
+
+        // Surplus above the FIFO depth could never be written.
+        let mut bp = two_task_chain();
+        bp.edges[0].surplus = 3;
+        assert!(bp.well_formed().is_err());
+
+        // Surplus on a lossy edge is meaningless.
+        let mut bp = two_task_chain();
+        bp.edges[0].kind = EdgeKind::NbDrop { counted: false };
+        bp.edges[0].surplus = 1;
+        assert!(bp.well_formed().is_err());
+
+        // An AXI read source cannot have forward in-edges.
+        let mut bp = two_task_chain();
+        bp.tasks[1].axi = Some(AxiPlan {
+            role: AxiRole::ReadSource {
+                prefetch: 0,
+                interleave: false,
+            },
+            latency: 4,
+        });
+        assert!(bp.well_formed().is_err());
+
+        // Wrapped reads require a blocking forward in-edge.
+        let mut bp = two_task_chain();
+        bp.tasks[0].call = Some(CallPlan {
+            depth: 1,
+            shared: false,
+            wrap_reads: true,
+        });
+        assert!(bp.well_formed().is_err());
+
+        // Response cycles need equal rates on both endpoints.
+        let mut bp = two_task_chain();
+        bp.tokens = 12;
+        bp.tasks[0].rate = 2;
+        bp.tasks[0].ii = 2;
+        bp.edges.push(EdgePlan {
             src: 1,
             dst: 0,
             depth: 1,
-            kind: EdgeKind::Blocking,
-        };
+            kind: EdgeKind::Response { deadlock: false },
+            surplus: 0,
+        });
         assert!(bp.well_formed().is_err());
     }
 
@@ -626,7 +1416,37 @@ mod tests {
             dst: 2,
             depth: 4,
             kind: EdgeKind::NbDrop { counted: true },
+            surplus: 0,
         });
         assert!(bigger.size() > small.size());
+
+        // Every new dimension adds weight, so the shrinker can remove it.
+        let mut with_axi = small.clone();
+        with_axi.tasks[0].axi = Some(AxiPlan {
+            role: AxiRole::ReadSource {
+                prefetch: 2,
+                interleave: true,
+            },
+            latency: 4,
+        });
+        assert!(with_axi.size() > small.size());
+
+        let mut with_call = small.clone();
+        with_call.tasks[0].call = Some(CallPlan {
+            depth: 2,
+            shared: false,
+            wrap_reads: false,
+        });
+        assert!(with_call.size() > small.size());
+
+        let mut with_rate = small.clone();
+        with_rate.tokens = 4;
+        with_rate.tasks[0].rate = 2;
+        with_rate.tasks[0].ii = 2;
+        assert!(with_rate.size() > small.size());
+
+        let mut with_surplus = small.clone();
+        with_surplus.edges[0].surplus = 1;
+        assert!(with_surplus.size() > small.size());
     }
 }

@@ -9,7 +9,12 @@ use omnisim_ir::DesignClass;
 /// constructors ([`GenConfig::type_a`], [`GenConfig::type_b`],
 /// [`GenConfig::type_c`]) return configurations whose feature mix
 /// *guarantees* the requested class by construction; [`GenConfig::mixed`]
-/// leaves the class unconstrained.
+/// leaves the class unconstrained. The dimension presets
+/// ([`GenConfig::axi`], [`GenConfig::calls`], [`GenConfig::multirate`])
+/// concentrate the fuzzing budget on one orthogonal timing dimension —
+/// AXI burst traffic, `Op::Call` chains, or rate-mismatched edges with
+/// leftover data — while staying Type A so every backend (lightning and
+/// csim included) must be bit-exact on them.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GenConfig {
     /// Required taxonomy class, or `None` for an unconstrained mix.
@@ -23,7 +28,9 @@ pub struct GenConfig {
     /// Inclusive range of FIFO depths.
     pub depth: (usize, usize),
     /// Inclusive range of the per-edge token count `n` (every pipeline edge
-    /// carries exactly `n` tokens).
+    /// carries exactly `n` tokens). When `rate_percent > 0` the picked value
+    /// is rounded up to a multiple of 12 so the rates {2, 3, 4, 6} all
+    /// divide it.
     pub tokens: (i64, i64),
     /// Probability of closing a request/response cycle over a forward edge
     /// (creates Type B cyclic dependencies).
@@ -44,6 +51,35 @@ pub struct GenConfig {
     /// into a guaranteed design deadlock (both simulators must agree on the
     /// diagnosis). Only meaningful where back edges can occur.
     pub deadlock_percent: u32,
+    /// Per-task probability of a rate above 1 (the task reads/writes several
+    /// tokens per iteration; edges between different-rate tasks become
+    /// multi-rate boundaries). The rate is drawn from the divisors of the
+    /// token count in 2..=6 and doubles as the AXI burst length.
+    pub rate_percent: u32,
+    /// Per-blocking-forward-edge probability of a token surplus: the
+    /// producer leaves 1–3 values in the FIFO that the consumer never
+    /// drains, making any DSE probe shallower than the surplus infeasible.
+    pub surplus_percent: u32,
+    /// Per-eligible-task probability of an AXI master port: sources become
+    /// burst readers, sinks burst writers, isolated tasks the full
+    /// `axi4_master` read/write shape.
+    pub axi_percent: u32,
+    /// Probability that an AXI read source prefetches bursts (1–2
+    /// outstanding transactions ahead of consumption).
+    pub axi_prefetch_percent: u32,
+    /// Probability that an AXI read source interleaves each beat with its
+    /// FIFO writes instead of draining the burst first.
+    pub axi_interleave_percent: u32,
+    /// Per-task probability of wrapping the fold in an `Op::Call` chain.
+    pub call_percent: u32,
+    /// Probability that a call chain targets the design's shared (pure)
+    /// callee chain instead of a task-private one.
+    pub call_shared_percent: u32,
+    /// Probability that a private call chain also performs the task's
+    /// blocking forward-edge reads inside the innermost callee.
+    pub call_wrap_percent: u32,
+    /// Maximum call-chain depth (1..=3).
+    pub max_call_depth: u32,
 }
 
 impl GenConfig {
@@ -61,6 +97,15 @@ impl GenConfig {
             dynamic_loop_percent: 30,
             array_source_percent: 40,
             deadlock_percent: 0,
+            rate_percent: 0,
+            surplus_percent: 0,
+            axi_percent: 0,
+            axi_prefetch_percent: 50,
+            axi_interleave_percent: 50,
+            call_percent: 0,
+            call_shared_percent: 40,
+            call_wrap_percent: 50,
+            max_call_depth: 3,
         }
     }
 
@@ -73,12 +118,17 @@ impl GenConfig {
     }
 
     /// Cyclic request/response pairs and/or outcome-invisible non-blocking
-    /// retry producers: always Type B.
+    /// retry producers: always Type B. Sprinkles the orthogonal dimensions
+    /// in at low probability so they interact with cycles and retries.
     pub fn type_b() -> Self {
         GenConfig {
             target: Some(DesignClass::TypeB),
             back_edge_percent: 60,
             nb_retry_percent: 60,
+            rate_percent: 20,
+            surplus_percent: 10,
+            axi_percent: 15,
+            call_percent: 15,
             ..Self::base()
         }
     }
@@ -91,6 +141,54 @@ impl GenConfig {
             back_edge_percent: 30,
             nb_retry_percent: 20,
             nb_drop_percent: 50,
+            rate_percent: 20,
+            surplus_percent: 10,
+            axi_percent: 15,
+            call_percent: 15,
+            ..Self::base()
+        }
+    }
+
+    /// AXI-burst-heavy Type A designs: burst read sources, burst write
+    /// sinks and isolated `axi4_master`-shaped tasks, with randomized burst
+    /// lengths (the task rate), outstanding-transaction prefetch and
+    /// beat/FIFO interleaving. Differentially tests the burst-timing model
+    /// on every backend.
+    pub fn axi() -> Self {
+        GenConfig {
+            target: Some(DesignClass::TypeA),
+            tasks: (1, 5),
+            extra_edges: 2,
+            tokens: (12, 24),
+            rate_percent: 70,
+            axi_percent: 85,
+            ..Self::base()
+        }
+    }
+
+    /// Call-chain-heavy Type A designs: folds (and blocking reads) wrapped
+    /// in 1–3 deep `Op::Call` chains, shared and private, exercising the
+    /// call-timing contract under FIFO stalls.
+    pub fn calls() -> Self {
+        GenConfig {
+            target: Some(DesignClass::TypeA),
+            tokens: (8, 24),
+            rate_percent: 30,
+            call_percent: 80,
+            ..Self::base()
+        }
+    }
+
+    /// Multi-rate Type A designs: producers emitting `k` tokens per
+    /// iteration against consumers draining `m`, plus token surpluses that
+    /// leave data in the FIFOs at completion (and make shallow DSE probes
+    /// infeasible).
+    pub fn multirate() -> Self {
+        GenConfig {
+            target: Some(DesignClass::TypeA),
+            tokens: (12, 24),
+            rate_percent: 90,
+            surplus_percent: 40,
             ..Self::base()
         }
     }
@@ -102,6 +200,10 @@ impl GenConfig {
             back_edge_percent: 25,
             nb_retry_percent: 20,
             nb_drop_percent: 25,
+            rate_percent: 25,
+            surplus_percent: 10,
+            axi_percent: 20,
+            call_percent: 20,
             ..Self::base()
         }
     }
@@ -114,6 +216,26 @@ impl GenConfig {
             DesignClass::TypeC => Self::type_c(),
         }
     }
+
+    /// Looks up a preset by its CLI name: `a`, `b`, `c`, `mixed`, `axi`,
+    /// `calls` or `multirate`.
+    pub fn preset(name: &str) -> Option<Self> {
+        Some(match name {
+            "a" => Self::type_a(),
+            "b" => Self::type_b(),
+            "c" => Self::type_c(),
+            "mixed" => Self::mixed(),
+            "axi" => Self::axi(),
+            "calls" => Self::calls(),
+            "multirate" => Self::multirate(),
+            _ => return None,
+        })
+    }
+
+    /// Every preset name accepted by [`GenConfig::preset`], in the order the
+    /// CLI's `--preset all` walks them.
+    pub const PRESET_NAMES: [&'static str; 7] =
+        ["a", "b", "c", "mixed", "axi", "calls", "multirate"];
 
     /// Returns this configuration with the task-count range replaced.
     pub fn with_tasks(mut self, min: usize, max: usize) -> Self {
@@ -153,6 +275,11 @@ mod tests {
         for class in [DesignClass::TypeA, DesignClass::TypeB, DesignClass::TypeC] {
             assert_eq!(GenConfig::for_class(class).target, Some(class));
         }
+        // The dimension presets stay Type A so lightning and csim must be
+        // bit-exact on every seed.
+        assert_eq!(GenConfig::axi().target, Some(DesignClass::TypeA));
+        assert_eq!(GenConfig::calls().target, Some(DesignClass::TypeA));
+        assert_eq!(GenConfig::multirate().target, Some(DesignClass::TypeA));
     }
 
     #[test]
@@ -162,6 +289,22 @@ mod tests {
         assert_eq!(cfg.nb_retry_percent, 0);
         assert_eq!(cfg.nb_drop_percent, 0);
         assert_eq!(cfg.deadlock_percent, 0);
+    }
+
+    #[test]
+    fn dimension_presets_enable_their_dimension() {
+        assert!(GenConfig::axi().axi_percent > 50);
+        assert!(GenConfig::calls().call_percent > 50);
+        assert!(GenConfig::multirate().rate_percent > 50);
+        assert!(GenConfig::multirate().surplus_percent > 0);
+    }
+
+    #[test]
+    fn preset_lookup_covers_every_name() {
+        for name in GenConfig::PRESET_NAMES {
+            assert!(GenConfig::preset(name).is_some(), "preset {name} missing");
+        }
+        assert!(GenConfig::preset("bogus").is_none());
     }
 
     #[test]

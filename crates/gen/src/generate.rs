@@ -5,9 +5,11 @@
 //! is compositional — each feature the generator can add corresponds to a
 //! known row of the paper's Type A/B/C taxonomy — so a requested class is
 //! guaranteed by construction and double-checked against `omnisim-ir`'s
-//! classifier before the design is returned.
+//! classifier before the design is returned. The orthogonal dimensions
+//! (AXI bursts, call chains, multi-rate edges with surpluses) never change
+//! the class, so they compose freely with every class preset.
 
-use crate::blueprint::{Blueprint, EdgeKind, EdgePlan, TaskPlan};
+use crate::blueprint::{AxiPlan, AxiRole, Blueprint, CallPlan, EdgeKind, EdgePlan, TaskPlan};
 use crate::config::GenConfig;
 use crate::rng::Rng;
 use omnisim_ir::taxonomy::classify;
@@ -68,7 +70,18 @@ pub fn generate(cfg: &GenConfig, seed: u64) -> Generated {
 }
 
 fn build_blueprint(cfg: &GenConfig, seed: u64, rng: &mut Rng) -> Blueprint {
-    let tokens = rng.range_i64(cfg.tokens.0, cfg.tokens.1);
+    // Multi-rate designs need rates that divide the token count: rounding
+    // the count up to a multiple of 12 makes {2, 3, 4, 6} all available.
+    // The gate is per design so single-rate token diversity is preserved.
+    let mut tokens = rng.range_i64(cfg.tokens.0, cfg.tokens.1);
+    let multirate = cfg.rate_percent > 0 && rng.chance(cfg.rate_percent);
+    if multirate {
+        tokens = ((tokens + 11) / 12) * 12;
+    }
+    let rates: Vec<i64> = std::iter::once(1)
+        .chain((2..=6).filter(|r| tokens % r == 0))
+        .collect();
+
     let min_tasks = match cfg.target {
         // Type C needs at least one forward edge to make lossy.
         Some(DesignClass::TypeC) => cfg.tasks.0.max(2),
@@ -77,14 +90,21 @@ fn build_blueprint(cfg: &GenConfig, seed: u64, rng: &mut Rng) -> Blueprint {
     let task_count = rng.range_usize(min_tasks, cfg.tasks.1.max(min_tasks));
 
     let mut tasks: Vec<TaskPlan> = (0..task_count)
-        .map(|_| TaskPlan {
-            ii: rng.range(1, 4),
-            work: rng.range(0, 4),
-            start: rng.range_i64(0, 9),
-            coef: rng.range_i64(1, 3),
-            dynamic_loop: rng.chance(cfg.dynamic_loop_percent),
-            array_source: rng.chance(cfg.array_source_percent),
-            emits_output: true,
+        .map(|_| {
+            let rate = if multirate { *rng.pick(&rates) } else { 1 };
+            let ii = rng.range(1, 4).max(rate as u64);
+            TaskPlan {
+                ii,
+                work: rng.range(0, 4),
+                start: rng.range_i64(0, 9),
+                coef: rng.range_i64(1, 3),
+                dynamic_loop: rng.chance(cfg.dynamic_loop_percent),
+                array_source: rng.chance(cfg.array_source_percent),
+                emits_output: true,
+                rate,
+                call: None,
+                axi: None,
+            }
         })
         .collect();
 
@@ -95,24 +115,14 @@ fn build_blueprint(cfg: &GenConfig, seed: u64, rng: &mut Rng) -> Blueprint {
     for dst in 1..task_count {
         let src = rng.range_usize(0, dst - 1);
         let d = depth(rng);
-        edges.push(EdgePlan {
-            src,
-            dst,
-            depth: d,
-            kind: EdgeKind::Blocking,
-        });
+        edges.push(EdgePlan::blocking(src, dst, d));
     }
     if task_count >= 2 && cfg.extra_edges > 0 {
         for _ in 0..rng.range_usize(0, cfg.extra_edges) {
             let src = rng.range_usize(0, task_count - 2);
             let dst = rng.range_usize(src + 1, task_count - 1);
             let d = depth(rng);
-            edges.push(EdgePlan {
-                src,
-                dst,
-                depth: d,
-                kind: EdgeKind::Blocking,
-            });
+            edges.push(EdgePlan::blocking(src, dst, d));
         }
     }
     let forward_count = edges.len();
@@ -138,12 +148,20 @@ fn build_blueprint(cfg: &GenConfig, seed: u64, rng: &mut Rng) -> Blueprint {
     let has_forced_deadlock = edges
         .iter()
         .any(|e| e.kind == EdgeKind::Response { deadlock: true });
-    if !has_forced_deadlock && rng.chance(cfg.nb_retry_percent) {
+    // Retry sources are also excluded from multi-rate designs: an emergent
+    // buffering deadlock would starve the retry loop into a livelock (see
+    // `Blueprint::well_formed`).
+    let has_rates = tasks.iter().any(|t| t.rate > 1);
+    if !has_forced_deadlock && !has_rates && rng.chance(cfg.nb_retry_percent) {
         has_b_feature = true;
         add_retry_source(rng, &mut tasks, &mut edges, &mut depth, cfg);
     }
     if cfg.target == Some(DesignClass::TypeB) && !has_b_feature {
-        // Deterministic fallback: a retry source is always possible.
+        // Deterministic fallback: a retry source is always possible once
+        // the rates are flattened.
+        for t in tasks.iter_mut() {
+            t.rate = 1;
+        }
         add_retry_source(rng, &mut tasks, &mut edges, &mut depth, cfg);
     }
 
@@ -164,15 +182,117 @@ fn build_blueprint(cfg: &GenConfig, seed: u64, rng: &mut Rng) -> Blueprint {
                 // Every forward edge is a protected response partner: add a
                 // fresh forward edge just to make it lossy.
                 let d = depth(rng);
-                edges.push(EdgePlan {
-                    src: 0,
-                    dst: 1,
-                    depth: d,
-                    kind: EdgeKind::Blocking,
-                });
+                edges.push(EdgePlan::blocking(0, 1, d));
                 let i = edges.len() - 1;
                 make_lossy(rng, &mut tasks, &mut edges, i);
             }
+        }
+    }
+
+    // --- Multi-rate surpluses --------------------------------------------
+    // Leftover data: the producer writes 1–3 extra values the consumer
+    // never drains. Capped by the FIFO depth so the design itself stays
+    // live; any DSE probe below the surplus is infeasible.
+    if cfg.surplus_percent > 0 {
+        for e in edges.iter_mut() {
+            if e.kind == EdgeKind::Blocking && rng.chance(cfg.surplus_percent) {
+                e.surplus = rng.range_usize(1, 3.min(e.depth));
+            }
+        }
+    }
+
+    // --- AXI burst traffic -----------------------------------------------
+    if cfg.axi_percent > 0 {
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..tasks.len() {
+            if edges
+                .iter()
+                .any(|e| e.kind == EdgeKind::NbRetry && e.src == t)
+            {
+                continue; // retry sources stay minimal
+            }
+            let has_in_fwd = edges
+                .iter()
+                .any(|e| e.dst == t && !matches!(e.kind, EdgeKind::Response { .. }));
+            let has_out = edges.iter().any(|e| e.src == t);
+            let has_any = edges.iter().any(|e| e.src == t || e.dst == t);
+            let role = if !has_any {
+                Some(AxiRole::ReadWrite)
+            } else if !has_in_fwd && has_out {
+                Some(AxiRole::ReadSource {
+                    prefetch: if rng.chance(cfg.axi_prefetch_percent) {
+                        rng.range(1, 3) as u8
+                    } else {
+                        0
+                    },
+                    interleave: rng.chance(cfg.axi_interleave_percent),
+                })
+            } else if has_in_fwd && !has_out {
+                Some(AxiRole::WriteSink)
+            } else {
+                None
+            };
+            if let Some(role) = role {
+                if rng.chance(cfg.axi_percent) {
+                    tasks[t].axi = Some(AxiPlan {
+                        role,
+                        latency: rng.range(1, 9),
+                    });
+                    tasks[t].array_source = false;
+                }
+            }
+        }
+    }
+
+    // --- Call chains -----------------------------------------------------
+    if cfg.call_percent > 0 {
+        #[allow(clippy::needless_range_loop)]
+        for t in 0..tasks.len() {
+            if tasks[t].axi.is_some()
+                || edges
+                    .iter()
+                    .any(|e| e.kind == EdgeKind::NbRetry && e.src == t)
+                || !rng.chance(cfg.call_percent)
+            {
+                continue;
+            }
+            let depth = rng.range(1, u64::from(cfg.max_call_depth.clamp(1, 3)) + 1) as u8;
+            let shared = rng.chance(cfg.call_shared_percent);
+            let has_blocking_in = edges
+                .iter()
+                .any(|e| e.dst == t && matches!(e.kind, EdgeKind::Blocking | EdgeKind::NbRetry));
+            let in_cycle = edges
+                .iter()
+                .any(|e| matches!(e.kind, EdgeKind::Response { .. }) && (e.src == t || e.dst == t));
+            let wrap_reads =
+                !shared && has_blocking_in && !in_cycle && rng.chance(cfg.call_wrap_percent);
+            tasks[t].call = Some(CallPlan {
+                depth,
+                shared,
+                wrap_reads,
+            });
+        }
+    }
+
+    // Response cycles require equal rates on both endpoints; two cycles
+    // sharing a task can undo each other's coercion, so equalize to a
+    // fixpoint (rates only ever decrease, so this terminates).
+    loop {
+        let mut changed = false;
+        for edge in &edges {
+            if !matches!(edge.kind, EdgeKind::Response { .. }) {
+                continue;
+            }
+            let (s, d) = (edge.src, edge.dst);
+            let rate = tasks[s].rate.min(tasks[d].rate);
+            if tasks[s].rate != rate || tasks[d].rate != rate {
+                tasks[s].rate = rate;
+                tasks[d].rate = rate;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
         }
     }
 
@@ -185,7 +305,9 @@ fn build_blueprint(cfg: &GenConfig, seed: u64, rng: &mut Rng) -> Blueprint {
 }
 
 /// Closes a request/response cycle over a random forward edge, marking the
-/// partner as protected.
+/// partner as protected. Endpoint rates are equalized afterwards by the
+/// fixpoint pass in `build_blueprint` (unequal rates would starve the
+/// cycle mid-iteration).
 fn add_response(
     cfg: &GenConfig,
     rng: &mut Rng,
@@ -204,6 +326,7 @@ fn add_response(
         kind: EdgeKind::Response {
             deadlock: rng.chance(cfg.deadlock_percent),
         },
+        surplus: 0,
     });
 }
 
@@ -228,6 +351,9 @@ fn add_retry_source(
         // The retry state is taint-reachable from the NB outcome; keeping it
         // un-observable is what keeps the design Type B.
         emits_output: false,
+        rate: 1,
+        call: None,
+        axi: None,
     });
     let d = depth(rng);
     edges.push(EdgePlan {
@@ -235,6 +361,7 @@ fn add_retry_source(
         dst,
         depth: d,
         kind: EdgeKind::NbRetry,
+        surplus: 0,
     });
 }
 
@@ -244,6 +371,7 @@ fn make_lossy(rng: &mut Rng, tasks: &mut [TaskPlan], edges: &mut [EdgePlan], i: 
     edges[i].kind = EdgeKind::NbDrop {
         counted: rng.chance(50),
     };
+    edges[i].surplus = 0;
     tasks[edges[i].dst].emits_output = true;
     tasks[edges[i].src].emits_output = true;
 }
@@ -307,5 +435,78 @@ mod tests {
             saw_deadlock |= g.blueprint.has_forced_deadlock();
         }
         assert!(saw_deadlock, "deadlock probability 100% never fired");
+    }
+
+    #[test]
+    fn axi_preset_produces_every_role() {
+        let cfg = GenConfig::axi();
+        let (mut sources, mut sinks, mut rw, mut prefetched, mut interleaved) = (0, 0, 0, 0, 0);
+        for seed in 0..64 {
+            let g = generate(&cfg, seed);
+            assert_eq!(g.class, DesignClass::TypeA, "seed {seed}");
+            for task in &g.blueprint.tasks {
+                match task.axi.map(|a| a.role) {
+                    Some(AxiRole::ReadSource {
+                        prefetch,
+                        interleave,
+                    }) => {
+                        sources += 1;
+                        prefetched += usize::from(prefetch > 0);
+                        interleaved += usize::from(interleave);
+                    }
+                    Some(AxiRole::WriteSink) => sinks += 1,
+                    Some(AxiRole::ReadWrite) => rw += 1,
+                    None => {}
+                }
+            }
+        }
+        assert!(sources > 0, "no AXI read sources generated");
+        assert!(sinks > 0, "no AXI write sinks generated");
+        assert!(rw > 0, "no isolated read/write tasks generated");
+        assert!(prefetched > 0, "no outstanding-transaction prefetch");
+        assert!(interleaved > 0, "no beat/FIFO interleaving");
+    }
+
+    #[test]
+    fn calls_preset_produces_shared_private_and_wrapped_chains() {
+        let cfg = GenConfig::calls();
+        let (mut shared, mut private, mut wrapped, mut deep) = (0, 0, 0, 0);
+        for seed in 0..64 {
+            let g = generate(&cfg, seed);
+            assert_eq!(g.class, DesignClass::TypeA, "seed {seed}");
+            for task in &g.blueprint.tasks {
+                if let Some(call) = task.call {
+                    if call.shared {
+                        shared += 1;
+                    } else {
+                        private += 1;
+                    }
+                    wrapped += usize::from(call.wrap_reads);
+                    deep += usize::from(call.depth > 1);
+                }
+            }
+        }
+        assert!(shared > 0, "no shared call chains");
+        assert!(private > 0, "no private call chains");
+        assert!(wrapped > 0, "no wrapped blocking reads");
+        assert!(deep > 0, "no multi-level chains");
+    }
+
+    #[test]
+    fn multirate_preset_produces_rate_mismatches_and_surpluses() {
+        let cfg = GenConfig::multirate();
+        let (mut mismatched, mut surplus) = (0, 0);
+        for seed in 0..64 {
+            let g = generate(&cfg, seed);
+            assert_eq!(g.class, DesignClass::TypeA, "seed {seed}");
+            for e in &g.blueprint.edges {
+                if g.blueprint.tasks[e.src].rate != g.blueprint.tasks[e.dst].rate {
+                    mismatched += 1;
+                }
+                surplus += e.surplus;
+            }
+        }
+        assert!(mismatched > 0, "no multi-rate boundaries generated");
+        assert!(surplus > 0, "no token surpluses generated");
     }
 }

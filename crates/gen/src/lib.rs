@@ -8,17 +8,25 @@
 //! ([`generate`]) maps `(GenConfig, seed)` onto well-formed dataflow designs
 //! over the `omnisim-ir` builder — targeted per taxonomy class (Type A
 //! acyclic/blocking, Type B cyclic/non-blocking-but-invisible, Type C
-//! outcome-dependent) — and a differential oracle ([`differential_check`])
-//! turns the four-backend matrix plus the compiled DSE engine into a
-//! self-testing machine:
+//! outcome-dependent), with three orthogonal timing dimensions riding on
+//! top (AXI read/write bursts with outstanding transactions and
+//! interleaving, `Op::Call` chains with optionally wrapped blocking reads,
+//! and multi-rate edges with token surpluses) — and a differential oracle
+//! ([`differential_check`]) turns the four-backend matrix plus the
+//! compiled DSE engine into a self-testing machine:
 //!
 //! * `omnisim` and the cycle-stepped reference must agree **bit for bit**
 //!   (outcome, outputs, total cycles),
-//! * `lightning` must be exactly right on Type A and reject Type B/C,
-//! * `csim` must reproduce Type A and is book-kept (not asserted) on its
-//!   documented Type B/C failure modes,
+//! * `lightning` must be exactly right on completed Type A runs (reporting
+//!   its honest graph-cycle diagnosis on deadlocked ones) and reject
+//!   Type B/C,
+//! * `csim` must reproduce completed Type A runs and is book-kept (not
+//!   asserted) on its documented failure modes,
 //! * the compiled `SweepPlan`, the uncompiled incremental path and full
-//!   re-simulation must give identical DSE answers on random depth vectors.
+//!   re-simulation must give identical DSE answers on random depth vectors
+//!   — including the `DepthInfeasible`/`DepthCyclic` verdicts multi-rate
+//!   designs produce — and the `min_depths` inverse query's certificate
+//!   must be tight against ground truth.
 //!
 //! Any failing seed reproduces deterministically and [`shrink`]s to a
 //! minimal committable [`Blueprint`].
@@ -48,7 +56,7 @@ pub mod oracle;
 pub mod rng;
 pub mod shrink;
 
-pub use blueprint::{Blueprint, EdgeKind, EdgePlan, TaskPlan};
+pub use blueprint::{AxiPlan, AxiRole, Blueprint, CallPlan, EdgeKind, EdgePlan, TaskPlan};
 pub use config::GenConfig;
 pub use generate::{generate, Generated};
 pub use oracle::{

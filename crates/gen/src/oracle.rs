@@ -25,7 +25,7 @@ use crate::rng::Rng;
 use omnisim::{IncrementalOutcome, OmniSimulator, SimConfig};
 use omnisim_api::Simulator;
 use omnisim_csim::CsimBackend;
-use omnisim_dse::SweepPlan;
+use omnisim_dse::{MinDepthsReport, PlanEvaluator, SweepPlan};
 use omnisim_ir::taxonomy::classify;
 use omnisim_ir::{Design, DesignClass};
 use omnisim_lightning::{LightningError, LightningSimulator};
@@ -41,6 +41,20 @@ pub struct DiffConfig {
     pub dse_max_depth: usize,
     /// Verify certified DSE answers against a full re-simulation.
     pub dse_resim: bool,
+    /// Run the `min_depths` inverse query on every completed baseline (with
+    /// the baseline latency as target) and cross-check its combined verdict
+    /// against `try_with_depths`.
+    pub min_depths: bool,
+    /// Search bound of that query.
+    pub min_depths_bound: usize,
+    /// Tightness oracle: ground-truth the `min_depths` certificate with
+    /// full re-simulations — each certified per-FIFO minimum must simulate
+    /// within the target, and one depth shallower must certifiably fail
+    /// (higher latency, matched by re-simulation, or an infeasible depth
+    /// that deadlocks). Costs up to two extra full runs per FIFO, so it is
+    /// off by default and enabled by the dedicated tightness suite and the
+    /// fuzz CLI's `--min-depths`.
+    pub min_depths_resim: bool,
     /// Cycle budget for the cycle-stepped reference (a generated design
     /// exceeding it counts as a hang, which is itself a failure).
     pub rtl_max_cycles: u64,
@@ -56,6 +70,9 @@ impl Default for DiffConfig {
             dse_points: 3,
             dse_max_depth: 16,
             dse_resim: true,
+            min_depths: true,
+            min_depths_bound: 12,
+            min_depths_resim: false,
             rtl_max_cycles: 500_000,
             omni_fuel: 10_000_000,
         }
@@ -90,6 +107,9 @@ pub struct DiffReport {
     pub csim: Option<CsimAgreement>,
     /// Number of DSE depth vectors checked.
     pub dse_points_checked: usize,
+    /// Number of compiled evaluations the `min_depths` search spent
+    /// (0 when the leg was skipped).
+    pub min_depths_probes: usize,
     /// Every violated claim, human-readable. Empty means the design passed.
     pub failures: Vec<String>,
 }
@@ -144,6 +164,7 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
                 total_cycles: None,
                 csim: None,
                 dse_points_checked: 0,
+                min_depths_probes: 0,
                 failures: vec![format!("omnisim failed to run: {e}")],
             };
         }
@@ -164,6 +185,7 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
                 total_cycles: None,
                 csim: None,
                 dse_points_checked: 0,
+                min_depths_probes: 0,
                 failures: vec![format!("reference simulator failed to run: {e}")],
             };
         }
@@ -205,20 +227,41 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
         DesignClass::TypeA => {
             match LightningSimulator::new(design).and_then(|mut s| s.simulate()) {
                 Ok(light) => {
-                    if light.outputs != rtl.outputs {
+                    if !completed {
+                        // A blocking-only design deadlocks exactly when the
+                        // depth overlay is cyclic, so a successful analysis
+                        // of a deadlocked design is a wrong answer (this is
+                        // how multi-rate reconvergence with undersized
+                        // FIFOs would silently mis-simulate on a decoupled
+                        // two-phase tool).
                         failures.push(format!(
-                            "lightning output mismatch on Type A: {:?} vs {:?}",
-                            light.outputs, rtl.outputs
+                            "lightning reported {} cycles for a Type A design that \
+                             deadlocks in hardware",
+                            light.total_cycles
                         ));
-                    }
-                    if completed && light.total_cycles != rtl.total_cycles {
-                        failures.push(format!(
-                            "lightning cycle mismatch on Type A: {} vs {}",
-                            light.total_cycles, rtl.total_cycles
-                        ));
+                    } else {
+                        if light.outputs != rtl.outputs {
+                            failures.push(format!(
+                                "lightning output mismatch on Type A: {:?} vs {:?}",
+                                light.outputs, rtl.outputs
+                            ));
+                        }
+                        if light.total_cycles != rtl.total_cycles {
+                            failures.push(format!(
+                                "lightning cycle mismatch on Type A: {} vs {}",
+                                light.total_cycles, rtl.total_cycles
+                            ));
+                        }
                     }
                 }
-                Err(e) => failures.push(format!("lightning failed on a Type A design: {e}")),
+                Err(e) => {
+                    // On a deadlocked Type A design, lightning's Phase 2
+                    // overlay is cyclic; the graph error *is* its honest
+                    // deadlock diagnosis.
+                    if completed {
+                        failures.push(format!("lightning failed on a Type A design: {e}"));
+                    }
+                }
             }
         }
         DesignClass::TypeB | DesignClass::TypeC => {
@@ -246,7 +289,11 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
             None
         }
     };
-    if class == DesignClass::TypeA && csim != Some(CsimAgreement::Agreed) {
+    // C simulation has unbounded FIFOs and no hardware time, so it cannot
+    // see a deadlock: its exactness claim only covers completed runs (on a
+    // deadlocked design its full outputs against the reference's partial
+    // ones are a *documented* divergence, Table 3).
+    if class == DesignClass::TypeA && completed && csim != Some(CsimAgreement::Agreed) {
         failures.push(format!(
             "csim must reproduce Type A behaviour exactly, got {csim:?}"
         ));
@@ -254,7 +301,8 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
 
     // --- compiled DSE == incremental == full re-simulation ---------------
     let mut dse_points_checked = 0;
-    if !design.fifos.is_empty() && cfg.dse_points > 0 {
+    let mut min_depths_probes = 0;
+    if !design.fifos.is_empty() && (cfg.dse_points > 0 || cfg.min_depths) {
         match SweepPlan::compile(&omni.incremental) {
             Ok(plan) => {
                 let mut evaluator = plan.evaluator();
@@ -304,8 +352,54 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
                         }
                     }
                 }
+
+                // --- min_depths: the inverse DSE query, searched on every
+                // completed baseline with the baseline latency as target,
+                // its combined verdict cross-checked against the uncompiled
+                // path and (optionally) its certificate ground-truthed for
+                // tightness against full re-simulations.
+                if cfg.min_depths && completed {
+                    let target = omni.total_cycles;
+                    match plan.min_depths(target, cfg.min_depths_bound) {
+                        Ok(md) => {
+                            min_depths_probes = md.probes;
+                            match omni.incremental.try_with_depths(&md.depths) {
+                                Ok(outcome) if outcome == md.combined => {}
+                                Ok(outcome) => failures.push(format!(
+                                    "min_depths combined verdict diverges from try_with_depths \
+                                     at {:?}: {:?} vs {outcome:?}",
+                                    md.depths, md.combined
+                                )),
+                                Err(e) => failures.push(format!(
+                                    "try_with_depths failed on the min_depths vector {:?}: {e}",
+                                    md.depths
+                                )),
+                            }
+                            if cfg.min_depths_resim {
+                                check_min_depths_tightness(
+                                    design,
+                                    omni_config,
+                                    target,
+                                    &plan,
+                                    cfg.min_depths_bound,
+                                    &md,
+                                    &mut evaluator,
+                                    &mut failures,
+                                );
+                            }
+                        }
+                        Err(e) => failures.push(format!("min_depths search failed: {e}")),
+                    }
+                }
             }
-            Err(e) => failures.push(format!("sweep plan failed to compile: {e}")),
+            Err(e) => {
+                // A deadlocked baseline's partial event graph need not
+                // admit a depth-independent topological order; completed
+                // runs always must.
+                if completed {
+                    failures.push(format!("sweep plan failed to compile: {e}"));
+                }
+            }
         }
     }
 
@@ -315,7 +409,92 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
         total_cycles: completed.then_some(omni.total_cycles),
         csim,
         dse_points_checked,
+        min_depths_probes,
         failures,
+    }
+}
+
+/// The tightness oracle behind [`DiffConfig::min_depths_resim`]: every
+/// certified per-FIFO minimum must actually simulate within the target
+/// (holding the other FIFOs at their anchors), and one depth shallower must
+/// certifiably fail — either the plan certifies a latency above the target
+/// (which full re-simulation must reproduce exactly), or the depth is
+/// infeasible (which full re-simulation must confirm as a non-completion).
+/// A constraint flip one depth shallower proves nothing either way (validity
+/// is not monotone), so it is skipped.
+#[allow(clippy::too_many_arguments)]
+fn check_min_depths_tightness(
+    design: &Design,
+    omni_config: SimConfig,
+    target: u64,
+    plan: &SweepPlan,
+    bound: usize,
+    md: &MinDepthsReport,
+    evaluator: &mut PlanEvaluator<'_>,
+    failures: &mut Vec<String>,
+) {
+    let anchors: Vec<usize> = plan
+        .original_depths()
+        .iter()
+        .map(|&d| d.clamp(1, bound))
+        .collect();
+    let resim = |depths: &[usize]| {
+        OmniSimulator::with_config(&design.with_fifo_depths(depths), omni_config).run()
+    };
+    for (f, min) in md.per_fifo.iter().enumerate() {
+        let Some(min) = *min else { continue };
+        let mut probe = anchors.clone();
+        probe[f] = min;
+        match resim(&probe) {
+            Ok(full) if full.outcome.is_completed() && full.total_cycles <= target => {}
+            Ok(full) => failures.push(format!(
+                "min_depths certified fifo {f} at depth {min}, but full re-simulation \
+                 gives {} cycles (completed: {}) against target {target} at {probe:?}",
+                full.total_cycles,
+                full.outcome.is_completed()
+            )),
+            Err(e) => failures.push(format!("full re-simulation failed at {probe:?}: {e}")),
+        }
+        if min == 1 {
+            continue;
+        }
+        probe[f] = min - 1;
+        match evaluator.evaluate(&probe) {
+            Ok(IncrementalOutcome::Valid { total_cycles }) => {
+                if total_cycles <= target {
+                    failures.push(format!(
+                        "min_depths reported {min} for fifo {f}, but the plan certifies \
+                         {total_cycles} <= {target} one depth shallower"
+                    ));
+                } else {
+                    match resim(&probe) {
+                        Ok(full)
+                            if full.outcome.is_completed() && full.total_cycles == total_cycles => {
+                        }
+                        Ok(full) => failures.push(format!(
+                            "certified min_depths boundary {total_cycles} diverges from full \
+                             re-simulation {} (completed: {}) at {probe:?}",
+                            full.total_cycles,
+                            full.outcome.is_completed()
+                        )),
+                        Err(e) => {
+                            failures.push(format!("full re-simulation failed at {probe:?}: {e}"))
+                        }
+                    }
+                }
+            }
+            Ok(IncrementalOutcome::DepthInfeasible { .. } | IncrementalOutcome::DepthCyclic) => {
+                match resim(&probe) {
+                    Ok(full) if !full.outcome.is_completed() => {}
+                    Ok(_) => failures.push(format!(
+                        "plan calls {probe:?} infeasible, but the resized design completes"
+                    )),
+                    Err(e) => failures.push(format!("full re-simulation failed at {probe:?}: {e}")),
+                }
+            }
+            Ok(IncrementalOutcome::ConstraintViolated { .. }) => {}
+            Err(e) => failures.push(format!("plan evaluation failed at {probe:?}: {e}")),
+        }
     }
 }
 

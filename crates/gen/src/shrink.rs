@@ -3,13 +3,17 @@
 //! Given a failing blueprint and a predicate that reproduces the failure,
 //! [`shrink`] repeatedly tries structural simplifications — drop a task,
 //! drop an edge, reduce the token count, flatten depths, downgrade access
-//! kinds, strip scheduling noise — keeping a candidate only when the
-//! predicate still holds on it. Every accepted candidate strictly decreases
-//! [`Blueprint::size`], so shrinking always terminates, and because the
-//! predicate is re-evaluated on the *lowered design* of every candidate, the
-//! result is sound by construction: the minimized blueprint still fails.
+//! kinds, strip scheduling noise, and peel the orthogonal dimensions (drop
+//! an AXI plan, shorten or unwrap a call chain, flatten a rate, zero a
+//! surplus) — keeping a candidate only when the predicate still holds on
+//! it. Each dimension shrinks independently, so a failure that needs only
+//! one of them minimizes to a witness carrying exactly that one. Every
+//! accepted candidate strictly decreases [`Blueprint::size`], so shrinking
+//! always terminates, and because the predicate is re-evaluated on the
+//! *lowered design* of every candidate, the result is sound by
+//! construction: the minimized blueprint still fails.
 
-use crate::blueprint::{Blueprint, EdgeKind};
+use crate::blueprint::{AxiRole, Blueprint, EdgeKind};
 
 /// Minimizes `blueprint` while `interesting` keeps returning true.
 ///
@@ -84,6 +88,17 @@ fn candidates(bp: &Blueprint) -> Vec<Blueprint> {
         out.push(minus);
     }
 
+    // 3b. Flatten every rate at once (response cycles require equal rates
+    // on both endpoints, so per-task flattening alone cannot cross them;
+    // this also unblocks the token-count shrinks above).
+    if bp.tasks.iter().any(|t| t.rate > 1) {
+        let mut c = bp.clone();
+        for t in &mut c.tasks {
+            t.rate = 1;
+        }
+        out.push(c);
+    }
+
     // 4. Downgrade an edge kind (strictly lighter kinds only).
     for i in 0..bp.edges.len() {
         let kind = bp.edges[i].kind;
@@ -109,12 +124,24 @@ fn candidates(bp: &Blueprint) -> Vec<Blueprint> {
         }
     }
 
-    // 5. Flatten a FIFO depth.
+    // 5. Flatten a FIFO depth (keeping any surplus writable) or shed the
+    // surplus itself.
     for i in 0..bp.edges.len() {
-        if bp.edges[i].depth > 1 {
+        let surplus = bp.edges[i].surplus;
+        if bp.edges[i].depth > 1.max(surplus) {
             let mut c = bp.clone();
-            c.edges[i].depth = 1;
+            c.edges[i].depth = 1.max(surplus);
             out.push(c);
+        }
+        if surplus > 0 {
+            let mut c = bp.clone();
+            c.edges[i].surplus = 0;
+            out.push(c);
+            if surplus > 1 {
+                let mut c = bp.clone();
+                c.edges[i].surplus = surplus - 1;
+                out.push(c);
+            }
         }
     }
 
@@ -143,6 +170,70 @@ fn candidates(bp: &Blueprint) -> Vec<Blueprint> {
         }
         if plan.coef > 1 {
             simplify(|p| p.coef = 1);
+        }
+
+        // 7. Peel the orthogonal dimensions, one knob at a time.
+        if plan.rate > 1 {
+            simplify(|p| p.rate = 1);
+        }
+        if plan.call.is_some() {
+            simplify(|p| p.call = None);
+        }
+        if plan.axi.is_some() {
+            simplify(|p| p.axi = None);
+        }
+        if let Some(call) = plan.call {
+            if call.depth > 1 {
+                let mut c = bp.clone();
+                c.tasks[t].call = Some(crate::blueprint::CallPlan {
+                    depth: call.depth - 1,
+                    ..call
+                });
+                out.push(c);
+            }
+            if call.wrap_reads {
+                let mut c = bp.clone();
+                c.tasks[t].call = Some(crate::blueprint::CallPlan {
+                    wrap_reads: false,
+                    ..call
+                });
+                out.push(c);
+            }
+        }
+        if let Some(axi) = plan.axi {
+            if axi.latency > 1 {
+                let mut c = bp.clone();
+                c.tasks[t].axi = Some(crate::blueprint::AxiPlan { latency: 1, ..axi });
+                out.push(c);
+            }
+            if let AxiRole::ReadSource {
+                prefetch,
+                interleave,
+            } = axi.role
+            {
+                if prefetch > 0 {
+                    let mut c = bp.clone();
+                    c.tasks[t].axi = Some(crate::blueprint::AxiPlan {
+                        role: AxiRole::ReadSource {
+                            prefetch: 0,
+                            interleave,
+                        },
+                        ..axi
+                    });
+                    out.push(c);
+                }
+                if interleave {
+                    let mut c = bp.clone();
+                    c.tasks[t].axi = Some(crate::blueprint::AxiPlan {
+                        role: AxiRole::ReadSource {
+                            prefetch,
+                            interleave: false,
+                        },
+                        ..axi
+                    });
+                    out.push(c);
+                }
+            }
         }
     }
 

@@ -179,15 +179,31 @@ pub fn classify(design: &Design) -> TaxonomyReport {
 }
 
 /// True if the producer→consumer graph of the dataflow tasks has a cycle.
+/// FIFO accesses inside called sub-functions run on the caller's thread, so
+/// a callee's endpoints are attributed to every module that can reach it
+/// through `Op::Call` — otherwise a cycle closed through a wrapped read
+/// would go unseen.
 pub fn dataflow_graph_has_cycle(design: &Design) -> bool {
     let endpoints = fifo_endpoints(design);
+    let closures = crate::validate::call_closures(design);
     let n = design.modules.len();
+    // owners[m] = modules whose call closure contains m.
+    let mut owners = vec![Vec::new(); n];
+    for (root, closure) in closures.iter().enumerate() {
+        for m in closure {
+            owners[m.index()].push(root);
+        }
+    }
     let mut adj = vec![Vec::new(); n];
     for (writers, readers) in &endpoints {
         for w in writers {
             for r in readers {
-                if w != r {
-                    adj[w.index()].push(r.index());
+                for &wo in &owners[w.index()] {
+                    for &ro in &owners[r.index()] {
+                        if wo != ro {
+                            adj[wo].push(ro);
+                        }
+                    }
                 }
             }
         }

@@ -290,6 +290,41 @@ pub fn fifo_endpoints(design: &Design) -> Vec<(Vec<ModuleId>, Vec<ModuleId>)> {
     endpoints
 }
 
+/// For every module, the modules reachable from it through `Op::Call`
+/// chains (itself included). FIFO accesses inside a callee happen on the
+/// caller's thread, so analyses that reason about *runtime* endpoints (task
+/// ordering, dataflow cycles) must attribute them through this closure.
+pub fn call_closures(design: &Design) -> Vec<Vec<ModuleId>> {
+    let n = design.modules.len();
+    let mut direct: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, module) in design.modules.iter().enumerate() {
+        for block in &module.blocks {
+            for sop in &block.ops {
+                if let Op::Call { callee, .. } = &sop.op {
+                    if callee.index() < n {
+                        direct[i].push(callee.index());
+                    }
+                }
+            }
+        }
+    }
+    (0..n)
+        .map(|root| {
+            let mut seen = vec![false; n];
+            let mut stack = vec![root];
+            let mut closure = Vec::new();
+            while let Some(v) = stack.pop() {
+                if !seen[v] {
+                    seen[v] = true;
+                    closure.push(ModuleId::from_index(v));
+                    stack.extend(direct[v].iter().copied());
+                }
+            }
+            closure
+        })
+        .collect()
+}
+
 fn check_fifo_point_to_point(design: &Design) -> Result<(), IrError> {
     for (f_idx, (writers, readers)) in fifo_endpoints(design).into_iter().enumerate() {
         if writers.len() > 1 || readers.len() > 1 {

@@ -91,12 +91,16 @@ pub(crate) fn generate_trace(design: &Design) -> Result<LightningTrace, Lightnin
 }
 
 /// Orders the dataflow tasks so that every FIFO producer runs before its
-/// consumer. For Type A designs (acyclic) this always succeeds; ties and
+/// consumer. FIFO accesses inside called sub-functions happen on the
+/// calling task's thread, so each task owns the endpoints of its whole call
+/// closure. For Type A designs (acyclic) this always succeeds; ties and
 /// isolated tasks keep declaration order.
 fn topological_task_order(design: &Design) -> Vec<ModuleId> {
     let tasks = design.dataflow_tasks();
     let endpoints = fifo_endpoints(design);
-    let index_of = |m: ModuleId| tasks.iter().position(|&t| t == m);
+    let closures = omnisim_ir::validate::call_closures(design);
+    // Map every module to the dataflow task whose call closure contains it.
+    let index_of = |m: ModuleId| tasks.iter().position(|&t| closures[t.index()].contains(&m));
     let n = tasks.len();
     let mut adj = vec![Vec::new(); n];
     let mut in_degree = vec![0usize; n];
@@ -149,18 +153,38 @@ struct TraceBackend<'d> {
     outputs: OutputMap,
 }
 
+/// One outstanding AXI read burst: snapshotted values plus per-burst beat
+/// pacing (first beat ready `request_latency` cycles after the request,
+/// subsequent beats one cycle apart) and the graph node of its request, so
+/// each beat can be anchored at `request + latency + beat` — a constraint
+/// that must survive the Phase 2 write-after-read overlay, unlike the
+/// trace's program-order distances, which only reflect the unbounded run.
+#[derive(Debug, Clone)]
+struct ReadBurst {
+    values: VecDeque<i64>,
+    ready: u64,
+    req_node: NodeId,
+    beats_done: u64,
+}
+
 #[derive(Debug, Default, Clone)]
 struct AxiReadState {
-    queue: VecDeque<i64>,
-    next_beat_ready: u64,
+    bursts: VecDeque<ReadBurst>,
+}
+
+/// One outstanding AXI write burst (beats address `addr + beats_done`).
+#[derive(Debug, Clone)]
+struct WriteBurst {
+    addr: i64,
+    len: i64,
+    beats_done: i64,
 }
 
 #[derive(Debug, Default, Clone)]
 struct AxiWriteState {
-    addr: i64,
-    beats_done: i64,
+    bursts: VecDeque<WriteBurst>,
     last_beat_cycle: u64,
-    active: bool,
+    last_beat_node: Option<NodeId>,
 }
 
 impl<'d> TraceBackend<'d> {
@@ -189,19 +213,25 @@ impl<'d> TraceBackend<'d> {
 
     fn finish_task(&mut self) {
         let end_cycle = self.clock.block_exit();
-        let node = self.event_node(end_cycle);
+        let node = self.event_node(end_cycle, end_cycle);
         self.end_nodes.push(node);
     }
 
-    /// Creates an event node at `cycle` and chains it to the previous event
-    /// of the same task with the static-schedule distance.
-    fn event_node(&mut self, cycle: u64) -> NodeId {
-        let node = self.graph.add_node(cycle);
-        if let Some((prev, prev_cycle)) = self.last_event {
+    /// Creates an event node with base time `commit` (its cycle in the
+    /// unbounded trace — a valid lower bound, since Phase 2 overlays only
+    /// ever delay) and chains it to the previous event of the same task
+    /// with the static-schedule distance `request - prev_commit`. For FIFO
+    /// accesses the trace never stalls, so `request == commit`; AXI beats
+    /// and write responses can stall on the bus, and their extra wait must
+    /// live in an explicit anchor edge (re-evaluated per depth vector), not
+    /// in the program-order distance (frozen at its trace value).
+    fn event_node(&mut self, request: u64, commit: u64) -> NodeId {
+        let node = self.graph.add_node(commit);
+        if let Some((prev, prev_commit)) = self.last_event {
             self.graph
-                .add_edge(prev, node, cycle as i64 - prev_cycle as i64);
+                .add_edge(prev, node, request as i64 - prev_commit as i64);
         }
-        self.last_event = Some((node, cycle));
+        self.last_event = Some((node, commit));
         node
     }
 }
@@ -223,7 +253,7 @@ impl SimBackend for TraceBackend<'_> {
             .pop_front()
             .ok_or(SimError::ReadWhileEmpty { fifo })?;
         let cycle = self.clock.op_cycle(offset);
-        let node = self.event_node(cycle);
+        let node = self.event_node(cycle, cycle);
         let reads = self.fifo_reads[fifo.index()].len();
         // Read-after-write: the r-th read happens strictly after the r-th write.
         let write_node = self.fifo_writes[fifo.index()][reads];
@@ -235,7 +265,7 @@ impl SimBackend for TraceBackend<'_> {
     fn fifo_write(&mut self, fifo: FifoId, value: i64, offset: u64) -> Result<(), SimError> {
         self.fifo_values[fifo.index()].push_back(value);
         let cycle = self.clock.op_cycle(offset);
-        let node = self.event_node(cycle);
+        let node = self.event_node(cycle, cycle);
         self.fifo_writes[fifo.index()].push(node);
         Ok(())
     }
@@ -305,6 +335,7 @@ impl SimBackend for TraceBackend<'_> {
     ) -> Result<(), SimError> {
         let port = self.design.axi_port(bus);
         let cycle = self.clock.op_cycle(offset);
+        let mut values = VecDeque::with_capacity(usize::try_from(len).unwrap_or(0));
         let data = &self.arrays[port.array.index()];
         for beat in 0..len {
             let idx = addr + beat;
@@ -316,23 +347,52 @@ impl SimBackend for TraceBackend<'_> {
                     index: idx,
                     len: data.len(),
                 })?;
-            self.axi_read_state[bus.index()].queue.push_back(value);
+            values.push_back(value);
         }
-        self.axi_read_state[bus.index()].next_beat_ready = cycle + port.request_latency;
+        let req_node = self.event_node(cycle, cycle);
+        self.axi_read_state[bus.index()]
+            .bursts
+            .push_back(ReadBurst {
+                values,
+                ready: cycle + port.request_latency,
+                req_node,
+                beats_done: 0,
+            });
         Ok(())
     }
 
     fn axi_read(&mut self, bus: AxiId, offset: u64) -> Result<i64, SimError> {
-        let state = &mut self.axi_read_state[bus.index()];
-        let value = state
-            .queue
-            .pop_front()
-            .ok_or_else(|| SimError::AxiProtocolViolation {
-                detail: "axi read beat without outstanding request".to_owned(),
-            })?;
-        let ready = state.next_beat_ready;
-        state.next_beat_ready = ready + 1;
-        self.clock.stall_until(offset, ready);
+        let request = self.clock.op_cycle(offset);
+        let port_latency = self.design.axi_port(bus).request_latency;
+        let (value, ready, req_node, beat, done) = {
+            let state = &mut self.axi_read_state[bus.index()];
+            let front = state
+                .bursts
+                .front_mut()
+                .ok_or_else(|| SimError::AxiProtocolViolation {
+                    detail: "axi read beat without outstanding request".to_owned(),
+                })?;
+            let value = front
+                .values
+                .pop_front()
+                .expect("burst has a value per beat");
+            let beat = front.beats_done;
+            front.beats_done += 1;
+            (
+                value,
+                front.ready + beat,
+                front.req_node,
+                beat,
+                front.values.is_empty(),
+            )
+        };
+        if done {
+            self.axi_read_state[bus.index()].bursts.pop_front();
+        }
+        let commit = self.clock.stall_until(offset, ready);
+        let node = self.event_node(request, commit);
+        self.graph
+            .add_edge(req_node, node, (port_latency + beat) as i64);
         Ok(value)
     }
 
@@ -340,15 +400,16 @@ impl SimBackend for TraceBackend<'_> {
         &mut self,
         bus: AxiId,
         addr: i64,
-        _len: i64,
+        len: i64,
         _offset: u64,
     ) -> Result<(), SimError> {
-        self.axi_write_state[bus.index()] = AxiWriteState {
-            addr,
-            beats_done: 0,
-            last_beat_cycle: 0,
-            active: true,
-        };
+        self.axi_write_state[bus.index()]
+            .bursts
+            .push_back(WriteBurst {
+                addr,
+                len,
+                beats_done: 0,
+            });
         Ok(())
     }
 
@@ -356,14 +417,19 @@ impl SimBackend for TraceBackend<'_> {
         let port = self.design.axi_port(bus);
         let cycle = self.clock.op_cycle(offset);
         let state = &mut self.axi_write_state[bus.index()];
-        if !state.active {
-            return Err(SimError::AxiProtocolViolation {
+        let front = state
+            .bursts
+            .front_mut()
+            .ok_or_else(|| SimError::AxiProtocolViolation {
                 detail: "axi write beat without outstanding request".to_owned(),
-            });
-        }
-        let idx = state.addr + state.beats_done;
-        state.beats_done += 1;
+            })?;
+        let idx = front.addr + front.beats_done;
+        front.beats_done += 1;
+        let done = front.beats_done >= front.len;
         state.last_beat_cycle = cycle;
+        if done {
+            state.bursts.pop_front();
+        }
         let data = &mut self.arrays[port.array.index()];
         let len = data.len();
         let slot = usize::try_from(idx)
@@ -375,13 +441,21 @@ impl SimBackend for TraceBackend<'_> {
                 len,
             })?;
         *slot = value;
+        let node = self.event_node(cycle, cycle);
+        self.axi_write_state[bus.index()].last_beat_node = Some(node);
         Ok(())
     }
 
     fn axi_write_resp(&mut self, bus: AxiId, offset: u64) -> Result<(), SimError> {
         let port = self.design.axi_port(bus);
+        let request = self.clock.op_cycle(offset);
         let ready = self.axi_write_state[bus.index()].last_beat_cycle + port.request_latency;
-        self.clock.stall_until(offset, ready);
+        let commit = self.clock.stall_until(offset, ready);
+        let node = self.event_node(request, commit);
+        if let Some(beat_node) = self.axi_write_state[bus.index()].last_beat_node {
+            self.graph
+                .add_edge(beat_node, node, port.request_latency as i64);
+        }
         Ok(())
     }
 

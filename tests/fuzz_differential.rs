@@ -18,6 +18,7 @@
 
 use omnisim_suite::backend;
 use omnisim_suite::designs::fuzz as fuzz_fixtures;
+use omnisim_suite::dse::SweepPlan;
 use omnisim_suite::gen::{
     check_seeded, fuzz_seed, shrink, CsimAgreement, DiffConfig, DiffReport, GenConfig,
 };
@@ -28,6 +29,10 @@ use omnisim_suite::omnisim::{IncrementalOutcome, OmniSimulator};
 /// subsystem promises, while staying debug-build friendly.
 const SEEDS_PER_CLASS: u64 = 400;
 
+/// Seeds fuzzed per orthogonal dimension preset (AXI bursts, call chains,
+/// multi-rate dataflow) — each against the full four-backend oracle.
+const SEEDS_PER_DIMENSION: u64 = 300;
+
 #[derive(Default)]
 struct CorpusStats {
     completed: usize,
@@ -36,6 +41,7 @@ struct CorpusStats {
     csim_diverged: usize,
     csim_crashed: usize,
     dse_points: usize,
+    min_depth_probes: usize,
 }
 
 impl CorpusStats {
@@ -52,6 +58,7 @@ impl CorpusStats {
             None => {}
         }
         self.dse_points += report.dse_points_checked;
+        self.min_depth_probes += report.min_depths_probes;
     }
 
     fn total(&self) -> usize {
@@ -75,7 +82,7 @@ fn fuzz_corpus(label: &str, cfg: &GenConfig, seeds: u64) -> CorpusStats {
             let minimal_report = check_seeded(&minimal.lower(), &diff, seed);
             panic!(
                 "{label}: seed {seed} (class {:?}) failed the differential check:\n  {}\n\
-                 reproduce with: cargo run -p omnisim-bench --bin fuzz -- --seed {seed} --class {label}\n\
+                 reproduce with: cargo run -p omnisim-bench --bin fuzz -- --seed {seed} --preset {label}\n\
                  minimized blueprint (failures: {:?}):\n{minimal:#?}",
                 generated.class,
                 report.failures.join("\n  "),
@@ -124,6 +131,44 @@ fn type_c_designs_agree_between_the_cycle_accurate_backends() {
 }
 
 #[test]
+fn axi_burst_designs_agree_across_all_backends() {
+    // Burst read sources, burst write sinks, axi4_master-shaped tasks —
+    // with randomized burst lengths, outstanding-transaction prefetch and
+    // beat/FIFO interleaving. All Type A, so lightning and csim must be
+    // bit-exact on every completed seed.
+    let stats = fuzz_corpus("axi", &GenConfig::axi(), SEEDS_PER_DIMENSION);
+    assert_eq!(stats.csim_agreed, stats.completed);
+    assert!(stats.dse_points > 0, "DSE consistency must be exercised");
+    assert!(
+        stats.min_depth_probes > 0,
+        "the min_depths inverse query must be exercised"
+    );
+}
+
+#[test]
+fn call_chain_designs_agree_across_all_backends() {
+    let stats = fuzz_corpus("calls", &GenConfig::calls(), SEEDS_PER_DIMENSION);
+    assert_eq!(stats.csim_agreed, stats.completed);
+    assert!(stats.dse_points > 0);
+}
+
+#[test]
+fn multirate_designs_agree_across_all_backends() {
+    // Rate-mismatched edges and token surpluses. Unlike single-rate Type A
+    // pipelines these can deadlock on undersized FIFOs (insufficient
+    // buffering across a rate skew) — a legitimate behaviour both
+    // cycle-accurate backends must diagnose identically, and the one
+    // Type A corner where csim (unbounded FIFOs) legitimately diverges.
+    let stats = fuzz_corpus("multirate", &GenConfig::multirate(), SEEDS_PER_DIMENSION);
+    assert_eq!(stats.csim_agreed, stats.completed);
+    assert!(
+        stats.completed > stats.deadlocked,
+        "most multirate seeds should complete"
+    );
+    assert!(stats.dse_points > 0);
+}
+
+#[test]
 fn mixed_corpus_spans_all_three_classes() {
     let cfg = GenConfig::mixed();
     let mut seen = [false; 3];
@@ -158,10 +203,14 @@ fn forced_deadlocks_are_diagnosed_identically_by_both_backends() {
 // stay in the corpus forever.
 // ---------------------------------------------------------------------------
 
-/// Every fuzz fixture must pass the full differential oracle.
+/// Every fuzz fixture must pass the full differential oracle (with the
+/// min_depths tightness resims on for the new dimensional fixtures).
 #[test]
 fn minimized_fuzz_fixtures_pass_the_differential_oracle() {
-    let diff = DiffConfig::default();
+    let diff = DiffConfig {
+        min_depths_resim: true,
+        ..DiffConfig::default()
+    };
     let fixtures = [
         (
             "pipelined_reader_overlap",
@@ -175,6 +224,35 @@ fn minimized_fuzz_fixtures_pass_the_differential_oracle() {
             fuzz_fixtures::pipelined_reader_overlap(64),
         ),
         ("nb_undecided_race_64", fuzz_fixtures::nb_undecided_race(64)),
+        // Witnesses of the AXI / call / multi-rate divergences this PR's
+        // generator extension surfaced and fixed.
+        (
+            "axi_outstanding_bursts",
+            fuzz_fixtures::axi_outstanding_bursts(4),
+        ),
+        (
+            "axi_beat_stall_anchor",
+            fuzz_fixtures::axi_beat_stall_anchor(3),
+        ),
+        (
+            "multirate_leftover",
+            fuzz_fixtures::multirate_leftover(6, 3, 2),
+        ),
+        ("multirate_diamond", fuzz_fixtures::multirate_diamond(5)),
+        ("call_wrapped_reader", fuzz_fixtures::call_wrapped_reader(5)),
+        // Larger workloads of the same shapes.
+        (
+            "axi_outstanding_bursts_32",
+            fuzz_fixtures::axi_outstanding_bursts(32),
+        ),
+        (
+            "axi_beat_stall_anchor_16",
+            fuzz_fixtures::axi_beat_stall_anchor(16),
+        ),
+        (
+            "call_wrapped_reader_64",
+            fuzz_fixtures::call_wrapped_reader(64),
+        ),
     ];
     for (name, design) in fixtures {
         let report = check_seeded(&design, &diff, 0xf1f0);
@@ -183,6 +261,160 @@ fn minimized_fuzz_fixtures_pass_the_differential_oracle() {
             "fixture {name} regressed:\n  {}",
             report.failures.join("\n  ")
         );
+    }
+}
+
+/// The outstanding-burst fixture's pacing: both engines and lightning must
+/// agree with the reference on the cycle count (the pre-fix engine re-paced
+/// the first burst's beats from the second request's ready cycle).
+#[test]
+fn axi_outstanding_bursts_pacing_is_pinned() {
+    let design = fuzz_fixtures::axi_outstanding_bursts(4);
+    let omni = backend("omnisim").unwrap().simulate(&design).unwrap();
+    let rtl = backend("rtl").unwrap().simulate(&design).unwrap();
+    let lightning = backend("lightning").unwrap().simulate(&design).unwrap();
+    assert_eq!(omni.total_cycles, rtl.total_cycles);
+    assert_eq!(lightning.total_cycles, rtl.total_cycles);
+    assert_eq!(omni.outputs, rtl.outputs);
+}
+
+/// The beat-anchor fixture: certified incremental answers must equal a full
+/// re-simulation at every depth, even though deeper FIFOs shift the AXI
+/// beats onto the bus's absolute ready cycles (the pre-fix graph model
+/// shifted the beats along with the FIFO writes).
+#[test]
+fn axi_beat_anchor_incremental_matches_full_resim_at_every_depth() {
+    let design = fuzz_fixtures::axi_beat_stall_anchor(3);
+    let baseline = OmniSimulator::new(&design).run().unwrap();
+    assert!(baseline.outcome.is_completed());
+    for depth in 1..=8usize {
+        let incremental = baseline.incremental.try_with_depths(&[depth]).unwrap();
+        let full = OmniSimulator::new(&design.with_fifo_depths(&[depth]))
+            .run()
+            .unwrap();
+        assert_eq!(
+            incremental,
+            IncrementalOutcome::Valid {
+                total_cycles: full.total_cycles
+            },
+            "depth {depth}: the absolute-bus-anchor bug is back"
+        );
+    }
+}
+
+/// Leftover data: probes below the surplus are infeasible — the resized
+/// design deadlocks — and both the uncompiled and compiled DSE paths must
+/// say so instead of certifying a latency (the pre-fix paths skipped the
+/// non-existent freeing read and certified).
+#[test]
+fn multirate_leftover_probes_below_surplus_are_infeasible() {
+    let design = fuzz_fixtures::multirate_leftover(6, 3, 2);
+    let baseline = OmniSimulator::new(&design).run().unwrap();
+    assert!(baseline.outcome.is_completed());
+    let plan = SweepPlan::compile(&baseline.incremental).unwrap();
+    let mut eval = plan.evaluator();
+    for depth in 1..2usize {
+        assert_eq!(
+            baseline.incremental.try_with_depths(&[depth]).unwrap(),
+            IncrementalOutcome::DepthInfeasible { fifo: 0 },
+            "depth {depth}"
+        );
+        assert_eq!(
+            eval.evaluate(&[depth]).unwrap(),
+            IncrementalOutcome::DepthInfeasible { fifo: 0 },
+            "compiled path at depth {depth}"
+        );
+        let full = OmniSimulator::new(&design.with_fifo_depths(&[depth]))
+            .run()
+            .unwrap();
+        assert!(!full.outcome.is_completed(), "depth {depth} must deadlock");
+    }
+    // From the surplus upward the design completes and certifies.
+    for depth in 2..=6usize {
+        let incremental = baseline.incremental.try_with_depths(&[depth]).unwrap();
+        let full = OmniSimulator::new(&design.with_fifo_depths(&[depth]))
+            .run()
+            .unwrap();
+        assert!(full.outcome.is_completed());
+        assert_eq!(
+            incremental,
+            IncrementalOutcome::Valid {
+                total_cycles: full.total_cycles
+            },
+            "depth {depth}"
+        );
+    }
+}
+
+/// Multi-rate reconvergence: the depth-1 overlay is cyclic (the design
+/// deadlocks at depth 1), the plan must still compile from the completed
+/// baseline, and both DSE paths must report the cyclic point identically.
+#[test]
+fn multirate_diamond_depth_one_is_cyclic_and_diagnosed_identically() {
+    let design = fuzz_fixtures::multirate_diamond(5);
+    let baseline = OmniSimulator::new(&design).run().unwrap();
+    assert!(baseline.outcome.is_completed());
+    let plan = SweepPlan::compile(&baseline.incremental)
+        .expect("completed multi-rate baselines must compile");
+    let all_one = vec![1usize; design.fifos.len()];
+    assert_eq!(
+        baseline.incremental.try_with_depths(&all_one).unwrap(),
+        IncrementalOutcome::DepthCyclic
+    );
+    assert_eq!(
+        plan.evaluator().evaluate(&all_one).unwrap(),
+        IncrementalOutcome::DepthCyclic
+    );
+    // The undersized design itself deadlocks, and both cycle-accurate
+    // backends agree on the diagnosis.
+    let shallow = fuzz_fixtures::multirate_diamond(1);
+    let report = check_seeded(&shallow, &DiffConfig::default(), 0xf1f0);
+    assert!(
+        report.passed(),
+        "shallow diamond diverged:\n  {}",
+        report.failures.join("\n  ")
+    );
+    assert!(!report.completed, "the shallow diamond must deadlock");
+}
+
+/// The wrapped-read fixture: lightning must order the producer before the
+/// consumer even though the FIFO's reader module is a callee, and stay
+/// cycle-exact through the two-deep call chain.
+#[test]
+fn call_wrapped_reader_is_cycle_exact_on_every_backend() {
+    let design = fuzz_fixtures::call_wrapped_reader(5);
+    let omni = backend("omnisim").unwrap().simulate(&design).unwrap();
+    let rtl = backend("rtl").unwrap().simulate(&design).unwrap();
+    let lightning = backend("lightning").unwrap().simulate(&design).unwrap();
+    assert_eq!(omni.total_cycles, rtl.total_cycles);
+    assert_eq!(lightning.total_cycles, rtl.total_cycles);
+    assert_eq!(lightning.outputs, rtl.outputs);
+}
+
+/// Representative shrunk seeds per new dimension, pinned forever: the
+/// generator is deterministic, so `(preset, seed)` *is* the fixture. Each
+/// runs the full oracle with the tightness resims enabled.
+#[test]
+fn representative_dimension_seeds_stay_pinned() {
+    let diff = DiffConfig {
+        min_depths_resim: true,
+        ..DiffConfig::default()
+    };
+    let pins = [
+        ("axi", GenConfig::axi(), [3u64, 17, 40]),
+        ("calls", GenConfig::calls(), [0, 4, 23]),
+        ("multirate", GenConfig::multirate(), [1, 11, 29]),
+    ];
+    for (label, cfg, seeds) in pins {
+        for seed in seeds {
+            let (generated, report) = fuzz_seed(&cfg, &diff, seed);
+            assert!(
+                report.passed(),
+                "pinned {label} seed {seed} regressed:\n  {}\nblueprint: {:#?}",
+                report.failures.join("\n  "),
+                generated.blueprint
+            );
+        }
     }
 }
 

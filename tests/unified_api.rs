@@ -149,7 +149,9 @@ fn sweep_reproduces_the_manual_dse_workflow() {
                 IncrementalOutcome::Valid { total_cycles } => {
                     manual.push((vec![d1, d2], total_cycles, SweepMethod::Incremental));
                 }
-                IncrementalOutcome::ConstraintViolated { .. } => {
+                IncrementalOutcome::ConstraintViolated { .. }
+                | IncrementalOutcome::DepthInfeasible { .. }
+                | IncrementalOutcome::DepthCyclic => {
                     let resized = fig4::ex5_with_depths(n, d1, d2);
                     let full = OmniSimulator::new(&resized).run().unwrap();
                     manual.push((vec![d1, d2], full.total_cycles, SweepMethod::FullResim));
