@@ -8,8 +8,15 @@
 //! and tell me what happened". This crate provides it:
 //!
 //! * [`Simulator`] — an object-safe trait (`name()`, `capabilities()`,
-//!   `simulate(&Design)`) implemented by `omnisim-csim`,
-//!   `omnisim-lightning`, `omnisim-rtlsim` and the `omnisim` engine itself,
+//!   `compile(&Design)`, `simulate(&Design)`) implemented by
+//!   `omnisim-csim`, `omnisim-lightning`, `omnisim-rtlsim` and the
+//!   `omnisim` engine itself,
+//! * [`CompiledSim`] / [`RunConfig`] — the compile-once / run-many session
+//!   lifecycle: [`Simulator::compile`] pays the front-end cost (design
+//!   elaboration, trace or event-graph construction) **once**, and the
+//!   returned artifact answers any number of [`CompiledSim::run`] calls —
+//!   concurrently, it is `Send + Sync` — each parameterized by a
+//!   [`RunConfig`] (FIFO-depth overrides, cycle limit, fuel budget),
 //! * [`SimReport`] — the unified result: outputs, a common [`SimOutcome`],
 //!   optional cycle count, per-phase [`SimTimings`], warnings and an
 //!   [`Extras`] escape hatch for backend-specific payloads (e.g. the
@@ -20,8 +27,29 @@
 //!
 //! Each backend's native outcome type converts into [`SimOutcome`] via
 //! `From` impls located in the backend's own crate; the `omnisim-suite`
-//! facade adds a string-keyed backend registry and a batch `Sweep` API on
-//! top of this trait.
+//! facade adds a string-keyed backend registry, a batch `Sweep` API and a
+//! concurrent `SimService` design registry (content-hash → shared
+//! [`CompiledSim`] artifact) on top of these traits.
+//!
+//! ## The session lifecycle
+//!
+//! OmniSim's premise (§7 of the paper) — and LightningSimV2's before it —
+//! is that the *expensive* part of simulation is paid once and amortized
+//! over many cheap queries. The trait surface mirrors that:
+//!
+//! ```text
+//! Simulator::compile(design)  ──►  Box<dyn CompiledSim>     (front-end, once)
+//! CompiledSim::run(&config)   ──►  SimReport                (per query, cheap)
+//! Simulator::simulate(design)  ==  compile + run(default)   (one-shot)
+//! ```
+//!
+//! [`SimTimings`] splits along the same seam: `compile` reports its cost
+//! through [`CompiledSim::compile_timings`] (front-end elaboration, and —
+//! for backends whose graph is built *by executing*, like the OmniSim
+//! engine — the one-time execution), while each `run` reports only the
+//! per-run `execution`/`finalize` work. The provided [`Simulator::simulate`]
+//! sums the two, so [`SimTimings::total`] of a one-shot run remains the
+//! true end-to-end wall time.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,8 +66,10 @@ use std::time::Duration;
 ///
 /// The trait is object-safe on purpose: registries, comparison harnesses and
 /// sweep drivers hold `Box<dyn Simulator>` and treat every backend
-/// identically. Construction cost (front-end elaboration, trace caching) is
-/// the implementation's business; `simulate` is a complete end-to-end run.
+/// identically. The required [`Simulator::compile`] pays the backend's
+/// front-end cost once and returns a reusable [`CompiledSim`] session
+/// artifact; the provided [`Simulator::simulate`] is the one-shot
+/// convenience (`compile` + one default [`CompiledSim::run`]).
 pub trait Simulator: Send + Sync {
     /// Stable, registry-friendly backend name (e.g. `"omnisim"`, `"csim"`).
     fn name(&self) -> &'static str;
@@ -47,7 +77,27 @@ pub trait Simulator: Send + Sync {
     /// What this backend can and cannot do.
     fn capabilities(&self) -> Capabilities;
 
-    /// Runs the design end to end.
+    /// Compiles a design into a reusable session artifact.
+    ///
+    /// This performs all per-design work the backend can do up front —
+    /// elaboration, taxonomy classification, trace generation, event-graph
+    /// construction — so that subsequent [`CompiledSim::run`] calls only pay
+    /// per-run costs. The artifact is `Send + Sync`: one compiled design can
+    /// serve concurrent runs from many threads (e.g. behind an
+    /// `Arc<dyn CompiledSim>` in a serving registry).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFailure::Unsupported`] when the design falls outside the
+    /// backend's supported taxonomy classes, and [`SimFailure::Execution`] /
+    /// [`SimFailure::Internal`] when front-end work starts but cannot
+    /// produce an artifact.
+    fn compile(&self, design: &Design) -> Result<Box<dyn CompiledSim>, SimFailure>;
+
+    /// Runs the design end to end (one-shot): [`Simulator::compile`]
+    /// followed by a single [`CompiledSim::run`] with the default
+    /// [`RunConfig`], with the compile-phase timings folded back into the
+    /// report so [`SimTimings::total`] covers the whole run.
     ///
     /// # Errors
     ///
@@ -57,7 +107,15 @@ pub trait Simulator: Send + Sync {
     /// report. Deadlocks, crashes-by-design and cycle-limit aborts are *not*
     /// failures — they are reported through [`SimReport::outcome`], because
     /// observing them is exactly what the evaluation tables compare.
-    fn simulate(&self, design: &Design) -> Result<SimReport, SimFailure>;
+    fn simulate(&self, design: &Design) -> Result<SimReport, SimFailure> {
+        let compiled = self.compile(design)?;
+        let mut report = compiled.run(&RunConfig::default())?;
+        let compile_timings = compiled.compile_timings();
+        report.timings.front_end += compile_timings.front_end;
+        report.timings.execution += compile_timings.execution;
+        report.timings.finalize += compile_timings.finalize;
+        Ok(report)
+    }
 }
 
 impl fmt::Debug for dyn Simulator {
@@ -66,6 +124,108 @@ impl fmt::Debug for dyn Simulator {
             .field("name", &self.name())
             .field("capabilities", &self.capabilities())
             .finish()
+    }
+}
+
+/// A design compiled by one backend for repeated runs — the session half of
+/// the compile-once / run-many lifecycle.
+///
+/// Artifacts are `Send + Sync` and take `&self`, so a single compiled
+/// design can serve concurrent [`CompiledSim::run`] calls from many threads
+/// (the `omnisim-suite` facade's `SimService` shares them behind
+/// `Arc<dyn CompiledSim>`). Runs are deterministic: the same [`RunConfig`]
+/// always produces the same outcome, outputs and cycle count.
+pub trait CompiledSim: Send + Sync {
+    /// Name of the backend that compiled this artifact.
+    fn backend(&self) -> &'static str;
+
+    /// Name of the compiled design.
+    fn design_name(&self) -> &str;
+
+    /// Wall-clock cost of the compile phase, on the same three-slot
+    /// breakdown as per-run timings: `front_end` covers elaboration /
+    /// classification / trace or graph construction, and `execution` covers
+    /// any one-time execution the backend performs while building its graph
+    /// (the OmniSim engine executes the design to construct it). Added to a
+    /// run's own timings by the provided [`Simulator::simulate`].
+    fn compile_timings(&self) -> SimTimings;
+
+    /// Runs the compiled design once under the given per-run parameters.
+    ///
+    /// Backends apply the [`RunConfig`] knobs they understand and ignore the
+    /// rest (see the field docs on [`RunConfig`]). The report's
+    /// [`SimTimings`] cover only this run's work; the compile-phase cost is
+    /// available separately through [`CompiledSim::compile_timings`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFailure::Execution`] / [`SimFailure::Internal`] when the
+    /// run cannot produce a report (wrong-arity depth overrides, a failing
+    /// re-execution, …). As with [`Simulator::simulate`], deadlocks and
+    /// cycle-limit aborts are outcomes, not errors.
+    fn run(&self, config: &RunConfig) -> Result<SimReport, SimFailure>;
+
+    /// The artifact as [`Any`], so backend-aware tooling can downcast to the
+    /// concrete type (e.g. `omnisim-dse` compiles its `SweepPlan` from the
+    /// engine's artifact instead of going through [`Extras`]).
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl fmt::Debug for dyn CompiledSim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompiledSim")
+            .field("backend", &self.backend())
+            .field("design", &self.design_name())
+            .finish()
+    }
+}
+
+/// Per-run parameters of a [`CompiledSim::run`] call.
+///
+/// Every knob is optional; `None` means "use what the design / backend was
+/// compiled with". Backends apply the knobs they understand:
+///
+/// | knob          | omnisim                    | lightning | rtl | csim |
+/// |---------------|----------------------------|-----------|-----|------|
+/// | `fifo_depths` | ✓ (incremental or re-sim)  | ✓         | ✓   | –¹   |
+/// | `max_cycles`  | –                          | –         | ✓   | –    |
+/// | `fuel`        | ✓ (re-sim fallbacks only)  | –         | –   | ✓    |
+///
+/// ¹ C simulation models unbounded streams, so FIFO depths cannot affect
+/// its results by construction; overrides are accepted and ignored.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Per-FIFO depth overrides (one entry per FIFO of the design, in
+    /// declaration order). `None` runs at the design's declared depths.
+    pub fifo_depths: Option<Vec<usize>>,
+    /// Cycle budget override for cycle-stepping backends.
+    pub max_cycles: Option<u64>,
+    /// Operation-budget override for backends that (re-)execute the design.
+    pub fuel: Option<u64>,
+}
+
+impl RunConfig {
+    /// A configuration that runs the design exactly as compiled.
+    pub fn new() -> Self {
+        RunConfig::default()
+    }
+
+    /// Overrides the FIFO depths for this run.
+    pub fn with_fifo_depths(mut self, depths: impl Into<Vec<usize>>) -> Self {
+        self.fifo_depths = Some(depths.into());
+        self
+    }
+
+    /// Overrides the cycle budget for this run.
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = Some(max_cycles);
+        self
+    }
+
+    /// Overrides the operation budget for this run.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
     }
 }
 
@@ -90,6 +250,15 @@ pub struct Capabilities {
     /// batch sweep plan (`omnisim-dse`'s `SweepPlan::from_report`) for
     /// allocation-free, delta-evaluated grid solving.
     pub compiled_dse: bool,
+    /// [`Simulator::compile`] produces an artifact whose [`CompiledSim::run`]
+    /// genuinely amortizes front-end work (i.e. a run is cheaper than a
+    /// fresh [`Simulator::simulate`], not just a re-execution behind a new
+    /// name). True for every workspace backend; the *degree* of
+    /// amortization differs — the engine and lightning skip execution
+    /// entirely on certified runs, csim replays its cached evaluation, and
+    /// rtl only saves elaboration (its runtime is execution-bound by
+    /// design).
+    pub compiled_run: bool,
 }
 
 impl Capabilities {
@@ -165,14 +334,22 @@ impl SimOutcome {
 
 /// Wall-clock time breakdown of a run, mirroring Fig. 8(c) of the paper.
 ///
-/// Backends map their native phases onto the three slots: the OmniSim engine
-/// reports elaboration / multi-threaded execution / finalization, the
-/// LightningSim baseline reports Phase 1 under `execution` and Phase 2 under
-/// `finalize`, and single-phase backends report everything under
-/// `execution`.
+/// The slots follow the session lifecycle: `front_end` is compile-phase
+/// work (elaboration, taxonomy, trace/graph construction — reported by
+/// [`CompiledSim::compile_timings`]), while `execution` and `finalize` are
+/// per-run work (reported by each [`CompiledSim::run`]). Backends map their
+/// native phases onto the slots: the OmniSim engine reports elaboration
+/// under `front_end` and its one-time multi-threaded execution under the
+/// compile phase's `execution`, with per-run re-finalization under
+/// `finalize`; the LightningSim baseline reports Phase 1 (trace) under
+/// `front_end` and Phase 2 (analysis) under `finalize`; single-phase
+/// backends report everything under `execution`. For a one-shot
+/// [`Simulator::simulate`], compile and run timings are summed, so
+/// [`SimTimings::total`] is always the end-to-end wall time.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SimTimings {
-    /// Front-end elaboration: design copy, optimisation passes, taxonomy.
+    /// Front-end elaboration: design copy, optimisation passes, taxonomy,
+    /// trace/graph construction.
     pub front_end: Duration,
     /// The main simulation work.
     pub execution: Duration,
@@ -409,6 +586,7 @@ mod tests {
             produces_timings: true,
             incremental_dse: true,
             compiled_dse: false,
+            compiled_run: true,
         };
         assert!(lightning_like.supports(DesignClass::TypeA));
         assert!(!lightning_like.supports(DesignClass::TypeB));
@@ -423,6 +601,20 @@ mod tests {
             finalize: Duration::from_millis(1),
         };
         assert_eq!(t.total(), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn run_config_builders() {
+        let cfg = RunConfig::new();
+        assert_eq!(cfg, RunConfig::default());
+        assert!(cfg.fifo_depths.is_none() && cfg.max_cycles.is_none() && cfg.fuel.is_none());
+        let cfg = RunConfig::new()
+            .with_fifo_depths([4usize, 8])
+            .with_max_cycles(1000)
+            .with_fuel(99);
+        assert_eq!(cfg.fifo_depths.as_deref(), Some(&[4usize, 8][..]));
+        assert_eq!(cfg.max_cycles, Some(1000));
+        assert_eq!(cfg.fuel, Some(99));
     }
 
     #[test]
@@ -468,29 +660,107 @@ mod tests {
         assert_err(&e);
     }
 
-    #[test]
-    fn trait_is_object_safe() {
-        struct Dummy;
-        impl Simulator for Dummy {
-            fn name(&self) -> &'static str {
-                "dummy"
-            }
-            fn capabilities(&self) -> Capabilities {
-                Capabilities {
-                    cycle_accurate: false,
-                    handles_type_b: false,
-                    handles_type_c: false,
-                    produces_timings: false,
-                    incremental_dse: false,
-                    compiled_dse: false,
-                }
-            }
-            fn simulate(&self, _design: &Design) -> Result<SimReport, SimFailure> {
-                Ok(SimReport::new("dummy", SimOutcome::Completed))
+    /// A minimal backend whose compiled artifact counts its runs, proving
+    /// the trait surface is object-safe and the provided `simulate` folds
+    /// compile timings into the run report.
+    struct Dummy;
+
+    struct DummyCompiled;
+
+    impl CompiledSim for DummyCompiled {
+        fn backend(&self) -> &'static str {
+            "dummy"
+        }
+        fn design_name(&self) -> &str {
+            "d"
+        }
+        fn compile_timings(&self) -> SimTimings {
+            SimTimings {
+                front_end: Duration::from_millis(3),
+                execution: Duration::from_millis(4),
+                finalize: Duration::ZERO,
             }
         }
+        fn run(&self, config: &RunConfig) -> Result<SimReport, SimFailure> {
+            let mut report = SimReport::new("dummy", SimOutcome::Completed);
+            report.total_cycles = Some(config.max_cycles.unwrap_or(10));
+            report.timings.finalize = Duration::from_millis(1);
+            Ok(report)
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+    }
+
+    impl Simulator for Dummy {
+        fn name(&self) -> &'static str {
+            "dummy"
+        }
+        fn capabilities(&self) -> Capabilities {
+            Capabilities {
+                cycle_accurate: false,
+                handles_type_b: false,
+                handles_type_c: false,
+                produces_timings: false,
+                incremental_dse: false,
+                compiled_dse: false,
+                compiled_run: true,
+            }
+        }
+        fn compile(&self, _design: &Design) -> Result<Box<dyn CompiledSim>, SimFailure> {
+            Ok(Box::new(DummyCompiled))
+        }
+    }
+
+    fn tiny_design() -> Design {
+        let mut d = omnisim_ir::DesignBuilder::new("tiny");
+        let out = d.output("x");
+        d.function_top("main", |m| {
+            m.entry(|b| {
+                b.output(out, omnisim_ir::Expr::imm(1));
+            });
+        });
+        d.build().unwrap()
+    }
+
+    #[test]
+    fn traits_are_object_safe_and_sessions_run() {
         let boxed: Box<dyn Simulator> = Box::new(Dummy);
         assert_eq!(boxed.name(), "dummy");
         assert!(format!("{boxed:?}").contains("dummy"));
+
+        let design = tiny_design();
+        let compiled = boxed.compile(&design).unwrap();
+        assert!(format!("{compiled:?}").contains("dummy"));
+        assert!(compiled.as_any().is::<DummyCompiled>());
+        // Per-run knobs reach the artifact.
+        let report = compiled.run(&RunConfig::new().with_max_cycles(42)).unwrap();
+        assert_eq!(report.total_cycles, Some(42));
+        // A bare run reports only per-run timings…
+        let bare = compiled.run(&RunConfig::default()).unwrap();
+        assert_eq!(bare.timings.total(), Duration::from_millis(1));
+        // …while the provided one-shot `simulate` folds the compile phase
+        // back in, keeping `total()` end-to-end.
+        let one_shot = boxed.simulate(&design).unwrap();
+        assert_eq!(one_shot.timings.front_end, Duration::from_millis(3));
+        assert_eq!(one_shot.timings.execution, Duration::from_millis(4));
+        assert_eq!(one_shot.timings.finalize, Duration::from_millis(1));
+        assert_eq!(one_shot.timings.total(), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn compiled_artifacts_are_shareable_across_threads() {
+        let design = tiny_design();
+        let compiled: std::sync::Arc<dyn CompiledSim> =
+            std::sync::Arc::from(Dummy.compile(&design).unwrap());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let shared = std::sync::Arc::clone(&compiled);
+                scope.spawn(move || {
+                    let report = shared.run(&RunConfig::default()).unwrap();
+                    assert_eq!(report.total_cycles, Some(10));
+                });
+            }
+        });
     }
 }

@@ -1,0 +1,222 @@
+//! Session-API throughput benchmark: one-shot `Simulator::simulate` vs
+//! amortized `CompiledSim::run`, per backend, plus `SimService` batched
+//! serving throughput.
+//!
+//! For every backend, a Type A fixture is simulated two ways:
+//!
+//! 1. **one-shot** — a fresh `simulate()` per request, re-paying the front
+//!    end (elaboration, trace/event-graph construction, execution) every
+//!    time;
+//! 2. **amortized** — `compile()` once, then one `run()` per request
+//!    against the shared artifact: cached replays for the compiled depths
+//!    and incremental re-finalizations for FIFO-depth overrides.
+//!
+//! A third section measures `SimService::run_batch` — the concurrent
+//! serving layer — at several worker counts.
+//!
+//! Results are printed as a table and written to `BENCH_api.json`. Pass
+//! `--smoke` for a seconds-scale run (used by CI) — same measurements,
+//! smaller workload. The bench asserts the acceptance bar: amortized runs
+//! beat one-shot simulation by ≥ 5x on the omnisim and lightning backends.
+
+use omnisim_bench::secs;
+use omnisim_suite::designs::typea;
+use omnisim_suite::ir::Design;
+use omnisim_suite::{backend, RunConfig, SimService, Simulator};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+struct BackendRow {
+    name: &'static str,
+    compile_time: Duration,
+    one_shot_rps: f64,
+    amortized_rps: f64,
+    override_rps: Option<f64>,
+    speedup: f64,
+}
+
+fn measure_backend(
+    sim: &dyn Simulator,
+    design: &Design,
+    one_shot_iters: usize,
+    run_iters: usize,
+) -> BackendRow {
+    // One-shot: a fresh full simulation per request.
+    let start = Instant::now();
+    for _ in 0..one_shot_iters {
+        sim.simulate(design).expect("one-shot run succeeds");
+    }
+    let one_shot_rps = one_shot_iters as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    // Amortized: compile once, run many at the compiled depths.
+    let start = Instant::now();
+    let compiled = sim.compile(design).expect("design compiles");
+    let compile_time = start.elapsed();
+    let start = Instant::now();
+    for _ in 0..run_iters {
+        compiled
+            .run(&RunConfig::default())
+            .expect("amortized run succeeds");
+    }
+    let amortized_rps = run_iters as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+    // Depth-override runs: per-run re-finalization work (cycle-accurate
+    // backends only; csim ignores depths and rtl re-steps every cycle).
+    let override_rps = sim.capabilities().cycle_accurate.then(|| {
+        let fifos = design.fifos.len();
+        let start = Instant::now();
+        for i in 0..run_iters {
+            let depth = 1 + (i % 16);
+            compiled
+                .run(&RunConfig::new().with_fifo_depths(vec![depth; fifos]))
+                .expect("override run succeeds");
+        }
+        run_iters as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    });
+
+    BackendRow {
+        name: sim.name(),
+        compile_time,
+        one_shot_rps,
+        amortized_rps,
+        override_rps,
+        speedup: amortized_rps / one_shot_rps.max(1e-9),
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let n: i64 = if smoke { 128 } else { 512 };
+    let one_shot_iters = if smoke { 6 } else { 20 };
+    let run_iters = if smoke { 200 } else { 2000 };
+    // rtl re-executes every cycle per run, so its run counts stay small.
+    let rtl_iters = if smoke { 6 } else { 20 };
+
+    let design = typea::vecadd_stream(n, 2);
+    println!(
+        "session-API throughput on vecadd_stream (N = {n}){}\n",
+        if smoke { " [smoke]" } else { "" }
+    );
+
+    let mut rows = Vec::new();
+    for name in ["csim", "lightning", "omnisim", "rtl"] {
+        let sim = backend(name).expect("registered backend");
+        let runs = if name == "rtl" { rtl_iters } else { run_iters };
+        let shots = if name == "rtl" {
+            rtl_iters
+        } else {
+            one_shot_iters
+        };
+        rows.push(measure_backend(sim.as_ref(), &design, shots, runs));
+    }
+
+    println!(
+        "{:<11} {:>12} {:>14} {:>15} {:>15} {:>9}",
+        "backend", "compile", "one-shot/s", "amortized/s", "override/s", "speedup"
+    );
+    omnisim_bench::rule(80);
+    for row in &rows {
+        println!(
+            "{:<11} {:>12} {:>14.1} {:>15.1} {:>15} {:>8.1}x",
+            row.name,
+            secs(row.compile_time),
+            row.one_shot_rps,
+            row.amortized_rps,
+            row.override_rps
+                .map_or("-".to_owned(), |r| format!("{r:.1}")),
+            row.speedup
+        );
+    }
+
+    // The serving layer: batched mixed requests over a compiled fleet.
+    let designs = [
+        typea::vecadd_stream(n, 2),
+        typea::fir_filter(n, 8),
+        typea::window_conv(n, 4),
+    ];
+    let service = SimService::new(backend("omnisim").unwrap());
+    let keys: Vec<_> = designs
+        .iter()
+        .map(|d| service.register(d).expect("fleet compiles"))
+        .collect();
+    let mut requests = Vec::new();
+    let request_count = if smoke { 300 } else { 3000 };
+    for i in 0..request_count {
+        let which = i % keys.len();
+        let config = if i % 2 == 0 {
+            RunConfig::default()
+        } else {
+            RunConfig::new().with_fifo_depths(vec![1 + (i % 12); designs[which].fifos.len()])
+        };
+        requests.push((keys[which], config));
+    }
+    println!(
+        "\nSimService batched serving ({} requests, 3 designs):",
+        requests.len()
+    );
+    let mut service_rps = Vec::new();
+    for workers in [1usize, 4, 0] {
+        let (label, service) = if workers == 0 {
+            (
+                "default".to_owned(),
+                SimService::new(backend("omnisim").unwrap()),
+            )
+        } else {
+            (
+                format!("workers={workers}"),
+                SimService::new(backend("omnisim").unwrap()).with_workers(workers),
+            )
+        };
+        for d in &designs {
+            service.register(d).expect("fleet compiles");
+        }
+        let start = Instant::now();
+        let reports = service.run_batch(&requests);
+        let elapsed = start.elapsed();
+        assert!(reports.iter().all(|r| r.is_ok()), "all requests served");
+        let rps = requests.len() as f64 / elapsed.as_secs_f64().max(1e-9);
+        println!("  {label:<12} {} ({rps:.0} runs/sec)", secs(elapsed));
+        service_rps.push((label, rps));
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"api_throughput\",\n");
+    let _ = writeln!(json, "  \"design\": \"vecadd_stream\",\n  \"n\": {n},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},\n  \"backends\": {{");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"compile_secs\": {:.6}, \"one_shot_rps\": {:.2}, \
+             \"amortized_rps\": {:.2}, \"override_rps\": {}, \"speedup\": {:.2}}}{}",
+            row.name,
+            row.compile_time.as_secs_f64(),
+            row.one_shot_rps,
+            row.amortized_rps,
+            row.override_rps
+                .map_or("null".to_owned(), |r| format!("{r:.2}")),
+            row.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},\n  \"service\": {{");
+    for (i, (label, rps)) in service_rps.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    \"{label}\": {rps:.2}{}",
+            if i + 1 < service_rps.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_api.json", &json).expect("write BENCH_api.json");
+    println!("\nwrote BENCH_api.json");
+
+    // Acceptance bar: the backends that amortize their front end must beat
+    // one-shot simulation by at least 5x.
+    for name in ["omnisim", "lightning"] {
+        let row = rows.iter().find(|r| r.name == name).expect("row exists");
+        assert!(
+            row.speedup >= 5.0,
+            "{name}: amortized runs must be >= 5x one-shot simulate, got {:.1}x",
+            row.speedup
+        );
+    }
+}

@@ -1,6 +1,7 @@
 //! Regenerates **Table 6**: incremental re-simulation of `fig4_ex5` under
-//! changed FIFO depths, through the unified `Simulator` API — the
-//! `IncrementalState` payload rides in the report's extras.
+//! changed FIFO depths, through the unified compile-once session API — the
+//! initial run *is* `Simulator::compile`, and the `IncrementalState` lives
+//! on the session artifact.
 //!
 //! * `(2, 2) -> (2, 100)`: constraints hold, so the incremental path answers
 //!   in microseconds.
@@ -10,12 +11,12 @@
 //!
 //! The batch equivalent of this workflow is `omnisim_suite::Sweep`, shown at
 //! the end together with the compiled `SweepPlan` it runs on (the plan is
-//! compiled straight from the unified report's extras payload).
+//! compiled straight from the session artifact via `from_compiled`).
 
 use omnisim_bench::secs;
 use omnisim_designs::{fig4, DEFAULT_N};
-use omnisim_suite::omnisim::{IncrementalOutcome, IncrementalState};
-use omnisim_suite::{backend, Sweep, SweepPlan};
+use omnisim_suite::omnisim::{CompiledOmni, IncrementalOutcome};
+use omnisim_suite::{backend, RunConfig, Sweep, SweepPlan};
 use std::time::Instant;
 
 fn main() {
@@ -25,12 +26,14 @@ fn main() {
     let omni = backend("omnisim").expect("registered");
     let initial_start = Instant::now();
     let design = fig4::ex5_with_depths(n, 2, 2);
-    let report = omni.simulate(&design).expect("initial run");
+    let session = omni.compile(&design).expect("initial run (compile phase)");
     let initial_time = initial_start.elapsed();
-    let incremental = report
-        .extras
-        .get::<IncrementalState>()
-        .expect("omnisim reports carry incremental-DSE state");
+    let report = session.run(&RunConfig::default()).expect("baseline replay");
+    let incremental = session
+        .as_any()
+        .downcast_ref::<CompiledOmni>()
+        .expect("the omnisim artifact")
+        .state();
 
     println!(
         "{:<18} {:>10} {:>14} {:>8} {:>12} {:>12}",
@@ -112,12 +115,12 @@ fn main() {
         report.output("processed_by_p2"),
     );
 
-    // The same two queries against the *compiled* plan: the incremental
-    // state in the unified report's extras freezes into a CSR sweep plan
+    // The same two queries against the *compiled* plan: the session
+    // artifact's frozen incremental state compiles into a CSR sweep plan
     // whose per-point evaluation allocates nothing.
     let start = Instant::now();
-    let plan = SweepPlan::from_report(&report)
-        .expect("omnisim reports carry incremental-DSE state")
+    let plan = SweepPlan::from_compiled(session.as_ref())
+        .expect("the omnisim artifact compiles into a plan")
         .expect("plan compiles");
     let compile_time = start.elapsed();
     let start = Instant::now();

@@ -15,6 +15,9 @@
 //! * `table6_incremental` — the incremental FIFO-resizing case study,
 //! * `dse_throughput` — compiled `SweepPlan` vs per-point incremental vs
 //!   full re-simulation, in points/sec (writes `BENCH_dse.json`),
+//! * `api_throughput` — one-shot `simulate()` vs amortized compile-once
+//!   `run()` per backend, plus `SimService` batched serving throughput
+//!   (writes `BENCH_api.json`),
 //! * `fuzz` — cross-backend differential fuzzing over seeded random designs
 //!   (reproduce any failing seed with `--seed N --class X`),
 //! * `gen_throughput` — generator / fuzzing-loop throughput (writes

@@ -111,4 +111,4 @@ pub use incremental::{IncrementalOutcome, IncrementalState};
 pub use query::{QueryKind, QueryPool};
 pub use report::{OmniError, OmniOutcome, OmniReport, SimStats, SimTimings};
 pub use request::{Request, Response};
-pub use unified::OmniBackend;
+pub use unified::{CompiledOmni, OmniBackend};

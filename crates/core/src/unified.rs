@@ -1,18 +1,34 @@
-//! Unified-API adapter: the OmniSim engine as a [`Simulator`] backend, plus
-//! the conversions from the native report, outcome and error types.
+//! Unified-API adapter: the OmniSim engine as a [`Simulator`] backend, the
+//! engine's [`CompiledSim`] session artifact, and the conversions from the
+//! native report, outcome and error types.
 //!
-//! The engine's extras payloads are the interesting part: every
-//! [`SimReport`] produced here carries the run's [`SimStats`](crate::SimStats)
-//! and its [`IncrementalState`](crate::IncrementalState), so FIFO-depth
-//! design-space exploration can be
-//! answered from a finished unified report exactly as it can from a native
-//! [`OmniReport`] (see `omnisim-dse`'s `Sweep` for the batch driver).
+//! [`CompiledOmni`] is the compile-once / run-many form of the engine: one
+//! full simulation (elaboration + multi-threaded execution + finalization)
+//! freezes the event/Perf graph into an
+//! [`IncrementalState`](crate::IncrementalState), and every subsequent
+//! [`CompiledSim::run`] is answered from that frozen state — a
+//! microsecond-scale re-finalization for FIFO-depth overrides whose
+//! recorded constraints hold (§7.2), a cached replay for the compiled
+//! depths, and a transparent full re-simulation only where a constraint
+//! flips. `omnisim-dse` upgrades the same artifact into its `SweepPlan`
+//! (CSR compilation, delta evaluation) by downcasting through
+//! [`CompiledSim::as_any`].
+//!
+//! The one-shot [`Simulator::simulate`] stays a native end-to-end run, so
+//! every [`SimReport`] it produces still carries the run's
+//! [`SimStats`](crate::SimStats) and [`IncrementalState`](crate::IncrementalState)
+//! as extras.
 
 use crate::config::SimConfig;
 use crate::engine::OmniSimulator;
+use crate::incremental::IncrementalOutcome;
 use crate::report::{OmniError, OmniOutcome, OmniReport};
-use omnisim_api::{Capabilities, SimFailure, SimOutcome, SimReport, Simulator};
+use omnisim_api::{
+    Capabilities, CompiledSim, RunConfig, SimFailure, SimOutcome, SimReport, SimTimings, Simulator,
+};
 use omnisim_ir::Design;
+use std::any::Any;
+use std::time::Instant;
 
 /// The OmniSim engine as a unified [`Simulator`] backend: cycle-accurate on
 /// every taxonomy class, with per-phase timings and incremental-DSE state.
@@ -42,14 +58,199 @@ impl Simulator for OmniBackend {
             produces_timings: true,
             incremental_dse: true,
             compiled_dse: true,
+            compiled_run: true,
         }
     }
 
+    fn compile(&self, design: &Design) -> Result<Box<dyn CompiledSim>, SimFailure> {
+        CompiledOmni::compile(design, self.config)
+            .map(|compiled| Box::new(compiled) as Box<dyn CompiledSim>)
+            .map_err(SimFailure::from)
+    }
+
+    // One-shot runs stay native: the report hands its `IncrementalState`
+    // and `SimStats` to the caller by value (through the extras), which a
+    // session artifact must keep for itself.
     fn simulate(&self, design: &Design) -> Result<SimReport, SimFailure> {
         OmniSimulator::with_config(design, self.config)
             .run()
             .map(SimReport::from)
             .map_err(SimFailure::from)
+    }
+}
+
+/// The OmniSim engine compiled for repeated runs: a baseline simulation
+/// frozen into its [`IncrementalState`](crate::IncrementalState).
+///
+/// Constructed by [`OmniBackend::compile`] (unified) or
+/// [`CompiledOmni::compile`] (native, typed errors). Every [`RunConfig`]
+/// FIFO-depth override is first tried against the recorded constraints —
+/// bit-identical to
+/// [`IncrementalState::try_with_depths`](crate::IncrementalState::try_with_depths)
+/// — and only falls back to a full re-simulation of the resized design when
+/// a constraint flips (or the depths are infeasible/cyclic for the frozen
+/// graph). Runs take `&self` and the artifact is `Send + Sync`, so one
+/// compiled design serves concurrent sessions.
+#[derive(Debug)]
+pub struct CompiledOmni {
+    design: Design,
+    config: SimConfig,
+    baseline: OmniReport,
+    compile_timings: SimTimings,
+}
+
+impl CompiledOmni {
+    /// Compiles a design by running it once under `config` and freezing the
+    /// result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the baseline run's [`OmniError`].
+    pub fn compile(design: &Design, config: SimConfig) -> Result<CompiledOmni, OmniError> {
+        let baseline = OmniSimulator::with_config(design, config).run()?;
+        // The baseline's finalization is compile-phase work too (it is what
+        // freezes the graph), so the whole native breakdown moves under the
+        // compile timings; per-run reports start from zero.
+        let compile_timings = baseline.timings;
+        Ok(CompiledOmni {
+            design: design.clone(),
+            config,
+            baseline,
+            compile_timings,
+        })
+    }
+
+    /// Adopts an already-run baseline as a session artifact, skipping the
+    /// compile-phase execution. `baseline` must be the result of running
+    /// `design` under `config`; the artifact answers runs from it exactly
+    /// as a fresh [`CompiledOmni::compile`] would.
+    pub fn from_baseline(design: &Design, config: SimConfig, baseline: OmniReport) -> CompiledOmni {
+        let compile_timings = baseline.timings;
+        CompiledOmni {
+            design: design.clone(),
+            config,
+            baseline,
+            compile_timings,
+        }
+    }
+
+    /// The design the artifact was compiled from (as supplied, before
+    /// elaboration).
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+
+    /// The engine configuration of the baseline run (and of re-simulation
+    /// fallbacks, unless overridden per run).
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// The frozen baseline report.
+    pub fn baseline(&self) -> &OmniReport {
+        &self.baseline
+    }
+
+    /// The frozen incremental state — the §7.2 machinery the runs are
+    /// answered from. `omnisim-dse` compiles its `SweepPlan` from this.
+    pub fn state(&self) -> &crate::IncrementalState {
+        &self.baseline.incremental
+    }
+
+    /// Consumes the artifact, returning the baseline report (used by batch
+    /// drivers that compile a session, answer their points, and keep the
+    /// baseline).
+    pub fn into_baseline(self) -> OmniReport {
+        self.baseline
+    }
+
+    /// A unified report replaying the frozen baseline (outputs, outcome and
+    /// stats; the incremental state stays with the artifact).
+    fn materialize_baseline(&self) -> SimReport {
+        let mut report = SimReport::new("omnisim", self.baseline.outcome.clone().into());
+        report.outputs = self.baseline.outputs.clone();
+        report.total_cycles = Some(self.baseline.total_cycles);
+        report.extras.insert(self.baseline.stats);
+        report
+    }
+
+    /// Native-typed run: the unified [`CompiledSim::run`] minus the error
+    /// conversion.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OmniError::DepthMismatch`] for wrong-arity depth overrides,
+    /// [`OmniError::Graph`] for any zero-depth probe (the resized design
+    /// would not even validate), and any re-simulation fallback's error.
+    pub fn run_native(&self, config: &RunConfig) -> Result<SimReport, OmniError> {
+        let run_start = Instant::now();
+        let original = &self.baseline.incremental.original_depths;
+        let depths = match &config.fifo_depths {
+            Some(depths) if depths != original => depths.as_slice(),
+            _ => {
+                // The compiled depths: replay the frozen baseline.
+                let mut report = self.materialize_baseline();
+                report.timings.finalize = run_start.elapsed();
+                return Ok(report);
+            }
+        };
+        if depths.len() != original.len() {
+            return Err(OmniError::DepthMismatch {
+                expected: original.len(),
+                got: depths.len(),
+            });
+        }
+        // A zero depth is not a design point at all: the resized design
+        // would not validate. Rejected up front — not just on the fallback
+        // path — because on a FIFO with no recorded blocking traffic the
+        // constraint check alone would happily certify it.
+        if depths.contains(&0) {
+            return Err(OmniError::Graph(omnisim_graph::CycleError));
+        }
+        match self.baseline.incremental.try_with_depths(depths)? {
+            IncrementalOutcome::Valid { total_cycles } => {
+                // Every recorded constraint holds: behaviour is unchanged
+                // from the baseline, only the latency moves.
+                let mut report = self.materialize_baseline();
+                report.total_cycles = Some(total_cycles);
+                report.timings.finalize = run_start.elapsed();
+                Ok(report)
+            }
+            IncrementalOutcome::ConstraintViolated { .. }
+            | IncrementalOutcome::DepthInfeasible { .. }
+            | IncrementalOutcome::DepthCyclic => {
+                // The frozen graph cannot certify these depths: a full
+                // re-simulation of the resized design answers instead.
+                let resized = self.design.with_fifo_depths(depths);
+                let run_config = config
+                    .fuel
+                    .map_or(self.config, |f| self.config.with_fuel(f));
+                let native = OmniSimulator::with_config(&resized, run_config).run()?;
+                Ok(SimReport::from(native))
+            }
+        }
+    }
+}
+
+impl CompiledSim for CompiledOmni {
+    fn backend(&self) -> &'static str {
+        "omnisim"
+    }
+
+    fn design_name(&self) -> &str {
+        &self.design.name
+    }
+
+    fn compile_timings(&self) -> SimTimings {
+        self.compile_timings
+    }
+
+    fn run(&self, config: &RunConfig) -> Result<SimReport, SimFailure> {
+        self.run_native(config).map_err(SimFailure::from)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 }
 
@@ -100,7 +301,7 @@ mod tests {
     use super::*;
     use crate::incremental::IncrementalState;
     use crate::report::SimStats;
-    use crate::test_fixtures::producer_consumer;
+    use crate::test_fixtures::{nb_drop_counter, producer_consumer};
     use omnisim_interp::SimError;
     use omnisim_ir::ModuleId;
 
@@ -135,6 +336,72 @@ mod tests {
             outcome.is_valid(),
             "growing the only FIFO stays incremental"
         );
+    }
+
+    #[test]
+    fn compiled_runs_replay_the_baseline_and_answer_depth_overrides() {
+        let design = producer_consumer(16, 2, 1);
+        let one_shot = OmniBackend::default().simulate(&design).unwrap();
+        let compiled = CompiledOmni::compile(&design, SimConfig::default()).unwrap();
+        assert_eq!(compiled.design_name(), "pc");
+
+        // Default run == baseline == one-shot simulate.
+        let replay = compiled.run(&RunConfig::default()).unwrap();
+        assert_eq!(replay.outcome, one_shot.outcome);
+        assert_eq!(replay.outputs, one_shot.outputs);
+        assert_eq!(replay.total_cycles, one_shot.total_cycles);
+
+        // A certified depth override moves only the latency.
+        let expected = match compiled.state().try_with_depths(&[32]).unwrap() {
+            IncrementalOutcome::Valid { total_cycles } => total_cycles,
+            other => panic!("expected valid, got {other:?}"),
+        };
+        let widened = compiled
+            .run(&RunConfig::new().with_fifo_depths([32usize]))
+            .unwrap();
+        assert_eq!(widened.total_cycles, Some(expected));
+        assert_eq!(widened.outputs, one_shot.outputs);
+    }
+
+    #[test]
+    fn constraint_violating_overrides_fall_back_to_full_resimulation() {
+        // Growing the FIFO flips recorded non-blocking outcomes, so the
+        // session must transparently re-simulate the resized design.
+        let design = nb_drop_counter(48, 2, 3);
+        let compiled = CompiledOmni::compile(&design, SimConfig::default()).unwrap();
+        assert!(matches!(
+            compiled.state().try_with_depths(&[128]).unwrap(),
+            IncrementalOutcome::ConstraintViolated { .. }
+        ));
+        let run = compiled
+            .run(&RunConfig::new().with_fifo_depths([128usize]))
+            .unwrap();
+        let full = OmniSimulator::new(&design.with_fifo_depths(&[128]))
+            .run()
+            .unwrap();
+        assert_eq!(run.total_cycles, Some(full.total_cycles));
+        assert_eq!(run.outputs, full.outputs);
+    }
+
+    #[test]
+    fn compiled_run_rejects_bad_depth_vectors() {
+        let design = producer_consumer(8, 2, 1);
+        let compiled = CompiledOmni::compile(&design, SimConfig::default()).unwrap();
+        let err = compiled
+            .run_native(&RunConfig::new().with_fifo_depths([1usize, 2]))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            OmniError::DepthMismatch {
+                expected: 1,
+                got: 2
+            }
+        );
+        // An uncertifiable zero depth is an error, not a resim candidate.
+        let err = compiled
+            .run_native(&RunConfig::new().with_fifo_depths([0usize]))
+            .unwrap_err();
+        assert!(matches!(err, OmniError::Graph(_)));
     }
 
     #[test]

@@ -64,11 +64,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use omnisim_api::{Capabilities, SimFailure, SimOutcome, SimReport, Simulator};
+use omnisim_api::{
+    Capabilities, CompiledSim, RunConfig, SimFailure, SimOutcome, SimReport, SimTimings, Simulator,
+};
 use omnisim_interp::{Interpreter, SimBackend, SimError};
 use omnisim_ir::design::OutputMap;
 use omnisim_ir::schedule::BlockSchedule;
 use omnisim_ir::{ArrayId, AxiId, BlockId, Design, FifoId, ModuleId, OutputId};
+use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
 
@@ -221,11 +224,86 @@ impl Simulator for CsimBackend {
             produces_timings: false,
             incremental_dse: false,
             compiled_dse: false,
+            compiled_run: true,
         }
+    }
+
+    fn compile(&self, design: &Design) -> Result<Box<dyn CompiledSim>, SimFailure> {
+        let started = Instant::now();
+        let cached = simulate_with_config(design, self.config);
+        let execution = started.elapsed();
+        Ok(Box::new(CompiledCsim {
+            design: design.clone(),
+            config: self.config,
+            cached,
+            compile_timings: SimTimings {
+                execution,
+                ..SimTimings::default()
+            },
+        }))
     }
 
     fn simulate(&self, design: &Design) -> Result<SimReport, SimFailure> {
         Ok(simulate_with_config(design, self.config).into())
+    }
+}
+
+/// C simulation compiled for repeated runs.
+///
+/// C simulation is deterministic, untimed and depth-insensitive (streams
+/// are unbounded), so the whole functional evaluation happens once at
+/// compile time and every [`CompiledSim::run`] replays the cached
+/// [`CsimReport`]. The only [`RunConfig`] knob that can change the result
+/// is `fuel` (a smaller budget can turn a completing run into a
+/// non-terminating one); a run with a different fuel budget re-executes.
+#[derive(Debug)]
+pub struct CompiledCsim {
+    design: Design,
+    config: CsimConfig,
+    cached: CsimReport,
+    compile_timings: SimTimings,
+}
+
+impl CompiledCsim {
+    /// The cached functional evaluation the runs replay.
+    pub fn cached(&self) -> &CsimReport {
+        &self.cached
+    }
+}
+
+impl CompiledSim for CompiledCsim {
+    fn backend(&self) -> &'static str {
+        "csim"
+    }
+
+    fn design_name(&self) -> &str {
+        &self.design.name
+    }
+
+    fn compile_timings(&self) -> SimTimings {
+        self.compile_timings
+    }
+
+    fn run(&self, config: &RunConfig) -> Result<SimReport, SimFailure> {
+        let started = Instant::now();
+        let mut unified: SimReport = match config.fuel {
+            Some(fuel) if fuel != self.config.fuel => {
+                simulate_with_config(&self.design, CsimConfig { fuel }).into()
+            }
+            _ => self.cached.clone().into(),
+        };
+        // The evaluation cost lives in the compile timings (or, for a
+        // fuel-override re-execution, in the elapsed time measured here);
+        // either way this run's report covers only its own work.
+        unified.timings = SimTimings {
+            execution: started.elapsed(),
+            ..SimTimings::default()
+        };
+        Ok(unified)
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 }
 
@@ -550,6 +628,53 @@ mod tests {
         assert!(!report.outcome.is_completed());
         assert!(report.outcome.describe().contains("SIGSEGV"));
         assert_eq!(report.output("sum"), None, "consumer never ran");
+    }
+
+    #[test]
+    fn compiled_sessions_replay_the_cached_evaluation() {
+        let mut d = DesignBuilder::new("pc");
+        let out = d.output("sum");
+        let q = d.fifo("q", 2);
+        let p = d.function("p", |m| {
+            m.counted_loop("i", 6, 1, |b| {
+                let i = b.var_expr("i");
+                b.fifo_write(q, i.add(Expr::imm(1)));
+            });
+        });
+        let c = d.function("c", |m| {
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(0));
+            });
+            m.counted_loop("i", 6, 1, |b| {
+                let v = b.fifo_read(q);
+                b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            });
+            m.exit(|b| {
+                b.output(out, Expr::var(acc));
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        let design = d.build().unwrap();
+
+        let backend = CsimBackend::default();
+        let one_shot = backend.simulate(&design).unwrap();
+        let compiled = backend.compile(&design).unwrap();
+        for _ in 0..2 {
+            let run = compiled.run(&RunConfig::default()).unwrap();
+            assert_eq!(run.outcome, one_shot.outcome);
+            assert_eq!(run.outputs, one_shot.outputs);
+            assert_eq!(run.warnings, one_shot.warnings);
+            assert_eq!(run.total_cycles, None, "C sim stays untimed in sessions");
+        }
+        // Depth overrides cannot change C-sim results; they are ignored.
+        let overridden = compiled
+            .run(&RunConfig::new().with_fifo_depths([1usize]))
+            .unwrap();
+        assert_eq!(overridden.outputs, one_shot.outputs);
+        // A starving fuel budget re-executes and kills the run.
+        let starved = compiled.run(&RunConfig::new().with_fuel(3)).unwrap();
+        assert!(starved.outcome.is_crashed());
     }
 
     #[test]

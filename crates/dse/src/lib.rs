@@ -39,7 +39,7 @@
 
 pub mod min_depths;
 pub mod plan;
-mod pool;
+pub mod pool;
 pub mod sweep;
 
 pub use min_depths::MinDepthsReport;

@@ -33,8 +33,8 @@
 //! driver does exactly that.
 
 use crate::pool;
-use omnisim::{IncrementalOutcome, IncrementalState, OmniError};
-use omnisim_api::SimReport;
+use omnisim::{CompiledOmni, IncrementalOutcome, IncrementalState, OmniError};
+use omnisim_api::{CompiledSim, SimReport};
 use omnisim_graph::{CsrGraph, CsrGraphBuilder, CycleError, Edge, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -325,9 +325,28 @@ impl SweepPlan {
         })
     }
 
+    /// Compiles a plan from a [`CompiledSim`] session artifact, if it is
+    /// the OmniSim engine's (see `Capabilities::compiled_dse`). This is the
+    /// canonical way to upgrade a compile-once session into the batch DSE
+    /// engine: the artifact's frozen
+    /// [`IncrementalState`](omnisim::IncrementalState) is compiled directly,
+    /// no type-erased extras involved.
+    pub fn from_compiled(compiled: &dyn CompiledSim) -> Option<Result<SweepPlan, CycleError>> {
+        compiled
+            .as_any()
+            .downcast_ref::<CompiledOmni>()
+            .map(|omni| SweepPlan::compile(omni.state()))
+    }
+
     /// Compiles a plan from a unified [`SimReport`], if the backend shipped
     /// an [`IncrementalState`] in the report extras (the `omnisim` backend
     /// does; see `Capabilities::compiled_dse`).
+    #[deprecated(
+        since = "0.1.0",
+        note = "compile the design once with `Simulator::compile` and use \
+                `SweepPlan::from_compiled` on the session artifact; the \
+                extras side-channel is kept only for one-shot reports"
+    )]
     pub fn from_report(report: &SimReport) -> Option<Result<SweepPlan, CycleError>> {
         report
             .extras
@@ -404,6 +423,9 @@ impl SweepPlan {
     /// delta evaluation keeps its locality within each chunk). Points may
     /// be owned vectors or borrowed slices — nothing is copied.
     ///
+    /// `parallel` uses one worker per core; use
+    /// [`SweepPlan::evaluate_batch_workers`] to pin an explicit count.
+    ///
     /// # Errors
     ///
     /// Returns [`PlanError`] if any point has the wrong arity or contains a
@@ -416,13 +438,32 @@ impl SweepPlan {
     where
         P: AsRef<[usize]> + Sync,
     {
+        let workers = if parallel { pool::default_workers() } else { 1 };
+        self.evaluate_batch_workers(points, workers)
+    }
+
+    /// [`SweepPlan::evaluate_batch`] with an explicit worker count (clamped
+    /// to at least one; one worker solves the batch on the calling thread).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanError`] if any point has the wrong arity or contains a
+    /// zero depth; no evaluation happens in that case.
+    pub fn evaluate_batch_workers<P>(
+        &self,
+        points: &[P],
+        workers: usize,
+    ) -> Result<Vec<IncrementalOutcome>, PlanError>
+    where
+        P: AsRef<[usize]> + Sync,
+    {
         for point in points {
             self.validate(point.as_ref())?;
         }
         if points.is_empty() {
             return Ok(Vec::new());
         }
-        let workers = pool::worker_count(parallel).min(points.len());
+        let workers = workers.max(1).min(points.len());
         let chunk_size = points.len().div_ceil(workers);
         let chunks: Vec<&[P]> = points.chunks(chunk_size).collect();
         let per_chunk = pool::parallel_map(&chunks, workers, |chunk| {
@@ -848,21 +889,78 @@ mod tests {
     }
 
     #[test]
-    fn plan_compiles_from_a_unified_report_extras_payload() {
+    fn plan_compiles_from_a_session_artifact() {
         let design = producer_consumer(16, 2, 1);
         let backend = OmniBackend::default();
         assert!(
             backend.capabilities().compiled_dse,
-            "the omnisim backend advertises plan-compilable extras"
+            "the omnisim backend advertises a plan-compilable session"
         );
-        let report = backend.simulate(&design).unwrap();
-        let plan = SweepPlan::from_report(&report)
-            .expect("omnisim ships incremental state in extras")
+        let compiled = backend.compile(&design).unwrap();
+        let plan = SweepPlan::from_compiled(compiled.as_ref())
+            .expect("the omnisim artifact downcasts")
             .expect("plan compiles");
         assert_eq!(plan.fifo_count(), 1);
         assert_eq!(plan.original_depths(), &[2]);
         assert!(plan.node_count() > 0);
         assert!(plan.edge_count() > 0);
         assert!(plan.constraint_count() <= plan.node_count());
+
+        // Non-omnisim artifacts do not downcast.
+        let rtl = omnisim_rtlsim::RtlBackend::default()
+            .compile(&design)
+            .unwrap();
+        assert!(SweepPlan::from_compiled(rtl.as_ref()).is_none());
+    }
+
+    /// The retired extras side-channel must keep returning the *identical*
+    /// plan as the session path until it is removed. Both paths are built
+    /// from the *same* baseline run: constraint recording order is an
+    /// artifact of request arrival, so two independent engine runs can
+    /// order an identical constraint set differently (the verdicts and
+    /// latencies never differ, but first-violated *indices* can).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_from_report_matches_from_compiled() {
+        use omnisim::{CompiledOmni, OmniOutcome, OmniReport, SimConfig, SimStats};
+
+        let design = nb_drop_counter(32, 2, 3);
+        let native = OmniSimulator::new(&design).run().unwrap();
+        assert!(native.outcome.is_completed());
+        let mut report: SimReport = native.into();
+        let via_report = SweepPlan::from_report(&report)
+            .expect("one-shot reports still ship the extras payload")
+            .expect("plan compiles");
+
+        // Rebuild the session artifact around the very same baseline.
+        let stats = *report.extras.get::<SimStats>().unwrap();
+        let incremental = report.extras.take::<IncrementalState>().unwrap();
+        let baseline = OmniReport {
+            outcome: OmniOutcome::Completed,
+            outputs: report.outputs.clone(),
+            total_cycles: report.total_cycles.unwrap(),
+            timings: report.timings,
+            stats,
+            incremental,
+        };
+        let session = CompiledOmni::from_baseline(&design, SimConfig::default(), baseline);
+        let via_session = SweepPlan::from_compiled(&session)
+            .expect("artifact downcasts")
+            .expect("plan compiles");
+
+        assert_eq!(via_report.fifo_count(), via_session.fifo_count());
+        assert_eq!(via_report.node_count(), via_session.node_count());
+        assert_eq!(via_report.edge_count(), via_session.edge_count());
+        assert_eq!(
+            via_report.constraint_count(),
+            via_session.constraint_count()
+        );
+        assert_eq!(via_report.original_depths(), via_session.original_depths());
+        // …and they answer every probe bit-identically.
+        let points: Vec<Vec<usize>> = (1..=32).map(|d| vec![d]).collect();
+        assert_eq!(
+            via_report.evaluate_batch(&points, false).unwrap(),
+            via_session.evaluate_batch(&points, false).unwrap()
+        );
     }
 }

@@ -2,9 +2,15 @@
 //!
 //! Both batch paths — plan evaluation chunks and full-re-simulation
 //! fallbacks — need the same shape of parallelism: a fixed item list, a
-//! `Sync` closure, results in item order. The container build has no
+//! `Sync` closure, results in item order. The facade's `SimService` uses
+//! the same pool for its batched run requests. The container build has no
 //! access to external crates, otherwise this would be a `rayon` parallel
 //! iterator.
+//!
+//! Worker counts are explicit everywhere: callers resolve a user-supplied
+//! count (or `None` for "one worker per core") through [`resolve_workers`]
+//! and pass it down, so thread usage is tunable end to end instead of being
+//! hardcoded at the pool.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -12,7 +18,7 @@ use std::sync::Mutex;
 /// Applies `f` to every item on up to `workers` scoped threads and returns
 /// the results in item order. With one worker (or fewer than two items)
 /// this degenerates to a plain in-order map on the calling thread.
-pub(crate) fn parallel_map<T, R>(items: &[T], workers: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R>
+pub fn parallel_map<T, R>(items: &[T], workers: usize, f: impl Fn(&T) -> R + Sync) -> Vec<R>
 where
     T: Sync,
     R: Send,
@@ -45,15 +51,20 @@ where
         .collect()
 }
 
-/// The number of workers a batch may use: the machine's parallelism when
-/// `parallel` is requested, otherwise one.
-pub(crate) fn worker_count(parallel: bool) -> usize {
-    if parallel {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        1
+/// The machine's available parallelism (at least one) — the default worker
+/// count wherever the caller does not pin one explicitly.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Resolves an optional explicit worker count: `Some(n)` is clamped to at
+/// least one, `None` means [`default_workers`].
+pub fn resolve_workers(explicit: Option<usize>) -> usize {
+    match explicit {
+        Some(n) => n.max(1),
+        None => default_workers(),
     }
 }
 
@@ -72,8 +83,11 @@ mod tests {
     }
 
     #[test]
-    fn worker_count_honours_the_sequential_flag() {
-        assert_eq!(worker_count(false), 1);
-        assert!(worker_count(true) >= 1);
+    fn worker_resolution_honours_explicit_counts() {
+        assert_eq!(resolve_workers(Some(1)), 1);
+        assert_eq!(resolve_workers(Some(7)), 7);
+        assert_eq!(resolve_workers(Some(0)), 1, "zero clamps to one");
+        assert!(resolve_workers(None) >= 1);
+        assert_eq!(resolve_workers(None), default_workers());
     }
 }

@@ -124,7 +124,7 @@ pub struct Sweep<'d> {
     design: &'d Design,
     config: SimConfig,
     points: Vec<Vec<usize>>,
-    parallel: bool,
+    workers: Option<usize>,
     grid_error: Option<OmniError>,
 }
 
@@ -135,7 +135,7 @@ impl<'d> Sweep<'d> {
             design,
             config: SimConfig::default(),
             points: Vec::new(),
-            parallel: true,
+            workers: None,
             grid_error: None,
         }
     }
@@ -147,11 +147,18 @@ impl<'d> Sweep<'d> {
         self
     }
 
-    /// Runs plan evaluation and full re-simulations one at a time instead
-    /// of on scoped worker threads.
-    pub fn sequential(mut self) -> Self {
-        self.parallel = false;
+    /// Pins the number of worker threads used for plan-evaluation chunks
+    /// and full-re-simulation fallbacks (clamped to at least one). The
+    /// default is one worker per core.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
         self
+    }
+
+    /// Runs plan evaluation and full re-simulations one at a time instead
+    /// of on scoped worker threads. Equivalent to [`Sweep::workers`]`(1)`.
+    pub fn sequential(self) -> Self {
+        self.workers(1)
     }
 
     /// Adds one candidate depth vector (one entry per FIFO of the design).
@@ -217,12 +224,13 @@ impl<'d> Sweep<'d> {
             design,
             config,
             points,
-            parallel,
+            workers,
             grid_error,
         } = self;
         if let Some(error) = grid_error {
             return Err(error);
         }
+        let workers = pool::resolve_workers(workers);
         let fifo_count = design.fifos.len();
         for point in &points {
             if point.len() != fifo_count {
@@ -233,10 +241,16 @@ impl<'d> Sweep<'d> {
             }
         }
 
-        let baseline = OmniSimulator::with_config(design, config).run()?;
-        // Compilation fails only when no depth-independent topological
+        // The compile phase of the session lifecycle, without the
+        // `CompiledOmni` wrapper: a sweep borrows its design and supplies
+        // its own typed-error fallback re-simulations below, so wrapping
+        // would only add the artifact's design clone — which matters when
+        // fuzz loops sweep thousands of generated designs.
+        let baseline_report = OmniSimulator::with_config(design, config).run()?;
+        let baseline = &baseline_report.incremental;
+        // Plan compilation fails only when no depth-independent topological
         // order exists; the uncompiled path still answers every point.
-        let plan = SweepPlan::compile(&baseline.incremental).ok();
+        let plan = SweepPlan::compile(baseline).ok();
 
         let mut answers: Vec<Option<SweepPoint>> = (0..points.len()).map(|_| None).collect();
         let mut fallback: Vec<(usize, Vec<usize>)> = Vec::new();
@@ -245,7 +259,7 @@ impl<'d> Sweep<'d> {
             if plan.is_some() && depths.iter().all(|&d| d >= 1) {
                 compiled.push((index, depths));
             } else {
-                match baseline.incremental.try_with_depths(&depths)? {
+                match baseline.try_with_depths(&depths)? {
                     IncrementalOutcome::Valid { total_cycles } => {
                         answers[index] = Some(SweepPoint {
                             depths,
@@ -277,7 +291,7 @@ impl<'d> Sweep<'d> {
                 .map(|(_, depths)| depths.as_slice())
                 .collect();
             let outcomes = plan
-                .evaluate_batch(&batch, parallel)
+                .evaluate_batch_workers(&batch, workers)
                 .map_err(OmniError::from)?;
             for ((index, depths), outcome) in compiled.into_iter().zip(outcomes) {
                 match outcome {
@@ -305,9 +319,7 @@ impl<'d> Sweep<'d> {
         };
 
         let outcomes: Vec<ResimOutcome> =
-            pool::parallel_map(&fallback, pool::worker_count(parallel), |(_, depths)| {
-                resimulate(depths)
-            });
+            pool::parallel_map(&fallback, workers, |(_, depths)| resimulate(depths));
 
         for ((index, depths), outcome) in fallback.into_iter().zip(outcomes) {
             let (total_cycles, outputs) = outcome?;
@@ -320,7 +332,7 @@ impl<'d> Sweep<'d> {
         }
 
         Ok(SweepReport {
-            baseline,
+            baseline: baseline_report,
             points: answers
                 .into_iter()
                 .map(|point| point.expect("every sweep point answered"))
@@ -392,6 +404,30 @@ mod tests {
             assert_eq!(p.method, s.method);
             assert_eq!(p.outputs, s.outputs);
         }
+    }
+
+    #[test]
+    fn explicit_worker_counts_change_nothing() {
+        // Worker counts are a throughput knob, never a semantics knob: one
+        // worker (the sequential degenerate case), a deliberately odd
+        // count, and the per-core default must answer identically.
+        let design = nb_drop_counter(40, 1, 4);
+        let grid: &[&[usize]] = &[&[1, 8, 32, 64, 128]];
+        let default = Sweep::new(&design).grid(grid).run().unwrap();
+        let one = Sweep::new(&design).grid(grid).workers(1).run().unwrap();
+        let three = Sweep::new(&design).grid(grid).workers(3).run().unwrap();
+        for (label, other) in [("workers(1)", &one), ("workers(3)", &three)] {
+            assert_eq!(default.points.len(), other.points.len(), "{label}");
+            for (p, s) in default.points.iter().zip(&other.points) {
+                assert_eq!(p.depths, s.depths, "{label}");
+                assert_eq!(p.total_cycles, s.total_cycles, "{label}");
+                assert_eq!(p.method, s.method, "{label}");
+                assert_eq!(p.outputs, s.outputs, "{label}");
+            }
+        }
+        // workers(0) clamps to one instead of deadlocking or panicking.
+        let clamped = Sweep::new(&design).grid(grid).workers(0).run().unwrap();
+        assert_eq!(clamped.points.len(), default.points.len());
     }
 
     #[test]

@@ -22,8 +22,8 @@
 //! [`DiffReport::failures`] means every claim held.
 
 use crate::rng::Rng;
-use omnisim::{IncrementalOutcome, OmniSimulator, SimConfig};
-use omnisim_api::Simulator;
+use omnisim::{CompiledOmni, IncrementalOutcome, OmniSimulator, SimConfig};
+use omnisim_api::{RunConfig, Simulator};
 use omnisim_csim::CsimBackend;
 use omnisim_dse::{MinDepthsReport, PlanEvaluator, SweepPlan};
 use omnisim_ir::taxonomy::classify;
@@ -107,6 +107,9 @@ pub struct DiffReport {
     pub csim: Option<CsimAgreement>,
     /// Number of DSE depth vectors checked.
     pub dse_points_checked: usize,
+    /// Number of compile-once session `run()`s cross-checked against the
+    /// incremental ground truth.
+    pub session_runs_checked: usize,
     /// Number of compiled evaluations the `min_depths` search spent
     /// (0 when the leg was skipped).
     pub min_depths_probes: usize,
@@ -154,9 +157,12 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
     let mut failures = Vec::new();
 
     // --- omnisim vs the cycle-stepped reference --------------------------
+    // The engine runs through the compile-once session API: the baseline
+    // run is the compile phase, and the DSE legs below double as session
+    // `run()` coverage.
     let omni_config = SimConfig::default().with_fuel(cfg.omni_fuel);
-    let omni = match OmniSimulator::with_config(design, omni_config).run() {
-        Ok(report) => report,
+    let session = match CompiledOmni::compile(design, omni_config) {
+        Ok(session) => session,
         Err(e) => {
             return DiffReport {
                 class,
@@ -164,11 +170,13 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
                 total_cycles: None,
                 csim: None,
                 dse_points_checked: 0,
+                session_runs_checked: 0,
                 min_depths_probes: 0,
                 failures: vec![format!("omnisim failed to run: {e}")],
             };
         }
     };
+    let omni = session.baseline();
     let rtl = match RtlSimulator::with_config(
         design,
         RtlConfig {
@@ -185,6 +193,7 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
                 total_cycles: None,
                 csim: None,
                 dse_points_checked: 0,
+                session_runs_checked: 0,
                 min_depths_probes: 0,
                 failures: vec![format!("reference simulator failed to run: {e}")],
             };
@@ -301,6 +310,7 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
 
     // --- compiled DSE == incremental == full re-simulation ---------------
     let mut dse_points_checked = 0;
+    let mut session_runs_checked = 0;
     let mut min_depths_probes = 0;
     if !design.fifos.is_empty() && (cfg.dse_points > 0 || cfg.min_depths) {
         match SweepPlan::compile(&omni.incremental) {
@@ -332,6 +342,30 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
                         ));
                         continue;
                     }
+                    // Session leg: a compile-once `run()` with these depth
+                    // overrides must report the certified latency through
+                    // the unified report — the wiring from incremental
+                    // verdict to `SimReport`. (Its outputs are the
+                    // baseline's by construction, so only the resim leg
+                    // below can check outputs against reality.)
+                    if let IncrementalOutcome::Valid { total_cycles } = compiled {
+                        match session.run_native(&RunConfig::new().with_fifo_depths(depths.clone()))
+                        {
+                            Ok(run) => {
+                                session_runs_checked += 1;
+                                if run.total_cycles != Some(total_cycles) {
+                                    failures.push(format!(
+                                        "session run at {depths:?} reports {:?} cycles, but \
+                                         the incremental path certifies {total_cycles}",
+                                        run.total_cycles
+                                    ));
+                                }
+                            }
+                            Err(e) => {
+                                failures.push(format!("session run failed at {depths:?}: {e}"))
+                            }
+                        }
+                    }
                     if cfg.dse_resim && completed {
                         if let IncrementalOutcome::Valid { total_cycles } = compiled {
                             match OmniSimulator::with_config(
@@ -340,12 +374,27 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
                             )
                             .run()
                             {
-                                Ok(full) if full.total_cycles == total_cycles => {}
-                                Ok(full) => failures.push(format!(
-                                    "certified DSE answer {total_cycles} diverges from full \
-                                     re-simulation {} at {depths:?}",
-                                    full.total_cycles
-                                )),
+                                Ok(full) => {
+                                    if full.total_cycles != total_cycles {
+                                        failures.push(format!(
+                                            "certified DSE answer {total_cycles} diverges from \
+                                             full re-simulation {} at {depths:?}",
+                                            full.total_cycles
+                                        ));
+                                    }
+                                    // Constraints holding is the §7.2 claim
+                                    // that behaviour is unchanged, so the
+                                    // resized design's *real* outputs must
+                                    // equal the baseline's — exactly what a
+                                    // certified session run replays.
+                                    if full.outputs != omni.outputs {
+                                        failures.push(format!(
+                                            "certified point {depths:?} changes functional \
+                                             outputs: {:?} vs baseline {:?}",
+                                            full.outputs, omni.outputs
+                                        ));
+                                    }
+                                }
                                 Err(e) => failures
                                     .push(format!("full re-simulation failed at {depths:?}: {e}")),
                             }
@@ -409,6 +458,7 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
         total_cycles: completed.then_some(omni.total_cycles),
         csim,
         dse_points_checked,
+        session_runs_checked,
         min_depths_probes,
         failures,
     }

@@ -80,4 +80,4 @@ pub use error::LightningError;
 pub use report::LightningReport;
 pub use simulator::LightningSimulator;
 pub use trace::LightningTrace;
-pub use unified::LightningBackend;
+pub use unified::{CompiledLightning, LightningBackend};

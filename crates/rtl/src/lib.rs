@@ -70,4 +70,4 @@ pub mod unified;
 
 pub use report::{RtlOutcome, RtlReport};
 pub use simulator::{RtlConfig, RtlSimulator};
-pub use unified::RtlBackend;
+pub use unified::{CompiledRtl, RtlBackend};

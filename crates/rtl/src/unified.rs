@@ -1,16 +1,23 @@
 //! Unified-API adapter: the cycle-stepped reference simulator as a
-//! [`Simulator`] backend, plus the conversions from the native report types.
+//! [`Simulator`] backend, its [`CompiledSim`] session artifact, and the
+//! conversions from the native report types.
 
 use crate::report::{RtlOutcome, RtlReport};
 use crate::simulator::{RtlConfig, RtlSimulator};
-use omnisim_api::{Capabilities, SimFailure, SimOutcome, SimReport, Simulator};
-use omnisim_ir::Design;
+use omnisim_api::{
+    Capabilities, CompiledSim, RunConfig, SimFailure, SimOutcome, SimReport, SimTimings, Simulator,
+};
+use omnisim_ir::{Design, ModuleId};
+use std::any::Any;
+use std::time::Instant;
 
 /// The cycle-stepped reference simulator as a unified [`Simulator`] backend.
 ///
 /// Cycle-accurate on every taxonomy class, but slow: runtime scales with the
 /// simulated cycle count, exactly like the RTL co-simulation it stands in
-/// for.
+/// for. Its [`CompiledSim`] artifact caches the elaborated design and task
+/// list, but — unlike the trace/graph backends — every run still steps
+/// every cycle; the compile phase amortizes elaboration only, by design.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct RtlBackend {
     /// Configuration used for every run.
@@ -37,14 +44,94 @@ impl Simulator for RtlBackend {
             produces_timings: false,
             incremental_dse: false,
             compiled_dse: false,
+            compiled_run: true,
         }
     }
 
-    fn simulate(&self, design: &Design) -> Result<SimReport, SimFailure> {
-        RtlSimulator::with_config(design, self.config)
+    fn compile(&self, design: &Design) -> Result<Box<dyn CompiledSim>, SimFailure> {
+        let started = Instant::now();
+        let design = design.clone();
+        let tasks = design.dataflow_tasks();
+        let declared_depths = design.fifo_depths();
+        Ok(Box::new(CompiledRtl {
+            design,
+            tasks,
+            declared_depths,
+            config: self.config,
+            compile_timings: SimTimings {
+                front_end: started.elapsed(),
+                ..SimTimings::default()
+            },
+        }))
+    }
+}
+
+/// The reference simulator's session artifact: the elaborated design and
+/// its dataflow task list, cycle-stepped afresh on every run.
+#[derive(Debug)]
+pub struct CompiledRtl {
+    design: Design,
+    tasks: Vec<ModuleId>,
+    declared_depths: Vec<usize>,
+    config: RtlConfig,
+    compile_timings: SimTimings,
+}
+
+impl CompiledRtl {
+    /// The dataflow tasks cached at compile time.
+    pub fn tasks(&self) -> &[ModuleId] {
+        &self.tasks
+    }
+}
+
+impl CompiledSim for CompiledRtl {
+    fn backend(&self) -> &'static str {
+        "rtl"
+    }
+
+    fn design_name(&self) -> &str {
+        &self.design.name
+    }
+
+    fn compile_timings(&self) -> SimTimings {
+        self.compile_timings
+    }
+
+    fn run(&self, config: &RunConfig) -> Result<SimReport, SimFailure> {
+        let rtl_config = RtlConfig {
+            max_cycles: config.max_cycles.unwrap_or(self.config.max_cycles),
+        };
+        let resized = match config.fifo_depths.as_deref() {
+            Some(depths) if depths != self.declared_depths => {
+                if depths.len() != self.declared_depths.len() {
+                    return Err(SimFailure::execution(
+                        "rtl",
+                        format!(
+                            "depth vector has {} entries but the design has {} fifos",
+                            depths.len(),
+                            self.declared_depths.len()
+                        ),
+                    ));
+                }
+                if depths.contains(&0) {
+                    return Err(SimFailure::execution(
+                        "rtl",
+                        "FIFO depths must be at least one",
+                    ));
+                }
+                Some(self.design.with_fifo_depths(depths))
+            }
+            _ => None,
+        };
+        let design = resized.as_ref().unwrap_or(&self.design);
+        RtlSimulator::with_config(design, rtl_config)
             .run()
             .map(SimReport::from)
             .map_err(|error| SimFailure::execution("rtl", error.to_string()))
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
     }
 }
 
@@ -73,6 +160,7 @@ impl From<RtlReport> for SimReport {
 mod tests {
     use super::*;
     use omnisim_ir::design::OutputMap;
+    use omnisim_ir::{DesignBuilder, Expr};
     use std::time::Duration;
 
     fn sample_report(outcome: RtlOutcome) -> RtlReport {
@@ -123,5 +211,64 @@ mod tests {
     fn cycle_limit_maps_to_cycle_limit() {
         let unified: SimOutcome = RtlOutcome::CycleLimit { limit: 99 }.into();
         assert_eq!(unified, SimOutcome::CycleLimit { limit: 99 });
+    }
+
+    fn producer_consumer(n: i64, depth: usize) -> Design {
+        let mut d = DesignBuilder::new("pc");
+        let out = d.output("sum");
+        let q = d.fifo("q", depth);
+        let p = d.function("p", |m| {
+            m.counted_loop("i", n, 1, |b| {
+                let i = b.var_expr("i");
+                b.fifo_write(q, i.add(Expr::imm(1)));
+            });
+        });
+        let c = d.function("c", |m| {
+            let acc = m.var("acc");
+            m.entry(|b| {
+                b.assign(acc, Expr::imm(0));
+            });
+            m.counted_loop("i", n, 1, |b| {
+                let v = b.fifo_read(q);
+                b.assign(acc, Expr::var(acc).add(Expr::var(v)));
+            });
+            m.exit(|b| {
+                b.output(out, Expr::var(acc));
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        d.build().unwrap()
+    }
+
+    #[test]
+    fn compiled_sessions_step_cycles_per_run() {
+        let design = producer_consumer(24, 2);
+        let backend = RtlBackend::default();
+        let one_shot = backend.simulate(&design).unwrap();
+        let compiled = backend.compile(&design).unwrap();
+        assert_eq!(compiled.design_name(), "pc");
+
+        let replay = compiled.run(&RunConfig::default()).unwrap();
+        assert_eq!(replay.outputs, one_shot.outputs);
+        assert_eq!(replay.total_cycles, one_shot.total_cycles);
+
+        // Depth overrides re-step the resized design.
+        let narrow = compiled
+            .run(&RunConfig::new().with_fifo_depths([1usize]))
+            .unwrap();
+        let fresh = backend.simulate(&design.with_fifo_depths(&[1])).unwrap();
+        assert_eq!(narrow.total_cycles, fresh.total_cycles);
+
+        // Per-run cycle budgets are honoured.
+        let limited = compiled.run(&RunConfig::new().with_max_cycles(3)).unwrap();
+        assert_eq!(limited.outcome, SimOutcome::CycleLimit { limit: 3 });
+
+        // Bad depth vectors are caller errors, not panics.
+        assert!(compiled
+            .run(&RunConfig::new().with_fifo_depths([1usize, 2]))
+            .is_err());
+        assert!(compiled
+            .run(&RunConfig::new().with_fifo_depths([0usize]))
+            .is_err());
     }
 }

@@ -1,6 +1,6 @@
-//! Quickstart: author a small dataflow design with the IR builder, then
-//! drive every registered backend through the unified `Simulator` API and
-//! compare the reports.
+//! Quickstart: author a small dataflow design with the IR builder, drive
+//! every registered backend through the unified `Simulator` API, then
+//! compile the design once and serve many runs from the session artifact.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -8,7 +8,7 @@ use omnisim_suite::designs::typea;
 use omnisim_suite::ir::taxonomy::classify;
 use omnisim_suite::ir::{DesignBuilder, Expr};
 use omnisim_suite::omnisim::SimStats;
-use omnisim_suite::{all_backends, backend, Sweep};
+use omnisim_suite::{all_backends, backend, RunConfig, Sweep};
 
 fn main() {
     // A producer streams 64 values into a depth-4 FIFO; a consumer sums them.
@@ -78,6 +78,21 @@ fn main() {
         println!(
             "\nomnisim internals: {} threads, {} FIFO accesses, {} graph nodes",
             stats.threads, stats.fifo_accesses, stats.graph_nodes
+        );
+    }
+
+    // Compile once, run many: the session API pays the front end a single
+    // time, then answers depth what-ifs in microseconds.
+    let compiled = backend("omnisim").unwrap().compile(&design).unwrap();
+    println!("\ncompile-once/run-many session ({}):", compiled.backend());
+    for depth in [1usize, 2, 8, 32] {
+        let run = compiled
+            .run(&RunConfig::new().with_fifo_depths([depth]))
+            .unwrap();
+        println!(
+            "  depth {depth:>2}: {} cycles in {:?}",
+            run.total_cycles.unwrap(),
+            run.timings.total()
         );
     }
 

@@ -1,7 +1,8 @@
 //! # omnisim-suite
 //!
 //! Facade crate for the OmniSim reproduction workspace: the unified
-//! [`Simulator`] API, a string-keyed backend registry, and re-exports of
+//! [`Simulator`] API, a string-keyed backend registry, the concurrent
+//! [`SimService`] compile-once/run-many serving layer, and re-exports of
 //! every member crate under a short name.
 //!
 //! ## The unified API
@@ -48,6 +49,28 @@
 //! }
 //! ```
 //!
+//! ## Compile once, run many
+//!
+//! `simulate` is the one-shot convenience; the session API splits the
+//! lifecycle so the front-end cost is paid once and every subsequent run —
+//! including FIFO-depth what-ifs — is answered from the compiled artifact:
+//!
+//! ```
+//! # use omnisim_suite::{backend, RunConfig};
+//! # use omnisim_suite::designs::typea;
+//! let design = typea::vecadd_stream(32, 2);
+//! let compiled = backend("omnisim").unwrap().compile(&design).unwrap();
+//! let baseline = compiled.run(&RunConfig::default()).unwrap();
+//! let wider = compiled
+//!     .run(&RunConfig::new().with_fifo_depths(vec![64; design.fifos.len()]))
+//!     .unwrap();
+//! assert!(wider.total_cycles <= baseline.total_cycles);
+//! ```
+//!
+//! [`SimService`] scales the same idea to many designs and many concurrent
+//! requests: a content-hash registry of `Arc<dyn CompiledSim>` artifacts
+//! with batched, multi-threaded request serving.
+//!
 //! ## Member crates
 //!
 //! * [`ir`] — the HLS-like design IR and builders,
@@ -70,6 +93,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod service;
+
 pub use omnisim;
 pub use omnisim_api as api;
 pub use omnisim_csim as csim;
@@ -83,12 +108,14 @@ pub use omnisim_lightning as lightning;
 pub use omnisim_rtlsim as rtlsim;
 
 pub use omnisim_api::{
-    Capabilities, Extras, SimFailure, SimOutcome, SimReport, SimTimings, Simulator,
+    Capabilities, CompiledSim, Extras, RunConfig, SimFailure, SimOutcome, SimReport, SimTimings,
+    Simulator,
 };
 pub use omnisim_dse::{
     MinDepthsReport, PlanError, PlanEvaluator, Sweep, SweepMethod, SweepPlan, SweepPoint,
     SweepReport,
 };
+pub use service::{DesignKey, SimService};
 
 /// Canonical names of every registered backend, in the order the paper's
 /// tables list them: C simulation, the LightningSim baseline, OmniSim, and

@@ -232,28 +232,28 @@ fn min_depths_certifies_from_the_baseline_anchor_on_nonblocking_designs() {
 }
 
 /// The `compiled_dse` capability flag must predict whether a backend's
-/// report extras actually compile into a plan.
+/// compile-once session artifact actually compiles into a plan.
 #[test]
-fn compiled_dse_capability_predicts_from_report() {
+fn compiled_dse_capability_predicts_from_compiled() {
     let design = producer_consumer(16, 2, 1);
     for sim in all_backends() {
-        let Ok(report) = sim.simulate(&design) else {
+        let Ok(compiled) = sim.compile(&design) else {
             continue;
         };
         let caps = sim.capabilities();
-        match SweepPlan::from_report(&report) {
+        match SweepPlan::from_compiled(compiled.as_ref()) {
             Some(Ok(plan)) => {
                 assert!(
                     caps.compiled_dse,
-                    "{} shipped a compilable payload without advertising it",
+                    "{} shipped a compilable artifact without advertising it",
                     sim.name()
                 );
                 assert_eq!(plan.fifo_count(), 1);
             }
-            Some(Err(e)) => panic!("{}: payload failed to compile: {e}", sim.name()),
+            Some(Err(e)) => panic!("{}: artifact failed to compile: {e}", sim.name()),
             None => assert!(
                 !caps.compiled_dse,
-                "{} advertises compiled DSE but shipped no incremental state",
+                "{} advertises compiled DSE but its artifact does not downcast",
                 sim.name()
             ),
         }
