@@ -94,6 +94,37 @@ pub trait Simulator: Send + Sync {
     /// produce an artifact.
     fn compile(&self, design: &Design) -> Result<Box<dyn CompiledSim>, SimFailure>;
 
+    /// Reconstructs a compiled artifact from bytes previously produced by
+    /// [`CompiledSim::encode`] — the warm-start half of the persistent
+    /// artifact store.
+    ///
+    /// `design` must be the same design the artifact was compiled from
+    /// (stores key artifacts by design content hash, so this holds by
+    /// construction); artifact encodings deliberately do not embed the
+    /// design itself. A decoded artifact answers [`CompiledSim::run`]
+    /// bit-identically to the original, but reports zeroed
+    /// [`CompiledSim::compile_timings`] — the front-end work it represents
+    /// was paid in some earlier process.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFailure::Unsupported`] when the backend has no artifact
+    /// codec (`serializable_artifact` is false in [`Capabilities`]) and
+    /// [`SimFailure::Internal`] when the bytes are truncated, corrupted or
+    /// of an incompatible version — callers fall back to a fresh
+    /// [`Simulator::compile`].
+    fn decode_artifact(
+        &self,
+        design: &Design,
+        bytes: &[u8],
+    ) -> Result<Box<dyn CompiledSim>, SimFailure> {
+        let _ = (design, bytes);
+        Err(SimFailure::unsupported(
+            self.name(),
+            "backend has no artifact codec",
+        ))
+    }
+
     /// Runs the design end to end (one-shot): [`Simulator::compile`]
     /// followed by a single [`CompiledSim::run`] with the default
     /// [`RunConfig`], with the compile-phase timings folded back into the
@@ -164,6 +195,19 @@ pub trait CompiledSim: Send + Sync {
     /// re-execution, …). As with [`Simulator::simulate`], deadlocks and
     /// cycle-limit aborts are outcomes, not errors.
     fn run(&self, config: &RunConfig) -> Result<SimReport, SimFailure>;
+
+    /// Serializes this artifact into a versioned, checksummed byte vector
+    /// that the owning backend's [`Simulator::decode_artifact`] can
+    /// reconstruct in another process.
+    ///
+    /// Returns `None` when the backend has no artifact codec (the default).
+    /// Encodings are canonical: compiling the same design twice and encoding
+    /// both artifacts yields byte-identical vectors, so stores can trust
+    /// content-hash keys. Wall-clock compile timings are deliberately not
+    /// encoded.
+    fn encode(&self) -> Option<Vec<u8>> {
+        None
+    }
 
     /// The artifact as [`Any`], so backend-aware tooling can downcast to the
     /// concrete type (e.g. `omnisim-dse` compiles its `SweepPlan` from the
@@ -246,8 +290,8 @@ pub struct Capabilities {
     /// Ships an incremental-DSE payload in [`SimReport::extras`] that can
     /// re-answer FIFO-depth changes without a full re-run.
     pub incremental_dse: bool,
-    /// The extras payload can additionally be *compiled* into a frozen
-    /// batch sweep plan (`omnisim-dse`'s `SweepPlan::from_report`) for
+    /// The compiled artifact can additionally be *compiled* into a frozen
+    /// batch sweep plan (`omnisim-dse`'s `SweepPlan::from_compiled`) for
     /// allocation-free, delta-evaluated grid solving.
     pub compiled_dse: bool,
     /// [`Simulator::compile`] produces an artifact whose [`CompiledSim::run`]
@@ -259,6 +303,11 @@ pub struct Capabilities {
     /// rtl only saves elaboration (its runtime is execution-bound by
     /// design).
     pub compiled_run: bool,
+    /// The compiled artifact round-trips through [`CompiledSim::encode`] /
+    /// [`Simulator::decode_artifact`]: it can be persisted to disk by the
+    /// artifact store and warm-started in another process, answering runs
+    /// bit-identically to the original.
+    pub serializable_artifact: bool,
 }
 
 impl Capabilities {
@@ -587,6 +636,7 @@ mod tests {
             incremental_dse: true,
             compiled_dse: false,
             compiled_run: true,
+            serializable_artifact: true,
         };
         assert!(lightning_like.supports(DesignClass::TypeA));
         assert!(!lightning_like.supports(DesignClass::TypeB));
@@ -705,6 +755,7 @@ mod tests {
                 incremental_dse: false,
                 compiled_dse: false,
                 compiled_run: true,
+                serializable_artifact: false,
             }
         }
         fn compile(&self, _design: &Design) -> Result<Box<dyn CompiledSim>, SimFailure> {
@@ -746,6 +797,16 @@ mod tests {
         assert_eq!(one_shot.timings.execution, Duration::from_millis(4));
         assert_eq!(one_shot.timings.finalize, Duration::from_millis(1));
         assert_eq!(one_shot.timings.total(), Duration::from_millis(8));
+    }
+
+    #[test]
+    fn artifact_codec_defaults_to_unsupported() {
+        let design = tiny_design();
+        let compiled = Dummy.compile(&design).unwrap();
+        assert_eq!(compiled.encode(), None, "no codec by default");
+        let failure = Dummy.decode_artifact(&design, &[1, 2, 3]).unwrap_err();
+        assert!(failure.is_unsupported());
+        assert!(failure.to_string().contains("no artifact codec"));
     }
 
     #[test]

@@ -12,16 +12,25 @@
 //!    and incremental re-finalizations for FIFO-depth overrides.
 //!
 //! A third section measures `SimService::run_batch` — the concurrent
-//! serving layer — at several worker counts.
+//! serving layer — at several worker counts. A fourth compares a **cold
+//! start** (fresh `compile`) against a **warm start** (`decode_artifact`
+//! on the persisted encoding) per backend, on a trace-heavy workload
+//! (`vecadd_stream`) and a compute-heavy one (`fir_filter`); a fifth
+//! pushes the same batch through the TCP serving tier (`Server`/`Client`)
+//! and checks it answers exactly like the in-process service.
 //!
 //! Results are printed as a table and written to `BENCH_api.json`. Pass
 //! `--smoke` for a seconds-scale run (used by CI) — same measurements,
-//! smaller workload. The bench asserts the acceptance bar: amortized runs
-//! beat one-shot simulation by ≥ 5x on the omnisim and lightning backends.
+//! smaller workload. The bench asserts the acceptance bars: amortized runs
+//! beat one-shot simulation by ≥ 5x, and warm starts beat cold starts by
+//! ≥ 5x on the compute-bound workload, each on the omnisim and lightning
+//! backends.
 
 use omnisim_bench::secs;
 use omnisim_suite::designs::typea;
 use omnisim_suite::ir::Design;
+use omnisim_suite::serve::wire::WireReport;
+use omnisim_suite::serve::{Client, Server};
 use omnisim_suite::{backend, RunConfig, SimService, Simulator};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
@@ -179,6 +188,112 @@ fn main() {
         service_rps.push((label, rps));
     }
 
+    // Cold vs warm start: a fresh `compile` against a `decode_artifact` of
+    // the persisted encoding — the cost a process restart pays with and
+    // without the artifact store. Two workload shapes: `vecadd_stream` is
+    // trace-heavy (the artifact grows with the run, so decode pays for
+    // every recorded event), `fir_filter` is compute-heavy (the front end
+    // burns cycles the artifact never has to replay) — the shape the store
+    // amortizes best.
+    struct WarmRow {
+        workload: &'static str,
+        name: &'static str,
+        cold_secs: f64,
+        warm_secs: f64,
+        speedup: f64,
+        artifact_bytes: usize,
+    }
+    let warm_iters = if smoke { 5 } else { 20 };
+    let warm_fixtures = [
+        ("vecadd_stream", design.clone()),
+        (
+            "fir_filter",
+            typea::fir_filter(n, if smoke { 16 } else { 32 }),
+        ),
+    ];
+    let mut warm_rows: Vec<WarmRow> = Vec::new();
+    for (workload, fixture) in &warm_fixtures {
+        println!("\ncold compile vs warm decode (persisted artifact, {workload}):");
+        for name in ["csim", "lightning", "omnisim", "rtl"] {
+            let sim = backend(name).expect("registered backend");
+            let bytes = sim
+                .compile(fixture)
+                .expect("design compiles")
+                .encode()
+                .expect("every workspace backend persists");
+            let start = Instant::now();
+            for _ in 0..warm_iters {
+                sim.compile(fixture).expect("design compiles");
+            }
+            let cold_secs = start.elapsed().as_secs_f64() / warm_iters as f64;
+            let start = Instant::now();
+            for _ in 0..warm_iters {
+                sim.decode_artifact(fixture, &bytes)
+                    .expect("artifact decodes");
+            }
+            let warm_secs = start.elapsed().as_secs_f64() / warm_iters as f64;
+            let speedup = cold_secs / warm_secs.max(1e-12);
+            println!(
+                "  {name:<11} cold {:>10} warm {:>10} ({speedup:>7.1}x, {} artifact bytes)",
+                secs(Duration::from_secs_f64(cold_secs)),
+                secs(Duration::from_secs_f64(warm_secs)),
+                bytes.len()
+            );
+            warm_rows.push(WarmRow {
+                workload,
+                name: sim.name(),
+                cold_secs,
+                warm_secs,
+                speedup,
+                artifact_bytes: bytes.len(),
+            });
+        }
+    }
+
+    // Cross-process leg: the same mixed batch through the TCP serving
+    // tier, checked for exact agreement with the in-process service.
+    let reference_service = SimService::new(backend("omnisim").unwrap());
+    for d in &designs {
+        reference_service.register(d).expect("fleet compiles");
+    }
+    let expected: Vec<Result<WireReport, String>> = reference_service
+        .run_batch(&requests)
+        .iter()
+        .map(|r| match r {
+            Ok(report) => Ok(WireReport::from(report)),
+            Err(failure) => Err(failure.to_string()),
+        })
+        .collect();
+    let server = Server::bind(
+        SimService::new(backend("omnisim").unwrap()),
+        ("127.0.0.1", 0),
+    )
+    .expect("loopback binds")
+    // The whole batch arrives as one request; admit it in full.
+    .with_max_in_flight(requests.len());
+    let server_handle = server.handle();
+    let serving = std::thread::spawn(move || server.serve().expect("serve loop"));
+    let mut client = Client::connect(server_handle.addr()).expect("client connects");
+    for d in &designs {
+        client.register(d).expect("designs register");
+    }
+    let start = Instant::now();
+    let remote = client.run_batch(&requests).expect("batch admitted");
+    let wire_elapsed = start.elapsed();
+    assert_eq!(
+        remote, expected,
+        "remote batch must match the in-process service exactly"
+    );
+    client.shutdown().expect("server shuts down");
+    serving.join().expect("server thread exits");
+    let wire_rps = requests.len() as f64 / wire_elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "\nTCP serving tier: {} requests in {} ({wire_rps:.0} runs/sec), \
+         results bit-identical to in-process",
+        requests.len(),
+        secs(wire_elapsed)
+    );
+
     let mut json = String::from("{\n  \"bench\": \"api_throughput\",\n");
     let _ = writeln!(json, "  \"design\": \"vecadd_stream\",\n  \"n\": {n},");
     let _ = writeln!(json, "  \"smoke\": {smoke},\n  \"backends\": {{");
@@ -205,18 +320,58 @@ fn main() {
             if i + 1 < service_rps.len() { "," } else { "" }
         );
     }
+    let _ = writeln!(json, "  }},\n  \"warm_start\": {{");
+    for (w, (workload, _)) in warm_fixtures.iter().enumerate() {
+        let _ = writeln!(json, "    \"{workload}\": {{");
+        let group: Vec<&WarmRow> = warm_rows
+            .iter()
+            .filter(|r| r.workload == *workload)
+            .collect();
+        for (i, row) in group.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "      \"{}\": {{\"cold_compile_secs\": {:.6}, \"warm_decode_secs\": {:.6}, \
+                 \"speedup\": {:.2}, \"artifact_bytes\": {}}}{}",
+                row.name,
+                row.cold_secs,
+                row.warm_secs,
+                row.speedup,
+                row.artifact_bytes,
+                if i + 1 < group.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    }}{}",
+            if w + 1 < warm_fixtures.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},\n  \"wire\": {{");
+    let _ = writeln!(json, "    \"requests\": {},", requests.len());
+    let _ = writeln!(json, "    \"rps\": {wire_rps:.2}");
     json.push_str("  }\n}\n");
     std::fs::write("BENCH_api.json", &json).expect("write BENCH_api.json");
     println!("\nwrote BENCH_api.json");
 
-    // Acceptance bar: the backends that amortize their front end must beat
-    // one-shot simulation by at least 5x.
+    // Acceptance bars: the backends that amortize their front end must beat
+    // one-shot simulation by at least 5x, and decoding their persisted
+    // artifact must beat recompiling by at least 5x.
     for name in ["omnisim", "lightning"] {
         let row = rows.iter().find(|r| r.name == name).expect("row exists");
         assert!(
             row.speedup >= 5.0,
             "{name}: amortized runs must be >= 5x one-shot simulate, got {:.1}x",
             row.speedup
+        );
+        let warm = warm_rows
+            .iter()
+            .find(|r| r.name == name && r.workload == "fir_filter")
+            .expect("row exists");
+        assert!(
+            warm.speedup >= 5.0,
+            "{name}: warm starts must be >= 5x cold compiles on the \
+             compute-bound workload, got {:.1}x",
+            warm.speedup
         );
     }
 }

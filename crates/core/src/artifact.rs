@@ -1,0 +1,223 @@
+//! Versioned binary codec for the engine's compiled artifact.
+//!
+//! A [`CompiledOmni`] is, at heart, a frozen baseline [`OmniReport`]: the
+//! functional outputs plus the [`IncrementalState`] (event graph, per-FIFO
+//! access-node tables, recorded constraints) that answers every subsequent
+//! run. This module serializes exactly that — the design itself is *not*
+//! embedded; the artifact store keys entries by design content hash and
+//! supplies the design again at decode time.
+//!
+//! Encodings are canonical: the engine's freeze step renumbers graph nodes
+//! into `(thread, program-order)` order (see `engine.rs`), so two compiles
+//! of the same design produce byte-identical artifacts. Wall-clock timings
+//! are deliberately excluded — a decoded artifact reports zeroed
+//! [`compile_timings`](omnisim_api::CompiledSim::compile_timings), because
+//! the front-end work it represents was paid in some earlier process.
+
+use crate::config::SimConfig;
+use crate::incremental::{Constraint, IncrementalState};
+use crate::query::QueryKind;
+use crate::report::{OmniOutcome, OmniReport, SimStats};
+use crate::unified::CompiledOmni;
+use omnisim_api::SimTimings;
+use omnisim_codec::{frame, unframe, ByteReader, ByteWriter, CodecError};
+use omnisim_graph::{Edge, EventGraph, NodeId};
+use omnisim_ir::design::OutputMap;
+use omnisim_ir::{Design, FifoId};
+
+/// Magic bytes of an encoded engine artifact: "OmniSim Artifact / Omni".
+pub const OMNI_MAGIC: [u8; 4] = *b"OSAO";
+/// Current engine-artifact encoding version.
+pub const OMNI_VERSION: u16 = 1;
+
+/// Encodes a compiled engine artifact into a framed, checksummed byte
+/// vector.
+pub fn encode_compiled(compiled: &CompiledOmni) -> Vec<u8> {
+    let baseline = compiled.baseline();
+    let mut w = ByteWriter::with_capacity(4096);
+    let config = compiled.config();
+    w.u64(config.fuel);
+    w.bool(config.eliminate_dead_checks);
+    match &baseline.outcome {
+        OmniOutcome::Completed => w.u8(0),
+        OmniOutcome::Deadlock { blocked } => {
+            w.u8(1);
+            w.seq(blocked.iter(), |w, task| w.str(task));
+        }
+    }
+    w.seq(baseline.outputs.iter(), |w, (name, &value)| {
+        w.str(name);
+        w.i64(value);
+    });
+    w.u64(baseline.total_cycles);
+    write_stats(&mut w, &baseline.stats);
+    write_state(&mut w, &baseline.incremental);
+    frame(OMNI_MAGIC, OMNI_VERSION, &w.into_bytes())
+}
+
+/// Decodes an artifact encoded by [`encode_compiled`] against the design it
+/// was compiled from.
+///
+/// # Errors
+///
+/// Any [`CodecError`]; dangling node references surface as
+/// [`CodecError::Invalid`] so a corrupted file can never panic the longest-
+/// path machinery.
+pub fn decode_compiled(design: &Design, bytes: &[u8]) -> Result<CompiledOmni, CodecError> {
+    let payload = unframe(OMNI_MAGIC, OMNI_VERSION, bytes)?;
+    let mut r = ByteReader::new(payload);
+    let config = SimConfig {
+        fuel: r.u64()?,
+        eliminate_dead_checks: r.bool()?,
+    };
+    let outcome = match r.u8()? {
+        0 => OmniOutcome::Completed,
+        1 => OmniOutcome::Deadlock {
+            blocked: r.seq(|r| r.str())?,
+        },
+        tag => return Err(CodecError::Invalid(format!("outcome tag {tag}"))),
+    };
+    let mut outputs = OutputMap::new();
+    let entries = r.len()?;
+    for _ in 0..entries {
+        let name = r.str()?;
+        let value = r.i64()?;
+        outputs.insert(name, value);
+    }
+    let total_cycles = r.u64()?;
+    let stats = read_stats(&mut r)?;
+    let incremental = read_state(&mut r)?;
+    r.finish()?;
+    let baseline = OmniReport {
+        outcome,
+        outputs,
+        total_cycles,
+        timings: SimTimings::default(),
+        stats,
+        incremental,
+    };
+    Ok(CompiledOmni::from_baseline(design, config, baseline))
+}
+
+fn write_stats(w: &mut ByteWriter, stats: &SimStats) {
+    w.usize(stats.threads);
+    w.usize(stats.graph_nodes);
+    w.usize(stats.graph_edges);
+    w.u64(stats.fifo_accesses);
+    w.usize(stats.queries);
+    w.usize(stats.queries_forced_false);
+    w.usize(stats.constraints);
+    w.u64(stats.ops_executed);
+}
+
+fn read_stats(r: &mut ByteReader<'_>) -> Result<SimStats, CodecError> {
+    Ok(SimStats {
+        threads: r.usize()?,
+        graph_nodes: r.usize()?,
+        graph_edges: r.usize()?,
+        fifo_accesses: r.u64()?,
+        queries: r.usize()?,
+        queries_forced_false: r.usize()?,
+        constraints: r.usize()?,
+        ops_executed: r.u64()?,
+    })
+}
+
+fn write_state(w: &mut ByteWriter, state: &IncrementalState) {
+    let graph = &state.graph;
+    w.seq(graph.base_times().iter(), |w, &base| w.u64(base));
+    w.seq(graph.times().iter(), |w, &time| w.u64(time));
+    w.usize(graph.edge_count());
+    for edge in graph.edges() {
+        w.u32(edge.from.0);
+        w.u32(edge.to.0);
+        w.i64(edge.weight);
+    }
+    w.seq(state.fifo_write_nodes.iter(), |w, nodes| {
+        w.seq(nodes.iter(), |w, node| w.u32(node.0));
+    });
+    w.seq(state.fifo_write_blocking.iter(), |w, flags| {
+        w.seq(flags.iter(), |w, &flag| w.bool(flag));
+    });
+    w.seq(state.fifo_read_nodes.iter(), |w, nodes| {
+        w.seq(nodes.iter(), |w, node| w.u32(node.0));
+    });
+    w.seq(state.end_nodes.iter(), |w, node| {
+        w.opt(node.as_ref(), |w, node| w.u32(node.0));
+    });
+    w.seq(state.constraints.iter(), |w, constraint| {
+        w.u32(constraint.fifo.0);
+        w.u8(match constraint.kind {
+            QueryKind::NbWrite => 0,
+            QueryKind::NbRead => 1,
+            QueryKind::CanRead => 2,
+            QueryKind::CanWrite => 3,
+        });
+        w.usize(constraint.ordinal);
+        w.u32(constraint.node.0);
+        w.bool(constraint.outcome);
+    });
+    w.seq(state.original_depths.iter(), |w, &depth| w.usize(depth));
+}
+
+fn read_state(r: &mut ByteReader<'_>) -> Result<IncrementalState, CodecError> {
+    let base = r.seq(|r| r.u64())?;
+    let time = r.seq(|r| r.u64())?;
+    if base.len() != time.len() {
+        return Err(CodecError::Invalid(format!(
+            "graph has {} base times but {} node times",
+            base.len(),
+            time.len()
+        )));
+    }
+    let nodes = base.len();
+    let node = |raw: u32| -> Result<NodeId, CodecError> {
+        if (raw as usize) < nodes {
+            Ok(NodeId(raw))
+        } else {
+            Err(CodecError::Invalid(format!(
+                "node n{raw} out of range (graph has {nodes} nodes)"
+            )))
+        }
+    };
+    let edge_count = r.len()?;
+    let mut edges = Vec::with_capacity(edge_count.min(1 << 20));
+    for _ in 0..edge_count {
+        let from = node(r.u32()?)?;
+        let to = node(r.u32()?)?;
+        let weight = r.i64()?;
+        edges.push(Edge::new(from, to, weight));
+    }
+    let graph = EventGraph::from_parts(base, time, edges);
+    let fifo_write_nodes = r.seq(|r| r.seq(|r| node(r.u32()?)))?;
+    let fifo_write_blocking = r.seq(|r| r.seq(|r| r.bool()))?;
+    let fifo_read_nodes = r.seq(|r| r.seq(|r| node(r.u32()?)))?;
+    let end_nodes = r.seq(|r| r.opt(|r| node(r.u32()?)))?;
+    let constraints = r.seq(|r| {
+        let fifo = FifoId(r.u32()?);
+        let kind = match r.u8()? {
+            0 => QueryKind::NbWrite,
+            1 => QueryKind::NbRead,
+            2 => QueryKind::CanRead,
+            3 => QueryKind::CanWrite,
+            tag => return Err(CodecError::Invalid(format!("query kind tag {tag}"))),
+        };
+        Ok(Constraint {
+            fifo,
+            kind,
+            ordinal: r.usize()?,
+            node: node(r.u32()?)?,
+            outcome: r.bool()?,
+        })
+    })?;
+    let original_depths = r.seq(|r| r.usize())?;
+    Ok(IncrementalState {
+        graph,
+        fifo_write_nodes,
+        fifo_write_blocking,
+        fifo_read_nodes,
+        end_nodes,
+        constraints,
+        original_depths,
+    })
+}

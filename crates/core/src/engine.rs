@@ -8,7 +8,7 @@ use crate::query::{Query, QueryKind, QueryPool, Resolution};
 use crate::report::{OmniError, OmniOutcome, OmniReport, SimStats, SimTimings};
 use crate::request::{Request, Response, ThreadId};
 use crate::runtime::FuncRuntime;
-use omnisim_graph::{EventGraph, NodeId};
+use omnisim_graph::{Edge, EventGraph, NodeId};
 use omnisim_interp::{Interpreter, SimError};
 use omnisim_ir::design::OutputMap;
 use omnisim_ir::optimize::eliminate_dead_fifo_checks;
@@ -182,27 +182,30 @@ impl<'d> OmniSimulator<'d> {
         let outputs = std::mem::take(&mut perf.outputs);
         let deadlock = perf.deadlock.take();
 
-        let incremental = IncrementalState {
-            graph: std::mem::take(&mut perf.graph),
-            fifo_write_nodes: perf
-                .tables
-                .iter()
-                .map(|t| t.write_nodes().to_vec())
-                .collect(),
-            fifo_write_blocking: perf
-                .tables
-                .iter()
-                .map(|t| t.write_blocking_flags().to_vec())
-                .collect(),
-            fifo_read_nodes: perf
-                .tables
-                .iter()
-                .map(|t| t.read_nodes().to_vec())
-                .collect(),
-            end_nodes: std::mem::take(&mut perf.end_nodes),
-            constraints: std::mem::take(&mut perf.constraints),
-            original_depths: depths.clone(),
-        };
+        let incremental = canonicalize_incremental(
+            IncrementalState {
+                graph: std::mem::take(&mut perf.graph),
+                fifo_write_nodes: perf
+                    .tables
+                    .iter()
+                    .map(|t| t.write_nodes().to_vec())
+                    .collect(),
+                fifo_write_blocking: perf
+                    .tables
+                    .iter()
+                    .map(|t| t.write_blocking_flags().to_vec())
+                    .collect(),
+                fifo_read_nodes: perf
+                    .tables
+                    .iter()
+                    .map(|t| t.read_nodes().to_vec())
+                    .collect(),
+                end_nodes: std::mem::take(&mut perf.end_nodes),
+                constraints: std::mem::take(&mut perf.constraints),
+                original_depths: depths.clone(),
+            },
+            &std::mem::take(&mut perf.node_owner),
+        );
 
         let (outcome, total_cycles) = match deadlock {
             Some(blocked) => {
@@ -242,6 +245,84 @@ impl<'d> OmniSimulator<'d> {
     }
 }
 
+/// Renumbers a freshly frozen [`IncrementalState`] into canonical node
+/// order.
+///
+/// Node ids are handed out in cross-thread *arrival* order, which varies
+/// from run to run with OS scheduling; everything *about* a node is
+/// deterministic — its creating thread, its position in that thread's
+/// program order, its in-edges (all recorded in the same request-handling
+/// step that creates the node) and its online time (final before the node
+/// can ever serve as an edge source). Renumbering nodes by
+/// `(thread, per-thread creation order)` therefore maps every compile of a
+/// design onto one canonical `IncrementalState`, which is what lets the
+/// artifact store trust content-hash keys: equal designs produce
+/// byte-identical encoded artifacts. The same pass sorts the recorded
+/// constraints by canonical node id — each query owns exactly one node, so
+/// the order is total — fixing the constraint-recording-order
+/// nondeterminism noted in the ROADMAP.
+fn canonicalize_incremental(state: IncrementalState, node_owner: &[ThreadId]) -> IncrementalState {
+    let nodes = state.graph.len();
+    debug_assert_eq!(node_owner.len(), nodes);
+    // Stable sort by owning thread: ties keep creation order, which within
+    // one thread is its program order.
+    let mut order: Vec<u32> = (0..u32::try_from(nodes).expect("node count fits u32")).collect();
+    order.sort_by_key(|&old| node_owner[old as usize]);
+    let mut remap: Vec<NodeId> = vec![NodeId(0); nodes];
+    for (new, &old) in order.iter().enumerate() {
+        remap[old as usize] = NodeId::from_index(new);
+    }
+    let map = |node: NodeId| remap[node.index()];
+
+    let mut base = Vec::with_capacity(nodes);
+    let mut time = Vec::with_capacity(nodes);
+    for &old in &order {
+        base.push(state.graph.base(NodeId(old)));
+        time.push(state.graph.time(NodeId(old)));
+    }
+    // Re-emit edges grouped by canonical target node, preserving each
+    // node's in-edge order.
+    let mut per_target: Vec<Vec<Edge>> = vec![Vec::new(); nodes];
+    for edge in state.graph.edges() {
+        per_target[edge.to.index()].push(Edge::new(map(edge.from), map(edge.to), edge.weight));
+    }
+    let graph = EventGraph::from_parts(
+        base,
+        time,
+        order
+            .iter()
+            .flat_map(|&old| per_target[old as usize].iter().copied()),
+    );
+
+    let mut constraints = state.constraints;
+    for constraint in &mut constraints {
+        constraint.node = map(constraint.node);
+    }
+    constraints.sort_by_key(|constraint| constraint.node);
+
+    IncrementalState {
+        graph,
+        fifo_write_nodes: state
+            .fifo_write_nodes
+            .into_iter()
+            .map(|nodes| nodes.into_iter().map(map).collect())
+            .collect(),
+        fifo_write_blocking: state.fifo_write_blocking,
+        fifo_read_nodes: state
+            .fifo_read_nodes
+            .into_iter()
+            .map(|nodes| nodes.into_iter().map(map).collect())
+            .collect(),
+        end_nodes: state
+            .end_nodes
+            .into_iter()
+            .map(|node| node.map(map))
+            .collect(),
+        constraints,
+        original_depths: state.original_depths,
+    }
+}
+
 /// All state owned by the Perf Sim thread.
 struct PerfState<'d> {
     design: &'d Design,
@@ -251,6 +332,11 @@ struct PerfState<'d> {
 
     tables: Vec<FifoTable>,
     graph: EventGraph,
+    /// Creating thread of every graph node, in creation order. Node ids are
+    /// handed out in cross-thread *arrival* order, which is scheduler
+    /// nondeterministic; this is the evidence the freeze step uses to
+    /// renumber them into canonical `(thread, program-order)` order.
+    node_owner: Vec<ThreadId>,
     last_node: Vec<Option<(NodeId, u64)>>,
     /// Per `[thread][bus]`: the event node of every issued AXI read-burst
     /// request, in issue order — beats anchor to their burst's request node.
@@ -306,6 +392,7 @@ impl<'d> PerfState<'d> {
             responders,
             tables: (0..design.fifos.len()).map(|_| FifoTable::new()).collect(),
             graph: EventGraph::new(),
+            node_owner: Vec::new(),
             last_node: vec![None; threads],
             axi_read_req_nodes: vec![vec![Vec::new(); design.axi_ports.len()]; threads],
             axi_last_write_beat: vec![vec![None; design.axi_ports.len()]; threads],
@@ -412,6 +499,8 @@ impl<'d> PerfState<'d> {
             }
             None => self.graph.add_node(request),
         };
+        self.node_owner.push(thread);
+        debug_assert_eq!(self.node_owner.len(), self.graph.len());
         self.last_node[thread] = Some((node, commit));
         node
     }

@@ -93,6 +93,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod artifact;
 pub mod config;
 pub mod engine;
 pub mod fifo_table;

@@ -59,6 +59,7 @@ impl Simulator for OmniBackend {
             incremental_dse: true,
             compiled_dse: true,
             compiled_run: true,
+            serializable_artifact: true,
         }
     }
 
@@ -66,6 +67,18 @@ impl Simulator for OmniBackend {
         CompiledOmni::compile(design, self.config)
             .map(|compiled| Box::new(compiled) as Box<dyn CompiledSim>)
             .map_err(SimFailure::from)
+    }
+
+    fn decode_artifact(
+        &self,
+        design: &Design,
+        bytes: &[u8],
+    ) -> Result<Box<dyn CompiledSim>, SimFailure> {
+        crate::artifact::decode_compiled(design, bytes)
+            .map(|compiled| Box::new(compiled) as Box<dyn CompiledSim>)
+            .map_err(|error| {
+                SimFailure::internal("omnisim", format!("artifact decode failed: {error}"))
+            })
     }
 
     // One-shot runs stay native: the report hands its `IncrementalState`
@@ -247,6 +260,10 @@ impl CompiledSim for CompiledOmni {
 
     fn run(&self, config: &RunConfig) -> Result<SimReport, SimFailure> {
         self.run_native(config).map_err(SimFailure::from)
+    }
+
+    fn encode(&self) -> Option<Vec<u8>> {
+        Some(crate::artifact::encode_compiled(self))
     }
 
     fn as_any(&self) -> &dyn Any {

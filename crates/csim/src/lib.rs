@@ -67,6 +67,7 @@
 use omnisim_api::{
     Capabilities, CompiledSim, RunConfig, SimFailure, SimOutcome, SimReport, SimTimings, Simulator,
 };
+use omnisim_codec::{frame, unframe, ByteReader, ByteWriter, CodecError};
 use omnisim_interp::{Interpreter, SimBackend, SimError};
 use omnisim_ir::design::OutputMap;
 use omnisim_ir::schedule::BlockSchedule;
@@ -225,6 +226,7 @@ impl Simulator for CsimBackend {
             incremental_dse: false,
             compiled_dse: false,
             compiled_run: true,
+            serializable_artifact: true,
         }
     }
 
@@ -246,6 +248,161 @@ impl Simulator for CsimBackend {
     fn simulate(&self, design: &Design) -> Result<SimReport, SimFailure> {
         Ok(simulate_with_config(design, self.config).into())
     }
+
+    fn decode_artifact(
+        &self,
+        design: &Design,
+        bytes: &[u8],
+    ) -> Result<Box<dyn CompiledSim>, SimFailure> {
+        decode_compiled(design, bytes)
+            .map(|compiled| Box::new(compiled) as Box<dyn CompiledSim>)
+            .map_err(|error| {
+                SimFailure::internal("csim", format!("artifact decode failed: {error}"))
+            })
+    }
+}
+
+/// Magic bytes of an encoded C-simulation artifact.
+pub const CSIM_MAGIC: [u8; 4] = *b"OSAC";
+/// Current C-simulation artifact encoding version.
+pub const CSIM_VERSION: u16 = 1;
+
+/// Encodes a compiled C-simulation artifact: the configuration plus the
+/// cached functional evaluation the runs replay. Host wall-clock times are
+/// excluded; a decoded artifact reports zeroed timings.
+///
+/// Unknown future [`SimError`] variants (the enum is `non_exhaustive`)
+/// degrade to [`SimError::Aborted`] carrying the display string, preserving
+/// the user-visible diagnosis.
+pub fn encode_compiled(compiled: &CompiledCsim) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(256);
+    w.str(&compiled.design.name);
+    w.u64(compiled.config.fuel);
+    match &compiled.cached.outcome {
+        CsimOutcome::Completed => w.u8(0),
+        CsimOutcome::Crashed { error, task_index } => {
+            w.u8(1);
+            write_sim_error(&mut w, error);
+            w.usize(*task_index);
+        }
+    }
+    w.seq(compiled.cached.outputs.iter(), |w, (name, &value)| {
+        w.str(name);
+        w.i64(value);
+    });
+    w.seq(compiled.cached.warnings.iter(), |w, (message, &count)| {
+        w.str(message);
+        w.usize(count);
+    });
+    frame(CSIM_MAGIC, CSIM_VERSION, &w.into_bytes())
+}
+
+/// Decodes an artifact encoded by [`encode_compiled`] against the design it
+/// was compiled from.
+///
+/// # Errors
+///
+/// Any [`CodecError`]; an artifact naming a different design surfaces as
+/// [`CodecError::Invalid`].
+pub fn decode_compiled(design: &Design, bytes: &[u8]) -> Result<CompiledCsim, CodecError> {
+    let payload = unframe(CSIM_MAGIC, CSIM_VERSION, bytes)?;
+    let mut r = ByteReader::new(payload);
+    let design_name = r.str()?;
+    if design_name != design.name {
+        return Err(CodecError::Invalid(format!(
+            "artifact belongs to design '{design_name}', not '{}'",
+            design.name
+        )));
+    }
+    let config = CsimConfig { fuel: r.u64()? };
+    let outcome = match r.u8()? {
+        0 => CsimOutcome::Completed,
+        1 => {
+            let error = read_sim_error(&mut r)?;
+            let task_index = r.usize()?;
+            CsimOutcome::Crashed { error, task_index }
+        }
+        tag => return Err(CodecError::Invalid(format!("outcome tag {tag}"))),
+    };
+    let mut outputs = OutputMap::new();
+    for _ in 0..r.len()? {
+        let name = r.str()?;
+        let value = r.i64()?;
+        outputs.insert(name, value);
+    }
+    let mut warnings = BTreeMap::new();
+    for _ in 0..r.len()? {
+        let message = r.str()?;
+        let count = r.usize()?;
+        warnings.insert(message, count);
+    }
+    r.finish()?;
+    Ok(CompiledCsim {
+        design: design.clone(),
+        config,
+        cached: CsimReport {
+            outcome,
+            outputs,
+            warnings,
+            wall_time: Duration::ZERO,
+        },
+        compile_timings: SimTimings::default(),
+    })
+}
+
+fn write_sim_error(w: &mut ByteWriter, error: &SimError) {
+    match error {
+        SimError::ArrayOutOfBounds { array, index, len } => {
+            w.u8(0);
+            w.u32(array.0);
+            w.i64(*index);
+            w.usize(*len);
+        }
+        SimError::OutOfFuel { module } => {
+            w.u8(1);
+            w.u32(module.0);
+        }
+        SimError::Deadlock { detail } => {
+            w.u8(2);
+            w.str(detail);
+        }
+        SimError::AxiProtocolViolation { detail } => {
+            w.u8(3);
+            w.str(detail);
+        }
+        SimError::ReadWhileEmpty { fifo } => {
+            w.u8(4);
+            w.u32(fifo.0);
+        }
+        SimError::Aborted { reason } => {
+            w.u8(5);
+            w.str(reason);
+        }
+        other => {
+            w.u8(5);
+            w.str(&other.to_string());
+        }
+    }
+}
+
+fn read_sim_error(r: &mut ByteReader<'_>) -> Result<SimError, CodecError> {
+    Ok(match r.u8()? {
+        0 => SimError::ArrayOutOfBounds {
+            array: ArrayId(r.u32()?),
+            index: r.i64()?,
+            len: r.usize()?,
+        },
+        1 => SimError::OutOfFuel {
+            module: ModuleId(r.u32()?),
+        },
+        2 => SimError::Deadlock { detail: r.str()? },
+        3 => SimError::AxiProtocolViolation { detail: r.str()? },
+        4 => SimError::ReadWhileEmpty {
+            fifo: FifoId(r.u32()?),
+        },
+        5 => SimError::Aborted { reason: r.str()? },
+        tag => return Err(CodecError::Invalid(format!("sim error tag {tag}"))),
+    })
 }
 
 /// C simulation compiled for repeated runs.
@@ -300,6 +457,10 @@ impl CompiledSim for CompiledCsim {
             ..SimTimings::default()
         };
         Ok(unified)
+    }
+
+    fn encode(&self) -> Option<Vec<u8>> {
+        Some(encode_compiled(self))
     }
 
     fn as_any(&self) -> &dyn Any {

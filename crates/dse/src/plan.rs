@@ -34,7 +34,7 @@
 
 use crate::pool;
 use omnisim::{CompiledOmni, IncrementalOutcome, IncrementalState, OmniError};
-use omnisim_api::{CompiledSim, SimReport};
+use omnisim_api::CompiledSim;
 use omnisim_graph::{CsrGraph, CsrGraphBuilder, CycleError, Edge, NodeId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -336,22 +336,6 @@ impl SweepPlan {
             .as_any()
             .downcast_ref::<CompiledOmni>()
             .map(|omni| SweepPlan::compile(omni.state()))
-    }
-
-    /// Compiles a plan from a unified [`SimReport`], if the backend shipped
-    /// an [`IncrementalState`] in the report extras (the `omnisim` backend
-    /// does; see `Capabilities::compiled_dse`).
-    #[deprecated(
-        since = "0.1.0",
-        note = "compile the design once with `Simulator::compile` and use \
-                `SweepPlan::from_compiled` on the session artifact; the \
-                extras side-channel is kept only for one-shot reports"
-    )]
-    pub fn from_report(report: &SimReport) -> Option<Result<SweepPlan, CycleError>> {
-        report
-            .extras
-            .get::<IncrementalState>()
-            .map(SweepPlan::compile)
     }
 
     /// Number of FIFOs the plan was compiled for.
@@ -779,7 +763,7 @@ mod tests {
     use super::*;
     use omnisim::test_fixtures::{nb_drop_counter, producer_consumer};
     use omnisim::{OmniBackend, OmniSimulator};
-    use omnisim_api::Simulator;
+    use omnisim_api::{SimReport, Simulator};
 
     /// Deterministic xorshift64* so the randomized grids are reproducible.
     struct Rng(u64);
@@ -913,24 +897,25 @@ mod tests {
         assert!(SweepPlan::from_compiled(rtl.as_ref()).is_none());
     }
 
-    /// The retired extras side-channel must keep returning the *identical*
-    /// plan as the session path until it is removed. Both paths are built
-    /// from the *same* baseline run: constraint recording order is an
-    /// artifact of request arrival, so two independent engine runs can
-    /// order an identical constraint set differently (the verdicts and
-    /// latencies never differ, but first-violated *indices* can).
+    /// A one-shot report's extras payload (`IncrementalState`) and the
+    /// session artifact built around the *same* baseline run must compile
+    /// to the identical plan (`SweepPlan::from_report` is gone; extras
+    /// consumers call [`SweepPlan::compile`] on the state directly).
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_from_report_matches_from_compiled() {
+    fn extras_state_compiles_identical_plan_to_session_artifact() {
         use omnisim::{CompiledOmni, OmniOutcome, OmniReport, SimConfig, SimStats};
 
         let design = nb_drop_counter(32, 2, 3);
         let native = OmniSimulator::new(&design).run().unwrap();
         assert!(native.outcome.is_completed());
         let mut report: SimReport = native.into();
-        let via_report = SweepPlan::from_report(&report)
-            .expect("one-shot reports still ship the extras payload")
-            .expect("plan compiles");
+        let via_report = SweepPlan::compile(
+            report
+                .extras
+                .get::<IncrementalState>()
+                .expect("one-shot reports still ship the extras payload"),
+        )
+        .expect("plan compiles");
 
         // Rebuild the session artifact around the very same baseline.
         let stats = *report.extras.get::<SimStats>().unwrap();

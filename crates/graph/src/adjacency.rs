@@ -131,6 +131,64 @@ impl EventGraph {
         self.time.iter().copied().max().unwrap_or(0)
     }
 
+    /// All intrinsic base cycles, indexed by node.
+    pub fn base_times(&self) -> &[u64] {
+        &self.base
+    }
+
+    /// All current node times, indexed by node. Online these are lower
+    /// bounds; after [`EventGraph::recompute`] they are exact.
+    pub fn times(&self) -> &[u64] {
+        &self.time
+    }
+
+    /// Reassembles a graph from its serialized parts: per-node base cycles,
+    /// per-node stored times, and the edge list in [`EventGraph::edges`]
+    /// order.
+    ///
+    /// The stored `time` values are adopted **verbatim** — unlike
+    /// [`EventGraph::add_edge`], no online lower-bound propagation runs — so
+    /// a decoded graph reports exactly the times the encoded graph held
+    /// (including online lower bounds frozen mid-construction, which a
+    /// replayed construction could not reproduce). Feeding edges back in
+    /// `edges()` order also reproduces the inline-first/spilled-rest
+    /// predecessor layout, making encode(decode(g)) byte-identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` and `time` differ in length or an edge references a
+    /// node out of range; decoders validate before calling.
+    pub fn from_parts(
+        base: Vec<u64>,
+        time: Vec<u64>,
+        edges: impl IntoIterator<Item = Edge>,
+    ) -> Self {
+        assert_eq!(base.len(), time.len(), "base/time length mismatch");
+        let nodes = base.len();
+        let mut graph = EventGraph {
+            base,
+            preds: vec![NodePreds::default(); nodes],
+            time,
+            edge_count: 0,
+        };
+        for edge in edges {
+            assert!(edge.from.index() < nodes, "edge source out of range");
+            assert!(edge.to.index() < nodes, "edge target out of range");
+            let pred = PredEdge {
+                from: edge.from,
+                weight: edge.weight,
+            };
+            let slot = &mut graph.preds[edge.to.index()];
+            if slot.first.is_none() {
+                slot.first = Some(pred);
+            } else {
+                slot.rest.push(pred);
+            }
+            graph.edge_count += 1;
+        }
+        graph
+    }
+
     /// Iterates over all edges of the graph.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + Clone + '_ {
         self.preds.iter().enumerate().flat_map(|(to, preds)| {
@@ -241,5 +299,36 @@ mod tests {
         let mut g = EventGraph::new();
         let a = g.add_node(0);
         g.add_edge(a, NodeId(5), 1);
+    }
+
+    #[test]
+    fn from_parts_preserves_stored_times_and_edge_order() {
+        let mut g = EventGraph::new();
+        let a = g.add_node(0);
+        let b = g.add_node(2);
+        let c = g.add_node(0);
+        g.add_edge(a, b, 5);
+        g.add_edge(b, c, 1);
+        g.add_edge(a, c, 9);
+        // Raise a base *after* the edges: the online times of b/c are now
+        // stale lower bounds that a naive add_edge replay cannot reproduce.
+        g.raise_base(a, 10);
+
+        let rebuilt =
+            EventGraph::from_parts(g.base_times().to_vec(), g.times().to_vec(), g.edges());
+        assert_eq!(rebuilt.len(), g.len());
+        assert_eq!(rebuilt.edge_count(), g.edge_count());
+        assert_eq!(rebuilt.times(), g.times(), "stored times adopted verbatim");
+        assert_eq!(rebuilt.base_times(), g.base_times());
+        let original: Vec<_> = g.edges().collect();
+        let roundtrip: Vec<_> = rebuilt.edges().collect();
+        assert_eq!(original, roundtrip, "edges() order survives the rebuild");
+        assert_eq!(rebuilt.max_time(), g.max_time());
+
+        // And both recompute to the same exact times.
+        let mut g2 = rebuilt.clone();
+        let mut g1 = g.clone();
+        assert_eq!(g1.recompute().unwrap(), g2.recompute().unwrap());
+        assert_eq!(g1.times(), g2.times());
     }
 }

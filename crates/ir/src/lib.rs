@@ -67,6 +67,7 @@ pub mod optimize;
 pub mod schedule;
 pub mod taxonomy;
 pub mod validate;
+pub mod wire;
 
 pub use builder::{BlockBuilder, DesignBuilder, ModuleBuilder};
 pub use design::{ArraySpec, AxiPortSpec, Design, FifoSpec, Module, ModuleKind};

@@ -1,0 +1,132 @@
+//! Versioned binary codec for the baseline's compiled artifact.
+//!
+//! A [`CompiledLightning`] is the Phase 1 trace — the frozen CSR simulation
+//! graph, the per-FIFO access-node orders and the functional outputs — plus
+//! the pre-analyzed declared-depth cycle count. Phase 1 is the expensive
+//! half of LightningSim (it executes the whole design), so warm-starting
+//! from this encoding skips exactly the cost the two-phase split was built
+//! to amortize. Phase 1 runs tasks sequentially, so the trace is
+//! deterministic and encodings are canonical without any extra
+//! normalization pass.
+//!
+//! The design is not embedded (the store keys artifacts by design content
+//! hash); decode cross-checks the supplied design's name and declared
+//! depths against the artifact as a cheap wrong-design guard.
+
+use crate::trace::LightningTrace;
+use crate::unified::CompiledLightning;
+use omnisim_api::SimTimings;
+use omnisim_codec::{frame, unframe, ByteReader, ByteWriter, CodecError};
+use omnisim_graph::{CsrGraphBuilder, NodeId};
+use omnisim_ir::design::OutputMap;
+use omnisim_ir::Design;
+
+/// Magic bytes of an encoded baseline artifact: "OmniSim Artifact /
+/// Lightning".
+pub const LIGHTNING_MAGIC: [u8; 4] = *b"OSAL";
+/// Current baseline-artifact encoding version.
+pub const LIGHTNING_VERSION: u16 = 1;
+
+/// Encodes a compiled baseline artifact into a framed, checksummed byte
+/// vector.
+pub fn encode_compiled(compiled: &CompiledLightning) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(4096);
+    w.str(&compiled.design_name);
+    w.seq(compiled.declared_depths.iter(), |w, &depth| w.usize(depth));
+    w.opt(compiled.baseline_cycles, |w, cycles| w.u64(cycles));
+    let trace = &compiled.trace;
+    w.seq(trace.graph.base_times().iter(), |w, &base| w.u64(base));
+    w.usize(trace.graph.edge_count());
+    for edge in trace.graph.edges() {
+        w.u32(edge.from.0);
+        w.u32(edge.to.0);
+        w.i64(edge.weight);
+    }
+    w.seq(trace.fifo_writes.iter(), |w, nodes| {
+        w.seq(nodes.iter(), |w, node| w.u32(node.0));
+    });
+    w.seq(trace.fifo_reads.iter(), |w, nodes| {
+        w.seq(nodes.iter(), |w, node| w.u32(node.0));
+    });
+    w.seq(trace.end_nodes.iter(), |w, node| w.u32(node.0));
+    w.seq(trace.outputs.iter(), |w, (name, &value)| {
+        w.str(name);
+        w.i64(value);
+    });
+    frame(LIGHTNING_MAGIC, LIGHTNING_VERSION, &w.into_bytes())
+}
+
+/// Decodes an artifact encoded by [`encode_compiled`] against the design it
+/// was compiled from.
+///
+/// # Errors
+///
+/// Any [`CodecError`]; dangling node references and artifacts that do not
+/// belong to `design` surface as [`CodecError::Invalid`].
+pub fn decode_compiled(design: &Design, bytes: &[u8]) -> Result<CompiledLightning, CodecError> {
+    let payload = unframe(LIGHTNING_MAGIC, LIGHTNING_VERSION, bytes)?;
+    let mut r = ByteReader::new(payload);
+    let design_name = r.str()?;
+    let declared_depths = r.seq(|r| r.usize())?;
+    if design_name != design.name || declared_depths != design.fifo_depths() {
+        return Err(CodecError::Invalid(format!(
+            "artifact belongs to design '{design_name}', not '{}'",
+            design.name
+        )));
+    }
+    let baseline_cycles = r.opt(|r| r.u64())?;
+    let base = r.seq(|r| r.u64())?;
+    let nodes = base.len();
+    let node = |raw: u32| -> Result<NodeId, CodecError> {
+        if (raw as usize) < nodes {
+            Ok(NodeId(raw))
+        } else {
+            Err(CodecError::Invalid(format!(
+                "node n{raw} out of range (graph has {nodes} nodes)"
+            )))
+        }
+    };
+    let mut builder = CsrGraphBuilder::new();
+    for &b in &base {
+        builder.add_node(b);
+    }
+    let edge_count = r.len()?;
+    for _ in 0..edge_count {
+        let from = node(r.u32()?)?;
+        let to = node(r.u32()?)?;
+        let weight = r.i64()?;
+        builder.add_edge(from, to, weight);
+    }
+    let graph = builder.build();
+    let fifo_writes = r.seq(|r| r.seq(|r| node(r.u32()?)))?;
+    let fifo_reads = r.seq(|r| r.seq(|r| node(r.u32()?)))?;
+    let end_nodes = r.seq(|r| node(r.u32()?))?;
+    let mut outputs = OutputMap::new();
+    let entries = r.len()?;
+    for _ in 0..entries {
+        let name = r.str()?;
+        let value = r.i64()?;
+        outputs.insert(name, value);
+    }
+    r.finish()?;
+    if fifo_writes.len() != design.fifos.len() || fifo_reads.len() != design.fifos.len() {
+        return Err(CodecError::Invalid(format!(
+            "artifact has {} fifo orders but the design has {} fifos",
+            fifo_writes.len(),
+            design.fifos.len()
+        )));
+    }
+    Ok(CompiledLightning {
+        design_name,
+        declared_depths,
+        baseline_cycles,
+        trace: LightningTrace {
+            graph,
+            fifo_writes,
+            fifo_reads,
+            end_nodes,
+            outputs,
+        },
+        compile_timings: SimTimings::default(),
+    })
+}

@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod artifact;
 mod error;
 mod report;
 mod simulator;

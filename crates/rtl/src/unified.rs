@@ -7,9 +7,15 @@ use crate::simulator::{RtlConfig, RtlSimulator};
 use omnisim_api::{
     Capabilities, CompiledSim, RunConfig, SimFailure, SimOutcome, SimReport, SimTimings, Simulator,
 };
+use omnisim_codec::{frame, unframe, ByteReader, ByteWriter, CodecError};
 use omnisim_ir::{Design, ModuleId};
 use std::any::Any;
 use std::time::Instant;
+
+/// Magic bytes of an encoded reference-simulator artifact.
+pub const RTL_MAGIC: [u8; 4] = *b"OSAR";
+/// Current reference-artifact encoding version.
+pub const RTL_VERSION: u16 = 1;
 
 /// The cycle-stepped reference simulator as a unified [`Simulator`] backend.
 ///
@@ -45,6 +51,7 @@ impl Simulator for RtlBackend {
             incremental_dse: false,
             compiled_dse: false,
             compiled_run: true,
+            serializable_artifact: true,
         }
     }
 
@@ -64,6 +71,62 @@ impl Simulator for RtlBackend {
             },
         }))
     }
+
+    fn decode_artifact(
+        &self,
+        design: &Design,
+        bytes: &[u8],
+    ) -> Result<Box<dyn CompiledSim>, SimFailure> {
+        decode_compiled(design, bytes)
+            .map(|compiled| Box::new(compiled) as Box<dyn CompiledSim>)
+            .map_err(|error| {
+                SimFailure::internal("rtl", format!("artifact decode failed: {error}"))
+            })
+    }
+}
+
+/// Encodes a compiled reference-simulator artifact.
+///
+/// The reference simulator re-steps every cycle per run, so its artifact
+/// holds nothing the design cannot re-derive — only the compile-time
+/// [`RtlConfig`] (plus the design name as a wrong-design guard) needs to
+/// survive the round trip; elaboration (design clone, task list, declared
+/// depths) is repeated at decode time.
+pub fn encode_compiled(compiled: &CompiledRtl) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.str(&compiled.design.name);
+    w.u64(compiled.config.max_cycles);
+    frame(RTL_MAGIC, RTL_VERSION, &w.into_bytes())
+}
+
+/// Decodes an artifact encoded by [`encode_compiled`] against the design it
+/// was compiled from.
+///
+/// # Errors
+///
+/// Any [`CodecError`]; an artifact naming a different design surfaces as
+/// [`CodecError::Invalid`].
+pub fn decode_compiled(design: &Design, bytes: &[u8]) -> Result<CompiledRtl, CodecError> {
+    let payload = unframe(RTL_MAGIC, RTL_VERSION, bytes)?;
+    let mut r = ByteReader::new(payload);
+    let design_name = r.str()?;
+    if design_name != design.name {
+        return Err(CodecError::Invalid(format!(
+            "artifact belongs to design '{design_name}', not '{}'",
+            design.name
+        )));
+    }
+    let config = RtlConfig {
+        max_cycles: r.u64()?,
+    };
+    r.finish()?;
+    Ok(CompiledRtl {
+        design: design.clone(),
+        tasks: design.dataflow_tasks(),
+        declared_depths: design.fifo_depths(),
+        config,
+        compile_timings: SimTimings::default(),
+    })
 }
 
 /// The reference simulator's session artifact: the elaborated design and
@@ -128,6 +191,10 @@ impl CompiledSim for CompiledRtl {
             .run()
             .map(SimReport::from)
             .map_err(|error| SimFailure::execution("rtl", error.to_string()))
+    }
+
+    fn encode(&self) -> Option<Vec<u8>> {
+        Some(encode_compiled(self))
     }
 
     fn as_any(&self) -> &dyn Any {

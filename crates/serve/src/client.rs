@@ -1,0 +1,146 @@
+//! The thin blocking client of the serving tier: one TCP connection, one
+//! request/response exchange at a time.
+
+use crate::service::{DesignKey, ServiceStats};
+use crate::wire::{read_response, write_request, Request, Response, WireReport};
+use omnisim_api::RunConfig;
+use omnisim_ir::Design;
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed or was closed mid-exchange.
+    Io(io::Error),
+    /// The server rejected the batch under admission control; the caller
+    /// may retry later or shrink the batch.
+    Overloaded {
+        /// The server's in-flight run budget.
+        limit: usize,
+    },
+    /// The server reported a request-level failure (unknown design,
+    /// unsupported backend, …).
+    Server(String),
+    /// The server answered with a response the call did not expect.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(error) => write!(f, "connection failed: {error}"),
+            ClientError::Overloaded { limit } => {
+                write!(f, "server overloaded (in-flight budget {limit})")
+            }
+            ClientError::Server(message) => write!(f, "server error: {message}"),
+            ClientError::Protocol(message) => write!(f, "protocol error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(error: io::Error) -> Self {
+        ClientError::Io(error)
+    }
+}
+
+/// A blocking client of a [`crate::Server`]. Calls are sequential: each
+/// sends one request and waits for its response.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving-tier server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection failure.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_request(&mut self.stream, request)?;
+        read_response(&mut self.stream)?.ok_or_else(|| {
+            ClientError::Protocol("server closed the connection before responding".into())
+        })
+    }
+
+    /// Registers a design with the remote service, returning its key.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the backend rejects the design.
+    pub fn register(&mut self, design: &Design) -> Result<DesignKey, ClientError> {
+        match self.exchange(&Request::Register {
+            design: design.clone(),
+        })? {
+            Response::Registered { key } => Ok(DesignKey::from_raw(key)),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to register: {other:?}"
+            ))),
+        }
+    }
+
+    /// Runs a batch of requests remotely, returning one result per request
+    /// in request order (failures as the server's failure strings).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Overloaded`] when admission control rejects the
+    /// batch.
+    pub fn run_batch(
+        &mut self,
+        requests: &[(DesignKey, RunConfig)],
+    ) -> Result<Vec<Result<WireReport, String>>, ClientError> {
+        let raw: Vec<(u64, RunConfig)> = requests
+            .iter()
+            .map(|(key, config)| (key.raw(), config.clone()))
+            .collect();
+        match self.exchange(&Request::RunBatch { requests: raw })? {
+            Response::BatchResults { results } => Ok(results),
+            Response::Overloaded { limit } => Err(ClientError::Overloaded { limit }),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to run_batch: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the remote service's counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on an unexpected response.
+    pub fn stats(&mut self) -> Result<ServiceStats, ClientError> {
+        match self.exchange(&Request::Stats)? {
+            Response::StatsReply { stats } => Ok(stats),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to shut down, consuming the client.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on an unexpected response.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        match self.exchange(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to shutdown: {other:?}"
+            ))),
+        }
+    }
+}

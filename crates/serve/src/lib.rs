@@ -1,0 +1,53 @@
+//! # omnisim-serve
+//!
+//! The persistent serving tier of the OmniSim reproduction: a concurrent
+//! compile-once / run-many [`SimService`], a disk-backed [`ArtifactStore`]
+//! that warm-starts registrations across process restarts, and a std-only
+//! TCP [`Server`]/[`Client`] pair speaking a length-prefixed binary wire
+//! protocol over batched runs.
+//!
+//! The ROADMAP's north star is serving heavy simulation traffic — many
+//! users, many queries, few distinct designs. The expensive half of every
+//! query (front-end elaboration, trace/event-graph construction) depends
+//! only on the design, so this crate amortizes it at three scopes:
+//!
+//! 1. **In process** — [`SimService`] keeps a registry of compiled
+//!    artifacts keyed by design content hash; re-registering a design is a
+//!    cache hit. An optional LRU capacity ([`SimService::with_capacity`])
+//!    bounds registry memory.
+//! 2. **Across processes, over time** — an [`ArtifactStore`] persists each
+//!    backend's serialized artifact (see `omnisim-codec` and the per-backend
+//!    `encode`/`decode_artifact` codecs) to disk under a content-hash file
+//!    name. A fresh process registering a known design *decodes* instead of
+//!    compiling — a warm start that skips the front end entirely.
+//! 3. **Across machines, concurrently** — [`Server`] exposes a service over
+//!    TCP with admission control (bounded in-flight runs, typed
+//!    [`wire::Response::Overloaded`] rejection) and graceful shutdown;
+//!    [`Client`] is the thin blocking counterpart.
+//!
+//! ```
+//! use omnisim_serve::SimService;
+//! use omnisim_api::{RunConfig, Simulator};
+//!
+//! let backend: Box<dyn Simulator> = Box::new(omnisim::OmniBackend::default());
+//! let service = SimService::new(backend);
+//! let design = omnisim_designs::typea::vecadd_stream(16, 2);
+//! let key = service.register(&design).unwrap();
+//! let report = service.run(key, &RunConfig::default()).unwrap();
+//! assert!(report.outcome.is_completed());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod client;
+mod server;
+mod service;
+mod store;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use server::{Server, ServerHandle};
+pub use service::{design_key, DesignKey, ServiceStats, SimService};
+pub use store::{ArtifactStore, StoreStats};

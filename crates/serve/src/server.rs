@@ -1,0 +1,269 @@
+//! The multi-process front: a std-only TCP server exposing a
+//! [`SimService`] through the [`crate::wire`] protocol.
+//!
+//! One thread per connection, each serving a sequence of length-prefixed
+//! requests. Admission control bounds the number of *runs* in flight
+//! across all connections: a batch that would push the total past the
+//! budget is rejected with a typed [`Response::Overloaded`] instead of
+//! queueing unboundedly — the client decides whether to retry, shrink the
+//! batch or go elsewhere. Shutdown is graceful: a [`Request::Shutdown`]
+//! (or [`ServerHandle::shutdown`]) stops the accept loop, and the server
+//! drains open connections before returning.
+
+use crate::service::{DesignKey, SimService};
+use crate::wire::{read_request, write_response, Request, Response, WireReport};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Default bound on runs in flight across all connections.
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 1024;
+
+struct Shared {
+    service: SimService,
+    local_addr: SocketAddr,
+    max_in_flight: usize,
+    in_flight: AtomicUsize,
+    shutdown: AtomicBool,
+}
+
+/// A TCP server wrapping a [`SimService`]. Created with [`Server::bind`];
+/// [`Server::serve`] blocks until shut down.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+/// A cloneable handle to a running (or about-to-run) [`Server`], used to
+/// shut it down from another thread.
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds a listener and wraps the service, with the default in-flight
+    /// budget. Binding to port 0 picks a free port; see
+    /// [`Server::local_addr`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(service: SimService, addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        Ok(Server {
+            listener,
+            shared: Arc::new(Shared {
+                service,
+                local_addr,
+                max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+                in_flight: AtomicUsize::new(0),
+                shutdown: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// Replaces the in-flight run budget (clamped to at least one run).
+    pub fn with_max_in_flight(mut self, runs: usize) -> Self {
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("budget is configured before the server is shared");
+        shared.max_in_flight = runs.max(1);
+        self
+    }
+
+    /// The bound address (useful after binding port 0).
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; mirrors [`TcpListener::local_addr`].
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for shutting the server down from another thread.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Accepts and serves connections until shut down, then drains open
+    /// connections and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures (per-connection I/O errors only end that
+    /// connection).
+    pub fn serve(self) -> io::Result<()> {
+        let mut connections = Vec::new();
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let shared = Arc::clone(&self.shared);
+            connections.push(std::thread::spawn(move || {
+                let _ = serve_connection(&shared, stream);
+            }));
+        }
+        for connection in connections {
+            let _ = connection.join();
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.shared.local_addr)
+            .field("backend", &self.shared.service.backend_name())
+            .field("max_in_flight", &self.shared.max_in_flight)
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("addr", &self.shared.local_addr)
+            .finish()
+    }
+}
+
+impl ServerHandle {
+    /// The server's bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Requests shutdown: the accept loop exits on its next wake-up. Safe
+    /// to call from any thread, any number of times.
+    pub fn shutdown(&self) {
+        trigger_shutdown(&self.shared);
+    }
+}
+
+fn trigger_shutdown(shared: &Shared) {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // The accept loop blocks in `accept`; poke it awake with a throwaway
+    // connection so the flag is observed promptly.
+    let _ = TcpStream::connect(shared.local_addr);
+}
+
+fn serve_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
+    while let Some(request) = read_request(&mut stream)? {
+        let shutting_down = matches!(request, Request::Shutdown);
+        let response = respond(shared, request);
+        write_response(&mut stream, &response)?;
+        if shutting_down {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn respond(shared: &Shared, request: Request) -> Response {
+    match request {
+        Request::Register { design } => match shared.service.register(&design) {
+            Ok(key) => Response::Registered { key: key.raw() },
+            Err(failure) => Response::Error {
+                message: failure.to_string(),
+            },
+        },
+        Request::RunBatch { requests } => {
+            let batch = requests.len();
+            let before = shared.in_flight.fetch_add(batch, Ordering::SeqCst);
+            if before + batch > shared.max_in_flight {
+                shared.in_flight.fetch_sub(batch, Ordering::SeqCst);
+                return Response::Overloaded {
+                    limit: shared.max_in_flight,
+                };
+            }
+            let requests: Vec<(DesignKey, _)> = requests
+                .into_iter()
+                .map(|(key, config)| (DesignKey::from_raw(key), config))
+                .collect();
+            let results = shared
+                .service
+                .run_batch(&requests)
+                .iter()
+                .map(|result| match result {
+                    Ok(report) => Ok(WireReport::from(report)),
+                    Err(failure) => Err(failure.to_string()),
+                })
+                .collect();
+            shared.in_flight.fetch_sub(batch, Ordering::SeqCst);
+            Response::BatchResults { results }
+        }
+        Request::Stats => Response::StatsReply {
+            stats: shared.service.stats(),
+        },
+        Request::Shutdown => {
+            trigger_shutdown(shared);
+            Response::ShuttingDown
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Client, ClientError};
+    use omnisim_api::RunConfig;
+    use omnisim_designs::typea;
+
+    fn start(service: SimService) -> (ServerHandle, std::thread::JoinHandle<()>) {
+        let server = Server::bind(service, ("127.0.0.1", 0))
+            .unwrap()
+            .with_max_in_flight(4);
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.serve().unwrap());
+        (handle, join)
+    }
+
+    #[test]
+    fn serves_register_batch_stats_and_shutdown() {
+        let service = SimService::new(Box::new(omnisim::OmniBackend::default()));
+        let (handle, join) = start(service);
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        let design = typea::vecadd_stream(16, 2);
+        let key = client.register(&design).unwrap();
+        assert_eq!(key, crate::design_key(&design), "keys are content hashes");
+
+        let requests = vec![
+            (key, RunConfig::default()),
+            (
+                key,
+                RunConfig::new().with_fifo_depths(vec![1; design.fifos.len()]),
+            ),
+            (DesignKey::from_raw(0xbad), RunConfig::default()),
+        ];
+        let results = client.run_batch(&requests).unwrap();
+        assert_eq!(results.len(), 3);
+        let first = results[0].as_ref().unwrap();
+        assert!(matches!(first.outcome, crate::wire::WireOutcome::Completed));
+        assert!(results[1].is_ok());
+        assert!(results[2]
+            .as_ref()
+            .unwrap_err()
+            .contains("no design registered"));
+
+        // An oversized batch is rejected with a typed Overloaded, not queued.
+        let flood: Vec<_> = (0..5).map(|_| (key, RunConfig::default())).collect();
+        match client.run_batch(&flood) {
+            Err(ClientError::Overloaded { limit }) => assert_eq!(limit, 4),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.designs, 1);
+        assert_eq!(stats.compiles, 1);
+
+        client.shutdown().unwrap();
+        join.join().unwrap();
+    }
+}

@@ -1,0 +1,455 @@
+//! `SimService`: the concurrent compile-once / run-many serving layer.
+//!
+//! The expensive half of every query (front-end elaboration, trace or
+//! event-graph construction) depends only on the design, so the service
+//! keeps a registry of compiled artifacts keyed by design content hash:
+//!
+//! * [`SimService::register`] content-hashes the design and compiles it
+//!   through the configured backend **once**; re-registering the same
+//!   design (same structure, any allocation) is a cache hit and returns
+//!   the same [`DesignKey`]. With an attached [`ArtifactStore`], a registry
+//!   miss first tries to *decode* a previously persisted artifact — a warm
+//!   start that skips compilation entirely, even across process restarts.
+//! * [`SimService::run`] answers one request against the shared
+//!   `Arc<dyn CompiledSim>` artifact — [`CompiledSim`] is `Send + Sync`,
+//!   so any number of requests can run concurrently against one artifact.
+//! * [`SimService::run_batch`] fans a request list out across scoped
+//!   worker threads (the same pool the batch DSE solver uses), with the
+//!   worker count tunable via [`SimService::with_workers`] and defaulting
+//!   to one per core.
+//!
+//! [`SimService::with_capacity`] bounds the in-memory registry: inserting
+//! past the capacity evicts the least-recently-used design. Evicted
+//! artifacts stay in the attached store (if any), so a later register
+//! warm-starts from disk instead of recompiling.
+
+use crate::store::ArtifactStore;
+use omnisim_api::{CompiledSim, RunConfig, SimFailure, SimReport, Simulator};
+use omnisim_codec::fnv1a64;
+use omnisim_dse::pool;
+use omnisim_ir::wire::encode_design;
+use omnisim_ir::Design;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Handle to a design registered with a [`SimService`] — its content hash.
+///
+/// Two structurally identical designs (same modules, FIFOs, arrays,
+/// schedules and testbench environment) hash to the same key, so callers
+/// submitting the same design independently share one compiled artifact.
+/// The hash is FNV-1a-64 over the design's canonical wire encoding
+/// (`omnisim_ir::wire::encode_design`), so keys are durable: the same
+/// design hashes to the same key in every process, which is what lets the
+/// [`ArtifactStore`] address artifacts on disk and lets remote clients
+/// quote keys over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DesignKey(u64);
+
+impl DesignKey {
+    /// The raw 64-bit content hash.
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a key from its raw hash (e.g. received over the wire).
+    pub fn from_raw(raw: u64) -> Self {
+        DesignKey(raw)
+    }
+}
+
+/// Content hash of a design: FNV-1a-64 over its canonical wire encoding.
+///
+/// Durable across processes and Rust releases — the encoding is the
+/// versioned `omnisim-ir` wire format, not an unspecified `Debug`/hasher
+/// pair — so the same key addresses the same design in the registry, on
+/// disk and over the wire.
+pub fn design_key(design: &Design) -> DesignKey {
+    DesignKey(fnv1a64(&encode_design(design)))
+}
+
+struct Entry {
+    artifact: Arc<dyn CompiledSim>,
+    last_used: AtomicU64,
+}
+
+/// Point-in-time counters of a [`SimService`] (plus its store, if any).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceStats {
+    /// Designs currently resident in the in-memory registry.
+    pub designs: usize,
+    /// Compilations performed (registry misses not answered by the store).
+    pub compiles: usize,
+    /// Register calls answered by the in-memory registry.
+    pub cache_hits: usize,
+    /// Register calls answered by decoding a persisted artifact.
+    pub warm_starts: usize,
+    /// Designs evicted from the in-memory registry by the LRU capacity.
+    pub registry_evictions: usize,
+    /// Counters of the attached [`ArtifactStore`], if any.
+    pub store: Option<crate::store::StoreStats>,
+}
+
+/// A concurrent compile-once / run-many simulation service over one
+/// backend. See the [module docs](self) for the design.
+pub struct SimService {
+    backend: Box<dyn Simulator>,
+    artifacts: RwLock<HashMap<DesignKey, Entry>>,
+    workers: Option<usize>,
+    capacity: Option<usize>,
+    store: Option<ArtifactStore>,
+    clock: AtomicU64,
+    compiles: AtomicUsize,
+    cache_hits: AtomicUsize,
+    warm_starts: AtomicUsize,
+    registry_evictions: AtomicUsize,
+}
+
+impl SimService {
+    /// Creates a service over the given backend, with one worker per core
+    /// for batched requests, no registry capacity bound and no store.
+    pub fn new(backend: Box<dyn Simulator>) -> Self {
+        SimService {
+            backend,
+            artifacts: RwLock::new(HashMap::new()),
+            workers: None,
+            capacity: None,
+            store: None,
+            clock: AtomicU64::new(0),
+            compiles: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            warm_starts: AtomicUsize::new(0),
+            registry_evictions: AtomicUsize::new(0),
+        }
+    }
+
+    /// Pins the number of worker threads used by [`SimService::run_batch`]
+    /// (clamped to at least one).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Bounds the in-memory registry to `designs` artifacts (clamped to at
+    /// least one); registering past the bound evicts the least-recently-used
+    /// design. Evicted artifacts remain in the attached store, so they
+    /// warm-start instead of recompiling on their next register.
+    pub fn with_capacity(mut self, designs: usize) -> Self {
+        self.capacity = Some(designs.max(1));
+        self
+    }
+
+    /// Attaches a persistent artifact store: registrations consult it
+    /// before compiling and persist freshly compiled artifacts into it.
+    pub fn with_store(mut self, store: ArtifactStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Name of the backend this service compiles and runs with.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The attached artifact store, if any.
+    pub fn store(&self) -> Option<&ArtifactStore> {
+        self.store.as_ref()
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Registers a design: compiles it if its content hash is new, returns
+    /// the existing artifact's key otherwise.
+    ///
+    /// Resolution order on a registry miss: with a store attached, a
+    /// persisted artifact is loaded and decoded (a *warm start*); a
+    /// truncated, corrupted or version-mismatched artifact falls back to a
+    /// fresh compile, removing the bad file so the new encoding replaces
+    /// it. Freshly compiled artifacts of serializable backends are encoded
+    /// and persisted.
+    ///
+    /// Compilation happens outside the registry lock, so registering a new
+    /// design never blocks concurrent [`SimService::run`] calls (two
+    /// concurrent first registrations of the same design may both compile;
+    /// artifacts are deterministic, so either result is kept).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's [`Simulator::compile`] failure
+    /// ([`SimFailure::Unsupported`] designs are not cached — a later
+    /// register retries).
+    pub fn register(&self, design: &Design) -> Result<DesignKey, SimFailure> {
+        let key = design_key(design);
+        if let Some(entry) = self
+            .artifacts
+            .read()
+            .expect("service registry poisoned")
+            .get(&key)
+        {
+            entry.last_used.store(self.tick(), Ordering::Relaxed);
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(key);
+        }
+        if let Some(store) = &self.store {
+            if let Some(bytes) = store.load(self.backend.name(), key.raw()) {
+                match self.backend.decode_artifact(design, &bytes) {
+                    Ok(artifact) => {
+                        self.warm_starts.fetch_add(1, Ordering::Relaxed);
+                        self.install(key, Arc::from(artifact));
+                        return Ok(key);
+                    }
+                    // A bad persisted artifact must never take the service
+                    // down: drop the file and recompile below.
+                    Err(_) => store.remove(self.backend.name(), key.raw()),
+                }
+            }
+        }
+        let artifact: Arc<dyn CompiledSim> = Arc::from(self.backend.compile(design)?);
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        if let Some(store) = &self.store {
+            if let Some(bytes) = artifact.encode() {
+                // Persisting is best-effort: a full disk degrades warm
+                // starts, it does not fail registration.
+                let _ = store.save(self.backend.name(), key.raw(), &bytes);
+            }
+        }
+        self.install(key, artifact);
+        Ok(key)
+    }
+
+    fn install(&self, key: DesignKey, artifact: Arc<dyn CompiledSim>) {
+        let mut map = self.artifacts.write().expect("service registry poisoned");
+        map.entry(key).or_insert_with(|| Entry {
+            artifact,
+            last_used: AtomicU64::new(self.tick()),
+        });
+        if let Some(capacity) = self.capacity {
+            while map.len() > capacity {
+                let victim = map
+                    .iter()
+                    .filter(|(candidate, _)| **candidate != key)
+                    .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                    .map(|(candidate, _)| *candidate);
+                let Some(victim) = victim else { break };
+                map.remove(&victim);
+                self.registry_evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The shared artifact for a registered design, if present. Callers can
+    /// hold the `Arc` and run against it directly (e.g. to downcast the
+    /// engine's artifact into a DSE `SweepPlan`).
+    pub fn artifact(&self, key: DesignKey) -> Option<Arc<dyn CompiledSim>> {
+        let map = self.artifacts.read().expect("service registry poisoned");
+        let entry = map.get(&key)?;
+        entry.last_used.store(self.tick(), Ordering::Relaxed);
+        Some(Arc::clone(&entry.artifact))
+    }
+
+    /// Serves one run request against a registered design.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFailure::Execution`] for an unknown key, and the
+    /// artifact's own failure otherwise.
+    pub fn run(&self, key: DesignKey, config: &RunConfig) -> Result<SimReport, SimFailure> {
+        let artifact = self.artifact(key).ok_or_else(|| {
+            SimFailure::execution(
+                self.backend.name(),
+                format!("no design registered under key {:#018x}", key.raw()),
+            )
+        })?;
+        artifact.run(config)
+    }
+
+    /// Serves a batch of run requests across scoped worker threads,
+    /// returning one result per request in request order. Requests may mix
+    /// designs and run configurations freely.
+    pub fn run_batch(
+        &self,
+        requests: &[(DesignKey, RunConfig)],
+    ) -> Vec<Result<SimReport, SimFailure>> {
+        let workers = pool::resolve_workers(self.workers);
+        pool::parallel_map(requests, workers, |(key, config)| self.run(*key, config))
+    }
+
+    /// Number of designs currently registered.
+    pub fn len(&self) -> usize {
+        self.artifacts
+            .read()
+            .expect("service registry poisoned")
+            .len()
+    }
+
+    /// True if no design has been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of compilations performed (registry misses not answered by
+    /// the store).
+    pub fn compiles(&self) -> usize {
+        self.compiles.load(Ordering::Relaxed)
+    }
+
+    /// Number of [`SimService::register`] calls answered from the registry.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of [`SimService::register`] calls answered by decoding a
+    /// persisted artifact instead of compiling.
+    pub fn warm_starts(&self) -> usize {
+        self.warm_starts.load(Ordering::Relaxed)
+    }
+
+    /// Number of designs evicted from the in-memory registry by the LRU
+    /// capacity bound.
+    pub fn registry_evictions(&self) -> usize {
+        self.registry_evictions.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time snapshot of every counter, including the attached
+    /// store's.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            designs: self.len(),
+            compiles: self.compiles(),
+            cache_hits: self.cache_hits(),
+            warm_starts: self.warm_starts(),
+            registry_evictions: self.registry_evictions(),
+            store: self.store.as_ref().map(ArtifactStore::stats),
+        }
+    }
+}
+
+impl std::fmt::Debug for SimService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimService")
+            .field("backend", &self.backend.name())
+            .field("designs", &self.len())
+            .field("compiles", &self.compiles())
+            .field("cache_hits", &self.cache_hits())
+            .field("warm_starts", &self.warm_starts())
+            .field("registry_evictions", &self.registry_evictions())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim::OmniBackend;
+    use omnisim_designs::typea;
+
+    fn service() -> SimService {
+        SimService::new(Box::new(OmniBackend::default()))
+    }
+
+    #[test]
+    fn registering_the_same_design_compiles_once() {
+        let service = service();
+        assert!(service.is_empty());
+        let design = typea::vecadd_stream(24, 2);
+        let key = service.register(&design).unwrap();
+        // A structurally identical, separately-built design shares the key.
+        let again = service.register(&typea::vecadd_stream(24, 2)).unwrap();
+        assert_eq!(key, again);
+        assert_eq!(service.len(), 1);
+        assert_eq!(service.compiles(), 1);
+        assert_eq!(service.cache_hits(), 1);
+        // A different design gets its own artifact.
+        let other = service.register(&typea::vecadd_stream(25, 2)).unwrap();
+        assert_ne!(key, other);
+        assert_eq!(service.compiles(), 2);
+    }
+
+    #[test]
+    fn design_keys_are_durable_content_hashes() {
+        let design = typea::vecadd_stream(24, 2);
+        let key = design_key(&design);
+        // Recomputing from scratch (fresh allocations) reproduces the key…
+        assert_eq!(design_key(&typea::vecadd_stream(24, 2)), key);
+        // …and it matches the documented definition, so on-disk artifact
+        // names are reproducible in any process.
+        assert_eq!(key.raw(), fnv1a64(&encode_design(&design)));
+        assert_eq!(DesignKey::from_raw(key.raw()), key);
+    }
+
+    #[test]
+    fn run_answers_requests_and_rejects_unknown_keys() {
+        let service = service();
+        let design = typea::vecadd_stream(24, 2);
+        let key = service.register(&design).unwrap();
+        let report = service.run(key, &RunConfig::default()).unwrap();
+        assert!(report.outcome.is_completed());
+
+        let bogus = DesignKey(0xdead_beef);
+        let failure = service.run(bogus, &RunConfig::default()).unwrap_err();
+        assert!(failure.to_string().contains("no design registered"));
+    }
+
+    #[test]
+    fn batched_requests_match_sequential_runs_at_any_worker_count() {
+        let design = typea::vecadd_stream(32, 2);
+        let fifos = design.fifos.len();
+        let requests: Vec<(DesignKey, RunConfig)> = {
+            let service = service();
+            let key = service.register(&design).unwrap();
+            (1..=6)
+                .map(|d| (key, RunConfig::new().with_fifo_depths(vec![d; fifos])))
+                .collect()
+        };
+        let mut per_worker_counts: Vec<Vec<Option<u64>>> = Vec::new();
+        for workers in [1usize, 3, 8] {
+            let service = service().with_workers(workers);
+            service.register(&design).unwrap();
+            let reports = service.run_batch(&requests);
+            per_worker_counts.push(
+                reports
+                    .into_iter()
+                    .map(|r| r.unwrap().total_cycles)
+                    .collect(),
+            );
+        }
+        assert_eq!(per_worker_counts[0], per_worker_counts[1]);
+        assert_eq!(per_worker_counts[0], per_worker_counts[2]);
+    }
+
+    #[test]
+    fn rejected_designs_are_not_cached() {
+        let service = SimService::new(Box::new(omnisim_lightning::LightningBackend));
+        // Type C: lightning refuses to compile it.
+        let design = omnisim_designs::fig4::ex5_with_depths(32, 2, 2);
+        let failure = service.register(&design).unwrap_err();
+        assert!(failure.is_unsupported());
+        assert!(service.is_empty());
+        assert_eq!(service.compiles(), 0);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used_design() {
+        let service = service().with_capacity(2);
+        let designs: Vec<_> = (0..3).map(|i| typea::vecadd_stream(16 + i, 2)).collect();
+        let a = service.register(&designs[0]).unwrap();
+        let b = service.register(&designs[1]).unwrap();
+        // Touch `a` so `b` becomes the LRU victim.
+        assert!(service.artifact(a).is_some());
+        let c = service.register(&designs[2]).unwrap();
+        assert_eq!(service.len(), 2);
+        assert_eq!(service.registry_evictions(), 1);
+        assert!(service.artifact(a).is_some(), "recently used survives");
+        assert!(service.artifact(b).is_none(), "LRU design evicted");
+        assert!(service.artifact(c).is_some(), "new design resident");
+        // Re-registering the evicted design recompiles (no store attached).
+        service.register(&designs[1]).unwrap();
+        assert_eq!(service.compiles(), 4);
+        let stats = service.stats();
+        assert_eq!(stats.designs, 2);
+        assert_eq!(stats.registry_evictions, 2);
+        assert_eq!(stats.store, None);
+    }
+}

@@ -1,0 +1,259 @@
+//! `ArtifactStore`: the disk-backed half of the persistent serving tier.
+//!
+//! Artifacts are addressed by backend name and design content hash —
+//! `dir/<backend>/<key as 16 hex digits>.art` — so any process that can
+//! hash a design (see [`crate::design_key`]) can find its persisted
+//! artifact. Writes are atomic (write to a temporary file in the same
+//! directory, then rename), so a crashed or concurrent writer never leaves
+//! a half-written artifact where a reader can load it; readers verify the
+//! codec frame's checksum anyway, so even torn bytes degrade to a cache
+//! miss, never a panic.
+//!
+//! An optional byte budget bounds the store: after every save, oldest
+//! artifacts (by modification time) are evicted until the store fits. The
+//! freshly saved artifact is never evicted by its own save.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::SystemTime;
+
+/// Point-in-time counters and usage of an [`ArtifactStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StoreStats {
+    /// Loads that found a persisted artifact.
+    pub hits: usize,
+    /// Loads that found nothing.
+    pub misses: usize,
+    /// Artifacts evicted by the byte budget.
+    pub evictions: usize,
+    /// Artifacts currently on disk.
+    pub entries: usize,
+    /// Total size of persisted artifacts, in bytes.
+    pub bytes: u64,
+}
+
+/// A disk-backed store of serialized compiled artifacts, keyed by backend
+/// name and design content hash. See the [module docs](self) for layout
+/// and atomicity.
+#[derive(Debug)]
+pub struct ArtifactStore {
+    dir: PathBuf,
+    byte_budget: Option<u64>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    evictions: AtomicUsize,
+}
+
+impl ArtifactStore {
+    /// Opens (creating if needed) a store rooted at `dir`, with no byte
+    /// budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the directory-creation failure.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(ArtifactStore {
+            dir,
+            byte_budget: None,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
+        })
+    }
+
+    /// Bounds the store to `bytes` of persisted artifacts; every save
+    /// evicts oldest-first until the store fits.
+    pub fn with_byte_budget(mut self, bytes: u64) -> Self {
+        self.byte_budget = Some(bytes);
+        self
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The configured byte budget, if any.
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.byte_budget
+    }
+
+    fn path(&self, backend: &str, key: u64) -> PathBuf {
+        self.dir.join(backend).join(format!("{key:016x}.art"))
+    }
+
+    /// Loads the persisted artifact for `(backend, key)`, if present,
+    /// counting a hit or miss.
+    pub fn load(&self, backend: &str, key: u64) -> Option<Vec<u8>> {
+        match fs::read(self.path(backend, key)) {
+            Ok(bytes) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(bytes)
+            }
+            Err(_) => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Persists an encoded artifact under `(backend, key)` atomically
+    /// (write-then-rename), replacing any previous entry, then enforces
+    /// the byte budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem failures; budget enforcement is best-effort
+    /// and never fails the save.
+    pub fn save(&self, backend: &str, key: u64, bytes: &[u8]) -> io::Result<()> {
+        let path = self.path(backend, key);
+        let parent = path.parent().expect("store paths have a parent");
+        fs::create_dir_all(parent)?;
+        // The temporary name includes the pid so concurrent processes
+        // sharing one store directory never clobber each other's staging
+        // file; the final rename is atomic either way.
+        let tmp = parent.join(format!("{key:016x}.tmp{}", std::process::id()));
+        fs::write(&tmp, bytes)?;
+        fs::rename(&tmp, &path)?;
+        self.enforce_budget(&path);
+        Ok(())
+    }
+
+    /// Removes the persisted artifact for `(backend, key)`, if present —
+    /// e.g. after its bytes failed to decode.
+    pub fn remove(&self, backend: &str, key: u64) {
+        let _ = fs::remove_file(self.path(backend, key));
+    }
+
+    /// Every persisted artifact as `(path, size, mtime)`, across all
+    /// backend subdirectories.
+    fn entries_on_disk(&self) -> Vec<(PathBuf, u64, SystemTime)> {
+        let mut entries = Vec::new();
+        let Ok(backends) = fs::read_dir(&self.dir) else {
+            return entries;
+        };
+        for backend in backends.flatten() {
+            let Ok(files) = fs::read_dir(backend.path()) else {
+                continue;
+            };
+            for file in files.flatten() {
+                let path = file.path();
+                if path.extension().is_none_or(|ext| ext != "art") {
+                    continue;
+                }
+                let Ok(meta) = file.metadata() else { continue };
+                let mtime = meta.modified().unwrap_or(SystemTime::UNIX_EPOCH);
+                entries.push((path, meta.len(), mtime));
+            }
+        }
+        entries
+    }
+
+    fn enforce_budget(&self, protect: &Path) {
+        let Some(budget) = self.byte_budget else {
+            return;
+        };
+        let mut entries = self.entries_on_disk();
+        let mut total: u64 = entries.iter().map(|(_, size, _)| size).sum();
+        if total <= budget {
+            return;
+        }
+        // Oldest first; ties broken by path so eviction is deterministic.
+        entries.sort_by(|a, b| a.2.cmp(&b.2).then_with(|| a.0.cmp(&b.0)));
+        for (path, size, _) in entries {
+            if total <= budget {
+                break;
+            }
+            if path == protect {
+                continue;
+            }
+            if fs::remove_file(&path).is_ok() {
+                total = total.saturating_sub(size);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Loads that found a persisted artifact.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Loads that found nothing.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Artifacts evicted by the byte budget.
+    pub fn evictions(&self) -> usize {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time snapshot of counters and on-disk usage.
+    pub fn stats(&self) -> StoreStats {
+        let entries = self.entries_on_disk();
+        StoreStats {
+            hits: self.hits(),
+            misses: self.misses(),
+            evictions: self.evictions(),
+            entries: entries.len(),
+            bytes: entries.iter().map(|(_, size, _)| size).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static UNIQUE: AtomicUsize = AtomicUsize::new(0);
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("omnisim-store-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn save_load_remove_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let store = ArtifactStore::open(&dir).unwrap();
+        assert_eq!(store.load("omnisim", 7), None);
+        store.save("omnisim", 7, b"artifact bytes").unwrap();
+        assert_eq!(
+            store.load("omnisim", 7).as_deref(),
+            Some(&b"artifact bytes"[..])
+        );
+        // Re-saving replaces atomically.
+        store.save("omnisim", 7, b"newer").unwrap();
+        assert_eq!(store.load("omnisim", 7).as_deref(), Some(&b"newer"[..]));
+        // Backends are namespaced.
+        assert_eq!(store.load("lightning", 7), None);
+        store.remove("omnisim", 7);
+        assert_eq!(store.load("omnisim", 7), None);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 3, 0));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_budget_evicts_oldest_but_never_the_fresh_save() {
+        let dir = temp_dir("budget");
+        let store = ArtifactStore::open(&dir).unwrap().with_byte_budget(250);
+        for key in 0..3u64 {
+            store.save("omnisim", key, &[0u8; 100]).unwrap();
+            // Distinct mtimes even on coarse filesystems.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        // 300 bytes > 250: the oldest entry was evicted by the last save.
+        assert_eq!(store.evictions(), 1);
+        assert_eq!(store.load("omnisim", 0), None, "oldest evicted");
+        assert!(store.load("omnisim", 2).is_some(), "fresh save survives");
+        let stats = store.stats();
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.bytes, 200);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,598 @@
+//! The serving tier's wire protocol: length-prefixed, versioned binary
+//! messages over any byte stream (the [`crate::Server`]/[`crate::Client`]
+//! pair uses TCP).
+//!
+//! Every message is a `u32` little-endian length prefix followed by an
+//! `omnisim-codec` frame (magic, version, payload, checksum), so a reader
+//! can reject junk, truncation and version skew *before* interpreting a
+//! single payload byte. Requests and responses share the frame format and
+//! differ only in their leading tag byte.
+//!
+//! Designs travel as their canonical `omnisim-ir` wire encoding; reports
+//! travel as [`WireReport`] — the process-independent projection of a
+//! `SimReport` (outcome, outputs, cycle count, warnings), deliberately
+//! excluding wall-clock timings and backend-specific extras, so a remote
+//! batch compares bit-for-bit against an in-process one.
+
+use omnisim_api::{RunConfig, SimOutcome, SimReport};
+use omnisim_codec::{frame, unframe, ByteReader, ByteWriter, CodecError};
+use omnisim_ir::design::OutputMap;
+use omnisim_ir::wire::{decode_design, encode_design};
+use omnisim_ir::Design;
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+use crate::service::ServiceStats;
+use crate::store::StoreStats;
+
+/// Magic bytes of a wire-protocol message: "OmniSim Wire Message".
+pub const WIRE_MAGIC: [u8; 4] = *b"OSWM";
+/// Current wire-protocol version.
+pub const WIRE_VERSION: u16 = 1;
+/// Upper bound on a single message, applied before allocating.
+pub const MAX_MESSAGE_LEN: u32 = 256 * 1024 * 1024;
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Register (compile or warm-start) a design; answered by
+    /// [`Response::Registered`] with its content-hash key.
+    Register {
+        /// The design to register.
+        design: Design,
+    },
+    /// Run a batch of `(design key, run config)` requests; answered by
+    /// [`Response::BatchResults`] in request order, or
+    /// [`Response::Overloaded`] if admission control rejects the batch.
+    RunBatch {
+        /// The batch, as raw design keys and per-run parameters.
+        requests: Vec<(u64, RunConfig)>,
+    },
+    /// Fetch the service's counters; answered by [`Response::StatsReply`].
+    Stats,
+    /// Ask the server to stop accepting connections and exit its serve
+    /// loop; answered by [`Response::ShuttingDown`].
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The design is registered under this content-hash key.
+    Registered {
+        /// Raw [`crate::DesignKey`] value.
+        key: u64,
+    },
+    /// One result per batch request, in request order; failures carry the
+    /// failure's display string.
+    BatchResults {
+        /// Per-request outcomes.
+        results: Vec<Result<WireReport, String>>,
+    },
+    /// The service's counters.
+    StatsReply {
+        /// Snapshot of registry and store counters.
+        stats: ServiceStats,
+    },
+    /// Admission control rejected the batch: accepting it would exceed the
+    /// server's in-flight run budget. The client may retry later.
+    Overloaded {
+        /// The server's in-flight run budget.
+        limit: usize,
+    },
+    /// Acknowledges a [`Request::Shutdown`]; the server exits after
+    /// draining open connections.
+    ShuttingDown,
+    /// The request failed (unknown design, unsupported backend, …).
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+/// The process-independent projection of a `SimReport`, as sent over the
+/// wire: everything deterministic (outcome, outputs, cycles, warnings),
+/// nothing machine-local (wall-clock timings, backend-specific extras).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireReport {
+    /// Name of the backend that produced the report.
+    pub backend: String,
+    /// How the run ended.
+    pub outcome: WireOutcome,
+    /// Final value of every testbench-visible output that was written.
+    pub outputs: OutputMap,
+    /// End-to-end latency in clock cycles, if the backend models time.
+    pub total_cycles: Option<u64>,
+    /// Warning messages and how often each occurred.
+    pub warnings: BTreeMap<String, usize>,
+}
+
+/// Wire form of a `SimOutcome`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireOutcome {
+    /// Every task ran to completion.
+    Completed,
+    /// A design-level deadlock was detected.
+    Deadlock {
+        /// One human-readable entry per blocked task/FIFO pair.
+        blocked: Vec<String>,
+    },
+    /// The simulated program itself crashed.
+    Crashed {
+        /// What went wrong.
+        reason: String,
+    },
+    /// The backend's configured cycle limit was reached before completion.
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl From<&SimOutcome> for WireOutcome {
+    fn from(outcome: &SimOutcome) -> WireOutcome {
+        match outcome {
+            SimOutcome::Completed => WireOutcome::Completed,
+            SimOutcome::Deadlock { blocked } => WireOutcome::Deadlock {
+                blocked: blocked.clone(),
+            },
+            SimOutcome::Crashed { reason } => WireOutcome::Crashed {
+                reason: reason.clone(),
+            },
+            SimOutcome::CycleLimit { limit } => WireOutcome::CycleLimit { limit: *limit },
+            // `SimOutcome` is non-exhaustive; an outcome this protocol
+            // version does not know degrades to its description.
+            other => WireOutcome::Crashed {
+                reason: other.describe(),
+            },
+        }
+    }
+}
+
+impl From<&SimReport> for WireReport {
+    fn from(report: &SimReport) -> WireReport {
+        WireReport {
+            backend: report.backend.to_owned(),
+            outcome: (&report.outcome).into(),
+            outputs: report.outputs.clone(),
+            total_cycles: report.total_cycles,
+            warnings: report.warnings.clone(),
+        }
+    }
+}
+
+fn write_run_config(w: &mut ByteWriter, config: &RunConfig) {
+    w.opt(config.fifo_depths.as_ref(), |w, depths| {
+        w.seq(depths.iter(), |w, &depth| w.usize(depth));
+    });
+    w.opt(config.max_cycles, |w, cycles| w.u64(cycles));
+    w.opt(config.fuel, |w, fuel| w.u64(fuel));
+}
+
+fn read_run_config(r: &mut ByteReader) -> Result<RunConfig, CodecError> {
+    Ok(RunConfig {
+        fifo_depths: r.opt(|r| r.seq(|r| r.usize()))?,
+        max_cycles: r.opt(|r| r.u64())?,
+        fuel: r.opt(|r| r.u64())?,
+    })
+}
+
+fn write_report(w: &mut ByteWriter, report: &WireReport) {
+    w.str(&report.backend);
+    match &report.outcome {
+        WireOutcome::Completed => w.u8(0),
+        WireOutcome::Deadlock { blocked } => {
+            w.u8(1);
+            w.seq(blocked.iter(), |w, entry| w.str(entry));
+        }
+        WireOutcome::Crashed { reason } => {
+            w.u8(2);
+            w.str(reason);
+        }
+        WireOutcome::CycleLimit { limit } => {
+            w.u8(3);
+            w.u64(*limit);
+        }
+    }
+    w.seq(report.outputs.iter(), |w, (name, &value)| {
+        w.str(name);
+        w.i64(value);
+    });
+    w.opt(report.total_cycles, |w, cycles| w.u64(cycles));
+    w.seq(report.warnings.iter(), |w, (message, &count)| {
+        w.str(message);
+        w.usize(count);
+    });
+}
+
+fn read_report(r: &mut ByteReader) -> Result<WireReport, CodecError> {
+    let backend = r.str()?;
+    let outcome = match r.u8()? {
+        0 => WireOutcome::Completed,
+        1 => WireOutcome::Deadlock {
+            blocked: r.seq(|r| r.str())?,
+        },
+        2 => WireOutcome::Crashed { reason: r.str()? },
+        3 => WireOutcome::CycleLimit { limit: r.u64()? },
+        tag => return Err(CodecError::Invalid(format!("unknown outcome tag {tag}"))),
+    };
+    let mut outputs = OutputMap::new();
+    for _ in 0..r.len()? {
+        let name = r.str()?;
+        let value = r.i64()?;
+        outputs.insert(name, value);
+    }
+    let total_cycles = r.opt(|r| r.u64())?;
+    let mut warnings = BTreeMap::new();
+    for _ in 0..r.len()? {
+        let message = r.str()?;
+        let count = r.usize()?;
+        warnings.insert(message, count);
+    }
+    Ok(WireReport {
+        backend,
+        outcome,
+        outputs,
+        total_cycles,
+        warnings,
+    })
+}
+
+fn write_store_stats(w: &mut ByteWriter, stats: &StoreStats) {
+    w.usize(stats.hits);
+    w.usize(stats.misses);
+    w.usize(stats.evictions);
+    w.usize(stats.entries);
+    w.u64(stats.bytes);
+}
+
+fn read_store_stats(r: &mut ByteReader) -> Result<StoreStats, CodecError> {
+    Ok(StoreStats {
+        hits: r.usize()?,
+        misses: r.usize()?,
+        evictions: r.usize()?,
+        entries: r.usize()?,
+        bytes: r.u64()?,
+    })
+}
+
+fn write_service_stats(w: &mut ByteWriter, stats: &ServiceStats) {
+    w.usize(stats.designs);
+    w.usize(stats.compiles);
+    w.usize(stats.cache_hits);
+    w.usize(stats.warm_starts);
+    w.usize(stats.registry_evictions);
+    w.opt(stats.store.as_ref(), write_store_stats);
+}
+
+fn read_service_stats(r: &mut ByteReader) -> Result<ServiceStats, CodecError> {
+    Ok(ServiceStats {
+        designs: r.usize()?,
+        compiles: r.usize()?,
+        cache_hits: r.usize()?,
+        warm_starts: r.usize()?,
+        registry_evictions: r.usize()?,
+        store: r.opt(read_store_stats)?,
+    })
+}
+
+/// Encodes a request into one framed message (without the length prefix).
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match request {
+        Request::Register { design } => {
+            w.u8(0);
+            w.bytes(&encode_design(design));
+        }
+        Request::RunBatch { requests } => {
+            w.u8(1);
+            w.seq(requests.iter(), |w, (key, config)| {
+                w.u64(*key);
+                write_run_config(w, config);
+            });
+        }
+        Request::Stats => w.u8(2),
+        Request::Shutdown => w.u8(3),
+    }
+    frame(WIRE_MAGIC, WIRE_VERSION, &w.into_bytes())
+}
+
+/// Decodes a request from one framed message.
+///
+/// # Errors
+///
+/// Any [`CodecError`] (bad frame, unknown tag, malformed design).
+pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
+    let payload = unframe(WIRE_MAGIC, WIRE_VERSION, bytes)?;
+    let mut r = ByteReader::new(payload);
+    let request = match r.u8()? {
+        0 => Request::Register {
+            design: decode_design(r.bytes()?)?,
+        },
+        1 => {
+            let requests = r.seq(|r| {
+                let key = r.u64()?;
+                let config = read_run_config(r)?;
+                Ok((key, config))
+            })?;
+            Request::RunBatch { requests }
+        }
+        2 => Request::Stats,
+        3 => Request::Shutdown,
+        tag => return Err(CodecError::Invalid(format!("unknown request tag {tag}"))),
+    };
+    r.finish()?;
+    Ok(request)
+}
+
+/// Encodes a response into one framed message (without the length prefix).
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match response {
+        Response::Registered { key } => {
+            w.u8(0);
+            w.u64(*key);
+        }
+        Response::BatchResults { results } => {
+            w.u8(1);
+            w.seq(results.iter(), |w, result| match result {
+                Ok(report) => {
+                    w.u8(0);
+                    write_report(w, report);
+                }
+                Err(message) => {
+                    w.u8(1);
+                    w.str(message);
+                }
+            });
+        }
+        Response::StatsReply { stats } => {
+            w.u8(2);
+            write_service_stats(&mut w, stats);
+        }
+        Response::Overloaded { limit } => {
+            w.u8(3);
+            w.usize(*limit);
+        }
+        Response::ShuttingDown => w.u8(4),
+        Response::Error { message } => {
+            w.u8(5);
+            w.str(message);
+        }
+    }
+    frame(WIRE_MAGIC, WIRE_VERSION, &w.into_bytes())
+}
+
+/// Decodes a response from one framed message.
+///
+/// # Errors
+///
+/// Any [`CodecError`] (bad frame, unknown tag).
+pub fn decode_response(bytes: &[u8]) -> Result<Response, CodecError> {
+    let payload = unframe(WIRE_MAGIC, WIRE_VERSION, bytes)?;
+    let mut r = ByteReader::new(payload);
+    let response = match r.u8()? {
+        0 => Response::Registered { key: r.u64()? },
+        1 => {
+            let results = r.seq(|r| match r.u8()? {
+                0 => Ok(Ok(read_report(r)?)),
+                1 => Ok(Err(r.str()?)),
+                tag => Err(CodecError::Invalid(format!(
+                    "unknown batch-result tag {tag}"
+                ))),
+            })?;
+            Response::BatchResults { results }
+        }
+        2 => Response::StatsReply {
+            stats: read_service_stats(&mut r)?,
+        },
+        3 => Response::Overloaded { limit: r.usize()? },
+        4 => Response::ShuttingDown,
+        5 => Response::Error { message: r.str()? },
+        tag => return Err(CodecError::Invalid(format!("unknown response tag {tag}"))),
+    };
+    r.finish()?;
+    Ok(response)
+}
+
+fn codec_io(error: CodecError) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, error.to_string())
+}
+
+/// Writes one length-prefixed message to a stream.
+///
+/// # Errors
+///
+/// Propagates stream failures; messages over [`MAX_MESSAGE_LEN`] are
+/// rejected with [`io::ErrorKind::InvalidData`].
+pub fn write_message<W: Write>(stream: &mut W, message: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(message.len())
+        .ok()
+        .filter(|&len| len <= MAX_MESSAGE_LEN)
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("message of {} bytes exceeds the wire limit", message.len()),
+            )
+        })?;
+    stream.write_all(&len.to_le_bytes())?;
+    stream.write_all(message)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed message from a stream. Returns `Ok(None)` on
+/// a clean end-of-stream (the peer closed between messages).
+///
+/// # Errors
+///
+/// Propagates stream failures; truncation mid-message and oversized
+/// lengths surface as [`io::ErrorKind::UnexpectedEof`] /
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_message<R: Read>(stream: &mut R) -> io::Result<Option<Vec<u8>>> {
+    let mut prefix = [0u8; 4];
+    // Distinguish "closed between messages" (clean) from "closed inside a
+    // message" (an error): only a zero-byte first read is clean.
+    let first = stream.read(&mut prefix)?;
+    if first == 0 {
+        return Ok(None);
+    }
+    stream.read_exact(&mut prefix[first..])?;
+    let len = u32::from_le_bytes(prefix);
+    if len > MAX_MESSAGE_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("incoming message of {len} bytes exceeds the wire limit"),
+        ));
+    }
+    let mut message = vec![0u8; len as usize];
+    stream.read_exact(&mut message)?;
+    Ok(Some(message))
+}
+
+/// Writes one request (length prefix + frame) to a stream.
+///
+/// # Errors
+///
+/// See [`write_message`].
+pub fn write_request<W: Write>(stream: &mut W, request: &Request) -> io::Result<()> {
+    write_message(stream, &encode_request(request))
+}
+
+/// Reads one request from a stream; `Ok(None)` on clean end-of-stream.
+///
+/// # Errors
+///
+/// See [`read_message`]; malformed frames surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_request<R: Read>(stream: &mut R) -> io::Result<Option<Request>> {
+    match read_message(stream)? {
+        None => Ok(None),
+        Some(message) => decode_request(&message).map(Some).map_err(codec_io),
+    }
+}
+
+/// Writes one response (length prefix + frame) to a stream.
+///
+/// # Errors
+///
+/// See [`write_message`].
+pub fn write_response<W: Write>(stream: &mut W, response: &Response) -> io::Result<()> {
+    write_message(stream, &encode_response(response))
+}
+
+/// Reads one response from a stream; `Ok(None)` on clean end-of-stream.
+///
+/// # Errors
+///
+/// See [`read_message`]; malformed frames surface as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_response<R: Read>(stream: &mut R) -> io::Result<Option<Response>> {
+    match read_message(stream)? {
+        None => Ok(None),
+        Some(message) => decode_response(&message).map(Some).map_err(codec_io),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> WireReport {
+        let mut outputs = OutputMap::new();
+        outputs.insert("sum".into(), -7);
+        let mut warnings = BTreeMap::new();
+        warnings.insert("read while empty".into(), 2);
+        WireReport {
+            backend: "omnisim".into(),
+            outcome: WireOutcome::Deadlock {
+                blocked: vec!["task 'p' blocked writing fifo 'q'".into()],
+            },
+            outputs,
+            total_cycles: Some(99),
+            warnings,
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let design = omnisim_designs::typea::vecadd_stream(8, 2);
+        let requests = vec![
+            Request::Register {
+                design: design.clone(),
+            },
+            Request::RunBatch {
+                requests: vec![
+                    (7, RunConfig::default()),
+                    (7, RunConfig::new().with_fifo_depths([3usize]).with_fuel(10)),
+                ],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for request in requests {
+            let bytes = encode_request(&request);
+            assert_eq!(decode_request(&bytes).unwrap(), request);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = vec![
+            Response::Registered { key: 0xfeed },
+            Response::BatchResults {
+                results: vec![Ok(sample_report()), Err("backend 'x' failed: boom".into())],
+            },
+            Response::StatsReply {
+                stats: ServiceStats {
+                    designs: 2,
+                    compiles: 3,
+                    cache_hits: 4,
+                    warm_starts: 5,
+                    registry_evictions: 6,
+                    store: Some(StoreStats {
+                        hits: 1,
+                        misses: 2,
+                        evictions: 3,
+                        entries: 4,
+                        bytes: 5,
+                    }),
+                },
+            },
+            Response::Overloaded { limit: 64 },
+            Response::ShuttingDown,
+            Response::Error {
+                message: "no design registered".into(),
+            },
+        ];
+        for response in responses {
+            let bytes = encode_response(&response);
+            assert_eq!(decode_response(&bytes).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn stream_framing_round_trips_and_detects_truncation() {
+        let mut buffer = Vec::new();
+        write_request(&mut buffer, &Request::Stats).unwrap();
+        write_response(&mut buffer, &Response::ShuttingDown).unwrap();
+        let mut cursor = &buffer[..];
+        assert_eq!(read_request(&mut cursor).unwrap(), Some(Request::Stats));
+        assert_eq!(
+            read_response(&mut cursor).unwrap(),
+            Some(Response::ShuttingDown)
+        );
+        // Clean end-of-stream.
+        assert_eq!(read_request(&mut cursor).unwrap(), None);
+        // Truncation inside a message is an error, not a clean close.
+        let mut truncated = &buffer[..buffer.len() - 2];
+        read_request(&mut truncated).unwrap();
+        assert!(read_response(&mut truncated).is_err());
+        // A tampered frame is rejected by the checksum.
+        let mut tampered = buffer.clone();
+        let last = tampered.len() - 9; // inside the second payload
+        tampered[last] ^= 0x40;
+        let mut cursor = &tampered[..];
+        read_request(&mut cursor).unwrap();
+        assert!(read_response(&mut cursor).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! The serving-tier client: registers a small design fleet with a
+//! `serve_server`, runs a mixed batch of baseline and FIFO-depth what-if
+//! requests over the wire, and prints the server's counters.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example serve_client -- [addr] [flags]
+//! # defaults:                                    127.0.0.1:17071
+//! ```
+//!
+//! Flags:
+//!
+//! * `--expect-warm` — assert the server answered at least one registration
+//!   from its persistent store (used by CI to prove a server restart
+//!   warm-starts instead of recompiling);
+//! * `--shutdown` — ask the server to exit after this client's requests.
+
+use omnisim_suite::designs::{fig4, typea};
+use omnisim_suite::serve::wire::WireOutcome;
+use omnisim_suite::serve::Client;
+use omnisim_suite::RunConfig;
+use std::time::{Duration, Instant};
+
+fn connect_with_retry(addr: &str) -> Client {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Client::connect(addr) {
+            Ok(client) => return client,
+            Err(error) if Instant::now() < deadline => {
+                let _ = error; // server may still be starting
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(error) => panic!("cannot reach server at {addr}: {error}"),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:17071".to_owned());
+    let expect_warm = args.iter().any(|a| a == "--expect-warm");
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+
+    let mut client = connect_with_retry(&addr);
+
+    let designs = [
+        typea::vecadd_stream(256, 2),
+        typea::fir_filter(256, 8),
+        fig4::ex5_with_depths(256, 2, 2),
+    ];
+    let started = Instant::now();
+    let keys: Vec<_> = designs
+        .iter()
+        .map(|d| client.register(d).expect("designs register"))
+        .collect();
+    println!(
+        "registered {} designs in {:?}",
+        keys.len(),
+        started.elapsed()
+    );
+
+    let mut requests = Vec::new();
+    for (key, design) in keys.iter().zip(&designs) {
+        requests.push((*key, RunConfig::default()));
+        for depth in [1usize, 4, 16] {
+            requests.push((
+                *key,
+                RunConfig::new().with_fifo_depths(vec![depth; design.fifos.len()]),
+            ));
+        }
+    }
+    let started = Instant::now();
+    let results = client.run_batch(&requests).expect("batch is admitted");
+    let elapsed = started.elapsed();
+    let completed = results
+        .iter()
+        .filter(|r| {
+            matches!(
+                r,
+                Ok(report) if matches!(report.outcome, WireOutcome::Completed)
+            )
+        })
+        .count();
+    println!(
+        "ran {}/{} requests to completion over the wire in {elapsed:?} ({:.0} runs/sec)",
+        completed,
+        results.len(),
+        results.len() as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    assert_eq!(completed, results.len(), "every request completes");
+
+    let stats = client.stats().expect("stats reply");
+    println!(
+        "server counters: {} designs, {} compiles, {} cache hits, {} warm starts",
+        stats.designs, stats.compiles, stats.cache_hits, stats.warm_starts,
+    );
+    if let Some(store) = stats.store {
+        println!(
+            "store counters: {} entries ({} bytes), {} hits, {} misses, {} evictions",
+            store.entries, store.bytes, store.hits, store.misses, store.evictions,
+        );
+    }
+    if expect_warm {
+        assert!(
+            stats.warm_starts > 0,
+            "expected the server to warm-start from its store, but it compiled everything"
+        );
+        println!(
+            "warm-start check passed ({} warm starts)",
+            stats.warm_starts
+        );
+    }
+    if shutdown {
+        client.shutdown().expect("server acknowledges shutdown");
+        println!("server asked to shut down");
+    }
+}

@@ -1,0 +1,45 @@
+//! The serving-tier server: a `SimService` over a persistent
+//! `ArtifactStore`, exposed on TCP for `serve_client` (or any wire-protocol
+//! speaker).
+//!
+//! Designs registered by clients are compiled once, persisted to the store
+//! directory, and served from memory; restarting the server against the
+//! same store directory warm-starts every known design from disk instead
+//! of recompiling (watch the `warm starts` counter via the client's
+//! `--stats`).
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example serve_server -- [addr] [store-dir] [backend]
+//! # defaults:                                    127.0.0.1:17071  <tmp>  omnisim
+//! ```
+//!
+//! The server runs until a client sends a shutdown request.
+
+use omnisim_suite::backend;
+use omnisim_suite::serve::{ArtifactStore, Server, SimService};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let addr = args.next().unwrap_or_else(|| "127.0.0.1:17071".to_owned());
+    let store_dir = args
+        .next()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join("omnisim-serve-store"));
+    let backend_name = args.next().unwrap_or_else(|| "omnisim".to_owned());
+
+    let sim = backend(&backend_name).unwrap_or_else(|| panic!("unknown backend '{backend_name}'"));
+    let store = ArtifactStore::open(&store_dir).expect("store directory opens");
+    let service = SimService::new(sim).with_store(store);
+
+    let server = Server::bind(service, &*addr).expect("address binds");
+    println!(
+        "serving {backend_name} on {} (artifact store: {})",
+        server.local_addr().expect("bound address"),
+        store_dir.display(),
+    );
+    println!("stop with: cargo run --release --example serve_client -- {addr} --shutdown");
+    server.serve().expect("serve loop");
+    println!("shut down cleanly");
+}

@@ -8,11 +8,16 @@
 //! per distinct design, and every query after that is an amortized
 //! `CompiledSim::run`.
 //!
+//! The second act adds the persistence tier: the same fleet behind a
+//! capacity-bounded registry and a disk-backed `ArtifactStore`, walking the
+//! full register → persist → evict → warm-start cycle (including a
+//! simulated process restart that decodes instead of compiling).
+//!
 //! Run with: `cargo run --release --example sim_service`
 
 use omnisim_suite::designs::{fig4, typea};
 use omnisim_suite::ir::Design;
-use omnisim_suite::{backend, DesignKey, RunConfig, SimService};
+use omnisim_suite::{backend, ArtifactStore, DesignKey, RunConfig, SimService};
 use std::time::Instant;
 
 fn main() {
@@ -79,4 +84,79 @@ fn main() {
         ok as f64 / elapsed.as_secs_f64().max(1e-9),
         service.backend_name()
     );
+
+    // ── Act two: the persistence tier ────────────────────────────────────
+    // A capacity-bounded registry over a disk-backed store: registrations
+    // persist encoded artifacts, LRU eviction trims memory, and evicted or
+    // restarted designs warm-start from disk instead of recompiling.
+    let store_dir =
+        std::env::temp_dir().join(format!("omnisim-sim-service-{}", std::process::id()));
+    let open_store = || {
+        ArtifactStore::open(&store_dir)
+            .expect("store directory opens")
+            .with_byte_budget(64 * 1024 * 1024)
+    };
+    let service = SimService::new(backend("omnisim").unwrap())
+        .with_capacity(2) // only two artifacts stay resident
+        .with_store(open_store());
+
+    println!(
+        "\npersistent tier (registry capacity 2, store at {}):",
+        store_dir.display()
+    );
+    let started = Instant::now();
+    for design in &designs {
+        service.register(design).expect("every design compiles");
+    }
+    let stats = service.stats();
+    println!(
+        "  registered {} designs in {:?}: {} compiles, {} evictions, {} artifacts persisted",
+        designs.len(),
+        started.elapsed(),
+        stats.compiles,
+        stats.registry_evictions,
+        stats.store.expect("store attached").entries,
+    );
+    assert_eq!(stats.designs, 2, "capacity bound holds");
+
+    // Re-registering an evicted design is answered from disk, not by the
+    // compiler.
+    let warm_before = service.warm_starts();
+    let started = Instant::now();
+    let key = service.register(&designs[1]).expect("warm start");
+    println!(
+        "  evicted design warm-started from disk in {:?} (warm starts: {}, compiles still {})",
+        started.elapsed(),
+        service.warm_starts(),
+        service.compiles(),
+    );
+    assert_eq!(service.warm_starts(), warm_before + 1);
+    let report = service.run(key, &RunConfig::default()).expect("runs");
+    println!(
+        "  warm-started artifact answers: {} cycles",
+        report.total_cycles.unwrap()
+    );
+
+    // A "restarted process": a fresh service over the same store directory
+    // decodes every artifact instead of compiling any.
+    let restarted = SimService::new(backend("omnisim").unwrap()).with_store(open_store());
+    let started = Instant::now();
+    for design in &designs {
+        restarted
+            .register(design)
+            .expect("every design warm-starts");
+    }
+    println!(
+        "  restart re-registered the fleet in {:?}: {} compiles, {} warm starts",
+        started.elapsed(),
+        restarted.compiles(),
+        restarted.warm_starts(),
+    );
+    assert_eq!(
+        restarted.compiles(),
+        0,
+        "nothing recompiles after a restart"
+    );
+
+    let _ = std::fs::remove_dir_all(&store_dir);
 }

@@ -85,6 +85,10 @@
 //!   min-depth search),
 //! * [`gen`] — the seeded random design generator, test-case shrinker and
 //!   cross-backend differential fuzzing oracle,
+//! * [`codec`] — the zero-dependency binary codec under every persisted
+//!   artifact and wire message,
+//! * [`serve`] — the persistent serving tier: [`SimService`], the
+//!   disk-backed [`ArtifactStore`] and the TCP server/client pair,
 //! * [`designs`] — the benchmark designs of the paper's evaluation.
 //!
 //! See `README.md` for a quickstart, the backend matrix and how to
@@ -97,6 +101,7 @@ pub mod service;
 
 pub use omnisim;
 pub use omnisim_api as api;
+pub use omnisim_codec as codec;
 pub use omnisim_csim as csim;
 pub use omnisim_designs as designs;
 pub use omnisim_dse as dse;
@@ -106,6 +111,7 @@ pub use omnisim_interp as interp;
 pub use omnisim_ir as ir;
 pub use omnisim_lightning as lightning;
 pub use omnisim_rtlsim as rtlsim;
+pub use omnisim_serve as serve;
 
 pub use omnisim_api::{
     Capabilities, CompiledSim, Extras, RunConfig, SimFailure, SimOutcome, SimReport, SimTimings,
@@ -115,7 +121,7 @@ pub use omnisim_dse::{
     MinDepthsReport, PlanError, PlanEvaluator, Sweep, SweepMethod, SweepPlan, SweepPoint,
     SweepReport,
 };
-pub use service::{DesignKey, SimService};
+pub use service::{ArtifactStore, DesignKey, ServiceStats, SimService, StoreStats};
 
 /// Canonical names of every registered backend, in the order the paper's
 /// tables list them: C simulation, the LightningSim baseline, OmniSim, and

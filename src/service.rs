@@ -1,22 +1,9 @@
 //! `SimService`: the concurrent compile-once / run-many serving layer.
 //!
-//! The ROADMAP's north star is serving heavy simulation traffic — many
-//! users, many queries, few distinct designs. The expensive half of every
-//! query (front-end elaboration, trace/event-graph construction) depends
-//! only on the design, so the service keeps a registry of compiled
-//! artifacts keyed by design content hash:
-//!
-//! * [`SimService::register`] content-hashes the design and compiles it
-//!   through the configured backend **once**; re-registering the same
-//!   design (same structure, any allocation) is a cache hit and returns
-//!   the same [`DesignKey`].
-//! * [`SimService::run`] answers one request against the shared
-//!   `Arc<dyn CompiledSim>` artifact — [`CompiledSim`] is `Send + Sync`,
-//!   so any number of requests can run concurrently against one artifact.
-//! * [`SimService::run_batch`] fans a request list out across scoped
-//!   worker threads (the same pool the batch DSE solver uses), with the
-//!   worker count tunable via [`SimService::with_workers`] and defaulting
-//!   to one per core.
+//! The implementation lives in the `omnisim-serve` crate (re-exported here
+//! as [`crate::serve`]) alongside the persistent [`ArtifactStore`] and the
+//! TCP server/client pair; this module re-exports the in-process surface
+//! under its historical facade path.
 //!
 //! ```
 //! use omnisim_suite::{backend, RunConfig, SimService};
@@ -38,265 +25,6 @@
 //! assert_eq!(service.compiles(), 1, "front-end paid exactly once");
 //! ```
 
-use omnisim_api::{CompiledSim, RunConfig, SimFailure, SimReport, Simulator};
-use omnisim_dse::pool;
-use omnisim_ir::Design;
-use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
-use std::hash::Hasher;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, RwLock};
-
-/// Handle to a design registered with a [`SimService`] — its content hash.
-///
-/// Two structurally identical designs (same modules, FIFOs, arrays,
-/// schedules and testbench environment) hash to the same key, so callers
-/// submitting the same design independently share one compiled artifact.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct DesignKey(u64);
-
-impl DesignKey {
-    /// The raw 64-bit content hash.
-    pub fn raw(&self) -> u64 {
-        self.0
-    }
-}
-
-/// Content hash of a design: the structural `Debug` form streamed straight
-/// into a seed-free hasher (no intermediate `String`). Stable within a
-/// build; `DefaultHasher`'s algorithm is unspecified across Rust releases,
-/// so keys are a per-process registry index, not a durable identifier.
-fn design_key(design: &Design) -> DesignKey {
-    struct HashWriter(DefaultHasher);
-    impl std::fmt::Write for HashWriter {
-        fn write_str(&mut self, s: &str) -> std::fmt::Result {
-            self.0.write(s.as_bytes());
-            Ok(())
-        }
-    }
-    let mut writer = HashWriter(DefaultHasher::new());
-    use std::fmt::Write as _;
-    write!(writer, "{design:?}").expect("hashing never fails");
-    DesignKey(writer.0.finish())
-}
-
-/// A concurrent compile-once / run-many simulation service over one
-/// backend. See the [module docs](self) for the design.
-pub struct SimService {
-    backend: Box<dyn Simulator>,
-    artifacts: RwLock<HashMap<DesignKey, Arc<dyn CompiledSim>>>,
-    workers: Option<usize>,
-    compiles: AtomicUsize,
-    cache_hits: AtomicUsize,
-}
-
-impl SimService {
-    /// Creates a service over the given backend, with one worker per core
-    /// for batched requests.
-    pub fn new(backend: Box<dyn Simulator>) -> Self {
-        SimService {
-            backend,
-            artifacts: RwLock::new(HashMap::new()),
-            workers: None,
-            compiles: AtomicUsize::new(0),
-            cache_hits: AtomicUsize::new(0),
-        }
-    }
-
-    /// Pins the number of worker threads used by [`SimService::run_batch`]
-    /// (clamped to at least one).
-    pub fn with_workers(mut self, workers: usize) -> Self {
-        self.workers = Some(workers.max(1));
-        self
-    }
-
-    /// Name of the backend this service compiles and runs with.
-    pub fn backend_name(&self) -> &'static str {
-        self.backend.name()
-    }
-
-    /// Registers a design: compiles it if its content hash is new, returns
-    /// the existing artifact's key otherwise.
-    ///
-    /// Compilation happens outside the registry lock, so registering a new
-    /// design never blocks concurrent [`SimService::run`] calls (two
-    /// concurrent first registrations of the same design may both compile;
-    /// artifacts are deterministic, so either result is kept).
-    ///
-    /// # Errors
-    ///
-    /// Propagates the backend's [`Simulator::compile`] failure
-    /// ([`SimFailure::Unsupported`] designs are not cached — a later
-    /// register retries).
-    pub fn register(&self, design: &Design) -> Result<DesignKey, SimFailure> {
-        let key = design_key(design);
-        if self
-            .artifacts
-            .read()
-            .expect("service registry poisoned")
-            .contains_key(&key)
-        {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(key);
-        }
-        let artifact: Arc<dyn CompiledSim> = Arc::from(self.backend.compile(design)?);
-        self.compiles.fetch_add(1, Ordering::Relaxed);
-        self.artifacts
-            .write()
-            .expect("service registry poisoned")
-            .entry(key)
-            .or_insert(artifact);
-        Ok(key)
-    }
-
-    /// The shared artifact for a registered design, if present. Callers can
-    /// hold the `Arc` and run against it directly (e.g. to downcast the
-    /// engine's artifact into a DSE `SweepPlan`).
-    pub fn artifact(&self, key: DesignKey) -> Option<Arc<dyn CompiledSim>> {
-        self.artifacts
-            .read()
-            .expect("service registry poisoned")
-            .get(&key)
-            .cloned()
-    }
-
-    /// Serves one run request against a registered design.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`SimFailure::Execution`] for an unknown key, and the
-    /// artifact's own failure otherwise.
-    pub fn run(&self, key: DesignKey, config: &RunConfig) -> Result<SimReport, SimFailure> {
-        let artifact = self.artifact(key).ok_or_else(|| {
-            SimFailure::execution(
-                self.backend.name(),
-                format!("no design registered under key {:#018x}", key.raw()),
-            )
-        })?;
-        artifact.run(config)
-    }
-
-    /// Serves a batch of run requests across scoped worker threads,
-    /// returning one result per request in request order. Requests may mix
-    /// designs and run configurations freely.
-    pub fn run_batch(
-        &self,
-        requests: &[(DesignKey, RunConfig)],
-    ) -> Vec<Result<SimReport, SimFailure>> {
-        let workers = pool::resolve_workers(self.workers);
-        pool::parallel_map(requests, workers, |(key, config)| self.run(*key, config))
-    }
-
-    /// Number of designs currently registered.
-    pub fn len(&self) -> usize {
-        self.artifacts
-            .read()
-            .expect("service registry poisoned")
-            .len()
-    }
-
-    /// True if no design has been registered yet.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Number of compilations performed (registry misses).
-    pub fn compiles(&self) -> usize {
-        self.compiles.load(Ordering::Relaxed)
-    }
-
-    /// Number of [`SimService::register`] calls answered from the registry.
-    pub fn cache_hits(&self) -> usize {
-        self.cache_hits.load(Ordering::Relaxed)
-    }
-}
-
-impl std::fmt::Debug for SimService {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SimService")
-            .field("backend", &self.backend.name())
-            .field("designs", &self.len())
-            .field("compiles", &self.compiles())
-            .field("cache_hits", &self.cache_hits())
-            .finish()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use omnisim_designs::typea;
-
-    fn service() -> SimService {
-        SimService::new(crate::backend("omnisim").unwrap())
-    }
-
-    #[test]
-    fn registering_the_same_design_compiles_once() {
-        let service = service();
-        assert!(service.is_empty());
-        let design = typea::vecadd_stream(24, 2);
-        let key = service.register(&design).unwrap();
-        // A structurally identical, separately-built design shares the key.
-        let again = service.register(&typea::vecadd_stream(24, 2)).unwrap();
-        assert_eq!(key, again);
-        assert_eq!(service.len(), 1);
-        assert_eq!(service.compiles(), 1);
-        assert_eq!(service.cache_hits(), 1);
-        // A different design gets its own artifact.
-        let other = service.register(&typea::vecadd_stream(25, 2)).unwrap();
-        assert_ne!(key, other);
-        assert_eq!(service.compiles(), 2);
-    }
-
-    #[test]
-    fn run_answers_requests_and_rejects_unknown_keys() {
-        let service = service();
-        let design = typea::vecadd_stream(24, 2);
-        let key = service.register(&design).unwrap();
-        let report = service.run(key, &RunConfig::default()).unwrap();
-        assert!(report.outcome.is_completed());
-
-        let bogus = DesignKey(0xdead_beef);
-        let failure = service.run(bogus, &RunConfig::default()).unwrap_err();
-        assert!(failure.to_string().contains("no design registered"));
-    }
-
-    #[test]
-    fn batched_requests_match_sequential_runs_at_any_worker_count() {
-        let design = typea::vecadd_stream(32, 2);
-        let fifos = design.fifos.len();
-        let requests: Vec<(DesignKey, RunConfig)> = {
-            let service = service();
-            let key = service.register(&design).unwrap();
-            (1..=6)
-                .map(|d| (key, RunConfig::new().with_fifo_depths(vec![d; fifos])))
-                .collect()
-        };
-        let mut per_worker_counts: Vec<Vec<Option<u64>>> = Vec::new();
-        for workers in [1usize, 3, 8] {
-            let service = service().with_workers(workers);
-            service.register(&design).unwrap();
-            let reports = service.run_batch(&requests);
-            per_worker_counts.push(
-                reports
-                    .into_iter()
-                    .map(|r| r.unwrap().total_cycles)
-                    .collect(),
-            );
-        }
-        assert_eq!(per_worker_counts[0], per_worker_counts[1]);
-        assert_eq!(per_worker_counts[0], per_worker_counts[2]);
-    }
-
-    #[test]
-    fn rejected_designs_are_not_cached() {
-        let service = SimService::new(crate::backend("lightning").unwrap());
-        // Type C: lightning refuses to compile it.
-        let design = omnisim_designs::fig4::ex5_with_depths(32, 2, 2);
-        let failure = service.register(&design).unwrap_err();
-        assert!(failure.is_unsupported());
-        assert!(service.is_empty());
-        assert_eq!(service.compiles(), 0);
-    }
-}
+pub use omnisim_serve::{
+    design_key, ArtifactStore, DesignKey, ServiceStats, SimService, StoreStats,
+};

@@ -1,0 +1,342 @@
+//! Persistence-tier conformance: every serializable backend's compiled
+//! artifact round-trips through `encode` / `decode_artifact` bit-identically
+//! (including the engine's depth-override re-finalize and resim-fallback
+//! paths and deadlock baselines), encodings are canonical across
+//! recompiles (the store's content-hash keys depend on it), the
+//! `ArtifactStore` + `SimService` warm-start cycle survives truncated /
+//! corrupted / version-skewed artifacts by falling back to a fresh compile,
+//! and a TCP client/server batch matches an in-process
+//! `SimService::run_batch` exactly.
+
+use omnisim_suite::designs::{fig4, misc, typea};
+use omnisim_suite::ir::Design;
+use omnisim_suite::serve::wire::WireReport;
+use omnisim_suite::serve::{design_key, ArtifactStore, Client, Server, SimService};
+use omnisim_suite::{all_backends, backend, RunConfig, SimReport};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static UNIQUE: AtomicUsize = AtomicUsize::new(0);
+    let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("omnisim-artifact-{tag}-{}-{n}", std::process::id()))
+}
+
+/// The process-independent projection used to compare reports: outcome,
+/// outputs, cycle count and warnings (wall-clock timings legitimately
+/// differ between an original and a decoded artifact).
+fn fingerprint(report: &SimReport) -> WireReport {
+    WireReport::from(report)
+}
+
+/// Run configs that exercise each backend's per-run knobs against `design`.
+fn probe_configs(design: &Design) -> Vec<RunConfig> {
+    let fifos = design.fifos.len();
+    let mut configs = vec![RunConfig::default(), RunConfig::new().with_fuel(100_000)];
+    if fifos > 0 {
+        for depth in [1usize, 3, 64] {
+            configs.push(RunConfig::new().with_fifo_depths(vec![depth; fifos]));
+        }
+    }
+    configs.push(RunConfig::new().with_max_cycles(25));
+    configs
+}
+
+#[test]
+fn artifacts_round_trip_bit_identically_on_every_backend() {
+    let fixtures: Vec<(&str, Design)> = vec![
+        ("vecadd", typea::vecadd_stream(32, 2)),
+        ("fir", typea::fir_filter(24, 4)),
+    ];
+    for sim in all_backends() {
+        assert!(
+            sim.capabilities().serializable_artifact,
+            "{}: every workspace backend persists",
+            sim.name()
+        );
+        for (label, design) in &fixtures {
+            let compiled = sim.compile(design).unwrap();
+            let bytes = compiled.encode().expect("serializable backends encode");
+            let decoded = sim.decode_artifact(design, &bytes).unwrap();
+            assert_eq!(decoded.backend(), sim.name());
+            assert_eq!(decoded.design_name(), design.name);
+            for config in probe_configs(design) {
+                let original = compiled.run(&config);
+                let revived = decoded.run(&config);
+                match (original, revived) {
+                    (Ok(a), Ok(b)) => assert_eq!(
+                        fingerprint(&a),
+                        fingerprint(&b),
+                        "{}/{label}: decoded artifact diverged on {config:?}",
+                        sim.name()
+                    ),
+                    (Err(a), Err(b)) => assert_eq!(
+                        a.to_string(),
+                        b.to_string(),
+                        "{}/{label}: decoded artifact failed differently",
+                        sim.name()
+                    ),
+                    (a, b) => panic!(
+                        "{}/{label}: original {a:?} vs decoded {b:?} on {config:?}",
+                        sim.name()
+                    ),
+                }
+            }
+            // The decoded artifact re-encodes to the same bytes, so a
+            // store never churns on load/save cycles.
+            assert_eq!(
+                decoded.encode().unwrap(),
+                bytes,
+                "{}/{label}: re-encode must be stable",
+                sim.name()
+            );
+        }
+    }
+}
+
+/// The engine's hard paths survive the round trip: Type C baselines whose
+/// depth overrides re-finalize incrementally, overrides that flip recorded
+/// constraints (transparent re-simulation fallback), and deadlocked
+/// baselines.
+#[test]
+fn engine_roundtrip_covers_refinalize_resim_and_deadlock_paths() {
+    let sim = backend("omnisim").unwrap();
+
+    // Type C: non-blocking reads; tight depth overrides flip constraint
+    // verdicts and force the resim fallback, wide ones re-finalize.
+    let design = fig4::ex5_with_depths(48, 2, 2);
+    let compiled = sim.compile(&design).unwrap();
+    let decoded = sim
+        .decode_artifact(&design, &compiled.encode().unwrap())
+        .unwrap();
+    let fifos = design.fifos.len();
+    for depth in 1..=10usize {
+        let config = RunConfig::new().with_fifo_depths(vec![depth; fifos]);
+        let original = compiled.run(&config).unwrap();
+        let revived = decoded.run(&config).unwrap();
+        assert_eq!(
+            fingerprint(&original),
+            fingerprint(&revived),
+            "depth {depth} diverged after decode"
+        );
+    }
+
+    // A deadlocked baseline (stalled-time graph, blocked tasks) must
+    // survive encoding too.
+    let deadlock = misc::deadlock();
+    let compiled = sim.compile(&deadlock).unwrap();
+    let bytes = compiled.encode().unwrap();
+    let decoded = sim.decode_artifact(&deadlock, &bytes).unwrap();
+    let original = compiled.run(&RunConfig::default()).unwrap();
+    let revived = decoded.run(&RunConfig::default()).unwrap();
+    assert!(original.outcome.is_deadlock());
+    assert_eq!(fingerprint(&original), fingerprint(&revived));
+}
+
+/// Compiling the same design twice yields byte-identical encodings, even
+/// though the engine assigns event-graph node IDs in scheduler-dependent
+/// arrival order — the canonicalization pass must erase that (and with it
+/// the constraint-recording-order nondeterminism noted in the ROADMAP).
+#[test]
+fn encodings_are_canonical_across_independent_compiles() {
+    let fixtures: Vec<Design> = vec![
+        typea::vecadd_stream(48, 2),
+        typea::dataflow_accumulators(32, 4),
+        fig4::ex5_with_depths(48, 2, 2),
+        misc::multicore(4, 16),
+    ];
+    for sim in all_backends() {
+        for design in &fixtures {
+            let Ok(first) = sim.compile(design) else {
+                continue; // lightning rejects Type C fixtures
+            };
+            let reference = first.encode().unwrap();
+            // Several recompiles: cross-thread arrival order varies from
+            // run to run, the canonical encoding must not.
+            for attempt in 0..4 {
+                let again = sim.compile(design).unwrap().encode().unwrap();
+                assert_eq!(
+                    again,
+                    reference,
+                    "{}/{}: attempt {attempt} encoded differently",
+                    sim.name(),
+                    design.name
+                );
+            }
+        }
+    }
+}
+
+/// Corrupted artifact bytes must never panic a decoder — truncations and
+/// bit flips all surface as clean failures.
+#[test]
+fn corrupted_artifacts_fail_cleanly_on_every_backend() {
+    let design = typea::vecadd_stream(16, 2);
+    for sim in all_backends() {
+        let bytes = sim.compile(&design).unwrap().encode().unwrap();
+        assert!(sim.decode_artifact(&design, &[]).is_err());
+        for len in (0..bytes.len()).step_by(7) {
+            assert!(
+                sim.decode_artifact(&design, &bytes[..len]).is_err(),
+                "{}: truncation to {len} bytes must fail",
+                sim.name()
+            );
+        }
+        for index in (0..bytes.len()).step_by(11) {
+            let mut tampered = bytes.clone();
+            tampered[index] ^= 0x5a;
+            // Flips are rejected (checksum, magic, version, or payload
+            // validation) — decoding must never panic or hang.
+            let _ = sim.decode_artifact(&design, &tampered);
+        }
+        // An artifact for a different design must not decode into this one
+        // (the engine's codec trusts the store's content-hash keying, so
+        // only name-guarded backends reject here; none may panic).
+        let other = typea::fir_filter(24, 4);
+        let other_bytes = sim.compile(&other).unwrap().encode().unwrap();
+        let _ = sim.decode_artifact(&design, &other_bytes);
+    }
+}
+
+#[test]
+fn store_warm_starts_and_survives_bad_artifacts() {
+    let dir = temp_dir("failures");
+    let design = typea::vecadd_stream(32, 2);
+    let key = design_key(&design);
+    let make_service = || {
+        SimService::new(backend("omnisim").unwrap()).with_store(ArtifactStore::open(&dir).unwrap())
+    };
+
+    // Cold start: compiles and persists.
+    let cold = make_service();
+    assert_eq!(cold.register(&design).unwrap(), key);
+    assert_eq!((cold.compiles(), cold.warm_starts()), (1, 0));
+    let baseline = fingerprint(&cold.run(key, &RunConfig::default()).unwrap());
+    drop(cold);
+
+    // Warm start in a "new process": decoded, not compiled.
+    let warm = make_service();
+    assert_eq!(warm.register(&design).unwrap(), key);
+    assert_eq!((warm.compiles(), warm.warm_starts()), (0, 1));
+    assert_eq!(warm.store().unwrap().hits(), 1);
+    assert_eq!(
+        fingerprint(&warm.run(key, &RunConfig::default()).unwrap()),
+        baseline,
+        "warm-started artifact must answer identically"
+    );
+    drop(warm);
+
+    let artifact_path = dir.join("omnisim").join(format!("{:016x}.art", key.raw()));
+    let good = std::fs::read(&artifact_path).unwrap();
+
+    // Each kind of bad persisted artifact falls back to a fresh compile
+    // and overwrites the bad entry, so the *next* register warm-starts.
+    let truncated = good[..good.len() / 2].to_vec();
+    let mut corrupted = good.clone();
+    let mid = corrupted.len() / 2;
+    corrupted[mid] ^= 0xff;
+    let mut version_skewed = good.clone();
+    version_skewed[4] = 0x7f; // version field of the frame header
+    for (label, bad) in [
+        ("truncated", truncated),
+        ("corrupted", corrupted),
+        ("version-skewed", version_skewed),
+    ] {
+        std::fs::write(&artifact_path, &bad).unwrap();
+        let service = make_service();
+        assert_eq!(service.register(&design).unwrap(), key, "{label}");
+        assert_eq!(
+            (service.compiles(), service.warm_starts()),
+            (1, 0),
+            "{label}: bad artifact must fall back to compiling"
+        );
+        assert_eq!(
+            fingerprint(&service.run(key, &RunConfig::default()).unwrap()),
+            baseline,
+            "{label}: recompiled artifact must answer identically"
+        );
+        drop(service);
+        assert_eq!(
+            std::fs::read(&artifact_path).unwrap(),
+            good,
+            "{label}: bad entry must be overwritten with a good encoding"
+        );
+        let healed = make_service();
+        healed.register(&design).unwrap();
+        assert_eq!(
+            (healed.compiles(), healed.warm_starts()),
+            (0, 1),
+            "{label}: store must be healed for the next process"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn registry_eviction_falls_back_to_disk_not_recompilation() {
+    let dir = temp_dir("evict");
+    let service = SimService::new(backend("lightning").unwrap())
+        .with_capacity(1)
+        .with_store(ArtifactStore::open(&dir).unwrap());
+    let first = typea::vecadd_stream(16, 2);
+    let second = typea::vecadd_stream(17, 2);
+    let key = service.register(&first).unwrap();
+    service.register(&second).unwrap(); // evicts `first` from memory
+    assert_eq!(service.registry_evictions(), 1);
+    assert_eq!(service.len(), 1);
+    // Re-registering the evicted design decodes from disk.
+    assert_eq!(service.register(&first).unwrap(), key);
+    assert_eq!(service.compiles(), 2, "no recompilation");
+    assert_eq!(service.warm_starts(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A client/server exchange over TCP must match `SimService::run_batch`
+/// in the same process, result for result.
+#[test]
+fn remote_batches_match_in_process_batches_exactly() {
+    let designs = [
+        typea::vecadd_stream(24, 2),
+        typea::fir_filter(16, 4),
+        fig4::ex5_with_depths(24, 2, 2),
+    ];
+
+    // In-process reference.
+    let local = SimService::new(backend("omnisim").unwrap());
+    let keys: Vec<_> = designs.iter().map(|d| local.register(d).unwrap()).collect();
+    let mut requests = Vec::new();
+    for (i, key) in keys.iter().cycle().take(12).enumerate() {
+        let design = &designs[i % designs.len()];
+        let config = if i % 2 == 0 {
+            RunConfig::default()
+        } else {
+            RunConfig::new().with_fifo_depths(vec![1 + i % 5; design.fifos.len()])
+        };
+        requests.push((*key, config));
+    }
+    let expected: Vec<Result<WireReport, String>> = local
+        .run_batch(&requests)
+        .iter()
+        .map(|r| match r {
+            Ok(report) => Ok(fingerprint(report)),
+            Err(failure) => Err(failure.to_string()),
+        })
+        .collect();
+
+    // The same batch through the TCP tier.
+    let server = Server::bind(
+        SimService::new(backend("omnisim").unwrap()),
+        ("127.0.0.1", 0),
+    )
+    .unwrap();
+    let handle = server.handle();
+    let serving = std::thread::spawn(move || server.serve().unwrap());
+    let mut client = Client::connect(handle.addr()).unwrap();
+    for design in &designs {
+        client.register(design).unwrap();
+    }
+    let remote = client.run_batch(&requests).unwrap();
+    assert_eq!(remote, expected, "remote batch must match in-process batch");
+    client.shutdown().unwrap();
+    serving.join().unwrap();
+}
