@@ -213,6 +213,18 @@ pub trait CompiledSim: Send + Sync {
     /// concrete type (e.g. `omnisim-dse` compiles its `SweepPlan` from the
     /// engine's artifact instead of going through [`Extras`]).
     fn as_any(&self) -> &dyn Any;
+
+    /// Lifetime totals of backend-internal events on this artifact, as
+    /// `(name, count)` pairs — which run path answered each
+    /// [`CompiledSim::run`] (certified replay, incremental re-finalize,
+    /// full re-simulation fallback, …). Names are stable,
+    /// Prometheus-friendly identifiers; counts are cumulative since the
+    /// artifact was created. The serving tier scrapes these into its
+    /// metrics registry, which keeps backend crates free of any
+    /// observability dependency. The default is no counters.
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        Vec::new()
+    }
 }
 
 impl fmt::Debug for dyn CompiledSim {

@@ -17,7 +17,10 @@
 //! on the persisted encoding) per backend, on a trace-heavy workload
 //! (`vecadd_stream`) and a compute-heavy one (`fir_filter`); a fifth
 //! pushes the same batch through the TCP serving tier (`Server`/`Client`)
-//! and checks it answers exactly like the in-process service.
+//! and checks it answers exactly like the in-process service; a sixth
+//! replays the mixed service batch on an instrumented vs an
+//! uninstrumented (`MetricsRegistry::disabled`) service and asserts the
+//! telemetry layer costs less than 5% of throughput.
 //!
 //! Results are printed as a table and written to `BENCH_api.json`. Pass
 //! `--smoke` for a seconds-scale run (used by CI) — same measurements,
@@ -29,10 +32,12 @@
 use omnisim_bench::secs;
 use omnisim_suite::designs::typea;
 use omnisim_suite::ir::Design;
+use omnisim_suite::obs::MetricsRegistry;
 use omnisim_suite::serve::wire::WireReport;
 use omnisim_suite::serve::{Client, Server};
 use omnisim_suite::{backend, RunConfig, SimService, Simulator};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 struct BackendRow {
@@ -256,11 +261,13 @@ fn main() {
     for d in &designs {
         reference_service.register(d).expect("fleet compiles");
     }
+    // Timings are machine-local wall clock, so the determinism check
+    // compares the `without_timings` projections.
     let expected: Vec<Result<WireReport, String>> = reference_service
         .run_batch(&requests)
         .iter()
         .map(|r| match r {
-            Ok(report) => Ok(WireReport::from(report)),
+            Ok(report) => Ok(WireReport::from(report).without_timings()),
             Err(failure) => Err(failure.to_string()),
         })
         .collect();
@@ -280,6 +287,10 @@ fn main() {
     let start = Instant::now();
     let remote = client.run_batch(&requests).expect("batch admitted");
     let wire_elapsed = start.elapsed();
+    let remote: Vec<Result<WireReport, String>> = remote
+        .into_iter()
+        .map(|r| r.map(WireReport::without_timings))
+        .collect();
     assert_eq!(
         remote, expected,
         "remote batch must match the in-process service exactly"
@@ -292,6 +303,41 @@ fn main() {
          results bit-identical to in-process",
         requests.len(),
         secs(wire_elapsed)
+    );
+
+    // Telemetry overhead: the same mixed batch on an instrumented service
+    // (the default registry) vs one rebuilt over a disabled registry, where
+    // every handle is a no-op. Interleaved best-of-3 so CPU frequency and
+    // cache drift hit both sides alike.
+    let build_service = |registry: Arc<MetricsRegistry>| {
+        let service = SimService::new(backend("omnisim").unwrap()).with_metrics(registry);
+        for d in &designs {
+            service.register(d).expect("fleet compiles");
+        }
+        service
+    };
+    let instrumented = build_service(Arc::new(MetricsRegistry::new()));
+    let uninstrumented = build_service(Arc::new(MetricsRegistry::disabled()));
+    let time_batch = |service: &SimService| {
+        let start = Instant::now();
+        let reports = service.run_batch(&requests);
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        assert!(reports.iter().all(|r| r.is_ok()), "all requests served");
+        requests.len() as f64 / elapsed
+    };
+    let mut instrumented_rps: f64 = 0.0;
+    let mut uninstrumented_rps: f64 = 0.0;
+    for _ in 0..3 {
+        instrumented_rps = instrumented_rps.max(time_batch(&instrumented));
+        uninstrumented_rps = uninstrumented_rps.max(time_batch(&uninstrumented));
+    }
+    let overhead_ratio = instrumented_rps / uninstrumented_rps.max(1e-9);
+    println!(
+        "\nmetrics overhead (mixed service batch, best of 3): \
+         instrumented {instrumented_rps:.0} runs/sec, \
+         uninstrumented {uninstrumented_rps:.0} runs/sec \
+         ({:.1}% overhead)",
+        (1.0 - overhead_ratio).max(0.0) * 100.0
     );
 
     let mut json = String::from("{\n  \"bench\": \"api_throughput\",\n");
@@ -346,6 +392,10 @@ fn main() {
             if w + 1 < warm_fixtures.len() { "," } else { "" }
         );
     }
+    let _ = writeln!(json, "  }},\n  \"metrics_overhead\": {{");
+    let _ = writeln!(json, "    \"instrumented_rps\": {instrumented_rps:.2},");
+    let _ = writeln!(json, "    \"uninstrumented_rps\": {uninstrumented_rps:.2},");
+    let _ = writeln!(json, "    \"ratio\": {overhead_ratio:.4}");
     let _ = writeln!(json, "  }},\n  \"wire\": {{");
     let _ = writeln!(json, "    \"requests\": {},", requests.len());
     let _ = writeln!(json, "    \"rps\": {wire_rps:.2}");
@@ -374,4 +424,11 @@ fn main() {
             warm.speedup
         );
     }
+    // The telemetry layer must stay within 5% of uninstrumented throughput
+    // on the mixed service batch.
+    assert!(
+        overhead_ratio >= 0.95,
+        "instrumented service must stay within 5% of uninstrumented \
+         throughput, got ratio {overhead_ratio:.3}"
+    );
 }

@@ -28,6 +28,7 @@ use omnisim_api::{
 };
 use omnisim_ir::Design;
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// The OmniSim engine as a unified [`Simulator`] backend: cycle-accurate on
@@ -110,6 +111,11 @@ pub struct CompiledOmni {
     config: SimConfig,
     baseline: OmniReport,
     compile_timings: SimTimings,
+    // Which path answered each run — scraped by the serving tier through
+    // `CompiledSim::counters`.
+    replays: AtomicU64,
+    refinalizes: AtomicU64,
+    resim_fallbacks: AtomicU64,
 }
 
 impl CompiledOmni {
@@ -130,6 +136,9 @@ impl CompiledOmni {
             config,
             baseline,
             compile_timings,
+            replays: AtomicU64::new(0),
+            refinalizes: AtomicU64::new(0),
+            resim_fallbacks: AtomicU64::new(0),
         })
     }
 
@@ -144,6 +153,9 @@ impl CompiledOmni {
             config,
             baseline,
             compile_timings,
+            replays: AtomicU64::new(0),
+            refinalizes: AtomicU64::new(0),
+            resim_fallbacks: AtomicU64::new(0),
         }
     }
 
@@ -202,6 +214,7 @@ impl CompiledOmni {
             Some(depths) if depths != original => depths.as_slice(),
             _ => {
                 // The compiled depths: replay the frozen baseline.
+                self.replays.fetch_add(1, Ordering::Relaxed);
                 let mut report = self.materialize_baseline();
                 report.timings.finalize = run_start.elapsed();
                 return Ok(report);
@@ -224,6 +237,7 @@ impl CompiledOmni {
             IncrementalOutcome::Valid { total_cycles } => {
                 // Every recorded constraint holds: behaviour is unchanged
                 // from the baseline, only the latency moves.
+                self.refinalizes.fetch_add(1, Ordering::Relaxed);
                 let mut report = self.materialize_baseline();
                 report.total_cycles = Some(total_cycles);
                 report.timings.finalize = run_start.elapsed();
@@ -234,6 +248,7 @@ impl CompiledOmni {
             | IncrementalOutcome::DepthCyclic => {
                 // The frozen graph cannot certify these depths: a full
                 // re-simulation of the resized design answers instead.
+                self.resim_fallbacks.fetch_add(1, Ordering::Relaxed);
                 let resized = self.design.with_fifo_depths(depths);
                 let run_config = config
                     .fuel
@@ -268,6 +283,17 @@ impl CompiledSim for CompiledOmni {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("baseline_replays", self.replays.load(Ordering::Relaxed)),
+            ("refinalizes", self.refinalizes.load(Ordering::Relaxed)),
+            (
+                "resim_fallbacks",
+                self.resim_fallbacks.load(Ordering::Relaxed),
+            ),
+        ]
     }
 }
 
@@ -419,6 +445,32 @@ mod tests {
             .run_native(&RunConfig::new().with_fifo_depths([0usize]))
             .unwrap_err();
         assert!(matches!(err, OmniError::Graph(_)));
+    }
+
+    #[test]
+    fn counters_track_which_path_answered_each_run() {
+        // A certified depth change on a blocking-only design re-finalizes.
+        let design = producer_consumer(16, 2, 1);
+        let compiled = CompiledOmni::compile(&design, SimConfig::default()).unwrap();
+        assert!(compiled.counters().iter().all(|&(_, count)| count == 0));
+        compiled.run(&RunConfig::default()).unwrap();
+        compiled
+            .run(&RunConfig::new().with_fifo_depths([32usize]))
+            .unwrap();
+        let counters: std::collections::BTreeMap<_, _> = compiled.counters().into_iter().collect();
+        assert_eq!(counters["baseline_replays"], 1);
+        assert_eq!(counters["refinalizes"], 1);
+        assert_eq!(counters["resim_fallbacks"], 0);
+
+        // Growing an NB design's FIFO flips recorded outcomes: fallback.
+        let nb = nb_drop_counter(48, 2, 3);
+        let compiled = CompiledOmni::compile(&nb, SimConfig::default()).unwrap();
+        compiled
+            .run(&RunConfig::new().with_fifo_depths([128usize]))
+            .unwrap();
+        let counters: std::collections::BTreeMap<_, _> = compiled.counters().into_iter().collect();
+        assert_eq!(counters["resim_fallbacks"], 1);
+        assert_eq!(counters.values().sum::<u64>(), 1, "counted exactly once");
     }
 
     #[test]

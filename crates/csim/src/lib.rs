@@ -74,6 +74,7 @@ use omnisim_ir::schedule::BlockSchedule;
 use omnisim_ir::{ArrayId, AxiId, BlockId, Design, FifoId, ModuleId, OutputId};
 use std::any::Any;
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// How a C simulation run ended.
@@ -242,6 +243,8 @@ impl Simulator for CsimBackend {
                 execution,
                 ..SimTimings::default()
             },
+            replays: AtomicU64::new(0),
+            reexecutions: AtomicU64::new(0),
         }))
     }
 
@@ -347,6 +350,8 @@ pub fn decode_compiled(design: &Design, bytes: &[u8]) -> Result<CompiledCsim, Co
             wall_time: Duration::ZERO,
         },
         compile_timings: SimTimings::default(),
+        replays: AtomicU64::new(0),
+        reexecutions: AtomicU64::new(0),
     })
 }
 
@@ -419,6 +424,10 @@ pub struct CompiledCsim {
     config: CsimConfig,
     cached: CsimReport,
     compile_timings: SimTimings,
+    // Which path answered each run — scraped by the serving tier through
+    // `CompiledSim::counters`.
+    replays: AtomicU64,
+    reexecutions: AtomicU64,
 }
 
 impl CompiledCsim {
@@ -445,9 +454,13 @@ impl CompiledSim for CompiledCsim {
         let started = Instant::now();
         let mut unified: SimReport = match config.fuel {
             Some(fuel) if fuel != self.config.fuel => {
+                self.reexecutions.fetch_add(1, Ordering::Relaxed);
                 simulate_with_config(&self.design, CsimConfig { fuel }).into()
             }
-            _ => self.cached.clone().into(),
+            _ => {
+                self.replays.fetch_add(1, Ordering::Relaxed);
+                self.cached.clone().into()
+            }
         };
         // The evaluation cost lives in the compile timings (or, for a
         // fuel-override re-execution, in the elapsed time measured here);
@@ -465,6 +478,13 @@ impl CompiledSim for CompiledCsim {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("cached_replays", self.replays.load(Ordering::Relaxed)),
+            ("reexecutions", self.reexecutions.load(Ordering::Relaxed)),
+        ]
     }
 }
 

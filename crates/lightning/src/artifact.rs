@@ -128,5 +128,7 @@ pub fn decode_compiled(design: &Design, bytes: &[u8]) -> Result<CompiledLightnin
             outputs,
         },
         compile_timings: SimTimings::default(),
+        replays: std::sync::atomic::AtomicU64::new(0),
+        reanalyses: std::sync::atomic::AtomicU64::new(0),
     })
 }

@@ -1,0 +1,307 @@
+//! Prometheus text exposition: rendering and a line-grammar parser.
+
+use crate::registry::MetricId;
+use crate::snapshot::{MetricsSnapshot, SampleValue};
+use std::fmt::Write as _;
+
+/// Quantiles a histogram renders as a Prometheus summary. `0` and `1` are
+/// exact (tracked min/max); the rest are bucketed estimates.
+const QUANTILES: [(f64, &str); 5] = [
+    (0.0, "0"),
+    (0.5, "0.5"),
+    (0.9, "0.9"),
+    (0.99, "0.99"),
+    (1.0, "1"),
+];
+
+pub(crate) fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for sample in &snapshot.samples {
+        if last_name != Some(sample.id.name.as_str()) {
+            let kind = match &sample.value {
+                SampleValue::Counter(_) => "counter",
+                SampleValue::Gauge(_) => "gauge",
+                SampleValue::Histogram(_) => "summary",
+            };
+            let _ = writeln!(out, "# TYPE {} {kind}", sample.id.name);
+            last_name = Some(sample.id.name.as_str());
+        }
+        match &sample.value {
+            SampleValue::Counter(v) => {
+                write_series(&mut out, &sample.id, &[], &v.to_string());
+            }
+            SampleValue::Gauge(v) => {
+                write_series(&mut out, &sample.id, &[], &v.to_string());
+            }
+            SampleValue::Histogram(h) => {
+                for (q, tag) in QUANTILES {
+                    let value = match tag {
+                        "0" => h.min,
+                        "1" => h.max,
+                        _ => h.quantile(q),
+                    };
+                    write_series(
+                        &mut out,
+                        &sample.id,
+                        &[("quantile", tag)],
+                        &value.to_string(),
+                    );
+                }
+                let sum_id = suffixed(&sample.id, "_sum");
+                write_series(&mut out, &sum_id, &[], &h.sum.to_string());
+                let count_id = suffixed(&sample.id, "_count");
+                write_series(&mut out, &count_id, &[], &h.count.to_string());
+            }
+        }
+    }
+    out
+}
+
+fn suffixed(id: &MetricId, suffix: &str) -> MetricId {
+    MetricId {
+        name: format!("{}{suffix}", id.name),
+        labels: id.labels.clone(),
+    }
+}
+
+fn write_series(out: &mut String, id: &MetricId, extra: &[(&str, &str)], value: &str) {
+    out.push_str(&id.name);
+    if !id.labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        let mut first = true;
+        for (key, val) in id
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .chain(extra.iter().copied())
+        {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(key);
+            out.push_str("=\"");
+            for c in val.chars() {
+                match c {
+                    '\\' => out.push_str("\\\\"),
+                    '"' => out.push_str("\\\""),
+                    '\n' => out.push_str("\\n"),
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+/// One parsed Prometheus sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PromSample {
+    /// The metric name (with any `_sum`/`_count` suffix kept as-is).
+    pub name: String,
+    /// Label pairs in the order they appeared.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl PromSample {
+    /// The value of one label, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == ':')
+        && name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses (and thereby validates) Prometheus text exposition output:
+/// `# ...` comment lines and `name[{k="v",...}] value` sample lines.
+/// Returns every sample, or a description of the first malformed line.
+pub fn parse_prometheus(text: &str) -> Result<Vec<PromSample>, String> {
+    let mut samples = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_sample_line(line).map_err(|e| format!("line {line_no}: {e}"))?);
+    }
+    Ok(samples)
+}
+
+fn parse_sample_line(line: &str) -> Result<PromSample, String> {
+    let (series, value) = line.rsplit_once(' ').ok_or("missing value separator")?;
+    let value: f64 = value
+        .parse()
+        .map_err(|_| format!("invalid value '{value}'"))?;
+    let (name, labels) = match series.split_once('{') {
+        None => (series.trim(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').ok_or("unterminated label block")?;
+            (name.trim(), parse_labels(body)?)
+        }
+    };
+    if !valid_name(name) {
+        return Err(format!("invalid metric name '{name}'"));
+    }
+    Ok(PromSample {
+        name: name.to_owned(),
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label missing '='")?;
+        let key = rest[..eq].trim();
+        if !valid_name(key) {
+            return Err(format!("invalid label name '{key}'"));
+        }
+        rest = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or("label value missing opening quote")?;
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let mut end = None;
+        while let Some((i, c)) = chars.next() {
+            match c {
+                '\\' => match chars.next() {
+                    Some((_, '\\')) => value.push('\\'),
+                    Some((_, '"')) => value.push('"'),
+                    Some((_, 'n')) => value.push('\n'),
+                    _ => return Err("bad escape in label value".to_owned()),
+                },
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                c => value.push(c),
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key.to_owned(), value));
+        rest = &rest[end + 1..];
+        if let Some(tail) = rest.strip_prefix(',') {
+            rest = tail;
+        } else if !rest.is_empty() {
+            return Err("expected ',' between labels".to_owned());
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    #[test]
+    fn rendered_output_parses_back() {
+        let registry = MetricsRegistry::new();
+        registry.counter("requests_total").add(3);
+        registry.counter_with("outcomes", &[("kind", "hit")]).add(2);
+        registry
+            .counter_with("outcomes", &[("kind", "miss")])
+            .add(1);
+        registry.gauge("in_flight").set(-2);
+        let hist = registry.histogram_with("lat_nanos", &[("type", "run")]);
+        for v in 1..=100u64 {
+            hist.observe(v * 10);
+        }
+        let text = registry.snapshot().to_prometheus();
+
+        // One TYPE line per metric name.
+        assert_eq!(text.matches("# TYPE outcomes counter").count(), 1);
+        assert!(text.contains("# TYPE lat_nanos summary"));
+        assert!(text.contains("requests_total 3"));
+        assert!(text.contains("outcomes{kind=\"hit\"} 2"));
+        assert!(text.contains("in_flight -2"));
+
+        let samples = parse_prometheus(&text).unwrap();
+        assert_eq!(
+            samples
+                .iter()
+                .filter(|s| s.name == "outcomes")
+                .map(|s| (s.label("kind").unwrap().to_owned(), s.value))
+                .collect::<Vec<_>>(),
+            vec![("hit".to_owned(), 2.0), ("miss".to_owned(), 1.0)]
+        );
+        // Summary legs: 5 quantiles + sum + count, all carrying the
+        // original labels.
+        let lat: Vec<_> = samples
+            .iter()
+            .filter(|s| s.name.starts_with("lat_nanos"))
+            .collect();
+        assert_eq!(lat.len(), 7);
+        assert!(lat.iter().all(|s| s.label("type") == Some("run")));
+        let p50 = lat
+            .iter()
+            .find(|s| s.label("quantile") == Some("0.5"))
+            .unwrap();
+        assert!(
+            p50.value >= 500.0 && p50.value <= 640.0,
+            "p50={}",
+            p50.value
+        );
+        assert_eq!(
+            lat.iter()
+                .find(|s| s.name == "lat_nanos_count")
+                .unwrap()
+                .value,
+            100.0
+        );
+        assert_eq!(
+            lat.iter()
+                .find(|s| s.name == "lat_nanos_sum")
+                .unwrap()
+                .value,
+            (1..=100u64).map(|v| v * 10).sum::<u64>() as f64
+        );
+    }
+
+    #[test]
+    fn label_values_with_tricky_characters_round_trip() {
+        let registry = MetricsRegistry::new();
+        registry.counter_with("c", &[("path", "a\\b\"c\nd")]).inc();
+        let text = registry.snapshot().to_prometheus();
+        let samples = parse_prometheus(&text).unwrap();
+        assert_eq!(samples[0].label("path"), Some("a\\b\"c\nd"));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        for bad in [
+            "no_value_here",
+            "1bad_name 3",
+            "name{unterminated 3",
+            "name{k=\"v} 3",
+            "name{k=v\"} 3",
+            "name{k=\"v\"", // missing value
+            "name 12x",
+        ] {
+            assert!(parse_prometheus(bad).is_err(), "accepted {bad:?}");
+        }
+        assert_eq!(parse_prometheus("# just a comment\n\n").unwrap(), vec![]);
+    }
+}

@@ -1,0 +1,80 @@
+//! # omnisim-obs
+//!
+//! The observability substrate of the OmniSim serving stack: a
+//! [`MetricsRegistry`] of sharded atomic counters, gauges and log-bucketed
+//! latency histograms, lightweight [`Span`] timers that feed named
+//! histograms, and two std-only exporters — the Prometheus text format and
+//! a structured JSON document that parses back into the same
+//! [`MetricsSnapshot`].
+//!
+//! The serving tier (`omnisim-serve`) spans four layers — backend
+//! compile/run, the `SimService` registry, the `ArtifactStore` and the TCP
+//! server — and steering its scale-out (pipelining, sharding, thousands of
+//! clients) needs per-request latency distributions and saturation
+//! metrics, not just lifetime counters. This crate is that substrate, with
+//! the same constraint as the rest of the workspace: zero dependencies,
+//! `std` only, no `unsafe`.
+//!
+//! ## Model
+//!
+//! * A metric is identified by a [`MetricId`]: a name plus a sorted list
+//!   of `(label, value)` pairs, mirroring the Prometheus data model —
+//!   `wire_request_nanos{type="run_batch"}` and
+//!   `wire_request_nanos{type="register"}` are two series of one metric.
+//! * [`MetricsRegistry::counter`] / [`gauge`](MetricsRegistry::gauge) /
+//!   [`histogram`](MetricsRegistry::histogram) register (or re-fetch) a
+//!   series and hand back a cheap clonable handle; hot paths hold handles
+//!   and never touch the registry lock again.
+//! * [`Counter`] increments are sharded across cache-line-padded atomics,
+//!   so concurrent workers do not serialize on one cell; [`Histogram`]
+//!   records into log-spaced buckets (4 sub-buckets per power of two,
+//!   ≤ 25 % relative error) with exact count/sum/min/max.
+//! * [`Histogram::span`] starts a [`Span`] that records its elapsed
+//!   nanoseconds into the histogram when dropped.
+//! * [`MetricsRegistry::snapshot`] freezes everything into a
+//!   [`MetricsSnapshot`] — an ordinary, ordered, comparable value that
+//!   renders [`to_prometheus`](MetricsSnapshot::to_prometheus) or
+//!   [`to_json`](MetricsSnapshot::to_json) and travels over the serving
+//!   tier's wire protocol.
+//!
+//! ```
+//! use omnisim_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! let served = registry.counter("requests_total");
+//! let latency = registry.histogram_with("request_nanos", &[("type", "run")]);
+//!
+//! served.inc();
+//! {
+//!     let _span = latency.span(); // records on drop
+//! }
+//! latency.observe(1_500);
+//!
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counter("requests_total"), Some(1));
+//! let text = snapshot.to_prometheus();
+//! assert!(text.contains("requests_total 1"));
+//! let json = snapshot.to_json();
+//! assert_eq!(omnisim_obs::MetricsSnapshot::from_json(&json).unwrap(), snapshot);
+//! ```
+//!
+//! A registry can also be created [`disabled`](MetricsRegistry::disabled):
+//! handles still exist, but every record is a no-op — the hook the
+//! `api_throughput` bench uses to pin the instrumentation overhead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod export;
+mod histogram;
+pub mod json;
+mod registry;
+mod snapshot;
+mod span;
+
+pub use export::{parse_prometheus, PromSample};
+pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+pub use registry::{Counter, Gauge, MetricId, MetricsRegistry};
+pub use snapshot::{MetricsSnapshot, Sample, SampleValue};
+pub use span::Span;

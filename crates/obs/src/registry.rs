@@ -1,0 +1,415 @@
+//! The metric registry and the counter/gauge handle types.
+
+use crate::histogram::{Histogram, HistogramCells};
+use crate::snapshot::{MetricsSnapshot, Sample, SampleValue};
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Identity of one metric series: a name plus sorted `(label, value)`
+/// pairs, mirroring the Prometheus data model.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricId {
+    /// The metric name (Prometheus-safe: `[a-zA-Z_][a-zA-Z0-9_]*`).
+    pub name: String,
+    /// Label pairs, sorted by label name.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricId {
+    /// Builds an id, sorting the labels into canonical order.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+            .collect();
+        labels.sort();
+        MetricId {
+            name: name.to_owned(),
+            labels,
+        }
+    }
+}
+
+impl std::fmt::Display for MetricId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)?;
+        if !self.labels.is_empty() {
+            f.write_str("{")?;
+            for (i, (key, value)) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write!(f, "{key}=\"{value}\"")?;
+            }
+            f.write_str("}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Counter shards: cache-line padded so concurrent workers increment
+/// different lines instead of bouncing one.
+const SHARDS: usize = 16;
+
+#[repr(align(64))]
+#[derive(Debug)]
+struct PaddedU64(AtomicU64);
+
+fn shard_index() -> usize {
+    static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    SHARD.with(|slot| {
+        let mut index = slot.get();
+        if index == usize::MAX {
+            index = NEXT_THREAD.fetch_add(1, Ordering::Relaxed) % SHARDS;
+            slot.set(index);
+        }
+        index
+    })
+}
+
+#[derive(Debug)]
+pub(crate) struct CounterCells {
+    shards: Vec<PaddedU64>, // SHARDS entries
+}
+
+impl CounterCells {
+    fn new() -> Self {
+        CounterCells {
+            shards: (0..SHARDS).map(|_| PaddedU64(AtomicU64::new(0))).collect(),
+        }
+    }
+
+    fn add(&self, delta: u64) {
+        self.shards[shard_index()]
+            .0
+            .fetch_add(delta, Ordering::Relaxed);
+    }
+
+    fn value(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|shard| shard.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// A monotonically increasing counter handle. Cheap to clone; increments
+/// are sharded relaxed atomics. A handle from a disabled registry (or a
+/// default-constructed one) is a no-op.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cells: Option<Arc<CounterCells>>,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: u64) {
+        if let Some(cells) = &self.cells {
+            cells.add(delta);
+        }
+    }
+
+    /// The current total across all shards.
+    pub fn value(&self) -> u64 {
+        self.cells.as_ref().map_or(0, |cells| cells.value())
+    }
+}
+
+/// A gauge handle: a signed value that can move both ways (in-flight
+/// requests, resident designs). No-op when disabled.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    cell: Option<Arc<AtomicI64>>,
+}
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, value: i64) {
+        if let Some(cell) = &self.cell {
+            cell.store(value, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta`.
+    pub fn add(&self, delta: i64) {
+        if let Some(cell) = &self.cell {
+            cell.fetch_add(delta, Ordering::Relaxed);
+        }
+    }
+
+    /// Subtracts `delta`.
+    pub fn sub(&self, delta: i64) {
+        self.add(-delta);
+    }
+
+    /// The current value.
+    pub fn value(&self) -> i64 {
+        self.cell
+            .as_ref()
+            .map_or(0, |cell| cell.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+enum MetricEntry {
+    Counter(Arc<CounterCells>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCells>),
+}
+
+impl MetricEntry {
+    fn kind(&self) -> &'static str {
+        match self {
+            MetricEntry::Counter(_) => "counter",
+            MetricEntry::Gauge(_) => "gauge",
+            MetricEntry::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// A registry of named metric series. See the [crate docs](crate) for the
+/// model; the short version: register handles once, record through them on
+/// the hot path, [`snapshot`](MetricsRegistry::snapshot) to export.
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    metrics: RwLock<BTreeMap<MetricId, MetricEntry>>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// A live registry.
+    pub fn new() -> Self {
+        MetricsRegistry {
+            enabled: true,
+            metrics: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// A disabled registry: handles are handed out but every record is a
+    /// no-op and snapshots are empty. Used to measure (and bound) the
+    /// instrumentation overhead.
+    pub fn disabled() -> Self {
+        MetricsRegistry {
+            enabled: false,
+            metrics: RwLock::new(BTreeMap::new()),
+        }
+    }
+
+    /// True if this registry records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Registers (or re-fetches) an unlabelled counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Registers (or re-fetches) a labelled counter series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same id is already registered as a different kind.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        if !self.enabled {
+            return Counter::default();
+        }
+        let id = MetricId::new(name, labels);
+        let mut metrics = self.metrics.write().expect("metrics registry poisoned");
+        let entry = metrics
+            .entry(id.clone())
+            .or_insert_with(|| MetricEntry::Counter(Arc::new(CounterCells::new())));
+        match entry {
+            MetricEntry::Counter(cells) => Counter {
+                cells: Some(Arc::clone(cells)),
+            },
+            other => panic!("metric {id} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or re-fetches) an unlabelled gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Registers (or re-fetches) a labelled gauge series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same id is already registered as a different kind.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        if !self.enabled {
+            return Gauge::default();
+        }
+        let id = MetricId::new(name, labels);
+        let mut metrics = self.metrics.write().expect("metrics registry poisoned");
+        let entry = metrics
+            .entry(id.clone())
+            .or_insert_with(|| MetricEntry::Gauge(Arc::new(AtomicI64::new(0))));
+        match entry {
+            MetricEntry::Gauge(cell) => Gauge {
+                cell: Some(Arc::clone(cell)),
+            },
+            other => panic!("metric {id} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Registers (or re-fetches) an unlabelled histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Registers (or re-fetches) a labelled histogram series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same id is already registered as a different kind.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        if !self.enabled {
+            return Histogram::default();
+        }
+        let id = MetricId::new(name, labels);
+        let mut metrics = self.metrics.write().expect("metrics registry poisoned");
+        let entry = metrics
+            .entry(id.clone())
+            .or_insert_with(|| MetricEntry::Histogram(Arc::new(HistogramCells::new())));
+        match entry {
+            MetricEntry::Histogram(cells) => Histogram {
+                cells: Some(Arc::clone(cells)),
+            },
+            other => panic!("metric {id} already registered as a {}", other.kind()),
+        }
+    }
+
+    /// Freezes every registered series into an ordered, comparable
+    /// snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.read().expect("metrics registry poisoned");
+        let samples = metrics
+            .iter()
+            .map(|(id, entry)| Sample {
+                id: id.clone(),
+                value: match entry {
+                    MetricEntry::Counter(cells) => SampleValue::Counter(cells.value()),
+                    MetricEntry::Gauge(cell) => SampleValue::Gauge(cell.load(Ordering::Relaxed)),
+                    MetricEntry::Histogram(cells) => SampleValue::Histogram(
+                        Histogram {
+                            cells: Some(Arc::clone(cells)),
+                        }
+                        .snapshot(),
+                    ),
+                },
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn handles_share_series_and_labels_distinguish_them() {
+        let registry = MetricsRegistry::new();
+        let a = registry.counter_with("reqs", &[("type", "run")]);
+        let b = registry.counter_with("reqs", &[("type", "run")]);
+        let other = registry.counter_with("reqs", &[("type", "stats")]);
+        a.inc();
+        b.add(2);
+        other.inc();
+        assert_eq!(a.value(), 3, "same id shares one series");
+        assert_eq!(other.value(), 1);
+        // Label order does not matter.
+        let c = registry.counter_with("multi", &[("b", "2"), ("a", "1")]);
+        let d = registry.counter_with("multi", &[("a", "1"), ("b", "2")]);
+        c.inc();
+        assert_eq!(d.value(), 1);
+    }
+
+    #[test]
+    fn gauges_move_both_ways() {
+        let registry = MetricsRegistry::new();
+        let gauge = registry.gauge("in_flight");
+        gauge.add(5);
+        gauge.sub(2);
+        assert_eq!(gauge.value(), 3);
+        gauge.set(-7);
+        assert_eq!(gauge.value(), -7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered as a counter")]
+    fn kind_mismatch_panics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("x");
+        registry.histogram("x");
+    }
+
+    #[test]
+    fn disabled_registry_is_inert() {
+        let registry = MetricsRegistry::disabled();
+        assert!(!registry.is_enabled());
+        let counter = registry.counter("c");
+        let gauge = registry.gauge("g");
+        let histogram = registry.histogram("h");
+        counter.inc();
+        gauge.set(5);
+        histogram.observe(9);
+        assert_eq!(counter.value(), 0);
+        assert_eq!(gauge.value(), 0);
+        assert_eq!(histogram.count(), 0);
+        assert!(registry.snapshot().samples.is_empty());
+    }
+
+    #[test]
+    fn concurrent_counters_and_histograms_lose_nothing() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let registry = Arc::clone(&registry);
+                thread::spawn(move || {
+                    let counter = registry.counter("hits");
+                    let histogram = registry.histogram("lat");
+                    for i in 0..per_thread {
+                        counter.inc();
+                        histogram.observe(t * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let expected = threads * per_thread;
+        assert_eq!(registry.counter("hits").value(), expected);
+        let snapshot = registry.histogram("lat").snapshot();
+        assert_eq!(snapshot.count, expected);
+        // Bucket counts are individually exact, so they sum to the total.
+        assert_eq!(
+            snapshot.buckets.iter().map(|&(_, c)| c).sum::<u64>(),
+            expected
+        );
+        assert_eq!(snapshot.sum, (0..expected).sum::<u64>());
+        assert_eq!((snapshot.min, snapshot.max), (0, expected - 1));
+    }
+}

@@ -1,0 +1,348 @@
+//! Frozen registry state: [`MetricsSnapshot`] and its JSON codec.
+
+use crate::histogram::HistogramSnapshot;
+use crate::json::{self, JsonValue};
+use crate::registry::MetricId;
+
+/// The frozen value of one metric series.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// A monotonic counter total.
+    Counter(u64),
+    /// A gauge level.
+    Gauge(i64),
+    /// A histogram state.
+    Histogram(HistogramSnapshot),
+}
+
+impl SampleValue {
+    fn kind(&self) -> &'static str {
+        match self {
+            SampleValue::Counter(_) => "counter",
+            SampleValue::Gauge(_) => "gauge",
+            SampleValue::Histogram(_) => "histogram",
+        }
+    }
+}
+
+/// One frozen series: its identity and value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Which series this is.
+    pub id: MetricId,
+    /// Its frozen value.
+    pub value: SampleValue,
+}
+
+/// An ordered, comparable freeze of a whole [`crate::MetricsRegistry`],
+/// sorted by [`MetricId`]. Renders to Prometheus text or JSON and parses
+/// back from the latter, so it can travel over the serving wire protocol.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All series, in `MetricId` order.
+    pub samples: Vec<Sample>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up one series by exact identity.
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SampleValue> {
+        let id = MetricId::new(name, labels);
+        self.samples
+            .iter()
+            .find(|sample| sample.id == id)
+            .map(|sample| &sample.value)
+    }
+
+    /// The value of an unlabelled counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counter_with(name, &[])
+    }
+
+    /// The value of a labelled counter series, if present.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.get(name, labels) {
+            Some(SampleValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value of an unlabelled gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauge_with(name, &[])
+    }
+
+    /// The value of a labelled gauge series, if present.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Option<i64> {
+        match self.get(name, labels) {
+            Some(SampleValue::Gauge(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The state of an unlabelled histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histogram_with(name, &[])
+    }
+
+    /// The state of a labelled histogram series, if present.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<&HistogramSnapshot> {
+        match self.get(name, labels) {
+            Some(SampleValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Sum of a counter across all of its label series.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter(|sample| sample.id.name == name)
+            .filter_map(|sample| match &sample.value {
+                SampleValue::Counter(v) => Some(*v),
+                _ => None,
+            })
+            .sum()
+    }
+
+    /// Just the counter series, as `(id, value)` pairs — the comparable
+    /// core used to check remote scrapes against in-process registries
+    /// (histograms contain wall-clock noise; counters are deterministic).
+    pub fn counters(&self) -> Vec<(MetricId, u64)> {
+        self.samples
+            .iter()
+            .filter_map(|sample| match &sample.value {
+                SampleValue::Counter(v) => Some((sample.id.clone(), *v)),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Renders the Prometheus text exposition format. See
+    /// [`crate::parse_prometheus`] for the grammar of the output.
+    pub fn to_prometheus(&self) -> String {
+        crate::export::to_prometheus(self)
+    }
+
+    /// Renders a compact JSON document that [`from_json`] parses back into
+    /// an equal snapshot.
+    ///
+    /// [`from_json`]: MetricsSnapshot::from_json
+    pub fn to_json(&self) -> String {
+        let metrics: Vec<JsonValue> = self
+            .samples
+            .iter()
+            .map(|sample| {
+                let mut fields = vec![("name".to_owned(), JsonValue::Str(sample.id.name.clone()))];
+                if !sample.id.labels.is_empty() {
+                    fields.push((
+                        "labels".to_owned(),
+                        JsonValue::Array(
+                            sample
+                                .id
+                                .labels
+                                .iter()
+                                .map(|(k, v)| {
+                                    JsonValue::Array(vec![
+                                        JsonValue::Str(k.clone()),
+                                        JsonValue::Str(v.clone()),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ));
+                }
+                fields.push((
+                    "kind".to_owned(),
+                    JsonValue::Str(sample.value.kind().to_owned()),
+                ));
+                match &sample.value {
+                    SampleValue::Counter(v) => {
+                        fields.push(("value".to_owned(), JsonValue::U64(*v)));
+                    }
+                    SampleValue::Gauge(v) => {
+                        fields.push(("value".to_owned(), json_i64(*v)));
+                    }
+                    SampleValue::Histogram(h) => {
+                        fields.push(("count".to_owned(), JsonValue::U64(h.count)));
+                        fields.push(("sum".to_owned(), JsonValue::U64(h.sum)));
+                        fields.push(("min".to_owned(), JsonValue::U64(h.min)));
+                        fields.push(("max".to_owned(), JsonValue::U64(h.max)));
+                        fields.push((
+                            "buckets".to_owned(),
+                            JsonValue::Array(
+                                h.buckets
+                                    .iter()
+                                    .map(|&(upper, count)| {
+                                        JsonValue::Array(vec![
+                                            JsonValue::U64(upper),
+                                            JsonValue::U64(count),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ));
+                    }
+                }
+                JsonValue::Object(fields)
+            })
+            .collect();
+        JsonValue::Object(vec![("metrics".to_owned(), JsonValue::Array(metrics))]).render()
+    }
+
+    /// Parses a document produced by [`to_json`](MetricsSnapshot::to_json).
+    pub fn from_json(input: &str) -> Result<MetricsSnapshot, String> {
+        let doc = json::parse(input).map_err(|e| e.to_string())?;
+        let metrics = doc
+            .get("metrics")
+            .and_then(JsonValue::as_array)
+            .ok_or("missing 'metrics' array")?;
+        let mut samples = Vec::with_capacity(metrics.len());
+        for metric in metrics {
+            samples.push(parse_sample(metric)?);
+        }
+        Ok(MetricsSnapshot { samples })
+    }
+}
+
+fn json_i64(v: i64) -> JsonValue {
+    match u64::try_from(v) {
+        Ok(u) => JsonValue::U64(u),
+        Err(_) => JsonValue::I64(v),
+    }
+}
+
+fn parse_sample(metric: &JsonValue) -> Result<Sample, String> {
+    let name = metric
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or("metric missing 'name'")?
+        .to_owned();
+    let mut labels = Vec::new();
+    if let Some(pairs) = metric.get("labels").and_then(JsonValue::as_array) {
+        for pair in pairs {
+            let pair = pair.as_array().ok_or("label pair is not an array")?;
+            match pair {
+                [JsonValue::Str(k), JsonValue::Str(v)] => labels.push((k.clone(), v.clone())),
+                _ => return Err("label pair is not two strings".to_owned()),
+            }
+        }
+    }
+    let kind = metric
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("metric missing 'kind'")?;
+    let value = match kind {
+        "counter" => SampleValue::Counter(
+            metric
+                .get("value")
+                .and_then(JsonValue::as_u64)
+                .ok_or("counter missing u64 'value'")?,
+        ),
+        "gauge" => SampleValue::Gauge(
+            metric
+                .get("value")
+                .and_then(JsonValue::as_i64)
+                .ok_or("gauge missing i64 'value'")?,
+        ),
+        "histogram" => {
+            let field = |key: &str| {
+                metric
+                    .get(key)
+                    .and_then(JsonValue::as_u64)
+                    .ok_or_else(|| format!("histogram missing u64 '{key}'"))
+            };
+            let mut buckets = Vec::new();
+            for pair in metric
+                .get("buckets")
+                .and_then(JsonValue::as_array)
+                .ok_or("histogram missing 'buckets'")?
+            {
+                let pair = pair.as_array().ok_or("bucket is not an array")?;
+                match pair {
+                    [JsonValue::U64(upper), JsonValue::U64(count)] => {
+                        buckets.push((*upper, *count));
+                    }
+                    _ => return Err("bucket is not two u64s".to_owned()),
+                }
+            }
+            SampleValue::Histogram(HistogramSnapshot {
+                count: field("count")?,
+                sum: field("sum")?,
+                min: field("min")?,
+                max: field("max")?,
+                buckets,
+            })
+        }
+        other => return Err(format!("unknown metric kind '{other}'")),
+    };
+    let mut id = MetricId { name, labels };
+    id.labels.sort();
+    Ok(Sample { id, value })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRegistry;
+
+    fn populated() -> MetricsSnapshot {
+        let registry = MetricsRegistry::new();
+        registry.counter("plain").add(7);
+        registry
+            .counter_with("labelled", &[("type", "run"), ("ok", "yes")])
+            .add(u64::MAX);
+        registry.gauge("level").set(-3);
+        let hist = registry.histogram_with("lat", &[("phase", "exec")]);
+        for v in [0, 1, 5, 1000, 123_456_789] {
+            hist.observe(v);
+        }
+        registry.snapshot()
+    }
+
+    #[test]
+    fn lookups_find_series() {
+        let snapshot = populated();
+        assert_eq!(snapshot.counter("plain"), Some(7));
+        assert_eq!(
+            snapshot.counter_with("labelled", &[("ok", "yes"), ("type", "run")]),
+            Some(u64::MAX)
+        );
+        assert_eq!(snapshot.gauge("level"), Some(-3));
+        let hist = snapshot
+            .histogram_with("lat", &[("phase", "exec")])
+            .unwrap();
+        assert_eq!(hist.count, 5);
+        assert_eq!(snapshot.counter("missing"), None);
+        assert_eq!(snapshot.counter("level"), None, "kind mismatch is None");
+        assert_eq!(snapshot.counter_total("labelled"), u64::MAX);
+        assert_eq!(snapshot.counters().len(), 2);
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let snapshot = populated();
+        let json = snapshot.to_json();
+        let back = MetricsSnapshot::from_json(&json).unwrap();
+        assert_eq!(back, snapshot);
+        // And the empty snapshot round-trips too.
+        let empty = MetricsSnapshot::default();
+        assert_eq!(MetricsSnapshot::from_json(&empty.to_json()).unwrap(), empty);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_documents() {
+        for bad in [
+            "{}",
+            r#"{"metrics":[{"kind":"counter","value":1}]}"#,
+            r#"{"metrics":[{"name":"x","kind":"counter","value":-1}]}"#,
+            r#"{"metrics":[{"name":"x","kind":"widget","value":1}]}"#,
+            r#"{"metrics":[{"name":"x","kind":"histogram","count":1}]}"#,
+        ] {
+            assert!(MetricsSnapshot::from_json(bad).is_err(), "accepted {bad}");
+        }
+    }
+}

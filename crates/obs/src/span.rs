@@ -1,0 +1,87 @@
+//! Scoped timers that record into a histogram on drop.
+
+use crate::Histogram;
+use std::time::Instant;
+
+/// A scoped timer: created by [`Histogram::span`], it records the elapsed
+/// wall-clock nanoseconds into its histogram when dropped. Spans from a
+/// disabled registry still measure nothing observable and cost one
+/// `Instant::now` call.
+#[derive(Debug)]
+pub struct Span {
+    hist: Histogram,
+    start: Instant,
+    recorded: bool,
+}
+
+impl Span {
+    pub(crate) fn new(hist: Histogram) -> Self {
+        Span {
+            hist,
+            start: Instant::now(),
+            recorded: false,
+        }
+    }
+
+    /// Elapsed time since the span started.
+    pub fn elapsed(&self) -> std::time::Duration {
+        self.start.elapsed()
+    }
+
+    /// Records now and defuses the drop recording. Useful to exclude
+    /// tear-down work from the measurement.
+    pub fn finish(mut self) {
+        self.record();
+    }
+
+    /// Drops the span without recording anything.
+    pub fn cancel(mut self) {
+        self.recorded = true;
+    }
+
+    fn record(&mut self) {
+        if !self.recorded {
+            self.recorded = true;
+            self.hist.observe_duration(self.start.elapsed());
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.record();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::MetricsRegistry;
+    use std::time::Duration;
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("h");
+        {
+            let _span = hist.span();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(hist.count(), 1);
+        let snapshot = hist.snapshot();
+        assert!(
+            snapshot.min >= 1_000_000,
+            "slept >= 1ms, got {}",
+            snapshot.min
+        );
+    }
+
+    #[test]
+    fn finish_and_cancel_behave() {
+        let registry = MetricsRegistry::new();
+        let hist = registry.histogram("h");
+        hist.span().finish();
+        assert_eq!(hist.count(), 1);
+        hist.span().cancel();
+        assert_eq!(hist.count(), 1, "cancelled span must not record");
+    }
+}

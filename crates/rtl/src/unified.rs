@@ -10,6 +10,7 @@ use omnisim_api::{
 use omnisim_codec::{frame, unframe, ByteReader, ByteWriter, CodecError};
 use omnisim_ir::{Design, ModuleId};
 use std::any::Any;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Magic bytes of an encoded reference-simulator artifact.
@@ -69,6 +70,8 @@ impl Simulator for RtlBackend {
                 front_end: started.elapsed(),
                 ..SimTimings::default()
             },
+            declared_runs: AtomicU64::new(0),
+            resized_runs: AtomicU64::new(0),
         }))
     }
 
@@ -126,6 +129,8 @@ pub fn decode_compiled(design: &Design, bytes: &[u8]) -> Result<CompiledRtl, Cod
         declared_depths: design.fifo_depths(),
         config,
         compile_timings: SimTimings::default(),
+        declared_runs: AtomicU64::new(0),
+        resized_runs: AtomicU64::new(0),
     })
 }
 
@@ -138,6 +143,11 @@ pub struct CompiledRtl {
     declared_depths: Vec<usize>,
     config: RtlConfig,
     compile_timings: SimTimings,
+    // Every run cycle-steps; these record whether it stepped the compiled
+    // design or a depth-resized clone. Scraped by the serving tier through
+    // `CompiledSim::counters`.
+    declared_runs: AtomicU64,
+    resized_runs: AtomicU64,
 }
 
 impl CompiledRtl {
@@ -187,6 +197,11 @@ impl CompiledSim for CompiledRtl {
             _ => None,
         };
         let design = resized.as_ref().unwrap_or(&self.design);
+        if resized.is_some() {
+            self.resized_runs.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.declared_runs.fetch_add(1, Ordering::Relaxed);
+        }
         RtlSimulator::with_config(design, rtl_config)
             .run()
             .map(SimReport::from)
@@ -199,6 +214,13 @@ impl CompiledSim for CompiledRtl {
 
     fn as_any(&self) -> &dyn Any {
         self
+    }
+
+    fn counters(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("declared_runs", self.declared_runs.load(Ordering::Relaxed)),
+            ("resized_runs", self.resized_runs.load(Ordering::Relaxed)),
+        ]
     }
 }
 

@@ -130,6 +130,28 @@ impl Client {
         }
     }
 
+    /// Scrapes the remote server's full metrics registry — service, store,
+    /// wire layer and engine-event gauges — frozen server-side at scrape
+    /// time. Render it with [`omnisim_obs::MetricsSnapshot::to_prometheus`]
+    /// or inspect it directly.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on an unexpected response or a snapshot
+    /// payload that fails to parse.
+    pub fn metrics(&mut self) -> Result<omnisim_obs::MetricsSnapshot, ClientError> {
+        match self.exchange(&Request::Metrics)? {
+            Response::MetricsReply { snapshot_json } => {
+                omnisim_obs::MetricsSnapshot::from_json(&snapshot_json).map_err(|error| {
+                    ClientError::Protocol(format!("malformed metrics snapshot: {error}"))
+                })
+            }
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to metrics: {other:?}"
+            ))),
+        }
+    }
+
     /// Asks the server to shut down, consuming the client.
     ///
     /// # Errors

@@ -25,6 +25,14 @@
 //!    [`wire::Response::Overloaded`] rejection) and graceful shutdown;
 //!    [`Client`] is the thin blocking counterpart.
 //!
+//! Every layer reports into one shared `omnisim-obs` [`MetricsRegistry`]
+//! ([`SimService::metrics`]): register/run/batch latencies and outcomes
+//! from the service, save/load/evict traffic from the store, per-request
+//! wire latencies and connection lifecycle from the server, and
+//! engine-level run-path counters scraped from resident artifacts. A
+//! remote scrape ([`Client::metrics`], [`wire::Request::Metrics`]) returns
+//! the same [`MetricsSnapshot`] the process sees locally.
+//!
 //! ```
 //! use omnisim_serve::SimService;
 //! use omnisim_api::{RunConfig, Simulator};
@@ -51,3 +59,7 @@ pub use client::{Client, ClientError};
 pub use server::{Server, ServerHandle};
 pub use service::{design_key, DesignKey, ServiceStats, SimService};
 pub use store::{ArtifactStore, StoreStats};
+
+// The observability vocabulary callers need to consume this crate's
+// metrics, re-exported so `omnisim-serve` is self-contained.
+pub use omnisim_obs::{MetricsRegistry, MetricsSnapshot};

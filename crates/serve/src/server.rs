@@ -12,6 +12,7 @@
 
 use crate::service::{DesignKey, SimService};
 use crate::wire::{read_request, write_response, Request, Response, WireReport};
+use omnisim_obs::{Counter, Gauge, Histogram, MetricsRegistry};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -20,12 +21,69 @@ use std::sync::Arc;
 /// Default bound on runs in flight across all connections.
 pub const DEFAULT_MAX_IN_FLIGHT: usize = 1024;
 
+/// The wire layer's own metric handles, bound to the service's registry so
+/// one scrape covers the whole stack.
+struct WireMetrics {
+    requests_register: Counter,
+    requests_run_batch: Counter,
+    requests_stats: Counter,
+    requests_shutdown: Counter,
+    requests_metrics: Counter,
+    request_nanos_register: Histogram,
+    request_nanos_run_batch: Histogram,
+    request_nanos_stats: Histogram,
+    request_nanos_shutdown: Histogram,
+    request_nanos_metrics: Histogram,
+    admission_rejections: Counter,
+    in_flight_runs: Gauge,
+    connections_opened: Counter,
+    connections_closed: Counter,
+    connections_active: Gauge,
+}
+
+impl WireMetrics {
+    fn bind(registry: &MetricsRegistry) -> Self {
+        let requests = |kind| registry.counter_with("wire_requests_total", &[("type", kind)]);
+        let nanos = |kind| registry.histogram_with("wire_request_nanos", &[("type", kind)]);
+        let connections =
+            |event| registry.counter_with("wire_connections_total", &[("event", event)]);
+        WireMetrics {
+            requests_register: requests("register"),
+            requests_run_batch: requests("run_batch"),
+            requests_stats: requests("stats"),
+            requests_shutdown: requests("shutdown"),
+            requests_metrics: requests("metrics"),
+            request_nanos_register: nanos("register"),
+            request_nanos_run_batch: nanos("run_batch"),
+            request_nanos_stats: nanos("stats"),
+            request_nanos_shutdown: nanos("shutdown"),
+            request_nanos_metrics: nanos("metrics"),
+            admission_rejections: registry.counter("wire_admission_rejections_total"),
+            in_flight_runs: registry.gauge("wire_in_flight_runs"),
+            connections_opened: connections("opened"),
+            connections_closed: connections("closed"),
+            connections_active: registry.gauge("wire_connections_active"),
+        }
+    }
+
+    fn for_request(&self, request: &Request) -> (&Counter, &Histogram) {
+        match request {
+            Request::Register { .. } => (&self.requests_register, &self.request_nanos_register),
+            Request::RunBatch { .. } => (&self.requests_run_batch, &self.request_nanos_run_batch),
+            Request::Stats => (&self.requests_stats, &self.request_nanos_stats),
+            Request::Shutdown => (&self.requests_shutdown, &self.request_nanos_shutdown),
+            Request::Metrics => (&self.requests_metrics, &self.request_nanos_metrics),
+        }
+    }
+}
+
 struct Shared {
     service: SimService,
     local_addr: SocketAddr,
     max_in_flight: usize,
     in_flight: AtomicUsize,
     shutdown: AtomicBool,
+    metrics: WireMetrics,
 }
 
 /// A TCP server wrapping a [`SimService`]. Created with [`Server::bind`];
@@ -53,6 +111,7 @@ impl Server {
     pub fn bind(service: SimService, addr: impl ToSocketAddrs) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
+        let metrics = WireMetrics::bind(service.metrics());
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -61,6 +120,7 @@ impl Server {
                 max_in_flight: DEFAULT_MAX_IN_FLIGHT,
                 in_flight: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
+                metrics,
             }),
         })
     }
@@ -154,10 +214,23 @@ fn trigger_shutdown(shared: &Shared) {
 }
 
 fn serve_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
-    while let Some(request) = read_request(&mut stream)? {
+    shared.metrics.connections_opened.inc();
+    shared.metrics.connections_active.add(1);
+    let result = serve_requests(shared, &mut stream);
+    shared.metrics.connections_closed.inc();
+    shared.metrics.connections_active.sub(1);
+    result
+}
+
+fn serve_requests(shared: &Shared, stream: &mut TcpStream) -> io::Result<()> {
+    while let Some(request) = read_request(stream)? {
         let shutting_down = matches!(request, Request::Shutdown);
+        let (requests, nanos) = shared.metrics.for_request(&request);
+        requests.inc();
+        let span = nanos.span();
         let response = respond(shared, request);
-        write_response(&mut stream, &response)?;
+        span.finish();
+        write_response(stream, &response)?;
         if shutting_down {
             break;
         }
@@ -178,10 +251,12 @@ fn respond(shared: &Shared, request: Request) -> Response {
             let before = shared.in_flight.fetch_add(batch, Ordering::SeqCst);
             if before + batch > shared.max_in_flight {
                 shared.in_flight.fetch_sub(batch, Ordering::SeqCst);
+                shared.metrics.admission_rejections.inc();
                 return Response::Overloaded {
                     limit: shared.max_in_flight,
                 };
             }
+            shared.metrics.in_flight_runs.set((before + batch) as i64);
             let requests: Vec<(DesignKey, _)> = requests
                 .into_iter()
                 .map(|(key, config)| (DesignKey::from_raw(key), config))
@@ -195,7 +270,8 @@ fn respond(shared: &Shared, request: Request) -> Response {
                     Err(failure) => Err(failure.to_string()),
                 })
                 .collect();
-            shared.in_flight.fetch_sub(batch, Ordering::SeqCst);
+            let remaining = shared.in_flight.fetch_sub(batch, Ordering::SeqCst) - batch;
+            shared.metrics.in_flight_runs.set(remaining as i64);
             Response::BatchResults { results }
         }
         Request::Stats => Response::StatsReply {
@@ -205,6 +281,9 @@ fn respond(shared: &Shared, request: Request) -> Response {
             trigger_shutdown(shared);
             Response::ShuttingDown
         }
+        Request::Metrics => Response::MetricsReply {
+            snapshot_json: shared.service.metrics_snapshot().to_json(),
+        },
     }
 }
 

@@ -24,14 +24,16 @@
 //! warm-starts from disk instead of recompiling.
 
 use crate::store::ArtifactStore;
-use omnisim_api::{CompiledSim, RunConfig, SimFailure, SimReport, Simulator};
+use omnisim_api::{CompiledSim, RunConfig, SimFailure, SimReport, SimTimings, Simulator};
 use omnisim_codec::fnv1a64;
 use omnisim_dse::pool;
 use omnisim_ir::wire::encode_design;
 use omnisim_ir::Design;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use omnisim_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// Handle to a design registered with a [`SimService`] — its content hash.
 ///
@@ -90,6 +92,102 @@ pub struct ServiceStats {
     pub store: Option<crate::store::StoreStats>,
 }
 
+impl ServiceStats {
+    /// Fraction of register calls answered without compiling — in-memory
+    /// hits plus store warm starts over all resolutions (0.0 before the
+    /// first register).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.cache_hits + self.warm_starts + self.compiles;
+        if total == 0 {
+            0.0
+        } else {
+            (self.cache_hits + self.warm_starts) as f64 / total as f64
+        }
+    }
+}
+
+/// The service's metric handles, re-buildable against any registry.
+#[derive(Debug)]
+struct ServiceMetrics {
+    register_hit: Counter,
+    register_warm: Counter,
+    register_compile: Counter,
+    register_hit_nanos: Histogram,
+    register_warm_nanos: Histogram,
+    register_compile_nanos: Histogram,
+    runs: Counter,
+    run_nanos: Histogram,
+    batch_size: Histogram,
+    batch_nanos: Histogram,
+    batch_workers: Gauge,
+    registry_evictions: Counter,
+    designs: Gauge,
+    compile_front_end: Histogram,
+    compile_execution: Histogram,
+    compile_finalize: Histogram,
+    run_execution: Histogram,
+    run_finalize: Histogram,
+}
+
+impl ServiceMetrics {
+    fn bind(registry: &MetricsRegistry) -> Self {
+        let register_nanos =
+            |outcome| registry.histogram_with("service_register_nanos", &[("outcome", outcome)]);
+        let compile_phase =
+            |phase| registry.histogram_with("compile_phase_nanos", &[("phase", phase)]);
+        let run_phase = |phase| registry.histogram_with("run_phase_nanos", &[("phase", phase)]);
+        ServiceMetrics {
+            register_hit: registry.counter_with("service_register_total", &[("outcome", "hit")]),
+            register_warm: registry.counter_with("service_register_total", &[("outcome", "warm")]),
+            register_compile: registry
+                .counter_with("service_register_total", &[("outcome", "compile")]),
+            register_hit_nanos: register_nanos("hit"),
+            register_warm_nanos: register_nanos("warm"),
+            register_compile_nanos: register_nanos("compile"),
+            runs: registry.counter("service_runs_total"),
+            run_nanos: registry.histogram("service_run_nanos"),
+            batch_size: registry.histogram("service_batch_size"),
+            batch_nanos: registry.histogram("service_batch_nanos"),
+            batch_workers: registry.gauge("service_batch_workers"),
+            registry_evictions: registry.counter("service_registry_evictions_total"),
+            designs: registry.gauge("service_designs_resident"),
+            compile_front_end: compile_phase("front_end"),
+            compile_execution: compile_phase("execution"),
+            compile_finalize: compile_phase("finalize"),
+            run_execution: run_phase("execution"),
+            run_finalize: run_phase("finalize"),
+        }
+    }
+
+    fn migrate_counters(&self, fresh: &ServiceMetrics) {
+        fresh.register_hit.add(self.register_hit.value());
+        fresh.register_warm.add(self.register_warm.value());
+        fresh.register_compile.add(self.register_compile.value());
+        fresh.runs.add(self.runs.value());
+        fresh
+            .registry_evictions
+            .add(self.registry_evictions.value());
+    }
+
+    fn observe_compile(&self, timings: SimTimings) {
+        self.compile_front_end.observe_duration(timings.front_end);
+        self.compile_execution.observe_duration(timings.execution);
+        self.compile_finalize.observe_duration(timings.finalize);
+    }
+
+    // An exactly-zero phase means the backend never timed it (e.g. a
+    // cached replay with no execution leg) — skipping it keeps the
+    // per-run histograms meaningful and the hot path cheap.
+    fn observe_run(&self, timings: SimTimings) {
+        if !timings.execution.is_zero() {
+            self.run_execution.observe_duration(timings.execution);
+        }
+        if !timings.finalize.is_zero() {
+            self.run_finalize.observe_duration(timings.finalize);
+        }
+    }
+}
+
 /// A concurrent compile-once / run-many simulation service over one
 /// backend. See the [module docs](self) for the design.
 pub struct SimService {
@@ -99,16 +197,16 @@ pub struct SimService {
     capacity: Option<usize>,
     store: Option<ArtifactStore>,
     clock: AtomicU64,
-    compiles: AtomicUsize,
-    cache_hits: AtomicUsize,
-    warm_starts: AtomicUsize,
-    registry_evictions: AtomicUsize,
+    registry: Arc<MetricsRegistry>,
+    metrics: ServiceMetrics,
 }
 
 impl SimService {
     /// Creates a service over the given backend, with one worker per core
     /// for batched requests, no registry capacity bound and no store.
     pub fn new(backend: Box<dyn Simulator>) -> Self {
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = ServiceMetrics::bind(&registry);
         SimService {
             backend,
             artifacts: RwLock::new(HashMap::new()),
@@ -116,11 +214,25 @@ impl SimService {
             capacity: None,
             store: None,
             clock: AtomicU64::new(0),
-            compiles: AtomicUsize::new(0),
-            cache_hits: AtomicUsize::new(0),
-            warm_starts: AtomicUsize::new(0),
-            registry_evictions: AtomicUsize::new(0),
+            registry,
+            metrics,
         }
+    }
+
+    /// Swaps the service's metrics registry — e.g. for a shared registry
+    /// spanning several services, or an
+    /// [`omnisim_obs::MetricsRegistry::disabled`] one to measure the
+    /// uninstrumented path. Accumulated counter values carry across, and an
+    /// attached store is re-homed into the same registry.
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        let fresh = ServiceMetrics::bind(&registry);
+        self.metrics.migrate_counters(&fresh);
+        self.metrics = fresh;
+        if let Some(store) = &mut self.store {
+            store.bind_metrics(Arc::clone(&registry));
+        }
+        self.registry = registry;
+        self
     }
 
     /// Pins the number of worker threads used by [`SimService::run_batch`]
@@ -141,9 +253,16 @@ impl SimService {
 
     /// Attaches a persistent artifact store: registrations consult it
     /// before compiling and persist freshly compiled artifacts into it.
-    pub fn with_store(mut self, store: ArtifactStore) -> Self {
+    pub fn with_store(mut self, mut store: ArtifactStore) -> Self {
+        store.bind_metrics(Arc::clone(&self.registry));
         self.store = Some(store);
         self
+    }
+
+    /// The metrics registry shared by the service, its store and (when
+    /// served over TCP) the wire layer.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// Name of the backend this service compiles and runs with.
@@ -181,6 +300,7 @@ impl SimService {
     /// ([`SimFailure::Unsupported`] designs are not cached — a later
     /// register retries).
     pub fn register(&self, design: &Design) -> Result<DesignKey, SimFailure> {
+        let started = Instant::now();
         let key = design_key(design);
         if let Some(entry) = self
             .artifacts
@@ -189,15 +309,21 @@ impl SimService {
             .get(&key)
         {
             entry.last_used.store(self.tick(), Ordering::Relaxed);
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.register_hit.inc();
+            self.metrics
+                .register_hit_nanos
+                .observe_duration(started.elapsed());
             return Ok(key);
         }
         if let Some(store) = &self.store {
             if let Some(bytes) = store.load(self.backend.name(), key.raw()) {
                 match self.backend.decode_artifact(design, &bytes) {
                     Ok(artifact) => {
-                        self.warm_starts.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.register_warm.inc();
                         self.install(key, Arc::from(artifact));
+                        self.metrics
+                            .register_warm_nanos
+                            .observe_duration(started.elapsed());
                         return Ok(key);
                     }
                     // A bad persisted artifact must never take the service
@@ -207,7 +333,8 @@ impl SimService {
             }
         }
         let artifact: Arc<dyn CompiledSim> = Arc::from(self.backend.compile(design)?);
-        self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.metrics.register_compile.inc();
+        self.metrics.observe_compile(artifact.compile_timings());
         if let Some(store) = &self.store {
             if let Some(bytes) = artifact.encode() {
                 // Persisting is best-effort: a full disk degrades warm
@@ -216,6 +343,9 @@ impl SimService {
             }
         }
         self.install(key, artifact);
+        self.metrics
+            .register_compile_nanos
+            .observe_duration(started.elapsed());
         Ok(key)
     }
 
@@ -234,9 +364,10 @@ impl SimService {
                     .map(|(candidate, _)| *candidate);
                 let Some(victim) = victim else { break };
                 map.remove(&victim);
-                self.registry_evictions.fetch_add(1, Ordering::Relaxed);
+                self.metrics.registry_evictions.inc();
             }
         }
+        self.metrics.designs.set(map.len() as i64);
     }
 
     /// The shared artifact for a registered design, if present. Callers can
@@ -256,13 +387,18 @@ impl SimService {
     /// Returns [`SimFailure::Execution`] for an unknown key, and the
     /// artifact's own failure otherwise.
     pub fn run(&self, key: DesignKey, config: &RunConfig) -> Result<SimReport, SimFailure> {
+        let span = self.metrics.run_nanos.span();
         let artifact = self.artifact(key).ok_or_else(|| {
             SimFailure::execution(
                 self.backend.name(),
                 format!("no design registered under key {:#018x}", key.raw()),
             )
         })?;
-        artifact.run(config)
+        let report = artifact.run(config)?;
+        self.metrics.runs.inc();
+        self.metrics.observe_run(report.timings);
+        span.finish();
+        Ok(report)
     }
 
     /// Serves a batch of run requests across scoped worker threads,
@@ -272,8 +408,13 @@ impl SimService {
         &self,
         requests: &[(DesignKey, RunConfig)],
     ) -> Vec<Result<SimReport, SimFailure>> {
+        let span = self.metrics.batch_nanos.span();
         let workers = pool::resolve_workers(self.workers);
-        pool::parallel_map(requests, workers, |(key, config)| self.run(*key, config))
+        self.metrics.batch_size.observe(requests.len() as u64);
+        self.metrics.batch_workers.set(workers as i64);
+        let results = pool::parallel_map(requests, workers, |(key, config)| self.run(*key, config));
+        span.finish();
+        results
     }
 
     /// Number of designs currently registered.
@@ -292,24 +433,24 @@ impl SimService {
     /// Number of compilations performed (registry misses not answered by
     /// the store).
     pub fn compiles(&self) -> usize {
-        self.compiles.load(Ordering::Relaxed)
+        self.metrics.register_compile.value() as usize
     }
 
     /// Number of [`SimService::register`] calls answered from the registry.
     pub fn cache_hits(&self) -> usize {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.metrics.register_hit.value() as usize
     }
 
     /// Number of [`SimService::register`] calls answered by decoding a
     /// persisted artifact instead of compiling.
     pub fn warm_starts(&self) -> usize {
-        self.warm_starts.load(Ordering::Relaxed)
+        self.metrics.register_warm.value() as usize
     }
 
     /// Number of designs evicted from the in-memory registry by the LRU
     /// capacity bound.
     pub fn registry_evictions(&self) -> usize {
-        self.registry_evictions.load(Ordering::Relaxed)
+        self.metrics.registry_evictions.value() as usize
     }
 
     /// A point-in-time snapshot of every counter, including the attached
@@ -323,6 +464,35 @@ impl SimService {
             registry_evictions: self.registry_evictions(),
             store: self.store.as_ref().map(ArtifactStore::stats),
         }
+    }
+
+    /// Freezes the shared metrics registry, first scraping every resident
+    /// artifact's engine-level [`CompiledSim::counters`] (which run path
+    /// answered each request: certified replay, re-finalize, re-simulation
+    /// fallback, …) into `engine_events{backend=…,event=…}` gauges. Gauges,
+    /// not counters: artifacts evicted from the LRU registry take their
+    /// lifetime totals with them, so the scrape is a point-in-time view of
+    /// the resident set.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        if self.registry.is_enabled() {
+            let mut totals: BTreeMap<&'static str, u64> = BTreeMap::new();
+            let map = self.artifacts.read().expect("service registry poisoned");
+            for entry in map.values() {
+                for (event, count) in entry.artifact.counters() {
+                    *totals.entry(event).or_insert(0) += count;
+                }
+            }
+            drop(map);
+            for (event, total) in totals {
+                self.registry
+                    .gauge_with(
+                        "engine_events",
+                        &[("backend", self.backend.name()), ("event", event)],
+                    )
+                    .set(total as i64);
+            }
+        }
+        self.registry.snapshot()
     }
 }
 
@@ -451,5 +621,78 @@ mod tests {
         assert_eq!(stats.designs, 2);
         assert_eq!(stats.registry_evictions, 2);
         assert_eq!(stats.store, None);
+    }
+
+    #[test]
+    fn metrics_snapshot_covers_service_and_engine_layers() {
+        let service = service();
+        let design = typea::vecadd_stream(24, 2);
+        let key = service.register(&design).unwrap();
+        service.register(&design).unwrap();
+        service.run(key, &RunConfig::default()).unwrap();
+        service
+            .run_batch(&[(key, RunConfig::default()), (key, RunConfig::default())])
+            .into_iter()
+            .for_each(|r| assert!(r.is_ok()));
+
+        let snapshot = service.metrics_snapshot();
+        let outcome = |o| snapshot.counter_with("service_register_total", &[("outcome", o)]);
+        assert_eq!(outcome("compile"), Some(1));
+        assert_eq!(outcome("hit"), Some(1));
+        // All outcome series are pre-registered at bind time, so a scraper
+        // sees a stable schema; unused outcomes read zero, not absent.
+        assert_eq!(outcome("warm"), Some(0), "no store, no warm starts");
+        assert_eq!(snapshot.counter("service_runs_total"), Some(3));
+        let runs = snapshot.histogram("service_run_nanos").unwrap();
+        assert_eq!(runs.count, 3);
+        let batch = snapshot.histogram("service_batch_size").unwrap();
+        assert_eq!((batch.count, batch.min, batch.max), (1, 2, 2));
+        assert_eq!(snapshot.gauge("service_designs_resident"), Some(1));
+        // Compile phases were observed once, run phases once per run.
+        let phase = |p| snapshot.histogram_with("compile_phase_nanos", &[("phase", p)]);
+        assert_eq!(phase("front_end").unwrap().count, 1);
+        assert_eq!(phase("execution").unwrap().count, 1);
+        // Engine-level path counters surface as gauges: one baseline replay
+        // (the first default run) and the rest answered by the engine's own
+        // dispatch — their sum is the run count.
+        let event = |e| {
+            snapshot
+                .gauge_with("engine_events", &[("backend", "omnisim"), ("event", e)])
+                .unwrap_or(0)
+        };
+        let total = event("baseline_replays") + event("refinalizes") + event("resim_fallbacks");
+        assert_eq!(total, 3);
+
+        // `hit_ratio` summarizes the same counters the snapshot carries.
+        let stats = service.stats();
+        assert!((stats.hit_ratio() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_metrics_rehomes_counters_and_disables_cleanly() {
+        let design = typea::vecadd_stream(24, 2);
+        let service = service();
+        service.register(&design).unwrap();
+        // Swapping registries mid-life carries the accumulated counts over.
+        let shared = Arc::new(MetricsRegistry::new());
+        let service = service.with_metrics(Arc::clone(&shared));
+        service.register(&design).unwrap();
+        assert_eq!(service.compiles(), 1);
+        assert_eq!(service.cache_hits(), 1);
+        let snapshot = shared.snapshot();
+        assert_eq!(
+            snapshot.counter_with("service_register_total", &[("outcome", "compile")]),
+            Some(1)
+        );
+
+        // A disabled registry records nothing but the service still works.
+        let dark = SimService::new(Box::new(OmniBackend::default()))
+            .with_metrics(Arc::new(MetricsRegistry::disabled()));
+        let key = dark.register(&design).unwrap();
+        dark.run(key, &RunConfig::default()).unwrap();
+        assert!(dark.metrics_snapshot().samples.is_empty());
+        // Registry-backed accessors read zero when dark — the documented
+        // cost of running uninstrumented.
+        assert_eq!(dark.compiles(), 0);
     }
 }

@@ -12,11 +12,19 @@
 //! An optional byte budget bounds the store: after every save, oldest
 //! artifacts (by modification time) are evicted until the store fits. The
 //! freshly saved artifact is never evicted by its own save.
+//!
+//! Every operation records into an [`omnisim_obs::MetricsRegistry`]: load
+//! hits/misses, eviction counts and evicted bytes as counters, save/load
+//! latency and sizes as histograms. A standalone store owns a private
+//! registry; [`ArtifactStore::bind_metrics`] re-homes the series into a
+//! shared one (the `SimService` does this on attach), carrying accumulated
+//! counts across.
 
+use omnisim_obs::{Counter, Histogram, MetricsRegistry};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::SystemTime;
 
 /// Point-in-time counters and usage of an [`ArtifactStore`].
@@ -28,10 +36,50 @@ pub struct StoreStats {
     pub misses: usize,
     /// Artifacts evicted by the byte budget.
     pub evictions: usize,
+    /// Total bytes reclaimed by budget evictions.
+    pub evicted_bytes: u64,
     /// Artifacts currently on disk.
     pub entries: usize,
     /// Total size of persisted artifacts, in bytes.
     pub bytes: u64,
+}
+
+impl StoreStats {
+    /// Fraction of loads answered from disk (0.0 when no loads happened).
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The store's metric handles, re-buildable against any registry.
+#[derive(Debug)]
+struct StoreMetrics {
+    loads_hit: Counter,
+    loads_miss: Counter,
+    evictions: Counter,
+    evicted_bytes: Counter,
+    saved_bytes: Counter,
+    save_nanos: Histogram,
+    load_nanos: Histogram,
+}
+
+impl StoreMetrics {
+    fn bind(registry: &MetricsRegistry) -> Self {
+        StoreMetrics {
+            loads_hit: registry.counter_with("store_loads_total", &[("outcome", "hit")]),
+            loads_miss: registry.counter_with("store_loads_total", &[("outcome", "miss")]),
+            evictions: registry.counter("store_evictions_total"),
+            evicted_bytes: registry.counter("store_evicted_bytes_total"),
+            saved_bytes: registry.counter("store_saved_bytes_total"),
+            save_nanos: registry.histogram_with("store_op_nanos", &[("op", "save")]),
+            load_nanos: registry.histogram_with("store_op_nanos", &[("op", "load")]),
+        }
+    }
 }
 
 /// A disk-backed store of serialized compiled artifacts, keyed by backend
@@ -41,14 +89,13 @@ pub struct StoreStats {
 pub struct ArtifactStore {
     dir: PathBuf,
     byte_budget: Option<u64>,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
-    evictions: AtomicUsize,
+    registry: Arc<MetricsRegistry>,
+    metrics: StoreMetrics,
 }
 
 impl ArtifactStore {
     /// Opens (creating if needed) a store rooted at `dir`, with no byte
-    /// budget.
+    /// budget, recording into a private metrics registry.
     ///
     /// # Errors
     ///
@@ -56,12 +103,13 @@ impl ArtifactStore {
     pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
         let dir = dir.into();
         fs::create_dir_all(&dir)?;
+        let registry = Arc::new(MetricsRegistry::new());
+        let metrics = StoreMetrics::bind(&registry);
         Ok(ArtifactStore {
             dir,
             byte_budget: None,
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-            evictions: AtomicUsize::new(0),
+            registry,
+            metrics,
         })
     }
 
@@ -70,6 +118,26 @@ impl ArtifactStore {
     pub fn with_byte_budget(mut self, bytes: u64) -> Self {
         self.byte_budget = Some(bytes);
         self
+    }
+
+    /// Re-homes the store's metric series into `registry` (the registry a
+    /// `SimService` shares across its layers), carrying accumulated counter
+    /// values across. Histogram history stays with the old registry — only
+    /// future records land in the new series.
+    pub fn bind_metrics(&mut self, registry: Arc<MetricsRegistry>) {
+        let fresh = StoreMetrics::bind(&registry);
+        fresh.loads_hit.add(self.metrics.loads_hit.value());
+        fresh.loads_miss.add(self.metrics.loads_miss.value());
+        fresh.evictions.add(self.metrics.evictions.value());
+        fresh.evicted_bytes.add(self.metrics.evicted_bytes.value());
+        fresh.saved_bytes.add(self.metrics.saved_bytes.value());
+        self.metrics = fresh;
+        self.registry = registry;
+    }
+
+    /// The registry this store records into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.registry
     }
 
     /// The store's root directory.
@@ -89,16 +157,19 @@ impl ArtifactStore {
     /// Loads the persisted artifact for `(backend, key)`, if present,
     /// counting a hit or miss.
     pub fn load(&self, backend: &str, key: u64) -> Option<Vec<u8>> {
-        match fs::read(self.path(backend, key)) {
+        let span = self.metrics.load_nanos.span();
+        let loaded = match fs::read(self.path(backend, key)) {
             Ok(bytes) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.metrics.loads_hit.inc();
                 Some(bytes)
             }
             Err(_) => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.metrics.loads_miss.inc();
                 None
             }
-        }
+        };
+        span.finish();
+        loaded
     }
 
     /// Persists an encoded artifact under `(backend, key)` atomically
@@ -110,6 +181,7 @@ impl ArtifactStore {
     /// Propagates filesystem failures; budget enforcement is best-effort
     /// and never fails the save.
     pub fn save(&self, backend: &str, key: u64, bytes: &[u8]) -> io::Result<()> {
+        let span = self.metrics.save_nanos.span();
         let path = self.path(backend, key);
         let parent = path.parent().expect("store paths have a parent");
         fs::create_dir_all(parent)?;
@@ -119,7 +191,9 @@ impl ArtifactStore {
         let tmp = parent.join(format!("{key:016x}.tmp{}", std::process::id()));
         fs::write(&tmp, bytes)?;
         fs::rename(&tmp, &path)?;
+        self.metrics.saved_bytes.add(bytes.len() as u64);
         self.enforce_budget(&path);
+        span.finish();
         Ok(())
     }
 
@@ -173,24 +247,30 @@ impl ArtifactStore {
             }
             if fs::remove_file(&path).is_ok() {
                 total = total.saturating_sub(size);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.metrics.evictions.inc();
+                self.metrics.evicted_bytes.add(size);
             }
         }
     }
 
     /// Loads that found a persisted artifact.
     pub fn hits(&self) -> usize {
-        self.hits.load(Ordering::Relaxed)
+        self.metrics.loads_hit.value() as usize
     }
 
     /// Loads that found nothing.
     pub fn misses(&self) -> usize {
-        self.misses.load(Ordering::Relaxed)
+        self.metrics.loads_miss.value() as usize
     }
 
     /// Artifacts evicted by the byte budget.
     pub fn evictions(&self) -> usize {
-        self.evictions.load(Ordering::Relaxed)
+        self.metrics.evictions.value() as usize
+    }
+
+    /// Total bytes reclaimed by budget evictions.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.metrics.evicted_bytes.value()
     }
 
     /// A point-in-time snapshot of counters and on-disk usage.
@@ -200,6 +280,7 @@ impl ArtifactStore {
             hits: self.hits(),
             misses: self.misses(),
             evictions: self.evictions(),
+            evicted_bytes: self.evicted_bytes(),
             entries: entries.len(),
             bytes: entries.iter().map(|(_, size, _)| size).sum(),
         }
@@ -209,6 +290,7 @@ impl ArtifactStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     fn temp_dir(tag: &str) -> PathBuf {
         static UNIQUE: AtomicUsize = AtomicUsize::new(0);
@@ -235,6 +317,7 @@ mod tests {
         assert_eq!(store.load("omnisim", 7), None);
         let stats = store.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (2, 3, 0));
+        assert_eq!(stats.hit_ratio(), 0.4);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -249,11 +332,53 @@ mod tests {
         }
         // 300 bytes > 250: the oldest entry was evicted by the last save.
         assert_eq!(store.evictions(), 1);
+        assert_eq!(store.evicted_bytes(), 100);
         assert_eq!(store.load("omnisim", 0), None, "oldest evicted");
         assert!(store.load("omnisim", 2).is_some(), "fresh save survives");
         let stats = store.stats();
         assert_eq!(stats.entries, 2);
         assert_eq!(stats.bytes, 200);
+        assert_eq!(stats.evicted_bytes, 100);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn operations_record_into_the_metrics_registry() {
+        let dir = temp_dir("metrics");
+        let mut store = ArtifactStore::open(&dir).unwrap();
+        store.save("omnisim", 1, b"abcde").unwrap();
+        store.load("omnisim", 1);
+        store.load("omnisim", 2);
+
+        // Standalone: the private registry carries everything.
+        let snapshot = store.metrics().snapshot();
+        assert_eq!(
+            snapshot.counter_with("store_loads_total", &[("outcome", "hit")]),
+            Some(1)
+        );
+        assert_eq!(snapshot.counter("store_saved_bytes_total"), Some(5));
+        assert_eq!(
+            snapshot
+                .histogram_with("store_op_nanos", &[("op", "load")])
+                .unwrap()
+                .count,
+            2
+        );
+
+        // Re-homing into a shared registry carries the counts across.
+        let shared = Arc::new(MetricsRegistry::new());
+        store.bind_metrics(Arc::clone(&shared));
+        store.load("omnisim", 1);
+        let snapshot = shared.snapshot();
+        assert_eq!(
+            snapshot.counter_with("store_loads_total", &[("outcome", "hit")]),
+            Some(2)
+        );
+        assert_eq!(
+            snapshot.counter_with("store_loads_total", &[("outcome", "miss")]),
+            Some(1)
+        );
+        assert_eq!(store.hits(), 2, "stats view reads the shared series");
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -10,11 +10,13 @@
 //!
 //! Designs travel as their canonical `omnisim-ir` wire encoding; reports
 //! travel as [`WireReport`] — the process-independent projection of a
-//! `SimReport` (outcome, outputs, cycle count, warnings), deliberately
-//! excluding wall-clock timings and backend-specific extras, so a remote
-//! batch compares bit-for-bit against an in-process one.
+//! `SimReport`: outcome, outputs, cycle count and warnings, plus the
+//! server-side per-phase [`SimTimings`] (nanosecond-encoded). Timings are
+//! machine-local, so deterministic comparisons against an in-process run
+//! go through [`WireReport::without_timings`]; everything else compares
+//! bit-for-bit. Backend-specific extras stay off the wire.
 
-use omnisim_api::{RunConfig, SimOutcome, SimReport};
+use omnisim_api::{RunConfig, SimOutcome, SimReport, SimTimings};
 use omnisim_codec::{frame, unframe, ByteReader, ByteWriter, CodecError};
 use omnisim_ir::design::OutputMap;
 use omnisim_ir::wire::{decode_design, encode_design};
@@ -27,8 +29,9 @@ use crate::store::StoreStats;
 
 /// Magic bytes of a wire-protocol message: "OmniSim Wire Message".
 pub const WIRE_MAGIC: [u8; 4] = *b"OSWM";
-/// Current wire-protocol version.
-pub const WIRE_VERSION: u16 = 1;
+/// Current wire-protocol version. Version 2 added per-phase report
+/// timings and the [`Request::Metrics`]/[`Response::MetricsReply`] pair.
+pub const WIRE_VERSION: u16 = 2;
 /// Upper bound on a single message, applied before allocating.
 pub const MAX_MESSAGE_LEN: u32 = 256 * 1024 * 1024;
 
@@ -53,6 +56,9 @@ pub enum Request {
     /// Ask the server to stop accepting connections and exit its serve
     /// loop; answered by [`Response::ShuttingDown`].
     Shutdown,
+    /// Scrape the server's full metrics registry; answered by
+    /// [`Response::MetricsReply`].
+    Metrics,
 }
 
 /// A server-to-client message.
@@ -88,11 +94,20 @@ pub enum Response {
         /// Human-readable failure description.
         message: String,
     },
+    /// The server's metrics registry, frozen at scrape time.
+    MetricsReply {
+        /// An [`omnisim_obs::MetricsSnapshot`] in its structured-JSON
+        /// encoding (`MetricsSnapshot::to_json` / `from_json`). JSON, not
+        /// a bespoke binary codec, so non-Rust scrapers can consume it
+        /// directly.
+        snapshot_json: String,
+    },
 }
 
 /// The process-independent projection of a `SimReport`, as sent over the
-/// wire: everything deterministic (outcome, outputs, cycles, warnings),
-/// nothing machine-local (wall-clock timings, backend-specific extras).
+/// wire: everything deterministic (outcome, outputs, cycles, warnings)
+/// plus the server-side per-phase timings. Backend-specific extras stay
+/// off the wire.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WireReport {
     /// Name of the backend that produced the report.
@@ -105,6 +120,19 @@ pub struct WireReport {
     pub total_cycles: Option<u64>,
     /// Warning messages and how often each occurred.
     pub warnings: BTreeMap<String, usize>,
+    /// Per-phase wall-clock breakdown of the run, measured on the server.
+    /// Machine-local: zero it via [`WireReport::without_timings`] before
+    /// comparing a remote report against an in-process one.
+    pub timings: SimTimings,
+}
+
+impl WireReport {
+    /// This report with its machine-local timings zeroed — the
+    /// deterministic projection two processes can compare with `==`.
+    pub fn without_timings(mut self) -> WireReport {
+        self.timings = SimTimings::default();
+        self
+    }
 }
 
 /// Wire form of a `SimOutcome`.
@@ -157,8 +185,25 @@ impl From<&SimReport> for WireReport {
             outputs: report.outputs.clone(),
             total_cycles: report.total_cycles,
             warnings: report.warnings.clone(),
+            timings: report.timings,
         }
     }
+}
+
+// Durations cross the wire as u64 nanoseconds: ~584 years of range, far
+// beyond any simulation phase, and a fixed-width field either side.
+fn write_timings(w: &mut ByteWriter, timings: SimTimings) {
+    for phase in [timings.front_end, timings.execution, timings.finalize] {
+        w.u64(u64::try_from(phase.as_nanos()).unwrap_or(u64::MAX));
+    }
+}
+
+fn read_timings(r: &mut ByteReader) -> Result<SimTimings, CodecError> {
+    Ok(SimTimings {
+        front_end: std::time::Duration::from_nanos(r.u64()?),
+        execution: std::time::Duration::from_nanos(r.u64()?),
+        finalize: std::time::Duration::from_nanos(r.u64()?),
+    })
 }
 
 fn write_run_config(w: &mut ByteWriter, config: &RunConfig) {
@@ -203,6 +248,7 @@ fn write_report(w: &mut ByteWriter, report: &WireReport) {
         w.str(message);
         w.usize(count);
     });
+    write_timings(w, report.timings);
 }
 
 fn read_report(r: &mut ByteReader) -> Result<WireReport, CodecError> {
@@ -229,12 +275,14 @@ fn read_report(r: &mut ByteReader) -> Result<WireReport, CodecError> {
         let count = r.usize()?;
         warnings.insert(message, count);
     }
+    let timings = read_timings(r)?;
     Ok(WireReport {
         backend,
         outcome,
         outputs,
         total_cycles,
         warnings,
+        timings,
     })
 }
 
@@ -242,6 +290,7 @@ fn write_store_stats(w: &mut ByteWriter, stats: &StoreStats) {
     w.usize(stats.hits);
     w.usize(stats.misses);
     w.usize(stats.evictions);
+    w.u64(stats.evicted_bytes);
     w.usize(stats.entries);
     w.u64(stats.bytes);
 }
@@ -251,6 +300,7 @@ fn read_store_stats(r: &mut ByteReader) -> Result<StoreStats, CodecError> {
         hits: r.usize()?,
         misses: r.usize()?,
         evictions: r.usize()?,
+        evicted_bytes: r.u64()?,
         entries: r.usize()?,
         bytes: r.u64()?,
     })
@@ -293,6 +343,7 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         }
         Request::Stats => w.u8(2),
         Request::Shutdown => w.u8(3),
+        Request::Metrics => w.u8(4),
     }
     frame(WIRE_MAGIC, WIRE_VERSION, &w.into_bytes())
 }
@@ -319,6 +370,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
         }
         2 => Request::Stats,
         3 => Request::Shutdown,
+        4 => Request::Metrics,
         tag => return Err(CodecError::Invalid(format!("unknown request tag {tag}"))),
     };
     r.finish()?;
@@ -359,6 +411,10 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             w.u8(5);
             w.str(message);
         }
+        Response::MetricsReply { snapshot_json } => {
+            w.u8(6);
+            w.str(snapshot_json);
+        }
     }
     frame(WIRE_MAGIC, WIRE_VERSION, &w.into_bytes())
 }
@@ -389,6 +445,9 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, CodecError> {
         3 => Response::Overloaded { limit: r.usize()? },
         4 => Response::ShuttingDown,
         5 => Response::Error { message: r.str()? },
+        6 => Response::MetricsReply {
+            snapshot_json: r.str()?,
+        },
         tag => return Err(CodecError::Invalid(format!("unknown response tag {tag}"))),
     };
     r.finish()?;
@@ -510,6 +569,11 @@ mod tests {
             outputs,
             total_cycles: Some(99),
             warnings,
+            timings: SimTimings {
+                front_end: std::time::Duration::from_nanos(12),
+                execution: std::time::Duration::from_micros(34),
+                finalize: std::time::Duration::from_millis(5),
+            },
         }
     }
 
@@ -528,6 +592,7 @@ mod tests {
             },
             Request::Stats,
             Request::Shutdown,
+            Request::Metrics,
         ];
         for request in requests {
             let bytes = encode_request(&request);
@@ -553,6 +618,7 @@ mod tests {
                         hits: 1,
                         misses: 2,
                         evictions: 3,
+                        evicted_bytes: 700,
                         entries: 4,
                         bytes: 5,
                     }),
@@ -562,6 +628,9 @@ mod tests {
             Response::ShuttingDown,
             Response::Error {
                 message: "no design registered".into(),
+            },
+            Response::MetricsReply {
+                snapshot_json: "{\"metrics\":[]}".into(),
             },
         ];
         for response in responses {

@@ -14,9 +14,13 @@
 //! * `--expect-warm` — assert the server answered at least one registration
 //!   from its persistent store (used by CI to prove a server restart
 //!   warm-starts instead of recompiling);
+//! * `--metrics` — scrape the server's metrics registry, print it as
+//!   Prometheus text, and assert the core series are present and parse
+//!   (used by CI as the observability smoke test);
 //! * `--shutdown` — ask the server to exit after this client's requests.
 
 use omnisim_suite::designs::{fig4, typea};
+use omnisim_suite::obs::parse_prometheus;
 use omnisim_suite::serve::wire::WireOutcome;
 use omnisim_suite::serve::Client;
 use omnisim_suite::RunConfig;
@@ -44,6 +48,7 @@ fn main() {
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:17071".to_owned());
     let expect_warm = args.iter().any(|a| a == "--expect-warm");
+    let want_metrics = args.iter().any(|a| a == "--metrics");
     let shutdown = args.iter().any(|a| a == "--shutdown");
 
     let mut client = connect_with_retry(&addr);
@@ -113,6 +118,43 @@ fn main() {
         println!(
             "warm-start check passed ({} warm starts)",
             stats.warm_starts
+        );
+    }
+    if want_metrics {
+        let snapshot = client.metrics().expect("metrics reply");
+        let text = snapshot.to_prometheus();
+        print!("{text}");
+        let samples = parse_prometheus(&text).expect("exported text parses back");
+        for series in [
+            "service_register_total",
+            "service_runs_total",
+            "service_run_nanos_count",
+            "wire_requests_total",
+            "store_loads_total",
+        ] {
+            assert!(
+                samples.iter().any(|s| s.name == series),
+                "scrape is missing the {series} series"
+            );
+        }
+        let runs: f64 = samples
+            .iter()
+            .filter(|s| s.name == "service_runs_total")
+            .map(|s| s.value)
+            .sum();
+        assert!(
+            runs >= results.len() as f64,
+            "scrape reports {runs} runs, expected at least {}",
+            results.len()
+        );
+        println!(
+            "metrics check passed ({} series, {} samples)",
+            samples
+                .iter()
+                .map(|s| s.name.as_str())
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
+            samples.len(),
         );
     }
     if shutdown {

@@ -15,10 +15,13 @@
 //! # defaults:                                    127.0.0.1:17071  <tmp>  omnisim
 //! ```
 //!
-//! The server runs until a client sends a shutdown request.
+//! The server runs until a client sends a shutdown request, then prints a
+//! final Prometheus dump of its metrics registry — the same text a live
+//! scrape (`serve_client --metrics`) sees.
 
 use omnisim_suite::backend;
-use omnisim_suite::serve::{ArtifactStore, Server, SimService};
+use omnisim_suite::serve::{ArtifactStore, MetricsRegistry, Server, SimService};
+use std::sync::Arc;
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -32,6 +35,9 @@ fn main() {
     let sim = backend(&backend_name).unwrap_or_else(|| panic!("unknown backend '{backend_name}'"));
     let store = ArtifactStore::open(&store_dir).expect("store directory opens");
     let service = SimService::new(sim).with_store(store);
+    // Keep a handle on the shared registry: `Server::bind` consumes the
+    // service, but the registry outlives it for the shutdown dump below.
+    let registry: Arc<MetricsRegistry> = Arc::clone(service.metrics());
 
     let server = Server::bind(service, &*addr).expect("address binds");
     println!(
@@ -41,5 +47,6 @@ fn main() {
     );
     println!("stop with: cargo run --release --example serve_client -- {addr} --shutdown");
     server.serve().expect("serve loop");
-    println!("shut down cleanly");
+    println!("shut down cleanly; final metrics:");
+    print!("{}", registry.snapshot().to_prometheus());
 }

@@ -87,6 +87,8 @@
 //!   cross-backend differential fuzzing oracle,
 //! * [`codec`] — the zero-dependency binary codec under every persisted
 //!   artifact and wire message,
+//! * [`obs`] — zero-dependency metrics: counters, gauges, latency
+//!   histograms, spans, Prometheus/JSON exporters,
 //! * [`serve`] — the persistent serving tier: [`SimService`], the
 //!   disk-backed [`ArtifactStore`] and the TCP server/client pair,
 //! * [`designs`] — the benchmark designs of the paper's evaluation.
@@ -110,6 +112,7 @@ pub use omnisim_graph as graph;
 pub use omnisim_interp as interp;
 pub use omnisim_ir as ir;
 pub use omnisim_lightning as lightning;
+pub use omnisim_obs as obs;
 pub use omnisim_rtlsim as rtlsim;
 pub use omnisim_serve as serve;
 

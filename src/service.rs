@@ -26,5 +26,6 @@
 //! ```
 
 pub use omnisim_serve::{
-    design_key, ArtifactStore, DesignKey, ServiceStats, SimService, StoreStats,
+    design_key, ArtifactStore, DesignKey, MetricsRegistry, MetricsSnapshot, ServiceStats,
+    SimService, StoreStats,
 };

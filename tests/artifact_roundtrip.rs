@@ -6,7 +6,9 @@
 //! `ArtifactStore` + `SimService` warm-start cycle survives truncated /
 //! corrupted / version-skewed artifacts by falling back to a fresh compile,
 //! and a TCP client/server batch matches an in-process
-//! `SimService::run_batch` exactly.
+//! `SimService::run_batch` exactly — timings and all: the wire encodes the
+//! server-side `SimTimings`, and `Client::metrics` agrees with the
+//! server's own registry.
 
 use omnisim_suite::designs::{fig4, misc, typea};
 use omnisim_suite::ir::Design;
@@ -24,9 +26,9 @@ fn temp_dir(tag: &str) -> PathBuf {
 
 /// The process-independent projection used to compare reports: outcome,
 /// outputs, cycle count and warnings (wall-clock timings legitimately
-/// differ between an original and a decoded artifact).
+/// differ between an original and a decoded artifact, so they are zeroed).
 fn fingerprint(report: &SimReport) -> WireReport {
-    WireReport::from(report)
+    WireReport::from(report).without_timings()
 }
 
 /// Run configs that exercise each backend's per-run knobs against `design`.
@@ -336,7 +338,99 @@ fn remote_batches_match_in_process_batches_exactly() {
         client.register(design).unwrap();
     }
     let remote = client.run_batch(&requests).unwrap();
-    assert_eq!(remote, expected, "remote batch must match in-process batch");
+    let normalized: Vec<Result<WireReport, String>> = remote
+        .iter()
+        .cloned()
+        .map(|r| r.map(WireReport::without_timings))
+        .collect();
+    assert_eq!(
+        normalized, expected,
+        "remote batch must match in-process batch"
+    );
+
+    // Remote reports carry the *server's* per-phase timings, so a remote
+    // caller sees the same field-for-field breakdown an in-process one
+    // does. Every successful run did real work, so its timings are
+    // non-zero (lightning/omnisim report under `finalize`; at least one
+    // phase must be populated).
+    for result in &remote {
+        let report = result.as_ref().expect("batch succeeded");
+        assert!(
+            report.timings.total() > std::time::Duration::ZERO,
+            "wire report arrived with zeroed timings"
+        );
+    }
+
+    client.shutdown().unwrap();
+    serving.join().unwrap();
+}
+
+/// `Client::metrics` is the server's own registry, verbatim: after a
+/// deterministic batch, the remote snapshot's service counters agree with
+/// what the server-side `SimService` reports in-process.
+#[test]
+fn remote_metrics_scrape_agrees_with_server_registry() {
+    let designs = [typea::vecadd_stream(24, 2), typea::fir_filter(16, 4)];
+    let service = SimService::new(backend("omnisim").unwrap());
+    let registry = std::sync::Arc::clone(service.metrics());
+    let server = Server::bind(service, ("127.0.0.1", 0)).unwrap();
+    let handle = server.handle();
+    let serving = std::thread::spawn(move || server.serve().unwrap());
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    let keys: Vec<_> = designs
+        .iter()
+        .map(|d| client.register(d).unwrap())
+        .collect();
+    client.register(&designs[0]).unwrap(); // one cache hit
+    let requests: Vec<_> = keys
+        .iter()
+        .cycle()
+        .take(6)
+        .map(|key| (*key, RunConfig::default()))
+        .collect();
+    let results = client.run_batch(&requests).unwrap();
+    assert!(results.iter().all(|r| r.is_ok()));
+
+    // Scrape over the wire first, then freeze the local registry: counters
+    // are monotone, so remote <= local would catch drift in either
+    // direction given no traffic in between (and there is none — the
+    // client is idle). Histograms carry wall-clock and the local snapshot
+    // includes the scrape request itself, so the agreement check covers
+    // the deterministic counter/gauge core.
+    let remote = client.metrics().unwrap();
+    let local = registry.snapshot();
+    let counters = |snapshot: &omnisim_suite::obs::MetricsSnapshot| {
+        snapshot
+            .counters()
+            .into_iter()
+            .filter(|(id, _)| id.name.starts_with("service_") || id.name.starts_with("store_"))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        counters(&remote),
+        counters(&local),
+        "remote scrape disagrees with the server's in-process registry"
+    );
+    assert_eq!(
+        remote.counter("service_runs_total"),
+        Some(6),
+        "six batch runs must be visible remotely"
+    );
+    assert_eq!(
+        remote.counter_with("service_register_total", &[("outcome", "hit")]),
+        Some(1)
+    );
+    assert_eq!(
+        remote.counter_with("service_register_total", &[("outcome", "compile")]),
+        Some(2)
+    );
+    // The wire layer's own traffic is in the scrape too.
+    assert_eq!(
+        remote.counter_with("wire_requests_total", &[("type", "register")]),
+        Some(3)
+    );
+
     client.shutdown().unwrap();
     serving.join().unwrap();
 }
