@@ -425,6 +425,24 @@ impl SimTimings {
     }
 }
 
+/// Which engine path answered one run — a backend-agnostic label such as
+/// `baseline_replay`, `refinalize` or `resim_fallback`, inserted into
+/// [`SimReport::extras`] by the backend that served the run.
+///
+/// [`CompiledSim::counters`] exposes the same vocabulary as *cumulative*
+/// artifact totals; this payload is the *per-run* attribution, which a
+/// serving tier can attach to exactly the request that took the path
+/// (race-free under concurrency, where counter deltas are not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunPath(pub &'static str);
+
+impl RunPath {
+    /// The path label.
+    pub fn as_str(&self) -> &'static str {
+        self.0
+    }
+}
+
 /// Type-keyed container for backend-specific payloads riding on a
 /// [`SimReport`] — e.g. the OmniSim engine's `SimStats` and
 /// `IncrementalState`, or the reference simulator's native report.

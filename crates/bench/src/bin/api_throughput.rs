@@ -18,9 +18,12 @@
 //! (`vecadd_stream`) and a compute-heavy one (`fir_filter`); a fifth
 //! pushes the same batch through the TCP serving tier (`Server`/`Client`)
 //! and checks it answers exactly like the in-process service; a sixth
-//! replays the mixed service batch on an instrumented vs an
-//! uninstrumented (`MetricsRegistry::disabled`) service and asserts the
-//! telemetry layer costs less than 5% of throughput.
+//! replays a depth-sweep batch (every request re-finalizes under a
+//! FIFO-depth override) on an instrumented vs an uninstrumented
+//! (`MetricsRegistry::disabled`) service and asserts the telemetry layer
+//! costs less than 5% of throughput; a seventh does the same for the
+//! tracing layer (a live head-sampling `Tracer` vs `Tracer::disabled()`),
+//! recorded as `trace_overhead`.
 //!
 //! Results are printed as a table and written to `BENCH_api.json`. Pass
 //! `--smoke` for a seconds-scale run (used by CI) — same measurements,
@@ -34,7 +37,7 @@ use omnisim_suite::designs::typea;
 use omnisim_suite::ir::Design;
 use omnisim_suite::obs::MetricsRegistry;
 use omnisim_suite::serve::wire::WireReport;
-use omnisim_suite::serve::{Client, Server};
+use omnisim_suite::serve::{Client, DesignKey, Server, TraceConfig, Tracer};
 use omnisim_suite::{backend, RunConfig, SimService, Simulator};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -305,39 +308,132 @@ fn main() {
         secs(wire_elapsed)
     );
 
-    // Telemetry overhead: the same mixed batch on an instrumented service
-    // (the default registry) vs one rebuilt over a disabled registry, where
-    // every handle is a no-op. Interleaved best-of-3 so CPU frequency and
-    // cache drift hit both sides alike.
+    // Telemetry overhead: a depth-sweep batch on an instrumented service
+    // (the default registry) vs one rebuilt over a disabled registry,
+    // where every handle is a no-op. The overhead legs always run
+    // *standard-size* requests (the full bench's N = 512 designs), even
+    // under `--smoke`, and every request carries a FIFO-depth override —
+    // the DSE sweep pattern this stack serves. Both choices guard the
+    // denominator: a cached replay finishes in well under a microsecond,
+    // so a replay-heavy batch would quote the fixed per-request telemetry
+    // cost against near-zero work and measure request size, not the
+    // telemetry layer. Override requests do real re-finalization (and
+    // re-simulation where certification fails), which is the work the
+    // telemetry is amortized over in a sweep.
+    let overhead_n: i64 = 512;
+    let overhead_designs = [
+        typea::vecadd_stream(overhead_n, 2),
+        typea::fir_filter(overhead_n, 8),
+        typea::window_conv(overhead_n, 4),
+    ];
+    let overhead_requests: usize = 120;
     let build_service = |registry: Arc<MetricsRegistry>| {
         let service = SimService::new(backend("omnisim").unwrap()).with_metrics(registry);
-        for d in &designs {
-            service.register(d).expect("fleet compiles");
-        }
-        service
+        let keys: Vec<_> = overhead_designs
+            .iter()
+            .map(|d| service.register(d).expect("fleet compiles"))
+            .collect();
+        let requests: Vec<_> = (0..overhead_requests)
+            .map(|i| {
+                let which = i % keys.len();
+                let config =
+                    RunConfig::new()
+                        .with_fifo_depths(vec![1 + (i % 12); overhead_designs[which].fifos.len()]);
+                (keys[which], config)
+            })
+            .collect();
+        (service, requests)
     };
     let instrumented = build_service(Arc::new(MetricsRegistry::new()));
     let uninstrumented = build_service(Arc::new(MetricsRegistry::disabled()));
-    let time_batch = |service: &SimService| {
+    let time_batch = |(service, requests): &(SimService, Vec<(DesignKey, RunConfig)>)| {
         let start = Instant::now();
-        let reports = service.run_batch(&requests);
+        let reports = service.run_batch(requests);
         let elapsed = start.elapsed().as_secs_f64().max(1e-9);
         assert!(reports.iter().all(|r| r.is_ok()), "all requests served");
         requests.len() as f64 / elapsed
     };
-    let mut instrumented_rps: f64 = 0.0;
-    let mut uninstrumented_rps: f64 = 0.0;
-    for _ in 0..3 {
-        instrumented_rps = instrumented_rps.max(time_batch(&instrumented));
-        uninstrumented_rps = uninstrumented_rps.max(time_batch(&uninstrumented));
-    }
-    let overhead_ratio = instrumented_rps / uninstrumented_rps.max(1e-9);
+    // The machine's throughput drifts at second scale (frequency, cache
+    // pressure from neighbours), so a best-of per side is not comparable
+    // across sides. Each round times one service of each side
+    // back-to-back — drift hits both legs of a pair alike — and the
+    // overhead ratio is the median of the per-round ratios. Two extra
+    // defenses against *persistent* bias, which pairing alone cannot
+    // cancel: each side brings two independently built instances (heap
+    // layout luck differs per instance, so rounds cross-pair them), and
+    // the in-pair measurement order alternates every round (whoever runs
+    // second inherits the other's cache state).
+    type Leg = (SimService, Vec<(DesignKey, RunConfig)>);
+    let compare = |with: [&Leg; 2], without: [&Leg; 2]| {
+        for service in with.iter().chain(without.iter()) {
+            time_batch(service);
+        }
+        let mut with_rps: f64 = 0.0;
+        let mut without_rps: f64 = 0.0;
+        let mut ratios: Vec<f64> = Vec::new();
+        for round in 0..16 {
+            let with_leg = with[round % 2];
+            let without_leg = without[(round / 2) % 2];
+            let (w, wo) = if round % 2 == 0 {
+                let w = time_batch(with_leg);
+                let wo = time_batch(without_leg);
+                (w, wo)
+            } else {
+                let wo = time_batch(without_leg);
+                let w = time_batch(with_leg);
+                (w, wo)
+            };
+            with_rps = with_rps.max(w);
+            without_rps = without_rps.max(wo);
+            ratios.push(w / wo.max(1e-9));
+        }
+        ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+        (with_rps, without_rps, ratios[ratios.len() / 2])
+    };
+    let instrumented2 = build_service(Arc::new(MetricsRegistry::new()));
+    let uninstrumented2 = build_service(Arc::new(MetricsRegistry::disabled()));
+    let (instrumented_rps, uninstrumented_rps, overhead_ratio) = compare(
+        [&instrumented, &instrumented2],
+        [&uninstrumented, &uninstrumented2],
+    );
     println!(
-        "\nmetrics overhead (mixed service batch, best of 3): \
+        "\nmetrics overhead (depth-sweep batch, median of 16 cross-paired rounds): \
          instrumented {instrumented_rps:.0} runs/sec, \
          uninstrumented {uninstrumented_rps:.0} runs/sec \
          ({:.1}% overhead)",
         (1.0 - overhead_ratio).max(0.0) * 100.0
+    );
+
+    // Tracing overhead: the same batch on a service with a live tracer
+    // (head-sampling every request into the flight recorder) vs one whose
+    // tracer is the no-op `Tracer::disabled()`. Same paired-round
+    // discipline as the metrics leg.
+    let build_traced = |tracer: Tracer| {
+        let service = SimService::new(backend("omnisim").unwrap()).with_tracer(tracer);
+        let keys: Vec<_> = overhead_designs
+            .iter()
+            .map(|d| service.register(d).expect("fleet compiles"))
+            .collect();
+        let requests: Vec<_> = instrumented
+            .1
+            .iter()
+            .enumerate()
+            .map(|(i, (_, config))| (keys[i % keys.len()], config.clone()))
+            .collect();
+        (service, requests)
+    };
+    let traced = build_traced(Tracer::new(TraceConfig::default()));
+    let traced2 = build_traced(Tracer::new(TraceConfig::default()));
+    let untraced = build_traced(Tracer::disabled());
+    let untraced2 = build_traced(Tracer::disabled());
+    let (traced_rps, untraced_rps, trace_ratio) =
+        compare([&traced, &traced2], [&untraced, &untraced2]);
+    println!(
+        "\ntracing overhead (depth-sweep batch, median of 16 cross-paired rounds): \
+         traced {traced_rps:.0} runs/sec, \
+         untraced {untraced_rps:.0} runs/sec \
+         ({:.1}% overhead)",
+        (1.0 - trace_ratio).max(0.0) * 100.0
     );
 
     let mut json = String::from("{\n  \"bench\": \"api_throughput\",\n");
@@ -396,6 +492,10 @@ fn main() {
     let _ = writeln!(json, "    \"instrumented_rps\": {instrumented_rps:.2},");
     let _ = writeln!(json, "    \"uninstrumented_rps\": {uninstrumented_rps:.2},");
     let _ = writeln!(json, "    \"ratio\": {overhead_ratio:.4}");
+    let _ = writeln!(json, "  }},\n  \"trace_overhead\": {{");
+    let _ = writeln!(json, "    \"traced_rps\": {traced_rps:.2},");
+    let _ = writeln!(json, "    \"untraced_rps\": {untraced_rps:.2},");
+    let _ = writeln!(json, "    \"ratio\": {trace_ratio:.4}");
     let _ = writeln!(json, "  }},\n  \"wire\": {{");
     let _ = writeln!(json, "    \"requests\": {},", requests.len());
     let _ = writeln!(json, "    \"rps\": {wire_rps:.2}");
@@ -430,5 +530,11 @@ fn main() {
         overhead_ratio >= 0.95,
         "instrumented service must stay within 5% of uninstrumented \
          throughput, got ratio {overhead_ratio:.3}"
+    );
+    // So must the tracing layer, even while head-sampling every request.
+    assert!(
+        trace_ratio >= 0.95,
+        "traced service must stay within 5% of untraced throughput, \
+         got ratio {trace_ratio:.3}"
     );
 }

@@ -24,7 +24,8 @@ use crate::engine::OmniSimulator;
 use crate::incremental::IncrementalOutcome;
 use crate::report::{OmniError, OmniOutcome, OmniReport};
 use omnisim_api::{
-    Capabilities, CompiledSim, RunConfig, SimFailure, SimOutcome, SimReport, SimTimings, Simulator,
+    Capabilities, CompiledSim, RunConfig, RunPath, SimFailure, SimOutcome, SimReport, SimTimings,
+    Simulator,
 };
 use omnisim_ir::Design;
 use std::any::Any;
@@ -217,6 +218,7 @@ impl CompiledOmni {
                 self.replays.fetch_add(1, Ordering::Relaxed);
                 let mut report = self.materialize_baseline();
                 report.timings.finalize = run_start.elapsed();
+                report.extras.insert(RunPath("baseline_replay"));
                 return Ok(report);
             }
         };
@@ -241,6 +243,7 @@ impl CompiledOmni {
                 let mut report = self.materialize_baseline();
                 report.total_cycles = Some(total_cycles);
                 report.timings.finalize = run_start.elapsed();
+                report.extras.insert(RunPath("refinalize"));
                 Ok(report)
             }
             IncrementalOutcome::ConstraintViolated { .. }
@@ -254,7 +257,9 @@ impl CompiledOmni {
                     .fuel
                     .map_or(self.config, |f| self.config.with_fuel(f));
                 let native = OmniSimulator::with_config(&resized, run_config).run()?;
-                Ok(SimReport::from(native))
+                let mut report = SimReport::from(native);
+                report.extras.insert(RunPath("resim_fallback"));
+                Ok(report)
             }
         }
     }

@@ -65,7 +65,8 @@
 #![warn(missing_debug_implementations)]
 
 use omnisim_api::{
-    Capabilities, CompiledSim, RunConfig, SimFailure, SimOutcome, SimReport, SimTimings, Simulator,
+    Capabilities, CompiledSim, RunConfig, RunPath, SimFailure, SimOutcome, SimReport, SimTimings,
+    Simulator,
 };
 use omnisim_codec::{frame, unframe, ByteReader, ByteWriter, CodecError};
 use omnisim_interp::{Interpreter, SimBackend, SimError};
@@ -452,16 +453,20 @@ impl CompiledSim for CompiledCsim {
 
     fn run(&self, config: &RunConfig) -> Result<SimReport, SimFailure> {
         let started = Instant::now();
-        let mut unified: SimReport = match config.fuel {
+        let (mut unified, path): (SimReport, RunPath) = match config.fuel {
             Some(fuel) if fuel != self.config.fuel => {
                 self.reexecutions.fetch_add(1, Ordering::Relaxed);
-                simulate_with_config(&self.design, CsimConfig { fuel }).into()
+                (
+                    simulate_with_config(&self.design, CsimConfig { fuel }).into(),
+                    RunPath("reexecution"),
+                )
             }
             _ => {
                 self.replays.fetch_add(1, Ordering::Relaxed);
-                self.cached.clone().into()
+                (self.cached.clone().into(), RunPath("cached_replay"))
             }
         };
+        unified.extras.insert(path);
         // The evaluation cost lives in the compile timings (or, for a
         // fuel-override re-execution, in the elapsed time measured here);
         // either way this run's report covers only its own work.

@@ -196,6 +196,13 @@ fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
                     end = Some(i);
                     break;
                 }
+                // Backslash, quote and newline must travel escaped (the
+                // exporter escapes them); a raw control character here
+                // means the producer did not, so reject the line instead
+                // of smuggling it into the value.
+                c if (c as u32) < 0x20 => {
+                    return Err("unescaped control character in label value".to_owned());
+                }
                 c => value.push(c),
             }
         }
@@ -285,8 +292,20 @@ mod tests {
         let registry = MetricsRegistry::new();
         registry.counter_with("c", &[("path", "a\\b\"c\nd")]).inc();
         let text = registry.snapshot().to_prometheus();
+        // The exporter escapes backslash, quote and newline — pin the
+        // exact rendered form, not just the round trip.
+        assert!(
+            text.contains(r#"c{path="a\\b\"c\nd"} 1"#),
+            "unexpected rendering: {text}"
+        );
         let samples = parse_prometheus(&text).unwrap();
         assert_eq!(samples[0].label("path"), Some("a\\b\"c\nd"));
+        // Values containing spaces and label-grammar punctuation survive
+        // too (the value separator is the last space on the line).
+        let registry = MetricsRegistry::new();
+        registry.counter_with("c", &[("q", "a b},= c")]).inc();
+        let samples = parse_prometheus(&registry.snapshot().to_prometheus()).unwrap();
+        assert_eq!(samples[0].label("q"), Some("a b},= c"));
     }
 
     #[test]
@@ -303,5 +322,21 @@ mod tests {
             assert!(parse_prometheus(bad).is_err(), "accepted {bad:?}");
         }
         assert_eq!(parse_prometheus("# just a comment\n\n").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn parser_rejects_unescaped_label_values() {
+        for (bad, why) in [
+            ("c{k=\"a\tb\"} 1", "raw tab in value"),
+            ("c{k=\"a\rb\"} 1", "raw carriage return in value"),
+            ("c{k=\"a\\tb\"} 1", "undefined escape sequence"),
+            ("c{k=\"a\"b\"} 1", "unescaped quote mid-value"),
+            ("c{k=\"a\\\"} 1", "escape swallowing the closing quote"),
+        ] {
+            assert!(parse_prometheus(bad).is_err(), "accepted {why}: {bad:?}");
+        }
+        // A literal newline inside a value splits the exposition lines;
+        // both halves must be rejected, never silently re-joined.
+        assert!(parse_prometheus("c{k=\"a\nb\"} 1").is_err());
     }
 }

@@ -61,6 +61,22 @@
 //! A registry can also be created [`disabled`](MetricsRegistry::disabled):
 //! handles still exist, but every record is a no-op — the hook the
 //! `api_throughput` bench uses to pin the instrumentation overhead.
+//!
+//! ## Tracing
+//!
+//! Metrics aggregate; the [`trace`] module explains individual requests:
+//! a [`Tracer`] hands out [`ActiveSpan`]s forming parent-linked span
+//! trees ([`TraceId`]/[`SpanId`]), records finished spans into a bounded
+//! ring-buffer flight recorder, and applies head+tail sampling
+//! (probabilistic by trace ID, always-keep for slow local roots) to
+//! decide which traces survive into [`Tracer::recent_traces`]. A
+//! [`TraceContext`] propagates the trace across threads and wire hops so
+//! a remote client's span and the server's decode/resolve/run spans join
+//! one causally-ordered tree. Kept traces export as Chrome trace-event
+//! JSON ([`to_chrome_trace`], loadable in Perfetto) or JSON-Lines
+//! ([`to_jsonl`]), each with a parse-back validator in the same style as
+//! [`parse_prometheus`]. [`Tracer::disabled`] mirrors the disabled
+//! registry for overhead baselines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -72,9 +88,16 @@ pub mod json;
 mod registry;
 mod snapshot;
 mod span;
+pub mod trace;
+mod trace_export;
 
 pub use export::{parse_prometheus, PromSample};
 pub use histogram::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
 pub use registry::{Counter, Gauge, MetricId, MetricsRegistry};
 pub use snapshot::{MetricsSnapshot, Sample, SampleValue};
 pub use span::Span;
+pub use trace::{
+    ActiveSpan, AttrValue, ContextGuard, IntoAttr, LocalContext, SpanId, SpanRecord, Trace,
+    TraceConfig, TraceContext, TraceId, Tracer, TracerStats,
+};
+pub use trace_export::{parse_chrome_trace, parse_jsonl, to_chrome_trace, to_jsonl};

@@ -1,0 +1,1609 @@
+//! Distributed request tracing: span trees, a ring-buffer flight
+//! recorder, and head+tail sampling.
+//!
+//! Aggregate metrics (the rest of this crate) answer "how fast on
+//! average"; traces answer "why was *this* run slow". A [`Tracer`] hands
+//! out [`ActiveSpan`]s that time a region of one request, link to their
+//! parent (implicitly via a thread-local current-span cell, or explicitly
+//! via a wire-carried [`TraceContext`]) and carry `key=value` attributes
+//! such as `outcome=warm` or `refinalizes=3`. Finished spans land in two
+//! places:
+//!
+//! * the **flight recorder** — a bounded ring buffer of the last N
+//!   finished spans, always on, evicting the oldest whole trace at a
+//!   time and counting every evicted span in a monotone dropped-spans
+//!   counter; and
+//! * a **per-trace pending buffer** that assembles each local root's
+//!   subtree until the root finishes, at which point the *sampling
+//!   policy* decides the trace's fate: kept if its trace ID was
+//!   head-sampled (probabilistic, decided once at trace origin and
+//!   propagated in the context) **or** if the local root ran longer than
+//!   the configured slow threshold (tail-based always-keep). Kept traces
+//!   sit in a bounded recent-traces buffer ([`Tracer::recent_traces`])
+//!   and optionally flow to a keep hook (e.g. persisting slow traces to
+//!   disk).
+//!
+//! Everything is `std`-only, `unsafe`-free and cheap enough to leave on:
+//! span creation is two `Instant` reads, an ID mix and a thread-local
+//! store; a [`Tracer::disabled`] tracer reduces every operation to a
+//! no-op for overhead baselines, mirroring
+//! [`MetricsRegistry::disabled`](crate::MetricsRegistry::disabled).
+//!
+//! ```
+//! use omnisim_obs::{TraceConfig, Tracer};
+//!
+//! let tracer = Tracer::new(TraceConfig::default());
+//! {
+//!     let mut request = tracer.span("request");
+//!     request.set_attr("outcome", "warm");
+//!     let _child = tracer.span("decode"); // nests under `request`
+//! } // spans record on drop, children first
+//! let traces = tracer.recent_traces();
+//! assert_eq!(traces.len(), 1);
+//! assert_eq!(traces[0].spans.len(), 2);
+//! ```
+
+use crate::registry::{Counter, MetricsRegistry};
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Identifier of one end-to-end trace: all spans of one request share it,
+/// across threads and processes. Never zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// The raw 64-bit value (for wire transport and export).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a trace ID from its raw value (e.g. received over the
+    /// wire). Returns `None` for the reserved zero value.
+    pub fn from_raw(raw: u64) -> Option<TraceId> {
+        (raw != 0).then_some(TraceId(raw))
+    }
+}
+
+/// Identifier of one span within a trace. Never zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpanId(u64);
+
+impl SpanId {
+    /// The raw 64-bit value (for wire transport and export).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+
+    /// Reconstructs a span ID from its raw value. Returns `None` for the
+    /// reserved zero value.
+    pub fn from_raw(raw: u64) -> Option<SpanId> {
+        (raw != 0).then_some(SpanId(raw))
+    }
+}
+
+/// The propagatable identity of an in-progress span: enough for a remote
+/// (or cross-thread) child to join the same trace under the right parent.
+/// This is what wire protocols carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// The trace every descendant span joins.
+    pub trace_id: TraceId,
+    /// The span that new children attach under.
+    pub parent_span: SpanId,
+    /// The head-sampling decision made at trace origin; descendants
+    /// inherit it instead of re-rolling, so a trace is kept or discarded
+    /// as a unit.
+    pub sampled: bool,
+}
+
+/// One finished span: a named, timed region of one request, with its
+/// position in the span tree and its `key=value` attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace_id: TraceId,
+    /// This span's identity.
+    pub span_id: SpanId,
+    /// The parent span, if any (`None` for trace roots). A parent may
+    /// live in another process — the link still names it.
+    pub parent: Option<SpanId>,
+    /// What the span measured (e.g. `wire_request`, `backend_run`).
+    /// Borrowed for the common `&'static str` case so naming a span does
+    /// not allocate.
+    pub name: Cow<'static, str>,
+    /// Start time, in nanoseconds since the UNIX epoch (monotonic within
+    /// one tracer: derived from a fixed epoch plus `Instant` elapsed).
+    pub start_nanos: u64,
+    /// End time, same clock as `start_nanos`; always `>= start_nanos`.
+    pub end_nanos: u64,
+    /// Small per-thread index of the worker that ran the span (the `tid`
+    /// lane in Chrome trace exports).
+    pub tid: u64,
+    /// `key=value` attributes in insertion order (e.g. `outcome=warm`,
+    /// `refinalizes=3`). Static keys stay borrowed and numeric values
+    /// stay numeric ([`AttrValue`]), so the hot-path spans of a serving
+    /// stack attach attributes without allocating or formatting.
+    pub attrs: Vec<(Cow<'static, str>, AttrValue)>,
+}
+
+/// A span attribute value, kept *typed* until export: integers and
+/// booleans are stored raw — no decimal formatting, no allocation — on
+/// the span hot path, and rendered only when a trace is exported or
+/// inspected. Non-negative integers (from any unsigned or signed input)
+/// normalize to [`Uint`](AttrValue::Uint), so equality is value-based and
+/// a parsed-back export compares equal to what was recorded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrValue {
+    /// Text; borrowed for the common `&'static str` case.
+    Text(Cow<'static, str>),
+    /// A non-negative integer.
+    Uint(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// The text, for [`Text`](AttrValue::Text) attributes.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Text(text) => Some(text.as_ref()),
+            _ => None,
+        }
+    }
+
+    /// The value, for [`Uint`](AttrValue::Uint) attributes.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            AttrValue::Uint(value) => Some(*value),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Text(text) => f.write_str(text),
+            AttrValue::Uint(value) => write!(f, "{value}"),
+            AttrValue::Int(value) => write!(f, "{value}"),
+            AttrValue::Bool(value) => write!(f, "{value}"),
+        }
+    }
+}
+
+/// Text attributes compare to plain strings, so assertions like
+/// `span.attr("outcome") == Some("ok")` read naturally.
+impl PartialEq<str> for AttrValue {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for AttrValue {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl From<&'static str> for AttrValue {
+    fn from(text: &'static str) -> AttrValue {
+        AttrValue::Text(Cow::Borrowed(text))
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(text: String) -> AttrValue {
+        AttrValue::Text(Cow::Owned(text))
+    }
+}
+
+/// A value a span attribute can be built from. String inputs become
+/// [`AttrValue::Text`] (borrowed for `&'static str`); integer and boolean
+/// inputs stay numeric ([`AttrValue::Uint`] / [`AttrValue::Int`] /
+/// [`AttrValue::Bool`]) — attaching a counter to a span costs a store,
+/// not a formatting pass. Floats (rare in practice) format eagerly to
+/// text so attribute values stay totally comparable.
+pub trait IntoAttr {
+    /// The attribute value.
+    fn into_attr(self) -> AttrValue;
+}
+
+impl IntoAttr for AttrValue {
+    fn into_attr(self) -> AttrValue {
+        self
+    }
+}
+
+impl IntoAttr for &'static str {
+    fn into_attr(self) -> AttrValue {
+        AttrValue::Text(Cow::Borrowed(self))
+    }
+}
+
+impl IntoAttr for String {
+    fn into_attr(self) -> AttrValue {
+        AttrValue::Text(Cow::Owned(self))
+    }
+}
+
+impl IntoAttr for Cow<'static, str> {
+    fn into_attr(self) -> AttrValue {
+        AttrValue::Text(self)
+    }
+}
+
+impl IntoAttr for bool {
+    fn into_attr(self) -> AttrValue {
+        AttrValue::Bool(self)
+    }
+}
+
+macro_rules! uint_into_attr {
+    ($($t:ty),* $(,)?) => {
+        $(impl IntoAttr for $t {
+            fn into_attr(self) -> AttrValue {
+                AttrValue::Uint(self as u64)
+            }
+        })*
+    };
+}
+
+uint_into_attr!(u8, u16, u32, u64, usize);
+
+macro_rules! int_into_attr {
+    ($($t:ty),* $(,)?) => {
+        $(impl IntoAttr for $t {
+            fn into_attr(self) -> AttrValue {
+                match u64::try_from(self) {
+                    Ok(value) => AttrValue::Uint(value),
+                    Err(_) => AttrValue::Int(self as i64),
+                }
+            }
+        })*
+    };
+}
+
+int_into_attr!(i8, i16, i32, i64, isize);
+
+macro_rules! wide_into_attr {
+    ($($t:ty),* $(,)?) => {
+        $(impl IntoAttr for $t {
+            fn into_attr(self) -> AttrValue {
+                match (u64::try_from(self), i64::try_from(self)) {
+                    (Ok(value), _) => AttrValue::Uint(value),
+                    (_, Ok(value)) => AttrValue::Int(value),
+                    // Out of 64-bit range: keep the exact decimal as text.
+                    _ => AttrValue::Text(Cow::Owned(self.to_string())),
+                }
+            }
+        })*
+    };
+}
+
+wide_into_attr!(u128, i128);
+
+macro_rules! float_into_attr {
+    ($($t:ty),* $(,)?) => {
+        $(impl IntoAttr for $t {
+            fn into_attr(self) -> AttrValue {
+                AttrValue::Text(Cow::Owned(self.to_string()))
+            }
+        })*
+    };
+}
+
+float_into_attr!(f32, f64);
+
+impl SpanRecord {
+    /// The span's duration in nanoseconds.
+    pub fn duration_nanos(&self) -> u64 {
+        self.end_nanos.saturating_sub(self.start_nanos)
+    }
+
+    /// The first attribute with this key, if present.
+    pub fn attr(&self, key: &str) -> Option<&AttrValue> {
+        self.attrs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+/// A kept trace: every retained span of one trace ID, ordered by start
+/// time. Spans recorded by different local roots (e.g. a register and a
+/// run_batch request of the same client session) are merged by
+/// [`Tracer::recent_traces`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// The shared trace ID.
+    pub trace_id: TraceId,
+    /// All retained spans, ordered by `(start_nanos, span_id)`.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    /// Groups a flat span list into traces, ordered by first appearance;
+    /// spans within each trace are sorted by `(start_nanos, span_id)`.
+    pub fn group(spans: Vec<SpanRecord>) -> Vec<Trace> {
+        let mut order: Vec<TraceId> = Vec::new();
+        let mut by_trace: HashMap<TraceId, Vec<SpanRecord>> = HashMap::new();
+        for span in spans {
+            let bucket = by_trace.entry(span.trace_id).or_default();
+            if bucket.is_empty() {
+                order.push(span.trace_id);
+            }
+            bucket.push(span);
+        }
+        order
+            .into_iter()
+            .map(|trace_id| {
+                let mut spans = by_trace.remove(&trace_id).unwrap_or_default();
+                spans.sort_by_key(|span| (span.start_nanos, span.span_id));
+                Trace { trace_id, spans }
+            })
+            .collect()
+    }
+
+    /// The first span with this name, if present.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|span| span.name == name)
+    }
+
+    /// The span with this ID, if present.
+    pub fn span(&self, id: SpanId) -> Option<&SpanRecord> {
+        self.spans.iter().find(|span| span.span_id == id)
+    }
+}
+
+/// Capacity and sampling knobs of a [`Tracer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Flight-recorder capacity in spans: once exceeded, the oldest
+    /// whole traces are evicted (never splitting a trace, so a retained
+    /// span's parent is always retained with it) and every evicted span
+    /// is counted as dropped.
+    pub ring_capacity: usize,
+    /// How many kept trace fragments the recent-traces buffer retains.
+    pub keep_capacity: usize,
+    /// Bound on the spans buffered for one local root while it is in
+    /// flight; excess spans are dropped (and counted), not buffered.
+    pub max_spans_per_trace: usize,
+    /// Bound on concurrently-assembling local roots; spans of untracked
+    /// roots are dropped (and counted) instead of growing the buffer.
+    pub max_pending_traces: usize,
+    /// Probabilistic head-sampling ratio in `[0, 1]`, decided once per
+    /// trace from a hash of its ID: `1.0` keeps every trace, `0.0` keeps
+    /// none (except tail-sampled slow ones).
+    pub sample_ratio: f64,
+    /// Tail-based always-keep threshold: a trace whose local root ran at
+    /// least this long is kept even if head sampling passed on it.
+    pub slow_threshold: Duration,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            // Sized to stay cache-resident: the ring's retained spans are
+            // live heap churning alongside the traced workload, and a few
+            // hundred spans is already a deep incident snapshot. Raise it
+            // for post-mortem depth, at cache-pressure cost.
+            ring_capacity: 256,
+            keep_capacity: 64,
+            max_spans_per_trace: 512,
+            max_pending_traces: 1024,
+            sample_ratio: 1.0,
+            slow_threshold: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Point-in-time counters of a [`Tracer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TracerStats {
+    /// Spans finished (and offered to the flight recorder).
+    pub spans_finished: u64,
+    /// Spans dropped by the flight recorder's ring capacity — the
+    /// `dropped_spans_total` counter. Monotone.
+    pub dropped_spans: u64,
+    /// Spans dropped by the pending-buffer bounds before their trace's
+    /// fate was decided.
+    pub pending_dropped: u64,
+    /// Traces kept (head-sampled or over the slow threshold).
+    pub traces_kept: u64,
+    /// Traces discarded by the sampling policy.
+    pub traces_discarded: u64,
+}
+
+/// The tracer's counter handles in a shared [`MetricsRegistry`].
+#[derive(Debug)]
+struct BoundCounters {
+    spans_finished: Counter,
+    dropped_spans: Counter,
+    traces_kept: Counter,
+    traces_discarded: Counter,
+}
+
+/// The identity of the current span on this thread, plus what a new child
+/// needs to inherit: the local root it buffers under and the sampling
+/// decision. Propagated across threads via [`Tracer::local_context`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocalContext {
+    trace_id: TraceId,
+    span_id: SpanId,
+    local_root: SpanId,
+    sampled: bool,
+}
+
+impl LocalContext {
+    /// The wire-propagatable projection of this context.
+    pub fn to_context(self) -> TraceContext {
+        TraceContext {
+            trace_id: self.trace_id,
+            parent_span: self.span_id,
+            sampled: self.sampled,
+        }
+    }
+}
+
+/// Pending map keyed by span IDs, which are already well-mixed 64-bit
+/// values ([`fresh_id`] finishes with SplitMix64) — a pass-through hasher
+/// keeps the span hot path off SipHash.
+#[derive(Default)]
+struct SpanIdHasher(u64);
+
+impl std::hash::Hasher for SpanIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 = (self.0 << 8) | u64::from(byte);
+        }
+    }
+
+    fn write_u64(&mut self, n: u64) {
+        self.0 = n;
+    }
+}
+
+type PendingMap = HashMap<SpanId, Vec<SpanRecord>, std::hash::BuildHasherDefault<SpanIdHasher>>;
+
+/// One decided local-root fragment, frozen into a single shared
+/// allocation. The ring and the kept buffer both reference the same
+/// frozen spans, so retaining a trace twice is a refcount bump.
+type Fragment = Arc<[SpanRecord]>;
+
+/// The tracer's shared trace-assembly state, under one mutex: a finishing
+/// local root settles its whole trace — cross-thread merge, flight
+/// recorder publish, keep decision — in one critical section.
+#[derive(Default)]
+struct Buffers {
+    /// Fragments of local roots with cross-thread children (or whose root
+    /// left its origin thread), keyed by local root.
+    pending: PendingMap,
+    /// Kept traces, oldest first, bounded by `keep_capacity`.
+    kept: VecDeque<(TraceId, Fragment)>,
+    /// Flight recorder: decided fragments in decide order, evicted a
+    /// whole fragment at a time once `ring_spans` exceeds the configured
+    /// span capacity.
+    ring: VecDeque<Fragment>,
+    /// Total spans across `ring`.
+    ring_spans: usize,
+}
+
+/// The spans a thread buffers for local roots that are still open *on
+/// this thread*. The common case — a request handled start-to-finish on
+/// one thread — assembles its fragment here without touching any shared
+/// lock; only cross-thread children (via [`Tracer::attach`]) and the
+/// final keep decision go through the tracer's shared buffers.
+#[derive(Default)]
+struct LocalFragments {
+    /// Local roots started (and not yet finished) on this thread, with a
+    /// running count of buffered children for the per-trace bound.
+    open_roots: Vec<(SpanId, usize)>,
+    /// Finished children awaiting their root, tagged by local root.
+    spans: Vec<(SpanId, SpanRecord)>,
+}
+
+/// Cross-thread `ActiveSpan` moves aside, nesting depth bounds this; the
+/// cap just keeps a pathological caller from growing the scans unbounded.
+const MAX_OPEN_ROOTS: usize = 64;
+
+thread_local! {
+    static CURRENT: Cell<Option<LocalContext>> = const { Cell::new(None) };
+    static THREAD_INDEX: Cell<u64> = const { Cell::new(0) };
+    static FRAGMENTS: RefCell<LocalFragments> = RefCell::new(LocalFragments::default());
+}
+
+/// Small, stable per-thread index used as the `tid` lane of exported
+/// spans. Assigned on first use, never reused within a process.
+fn current_tid() -> u64 {
+    THREAD_INDEX.with(|cell| {
+        if cell.get() == 0 {
+            static NEXT: AtomicU64 = AtomicU64::new(1);
+            cell.set(NEXT.fetch_add(1, Ordering::Relaxed));
+        }
+        cell.get()
+    })
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed 64-bit mix.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// A fresh, process-unique, non-zero 64-bit ID: a per-process random-ish
+/// seed (clock and pid) mixed with a monotone counter.
+fn fresh_id() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seed = *SEED.get_or_init(|| {
+        let nanos = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        mix64(nanos ^ ((std::process::id() as u64) << 32))
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let id = mix64(seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// The head-sampling decision for a trace: a hash of the trace ID against
+/// the configured ratio, so every participant of a trace — any process,
+/// any thread — derives the same verdict without coordination.
+fn head_sampled(trace_id: TraceId, ratio: f64) -> bool {
+    if ratio >= 1.0 {
+        return true;
+    }
+    if ratio <= 0.0 {
+        return false;
+    }
+    (mix64(trace_id.raw()) as f64) < ratio * (u64::MAX as f64)
+}
+
+/// The shared handler invoked for every kept trace.
+type KeepHook = Arc<dyn Fn(&Trace) + Send + Sync>;
+
+struct Inner {
+    enabled: bool,
+    config: TraceConfig,
+    epoch_instant: Instant,
+    epoch_nanos: u64,
+    // The spans-finished counter, advanced a whole fragment at a time
+    // when a local root decides its trace.
+    cursor: AtomicU64,
+    // Flight recorder + pending + kept under one mutex; same-thread
+    // children never take it — they buffer in the thread-local
+    // `FRAGMENTS` — so a two-span request costs one lock total.
+    buffers: Mutex<Buffers>,
+    keep_hook: RwLock<Option<KeepHook>>,
+    // Mirrors `keep_hook.is_some()` so the hot path can skip the RwLock.
+    has_hook: AtomicBool,
+    bound: RwLock<Option<BoundCounters>>,
+    // Mirrors `bound.is_some()` for the same reason.
+    has_bound: AtomicBool,
+    dropped_spans: AtomicU64,
+    pending_dropped: AtomicU64,
+    traces_kept: AtomicU64,
+    traces_discarded: AtomicU64,
+    // High-water marks of what has been mirrored into the bound registry
+    // counters. Mirroring happens on local-root finishes (and on
+    // `bind_metrics`), not per span, keeping the span hot path free of
+    // registry traffic.
+    synced_spans_finished: AtomicU64,
+    synced_dropped_spans: AtomicU64,
+    synced_traces_kept: AtomicU64,
+    synced_traces_discarded: AtomicU64,
+}
+
+/// The tracing front end: creates spans, owns the flight recorder and the
+/// sampling policy. Cheap to clone (an `Arc` internally); every layer of
+/// a process shares one tracer the way they share one
+/// [`MetricsRegistry`].
+#[derive(Clone)]
+pub struct Tracer {
+    inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.inner.enabled)
+            .field("config", &self.inner.config)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(TraceConfig::default())
+    }
+}
+
+impl Tracer {
+    fn build(enabled: bool, config: TraceConfig) -> Tracer {
+        let epoch_nanos = SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        Tracer {
+            inner: Arc::new(Inner {
+                enabled,
+                config,
+                epoch_instant: Instant::now(),
+                epoch_nanos,
+                cursor: AtomicU64::new(0),
+                buffers: Mutex::new(Buffers::default()),
+                keep_hook: RwLock::new(None),
+                has_hook: AtomicBool::new(false),
+                bound: RwLock::new(None),
+                has_bound: AtomicBool::new(false),
+                dropped_spans: AtomicU64::new(0),
+                pending_dropped: AtomicU64::new(0),
+                traces_kept: AtomicU64::new(0),
+                traces_discarded: AtomicU64::new(0),
+                synced_spans_finished: AtomicU64::new(0),
+                synced_dropped_spans: AtomicU64::new(0),
+                synced_traces_kept: AtomicU64::new(0),
+                synced_traces_discarded: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// A tracer with the given capacities and sampling policy.
+    pub fn new(config: TraceConfig) -> Tracer {
+        Tracer::build(true, config)
+    }
+
+    /// A tracer whose every operation is a no-op: spans neither time nor
+    /// record anything. The baseline for overhead measurements and the
+    /// default for clients that do not opt into tracing.
+    pub fn disabled() -> Tracer {
+        Tracer::build(false, TraceConfig::default())
+    }
+
+    /// False for a [`Tracer::disabled`] tracer.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.enabled
+    }
+
+    /// The tracer's capacities and sampling policy.
+    pub fn config(&self) -> &TraceConfig {
+        &self.inner.config
+    }
+
+    /// Nanoseconds since the UNIX epoch on the tracer's monotone clock (a
+    /// fixed wall-clock anchor plus `Instant` elapsed, so span timestamps
+    /// never go backwards within one tracer).
+    fn now_nanos(&self) -> u64 {
+        self.inner
+            .epoch_nanos
+            .saturating_add(self.inner.epoch_instant.elapsed().as_nanos() as u64)
+    }
+
+    /// Starts a span. With a current span on this thread it becomes that
+    /// span's child within the same trace; otherwise it originates a new
+    /// trace (fresh [`TraceId`], head-sampling decision rolled here) and
+    /// becomes its local root. The span records when dropped or
+    /// [`finished`](ActiveSpan::finish).
+    pub fn span(&self, name: impl Into<Cow<'static, str>>) -> ActiveSpan {
+        if !self.inner.enabled {
+            return ActiveSpan::noop(self.clone());
+        }
+        match CURRENT.get() {
+            Some(current) => self.start(
+                name.into(),
+                current.trace_id,
+                Some(current.span_id),
+                current.local_root,
+                current.sampled,
+                false,
+            ),
+            None => {
+                let trace_id = TraceId(fresh_id());
+                let sampled = head_sampled(trace_id, self.inner.config.sample_ratio);
+                self.start_root(name.into(), trace_id, None, sampled)
+            }
+        }
+    }
+
+    /// Starts a span that is its own *fragment root*: it nests under the
+    /// current span (same trace, parent link intact) but buffers and
+    /// decides its subtree independently, like the server side of a wire
+    /// hop ([`span_remote`](Tracer::span_remote)). Use it for repeated
+    /// units of work under one long-lived parent — e.g. each request of a
+    /// large batch — so every unit settles into the flight recorder as a
+    /// small fragment when it finishes, instead of accumulating (and
+    /// eventually overflowing `max_spans_per_trace`) until the parent
+    /// ends. [`recent_traces`](Tracer::recent_traces) re-merges the
+    /// fragments of one trace. Without a current span it starts a fresh
+    /// trace, exactly like [`span`](Tracer::span).
+    pub fn span_fragment(&self, name: impl Into<Cow<'static, str>>) -> ActiveSpan {
+        if !self.inner.enabled {
+            return ActiveSpan::noop(self.clone());
+        }
+        match CURRENT.get() {
+            Some(current) => self.start_root(
+                name.into(),
+                current.trace_id,
+                Some(current.span_id),
+                current.sampled,
+            ),
+            None => {
+                let trace_id = TraceId(fresh_id());
+                let sampled = head_sampled(trace_id, self.inner.config.sample_ratio);
+                self.start_root(name.into(), trace_id, None, sampled)
+            }
+        }
+    }
+
+    /// Starts a local root span that joins a trace begun elsewhere — the
+    /// server side of a wire hop. The span's parent is the remote span
+    /// named by `context`; the head-sampling decision is inherited.
+    pub fn span_remote(
+        &self,
+        name: impl Into<Cow<'static, str>>,
+        context: &TraceContext,
+    ) -> ActiveSpan {
+        if !self.inner.enabled {
+            return ActiveSpan::noop(self.clone());
+        }
+        self.start_root(
+            name.into(),
+            context.trace_id,
+            Some(context.parent_span),
+            context.sampled,
+        )
+    }
+
+    fn start_root(
+        &self,
+        name: Cow<'static, str>,
+        trace_id: TraceId,
+        parent: Option<SpanId>,
+        sampled: bool,
+    ) -> ActiveSpan {
+        let span_id = SpanId(fresh_id());
+        self.start_with(name, trace_id, span_id, parent, span_id, sampled, true)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start(
+        &self,
+        name: Cow<'static, str>,
+        trace_id: TraceId,
+        parent: Option<SpanId>,
+        local_root: SpanId,
+        sampled: bool,
+        is_local_root: bool,
+    ) -> ActiveSpan {
+        let span_id = SpanId(fresh_id());
+        self.start_with(
+            name,
+            trace_id,
+            span_id,
+            parent,
+            local_root,
+            sampled,
+            is_local_root,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_with(
+        &self,
+        name: Cow<'static, str>,
+        trace_id: TraceId,
+        span_id: SpanId,
+        parent: Option<SpanId>,
+        local_root: SpanId,
+        sampled: bool,
+        is_local_root: bool,
+    ) -> ActiveSpan {
+        let context = LocalContext {
+            trace_id,
+            span_id,
+            local_root,
+            sampled,
+        };
+        let previous = CURRENT.replace(Some(context));
+        if is_local_root {
+            // Track the root on its origin thread so children finishing
+            // here can buffer lock-free in `FRAGMENTS`.
+            FRAGMENTS.with_borrow_mut(|fragments| {
+                if fragments.open_roots.len() < MAX_OPEN_ROOTS {
+                    fragments.open_roots.push((span_id, 0));
+                }
+            });
+        }
+        ActiveSpan {
+            tracer: self.clone(),
+            previous,
+            restores: true,
+            data: Some(SpanData {
+                trace_id,
+                span_id,
+                parent,
+                local_root,
+                sampled,
+                is_local_root,
+                name,
+                attrs: Vec::new(),
+                start_nanos: self.now_nanos(),
+            }),
+        }
+    }
+
+    /// The wire-propagatable context of the current span on this thread,
+    /// if any. What a client attaches to outgoing requests.
+    pub fn current_context(&self) -> Option<TraceContext> {
+        if !self.inner.enabled {
+            return None;
+        }
+        CURRENT.get().map(LocalContext::to_context)
+    }
+
+    /// The full in-process context of the current span on this thread,
+    /// for handing to a worker thread (see [`Tracer::attach`]).
+    pub fn local_context(&self) -> Option<LocalContext> {
+        if !self.inner.enabled {
+            return None;
+        }
+        CURRENT.get()
+    }
+
+    /// Installs `context` as the current span of this thread until the
+    /// returned guard drops — how a thread pool propagates the batch
+    /// span's identity into its workers, so per-run spans created there
+    /// join the batch's trace instead of starting their own.
+    pub fn attach(&self, context: LocalContext) -> ContextGuard {
+        if !self.inner.enabled {
+            return ContextGuard {
+                previous: None,
+                restores: false,
+            };
+        }
+        ContextGuard {
+            previous: CURRENT.replace(Some(context)),
+            restores: true,
+        }
+    }
+
+    /// Records a finished span: into the flight recorder always, and into
+    /// the pending buffer of its local root; a finishing local root
+    /// triggers the keep decision for its fragment.
+    fn record(&self, record: SpanRecord, local_root: SpanId, is_local_root: bool, sampled: bool) {
+        let inner = &self.inner;
+        if !is_local_root {
+            self.record_child(record, local_root);
+            return;
+        }
+
+        // A finishing local root decides its trace. Gather the fragment:
+        // the thread-local part (children that finished here while the
+        // root was open), then any cross-thread part under the shared
+        // lock.
+        let mut fragment = FRAGMENTS.with_borrow_mut(|fragments| {
+            let Some(at) = fragments
+                .open_roots
+                .iter()
+                .rposition(|(root, _)| *root == local_root)
+            else {
+                return Vec::new();
+            };
+            let (_, count) = fragments.open_roots.swap_remove(at);
+            // +1 for the root itself, pushed below.
+            let mut fragment: Vec<SpanRecord> = Vec::with_capacity(count + 1);
+            let mut i = 0;
+            while i < fragments.spans.len() {
+                if fragments.spans[i].0 == local_root {
+                    fragment.push(fragments.spans.swap_remove(i).1);
+                } else {
+                    i += 1;
+                }
+            }
+            fragment
+        });
+        let trace_id = record.trace_id;
+        let root_nanos = record.duration_nanos();
+        let keep = sampled || root_nanos >= inner.config.slow_threshold.as_nanos() as u64;
+        let wants_hook = keep && inner.has_hook.load(Ordering::Relaxed);
+        let mut for_hook: Option<Fragment> = None;
+        {
+            let mut buffers = inner.buffers.lock().expect("tracer buffers poisoned");
+            if let Some(cross) = buffers.pending.remove(&local_root) {
+                fragment.extend(cross);
+            }
+            fragment.push(record);
+            fragment.sort_by_key(|span| (span.start_nanos, span.span_id.raw()));
+            // Freeze the whole trace into one shared allocation; the ring
+            // and the kept buffer reference it by refcount.
+            let frozen: Fragment = fragment.into();
+            inner
+                .cursor
+                .fetch_add(frozen.len() as u64, Ordering::Relaxed);
+
+            // Flight recorder: always on, regardless of the keep
+            // decision. Evicts (and counts) a whole trace at a time once
+            // over span capacity; a retained child's parent is always
+            // retained with it.
+            buffers.ring_spans += frozen.len();
+            buffers.ring.push_back(Arc::clone(&frozen));
+            while buffers.ring.len() > 1 && buffers.ring_spans > inner.config.ring_capacity.max(1) {
+                let evicted = buffers.ring.pop_front().expect("ring non-empty");
+                buffers.ring_spans -= evicted.len();
+                inner
+                    .dropped_spans
+                    .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+            }
+
+            if keep {
+                inner.traces_kept.fetch_add(1, Ordering::Relaxed);
+                if wants_hook {
+                    for_hook = Some(Arc::clone(&frozen));
+                }
+                buffers.kept.push_back((trace_id, frozen));
+                while buffers.kept.len() > inner.config.keep_capacity.max(1) {
+                    buffers.kept.pop_front();
+                }
+            } else {
+                inner.traces_discarded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        if let Some(for_hook) = for_hook {
+            // Materialize a `Trace` only when someone looks at it, and
+            // call the hook outside the buffers lock so a hook may read
+            // the tracer.
+            let hook = inner
+                .keep_hook
+                .read()
+                .expect("tracer keep hook poisoned")
+                .clone();
+            if let Some(hook) = hook {
+                let trace = Trace {
+                    trace_id,
+                    spans: for_hook.to_vec(),
+                };
+                hook(&trace);
+            }
+        }
+        // Mirror counter deltas into the bound registry once per decided
+        // trace — the span hot path never touches it.
+        self.sync_bound();
+    }
+
+    /// Buffers a finished non-root span: on its thread's local fragment
+    /// when the local root is open here (no shared state touched), else
+    /// in the shared cross-thread pending map. The per-trace span bound
+    /// is enforced per buffer, so a trace split across threads may retain
+    /// up to the bound in each.
+    fn record_child(&self, record: SpanRecord, local_root: SpanId) {
+        enum Placement {
+            Buffered,
+            OverBound,
+            NotTrackedHere(SpanRecord),
+        }
+        let inner = &self.inner;
+        let placement = FRAGMENTS.with_borrow_mut(|fragments| {
+            match fragments
+                .open_roots
+                .iter_mut()
+                .rev()
+                .find(|(root, _)| *root == local_root)
+            {
+                Some((_, count)) => {
+                    if *count < inner.config.max_spans_per_trace {
+                        *count += 1;
+                        fragments.spans.push((local_root, record));
+                        Placement::Buffered
+                    } else {
+                        Placement::OverBound
+                    }
+                }
+                None => Placement::NotTrackedHere(record),
+            }
+        });
+        match placement {
+            Placement::Buffered => {}
+            Placement::OverBound => {
+                inner.pending_dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            Placement::NotTrackedHere(record) => {
+                let mut buffers = inner.buffers.lock().expect("tracer buffers poisoned");
+                match buffers.pending.get_mut(&local_root) {
+                    Some(entry) => {
+                        if entry.len() < inner.config.max_spans_per_trace {
+                            entry.push(record);
+                        } else {
+                            inner.pending_dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    None => {
+                        if buffers.pending.len() < inner.config.max_pending_traces {
+                            buffers.pending.insert(local_root, vec![record]);
+                        } else {
+                            inner.pending_dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Adds whatever the tracer's counters accumulated since the last
+    /// mirror to the bound registry counters, if a registry is bound.
+    fn sync_bound(&self) {
+        let inner = &self.inner;
+        if !inner.has_bound.load(Ordering::Relaxed) {
+            return;
+        }
+        let bound = inner.bound.read().expect("tracer counters poisoned");
+        let Some(bound) = bound.as_ref() else {
+            return;
+        };
+        for (total, synced, counter) in [
+            (
+                &inner.cursor,
+                &inner.synced_spans_finished,
+                &bound.spans_finished,
+            ),
+            (
+                &inner.dropped_spans,
+                &inner.synced_dropped_spans,
+                &bound.dropped_spans,
+            ),
+            (
+                &inner.traces_kept,
+                &inner.synced_traces_kept,
+                &bound.traces_kept,
+            ),
+            (
+                &inner.traces_discarded,
+                &inner.synced_traces_discarded,
+                &bound.traces_discarded,
+            ),
+        ] {
+            let current = total.load(Ordering::Relaxed);
+            let previous = synced.swap(current, Ordering::Relaxed);
+            counter.add(current.saturating_sub(previous));
+        }
+    }
+
+    /// The flight recorder's current contents — the most recent finished
+    /// spans up to `ring_capacity`, in finish (write) order, regardless
+    /// of sampling.
+    pub fn recent_spans(&self) -> Vec<SpanRecord> {
+        let buffers = self.inner.buffers.lock().expect("tracer buffers poisoned");
+        buffers
+            .ring
+            .iter()
+            .flat_map(|fragment| fragment.iter().cloned())
+            .collect()
+    }
+
+    /// The kept traces, oldest first, with fragments of one trace ID
+    /// (e.g. several requests of one client session) merged into a single
+    /// [`Trace`].
+    pub fn recent_traces(&self) -> Vec<Trace> {
+        let buffers = self.inner.buffers.lock().expect("tracer buffers poisoned");
+        let spans: Vec<SpanRecord> = buffers
+            .kept
+            .iter()
+            .flat_map(|(_, spans)| spans.iter().cloned())
+            .collect();
+        Trace::group(spans)
+    }
+
+    /// Registers a hook invoked (synchronously, on the recording thread)
+    /// for every trace the sampling policy keeps — e.g. persisting slow
+    /// traces to disk. Replaces any previous hook.
+    pub fn set_keep_hook(&self, hook: impl Fn(&Trace) + Send + Sync + 'static) {
+        *self
+            .inner
+            .keep_hook
+            .write()
+            .expect("tracer keep hook poisoned") = Some(Arc::new(hook));
+        self.inner.has_hook.store(true, Ordering::Relaxed);
+    }
+
+    /// Point-in-time counters. Reading also flushes any counter deltas
+    /// still unmirrored into a bound registry.
+    pub fn stats(&self) -> TracerStats {
+        self.sync_bound();
+        self.stats_inner()
+    }
+
+    fn stats_inner(&self) -> TracerStats {
+        let inner = &self.inner;
+        TracerStats {
+            spans_finished: inner.cursor.load(Ordering::Relaxed),
+            dropped_spans: inner.dropped_spans.load(Ordering::Relaxed),
+            pending_dropped: inner.pending_dropped.load(Ordering::Relaxed),
+            traces_kept: inner.traces_kept.load(Ordering::Relaxed),
+            traces_discarded: inner.traces_discarded.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Publishes the tracer's counters into a shared [`MetricsRegistry`]
+    /// (`trace_spans_finished_total`, `dropped_spans_total`,
+    /// `traces_kept_total`, `traces_discarded_total`), carrying the
+    /// accumulated values across — the same re-homing contract as
+    /// `ArtifactStore::bind_metrics`.
+    pub fn bind_metrics(&self, registry: &MetricsRegistry) {
+        let counters = BoundCounters {
+            spans_finished: registry.counter("trace_spans_finished_total"),
+            dropped_spans: registry.counter("dropped_spans_total"),
+            traces_kept: registry.counter("traces_kept_total"),
+            traces_discarded: registry.counter("traces_discarded_total"),
+        };
+        let mut bound = self.inner.bound.write().expect("tracer counters poisoned");
+        let stats = self.stats_inner();
+        counters.spans_finished.add(stats.spans_finished);
+        counters.dropped_spans.add(stats.dropped_spans);
+        counters.traces_kept.add(stats.traces_kept);
+        counters.traces_discarded.add(stats.traces_discarded);
+        let inner = &self.inner;
+        inner
+            .synced_spans_finished
+            .store(stats.spans_finished, Ordering::Relaxed);
+        inner
+            .synced_dropped_spans
+            .store(stats.dropped_spans, Ordering::Relaxed);
+        inner
+            .synced_traces_kept
+            .store(stats.traces_kept, Ordering::Relaxed);
+        inner
+            .synced_traces_discarded
+            .store(stats.traces_discarded, Ordering::Relaxed);
+        *bound = Some(counters);
+        inner.has_bound.store(true, Ordering::Relaxed);
+    }
+}
+
+/// What an in-flight span carries until it finishes.
+#[derive(Debug)]
+struct SpanData {
+    trace_id: TraceId,
+    span_id: SpanId,
+    parent: Option<SpanId>,
+    local_root: SpanId,
+    sampled: bool,
+    is_local_root: bool,
+    name: Cow<'static, str>,
+    attrs: Vec<(Cow<'static, str>, AttrValue)>,
+    start_nanos: u64,
+}
+
+/// An in-flight span. While alive it is the current span of the creating
+/// thread (children created there nest under it); it records into its
+/// [`Tracer`] when dropped or explicitly [`finished`](ActiveSpan::finish).
+#[derive(Debug)]
+pub struct ActiveSpan {
+    tracer: Tracer,
+    previous: Option<LocalContext>,
+    restores: bool,
+    data: Option<SpanData>,
+}
+
+impl ActiveSpan {
+    fn noop(tracer: Tracer) -> ActiveSpan {
+        ActiveSpan {
+            tracer,
+            previous: None,
+            restores: false,
+            data: None,
+        }
+    }
+
+    /// True unless the tracer is disabled (then the span records nothing).
+    pub fn is_recording(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// The span's trace ID (`None` on a disabled tracer).
+    pub fn trace_id(&self) -> Option<TraceId> {
+        self.data.as_ref().map(|d| d.trace_id)
+    }
+
+    /// The span's own ID (`None` on a disabled tracer).
+    pub fn span_id(&self) -> Option<SpanId> {
+        self.data.as_ref().map(|d| d.span_id)
+    }
+
+    /// The context a remote child would join under — this span as parent.
+    pub fn context(&self) -> Option<TraceContext> {
+        self.data.as_ref().map(|d| TraceContext {
+            trace_id: d.trace_id,
+            parent_span: d.span_id,
+            sampled: d.sampled,
+        })
+    }
+
+    /// Appends a `key=value` attribute (kept in insertion order). Static
+    /// keys are borrowed and numeric values stay numeric — see
+    /// [`IntoAttr`] — so tagging a span with a counter neither allocates
+    /// nor formats.
+    pub fn set_attr(&mut self, key: impl Into<Cow<'static, str>>, value: impl IntoAttr) {
+        if let Some(data) = self.data.as_mut() {
+            if data.attrs.is_empty() {
+                // One right-sized allocation instead of a doubling chain.
+                data.attrs.reserve(8);
+            }
+            data.attrs.push((key.into(), value.into_attr()));
+        }
+    }
+
+    /// Finishes the span now (dropping it does the same).
+    pub fn finish(self) {
+        drop(self);
+    }
+
+    fn finish_inner(&mut self) {
+        let Some(data) = self.data.take() else {
+            return;
+        };
+        if self.restores {
+            CURRENT.set(self.previous.take());
+            self.restores = false;
+        }
+        // Same epoch-anchored monotone clock as `start_nanos`, so the end
+        // stamp can never precede the start.
+        let end_nanos = self.tracer.now_nanos().max(data.start_nanos);
+        let record = SpanRecord {
+            trace_id: data.trace_id,
+            span_id: data.span_id,
+            parent: data.parent,
+            name: data.name,
+            start_nanos: data.start_nanos,
+            end_nanos,
+            tid: current_tid(),
+            attrs: data.attrs,
+        };
+        self.tracer
+            .record(record, data.local_root, data.is_local_root, data.sampled);
+    }
+}
+
+impl Drop for ActiveSpan {
+    fn drop(&mut self) {
+        self.finish_inner();
+    }
+}
+
+/// Restores the thread's previous current-span context when dropped; see
+/// [`Tracer::attach`].
+#[derive(Debug)]
+pub struct ContextGuard {
+    previous: Option<LocalContext>,
+    restores: bool,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if self.restores {
+            CURRENT.set(self.previous.take());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracer() -> Tracer {
+        Tracer::new(TraceConfig::default())
+    }
+
+    #[test]
+    fn spans_nest_via_the_thread_local_context() {
+        let tracer = tracer();
+        let root_ids;
+        {
+            let root = tracer.span("root");
+            root_ids = (root.trace_id().unwrap(), root.span_id().unwrap());
+            {
+                let child = tracer.span("child");
+                assert_eq!(child.trace_id(), Some(root_ids.0), "same trace");
+                let grandchild = tracer.span("grandchild");
+                assert_eq!(grandchild.trace_id(), Some(root_ids.0));
+                drop(grandchild);
+                drop(child);
+            }
+        }
+        let traces = tracer.recent_traces();
+        assert_eq!(traces.len(), 1);
+        let trace = &traces[0];
+        assert_eq!(trace.trace_id, root_ids.0);
+        assert_eq!(trace.spans.len(), 3);
+        let root = trace.find("root").unwrap();
+        let child = trace.find("child").unwrap();
+        let grandchild = trace.find("grandchild").unwrap();
+        assert_eq!(root.parent, None);
+        assert_eq!(child.parent, Some(root.span_id));
+        assert_eq!(grandchild.parent, Some(child.span_id));
+        // Nesting: children start no earlier and end no later.
+        assert!(root.start_nanos <= child.start_nanos);
+        assert!(child.start_nanos <= grandchild.start_nanos);
+        assert!(grandchild.end_nanos <= child.end_nanos);
+        assert!(child.end_nanos <= root.end_nanos);
+    }
+
+    #[test]
+    fn remote_joins_share_one_trace() {
+        let tracer = tracer();
+        let context = {
+            let client = tracer.span("client");
+            client.context().unwrap()
+        };
+        // The "server side": a local root joining the client's trace.
+        {
+            let server = tracer.span_remote("server", &context);
+            assert_eq!(server.trace_id(), Some(context.trace_id));
+            let _inner = tracer.span("inner");
+        }
+        let traces = tracer.recent_traces();
+        assert_eq!(traces.len(), 1, "fragments merged by trace id");
+        let trace = &traces[0];
+        assert_eq!(trace.spans.len(), 3);
+        let server = trace.find("server").unwrap();
+        assert_eq!(server.parent, Some(context.parent_span));
+        let inner = trace.find("inner").unwrap();
+        assert_eq!(inner.parent, Some(server.span_id));
+    }
+
+    #[test]
+    fn attach_propagates_context_across_threads() {
+        let tracer = tracer();
+        let batch = tracer.span("batch");
+        let batch_id = batch.span_id().unwrap();
+        let context = tracer.local_context().unwrap();
+        let worker_tracer = tracer.clone();
+        std::thread::spawn(move || {
+            let _guard = worker_tracer.attach(context);
+            let _run = worker_tracer.span("run");
+        })
+        .join()
+        .unwrap();
+        drop(batch);
+        let traces = tracer.recent_traces();
+        assert_eq!(traces.len(), 1);
+        let run = traces[0].find("run").unwrap();
+        assert_eq!(run.parent, Some(batch_id));
+        let batch = traces[0].find("batch").unwrap();
+        assert_ne!(run.tid, batch.tid, "workers get their own tid lane");
+    }
+
+    #[test]
+    fn head_sampling_discards_and_tail_keeps_slow_traces() {
+        let config = TraceConfig {
+            sample_ratio: 0.0,
+            slow_threshold: Duration::from_millis(5),
+            ..TraceConfig::default()
+        };
+        let tracer = Tracer::new(config);
+        // Fast + unsampled: discarded.
+        tracer.span("fast").finish();
+        assert_eq!(tracer.recent_traces().len(), 0);
+        // Slow: tail-kept despite the zero head ratio.
+        {
+            let _slow = tracer.span("slow");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let traces = tracer.recent_traces();
+        assert_eq!(traces.len(), 1);
+        assert!(traces[0].find("slow").is_some());
+        let stats = tracer.stats();
+        assert_eq!(stats.traces_kept, 1);
+        assert_eq!(stats.traces_discarded, 1);
+        assert_eq!(stats.spans_finished, 2);
+        // The flight recorder retains everything regardless of sampling.
+        assert_eq!(tracer.recent_spans().len(), 2);
+    }
+
+    #[test]
+    fn sampling_is_a_pure_function_of_the_trace_id() {
+        let hits = (0..10_000u64)
+            .filter(|&i| head_sampled(TraceId(mix64(i)), 0.25))
+            .count();
+        // A deterministic hash at ratio 0.25 should land near 2500.
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+        assert!(head_sampled(TraceId(7), 1.0));
+        assert!(!head_sampled(TraceId(7), 0.0));
+    }
+
+    #[test]
+    fn ring_overwrites_count_dropped_spans() {
+        let config = TraceConfig {
+            ring_capacity: 4,
+            ..TraceConfig::default()
+        };
+        let tracer = Tracer::new(config);
+        for i in 0..10 {
+            let mut span = tracer.span("s");
+            span.set_attr("i", i);
+        }
+        let spans = tracer.recent_spans();
+        assert_eq!(spans.len(), 4, "ring retains its capacity");
+        // The retained window is the most recent four, in finish order.
+        let kept: Vec<u64> = spans
+            .iter()
+            .map(|s| s.attr("i").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(kept, [6, 7, 8, 9]);
+        assert_eq!(tracer.stats().dropped_spans, 6);
+    }
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let tracer = Tracer::disabled();
+        assert!(!tracer.is_enabled());
+        {
+            let mut span = tracer.span("ghost");
+            assert!(!span.is_recording());
+            assert_eq!(span.context(), None);
+            span.set_attr("k", "v");
+            assert_eq!(tracer.current_context(), None);
+        }
+        assert!(tracer.recent_spans().is_empty());
+        assert!(tracer.recent_traces().is_empty());
+        assert_eq!(tracer.stats(), TracerStats::default());
+    }
+
+    #[test]
+    fn keep_hook_sees_kept_traces_and_metrics_bind_carries_counts() {
+        let tracer = tracer();
+        tracer.span("before").finish();
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen_in_hook = Arc::clone(&seen);
+        tracer.set_keep_hook(move |trace| {
+            assert!(!trace.spans.is_empty());
+            seen_in_hook.fetch_add(1, Ordering::Relaxed);
+        });
+        tracer.span("after").finish();
+        assert_eq!(seen.load(Ordering::Relaxed), 1, "hook sees later keeps");
+
+        let registry = MetricsRegistry::new();
+        tracer.bind_metrics(&registry);
+        tracer.span("bound").finish();
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("trace_spans_finished_total"), Some(3));
+        assert_eq!(snapshot.counter("traces_kept_total"), Some(3));
+        assert_eq!(snapshot.counter("dropped_spans_total"), Some(0));
+    }
+
+    #[test]
+    fn flight_recorder_survives_8_thread_contention() {
+        use std::sync::atomic::AtomicBool;
+
+        const THREADS: u64 = 8;
+        const ITERATIONS: u64 = 200;
+        const RING: usize = 64;
+        // Head sampling off: this test hammers the ring, not the keep path.
+        let tracer = Tracer::new(TraceConfig {
+            ring_capacity: RING,
+            sample_ratio: 0.0,
+            ..TraceConfig::default()
+        });
+
+        let done = Arc::new(AtomicBool::new(false));
+        let monitor = {
+            let tracer = tracer.clone();
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                // The drop counter must be monotone while writers race.
+                let mut last = 0;
+                while !done.load(Ordering::Relaxed) {
+                    let dropped = tracer.stats().dropped_spans;
+                    assert!(dropped >= last, "drop counter went backwards");
+                    last = dropped;
+                    // Concurrent reads must never see torn records either.
+                    for span in tracer.recent_spans() {
+                        assert_consistent(&span);
+                    }
+                }
+            })
+        };
+
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let tracer = tracer.clone();
+                std::thread::spawn(move || {
+                    for i in 0..ITERATIONS {
+                        let mut parent = tracer.span("parent");
+                        set_tags(&mut parent, t, i);
+                        let mut child = tracer.span("child");
+                        set_tags(&mut child, t, i);
+                        drop(child);
+                        drop(parent);
+                    }
+                })
+            })
+            .collect();
+        for worker in workers {
+            worker.join().unwrap();
+        }
+        done.store(true, Ordering::Relaxed);
+        monitor.join().unwrap();
+
+        let total = THREADS * ITERATIONS * 2;
+        let stats = tracer.stats();
+        assert_eq!(stats.spans_finished, total);
+        assert_eq!(
+            stats.dropped_spans,
+            total - RING as u64,
+            "ring keeps exactly its capacity"
+        );
+
+        let retained = tracer.recent_spans();
+        assert_eq!(retained.len(), RING);
+        let ids: std::collections::HashSet<u64> =
+            retained.iter().map(|span| span.span_id.raw()).collect();
+        assert_eq!(ids.len(), RING, "span ids are unique");
+        for span in &retained {
+            assert_consistent(span);
+            // Children finish (and are written) before their parents, so
+            // any retained child's parent is newer and must be retained
+            // too: parent links always resolve within the window.
+            if span.name == "child" {
+                let parent = span.parent.expect("children carry parent links");
+                assert!(
+                    ids.contains(&parent.raw()),
+                    "retained child's parent evicted"
+                );
+            }
+        }
+
+        fn set_tags(span: &mut ActiveSpan, t: u64, i: u64) {
+            span.set_attr("t", t);
+            span.set_attr("i", i);
+            span.set_attr("check", t * 1_000 + i);
+        }
+
+        // A torn span would mix fields written by different threads; every
+        // field triple must agree, and timestamps must be ordered.
+        fn assert_consistent(span: &SpanRecord) {
+            assert!(span.end_nanos >= span.start_nanos);
+            assert_ne!(span.trace_id.raw(), 0);
+            assert_ne!(span.span_id.raw(), 0);
+            let t: u64 = span.attr("t").unwrap().as_u64().unwrap();
+            let i: u64 = span.attr("i").unwrap().as_u64().unwrap();
+            let check: u64 = span.attr("check").unwrap().as_u64().unwrap();
+            assert_eq!(check, t * 1_000 + i, "torn span: attrs disagree");
+        }
+    }
+
+    #[test]
+    fn pending_bounds_drop_excess_spans_not_the_decision() {
+        let config = TraceConfig {
+            max_spans_per_trace: 2,
+            ..TraceConfig::default()
+        };
+        let tracer = Tracer::new(config);
+        {
+            let _root = tracer.span("root");
+            for _ in 0..5 {
+                tracer.span("child").finish();
+            }
+        }
+        let traces = tracer.recent_traces();
+        assert_eq!(traces.len(), 1);
+        // Two buffered children plus the root survive; three were shed.
+        assert_eq!(traces[0].spans.len(), 3);
+        assert_eq!(tracer.stats().pending_dropped, 3);
+    }
+}

@@ -1,0 +1,395 @@
+//! Trace exporters and their parse-back validators: Chrome trace-event
+//! JSON (loadable in Perfetto / `chrome://tracing`) and a JSON-Lines
+//! structured event log.
+//!
+//! Both formats follow the crate's exporter contract: what
+//! [`to_chrome_trace`] / [`to_jsonl`] render, [`parse_chrome_trace`] /
+//! [`parse_jsonl`] parse back into the *same* [`SpanRecord`]s, so a CI
+//! smoke test (or a suspicious operator) can validate a dump
+//! byte-for-byte before shipping it to a viewer.
+//!
+//! The Chrome export uses complete (`"ph":"X"`) events on a single pid,
+//! with `tid` set to the recording worker's thread index, so one request's
+//! spans line up as nested bars per worker lane. Timestamps are
+//! microseconds (the format's unit); the exact nanosecond endpoints ride
+//! along in `args` (`start_ns`/`end_ns`) together with the span identity
+//! (`trace_id`/`span_id`/`parent_span_id`) and every user attribute, so
+//! the parse-back loses nothing.
+
+use crate::json::{self, JsonValue};
+use crate::trace::{AttrValue, SpanId, SpanRecord, TraceId};
+use std::borrow::Cow;
+
+/// Keys the Chrome exporter reserves in `args` for the span identity and
+/// exact timestamps; user attributes must not collide with them.
+const RESERVED_ARGS: [&str; 5] = [
+    "trace_id",
+    "span_id",
+    "parent_span_id",
+    "start_ns",
+    "end_ns",
+];
+
+fn chrome_event(span: &SpanRecord) -> JsonValue {
+    let mut args = vec![
+        ("trace_id".to_owned(), JsonValue::U64(span.trace_id.raw())),
+        ("span_id".to_owned(), JsonValue::U64(span.span_id.raw())),
+    ];
+    if let Some(parent) = span.parent {
+        args.push(("parent_span_id".to_owned(), JsonValue::U64(parent.raw())));
+    }
+    args.push(("start_ns".to_owned(), JsonValue::U64(span.start_nanos)));
+    args.push(("end_ns".to_owned(), JsonValue::U64(span.end_nanos)));
+    for (key, value) in &span.attrs {
+        args.push((key.clone().into_owned(), attr_json(value)));
+    }
+    JsonValue::Object(vec![
+        (
+            "name".to_owned(),
+            JsonValue::Str(span.name.clone().into_owned()),
+        ),
+        ("cat".to_owned(), JsonValue::Str("omnisim".to_owned())),
+        ("ph".to_owned(), JsonValue::Str("X".to_owned())),
+        ("pid".to_owned(), JsonValue::U64(1)),
+        ("tid".to_owned(), JsonValue::U64(span.tid)),
+        ("ts".to_owned(), JsonValue::U64(span.start_nanos / 1_000)),
+        (
+            "dur".to_owned(),
+            JsonValue::U64(span.duration_nanos() / 1_000),
+        ),
+        ("args".to_owned(), JsonValue::Object(args)),
+    ])
+}
+
+/// Renders spans as a Chrome trace-event JSON document: complete
+/// (`"ph":"X"`) events on one pid, `tid` = recording worker. Open the
+/// output in [Perfetto](https://ui.perfetto.dev) or `chrome://tracing`.
+pub fn to_chrome_trace(spans: &[SpanRecord]) -> String {
+    JsonValue::Object(vec![(
+        "traceEvents".to_owned(),
+        JsonValue::Array(spans.iter().map(chrome_event).collect()),
+    )])
+    .render()
+}
+
+fn field<'a>(event: &'a JsonValue, key: &str, at: usize) -> Result<&'a JsonValue, String> {
+    event
+        .get(key)
+        .ok_or_else(|| format!("event {at}: missing '{key}'"))
+}
+
+fn u64_field(event: &JsonValue, key: &str, at: usize) -> Result<u64, String> {
+    field(event, key, at)?
+        .as_u64()
+        .ok_or_else(|| format!("event {at}: '{key}' is not an unsigned integer"))
+}
+
+fn str_field<'a>(event: &'a JsonValue, key: &str, at: usize) -> Result<&'a str, String> {
+    field(event, key, at)?
+        .as_str()
+        .ok_or_else(|| format!("event {at}: '{key}' is not a string"))
+}
+
+fn span_identity(
+    args: &JsonValue,
+    at: usize,
+) -> Result<(TraceId, SpanId, Option<SpanId>, u64, u64), String> {
+    let trace_id = TraceId::from_raw(u64_field(args, "trace_id", at)?)
+        .ok_or_else(|| format!("event {at}: zero trace_id"))?;
+    let span_id = SpanId::from_raw(u64_field(args, "span_id", at)?)
+        .ok_or_else(|| format!("event {at}: zero span_id"))?;
+    let parent = match args.get("parent_span_id") {
+        None => None,
+        Some(value) => Some(
+            value
+                .as_u64()
+                .and_then(SpanId::from_raw)
+                .ok_or_else(|| format!("event {at}: bad parent_span_id"))?,
+        ),
+    };
+    let start_nanos = u64_field(args, "start_ns", at)?;
+    let end_nanos = u64_field(args, "end_ns", at)?;
+    if end_nanos < start_nanos {
+        return Err(format!("event {at}: end_ns precedes start_ns"));
+    }
+    Ok((trace_id, span_id, parent, start_nanos, end_nanos))
+}
+
+type Attrs = Vec<(Cow<'static, str>, AttrValue)>;
+
+/// Renders one attribute value with its type preserved: text as a JSON
+/// string, integers as JSON numbers, booleans as JSON booleans.
+fn attr_json(value: &AttrValue) -> JsonValue {
+    match value {
+        AttrValue::Text(text) => JsonValue::Str(text.clone().into_owned()),
+        AttrValue::Uint(v) => JsonValue::U64(*v),
+        AttrValue::Int(v) => JsonValue::I64(*v),
+        AttrValue::Bool(v) => JsonValue::Bool(*v),
+    }
+}
+
+/// Parses one attribute value back by its JSON type; the inverse of
+/// [`attr_json`].
+fn attr_from_json(value: &JsonValue) -> Option<AttrValue> {
+    match value {
+        JsonValue::Str(text) => Some(AttrValue::Text(Cow::Owned(text.clone()))),
+        JsonValue::U64(v) => Some(AttrValue::Uint(*v)),
+        JsonValue::I64(v) => Some(AttrValue::Int(*v)),
+        JsonValue::Bool(v) => Some(AttrValue::Bool(*v)),
+        _ => None,
+    }
+}
+
+fn user_attrs(args: &JsonValue, at: usize) -> Result<Attrs, String> {
+    let JsonValue::Object(fields) = args else {
+        return Err(format!("event {at}: 'args' is not an object"));
+    };
+    let mut attrs = Vec::new();
+    for (key, value) in fields {
+        if RESERVED_ARGS.contains(&key.as_str()) {
+            continue;
+        }
+        let value = attr_from_json(value)
+            .ok_or_else(|| format!("event {at}: attribute '{key}' is not a scalar"))?;
+        attrs.push((Cow::Owned(key.clone()), value));
+    }
+    Ok(attrs)
+}
+
+/// Parses and validates a Chrome trace-event document produced by
+/// [`to_chrome_trace`], reconstructing the exact spans: every event must
+/// be a complete event on pid 1, its `ts`/`dur` must agree with the exact
+/// `start_ns`/`end_ns` carried in `args`, and the span identity must be
+/// well-formed.
+///
+/// # Errors
+///
+/// A description of the first malformed event (or JSON syntax error).
+pub fn parse_chrome_trace(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let document = json::parse(text).map_err(|error| format!("bad JSON: {error}"))?;
+    let events = document
+        .get("traceEvents")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| "missing 'traceEvents' array".to_owned())?;
+    let mut spans = Vec::with_capacity(events.len());
+    for (at, event) in events.iter().enumerate() {
+        if str_field(event, "ph", at)? != "X" {
+            return Err(format!("event {at}: not a complete ('X') event"));
+        }
+        if u64_field(event, "pid", at)? != 1 {
+            return Err(format!("event {at}: events must share pid 1"));
+        }
+        let name: Cow<'static, str> = Cow::Owned(str_field(event, "name", at)?.to_owned());
+        if name.is_empty() {
+            return Err(format!("event {at}: empty name"));
+        }
+        let tid = u64_field(event, "tid", at)?;
+        let ts = u64_field(event, "ts", at)?;
+        let dur = u64_field(event, "dur", at)?;
+        let args = field(event, "args", at)?;
+        let (trace_id, span_id, parent, start_nanos, end_nanos) = span_identity(args, at)?;
+        if ts != start_nanos / 1_000 || dur != (end_nanos - start_nanos) / 1_000 {
+            return Err(format!("event {at}: ts/dur disagree with start_ns/end_ns"));
+        }
+        spans.push(SpanRecord {
+            trace_id,
+            span_id,
+            parent,
+            name,
+            start_nanos,
+            end_nanos,
+            tid,
+            attrs: user_attrs(args, at)?,
+        });
+    }
+    Ok(spans)
+}
+
+fn jsonl_line(span: &SpanRecord) -> JsonValue {
+    let mut fields = vec![
+        ("trace_id".to_owned(), JsonValue::U64(span.trace_id.raw())),
+        ("span_id".to_owned(), JsonValue::U64(span.span_id.raw())),
+        (
+            "parent_span_id".to_owned(),
+            match span.parent {
+                Some(parent) => JsonValue::U64(parent.raw()),
+                None => JsonValue::Null,
+            },
+        ),
+        (
+            "name".to_owned(),
+            JsonValue::Str(span.name.clone().into_owned()),
+        ),
+        ("tid".to_owned(), JsonValue::U64(span.tid)),
+        ("start_ns".to_owned(), JsonValue::U64(span.start_nanos)),
+        ("end_ns".to_owned(), JsonValue::U64(span.end_nanos)),
+    ];
+    let attrs = span
+        .attrs
+        .iter()
+        .map(|(key, value)| (key.clone().into_owned(), attr_json(value)))
+        .collect();
+    fields.push(("attrs".to_owned(), JsonValue::Object(attrs)));
+    JsonValue::Object(fields)
+}
+
+/// Renders spans as a JSON-Lines structured event log: one compact JSON
+/// object per span, exact `u64` timestamps, attributes as a nested
+/// object. Greppable, appendable, and parsed back exactly by
+/// [`parse_jsonl`].
+pub fn to_jsonl(spans: &[SpanRecord]) -> String {
+    let mut out = String::new();
+    for span in spans {
+        out.push_str(&jsonl_line(span).render());
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a JSON-Lines span log produced by [`to_jsonl`], reconstructing
+/// the exact spans. Blank lines are ignored.
+///
+/// # Errors
+///
+/// A description of the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<SpanRecord>, String> {
+    let mut spans = Vec::new();
+    for (at, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = json::parse(line).map_err(|error| format!("line {at}: bad JSON: {error}"))?;
+        let trace_id = TraceId::from_raw(u64_field(&value, "trace_id", at)?)
+            .ok_or_else(|| format!("line {at}: zero trace_id"))?;
+        let span_id = SpanId::from_raw(u64_field(&value, "span_id", at)?)
+            .ok_or_else(|| format!("line {at}: zero span_id"))?;
+        let parent = match field(&value, "parent_span_id", at)? {
+            JsonValue::Null => None,
+            other => Some(
+                other
+                    .as_u64()
+                    .and_then(SpanId::from_raw)
+                    .ok_or_else(|| format!("line {at}: bad parent_span_id"))?,
+            ),
+        };
+        let name = Cow::Owned(str_field(&value, "name", at)?.to_owned());
+        let tid = u64_field(&value, "tid", at)?;
+        let start_nanos = u64_field(&value, "start_ns", at)?;
+        let end_nanos = u64_field(&value, "end_ns", at)?;
+        if end_nanos < start_nanos {
+            return Err(format!("line {at}: end_ns precedes start_ns"));
+        }
+        let JsonValue::Object(attr_fields) = field(&value, "attrs", at)? else {
+            return Err(format!("line {at}: 'attrs' is not an object"));
+        };
+        let mut attrs: Attrs = Vec::with_capacity(attr_fields.len());
+        for (key, attr_value) in attr_fields {
+            let attr_value = attr_from_json(attr_value)
+                .ok_or_else(|| format!("line {at}: attribute '{key}' is not a scalar"))?;
+            attrs.push((Cow::Owned(key.clone()), attr_value));
+        }
+        spans.push(SpanRecord {
+            trace_id,
+            span_id,
+            parent,
+            name,
+            start_nanos,
+            end_nanos,
+            tid,
+            attrs,
+        });
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_spans() -> Vec<SpanRecord> {
+        let trace = TraceId::from_raw(0xabcd).unwrap();
+        vec![
+            SpanRecord {
+                trace_id: trace,
+                span_id: SpanId::from_raw(10).unwrap(),
+                parent: None,
+                name: "request".into(),
+                start_nanos: 1_000_000,
+                end_nanos: 9_999_999,
+                tid: 1,
+                attrs: vec![("outcome".into(), "warm \"quoted\"\n".into())],
+            },
+            SpanRecord {
+                trace_id: trace,
+                span_id: SpanId::from_raw(11).unwrap(),
+                parent: SpanId::from_raw(10),
+                name: "backend_run".into(),
+                start_nanos: 2_000_000,
+                end_nanos: 8_000_000,
+                tid: 2,
+                attrs: vec![
+                    ("refinalizes".into(), AttrValue::Uint(3)),
+                    ("resized".into(), AttrValue::Bool(false)),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_exactly() {
+        let spans = sample_spans();
+        let text = to_chrome_trace(&spans);
+        assert_eq!(parse_chrome_trace(&text).unwrap(), spans);
+        // The rendered events use the documented shape.
+        let document = json::parse(&text).unwrap();
+        let events = document.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].get("ph").unwrap().as_str(), Some("X"));
+        assert_eq!(events[0].get("pid").unwrap().as_u64(), Some(1));
+        assert_eq!(events[0].get("ts").unwrap().as_u64(), Some(1_000));
+        assert_eq!(events[1].get("tid").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let spans = sample_spans();
+        let text = to_jsonl(&spans);
+        assert_eq!(text.lines().count(), 2, "one object per line");
+        assert_eq!(parse_jsonl(&text).unwrap(), spans);
+        // Blank lines (e.g. from file concatenation) are tolerated.
+        let padded = format!("\n{text}\n");
+        assert_eq!(parse_jsonl(&padded).unwrap(), spans);
+    }
+
+    #[test]
+    fn chrome_validator_rejects_malformed_documents() {
+        let spans = sample_spans();
+        let good = to_chrome_trace(&spans);
+        for (needle, replacement, why) in [
+            ("\"ph\":\"X\"", "\"ph\":\"B\"", "non-complete event"),
+            ("\"pid\":1", "\"pid\":2", "foreign pid"),
+            ("\"ts\":1000", "\"ts\":1001", "ts disagreeing with start_ns"),
+            ("\"span_id\":10", "\"span_id\":0", "zero span id"),
+        ] {
+            let bad = good.replacen(needle, replacement, 1);
+            assert_ne!(bad, good, "replacement for {why} must apply");
+            assert!(parse_chrome_trace(&bad).is_err(), "accepted {why}");
+        }
+        assert!(parse_chrome_trace("{}").is_err());
+        assert!(parse_chrome_trace("not json").is_err());
+    }
+
+    #[test]
+    fn jsonl_validator_rejects_malformed_lines() {
+        let good = to_jsonl(&sample_spans());
+        let first = good.lines().next().unwrap();
+        for bad in [
+            "{\"trace_id\":1}".to_owned(),
+            first.replacen("\"trace_id\":43981", "\"trace_id\":0", 1),
+            first.replacen("\"start_ns\":1000000", "\"start_ns\":99999999", 1),
+            "junk".to_owned(),
+        ] {
+            assert!(parse_jsonl(&bad).is_err(), "accepted {bad:?}");
+        }
+    }
+}

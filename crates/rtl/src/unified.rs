@@ -5,7 +5,8 @@
 use crate::report::{RtlOutcome, RtlReport};
 use crate::simulator::{RtlConfig, RtlSimulator};
 use omnisim_api::{
-    Capabilities, CompiledSim, RunConfig, SimFailure, SimOutcome, SimReport, SimTimings, Simulator,
+    Capabilities, CompiledSim, RunConfig, RunPath, SimFailure, SimOutcome, SimReport, SimTimings,
+    Simulator,
 };
 use omnisim_codec::{frame, unframe, ByteReader, ByteWriter, CodecError};
 use omnisim_ir::{Design, ModuleId};
@@ -197,14 +198,20 @@ impl CompiledSim for CompiledRtl {
             _ => None,
         };
         let design = resized.as_ref().unwrap_or(&self.design);
-        if resized.is_some() {
+        let path = if resized.is_some() {
             self.resized_runs.fetch_add(1, Ordering::Relaxed);
+            RunPath("resized_run")
         } else {
             self.declared_runs.fetch_add(1, Ordering::Relaxed);
-        }
+            RunPath("declared_run")
+        };
         RtlSimulator::with_config(design, rtl_config)
             .run()
-            .map(SimReport::from)
+            .map(|native| {
+                let mut report = SimReport::from(native);
+                report.extras.insert(path);
+                report
+            })
             .map_err(|error| SimFailure::execution("rtl", error.to_string()))
     }
 

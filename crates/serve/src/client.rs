@@ -5,6 +5,7 @@ use crate::service::{DesignKey, ServiceStats};
 use crate::wire::{read_response, write_request, Request, Response, WireReport};
 use omnisim_api::RunConfig;
 use omnisim_ir::Design;
+use omnisim_obs::{parse_jsonl, Trace, Tracer};
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -50,13 +51,21 @@ impl From<io::Error> for ClientError {
 
 /// A blocking client of a [`crate::Server`]. Calls are sequential: each
 /// sends one request and waits for its response.
+///
+/// With a [`Tracer`] attached ([`Client::with_tracer`]) every call opens a
+/// `client_<type>` span — joining the thread's current trace if one is
+/// open, originating a fresh trace otherwise — and forwards its context on
+/// the wire, so the server's decode/resolve/run spans land in the same
+/// tree the caller sees.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    tracer: Tracer,
 }
 
 impl Client {
-    /// Connects to a serving-tier server.
+    /// Connects to a serving-tier server. Tracing starts disabled; attach
+    /// a tracer with [`Client::with_tracer`].
     ///
     /// # Errors
     ///
@@ -64,14 +73,39 @@ impl Client {
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
         Ok(Client {
             stream: TcpStream::connect(addr)?,
+            tracer: Tracer::disabled(),
         })
     }
 
+    /// Attaches a tracer: every subsequent call is wrapped in a
+    /// `client_<type>` span whose context rides the wire to the server.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer this client records its call spans into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     fn exchange(&mut self, request: &Request) -> Result<Response, ClientError> {
-        write_request(&mut self.stream, request)?;
-        read_response(&mut self.stream)?.ok_or_else(|| {
+        let mut span = self.tracer.span(format!("client_{}", request.kind()));
+        write_request(&mut self.stream, request, span.context())?;
+        let response = read_response(&mut self.stream)?.ok_or_else(|| {
             ClientError::Protocol("server closed the connection before responding".into())
-        })
+        });
+        span.set_attr(
+            "outcome",
+            match &response {
+                Ok(Response::Error { .. }) => "server_error",
+                Ok(Response::Overloaded { .. }) => "overloaded",
+                Ok(_) => "ok",
+                Err(_) => "disconnected",
+            },
+        );
+        response
     }
 
     /// Registers a design with the remote service, returning its key.
@@ -148,6 +182,29 @@ impl Client {
             }
             other => Err(ClientError::Protocol(format!(
                 "unexpected response to metrics: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's recently kept traces — the flight recorder's
+    /// sampled survivors, each a parent-linked span tree covering the wire
+    /// decode, service resolution and backend run of one request (plus the
+    /// originating client span when the caller traced it).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on an unexpected response or a trace
+    /// payload that fails the JSON-Lines parse-back.
+    pub fn traces(&mut self) -> Result<Vec<Trace>, ClientError> {
+        match self.exchange(&Request::Traces)? {
+            Response::TracesReply { spans_jsonl } => {
+                let spans = parse_jsonl(&spans_jsonl).map_err(|error| {
+                    ClientError::Protocol(format!("malformed trace payload: {error}"))
+                })?;
+                Ok(Trace::group(spans))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to traces: {other:?}"
             ))),
         }
     }

@@ -33,6 +33,17 @@
 //! remote scrape ([`Client::metrics`], [`wire::Request::Metrics`]) returns
 //! the same [`MetricsSnapshot`] the process sees locally.
 //!
+//! Individual requests are explained by the same stack's distributed
+//! tracing: attach a [`Tracer`] to the service
+//! ([`SimService::with_tracer`]) and the client
+//! ([`Client::with_tracer`]), and every request grows a span tree —
+//! client call → wire decode → service resolution (hit/warm/compile
+//! outcome) → backend run (engine run path and counters) → store I/O —
+//! stitched across the TCP hop by the wire protocol's trace context.
+//! Kept traces come back via [`Client::traces`] /
+//! [`wire::Request::Traces`] and export as Chrome trace-event JSON or
+//! JSON-Lines (`omnisim_obs::to_chrome_trace` / `to_jsonl`).
+//!
 //! ```
 //! use omnisim_serve::SimService;
 //! use omnisim_api::{RunConfig, Simulator};
@@ -61,5 +72,5 @@ pub use service::{design_key, DesignKey, ServiceStats, SimService};
 pub use store::{ArtifactStore, StoreStats};
 
 // The observability vocabulary callers need to consume this crate's
-// metrics, re-exported so `omnisim-serve` is self-contained.
-pub use omnisim_obs::{MetricsRegistry, MetricsSnapshot};
+// metrics and traces, re-exported so `omnisim-serve` is self-contained.
+pub use omnisim_obs::{MetricsRegistry, MetricsSnapshot, Trace, TraceConfig, TraceContext, Tracer};

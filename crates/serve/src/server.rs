@@ -12,7 +12,7 @@
 
 use crate::service::{DesignKey, SimService};
 use crate::wire::{read_request, write_response, Request, Response, WireReport};
-use omnisim_obs::{Counter, Gauge, Histogram, MetricsRegistry};
+use omnisim_obs::{to_jsonl, Counter, Gauge, Histogram, MetricsRegistry, SpanRecord};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -29,11 +29,13 @@ struct WireMetrics {
     requests_stats: Counter,
     requests_shutdown: Counter,
     requests_metrics: Counter,
+    requests_traces: Counter,
     request_nanos_register: Histogram,
     request_nanos_run_batch: Histogram,
     request_nanos_stats: Histogram,
     request_nanos_shutdown: Histogram,
     request_nanos_metrics: Histogram,
+    request_nanos_traces: Histogram,
     admission_rejections: Counter,
     in_flight_runs: Gauge,
     connections_opened: Counter,
@@ -53,11 +55,13 @@ impl WireMetrics {
             requests_stats: requests("stats"),
             requests_shutdown: requests("shutdown"),
             requests_metrics: requests("metrics"),
+            requests_traces: requests("traces"),
             request_nanos_register: nanos("register"),
             request_nanos_run_batch: nanos("run_batch"),
             request_nanos_stats: nanos("stats"),
             request_nanos_shutdown: nanos("shutdown"),
             request_nanos_metrics: nanos("metrics"),
+            request_nanos_traces: nanos("traces"),
             admission_rejections: registry.counter("wire_admission_rejections_total"),
             in_flight_runs: registry.gauge("wire_in_flight_runs"),
             connections_opened: connections("opened"),
@@ -73,6 +77,7 @@ impl WireMetrics {
             Request::Stats => (&self.requests_stats, &self.request_nanos_stats),
             Request::Shutdown => (&self.requests_shutdown, &self.request_nanos_shutdown),
             Request::Metrics => (&self.requests_metrics, &self.request_nanos_metrics),
+            Request::Traces => (&self.requests_traces, &self.request_nanos_traces),
         }
     }
 }
@@ -223,12 +228,22 @@ fn serve_connection(shared: &Shared, mut stream: TcpStream) -> io::Result<()> {
 }
 
 fn serve_requests(shared: &Shared, stream: &mut TcpStream) -> io::Result<()> {
-    while let Some(request) = read_request(stream)? {
+    while let Some((request, trace)) = read_request(stream)? {
         let shutting_down = matches!(request, Request::Shutdown);
         let (requests, nanos) = shared.metrics.for_request(&request);
         requests.inc();
         let span = nanos.span();
+        // The wire span joins the client's trace when the request carried
+        // a context, and starts a server-local trace otherwise; either way
+        // the service/store/backend spans of `respond` nest under it.
+        let tracer = shared.service.tracer();
+        let mut tspan = match &trace {
+            Some(context) => tracer.span_remote("wire_request", context),
+            None => tracer.span("wire_request"),
+        };
+        tspan.set_attr("type", request.kind());
         let response = respond(shared, request);
+        tspan.finish();
         span.finish();
         write_response(stream, &response)?;
         if shutting_down {
@@ -284,6 +299,17 @@ fn respond(shared: &Shared, request: Request) -> Response {
         Request::Metrics => Response::MetricsReply {
             snapshot_json: shared.service.metrics_snapshot().to_json(),
         },
+        Request::Traces => {
+            let spans: Vec<SpanRecord> = shared
+                .service
+                .recent_traces()
+                .into_iter()
+                .flat_map(|trace| trace.spans)
+                .collect();
+            Response::TracesReply {
+                spans_jsonl: to_jsonl(&spans),
+            }
+        }
     }
 }
 

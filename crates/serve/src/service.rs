@@ -24,12 +24,12 @@
 //! warm-starts from disk instead of recompiling.
 
 use crate::store::ArtifactStore;
-use omnisim_api::{CompiledSim, RunConfig, SimFailure, SimReport, SimTimings, Simulator};
+use omnisim_api::{CompiledSim, RunConfig, RunPath, SimFailure, SimReport, SimTimings, Simulator};
 use omnisim_codec::fnv1a64;
 use omnisim_dse::pool;
 use omnisim_ir::wire::encode_design;
 use omnisim_ir::Design;
-use omnisim_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot};
+use omnisim_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Trace, Tracer};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -199,6 +199,7 @@ pub struct SimService {
     clock: AtomicU64,
     registry: Arc<MetricsRegistry>,
     metrics: ServiceMetrics,
+    tracer: Tracer,
 }
 
 impl SimService {
@@ -216,6 +217,7 @@ impl SimService {
             clock: AtomicU64::new(0),
             registry,
             metrics,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -255,8 +257,35 @@ impl SimService {
     /// before compiling and persist freshly compiled artifacts into it.
     pub fn with_store(mut self, mut store: ArtifactStore) -> Self {
         store.bind_metrics(Arc::clone(&self.registry));
+        store.bind_tracer(self.tracer.clone());
         self.store = Some(store);
         self
+    }
+
+    /// Attaches a tracer: register, run and batch calls open
+    /// `service_*`/`backend_run` spans under the caller's current span
+    /// (or the remote context the server joined), the attached store's
+    /// disk operations nest inside them, and the tracer's own counters
+    /// (`dropped_spans_total`, kept/discarded traces) are published into
+    /// the service's metrics registry.
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        tracer.bind_metrics(&self.registry);
+        if let Some(store) = &mut self.store {
+            store.bind_tracer(tracer.clone());
+        }
+        self.tracer = tracer;
+        self
+    }
+
+    /// The tracer the service records request spans into.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    /// Recently kept traces from the tracer's flight recorder — sampled
+    /// survivors grouped into per-trace span trees.
+    pub fn recent_traces(&self) -> Vec<Trace> {
+        self.tracer.recent_traces()
     }
 
     /// The metrics registry shared by the service, its store and (when
@@ -302,6 +331,8 @@ impl SimService {
     pub fn register(&self, design: &Design) -> Result<DesignKey, SimFailure> {
         let started = Instant::now();
         let key = design_key(design);
+        let mut tspan = self.tracer.span("service_register");
+        tspan.set_attr("design_key", format!("{:#018x}", key.raw()));
         if let Some(entry) = self
             .artifacts
             .read()
@@ -313,6 +344,7 @@ impl SimService {
             self.metrics
                 .register_hit_nanos
                 .observe_duration(started.elapsed());
+            tspan.set_attr("outcome", "hit");
             return Ok(key);
         }
         if let Some(store) = &self.store {
@@ -324,6 +356,7 @@ impl SimService {
                         self.metrics
                             .register_warm_nanos
                             .observe_duration(started.elapsed());
+                        tspan.set_attr("outcome", "warm");
                         return Ok(key);
                     }
                     // A bad persisted artifact must never take the service
@@ -332,7 +365,13 @@ impl SimService {
                 }
             }
         }
-        let artifact: Arc<dyn CompiledSim> = Arc::from(self.backend.compile(design)?);
+        let artifact: Arc<dyn CompiledSim> = match self.backend.compile(design) {
+            Ok(artifact) => Arc::from(artifact),
+            Err(failure) => {
+                tspan.set_attr("outcome", "rejected");
+                return Err(failure);
+            }
+        };
         self.metrics.register_compile.inc();
         self.metrics.observe_compile(artifact.compile_timings());
         if let Some(store) = &self.store {
@@ -346,6 +385,7 @@ impl SimService {
         self.metrics
             .register_compile_nanos
             .observe_duration(started.elapsed());
+        tspan.set_attr("outcome", "compile");
         Ok(key)
     }
 
@@ -388,15 +428,52 @@ impl SimService {
     /// artifact's own failure otherwise.
     pub fn run(&self, key: DesignKey, config: &RunConfig) -> Result<SimReport, SimFailure> {
         let span = self.metrics.run_nanos.span();
-        let artifact = self.artifact(key).ok_or_else(|| {
-            SimFailure::execution(
+        // A fragment root: under `run_batch` each request settles into
+        // the flight recorder as its own small fragment when it finishes
+        // (still parented under the batch span), rather than thousands of
+        // request spans accumulating under the batch root.
+        let mut tspan = self.tracer.span_fragment("service_run");
+        let Some(artifact) = self.artifact(key) else {
+            // The key only goes on the span when something needs
+            // explaining — formatting it on every run is measurable at
+            // replay throughput.
+            tspan.set_attr("design_key", format!("{:#018x}", key.raw()));
+            tspan.set_attr("outcome", "unknown_key");
+            return Err(SimFailure::execution(
                 self.backend.name(),
                 format!("no design registered under key {:#018x}", key.raw()),
-            )
-        })?;
-        let report = artifact.run(config)?;
+            ));
+        };
+        let mut run_span = self.tracer.span("backend_run");
+        run_span.set_attr("backend", artifact.backend());
+        let result = artifact.run(config);
+        match &result {
+            Ok(report) => {
+                // Which engine path answered this run (certified replay,
+                // re-finalize, full re-simulation, …) — the per-run view of
+                // the cumulative `CompiledSim::counters` scraped below.
+                if let Some(path) = report.extras.get::<RunPath>() {
+                    run_span.set_attr("path", path.as_str());
+                }
+                run_span.set_attr("outcome", "ok");
+            }
+            Err(failure) => run_span.set_attr(
+                "outcome",
+                if failure.is_unsupported() {
+                    "unsupported"
+                } else {
+                    "failed"
+                },
+            ),
+        }
+        for (event, count) in artifact.counters() {
+            run_span.set_attr(event, count);
+        }
+        run_span.finish();
+        let report = result?;
         self.metrics.runs.inc();
         self.metrics.observe_run(report.timings);
+        tspan.set_attr("outcome", "ok");
         span.finish();
         Ok(report)
     }
@@ -409,10 +486,19 @@ impl SimService {
         requests: &[(DesignKey, RunConfig)],
     ) -> Vec<Result<SimReport, SimFailure>> {
         let span = self.metrics.batch_nanos.span();
+        let mut tspan = self.tracer.span("service_run_batch");
+        tspan.set_attr("requests", requests.len());
         let workers = pool::resolve_workers(self.workers);
         self.metrics.batch_size.observe(requests.len() as u64);
         self.metrics.batch_workers.set(workers as i64);
-        let results = pool::parallel_map(requests, workers, |(key, config)| self.run(*key, config));
+        // Each pool worker re-attaches the batch span's context, so the
+        // per-request `service_run` spans land under this batch span even
+        // though they record from other threads.
+        let context = self.tracer.local_context();
+        let results = pool::parallel_map(requests, workers, |(key, config)| {
+            let _guard = context.map(|context| self.tracer.attach(context));
+            self.run(*key, config)
+        });
         span.finish();
         results
     }

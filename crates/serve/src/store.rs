@@ -20,7 +20,7 @@
 //! shared one (the `SimService` does this on attach), carrying accumulated
 //! counts across.
 
-use omnisim_obs::{Counter, Histogram, MetricsRegistry};
+use omnisim_obs::{Counter, Histogram, MetricsRegistry, Tracer};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -91,6 +91,7 @@ pub struct ArtifactStore {
     byte_budget: Option<u64>,
     registry: Arc<MetricsRegistry>,
     metrics: StoreMetrics,
+    tracer: Tracer,
 }
 
 impl ArtifactStore {
@@ -110,6 +111,7 @@ impl ArtifactStore {
             byte_budget: None,
             registry,
             metrics,
+            tracer: Tracer::disabled(),
         })
     }
 
@@ -135,6 +137,14 @@ impl ArtifactStore {
         self.registry = registry;
     }
 
+    /// Re-homes the store's spans into `tracer` (the tracer a `SimService`
+    /// shares across its layers): every subsequent load and save opens a
+    /// `store_load`/`store_save` span under the thread's current span, so
+    /// disk latency shows up inside the request's trace tree.
+    pub fn bind_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
     /// The registry this store records into.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.registry
@@ -158,16 +168,21 @@ impl ArtifactStore {
     /// counting a hit or miss.
     pub fn load(&self, backend: &str, key: u64) -> Option<Vec<u8>> {
         let span = self.metrics.load_nanos.span();
+        let mut tspan = self.tracer.span("store_load");
         let loaded = match fs::read(self.path(backend, key)) {
             Ok(bytes) => {
                 self.metrics.loads_hit.inc();
+                tspan.set_attr("outcome", "hit");
+                tspan.set_attr("bytes", bytes.len());
                 Some(bytes)
             }
             Err(_) => {
                 self.metrics.loads_miss.inc();
+                tspan.set_attr("outcome", "miss");
                 None
             }
         };
+        tspan.finish();
         span.finish();
         loaded
     }
@@ -182,6 +197,8 @@ impl ArtifactStore {
     /// and never fails the save.
     pub fn save(&self, backend: &str, key: u64, bytes: &[u8]) -> io::Result<()> {
         let span = self.metrics.save_nanos.span();
+        let mut tspan = self.tracer.span("store_save");
+        tspan.set_attr("bytes", bytes.len());
         let path = self.path(backend, key);
         let parent = path.parent().expect("store paths have a parent");
         fs::create_dir_all(parent)?;

@@ -21,6 +21,7 @@ use omnisim_codec::{frame, unframe, ByteReader, ByteWriter, CodecError};
 use omnisim_ir::design::OutputMap;
 use omnisim_ir::wire::{decode_design, encode_design};
 use omnisim_ir::Design;
+use omnisim_obs::{SpanId, TraceContext, TraceId};
 use std::collections::BTreeMap;
 use std::io::{self, Read, Write};
 
@@ -30,8 +31,10 @@ use crate::store::StoreStats;
 /// Magic bytes of a wire-protocol message: "OmniSim Wire Message".
 pub const WIRE_MAGIC: [u8; 4] = *b"OSWM";
 /// Current wire-protocol version. Version 2 added per-phase report
-/// timings and the [`Request::Metrics`]/[`Response::MetricsReply`] pair.
-pub const WIRE_VERSION: u16 = 2;
+/// timings and the [`Request::Metrics`]/[`Response::MetricsReply`] pair;
+/// version 3 added the optional [`TraceContext`] carried ahead of every
+/// request and the [`Request::Traces`]/[`Response::TracesReply`] pair.
+pub const WIRE_VERSION: u16 = 3;
 /// Upper bound on a single message, applied before allocating.
 pub const MAX_MESSAGE_LEN: u32 = 256 * 1024 * 1024;
 
@@ -59,6 +62,24 @@ pub enum Request {
     /// Scrape the server's full metrics registry; answered by
     /// [`Response::MetricsReply`].
     Metrics,
+    /// Fetch the spans of recently kept traces from the server's flight
+    /// recorder; answered by [`Response::TracesReply`].
+    Traces,
+}
+
+impl Request {
+    /// A short static name for this request type — the `type` label of the
+    /// server's wire metrics and the name suffix of its request spans.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Register { .. } => "register",
+            Request::RunBatch { .. } => "run_batch",
+            Request::Stats => "stats",
+            Request::Shutdown => "shutdown",
+            Request::Metrics => "metrics",
+            Request::Traces => "traces",
+        }
+    }
 }
 
 /// A server-to-client message.
@@ -101,6 +122,15 @@ pub enum Response {
         /// a bespoke binary codec, so non-Rust scrapers can consume it
         /// directly.
         snapshot_json: String,
+    },
+    /// Spans of the server's recently kept traces.
+    TracesReply {
+        /// The spans in the JSON-Lines encoding of
+        /// [`omnisim_obs::to_jsonl`] / [`omnisim_obs::parse_jsonl`] — one
+        /// span object per line, grouped back into per-trace trees by
+        /// [`omnisim_obs::Trace::group`] on the client. Text, not a
+        /// bespoke binary codec, so non-Rust collectors can tail it.
+        spans_jsonl: String,
     },
 }
 
@@ -326,9 +356,40 @@ fn read_service_stats(r: &mut ByteReader) -> Result<ServiceStats, CodecError> {
     })
 }
 
+// A trace context crosses the wire as two raw u64 IDs plus a flags byte
+// (bit 0 = head-sampled). IDs are non-zero by construction, so a zero on
+// the wire is a malformed frame, not a valid context.
+fn write_trace_context(w: &mut ByteWriter, ctx: TraceContext) {
+    w.u64(ctx.trace_id.raw());
+    w.u64(ctx.parent_span.raw());
+    w.u8(u8::from(ctx.sampled));
+}
+
+fn read_trace_context(r: &mut ByteReader) -> Result<TraceContext, CodecError> {
+    let trace_id = TraceId::from_raw(r.u64()?)
+        .ok_or_else(|| CodecError::Invalid("zero trace id in trace context".into()))?;
+    let parent_span = SpanId::from_raw(r.u64()?)
+        .ok_or_else(|| CodecError::Invalid("zero parent span in trace context".into()))?;
+    let flags = r.u8()?;
+    if flags > 1 {
+        return Err(CodecError::Invalid(format!(
+            "unknown trace-context flags {flags:#04x}"
+        )));
+    }
+    Ok(TraceContext {
+        trace_id,
+        parent_span,
+        sampled: flags & 1 != 0,
+    })
+}
+
 /// Encodes a request into one framed message (without the length prefix).
-pub fn encode_request(request: &Request) -> Vec<u8> {
+/// The optional [`TraceContext`] rides ahead of the request tag, so the
+/// server can open its request span under the client's before decoding
+/// the (possibly large) request body.
+pub fn encode_request(request: &Request, trace: Option<TraceContext>) -> Vec<u8> {
     let mut w = ByteWriter::new();
+    w.opt(trace, write_trace_context);
     match request {
         Request::Register { design } => {
             w.u8(0);
@@ -344,18 +405,22 @@ pub fn encode_request(request: &Request) -> Vec<u8> {
         Request::Stats => w.u8(2),
         Request::Shutdown => w.u8(3),
         Request::Metrics => w.u8(4),
+        Request::Traces => w.u8(5),
     }
     frame(WIRE_MAGIC, WIRE_VERSION, &w.into_bytes())
 }
 
-/// Decodes a request from one framed message.
+/// Decodes a request (and the trace context it carries, if any) from one
+/// framed message.
 ///
 /// # Errors
 ///
-/// Any [`CodecError`] (bad frame, unknown tag, malformed design).
-pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
+/// Any [`CodecError`] (bad frame, unknown tag, malformed design, zero
+/// trace/span IDs).
+pub fn decode_request(bytes: &[u8]) -> Result<(Request, Option<TraceContext>), CodecError> {
     let payload = unframe(WIRE_MAGIC, WIRE_VERSION, bytes)?;
     let mut r = ByteReader::new(payload);
+    let trace = r.opt(read_trace_context)?;
     let request = match r.u8()? {
         0 => Request::Register {
             design: decode_design(r.bytes()?)?,
@@ -371,10 +436,11 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, CodecError> {
         2 => Request::Stats,
         3 => Request::Shutdown,
         4 => Request::Metrics,
+        5 => Request::Traces,
         tag => return Err(CodecError::Invalid(format!("unknown request tag {tag}"))),
     };
     r.finish()?;
-    Ok(request)
+    Ok((request, trace))
 }
 
 /// Encodes a response into one framed message (without the length prefix).
@@ -415,6 +481,10 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             w.u8(6);
             w.str(snapshot_json);
         }
+        Response::TracesReply { spans_jsonl } => {
+            w.u8(7);
+            w.str(spans_jsonl);
+        }
     }
     frame(WIRE_MAGIC, WIRE_VERSION, &w.into_bytes())
 }
@@ -447,6 +517,9 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, CodecError> {
         5 => Response::Error { message: r.str()? },
         6 => Response::MetricsReply {
             snapshot_json: r.str()?,
+        },
+        7 => Response::TracesReply {
+            spans_jsonl: r.str()?,
         },
         tag => return Err(CodecError::Invalid(format!("unknown response tag {tag}"))),
     };
@@ -508,22 +581,30 @@ pub fn read_message<R: Read>(stream: &mut R) -> io::Result<Option<Vec<u8>>> {
     Ok(Some(message))
 }
 
-/// Writes one request (length prefix + frame) to a stream.
+/// Writes one request (length prefix + frame) to a stream, carrying the
+/// caller's trace context if one is supplied.
 ///
 /// # Errors
 ///
 /// See [`write_message`].
-pub fn write_request<W: Write>(stream: &mut W, request: &Request) -> io::Result<()> {
-    write_message(stream, &encode_request(request))
+pub fn write_request<W: Write>(
+    stream: &mut W,
+    request: &Request,
+    trace: Option<TraceContext>,
+) -> io::Result<()> {
+    write_message(stream, &encode_request(request, trace))
 }
 
-/// Reads one request from a stream; `Ok(None)` on clean end-of-stream.
+/// Reads one request (and its optional trace context) from a stream;
+/// `Ok(None)` on clean end-of-stream.
 ///
 /// # Errors
 ///
 /// See [`read_message`]; malformed frames surface as
 /// [`io::ErrorKind::InvalidData`].
-pub fn read_request<R: Read>(stream: &mut R) -> io::Result<Option<Request>> {
+pub fn read_request<R: Read>(
+    stream: &mut R,
+) -> io::Result<Option<(Request, Option<TraceContext>)>> {
     match read_message(stream)? {
         None => Ok(None),
         Some(message) => decode_request(&message).map(Some).map_err(codec_io),
@@ -580,6 +661,11 @@ mod tests {
     #[test]
     fn requests_round_trip() {
         let design = omnisim_designs::typea::vecadd_stream(8, 2);
+        let trace = TraceContext {
+            trace_id: TraceId::from_raw(0xfeed_beef).unwrap(),
+            parent_span: SpanId::from_raw(42).unwrap(),
+            sampled: true,
+        };
         let requests = vec![
             Request::Register {
                 design: design.clone(),
@@ -593,11 +679,34 @@ mod tests {
             Request::Stats,
             Request::Shutdown,
             Request::Metrics,
+            Request::Traces,
         ];
         for request in requests {
-            let bytes = encode_request(&request);
-            assert_eq!(decode_request(&bytes).unwrap(), request);
+            // Every request type round-trips both bare and with a carried
+            // trace context.
+            for trace in [None, Some(trace)] {
+                let bytes = encode_request(&request, trace);
+                assert_eq!(decode_request(&bytes).unwrap(), (request.clone(), trace));
+            }
         }
+    }
+
+    #[test]
+    fn malformed_trace_contexts_are_rejected() {
+        let ctx = TraceContext {
+            trace_id: TraceId::from_raw(7).unwrap(),
+            parent_span: SpanId::from_raw(9).unwrap(),
+            sampled: false,
+        };
+        let good = encode_request(&Request::Stats, Some(ctx));
+        assert!(decode_request(&good).is_ok());
+        // Re-frame the payload with the trace id zeroed: the context bytes
+        // start right after the one-byte present flag.
+        let payload = unframe(WIRE_MAGIC, WIRE_VERSION, &good).unwrap();
+        let mut tampered = payload.to_vec();
+        tampered[1..9].fill(0);
+        let reframed = frame(WIRE_MAGIC, WIRE_VERSION, &tampered);
+        assert!(decode_request(&reframed).is_err());
     }
 
     #[test]
@@ -632,6 +741,9 @@ mod tests {
             Response::MetricsReply {
                 snapshot_json: "{\"metrics\":[]}".into(),
             },
+            Response::TracesReply {
+                spans_jsonl: "{\"name\":\"x\"}\n".into(),
+            },
         ];
         for response in responses {
             let bytes = encode_response(&response);
@@ -642,10 +754,13 @@ mod tests {
     #[test]
     fn stream_framing_round_trips_and_detects_truncation() {
         let mut buffer = Vec::new();
-        write_request(&mut buffer, &Request::Stats).unwrap();
+        write_request(&mut buffer, &Request::Stats, None).unwrap();
         write_response(&mut buffer, &Response::ShuttingDown).unwrap();
         let mut cursor = &buffer[..];
-        assert_eq!(read_request(&mut cursor).unwrap(), Some(Request::Stats));
+        assert_eq!(
+            read_request(&mut cursor).unwrap(),
+            Some((Request::Stats, None))
+        );
         assert_eq!(
             read_response(&mut cursor).unwrap(),
             Some(Response::ShuttingDown)

@@ -17,13 +17,18 @@
 //! * `--metrics` — scrape the server's metrics registry, print it as
 //!   Prometheus text, and assert the core series are present and parse
 //!   (used by CI as the observability smoke test);
+//! * `--trace FILE` — trace this client's calls end-to-end, fetch the
+//!   server's kept traces, validate the merged span set with the Chrome
+//!   trace-event parse-back, and write it to `FILE` (Perfetto-loadable;
+//!   used by CI as the tracing smoke test);
 //! * `--shutdown` — ask the server to exit after this client's requests.
 
 use omnisim_suite::designs::{fig4, typea};
-use omnisim_suite::obs::parse_prometheus;
+use omnisim_suite::obs::{parse_chrome_trace, parse_prometheus, to_chrome_trace, TraceConfig};
 use omnisim_suite::serve::wire::WireOutcome;
-use omnisim_suite::serve::Client;
+use omnisim_suite::serve::{Client, Tracer};
 use omnisim_suite::RunConfig;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 fn connect_with_retry(addr: &str) -> Client {
@@ -41,7 +46,18 @@ fn connect_with_retry(addr: &str) -> Client {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Vec::new();
+    let mut trace_out: Option<PathBuf> = None;
+    let mut iter = raw.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--trace" {
+            let file = iter.next().expect("--trace takes an output file");
+            trace_out = Some(PathBuf::from(file));
+        } else {
+            args.push(arg);
+        }
+    }
     let addr = args
         .iter()
         .find(|a| !a.starts_with("--"))
@@ -52,6 +68,10 @@ fn main() {
     let shutdown = args.iter().any(|a| a == "--shutdown");
 
     let mut client = connect_with_retry(&addr);
+    let tracer = Tracer::new(TraceConfig::default());
+    if trace_out.is_some() {
+        client = client.with_tracer(tracer.clone());
+    }
 
     let designs = [
         typea::vecadd_stream(256, 2),
@@ -155,6 +175,51 @@ fn main() {
                 .collect::<std::collections::BTreeSet<_>>()
                 .len(),
             samples.len(),
+        );
+    }
+    if let Some(out) = trace_out {
+        // The server's kept traces carry this client's trace IDs: every
+        // traced call forwarded its span context over the wire, so the
+        // server-side wire/service/backend spans joined the client's tree.
+        let server_traces = client.traces().expect("traces reply");
+        let mut spans: Vec<_> = server_traces
+            .into_iter()
+            .flat_map(|trace| trace.spans)
+            .collect();
+        spans.extend(client.tracer().recent_spans());
+        let json = to_chrome_trace(&spans);
+        let parsed = parse_chrome_trace(&json).expect("chrome trace validates");
+        assert_eq!(parsed.len(), spans.len(), "parse-back covers every span");
+        for name in ["wire_request", "service_run", "backend_run"] {
+            assert!(
+                spans.iter().any(|s| s.name == name),
+                "trace dump is missing {name} spans"
+            );
+        }
+        assert!(
+            spans
+                .iter()
+                .filter(|s| s.name == "backend_run")
+                .any(|s| s.attr("path").is_some()),
+            "backend_run spans carry the engine run path"
+        );
+        // Cross-process stitching: a server-side wire span and a
+        // client-side call span share one trace ID.
+        assert!(
+            spans.iter().any(|server| {
+                server.name == "wire_request"
+                    && spans.iter().any(|client_span| {
+                        client_span.name.starts_with("client_")
+                            && client_span.trace_id == server.trace_id
+                    })
+            }),
+            "no wire_request span joined a client trace"
+        );
+        std::fs::write(&out, &json).expect("trace file writes");
+        println!(
+            "trace check passed ({} spans, chrome trace written to {})",
+            spans.len(),
+            out.display()
         );
     }
     if shutdown {

@@ -11,41 +11,89 @@
 //! Run with:
 //!
 //! ```text
-//! cargo run --release --example serve_server -- [addr] [store-dir] [backend]
-//! # defaults:                                    127.0.0.1:17071  <tmp>  omnisim
+//! cargo run --release --example serve_server -- [addr] [store-dir] [backend] [--trace-dir DIR]
+//! # defaults:                                    127.0.0.1:0      <tmp>  omnisim
 //! ```
+//!
+//! The default address binds port 0 — the OS picks a free port, and the
+//! first line of output is `listening HOST:PORT` so scripts (CI, the
+//! client examples) can parse the actual endpoint instead of guessing a
+//! fixed port.
+//!
+//! With `--trace-dir DIR`, traces the tail sampler keeps for being slower
+//! than the tracer's latency threshold are persisted into `DIR` as
+//! Chrome trace-event JSON — open any of them at `ui.perfetto.dev`.
 //!
 //! The server runs until a client sends a shutdown request, then prints a
 //! final Prometheus dump of its metrics registry — the same text a live
 //! scrape (`serve_client --metrics`) sees.
 
 use omnisim_suite::backend;
-use omnisim_suite::serve::{ArtifactStore, MetricsRegistry, Server, SimService};
+use omnisim_suite::obs::to_chrome_trace;
+use omnisim_suite::serve::{
+    ArtifactStore, MetricsRegistry, Server, SimService, TraceConfig, Tracer,
+};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 fn main() {
+    let mut positional = Vec::new();
+    let mut trace_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
-    let addr = args.next().unwrap_or_else(|| "127.0.0.1:17071".to_owned());
-    let store_dir = args
+    while let Some(arg) = args.next() {
+        if arg == "--trace-dir" {
+            let dir = args.next().expect("--trace-dir takes a directory");
+            trace_dir = Some(PathBuf::from(dir));
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let addr = positional
         .next()
-        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| "127.0.0.1:0".to_owned());
+    let store_dir = positional
+        .next()
+        .map(PathBuf::from)
         .unwrap_or_else(|| std::env::temp_dir().join("omnisim-serve-store"));
-    let backend_name = args.next().unwrap_or_else(|| "omnisim".to_owned());
+    let backend_name = positional.next().unwrap_or_else(|| "omnisim".to_owned());
 
     let sim = backend(&backend_name).unwrap_or_else(|| panic!("unknown backend '{backend_name}'"));
     let store = ArtifactStore::open(&store_dir).expect("store directory opens");
-    let service = SimService::new(sim).with_store(store);
+    let tracer = Tracer::new(TraceConfig::default());
+    if let Some(dir) = trace_dir.clone() {
+        std::fs::create_dir_all(&dir).expect("trace directory opens");
+        let threshold = tracer.config().slow_threshold.as_nanos() as u64;
+        tracer.set_keep_hook(move |trace| {
+            // Persist only the tail-sampled slow traces: a kept trace whose
+            // local root ran past the latency threshold.
+            let slow = trace
+                .spans
+                .iter()
+                .any(|span| span.parent.is_none() && span.duration_nanos() >= threshold);
+            if slow {
+                let path = dir.join(format!("trace-{:016x}.json", trace.trace_id.raw()));
+                let _ = std::fs::write(path, to_chrome_trace(&trace.spans));
+            }
+        });
+    }
+    let service = SimService::new(sim).with_store(store).with_tracer(tracer);
     // Keep a handle on the shared registry: `Server::bind` consumes the
     // service, but the registry outlives it for the shutdown dump below.
     let registry: Arc<MetricsRegistry> = Arc::clone(service.metrics());
 
     let server = Server::bind(service, &*addr).expect("address binds");
+    let local = server.local_addr().expect("bound address");
+    // Machine-readable first line: scripts parse the chosen port from here.
+    println!("listening {local}");
     println!(
-        "serving {backend_name} on {} (artifact store: {})",
-        server.local_addr().expect("bound address"),
+        "serving {backend_name} on {local} (artifact store: {})",
         store_dir.display(),
     );
-    println!("stop with: cargo run --release --example serve_client -- {addr} --shutdown");
+    if let Some(dir) = &trace_dir {
+        println!("persisting slow traces to {}", dir.display());
+    }
+    println!("stop with: cargo run --release --example serve_client -- {local} --shutdown");
     server.serve().expect("serve loop");
     println!("shut down cleanly; final metrics:");
     print!("{}", registry.snapshot().to_prometheus());

@@ -27,5 +27,5 @@
 
 pub use omnisim_serve::{
     design_key, ArtifactStore, DesignKey, MetricsRegistry, MetricsSnapshot, ServiceStats,
-    SimService, StoreStats,
+    SimService, StoreStats, Trace, TraceConfig, TraceContext, Tracer,
 };

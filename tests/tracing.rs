@@ -1,0 +1,174 @@
+//! Distributed-tracing conformance: a remote request served over TCP
+//! leaves one causally-ordered span tree in the server's flight recorder —
+//! client call span → wire decode span → service resolution span (with its
+//! hit/warm/compile outcome) → backend run span (with the engine run path
+//! and counters) — fetched back over the wire (`Client::traces`), with
+//! parent/child nesting, non-decreasing timestamps, and a lossless Chrome
+//! trace-event export.
+
+use omnisim_suite::designs::typea;
+use omnisim_suite::obs::{parse_chrome_trace, to_chrome_trace, SpanRecord, Trace};
+use omnisim_suite::serve::{Client, Server, ServerHandle, SimService, TraceConfig, Tracer};
+use omnisim_suite::{backend, RunConfig};
+
+struct ServerFixture {
+    handle: ServerHandle,
+    join: std::thread::JoinHandle<()>,
+}
+
+fn start_traced_server() -> (Tracer, ServerFixture) {
+    let tracer = Tracer::new(TraceConfig::default());
+    let service = SimService::new(backend("omnisim").unwrap()).with_tracer(tracer.clone());
+    let server = Server::bind(service, ("127.0.0.1", 0)).unwrap();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.serve().unwrap());
+    (tracer, ServerFixture { handle, join })
+}
+
+/// Asserts `child` nests inside `parent`: linked by span ID, started no
+/// earlier, finished no later.
+fn assert_nested(parent: &SpanRecord, child: &SpanRecord) {
+    assert_eq!(
+        child.parent,
+        Some(parent.span_id),
+        "{} must be a child of {}",
+        child.name,
+        parent.name
+    );
+    assert_eq!(child.trace_id, parent.trace_id);
+    assert!(
+        parent.start_nanos <= child.start_nanos,
+        "{} starts before its parent {}",
+        child.name,
+        parent.name
+    );
+    assert!(
+        child.end_nanos <= parent.end_nanos,
+        "{} outlives its parent {}",
+        child.name,
+        parent.name
+    );
+}
+
+#[test]
+fn remote_request_trace_carries_the_full_causal_chain() {
+    let (_server_tracer, fixture) = start_traced_server();
+    let client_tracer = Tracer::new(TraceConfig::default());
+    let mut client = Client::connect(fixture.handle.addr())
+        .unwrap()
+        .with_tracer(client_tracer.clone());
+
+    let design = typea::vecadd_stream(24, 2);
+    let key = client.register(&design).unwrap();
+    let results = client.run_batch(&[(key, RunConfig::default())]).unwrap();
+    assert_eq!(results.len(), 1);
+    assert!(results[0].is_ok());
+
+    let traces: Vec<Trace> = client.traces().unwrap();
+    let client_spans = client_tracer.recent_spans();
+
+    // --- The register call's tree: client → wire → service resolution. ---
+    let client_register = client_spans
+        .iter()
+        .find(|s| s.name == "client_register")
+        .expect("client traced its register call");
+    let register_trace: &Trace = traces
+        .iter()
+        .find(|t| t.trace_id == client_register.trace_id)
+        .expect("the server kept the register call's trace");
+    let wire = register_trace.find("wire_request").unwrap();
+    // The wire span joined the client's span as remote parent.
+    assert_eq!(wire.parent, Some(client_register.span_id));
+    assert_eq!(wire.attr("type").and_then(|v| v.as_str()), Some("register"));
+    let resolve = register_trace.find("service_register").unwrap();
+    assert_nested(wire, resolve);
+    assert_eq!(
+        resolve.attr("outcome").and_then(|v| v.as_str()),
+        Some("compile"),
+        "first registration compiles"
+    );
+
+    // --- The run call's tree: client → wire → batch → run → backend. ---
+    let client_batch = client_spans
+        .iter()
+        .find(|s| s.name == "client_run_batch")
+        .expect("client traced its batch call");
+    let run_trace = traces
+        .iter()
+        .find(|t| t.trace_id == client_batch.trace_id)
+        .expect("the server kept the batch call's trace");
+    let wire = run_trace.find("wire_request").unwrap();
+    assert_eq!(wire.parent, Some(client_batch.span_id));
+    assert_eq!(
+        wire.attr("type").and_then(|v| v.as_str()),
+        Some("run_batch")
+    );
+    let batch = run_trace.find("service_run_batch").unwrap();
+    assert_nested(wire, batch);
+    let run = run_trace.find("service_run").unwrap();
+    assert_nested(batch, run);
+    assert_eq!(run.attr("outcome").and_then(|v| v.as_str()), Some("ok"));
+    let backend_run = run_trace.find("backend_run").unwrap();
+    assert_nested(run, backend_run);
+    assert_eq!(
+        backend_run.attr("backend").and_then(|v| v.as_str()),
+        Some("omnisim")
+    );
+    assert!(
+        backend_run.attr("path").is_some(),
+        "backend_run records which engine path answered the run"
+    );
+    assert!(
+        backend_run.attr("baseline_replays").is_some(),
+        "backend_run scrapes the engine's counters into attributes"
+    );
+
+    // The client's own span brackets the whole server-side tree in time.
+    assert!(client_batch.start_nanos <= wire.start_nanos);
+    assert!(wire.end_nanos <= client_batch.end_nanos);
+
+    // Trace spans come back ordered by start time: non-decreasing stamps.
+    for window in run_trace.spans.windows(2) {
+        assert!(window[0].start_nanos <= window[1].start_nanos);
+    }
+    for span in &run_trace.spans {
+        assert!(span.start_nanos <= span.end_nanos);
+    }
+
+    // The merged client+server view exports to Chrome trace JSON and
+    // parses back losslessly.
+    let mut merged: Vec<SpanRecord> = run_trace.spans.clone();
+    merged.push(client_batch.clone());
+    let json = to_chrome_trace(&merged);
+    assert_eq!(parse_chrome_trace(&json).unwrap(), merged);
+
+    client.shutdown().unwrap();
+    fixture.join.join().unwrap();
+}
+
+#[test]
+fn second_registration_resolves_as_a_cache_hit_in_its_trace() {
+    let (server_tracer, fixture) = start_traced_server();
+    let mut client = Client::connect(fixture.handle.addr())
+        .unwrap()
+        .with_tracer(Tracer::new(TraceConfig::default()));
+
+    let design = typea::fir_filter(32, 4);
+    let key = client.register(&design).unwrap();
+    assert_eq!(client.register(&design).unwrap(), key);
+
+    let traces = server_tracer.recent_traces();
+    let outcomes: Vec<&str> = traces
+        .iter()
+        .filter_map(|t| t.find("service_register"))
+        .filter_map(|s| s.attr("outcome"))
+        .filter_map(|v| v.as_str())
+        .collect();
+    assert!(
+        outcomes.contains(&"compile") && outcomes.contains(&"hit"),
+        "expected a compile then a hit, got {outcomes:?}"
+    );
+
+    client.shutdown().unwrap();
+    fixture.join.join().unwrap();
+}
