@@ -21,6 +21,9 @@
 //! * `--deadlocks P` — forced-deadlock probability in percent,
 //! * `--min-depths` — also ground-truth the `min_depths` certificate with
 //!   full re-simulations (the tightness oracle),
+//! * `--bytecode` / `--no-bytecode` — force the bytecode-VM differential
+//!   leg on/off (on by default: every DSE vector is also answered by the
+//!   register-allocated VM, running a codec-roundtripped program),
 //! * `--no-shrink` — skip shrinking on failure,
 //! * `--smoke` — CI preset: 120 seeds per preset, all presets.
 //!
@@ -130,6 +133,14 @@ fn main() {
     let mut diff = DiffConfig::default();
     if args.iter().any(|a| a == "--min-depths") {
         diff.min_depths_resim = true;
+    }
+    // `--bytecode` pins the leg on even if a future default flips; the
+    // explicit off-switch wins when both are given.
+    if args.iter().any(|a| a == "--bytecode") {
+        diff.bytecode = true;
+    }
+    if args.iter().any(|a| a == "--no-bytecode") {
+        diff.bytecode = false;
     }
     let mut tally = Tally::default();
     let started = Instant::now();

@@ -42,24 +42,24 @@ use std::error::Error;
 use std::fmt;
 
 /// Sentinel for "this node is not a FIFO access" in the lookup tables.
-const NONE: u32 = u32::MAX;
+pub(crate) const NONE: u32 = u32::MAX;
 
 /// Per-FIFO access lanes, frozen from the baseline run's commit order.
 #[derive(Debug, Clone)]
-struct FifoLane {
+pub(crate) struct FifoLane {
     /// Node of each committed write, in commit order.
-    writes: Vec<u32>,
+    pub(crate) writes: Vec<u32>,
     /// Blocking flag of each committed write (only blocking writes stall,
     /// so only they receive WAR edges).
-    write_blocking: Vec<bool>,
+    pub(crate) write_blocking: Vec<bool>,
     /// Node of each committed read, in commit order.
-    reads: Vec<u32>,
+    pub(crate) reads: Vec<u32>,
 }
 
 impl FifoLane {
     /// The WAR predecessor (a read node) of write `iw` under `depth`, if
     /// the edge exists for that depth.
-    fn war_pred(&self, iw: usize, depth: usize) -> Option<u32> {
+    pub(crate) fn war_pred(&self, iw: usize, depth: usize) -> Option<u32> {
         if !self.write_blocking[iw] || iw < depth {
             return None;
         }
@@ -69,17 +69,17 @@ impl FifoLane {
 
 /// A recorded query outcome in flat form, re-checked per point.
 #[derive(Debug, Clone, Copy)]
-struct CompiledConstraint {
+pub(crate) struct CompiledConstraint {
     /// True for write-side queries (Table 2 rows 1–2).
-    write_side: bool,
+    pub(crate) write_side: bool,
     /// FIFO index.
-    fifo: u32,
+    pub(crate) fifo: u32,
     /// 1-based access ordinal.
-    ordinal: u32,
+    pub(crate) ordinal: u32,
     /// Node representing the query itself.
-    node: u32,
+    pub(crate) node: u32,
     /// Outcome observed during the baseline run.
-    outcome: bool,
+    pub(crate) outcome: bool,
 }
 
 /// Errors returned when evaluating points against a [`SweepPlan`].
@@ -149,33 +149,33 @@ impl From<PlanError> for OmniError {
 #[derive(Debug)]
 pub struct SweepPlan {
     /// The frozen baseline graph (bases + successor lists).
-    fwd: CsrGraph,
+    pub(crate) fwd: CsrGraph,
     /// Its transpose, for recomputing one node from its predecessors.
-    rev: CsrGraph,
+    pub(crate) rev: CsrGraph,
     /// Topological order valid for the base edges plus any WAR overlay
     /// with all depths ≥ 1.
-    topo: Vec<u32>,
+    pub(crate) topo: Vec<u32>,
     /// Node → position in `topo`.
-    topo_rank: Vec<u32>,
+    pub(crate) topo_rank: Vec<u32>,
     /// Per-FIFO access lanes.
-    lanes: Vec<FifoLane>,
+    pub(crate) lanes: Vec<FifoLane>,
     /// Node → `(fifo, read index)` when the node is a committed read.
     war_read: Vec<(u32, u32)>,
     /// Node → `(fifo, write index)` when the node is a committed
     /// **blocking** write.
-    war_write: Vec<(u32, u32)>,
+    pub(crate) war_write: Vec<(u32, u32)>,
     /// Flat constraint table, in the baseline's recording order.
-    constraints: Vec<CompiledConstraint>,
+    pub(crate) constraints: Vec<CompiledConstraint>,
     /// End node of every task that finished.
-    end_nodes: Vec<u32>,
+    pub(crate) end_nodes: Vec<u32>,
     /// FIFO depths of the baseline run.
-    original_depths: Vec<usize>,
+    pub(crate) original_depths: Vec<usize>,
     /// Per-FIFO minimum depth the cached topological order supports. For
     /// single-rate pipelines this is 1 everywhere; multi-rate reconvergence
     /// can make the depth-1 overlay genuinely cyclic (the design would
     /// deadlock at depth 1), in which case the skeleton is relaxed and
     /// points probing below this bound take the allocating slow path.
-    supported_min_depth: Vec<usize>,
+    pub(crate) supported_min_depth: Vec<usize>,
 }
 
 impl SweepPlan {
@@ -338,6 +338,15 @@ impl SweepPlan {
             .map(|omni| SweepPlan::compile(omni.state()))
     }
 
+    /// Lowers the frozen plan into a register-allocated bytecode program —
+    /// see [`crate::bytecode::CompiledPlan`]. The lowering is total: every
+    /// compiled plan has a bytecode form, and the program answers every
+    /// depth vector bit-identically to [`SweepPlan::evaluator`], an order
+    /// of magnitude faster.
+    pub fn compile_bytecode(&self) -> crate::bytecode::CompiledPlan {
+        crate::bytecode::CompiledPlan::lower(self)
+    }
+
     /// Number of FIFOs the plan was compiled for.
     pub fn fifo_count(&self) -> usize {
         self.lanes.len()
@@ -402,13 +411,39 @@ impl SweepPlan {
         Ok(())
     }
 
+    /// Estimated-work cutoff (points × plan nodes) below which
+    /// [`SweepPlan::evaluate_batch`]`(…, parallel = true)` solves the batch
+    /// serially anyway. Parallel chunking has two fixed costs — scoped
+    /// thread spawn/join, and one cold full relaxation per chunk before its
+    /// delta evaluations — that exceed the whole serial solve on
+    /// paper-sized batches (`BENCH_dse.json` measured 4.5M parallel vs
+    /// 5.4M serial points/sec on a 1000-point grid before this cutoff
+    /// existed). Break-even on a ~620-node plan sits near 2k points, i.e.
+    /// ~1.2M node-points; the cutoff leaves margin above it.
+    pub(crate) const PARALLEL_WORK_CUTOFF: usize = 2_000_000;
+
+    /// Worker count for an auto-parallel batch: serial below the
+    /// estimated-work cutoff, one worker per core above it.
+    fn auto_workers(&self, points: usize) -> usize {
+        if points.saturating_mul(self.node_count()) < Self::PARALLEL_WORK_CUTOFF {
+            1
+        } else {
+            pool::default_workers()
+        }
+    }
+
     /// Evaluates every point, in order, chunking the list across scoped
     /// worker threads when `parallel` is set (chunks stay contiguous so
     /// delta evaluation keeps its locality within each chunk). Points may
     /// be owned vectors or borrowed slices — nothing is copied.
     ///
-    /// `parallel` uses one worker per core; use
-    /// [`SweepPlan::evaluate_batch_workers`] to pin an explicit count.
+    /// `parallel` uses one worker per core, except that batches whose
+    /// estimated work (points × plan nodes) falls below
+    /// [`SweepPlan::PARALLEL_WORK_CUTOFF`] stay serial — spawning threads
+    /// and paying one cold full relaxation per chunk is slower than just
+    /// solving a small batch on the calling thread. Use
+    /// [`SweepPlan::evaluate_batch_workers`] to pin an explicit count
+    /// (explicit counts are honored unconditionally).
     ///
     /// # Errors
     ///
@@ -422,7 +457,11 @@ impl SweepPlan {
     where
         P: AsRef<[usize]> + Sync,
     {
-        let workers = if parallel { pool::default_workers() } else { 1 };
+        let workers = if parallel {
+            self.auto_workers(points.len())
+        } else {
+            1
+        };
         self.evaluate_batch_workers(points, workers)
     }
 

@@ -42,6 +42,7 @@
 //! assert!(sweep.plan.is_some(), "the compiled plan rides on the report");
 //! ```
 
+use crate::bytecode::CompiledPlan;
 use crate::plan::SweepPlan;
 use crate::pool;
 use omnisim::{IncrementalOutcome, OmniError, OmniReport, OmniSimulator, SimConfig};
@@ -101,6 +102,11 @@ pub struct SweepReport {
     /// only when plan compilation failed and the sweep fell back to the
     /// uncompiled incremental path throughout.
     pub plan: Option<SweepPlan>,
+    /// The plan lowered to register-allocated bytecode — the program the
+    /// points were actually executed through. Reusable for follow-up
+    /// batches and persistable via [`CompiledPlan::encode`]; present
+    /// exactly when [`SweepReport::plan`] is.
+    pub bytecode: Option<CompiledPlan>,
 }
 
 impl SweepReport {
@@ -230,7 +236,7 @@ impl<'d> Sweep<'d> {
         if let Some(error) = grid_error {
             return Err(error);
         }
-        let workers = pool::resolve_workers(workers);
+        let resim_workers = pool::resolve_workers(workers);
         let fifo_count = design.fifos.len();
         for point in &points {
             if point.len() != fifo_count {
@@ -251,6 +257,8 @@ impl<'d> Sweep<'d> {
         // Plan compilation fails only when no depth-independent topological
         // order exists; the uncompiled path still answers every point.
         let plan = SweepPlan::compile(baseline).ok();
+        // Lower the plan into bytecode once; the VM answers the batch.
+        let bytecode = plan.as_ref().map(SweepPlan::compile_bytecode);
 
         let mut answers: Vec<Option<SweepPoint>> = (0..points.len()).map(|_| None).collect();
         let mut fallback: Vec<(usize, Vec<usize>)> = Vec::new();
@@ -285,14 +293,19 @@ impl<'d> Sweep<'d> {
             }
         }
 
-        if let Some(plan) = &plan {
+        if let Some(program) = &bytecode {
             let batch: Vec<&[usize]> = compiled
                 .iter()
                 .map(|(_, depths)| depths.as_slice())
                 .collect();
-            let outcomes = plan
-                .evaluate_batch_workers(&batch, workers)
-                .map_err(OmniError::from)?;
+            // A pinned worker count is honored unconditionally; otherwise
+            // the VM's estimated-work cutoff decides whether the batch is
+            // worth parallelizing at all.
+            let outcomes = match workers {
+                Some(count) => program.evaluate_batch_workers(&batch, count),
+                None => program.evaluate_batch(&batch, true),
+            }
+            .map_err(OmniError::from)?;
             for ((index, depths), outcome) in compiled.into_iter().zip(outcomes) {
                 match outcome {
                     IncrementalOutcome::Valid { total_cycles } => {
@@ -319,7 +332,7 @@ impl<'d> Sweep<'d> {
         };
 
         let outcomes: Vec<ResimOutcome> =
-            pool::parallel_map(&fallback, workers, |(_, depths)| resimulate(depths));
+            pool::parallel_map(&fallback, resim_workers, |(_, depths)| resimulate(depths));
 
         for ((index, depths), outcome) in fallback.into_iter().zip(outcomes) {
             let (total_cycles, outputs) = outcome?;
@@ -338,6 +351,7 @@ impl<'d> Sweep<'d> {
                 .map(|point| point.expect("every sweep point answered"))
                 .collect(),
             plan,
+            bytecode,
         })
     }
 }
@@ -563,5 +577,9 @@ mod tests {
             }
             other => panic!("expected valid, got {other:?}"),
         }
+        // The lowered program rides on the report too, and answers the
+        // same query identically.
+        let program = sweep.bytecode.as_ref().expect("bytecode rides on plan");
+        assert_eq!(program.evaluate(&[8]).unwrap(), outcome);
     }
 }

@@ -14,9 +14,11 @@
 //! * **csim diverges exactly where the paper says it does** — correct on
 //!   Type A, wrong or crashing on most Type B/C designs; the oracle records
 //!   the expected-divergence bookkeeping instead of asserting equality.
-//! * **the DSE tower is self-consistent** — compiled `SweepPlan` answers ==
-//!   uncompiled `try_with_depths` answers on random depth vectors, and
-//!   certified answers == a full re-simulation of the resized design.
+//! * **the DSE tower is self-consistent** — bytecode-VM answers ==
+//!   compiled `SweepPlan` answers == uncompiled `try_with_depths` answers
+//!   on random depth vectors (the VM running a codec-roundtripped
+//!   program), and certified answers == a full re-simulation of the
+//!   resized design.
 //!
 //! [`differential_check`] returns a [`DiffReport`]; an empty
 //! [`DiffReport::failures`] means every claim held.
@@ -55,6 +57,12 @@ pub struct DiffConfig {
     /// off by default and enabled by the dedicated tightness suite and the
     /// fuzz CLI's `--min-depths`.
     pub min_depths_resim: bool,
+    /// Lower the plan to register-allocated bytecode and pin the VM's
+    /// answer against the interpreted plan on every DSE depth vector
+    /// (including one codec roundtrip of the program per design). On by
+    /// default — the VM is the serving tier's fast path, so it fuzzes
+    /// wherever the plan does; the fuzz CLI's `--no-bytecode` disables it.
+    pub bytecode: bool,
     /// Cycle budget for the cycle-stepped reference (a generated design
     /// exceeding it counts as a hang, which is itself a failure).
     pub rtl_max_cycles: u64,
@@ -73,6 +81,7 @@ impl Default for DiffConfig {
             min_depths: true,
             min_depths_bound: 12,
             min_depths_resim: false,
+            bytecode: true,
             rtl_max_cycles: 500_000,
             omni_fuel: 10_000_000,
         }
@@ -316,6 +325,21 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
         match SweepPlan::compile(&omni.incremental) {
             Ok(plan) => {
                 let mut evaluator = plan.evaluator();
+                // The bytecode leg reuses one warm VM across the design's
+                // depth vectors, so the delta/worklist paths fuzz too —
+                // and the program it runs has been through one codec
+                // roundtrip, pinning the persisted form as well.
+                let program = (cfg.bytecode && cfg.dse_points > 0).then(|| {
+                    let lowered = plan.compile_bytecode();
+                    match omnisim_dse::CompiledPlan::decode(&lowered.encode()) {
+                        Ok(decoded) => decoded,
+                        Err(e) => {
+                            failures.push(format!("bytecode program failed to roundtrip: {e}"));
+                            lowered
+                        }
+                    }
+                });
+                let mut vm = program.as_ref().map(|p| p.vm());
                 for _ in 0..cfg.dse_points {
                     let depths: Vec<usize> = (0..design.fifos.len())
                         .map(|_| rng.depth(cfg.dse_max_depth))
@@ -341,6 +365,20 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
                              {compiled:?} vs {incremental:?}"
                         ));
                         continue;
+                    }
+                    if let Some(vm) = vm.as_mut() {
+                        match vm.evaluate(&depths) {
+                            Ok(outcome) => {
+                                if outcome != compiled {
+                                    failures.push(format!(
+                                        "bytecode VM disagrees with the interpreted plan at \
+                                         {depths:?}: {outcome:?} vs {compiled:?}"
+                                    ));
+                                }
+                            }
+                            Err(e) => failures
+                                .push(format!("bytecode VM evaluation failed at {depths:?}: {e}")),
+                        }
                     }
                     // Session leg: a compile-once `run()` with these depth
                     // overrides must report the certified latency through

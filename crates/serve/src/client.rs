@@ -9,12 +9,18 @@ use omnisim_obs::{parse_jsonl, Trace, Tracer};
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// Why a client call failed.
 #[derive(Debug)]
 pub enum ClientError {
     /// The connection failed or was closed mid-exchange.
     Io(io::Error),
+    /// The peer went silent: a configured socket timeout
+    /// ([`Client::set_timeouts`]) elapsed before the exchange completed.
+    /// Unlike [`ClientError::Io`], the connection itself may still be
+    /// alive — the caller decides whether to retry or drop the client.
+    TimedOut,
     /// The server rejected the batch under admission control; the caller
     /// may retry later or shrink the batch.
     Overloaded {
@@ -32,6 +38,12 @@ impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(error) => write!(f, "connection failed: {error}"),
+            ClientError::TimedOut => {
+                write!(
+                    f,
+                    "timed out: the peer sent nothing within the socket timeout"
+                )
+            }
             ClientError::Overloaded { limit } => {
                 write!(f, "server overloaded (in-flight budget {limit})")
             }
@@ -45,7 +57,13 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(error: io::Error) -> Self {
-        ClientError::Io(error)
+        // Platforms disagree on the kind a timed-out socket read reports
+        // (`TimedOut` on Windows, `WouldBlock` on Unix); both mean the
+        // configured timeout elapsed, so both become the typed variant.
+        match error.kind() {
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock => ClientError::TimedOut,
+            _ => ClientError::Io(error),
+        }
     }
 }
 
@@ -77,6 +95,40 @@ impl Client {
         })
     }
 
+    /// Connects and applies socket timeouts in one step — the safe default
+    /// for clients that must never hang on a silent or wedged server. See
+    /// [`Client::set_timeouts`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connection or socket-option failure.
+    pub fn connect_with_timeouts(
+        addr: impl ToSocketAddrs,
+        read: Option<Duration>,
+        write: Option<Duration>,
+    ) -> io::Result<Self> {
+        let client = Client::connect(addr)?;
+        client.set_timeouts(read, write)?;
+        Ok(client)
+    }
+
+    /// Applies socket-level read/write timeouts to the connection (`None`
+    /// blocks forever — the default). A call whose exchange exceeds a
+    /// timeout fails with [`ClientError::TimedOut`] instead of hanging the
+    /// calling thread indefinitely.
+    ///
+    /// The read timeout bounds each wait for response bytes, not the whole
+    /// exchange: budget it for the slowest single request (a large
+    /// `run_batch` is served in full before the first response byte).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket-option failure (e.g. a zero duration).
+    pub fn set_timeouts(&self, read: Option<Duration>, write: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(read)?;
+        self.stream.set_write_timeout(write)
+    }
+
     /// Attaches a tracer: every subsequent call is wrapped in a
     /// `client_<type>` span whose context rides the wire to the server.
     #[must_use]
@@ -102,6 +154,7 @@ impl Client {
                 Ok(Response::Error { .. }) => "server_error",
                 Ok(Response::Overloaded { .. }) => "overloaded",
                 Ok(_) => "ok",
+                Err(ClientError::TimedOut) => "timeout",
                 Err(_) => "disconnected",
             },
         );

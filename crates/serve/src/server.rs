@@ -6,7 +6,9 @@
 //! across all connections: a batch that would push the total past the
 //! budget is rejected with a typed [`Response::Overloaded`] instead of
 //! queueing unboundedly — the client decides whether to retry, shrink the
-//! batch or go elsewhere. Shutdown is graceful: a [`Request::Shutdown`]
+//! batch or go elsewhere. Optional per-connection socket timeouts
+//! ([`Server::with_client_timeouts`]) double as idle timeouts, so silent
+//! or wedged peers cannot pin connection threads. Shutdown is graceful: a [`Request::Shutdown`]
 //! (or [`ServerHandle::shutdown`]) stops the accept loop, and the server
 //! drains open connections before returning.
 
@@ -17,6 +19,7 @@ use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Default bound on runs in flight across all connections.
 pub const DEFAULT_MAX_IN_FLIGHT: usize = 1024;
@@ -86,6 +89,8 @@ struct Shared {
     service: SimService,
     local_addr: SocketAddr,
     max_in_flight: usize,
+    read_timeout: Option<Duration>,
+    write_timeout: Option<Duration>,
     in_flight: AtomicUsize,
     shutdown: AtomicBool,
     metrics: WireMetrics,
@@ -123,6 +128,8 @@ impl Server {
                 service,
                 local_addr,
                 max_in_flight: DEFAULT_MAX_IN_FLIGHT,
+                read_timeout: None,
+                write_timeout: None,
                 in_flight: AtomicUsize::new(0),
                 shutdown: AtomicBool::new(false),
                 metrics,
@@ -135,6 +142,21 @@ impl Server {
         let shared = Arc::get_mut(&mut self.shared)
             .expect("budget is configured before the server is shared");
         shared.max_in_flight = runs.max(1);
+        self
+    }
+
+    /// Applies per-connection socket timeouts (`None` blocks forever — the
+    /// default). The read timeout doubles as the idle timeout: a client
+    /// that connects and then goes silent holds its connection thread for
+    /// at most this long before the server closes the connection, so a
+    /// handful of wedged peers cannot pin the thread pool. The write
+    /// timeout bounds response delivery to a peer that stops draining its
+    /// receive buffer.
+    pub fn with_client_timeouts(mut self, read: Option<Duration>, write: Option<Duration>) -> Self {
+        let shared = Arc::get_mut(&mut self.shared)
+            .expect("timeouts are configured before the server is shared");
+        shared.read_timeout = read;
+        shared.write_timeout = write;
         self
     }
 
@@ -167,6 +189,13 @@ impl Server {
             let (stream, _) = self.listener.accept()?;
             if self.shared.shutdown.load(Ordering::SeqCst) {
                 break;
+            }
+            // A connection whose socket options cannot be set is closed
+            // immediately rather than served without its timeouts.
+            if stream.set_read_timeout(self.shared.read_timeout).is_err()
+                || stream.set_write_timeout(self.shared.write_timeout).is_err()
+            {
+                continue;
             }
             let shared = Arc::clone(&self.shared);
             connections.push(std::thread::spawn(move || {
@@ -367,6 +396,63 @@ mod tests {
         let stats = client.stats().unwrap();
         assert_eq!(stats.designs, 1);
         assert_eq!(stats.compiles, 1);
+
+        client.shutdown().unwrap();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn client_timeout_unsticks_a_call_against_a_silent_peer() {
+        // A "server" that accepts the connection and then never sends a
+        // byte. Without a socket timeout, `stats` would block forever.
+        let silent = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = silent.local_addr().unwrap();
+        let mut client = Client::connect_with_timeouts(
+            addr,
+            Some(Duration::from_millis(100)),
+            Some(Duration::from_millis(100)),
+        )
+        .unwrap();
+        let _held = silent.accept().unwrap(); // keep the peer socket open
+        match client.stats() {
+            Err(ClientError::TimedOut) => {}
+            other => panic!("expected TimedOut, got {other:?}"),
+        }
+        // The typed error is distinguishable from I/O failures.
+        assert!(ClientError::TimedOut.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn server_idle_timeout_disconnects_silent_clients_but_serves_live_ones() {
+        use std::io::Read;
+
+        let service = SimService::new(Box::new(omnisim::OmniBackend::default()));
+        let server = Server::bind(service, ("127.0.0.1", 0))
+            .unwrap()
+            .with_client_timeouts(Some(Duration::from_millis(100)), None);
+        let handle = server.handle();
+        let join = std::thread::spawn(move || server.serve().unwrap());
+
+        // A client that connects and goes mute is dropped after the idle
+        // timeout instead of pinning its connection thread forever.
+        let mut mute = TcpStream::connect(handle.addr()).unwrap();
+        mute.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut buf = [0u8; 1];
+        match mute.read(&mut buf) {
+            Ok(0) => {} // clean close
+            Err(error)
+                if error.kind() != io::ErrorKind::WouldBlock
+                    && error.kind() != io::ErrorKind::TimedOut => {} // reset
+            other => panic!("server kept the silent connection open: {other:?}"),
+        }
+
+        // Prompt clients on the same server are unaffected.
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let design = typea::vecadd_stream(16, 2);
+        let key = client.register(&design).unwrap();
+        let results = client.run_batch(&[(key, RunConfig::default())]).unwrap();
+        assert!(results[0].is_ok());
 
         client.shutdown().unwrap();
         join.join().unwrap();

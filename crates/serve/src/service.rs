@@ -26,7 +26,7 @@
 use crate::store::ArtifactStore;
 use omnisim_api::{CompiledSim, RunConfig, RunPath, SimFailure, SimReport, SimTimings, Simulator};
 use omnisim_codec::fnv1a64;
-use omnisim_dse::pool;
+use omnisim_dse::{pool, CompiledPlan, IncrementalOutcome, SweepPlan};
 use omnisim_ir::wire::encode_design;
 use omnisim_ir::Design;
 use omnisim_obs::{Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, Trace, Tracer};
@@ -47,6 +47,10 @@ use std::time::Instant;
 /// quote keys over the wire.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DesignKey(u64);
+
+/// Store kind the service persists lowered DSE bytecode programs under
+/// (next to the backend-named session artifacts they were lowered from).
+const DSE_STORE_KIND: &str = "dse";
 
 impl DesignKey {
     /// The raw 64-bit content hash.
@@ -88,6 +92,8 @@ pub struct ServiceStats {
     pub warm_starts: usize,
     /// Designs evicted from the in-memory registry by the LRU capacity.
     pub registry_evictions: usize,
+    /// Lowered DSE bytecode programs currently resident.
+    pub dse_programs: usize,
     /// Counters of the attached [`ArtifactStore`], if any.
     pub store: Option<crate::store::StoreStats>,
 }
@@ -115,6 +121,10 @@ struct ServiceMetrics {
     register_hit_nanos: Histogram,
     register_warm_nanos: Histogram,
     register_compile_nanos: Histogram,
+    dse_hit: Counter,
+    dse_warm: Counter,
+    dse_compile: Counter,
+    dse_points: Histogram,
     runs: Counter,
     run_nanos: Histogram,
     batch_size: Histogram,
@@ -144,6 +154,10 @@ impl ServiceMetrics {
             register_hit_nanos: register_nanos("hit"),
             register_warm_nanos: register_nanos("warm"),
             register_compile_nanos: register_nanos("compile"),
+            dse_hit: registry.counter_with("service_dse_total", &[("outcome", "hit")]),
+            dse_warm: registry.counter_with("service_dse_total", &[("outcome", "warm")]),
+            dse_compile: registry.counter_with("service_dse_total", &[("outcome", "compile")]),
+            dse_points: registry.histogram("service_dse_points"),
             runs: registry.counter("service_runs_total"),
             run_nanos: registry.histogram("service_run_nanos"),
             batch_size: registry.histogram("service_batch_size"),
@@ -163,6 +177,9 @@ impl ServiceMetrics {
         fresh.register_hit.add(self.register_hit.value());
         fresh.register_warm.add(self.register_warm.value());
         fresh.register_compile.add(self.register_compile.value());
+        fresh.dse_hit.add(self.dse_hit.value());
+        fresh.dse_warm.add(self.dse_warm.value());
+        fresh.dse_compile.add(self.dse_compile.value());
         fresh.runs.add(self.runs.value());
         fresh
             .registry_evictions
@@ -193,6 +210,11 @@ impl ServiceMetrics {
 pub struct SimService {
     backend: Box<dyn Simulator>,
     artifacts: RwLock<HashMap<DesignKey, Entry>>,
+    /// Lowered DSE bytecode programs, keyed like the artifacts they were
+    /// lowered from. Kept alongside (not inside) the artifact registry:
+    /// programs are derived on first use, not at register time, so designs
+    /// that never take a DSE query pay nothing.
+    dse_programs: RwLock<HashMap<DesignKey, Arc<CompiledPlan>>>,
     workers: Option<usize>,
     capacity: Option<usize>,
     store: Option<ArtifactStore>,
@@ -211,6 +233,7 @@ impl SimService {
         SimService {
             backend,
             artifacts: RwLock::new(HashMap::new()),
+            dse_programs: RwLock::new(HashMap::new()),
             workers: None,
             capacity: None,
             store: None,
@@ -390,24 +413,41 @@ impl SimService {
     }
 
     fn install(&self, key: DesignKey, artifact: Arc<dyn CompiledSim>) {
-        let mut map = self.artifacts.write().expect("service registry poisoned");
-        map.entry(key).or_insert_with(|| Entry {
-            artifact,
-            last_used: AtomicU64::new(self.tick()),
-        });
-        if let Some(capacity) = self.capacity {
-            while map.len() > capacity {
-                let victim = map
-                    .iter()
-                    .filter(|(candidate, _)| **candidate != key)
-                    .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
-                    .map(|(candidate, _)| *candidate);
-                let Some(victim) = victim else { break };
-                map.remove(&victim);
-                self.metrics.registry_evictions.inc();
+        let mut evicted = Vec::new();
+        {
+            let mut map = self.artifacts.write().expect("service registry poisoned");
+            map.entry(key).or_insert_with(|| Entry {
+                artifact,
+                last_used: AtomicU64::new(self.tick()),
+            });
+            if let Some(capacity) = self.capacity {
+                while map.len() > capacity {
+                    let victim = map
+                        .iter()
+                        .filter(|(candidate, _)| **candidate != key)
+                        .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                        .map(|(candidate, _)| *candidate);
+                    let Some(victim) = victim else { break };
+                    map.remove(&victim);
+                    self.metrics.registry_evictions.inc();
+                    evicted.push(victim);
+                }
+            }
+            self.metrics.designs.set(map.len() as i64);
+        }
+        // An evicted design takes its derived DSE program with it, so the
+        // capacity bound bounds both registries. (Locks are never nested
+        // the other way around: DSE resolution drops the program lock
+        // before touching the artifact registry.)
+        if !evicted.is_empty() {
+            let mut programs = self
+                .dse_programs
+                .write()
+                .expect("service dse registry poisoned");
+            for victim in evicted {
+                programs.remove(&victim);
             }
         }
-        self.metrics.designs.set(map.len() as i64);
     }
 
     /// The shared artifact for a registered design, if present. Callers can
@@ -418,6 +458,140 @@ impl SimService {
         let entry = map.get(&key)?;
         entry.last_used.store(self.tick(), Ordering::Relaxed);
         Some(Arc::clone(&entry.artifact))
+    }
+
+    /// Resolves the lowered DSE bytecode program of a registered design
+    /// ([`CompiledPlan`]), lowering and caching it on first use.
+    ///
+    /// Resolution order mirrors [`SimService::register`]: the in-memory
+    /// program cache first; then, with a store attached, a persisted
+    /// program is decoded (a warm start that skips both simulation and
+    /// lowering, even across process restarts — a corrupt file falls
+    /// through and is replaced); finally the resident session artifact is
+    /// frozen through [`SweepPlan::from_compiled`] and lowered with
+    /// [`SweepPlan::compile_bytecode`], and the fresh encoding is
+    /// persisted best-effort under the store kind `"dse"`.
+    ///
+    /// Two concurrent first resolutions may both lower; programs are
+    /// deterministic, so either result is kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimFailure::Execution`] for an unknown key or a cyclic
+    /// baseline, and [`SimFailure::Unsupported`] when the backend's
+    /// artifact carries no frozen incremental state to lower (see
+    /// `Capabilities::compiled_dse`).
+    pub fn dse_program(&self, key: DesignKey) -> Result<Arc<CompiledPlan>, SimFailure> {
+        let mut tspan = self.tracer.span("service_dse_program");
+        if let Some(program) = self
+            .dse_programs
+            .read()
+            .expect("service dse registry poisoned")
+            .get(&key)
+        {
+            self.metrics.dse_hit.inc();
+            tspan.set_attr("outcome", "hit");
+            return Ok(Arc::clone(program));
+        }
+        if let Some(store) = &self.store {
+            if let Some(bytes) = store.load(DSE_STORE_KIND, key.raw()) {
+                match CompiledPlan::decode(&bytes) {
+                    Ok(program) => {
+                        let program = Arc::new(program);
+                        self.metrics.dse_warm.inc();
+                        self.install_program(key, Arc::clone(&program));
+                        tspan.set_attr("outcome", "warm");
+                        return Ok(program);
+                    }
+                    // Same discipline as artifacts: a bad persisted
+                    // program must never take the service down.
+                    Err(_) => store.remove(DSE_STORE_KIND, key.raw()),
+                }
+            }
+        }
+        let Some(artifact) = self.artifact(key) else {
+            tspan.set_attr("outcome", "unknown_key");
+            return Err(SimFailure::execution(
+                self.backend.name(),
+                format!("no design registered under key {:#018x}", key.raw()),
+            ));
+        };
+        let Some(plan) = SweepPlan::from_compiled(artifact.as_ref()) else {
+            tspan.set_attr("outcome", "unsupported");
+            return Err(SimFailure::unsupported(
+                self.backend.name(),
+                "artifact carries no frozen incremental state to lower into a DSE program",
+            ));
+        };
+        let plan = match plan {
+            Ok(plan) => plan,
+            Err(cycle) => {
+                tspan.set_attr("outcome", "rejected");
+                return Err(SimFailure::execution(
+                    self.backend.name(),
+                    cycle.to_string(),
+                ));
+            }
+        };
+        let program = Arc::new(plan.compile_bytecode());
+        self.metrics.dse_compile.inc();
+        if let Some(store) = &self.store {
+            // Best-effort, like artifact persistence.
+            let _ = store.save(DSE_STORE_KIND, key.raw(), &program.encode());
+        }
+        self.install_program(key, Arc::clone(&program));
+        tspan.set_attr("outcome", "compile");
+        Ok(program)
+    }
+
+    fn install_program(&self, key: DesignKey, program: Arc<CompiledPlan>) {
+        self.dse_programs
+            .write()
+            .expect("service dse registry poisoned")
+            .entry(key)
+            .or_insert(program);
+    }
+
+    /// Evaluates a batch of FIFO-depth points against a registered
+    /// design's DSE program, in request order — the serving-tier face of
+    /// [`CompiledPlan::evaluate_batch`]. The service's pinned worker count
+    /// ([`SimService::with_workers`]) is honored; without one the program
+    /// decides serial vs. parallel from the batch's estimated work.
+    ///
+    /// # Errors
+    ///
+    /// Program-resolution failures as in [`SimService::dse_program`]; a
+    /// wrong-arity or zero-depth point maps to [`SimFailure::Execution`]
+    /// and fails the batch as a whole.
+    pub fn dse_batch<P>(
+        &self,
+        key: DesignKey,
+        points: &[P],
+    ) -> Result<Vec<IncrementalOutcome>, SimFailure>
+    where
+        P: AsRef<[usize]> + Sync,
+    {
+        let mut tspan = self.tracer.span("service_dse_batch");
+        tspan.set_attr("points", points.len());
+        let program = self.dse_program(key)?;
+        self.metrics.dse_points.observe(points.len() as u64);
+        let result = match self.workers {
+            Some(workers) => program.evaluate_batch_workers(points, workers),
+            None => program.evaluate_batch(points, true),
+        };
+        match result {
+            Ok(outcomes) => {
+                tspan.set_attr("outcome", "ok");
+                Ok(outcomes)
+            }
+            Err(error) => {
+                tspan.set_attr("outcome", "invalid_point");
+                Err(SimFailure::execution(
+                    self.backend.name(),
+                    error.to_string(),
+                ))
+            }
+        }
     }
 
     /// Serves one run request against a registered design.
@@ -539,6 +713,14 @@ impl SimService {
         self.metrics.registry_evictions.value() as usize
     }
 
+    /// Number of lowered DSE bytecode programs currently resident.
+    pub fn dse_programs(&self) -> usize {
+        self.dse_programs
+            .read()
+            .expect("service dse registry poisoned")
+            .len()
+    }
+
     /// A point-in-time snapshot of every counter, including the attached
     /// store's.
     pub fn stats(&self) -> ServiceStats {
@@ -548,6 +730,7 @@ impl SimService {
             cache_hits: self.cache_hits(),
             warm_starts: self.warm_starts(),
             registry_evictions: self.registry_evictions(),
+            dse_programs: self.dse_programs(),
             store: self.store.as_ref().map(ArtifactStore::stats),
         }
     }
@@ -599,10 +782,18 @@ impl std::fmt::Debug for SimService {
 mod tests {
     use super::*;
     use omnisim::OmniBackend;
-    use omnisim_designs::typea;
+    use omnisim_designs::{fig4, typea};
+    use std::path::PathBuf;
 
     fn service() -> SimService {
         SimService::new(Box::new(OmniBackend::default()))
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        use std::sync::atomic::AtomicUsize;
+        static UNIQUE: AtomicUsize = AtomicUsize::new(0);
+        let n = UNIQUE.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("omnisim-svc-dse-{tag}-{}-{n}", std::process::id()))
     }
 
     #[test]
@@ -780,5 +971,110 @@ mod tests {
         // Registry-backed accessors read zero when dark — the documented
         // cost of running uninstrumented.
         assert_eq!(dark.compiles(), 0);
+    }
+
+    #[test]
+    fn dse_batch_matches_engine_runs_and_caches_the_program() {
+        let service = service();
+        let design = fig4::ex5_with_depths(32, 2, 2);
+        let key = service.register(&design).unwrap();
+        let points: Vec<[usize; 2]> = (1..=6).flat_map(|a| (1..=4).map(move |b| [a, b])).collect();
+        let outcomes = service.dse_batch(key, &points).unwrap();
+        assert_eq!(outcomes.len(), points.len());
+        // Every certified-valid point agrees with a full engine run of the
+        // same depth vector — the serving tier's differential anchor.
+        let mut valid = 0;
+        for (point, outcome) in points.iter().zip(&outcomes) {
+            if let IncrementalOutcome::Valid { total_cycles } = outcome {
+                valid += 1;
+                let config = RunConfig::new().with_fifo_depths(point.to_vec());
+                let report = service.run(key, &config).unwrap();
+                assert_eq!(report.total_cycles, Some(*total_cycles), "point {point:?}");
+            }
+        }
+        assert!(valid > 0, "grid must certify at least one point");
+
+        // The second batch reuses the cached program; both observations
+        // land in the DSE metrics.
+        assert_eq!(service.dse_programs(), 1);
+        assert_eq!(service.stats().dse_programs, 1);
+        assert_eq!(service.dse_batch(key, &points).unwrap(), outcomes);
+        let snapshot = service.metrics_snapshot();
+        let outcome = |o| snapshot.counter_with("service_dse_total", &[("outcome", o)]);
+        assert_eq!(outcome("compile"), Some(1));
+        assert_eq!(outcome("hit"), Some(1));
+        assert_eq!(outcome("warm"), Some(0), "no store, no warm starts");
+        let points_hist = snapshot.histogram("service_dse_points").unwrap();
+        assert_eq!(points_hist.count, 2);
+
+        // A malformed point fails the batch as a whole, cleanly.
+        let failure = service.dse_batch(key, &[vec![1usize]]).unwrap_err();
+        assert!(failure.to_string().contains("compiled for"), "{failure}");
+    }
+
+    #[test]
+    fn dse_program_rejects_unknown_keys_and_non_omni_artifacts() {
+        let service = service();
+        let failure = service
+            .dse_batch(DesignKey(0xbad), &[[1usize, 1]])
+            .unwrap_err();
+        assert!(failure.to_string().contains("no design registered"));
+
+        // Lightning artifacts carry no frozen incremental state to lower.
+        let lightning = SimService::new(Box::new(omnisim_lightning::LightningBackend));
+        let key = lightning.register(&typea::vecadd_stream(24, 2)).unwrap();
+        let failure = lightning.dse_program(key).unwrap_err();
+        assert!(failure.is_unsupported());
+        assert_eq!(lightning.dse_programs(), 0);
+    }
+
+    #[test]
+    fn dse_programs_warm_start_from_the_store_across_restarts() {
+        let dir = temp_dir("warm");
+        let design = fig4::ex5_with_depths(24, 2, 2);
+        let points = [[2usize, 2], [3, 1], [1, 4]];
+        let key;
+        let baseline;
+        {
+            let first = service().with_store(ArtifactStore::open(&dir).unwrap());
+            key = first.register(&design).unwrap();
+            baseline = first.dse_batch(key, &points).unwrap();
+        }
+        // A fresh service over the same store answers from the persisted
+        // program — no registration, no simulation, no re-lowering.
+        let second = service().with_store(ArtifactStore::open(&dir).unwrap());
+        assert_eq!(second.dse_batch(key, &points).unwrap(), baseline);
+        let snapshot = second.metrics_snapshot();
+        let outcome = |o| snapshot.counter_with("service_dse_total", &[("outcome", o)]);
+        assert_eq!(outcome("warm"), Some(1), "program decoded from the store");
+        assert_eq!(outcome("compile"), Some(0), "no re-lowering after restart");
+
+        // A corrupt persisted program falls through to a fresh lowering
+        // (after re-registering the design) and replaces the bad file.
+        let store = ArtifactStore::open(&dir).unwrap();
+        store.save(DSE_STORE_KIND, key.raw(), b"garbage").unwrap();
+        let third = service().with_store(store);
+        third.register(&design).unwrap();
+        assert_eq!(third.dse_batch(key, &points).unwrap(), baseline);
+        let snapshot = third.metrics_snapshot();
+        assert_eq!(
+            snapshot.counter_with("service_dse_total", &[("outcome", "compile")]),
+            Some(1)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evicting_a_design_purges_its_dse_program() {
+        let service = service().with_capacity(1);
+        let key = service.register(&fig4::ex5_with_depths(16, 2, 2)).unwrap();
+        service.dse_batch(key, &[[1usize, 1]]).unwrap();
+        assert_eq!(service.dse_programs(), 1);
+        // Registering a second design evicts the first — and its program.
+        service.register(&typea::vecadd_stream(16, 2)).unwrap();
+        assert_eq!(service.dse_programs(), 0, "program evicted with its design");
+        // With no store attached, the evicted key cannot be resolved.
+        let failure = service.dse_program(key).unwrap_err();
+        assert!(failure.to_string().contains("no design registered"));
     }
 }

@@ -30,11 +30,12 @@ use crate::store::StoreStats;
 
 /// Magic bytes of a wire-protocol message: "OmniSim Wire Message".
 pub const WIRE_MAGIC: [u8; 4] = *b"OSWM";
-/// Current wire-protocol version. Version 2 added per-phase report
+/// Current wire-protocol version. Version 4 added the resident DSE
+/// program count to the stats frame. Version 2 added per-phase report
 /// timings and the [`Request::Metrics`]/[`Response::MetricsReply`] pair;
 /// version 3 added the optional [`TraceContext`] carried ahead of every
 /// request and the [`Request::Traces`]/[`Response::TracesReply`] pair.
-pub const WIRE_VERSION: u16 = 3;
+pub const WIRE_VERSION: u16 = 4;
 /// Upper bound on a single message, applied before allocating.
 pub const MAX_MESSAGE_LEN: u32 = 256 * 1024 * 1024;
 
@@ -342,6 +343,7 @@ fn write_service_stats(w: &mut ByteWriter, stats: &ServiceStats) {
     w.usize(stats.cache_hits);
     w.usize(stats.warm_starts);
     w.usize(stats.registry_evictions);
+    w.usize(stats.dse_programs);
     w.opt(stats.store.as_ref(), write_store_stats);
 }
 
@@ -352,6 +354,7 @@ fn read_service_stats(r: &mut ByteReader) -> Result<ServiceStats, CodecError> {
         cache_hits: r.usize()?,
         warm_starts: r.usize()?,
         registry_evictions: r.usize()?,
+        dse_programs: r.usize()?,
         store: r.opt(read_store_stats)?,
     })
 }
@@ -723,6 +726,7 @@ mod tests {
                     cache_hits: 4,
                     warm_starts: 5,
                     registry_evictions: 6,
+                    dse_programs: 7,
                     store: Some(StoreStats {
                         hits: 1,
                         misses: 2,

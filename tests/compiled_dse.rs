@@ -9,7 +9,7 @@ use omnisim_suite::designs::{table4_designs_with_n, typea};
 use omnisim_suite::ir::{Design, DesignClass};
 use omnisim_suite::omnisim::test_fixtures::{nb_drop_counter, producer_consumer};
 use omnisim_suite::omnisim::{IncrementalOutcome, OmniSimulator};
-use omnisim_suite::{all_backends, Sweep, SweepPlan};
+use omnisim_suite::{all_backends, CompiledPlan, Sweep, SweepPlan};
 
 use omnisim_suite::gen::Rng;
 
@@ -102,6 +102,79 @@ fn compiled_plan_matches_incremental_and_full_resimulation_on_random_grids() {
                 }
             }
         }
+    }
+}
+
+/// The bytecode VM is the third leg of the differential: on every fixture
+/// it must answer bit-identically to the interpreted plan and to the
+/// uncompiled incremental path — warm (delta) and cold, through the codec
+/// roundtrip, and through every batch entry point.
+#[test]
+fn bytecode_vm_matches_interpreter_and_incremental_on_every_fixture() {
+    let mut rng = Rng::new(0xb17e_c0de_5eed_0003);
+    for (name, design, _) in fixture_designs() {
+        let baseline = OmniSimulator::new(&design)
+            .run()
+            .unwrap_or_else(|e| panic!("{name}: baseline failed: {e}"));
+        let plan = SweepPlan::compile(&baseline.incremental)
+            .unwrap_or_else(|e| panic!("{name}: plan must compile: {e}"));
+        let program = plan.compile_bytecode();
+        let decoded = CompiledPlan::decode(&program.encode())
+            .unwrap_or_else(|e| panic!("{name}: program must roundtrip: {e}"));
+        let mut vm = program.vm();
+        let mut decoded_vm = decoded.vm();
+        let mut evaluator = plan.evaluator();
+        let fifos = plan.fifo_count();
+
+        let mut grid: Vec<Vec<usize>> = (0..16)
+            .map(|_| (0..fifos).map(|_| rng.depth(100)).collect())
+            .collect();
+        // All-shallow vectors drive the DepthInfeasible / DepthCyclic
+        // routing through the VM's Kahn slow path on blocking designs.
+        grid.push(vec![1; fifos]);
+        grid.push(vec![2; fifos]);
+
+        for depths in &grid {
+            let interpreted = evaluator
+                .evaluate(depths)
+                .unwrap_or_else(|e| panic!("{name}: plan evaluation failed: {e}"));
+            let outcome = vm
+                .evaluate(depths)
+                .unwrap_or_else(|e| panic!("{name}: VM evaluation failed: {e}"));
+            assert_eq!(outcome, interpreted, "{name}: VM diverges at {depths:?}");
+            assert_eq!(
+                decoded_vm.evaluate(depths).unwrap(),
+                interpreted,
+                "{name}: decoded program diverges at {depths:?}"
+            );
+            let incremental = baseline
+                .incremental
+                .try_with_depths(depths)
+                .unwrap_or_else(|e| panic!("{name}: incremental pass failed: {e}"));
+            assert_eq!(
+                outcome, incremental,
+                "{name}: VM and incremental disagree at {depths:?}"
+            );
+        }
+
+        // Every batch entry point answers like the per-point loop —
+        // including an explicit worker count above the cutoff decision.
+        let interp_batch = plan.evaluate_batch(&grid, false).unwrap();
+        assert_eq!(
+            program.evaluate_batch(&grid, false).unwrap(),
+            interp_batch,
+            "{name}"
+        );
+        assert_eq!(
+            program.evaluate_batch(&grid, true).unwrap(),
+            interp_batch,
+            "{name}"
+        );
+        assert_eq!(
+            program.evaluate_batch_workers(&grid, 3).unwrap(),
+            interp_batch,
+            "{name}"
+        );
     }
 }
 
