@@ -1,0 +1,368 @@
+//! Static FIFO depth lower bounds.
+//!
+//! Every bound here is *necessary for completion*: if the design completes
+//! under any schedule at depths `d`, then `d[f] >= bound[f]`. That makes
+//! the bounds directly comparable to the DSE's certified `min_depths`
+//! minima — a sound bound can never exceed a certified minimum, which the
+//! differential fuzzer checks across all generator presets.
+//!
+//! Two sound arguments are used:
+//!
+//! * **Token surplus.** With exact endpoint traces, a FIFO written `W`
+//!   times and read `R < W` times holds `W − R` tokens when the design
+//!   completes; a smaller FIFO can never accept them all. (This is
+//!   timing-independent: total counts do not depend on the schedule.)
+//! * **Self-loop prefix occupancy.** When the *same task* owns both ends
+//!   of a FIFO, its sequential trace fixes the interleaving of that FIFO's
+//!   ops — but scheduled timing can commit a program-later read before a
+//!   program-earlier write has committed (offset overlap inside a block,
+//!   iteration overlap inside a pipelined loop), which would let the FIFO
+//!   run shallower than the program-order prefix suggests. The prefix
+//!   bound is therefore only applied when the structure forbids such
+//!   reordering: no block touching the FIFO is pipelined, and no block
+//!   mixes reads and writes of it. Blocks execute strictly one after
+//!   another, so at every block boundary the occupancy equals the
+//!   program-order prefix, and the peak prefix is a true lower bound.
+
+use crate::report::{DepthBound, Diagnostic, Rule, Severity};
+use crate::trace::{Event, Segment, TaskTrace};
+use omnisim_ir::{Design, FifoId, Loc, ModuleId, Op};
+
+/// Computes per-FIFO lower bounds and appends `token-imbalance` /
+/// `fifo-depth-bound` diagnostics.
+pub(crate) fn depth_bounds(
+    design: &Design,
+    tasks: &[ModuleId],
+    traces: &[TaskTrace],
+    diagnostics: &mut Vec<Diagnostic>,
+) -> Vec<DepthBound> {
+    let closures = omnisim_ir::validate::call_closures(design);
+    let endpoints = omnisim_ir::validate::fifo_endpoints(design);
+
+    // Which tasks statically touch each FIFO (through calls).
+    let nf = design.fifos.len();
+    let mut touching: Vec<Vec<usize>> = vec![Vec::new(); nf];
+    for (ti, &root) in tasks.iter().enumerate() {
+        for m in &closures[root.index()] {
+            for (f_idx, (writers, readers)) in endpoints.iter().enumerate() {
+                if (writers.contains(m) || readers.contains(m)) && !touching[f_idx].contains(&ti) {
+                    touching[f_idx].push(ti);
+                }
+            }
+        }
+    }
+
+    let mut bounds = Vec::with_capacity(nf);
+    for (f_idx, touchers) in touching.iter().enumerate() {
+        let fid = FifoId::from_index(f_idx);
+        let exact = touchers.iter().all(|&ti| {
+            traces[ti].countable
+                && traces[ti].nb_reads[f_idx] == 0
+                && traces[ti].nb_writes[f_idx] == 0
+        });
+        if !exact {
+            bounds.push(DepthBound {
+                bound: 1,
+                exact: false,
+            });
+            continue;
+        }
+        let writes: u64 = touchers.iter().map(|&ti| traces[ti].writes[f_idx]).sum();
+        let reads: u64 = touchers.iter().map(|&ti| traces[ti].reads[f_idx]).sum();
+        let mut bound = 1u64.max(writes.saturating_sub(reads));
+
+        if reads > writes {
+            diagnostics.push(Diagnostic {
+                rule: Rule::TokenImbalance,
+                severity: Severity::Error,
+                loc: Loc::NONE,
+                fifo: Some(fid),
+                array: None,
+                axi: None,
+                message: format!(
+                    "fifo {fid} is read {reads} times but written only {writes} times: the reader starves"
+                ),
+            });
+        } else if writes > reads && reads > 0 {
+            diagnostics.push(Diagnostic {
+                rule: Rule::TokenImbalance,
+                severity: Severity::Info,
+                loc: Loc::NONE,
+                fifo: Some(fid),
+                array: None,
+                axi: None,
+                message: format!(
+                    "fifo {fid} retains {} tokens at completion (written {writes}, read {reads})",
+                    writes - reads
+                ),
+            });
+        }
+
+        // Self-loop refinement: one task owns both ends.
+        if let [ti] = touchers[..] {
+            if traces[ti].writes[f_idx] > 0
+                && traces[ti].reads[f_idx] > 0
+                && self_loop_commit_order_is_program_order(design, &closures, tasks[ti], fid)
+            {
+                bound = bound.max(prefix_peak(&traces[ti].segments, fid));
+            }
+        }
+
+        let bound = usize::try_from(bound).unwrap_or(usize::MAX);
+        if bound > design.fifo(fid).depth {
+            diagnostics.push(Diagnostic {
+                rule: Rule::FifoDepthBound,
+                severity: Severity::Error,
+                loc: Loc::NONE,
+                fifo: Some(fid),
+                array: None,
+                axi: None,
+                message: format!(
+                    "fifo {fid} needs depth >= {bound} to complete but declares {}",
+                    design.fifo(fid).depth
+                ),
+            });
+        }
+        bounds.push(DepthBound { bound, exact });
+    }
+    bounds
+}
+
+/// Max over the program-order prefix of (writes so far − reads so far).
+///
+/// Repeat segments are handled in closed form: the prefix value after
+/// iteration `t` is `occ + t·δ` (δ the body's net effect), and the peak
+/// inside iteration `t` is that plus the body's own intra-iteration prefix
+/// peak. Both are linear in `t`, so the maximum sits at an endpoint.
+fn prefix_peak(segments: &[Segment], fifo: FifoId) -> u64 {
+    let step = |occ: &mut i128, e: &Event| match e {
+        Event::FifoWrite(f) if *f == fifo => *occ += 1,
+        Event::FifoRead(f) if *f == fifo => *occ -= 1,
+        _ => {}
+    };
+    let mut occ = 0i128;
+    let mut peak = 0i128;
+    for seg in segments {
+        match seg {
+            Segment::Once(e) => {
+                step(&mut occ, e);
+                peak = peak.max(occ);
+            }
+            Segment::Repeat { body, count } => {
+                if *count == 0 || body.is_empty() {
+                    continue;
+                }
+                let mut intra = 0i128;
+                let mut intra_peak = i128::MIN;
+                for e in body {
+                    step(&mut intra, e);
+                    intra_peak = intra_peak.max(intra);
+                }
+                let delta = intra;
+                let t_max = if delta > 0 { *count as i128 - 1 } else { 0 };
+                peak = peak.max(occ + t_max * delta + intra_peak);
+                occ += *count as i128 * delta;
+            }
+        }
+    }
+    u64::try_from(peak.max(0)).unwrap_or(u64::MAX)
+}
+
+/// True when scheduled timing cannot commit this FIFO's ops out of program
+/// order within the owning task: every block (in the task's call closure)
+/// touching the FIFO is non-pipelined and contains only reads or only
+/// writes of it.
+fn self_loop_commit_order_is_program_order(
+    design: &Design,
+    closures: &[Vec<ModuleId>],
+    root: ModuleId,
+    fifo: FifoId,
+) -> bool {
+    for m in &closures[root.index()] {
+        for block in &design.module(*m).blocks {
+            let mut reads = false;
+            let mut writes = false;
+            for sop in &block.ops {
+                match &sop.op {
+                    Op::FifoRead { fifo: f, .. } | Op::FifoNbRead { fifo: f, .. } if *f == fifo => {
+                        reads = true;
+                    }
+                    Op::FifoWrite { fifo: f, .. } | Op::FifoNbWrite { fifo: f, .. }
+                        if *f == fifo =>
+                    {
+                        writes = true;
+                    }
+                    _ => {}
+                }
+            }
+            if (reads || writes) && block.schedule.ii.is_some() {
+                return false;
+            }
+            if reads && writes {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{read_only_arrays, trace_task};
+    use omnisim_ir::builder::DesignBuilder;
+    use omnisim_ir::Expr;
+
+    fn analyze_bounds(design: &Design) -> (Vec<DepthBound>, Vec<Diagnostic>) {
+        let tasks: Vec<ModuleId> = if design.module(design.top).is_dataflow() {
+            design.module(design.top).children().to_vec()
+        } else {
+            vec![design.top]
+        };
+        let ro = read_only_arrays(design);
+        let traces: Vec<_> = tasks.iter().map(|&t| trace_task(design, t, &ro)).collect();
+        let mut diags = Vec::new();
+        let bounds = depth_bounds(design, &tasks, &traces, &mut diags);
+        (bounds, diags)
+    }
+
+    #[test]
+    fn surplus_gives_exact_bound() {
+        let mut d = DesignBuilder::new("s");
+        let f = d.fifo("q", 8);
+        let p = d.function("p", |m| {
+            m.counted_loop("i", 10, 1, |b| {
+                b.fifo_write(f, Expr::imm(1));
+            });
+        });
+        let c = d.function("c", |m| {
+            m.counted_loop("i", 4, 1, |b| {
+                let _ = b.fifo_read(f);
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        let design = d.build().expect("valid");
+        let (bounds, diags) = analyze_bounds(&design);
+        assert_eq!(bounds[0].bound, 6);
+        assert!(bounds[0].exact);
+        assert!(diags.iter().any(|d| d.rule == Rule::TokenImbalance));
+    }
+
+    #[test]
+    fn balanced_fifo_bounds_to_floor() {
+        let mut d = DesignBuilder::new("b");
+        let f = d.fifo("q", 2);
+        let p = d.function("p", |m| {
+            m.counted_loop("i", 6, 1, |b| {
+                b.fifo_write(f, Expr::imm(1));
+            });
+        });
+        let c = d.function("c", |m| {
+            m.counted_loop("i", 6, 1, |b| {
+                let _ = b.fifo_read(f);
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        let design = d.build().expect("valid");
+        let (bounds, _) = analyze_bounds(&design);
+        assert_eq!(bounds[0].bound, 1);
+        assert!(bounds[0].exact);
+    }
+
+    #[test]
+    fn self_loop_burst_needs_full_burst_depth() {
+        // One task writes 5 tokens into its own FIFO in one (non-pipelined)
+        // loop, then reads all 5 back in a later loop: depth must be 5.
+        let mut d = DesignBuilder::new("burst");
+        let f = d.fifo("spill", 5);
+        d.function_top("t", |m| {
+            m.counted_loop("i", 5, 1, |b| {
+                b.fifo_write(f, Expr::imm(7));
+            });
+            m.counted_loop("j", 5, 1, |b| {
+                let _ = b.fifo_read(f);
+            });
+        });
+        let design = d.build().expect("valid");
+        let (bounds, diags) = analyze_bounds(&design);
+        assert_eq!(bounds[0].bound, 5);
+        assert!(diags.iter().all(|d| d.rule != Rule::FifoDepthBound));
+    }
+
+    #[test]
+    fn self_loop_bound_exceeding_depth_is_flagged() {
+        let mut d = DesignBuilder::new("burst");
+        let f = d.fifo("spill", 3);
+        d.function_top("t", |m| {
+            m.counted_loop("i", 5, 1, |b| {
+                b.fifo_write(f, Expr::imm(7));
+            });
+            m.counted_loop("j", 5, 1, |b| {
+                let _ = b.fifo_read(f);
+            });
+        });
+        let design = d.build().expect("valid");
+        let (bounds, diags) = analyze_bounds(&design);
+        assert_eq!(bounds[0].bound, 5);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::FifoDepthBound && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn pipelined_self_loop_declines_prefix_bound() {
+        // Same shape but the loops are pipelined (ii < latency): the prefix
+        // argument is unsound there, so only the surplus bound applies.
+        let mut d = DesignBuilder::new("burst");
+        let f = d.fifo("spill", 1);
+        d.function_top("t", |m| {
+            m.counted_loop("i", 5, 1, |b| {
+                b.latency(3).pipeline(1);
+                b.fifo_write(f, Expr::imm(7));
+            });
+            m.counted_loop("j", 5, 1, |b| {
+                b.latency(3).pipeline(1);
+                let _ = b.fifo_read(f);
+            });
+        });
+        let design = d.build().expect("valid");
+        let (bounds, _) = analyze_bounds(&design);
+        assert_eq!(bounds[0].bound, 1, "no surplus, prefix bound declined");
+    }
+
+    #[test]
+    fn uncountable_endpoint_falls_back_to_floor() {
+        // The producer's write count depends on a value read from `ctl`,
+        // so its trace is uncountable and the bound degrades to the floor.
+        let mut d = DesignBuilder::new("u");
+        let f = d.fifo("q", 2);
+        let ctl = d.fifo("ctl", 2);
+        let p = d.function("p", |m| {
+            let n = m.var("n");
+            let i = m.var("i");
+            m.entry(|b| {
+                let v = b.fifo_read(ctl);
+                b.assign(n, Expr::var(v));
+                b.assign(i, Expr::imm(0));
+            });
+            m.loop_block(1, |b| {
+                b.fifo_write(f, Expr::imm(1));
+                b.assign(i, Expr::var(i).add(Expr::imm(1)));
+                b.exit_loop_if(Expr::var(i).ge(Expr::var(n)));
+            });
+        });
+        let c = d.function("c", |m| {
+            m.entry(|b| {
+                b.fifo_write(ctl, Expr::imm(3));
+            });
+            m.counted_loop("i", 3, 1, |b| {
+                let _ = b.fifo_read(f);
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        let design = d.build().expect("valid");
+        let (bounds, _) = analyze_bounds(&design);
+        assert_eq!(bounds[0].bound, 1);
+        assert!(!bounds[0].exact);
+    }
+}

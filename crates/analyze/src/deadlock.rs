@@ -1,0 +1,542 @@
+//! Deadlock certification and channel-cycle classification.
+//!
+//! A design whose tasks all have exactly enumerable channel traces and no
+//! executed non-blocking accesses is a *bounded Kahn process network* with
+//! fixed per-process op sequences: each task performs a known sequence of
+//! blocking reads and writes on point-to-point FIFOs of fixed capacity.
+//! Completion of such a network is *confluent* — it does not depend on how
+//! the scheduler interleaves tasks — because commits are monotone: an
+//! enabled op stays enabled until its own task commits it (a read only ever
+//! gains tokens from the peer; a write only ever gains space). So a single
+//! abstract run with any fair schedule decides deadlock-vs-completion for
+//! every schedule, including the cycle-accurate reference simulator's.
+//!
+//! The run itself is untimed: task = pointer into its blocking-op list,
+//! FIFO = occupancy counter. A worklist drains each task until it blocks,
+//! re-enqueueing the peer of every FIFO it touched. Terminates in
+//! O(events + unblocks).
+
+use crate::report::{CycleClass, CycleReport, Diagnostic, Rule, Severity};
+use crate::trace::{Event, Segment, TaskTrace};
+use omnisim_graph::{component_is_cyclic, strongly_connected_components, NodeId};
+use omnisim_ir::{Design, FifoId, Loc, ModuleId};
+use std::collections::HashMap;
+
+/// Abstract-run budget: committed channel ops before the network run gives
+/// up and the verdict degrades to `Unknown`. Only reachable when the
+/// warp below finds no steady-state period to jump over.
+const SIM_FUEL: u64 = 4_000_000;
+
+/// A task sits "deep" in a repeat segment when at least this many
+/// iterations remain; only then is the per-step cost of state hashing for
+/// the warp worth paying.
+const WARP_DEPTH: u64 = 64;
+
+/// One blocking channel op of a task's filtered trace.
+#[derive(Debug, Clone, Copy)]
+struct ChanOp {
+    fifo: FifoId,
+    is_write: bool,
+}
+
+/// A task's blocking-op program, segment-compressed like the trace it
+/// came from.
+#[derive(Debug)]
+enum ChanSeg {
+    Op(ChanOp),
+    Repeat { body: Vec<ChanOp>, count: u64 },
+}
+
+/// A task's position in its program: segment, iteration within a repeat
+/// segment, offset within the body.
+#[derive(Debug, Clone, Copy, Default)]
+struct Pc {
+    seg: usize,
+    iter: u64,
+    pos: usize,
+}
+
+fn chan_op(e: &Event) -> Option<ChanOp> {
+    match e {
+        Event::FifoRead(f) => Some(ChanOp {
+            fifo: *f,
+            is_write: false,
+        }),
+        Event::FifoWrite(f) => Some(ChanOp {
+            fifo: *f,
+            is_write: true,
+        }),
+        _ => None,
+    }
+}
+
+fn cur(program: &[ChanSeg], pc: Pc) -> Option<ChanOp> {
+    program.get(pc.seg).map(|s| match s {
+        ChanSeg::Op(op) => *op,
+        ChanSeg::Repeat { body, .. } => body[pc.pos],
+    })
+}
+
+fn advance(program: &[ChanSeg], pc: &mut Pc) {
+    match &program[pc.seg] {
+        ChanSeg::Op(_) => pc.seg += 1,
+        ChanSeg::Repeat { body, count } => {
+            pc.pos += 1;
+            if pc.pos == body.len() {
+                pc.pos = 0;
+                pc.iter += 1;
+                if pc.iter == *count {
+                    pc.iter = 0;
+                    pc.seg += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of an abstract network run.
+#[derive(Debug, Clone)]
+pub(crate) struct NetOutcome {
+    /// True when every task drained its trace.
+    pub completed: bool,
+    /// Unfinished tasks and the op each is stuck on: (task root, fifo,
+    /// is_write).
+    pub blocked: Vec<(ModuleId, FifoId, bool)>,
+}
+
+/// Runs the abstract bounded-KPN network at the given depths. Returns
+/// `None` when any task is uncountable or executed a non-blocking access —
+/// the network is only exact for blocking traces.
+pub(crate) fn simulate(traces: &[TaskTrace], depths: &[usize]) -> Option<NetOutcome> {
+    if traces.iter().any(|t| !t.countable || t.executed_nb()) {
+        return None;
+    }
+    let programs: Vec<Vec<ChanSeg>> = traces
+        .iter()
+        .map(|t| {
+            let mut segs = Vec::new();
+            for s in &t.segments {
+                match s {
+                    Segment::Once(e) => {
+                        if let Some(op) = chan_op(e) {
+                            segs.push(ChanSeg::Op(op));
+                        }
+                    }
+                    Segment::Repeat { body, count } => {
+                        let ops: Vec<ChanOp> = body.iter().filter_map(chan_op).collect();
+                        if ops.is_empty() || *count == 0 {
+                            continue;
+                        }
+                        if *count == 1 {
+                            segs.extend(ops.into_iter().map(ChanSeg::Op));
+                        } else {
+                            segs.push(ChanSeg::Repeat {
+                                body: ops,
+                                count: *count,
+                            });
+                        }
+                    }
+                }
+            }
+            segs
+        })
+        .collect();
+
+    // Peer lookup: which task reads / writes each FIFO (point-to-point is
+    // validated, and counts come from exact traces).
+    let nf = depths.len();
+    let mut writer_of: Vec<Option<usize>> = vec![None; nf];
+    let mut reader_of: Vec<Option<usize>> = vec![None; nf];
+    for (ti, t) in traces.iter().enumerate() {
+        for f in 0..nf {
+            if t.writes[f] > 0 {
+                writer_of[f] = Some(ti);
+            }
+            if t.reads[f] > 0 {
+                reader_of[f] = Some(ti);
+            }
+        }
+    }
+
+    let mut occupancy = vec![0usize; nf];
+    let mut pc = vec![Pc::default(); traces.len()];
+    let mut queued = vec![true; traces.len()];
+    let mut worklist: Vec<usize> = (0..traces.len()).collect();
+    let mut fuel = SIM_FUEL;
+
+    // Steady-state warp. The run is deterministic, and while every task
+    // stays inside its current segment its transitions depend on its
+    // (segment, offset) position but not on how many repeat iterations
+    // remain. So if the projected state — positions, occupancies, queued
+    // flags and worklist — recurs, the network is in a periodic regime:
+    // the cycle just executed will repeat verbatim until some task
+    // exhausts its repeat count. We jump over all but the last safe
+    // period at once, which turns O(trip counts) ping-pong between
+    // producers and consumers into O(period).
+    let mut seen: HashMap<Vec<u64>, Vec<u64>> = HashMap::new();
+
+    while let Some(&peek) = worklist.last() {
+        let deep = pc.iter().enumerate().any(|(i, p)| {
+            matches!(
+                programs[i].get(p.seg),
+                Some(ChanSeg::Repeat { count, .. }) if count - p.iter > WARP_DEPTH
+            )
+        });
+        if deep {
+            let mut key: Vec<u64> = Vec::with_capacity(nf + 3 * traces.len() + worklist.len() + 1);
+            key.extend(occupancy.iter().map(|&o| o as u64));
+            for (i, p) in pc.iter().enumerate() {
+                key.push(p.seg as u64);
+                key.push(((p.pos as u64) << 1) | u64::from(queued[i]));
+            }
+            key.push(u64::MAX);
+            key.extend(worklist.iter().map(|&t| t as u64));
+            let iters: Vec<u64> = pc.iter().map(|p| p.iter).collect();
+            if let Some(prev) = seen.insert(key, iters.clone()) {
+                let mut warp: Option<u64> = None;
+                for i in 0..pc.len() {
+                    // A task only advances its iteration counter inside a
+                    // repeat segment, so a zero delta (checked_div's None)
+                    // covers both idle tasks and Once segments.
+                    let delta = iters[i] - prev[i];
+                    let ChanSeg::Repeat { count, .. } = &programs[i][pc[i].seg] else {
+                        continue;
+                    };
+                    let Some(room) = (count - 1 - iters[i]).checked_div(delta) else {
+                        continue;
+                    };
+                    warp = Some(warp.map_or(room, |w| w.min(room)));
+                }
+                if let Some(w) = warp.filter(|&w| w >= 1) {
+                    for i in 0..pc.len() {
+                        pc[i].iter += w * (iters[i] - prev[i]);
+                    }
+                    seen.clear();
+                    continue;
+                }
+            }
+            if seen.len() > 4096 {
+                seen.clear();
+            }
+        }
+
+        let ti = peek;
+        worklist.pop();
+        queued[ti] = false;
+        let program = &programs[ti];
+        while let Some(op) = cur(program, pc[ti]) {
+            if fuel == 0 {
+                return None;
+            }
+            fuel -= 1;
+            let f = op.fifo.index();
+            if op.is_write {
+                if occupancy[f] >= depths[f] {
+                    break;
+                }
+                occupancy[f] += 1;
+                advance(program, &mut pc[ti]);
+                if let Some(peer) = reader_of[f] {
+                    if peer != ti && !queued[peer] {
+                        queued[peer] = true;
+                        worklist.push(peer);
+                    }
+                }
+            } else {
+                if occupancy[f] == 0 {
+                    break;
+                }
+                occupancy[f] -= 1;
+                advance(program, &mut pc[ti]);
+                if let Some(peer) = writer_of[f] {
+                    if peer != ti && !queued[peer] {
+                        queued[peer] = true;
+                        worklist.push(peer);
+                    }
+                }
+            }
+        }
+    }
+
+    let mut blocked = Vec::new();
+    for (ti, program) in programs.iter().enumerate() {
+        if let Some(op) = cur(program, pc[ti]) {
+            blocked.push((traces[ti].root, op.fifo, op.is_write));
+        }
+    }
+    Some(NetOutcome {
+        completed: blocked.is_empty(),
+        blocked,
+    })
+}
+
+/// The task-level dataflow graph: one node per task, one edge
+/// producer→consumer per FIFO with endpoints in two (or one, for
+/// self-loops) task call-closures. Endpoints are *static* — presence of
+/// ops, attributed through calls — so uncountable tasks still participate.
+pub(crate) struct TaskGraph {
+    /// Edges as (producer task index, consumer task index, fifo).
+    pub edges: Vec<(usize, usize, FifoId)>,
+    pub num_tasks: usize,
+}
+
+pub(crate) fn task_graph(design: &Design, tasks: &[ModuleId]) -> TaskGraph {
+    let closures = omnisim_ir::validate::call_closures(design);
+    let endpoints = omnisim_ir::validate::fifo_endpoints(design);
+    // Map each module to the tasks whose closure contains it.
+    let mut owner: Vec<Vec<usize>> = vec![Vec::new(); design.modules.len()];
+    for (ti, &root) in tasks.iter().enumerate() {
+        for m in &closures[root.index()] {
+            owner[m.index()].push(ti);
+        }
+    }
+    let mut edges = Vec::new();
+    for (f_idx, (writers, readers)) in endpoints.iter().enumerate() {
+        for w in writers {
+            for r in readers {
+                for &wt in &owner[w.index()] {
+                    for &rt in &owner[r.index()] {
+                        edges.push((wt, rt, FifoId::from_index(f_idx)));
+                    }
+                }
+            }
+        }
+    }
+    TaskGraph {
+        edges,
+        num_tasks: tasks.len(),
+    }
+}
+
+/// Classifies every cyclic SCC of the task graph and appends one
+/// `deadlock-cycle` diagnostic per cycle.
+pub(crate) fn classify_cycles(
+    design: &Design,
+    tasks: &[ModuleId],
+    graph: &TaskGraph,
+    outcome: Option<&NetOutcome>,
+    diagnostics: &mut Vec<Diagnostic>,
+) -> Vec<CycleReport> {
+    let node_edges: Vec<(NodeId, NodeId)> = graph
+        .edges
+        .iter()
+        .map(|&(w, r, _)| (NodeId(w as u32), NodeId(r as u32)))
+        .collect();
+    let sccs = strongly_connected_components(graph.num_tasks, &node_edges);
+    let mut reports = Vec::new();
+    for component in &sccs {
+        if !component_is_cyclic(component, &node_edges) {
+            continue;
+        }
+        let members: Vec<usize> = component.iter().map(|n| n.index()).collect();
+        let in_scc = |t: usize| members.contains(&t);
+        let mut fifos: Vec<FifoId> = graph
+            .edges
+            .iter()
+            .filter(|&&(w, r, _)| in_scc(w) && in_scc(r))
+            .map(|&(_, _, f)| f)
+            .collect();
+        fifos.sort_unstable_by_key(|f| f.index());
+        fifos.dedup();
+        let task_roots: Vec<ModuleId> = members.iter().map(|&t| tasks[t]).collect();
+
+        let class = match outcome {
+            Some(outcome) if outcome.completed => CycleClass::ProvablySafe,
+            Some(outcome) => {
+                if outcome
+                    .blocked
+                    .iter()
+                    .any(|(root, _, _)| task_roots.contains(root))
+                {
+                    CycleClass::ProvablyDeadlocked
+                } else {
+                    CycleClass::ProvablySafe
+                }
+            }
+            None => CycleClass::DepthDependent,
+        };
+        let (severity, detail) = match class {
+            CycleClass::ProvablySafe => (
+                Severity::Info,
+                "the declared depths provably break the cycle",
+            ),
+            CycleClass::ProvablyDeadlocked => (
+                Severity::Error,
+                "the exact channel traces wedge at the declared depths",
+            ),
+            CycleClass::DepthDependent => (
+                Severity::Warning,
+                "completion depends on runtime data or non-blocking outcomes",
+            ),
+        };
+        let names: Vec<&str> = task_roots
+            .iter()
+            .map(|&m| design.module(m).name.as_str())
+            .collect();
+        diagnostics.push(Diagnostic {
+            rule: Rule::DeadlockCycle,
+            severity,
+            loc: Loc::module(task_roots[0]),
+            fifo: fifos.first().copied(),
+            array: None,
+            axi: None,
+            message: format!(
+                "channel cycle through tasks [{}] is {class}: {detail}",
+                names.join(", ")
+            ),
+        });
+        reports.push(CycleReport {
+            tasks: task_roots,
+            fifos,
+            class,
+        });
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{read_only_arrays, trace_task};
+    use omnisim_ir::builder::DesignBuilder;
+    use omnisim_ir::Expr;
+
+    fn traces_of(design: &Design) -> (Vec<ModuleId>, Vec<TaskTrace>) {
+        let tasks: Vec<ModuleId> = if design.module(design.top).is_dataflow() {
+            design.module(design.top).children().to_vec()
+        } else {
+            vec![design.top]
+        };
+        let ro = read_only_arrays(design);
+        let traces = tasks.iter().map(|&t| trace_task(design, t, &ro)).collect();
+        (tasks, traces)
+    }
+
+    fn producer_consumer(tokens_written: i64, tokens_read: i64, depth: usize) -> Design {
+        let mut d = DesignBuilder::new("pc");
+        let f = d.fifo("q", depth);
+        let p = d.function("p", |m| {
+            m.counted_loop("i", tokens_written, 1, |b| {
+                b.fifo_write(f, Expr::imm(1));
+            });
+        });
+        let c = d.function("c", |m| {
+            m.counted_loop("i", tokens_read, 1, |b| {
+                let _ = b.fifo_read(f);
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        d.build().expect("valid")
+    }
+
+    #[test]
+    fn balanced_network_completes() {
+        let design = producer_consumer(10, 10, 2);
+        let (_, traces) = traces_of(&design);
+        let outcome = simulate(&traces, &design.fifo_depths()).expect("countable");
+        assert!(outcome.completed);
+    }
+
+    #[test]
+    fn surplus_past_depth_wedges() {
+        // 10 writes, 5 reads, depth 4: writer sticks at the 10th write.
+        let design = producer_consumer(10, 5, 4);
+        let (_, traces) = traces_of(&design);
+        let outcome = simulate(&traces, &design.fifo_depths()).expect("countable");
+        assert!(!outcome.completed);
+        assert_eq!(outcome.blocked.len(), 1);
+        assert!(outcome.blocked[0].2, "blocked on a write");
+    }
+
+    #[test]
+    fn surplus_within_depth_completes() {
+        let design = producer_consumer(10, 5, 8);
+        let (_, traces) = traces_of(&design);
+        let outcome = simulate(&traces, &design.fifo_depths()).expect("countable");
+        assert!(outcome.completed);
+    }
+
+    #[test]
+    fn starved_reader_wedges() {
+        let design = producer_consumer(5, 10, 4);
+        let (_, traces) = traces_of(&design);
+        let outcome = simulate(&traces, &design.fifo_depths()).expect("countable");
+        assert!(!outcome.completed);
+        assert!(!outcome.blocked[0].2, "blocked on a read");
+    }
+
+    /// Request/response cycle: `a` writes req then reads resp; `b` reads
+    /// req then writes resp. Well-ordered, completes at depth 1.
+    fn request_response(a_reads_first: bool) -> Design {
+        let mut d = DesignBuilder::new("rr");
+        let req = d.fifo("req", 1);
+        let resp = d.fifo("resp", 1);
+        let a = d.function("a", |m| {
+            m.counted_loop("i", 4, 1, |b| {
+                if a_reads_first {
+                    let _ = b.fifo_read(resp);
+                    b.fifo_write(req, Expr::imm(1));
+                } else {
+                    b.fifo_write(req, Expr::imm(1));
+                    let _ = b.fifo_read(resp);
+                }
+            });
+        });
+        let bm = d.function("b", |m| {
+            m.counted_loop("i", 4, 1, |b| {
+                let _ = b.fifo_read(req);
+                b.fifo_write(resp, Expr::imm(2));
+            });
+        });
+        d.dataflow_top("top", [a, bm]);
+        d.build().expect("valid")
+    }
+
+    #[test]
+    fn request_response_cycle_completes_when_ordered() {
+        let design = request_response(false);
+        let (tasks, traces) = traces_of(&design);
+        let outcome = simulate(&traces, &design.fifo_depths()).expect("countable");
+        assert!(outcome.completed);
+        let graph = task_graph(&design, &tasks);
+        let mut diags = Vec::new();
+        let cycles = classify_cycles(&design, &tasks, &graph, Some(&outcome), &mut diags);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].class, CycleClass::ProvablySafe);
+        assert_eq!(cycles[0].fifos.len(), 2);
+    }
+
+    #[test]
+    fn request_response_cycle_deadlocks_when_both_read_first() {
+        let design = request_response(true);
+        let (tasks, traces) = traces_of(&design);
+        let outcome = simulate(&traces, &design.fifo_depths()).expect("countable");
+        assert!(!outcome.completed);
+        let graph = task_graph(&design, &tasks);
+        let mut diags = Vec::new();
+        let cycles = classify_cycles(&design, &tasks, &graph, Some(&outcome), &mut diags);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].class, CycleClass::ProvablyDeadlocked);
+        assert!(diags.iter().any(|d| d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn nb_traces_refuse_to_simulate() {
+        let mut d = DesignBuilder::new("nb");
+        let f = d.fifo("q", 1);
+        let p = d.function("p", |m| {
+            m.entry(|b| {
+                b.fifo_nb_write_ignored(f, Expr::imm(1));
+            });
+        });
+        let c = d.function("c", |m| {
+            m.entry(|b| {
+                let _ = b.fifo_nb_read(f);
+            });
+        });
+        d.dataflow_top("top", [p, c]);
+        let design = d.build().expect("valid");
+        let (_, traces) = traces_of(&design);
+        assert!(simulate(&traces, &design.fifo_depths()).is_none());
+    }
+}

@@ -1,0 +1,378 @@
+//! Structural lints: dead code, FIFO usage, elided checks, silent drops
+//! and statically out-of-bounds accesses.
+//!
+//! These rules were previously folded into ad-hoc checks around
+//! `ir::validate`; here they are proper diagnostics with locations and
+//! entities. Everything in this pass is purely syntactic — no abstract
+//! interpretation — so it runs on uncountable designs too.
+
+use crate::report::{Diagnostic, Rule, Severity};
+use omnisim_ir::{Design, Expr, FifoId, Loc, ModuleId, Op};
+
+/// Appends `dead-code`, `fifo-usage`, `elided-check`, `nb-silent-drop` and
+/// static `array-bounds` diagnostics.
+pub(crate) fn run_lints(design: &Design, tasks: &[ModuleId], diagnostics: &mut Vec<Diagnostic>) {
+    unreachable_blocks(design, diagnostics);
+    dead_modules(design, tasks, diagnostics);
+    fifo_usage(design, diagnostics);
+    op_lints(design, diagnostics);
+    unwritten_outputs(design, diagnostics);
+}
+
+/// Blocks not reachable from the entry block by terminator successors.
+fn unreachable_blocks(design: &Design, diagnostics: &mut Vec<Diagnostic>) {
+    for (m_idx, module) in design.modules.iter().enumerate() {
+        if module.blocks.is_empty() {
+            continue;
+        }
+        let mid = ModuleId::from_index(m_idx);
+        let mut seen = vec![false; module.blocks.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(b) = stack.pop() {
+            for succ in module.blocks[b].terminator.successors() {
+                let s = succ.index();
+                if s < seen.len() && !seen[s] {
+                    seen[s] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        for (b_idx, reachable) in seen.iter().enumerate() {
+            if !reachable {
+                diagnostics.push(Diagnostic {
+                    rule: Rule::DeadCode,
+                    severity: Severity::Warning,
+                    loc: Loc::block(mid, omnisim_ir::BlockId::from_index(b_idx)),
+                    fifo: None,
+                    array: None,
+                    axi: None,
+                    message: format!(
+                        "block bb{b_idx} of {} is unreachable from the entry block",
+                        module.name
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Modules never reached from the top: not the top itself, not a dataflow
+/// child, not in any task's call closure.
+fn dead_modules(design: &Design, tasks: &[ModuleId], diagnostics: &mut Vec<Diagnostic>) {
+    let closures = omnisim_ir::validate::call_closures(design);
+    let mut live = vec![false; design.modules.len()];
+    live[design.top.index()] = true;
+    for &t in tasks {
+        for m in &closures[t.index()] {
+            live[m.index()] = true;
+        }
+    }
+    for (m_idx, is_live) in live.iter().enumerate() {
+        if !is_live {
+            diagnostics.push(Diagnostic {
+                rule: Rule::DeadCode,
+                severity: Severity::Warning,
+                loc: Loc::module(ModuleId::from_index(m_idx)),
+                fifo: None,
+                array: None,
+                axi: None,
+                message: format!(
+                    "module {} is never instantiated or called",
+                    design.modules[m_idx].name
+                ),
+            });
+        }
+    }
+}
+
+/// FIFOs with a missing side: never accessed, written-never-read (tokens
+/// pile up), read-never-written (reader starves).
+fn fifo_usage(design: &Design, diagnostics: &mut Vec<Diagnostic>) {
+    let nf = design.fifos.len();
+    let mut written = vec![false; nf];
+    let mut read = vec![false; nf];
+    for module in &design.modules {
+        for block in &module.blocks {
+            for sop in &block.ops {
+                match &sop.op {
+                    Op::FifoWrite { fifo, .. } | Op::FifoNbWrite { fifo, .. } => {
+                        written[fifo.index()] = true
+                    }
+                    Op::FifoRead { fifo, .. } | Op::FifoNbRead { fifo, .. } => {
+                        read[fifo.index()] = true
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+    for f_idx in 0..nf {
+        let fifo = FifoId::from_index(f_idx);
+        let name = &design.fifo(fifo).name;
+        let (severity, message) = match (written[f_idx], read[f_idx]) {
+            (true, true) => continue,
+            (false, false) => (
+                Severity::Info,
+                format!("fifo {name} is declared but never accessed"),
+            ),
+            (true, false) => (
+                Severity::Warning,
+                format!("fifo {name} is written but never read; tokens accumulate"),
+            ),
+            (false, true) => (
+                Severity::Warning,
+                format!("fifo {name} is read but never written; readers starve"),
+            ),
+        };
+        diagnostics.push(Diagnostic {
+            rule: Rule::FifoUsage,
+            severity,
+            loc: Loc::NONE,
+            fifo: Some(fifo),
+            array: None,
+            axi: None,
+            message,
+        });
+    }
+}
+
+/// Per-op lints: elided status checks, silently dropped non-blocking
+/// writes, and constant out-of-bounds array indices.
+fn op_lints(design: &Design, diagnostics: &mut Vec<Diagnostic>) {
+    for (m_idx, module) in design.modules.iter().enumerate() {
+        let mid = ModuleId::from_index(m_idx);
+        for (b_idx, block) in module.blocks.iter().enumerate() {
+            let bid = omnisim_ir::BlockId::from_index(b_idx);
+            for (op_idx, sop) in block.ops.iter().enumerate() {
+                let at = Loc::op(mid, bid, op_idx);
+                match &sop.op {
+                    Op::FifoEmpty { fifo, dst: None } | Op::FifoFull { fifo, dst: None } => {
+                        diagnostics.push(Diagnostic {
+                            rule: Rule::ElidedCheck,
+                            severity: Severity::Info,
+                            loc: at,
+                            fifo: Some(*fifo),
+                            array: None,
+                            axi: None,
+                            message: format!(
+                                "status check on fifo {} discards its result",
+                                design.fifo(*fifo).name
+                            ),
+                        });
+                    }
+                    Op::FifoNbWrite {
+                        fifo,
+                        success: None,
+                        ..
+                    } => {
+                        diagnostics.push(Diagnostic {
+                            rule: Rule::NbSilentDrop,
+                            severity: Severity::Warning,
+                            loc: at,
+                            fifo: Some(*fifo),
+                            array: None,
+                            axi: None,
+                            message: format!(
+                                "non-blocking write to fifo {} ignores its success flag; \
+                                 the value is lost when the fifo is full",
+                                design.fifo(*fifo).name
+                            ),
+                        });
+                    }
+                    Op::ArrayLoad { array, index, .. } | Op::ArrayStore { array, index, .. } => {
+                        if let Expr::Const(i) = index {
+                            let len = design.array(*array).init.len() as i64;
+                            if *i < 0 || *i >= len {
+                                diagnostics.push(Diagnostic {
+                                    rule: Rule::ArrayBounds,
+                                    severity: Severity::Error,
+                                    loc: at,
+                                    fifo: None,
+                                    array: Some(*array),
+                                    axi: None,
+                                    message: format!(
+                                        "constant index {i} is outside array {} (len {len})",
+                                        design.array(*array).name
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+/// Outputs that no `Op::Output` ever writes.
+fn unwritten_outputs(design: &Design, diagnostics: &mut Vec<Diagnostic>) {
+    let mut written = vec![false; design.outputs.len()];
+    for module in &design.modules {
+        for block in &module.blocks {
+            for sop in &block.ops {
+                if let Op::Output { output, .. } = &sop.op {
+                    written[output.index()] = true;
+                }
+            }
+        }
+    }
+    for (o_idx, is_written) in written.iter().enumerate() {
+        if !is_written {
+            diagnostics.push(Diagnostic {
+                rule: Rule::DeadCode,
+                severity: Severity::Info,
+                loc: Loc::NONE,
+                fifo: None,
+                array: None,
+                axi: None,
+                message: format!(
+                    "output {} is declared but never written",
+                    design.outputs[o_idx]
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_ir::builder::DesignBuilder;
+
+    fn lint(design: &Design) -> Vec<Diagnostic> {
+        let tasks: Vec<ModuleId> = if design.module(design.top).is_dataflow() {
+            design.module(design.top).children().to_vec()
+        } else {
+            vec![design.top]
+        };
+        let mut diags = Vec::new();
+        run_lints(design, &tasks, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn unaccessed_fifo_and_unwritten_output_are_reported() {
+        let mut d = DesignBuilder::new("lints");
+        let _unused = d.fifo("ghost", 2);
+        let _out = d.output("sum");
+        d.function_top("top", |m| {
+            m.entry(|b| {
+                let x = b.var("x");
+                b.assign(x, Expr::imm(1));
+            });
+        });
+        let design = d.build().expect("valid");
+        let diags = lint(&design);
+        assert!(diags
+            .iter()
+            .any(|x| x.rule == Rule::FifoUsage && x.severity == Severity::Info));
+        assert!(diags
+            .iter()
+            .any(|x| x.rule == Rule::DeadCode && x.message.contains("output")));
+    }
+
+    #[test]
+    fn written_never_read_fifo_warns() {
+        let mut d = DesignBuilder::new("wnr");
+        let f = d.fifo("q", 2);
+        d.function_top("top", |m| {
+            m.entry(|b| {
+                b.fifo_write(f, Expr::imm(1));
+            });
+        });
+        let design = d.build().expect("valid");
+        let diags = lint(&design);
+        assert!(diags.iter().any(|x| x.rule == Rule::FifoUsage
+            && x.severity == Severity::Warning
+            && x.message.contains("never read")));
+    }
+
+    #[test]
+    fn nb_write_without_success_flag_warns_with_op_loc() {
+        let mut d = DesignBuilder::new("nb");
+        let f = d.fifo("q", 1);
+        d.function_top("top", |m| {
+            m.entry(|b| {
+                let _ = b.fifo_read(f); // keep the read side alive
+                b.fifo_nb_write_ignored(f, Expr::imm(7));
+            });
+        });
+        let design = d.build().expect("valid");
+        let diags = lint(&design);
+        let drop = diags
+            .iter()
+            .find(|x| x.rule == Rule::NbSilentDrop)
+            .expect("nb-silent-drop fires");
+        assert_eq!(drop.severity, Severity::Warning);
+        assert!(drop.loc.op.is_some());
+    }
+
+    #[test]
+    fn checked_nb_write_does_not_warn() {
+        let mut d = DesignBuilder::new("nbok");
+        let f = d.fifo("q", 1);
+        d.function_top("top", |m| {
+            m.entry(|b| {
+                let _ = b.fifo_read(f);
+                let _ok = b.fifo_nb_write(f, Expr::imm(7));
+            });
+        });
+        let design = d.build().expect("valid");
+        let diags = lint(&design);
+        assert!(diags.iter().all(|x| x.rule != Rule::NbSilentDrop));
+    }
+
+    #[test]
+    fn constant_oob_index_is_an_error() {
+        let mut d = DesignBuilder::new("oob");
+        let a = d.zero_array("buf", 4);
+        d.function_top("top", |m| {
+            m.entry(|b| {
+                b.array_store(a, Expr::imm(9), Expr::imm(0));
+            });
+        });
+        let design = d.build().expect("valid");
+        let diags = lint(&design);
+        assert!(diags
+            .iter()
+            .any(|x| x.rule == Rule::ArrayBounds && x.severity == Severity::Error));
+    }
+
+    #[test]
+    fn in_bounds_constant_index_is_silent() {
+        let mut d = DesignBuilder::new("inb");
+        let a = d.zero_array("buf", 4);
+        d.function_top("top", |m| {
+            m.entry(|b| {
+                b.array_store(a, Expr::imm(3), Expr::imm(0));
+            });
+        });
+        let design = d.build().expect("valid");
+        let diags = lint(&design);
+        assert!(diags.iter().all(|x| x.rule != Rule::ArrayBounds));
+    }
+
+    #[test]
+    fn dead_module_is_reported() {
+        let mut d = DesignBuilder::new("deadmod");
+        let _orphan = d.function("orphan", |m| {
+            m.entry(|b| {
+                let x = b.var("x");
+                b.assign(x, Expr::imm(1));
+            });
+        });
+        d.function_top("top", |m| {
+            m.entry(|b| {
+                let y = b.var("y");
+                b.assign(y, Expr::imm(2));
+            });
+        });
+        let design = d.build().expect("valid");
+        let diags = lint(&design);
+        assert!(diags
+            .iter()
+            .any(|x| x.rule == Rule::DeadCode && x.message.contains("orphan")));
+    }
+}

@@ -1,0 +1,375 @@
+//! Shared-resource race detection.
+//!
+//! Dataflow tasks run concurrently; the engines give no ordering guarantee
+//! between them except through FIFO tokens. Two tasks touching the same
+//! array — at least one storing — therefore read/write in an unspecified
+//! order, and two tasks driving the same AXI port violate the engines'
+//! private-port assumption outright (see ROADMAP "shared-resource
+//! realism").
+//!
+//! A FIFO token *is* an ordering edge, though: the first value task A
+//! writes into a FIFO is the first value task B reads out of it, so every
+//! access A makes before its first write happens-before every access B
+//! makes after its first read. When both traces are exact and that
+//! happens-before relation covers all conflicting accesses, the pair is
+//! ordered and no diagnostic fires.
+
+use crate::report::{Diagnostic, Rule, Severity};
+use crate::trace::{Event, Segment, TaskTrace};
+use omnisim_ir::{ArrayId, Design, Loc, ModuleId, Op};
+
+/// Appends `shared-array` and `shared-axi` diagnostics.
+pub(crate) fn detect_races(
+    design: &Design,
+    tasks: &[ModuleId],
+    traces: &[TaskTrace],
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let closures = omnisim_ir::validate::call_closures(design);
+
+    // Static per-task access sets (through calls): loads, stores, AXI use.
+    let na = design.arrays.len();
+    let np = design.axi_ports.len();
+    let mut loads = vec![vec![false; na]; tasks.len()];
+    let mut stores = vec![vec![false; na]; tasks.len()];
+    let mut axi = vec![vec![false; np]; tasks.len()];
+    for (ti, &root) in tasks.iter().enumerate() {
+        if traces[ti].countable {
+            // Exact traces know which accesses actually execute.
+            loads[ti].copy_from_slice(&traces[ti].loads);
+            stores[ti].copy_from_slice(&traces[ti].stores);
+            axi[ti].copy_from_slice(&traces[ti].axi_used);
+            continue;
+        }
+        for m in &closures[root.index()] {
+            for block in &design.module(*m).blocks {
+                for sop in &block.ops {
+                    match &sop.op {
+                        Op::ArrayLoad { array, .. } => loads[ti][array.index()] = true,
+                        Op::ArrayStore { array, .. } => stores[ti][array.index()] = true,
+                        Op::AxiReadReq { bus, .. }
+                        | Op::AxiRead { bus, .. }
+                        | Op::AxiWriteReq { bus, .. }
+                        | Op::AxiWrite { bus, .. }
+                        | Op::AxiWriteResp { bus } => axi[ti][bus.index()] = true,
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    for a_idx in 0..na {
+        let array = ArrayId::from_index(a_idx);
+        let touching: Vec<usize> = (0..tasks.len())
+            .filter(|&ti| loads[ti][a_idx] || stores[ti][a_idx])
+            .collect();
+        for (i, &t1) in touching.iter().enumerate() {
+            for &t2 in &touching[i + 1..] {
+                let conflicting = stores[t1][a_idx] || stores[t2][a_idx];
+                if !conflicting {
+                    continue;
+                }
+                if fifo_ordered(traces, t1, t2, array) || fifo_ordered(traces, t2, t1, array) {
+                    continue;
+                }
+                diagnostics.push(Diagnostic {
+                    rule: Rule::SharedArray,
+                    severity: Severity::Warning,
+                    loc: Loc::module(tasks[t1]),
+                    fifo: None,
+                    array: Some(array),
+                    axi: None,
+                    message: format!(
+                        "tasks {} and {} access array {} concurrently (at least one stores) with no fifo ordering between the accesses",
+                        design.module(tasks[t1]).name,
+                        design.module(tasks[t2]).name,
+                        design.array(array).name,
+                    ),
+                });
+            }
+        }
+    }
+
+    // `p_idx` indexes the inner dimension of `axi`, not a single slice.
+    #[allow(clippy::needless_range_loop)]
+    for p_idx in 0..np {
+        let drivers: Vec<usize> = (0..tasks.len()).filter(|&ti| axi[ti][p_idx]).collect();
+        if drivers.len() >= 2 {
+            let names: Vec<&str> = drivers
+                .iter()
+                .map(|&ti| design.module(tasks[ti]).name.as_str())
+                .collect();
+            diagnostics.push(Diagnostic {
+                rule: Rule::SharedAxi,
+                severity: Severity::Error,
+                loc: Loc::module(tasks[drivers[0]]),
+                fifo: None,
+                array: None,
+                axi: Some(omnisim_ir::AxiId::from_index(p_idx)),
+                message: format!(
+                    "axi port {} is driven by several tasks [{}]; ports are private to one task",
+                    design.axi_port(omnisim_ir::AxiId::from_index(p_idx)).name,
+                    names.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+/// True when every access of `first` to `array` provably happens before
+/// every access of `second`: both traces are exact and some FIFO carries a
+/// token from `first` (written after all its accesses... precisely: all of
+/// `first`'s accesses precede its first write to the FIFO) to `second`
+/// (all of whose accesses follow its first read from it).
+fn fifo_ordered(traces: &[TaskTrace], first: usize, second: usize, array: ArrayId) -> bool {
+    let a = &traces[first];
+    let b = &traces[second];
+    if !a.countable || !b.countable {
+        return false;
+    }
+    let nf = a.reads.len();
+    for f in 0..nf {
+        // Only blocking tokens order reliably; non-blocking ops may drop.
+        if a.writes[f] == 0 || b.reads[f] == 0 || a.nb_writes[f] > 0 || b.nb_reads[f] > 0 {
+            continue;
+        }
+        let first_write = first_pos(a, |e| matches!(e, Event::FifoWrite(x) if x.index() == f));
+        let first_read = first_pos(b, |e| matches!(e, Event::FifoRead(x) if x.index() == f));
+        let (Some(w), Some(r)) = (first_write, first_read) else {
+            continue;
+        };
+        if all_accesses_before(a, array, w) && all_accesses_after(b, array, r) {
+            return true;
+        }
+    }
+    false
+}
+
+fn touches(e: &Event, array: ArrayId) -> bool {
+    matches!(e, Event::ArrayLoad(a) | Event::ArrayStore(a) if *a == array)
+}
+
+/// Position of the dynamically first matching event as (segment index,
+/// offset within the segment body). Segments and bodies are in program
+/// order, so the first textual match in a repeat is its iteration-0
+/// instance — the dynamically first one.
+fn first_pos(t: &TaskTrace, pred: impl Fn(&Event) -> bool) -> Option<(usize, usize)> {
+    for (s, seg) in t.segments.iter().enumerate() {
+        match seg {
+            Segment::Once(e) => {
+                if pred(e) {
+                    return Some((s, 0));
+                }
+            }
+            Segment::Repeat { body, count } => {
+                if *count == 0 {
+                    continue;
+                }
+                if let Some(p) = body.iter().position(&pred) {
+                    return Some((s, p));
+                }
+            }
+        }
+    }
+    None
+}
+
+/// True when every access to `array` happens strictly before the first
+/// dynamic instance of the event at `w`. An access inside the same repeat
+/// segment as `w` only qualifies when the repeat runs once: at any later
+/// iteration the access instance follows `w`'s iteration-0 instance.
+fn all_accesses_before(t: &TaskTrace, array: ArrayId, w: (usize, usize)) -> bool {
+    for (s, seg) in t.segments.iter().enumerate() {
+        match seg {
+            Segment::Once(e) => {
+                if touches(e, array) && s >= w.0 {
+                    return false;
+                }
+            }
+            Segment::Repeat { body, count } => {
+                if *count == 0 {
+                    continue;
+                }
+                for (p, e) in body.iter().enumerate() {
+                    if !touches(e, array) {
+                        continue;
+                    }
+                    if s > w.0 || (s == w.0 && !(*count == 1 && p < w.1)) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+/// True when every access to `array` happens strictly after the first
+/// dynamic instance of the event at `r`. Inside the same repeat segment a
+/// later offset suffices for any count: the iteration-0 access already
+/// follows the iteration-0 instance of `r`, and later iterations only move
+/// further past it.
+fn all_accesses_after(t: &TaskTrace, array: ArrayId, r: (usize, usize)) -> bool {
+    for (s, seg) in t.segments.iter().enumerate() {
+        match seg {
+            Segment::Once(e) => {
+                if touches(e, array) && s <= r.0 {
+                    return false;
+                }
+            }
+            Segment::Repeat { body, count } => {
+                if *count == 0 {
+                    continue;
+                }
+                for (p, e) in body.iter().enumerate() {
+                    if !touches(e, array) {
+                        continue;
+                    }
+                    if s < r.0 || (s == r.0 && p <= r.1) {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{read_only_arrays, trace_task};
+    use omnisim_ir::builder::DesignBuilder;
+    use omnisim_ir::Expr;
+
+    fn race_diags(design: &Design) -> Vec<Diagnostic> {
+        let tasks: Vec<ModuleId> = if design.module(design.top).is_dataflow() {
+            design.module(design.top).children().to_vec()
+        } else {
+            vec![design.top]
+        };
+        let ro = read_only_arrays(design);
+        let traces: Vec<_> = tasks.iter().map(|&t| trace_task(design, t, &ro)).collect();
+        let mut diags = Vec::new();
+        detect_races(design, &tasks, &traces, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn unsynchronized_shared_store_fires() {
+        let mut d = DesignBuilder::new("race");
+        let shared = d.zero_array("buf", 8);
+        let f = d.fifo("q", 2);
+        let w = d.function("w", |m| {
+            m.counted_loop("i", 4, 1, |b| {
+                let i = b.var_expr("i");
+                b.array_store(shared, i, Expr::imm(1));
+                b.fifo_write(f, Expr::imm(0));
+            });
+        });
+        let r = d.function("r", |m| {
+            m.counted_loop("i", 4, 1, |b| {
+                let _ = b.fifo_read(f);
+                let i = b.var_expr("i");
+                let _ = b.array_load(shared, i);
+            });
+        });
+        d.dataflow_top("top", [w, r]);
+        let design = d.build().expect("valid");
+        let diags = race_diags(&design);
+        // Writer stores interleave with reader loads: no single-token
+        // ordering covers all accesses.
+        assert!(diags.iter().any(|d| d.rule == Rule::SharedArray));
+    }
+
+    #[test]
+    fn fifo_ordered_handoff_is_suppressed() {
+        // Writer fills the array, then signals; reader waits, then reads.
+        let mut d = DesignBuilder::new("sync");
+        let shared = d.zero_array("buf", 8);
+        let done = d.fifo("done", 1);
+        let w = d.function("w", |m| {
+            m.counted_loop("i", 8, 1, |b| {
+                let i = b.var_expr("i");
+                b.array_store(shared, i, Expr::imm(1));
+            });
+            m.exit(|b| {
+                b.fifo_write(done, Expr::imm(1));
+            });
+        });
+        let r = d.function("r", |m| {
+            m.entry(|b| {
+                let _ = b.fifo_read(done);
+            });
+            m.counted_loop("i", 8, 1, |b| {
+                let i = b.var_expr("i");
+                let _ = b.array_load(shared, i);
+            });
+        });
+        d.dataflow_top("top", [w, r]);
+        let design = d.build().expect("valid");
+        let diags = race_diags(&design);
+        assert!(
+            diags.iter().all(|d| d.rule != Rule::SharedArray),
+            "handoff through a fifo token is ordered: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn read_only_sharing_is_fine() {
+        let mut d = DesignBuilder::new("ro");
+        let table = d.array("lut", vec![1, 2, 3, 4]);
+        let f1 = d.fifo("a", 4);
+        let f2 = d.fifo("b", 4);
+        let t1 = d.function("t1", |m| {
+            m.counted_loop("i", 4, 1, |b| {
+                let i = b.var_expr("i");
+                let v = b.array_load(table, i);
+                b.fifo_write(f1, Expr::var(v));
+            });
+        });
+        let t2 = d.function("t2", |m| {
+            m.counted_loop("i", 4, 1, |b| {
+                let i = b.var_expr("i");
+                let v = b.array_load(table, i);
+                b.fifo_write(f2, Expr::var(v));
+            });
+        });
+        let c = d.function("c", |m| {
+            m.counted_loop("i", 4, 1, |b| {
+                let _ = b.fifo_read(f1);
+                let _ = b.fifo_read(f2);
+            });
+        });
+        d.dataflow_top("top", [t1, t2, c]);
+        let design = d.build().expect("valid");
+        let diags = race_diags(&design);
+        assert!(diags.iter().all(|d| d.rule != Rule::SharedArray));
+    }
+
+    #[test]
+    fn shared_axi_port_is_an_error() {
+        let mut d = DesignBuilder::new("axi2");
+        let mem = d.zero_array("m", 16);
+        let bus = d.axi_port("p0", mem, 4);
+        let a = d.function("a", |m| {
+            m.entry(|b| {
+                b.axi_read_req(bus, Expr::imm(0), Expr::imm(1));
+                let _ = b.axi_read(bus);
+            });
+        });
+        let bm = d.function("b", |m| {
+            m.entry(|b| {
+                b.axi_read_req(bus, Expr::imm(4), Expr::imm(1));
+                let _ = b.axi_read(bus);
+            });
+        });
+        d.dataflow_top("top", [a, bm]);
+        let design = d.build().expect("valid");
+        let diags = race_diags(&design);
+        assert!(diags
+            .iter()
+            .any(|d| d.rule == Rule::SharedAxi && d.severity == Severity::Error));
+    }
+}

@@ -1,0 +1,293 @@
+//! Typed analysis results: diagnostics, rules, severities and the report.
+
+use omnisim_ir::{ArrayId, AxiId, FifoId, Loc, ModuleId};
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// * `Error` — the design will certainly misbehave if the flagged code runs
+///   (deadlock, out-of-bounds access, protocol violation).
+/// * `Warning` — the construct is unordered or lossy and very likely a bug
+///   (shared mutable state without synchronization, silently dropped
+///   tokens), but a run may still complete.
+/// * `Info` — benign but worth knowing (dead code, leftover tokens,
+///   elided status checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Benign observation.
+    Info,
+    /// Likely bug; runs may still complete.
+    Warning,
+    /// Certain misbehaviour if the flagged code executes.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// The analysis rule a diagnostic was produced by. Stable kebab-case names
+/// ([`Rule::name`]) are the public identifiers used in reports and docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Rule {
+    /// A cyclic component of the task/FIFO graph, classified by risk.
+    DeadlockCycle,
+    /// The whole-design deadlock certificate (a task provably blocks).
+    Deadlock,
+    /// A FIFO whose static depth lower bound exceeds its declared depth.
+    FifoDepthBound,
+    /// Exact token counts on a FIFO disagree between producer and consumer.
+    TokenImbalance,
+    /// Two tasks touch the same array, at least one writing, with no
+    /// FIFO-ordering edge between the accesses.
+    SharedArray,
+    /// Two tasks drive the same AXI port (ports are private to one task).
+    SharedAxi,
+    /// Unreachable block, uncalled module or never-written output.
+    DeadCode,
+    /// A FIFO that is never read, never written, or never accessed at all.
+    FifoUsage,
+    /// A FIFO status check whose result is discarded (`dst: None`).
+    ElidedCheck,
+    /// A non-blocking FIFO write whose success flag is discarded: failed
+    /// pushes drop the value silently.
+    NbSilentDrop,
+    /// A provably out-of-bounds array access.
+    ArrayBounds,
+    /// An AXI burst protocol violation: beat/request mismatch or a burst
+    /// window outside the backing array.
+    AxiProtocol,
+}
+
+impl Rule {
+    /// All rules, in catalog order.
+    pub const ALL: [Rule; 12] = [
+        Rule::DeadlockCycle,
+        Rule::Deadlock,
+        Rule::FifoDepthBound,
+        Rule::TokenImbalance,
+        Rule::SharedArray,
+        Rule::SharedAxi,
+        Rule::DeadCode,
+        Rule::FifoUsage,
+        Rule::ElidedCheck,
+        Rule::NbSilentDrop,
+        Rule::ArrayBounds,
+        Rule::AxiProtocol,
+    ];
+
+    /// Stable kebab-case rule identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::DeadlockCycle => "deadlock-cycle",
+            Rule::Deadlock => "deadlock",
+            Rule::FifoDepthBound => "fifo-depth-bound",
+            Rule::TokenImbalance => "token-imbalance",
+            Rule::SharedArray => "shared-array",
+            Rule::SharedAxi => "shared-axi",
+            Rule::DeadCode => "dead-code",
+            Rule::FifoUsage => "fifo-usage",
+            Rule::ElidedCheck => "elided-check",
+            Rule::NbSilentDrop => "nb-silent-drop",
+            Rule::ArrayBounds => "array-bounds",
+            Rule::AxiProtocol => "axi-protocol",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// One typed finding: the rule that fired, how severe it is, where it
+/// points ([`Loc`] — the same location type `ir::validate` errors carry)
+/// and which entities are involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which rule produced this finding.
+    pub rule: Rule,
+    /// How serious it is.
+    pub severity: Severity,
+    /// Where the finding points (module / block / op index).
+    pub loc: Loc,
+    /// FIFO involved, if any.
+    pub fifo: Option<FifoId>,
+    /// Array involved, if any.
+    pub array: Option<ArrayId>,
+    /// AXI port involved, if any.
+    pub axi: Option<AxiId>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.rule, self.loc, self.message
+        )
+    }
+}
+
+/// The design-wide deadlock verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlockVerdict {
+    /// Every task's channel trace was enumerated exactly, the abstract
+    /// network run drained every trace, and no access can fault: the design
+    /// provably completes under any fair scheduling (and in particular
+    /// under the `rtl` reference).
+    CertifiedFree,
+    /// Every task's channel trace was enumerated exactly and the abstract
+    /// network run wedged: the design provably never completes.
+    CertifiedDeadlock,
+    /// The analysis could not decide: some task's control flow depends on
+    /// runtime data, executes non-blocking accesses, exceeds the analysis
+    /// fuel, or touches memory the analysis cannot prove in-bounds.
+    Unknown,
+}
+
+impl fmt::Display for DeadlockVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeadlockVerdict::CertifiedFree => write!(f, "certified-free"),
+            DeadlockVerdict::CertifiedDeadlock => write!(f, "certified-deadlock"),
+            DeadlockVerdict::Unknown => write!(f, "unknown"),
+        }
+    }
+}
+
+/// Risk classification of one cyclic component of the task/FIFO graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CycleClass {
+    /// The declared FIFO depths provably break the cycle: the exact
+    /// network run completes.
+    ProvablySafe,
+    /// The exact network run wedges with a task of this cycle blocked.
+    ProvablyDeadlocked,
+    /// Completion depends on runtime data, non-blocking outcomes or depths
+    /// the analysis cannot enumerate.
+    DepthDependent,
+}
+
+impl fmt::Display for CycleClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CycleClass::ProvablySafe => write!(f, "provably-safe"),
+            CycleClass::ProvablyDeadlocked => write!(f, "provably-deadlocked"),
+            CycleClass::DepthDependent => write!(f, "depth-dependent"),
+        }
+    }
+}
+
+/// One cyclic strongly connected component of the task/FIFO dataflow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleReport {
+    /// Tasks participating in the cycle (root modules).
+    pub tasks: Vec<ModuleId>,
+    /// FIFOs whose edges stay inside the cycle.
+    pub fifos: Vec<FifoId>,
+    /// Risk classification.
+    pub class: CycleClass,
+}
+
+/// Static depth lower bound for one FIFO.
+///
+/// The bound is *necessary for completion*: any depth assignment under
+/// which the design completes satisfies `depth >= bound`. It therefore can
+/// never exceed a certified `min_depths` minimum — the soundness property
+/// the differential fuzzer checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepthBound {
+    /// The lower bound, in elements. At least 1 (zero-depth FIFOs are
+    /// rejected by validation).
+    pub bound: usize,
+    /// True when the bound was derived from exact token counts (every
+    /// endpoint's trace enumerated, no non-blocking accesses on the FIFO);
+    /// false when it is the generic floor of 1.
+    pub exact: bool,
+}
+
+/// Everything the static analyzer learned about a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisReport {
+    /// Whole-design deadlock verdict.
+    pub verdict: DeadlockVerdict,
+    /// Cyclic components of the task/FIFO graph, classified.
+    pub cycles: Vec<CycleReport>,
+    /// Per-FIFO static depth lower bounds, indexed by `FifoId`.
+    pub depth_bounds: Vec<DepthBound>,
+    /// All findings, in rule-catalog order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of concurrent tasks analyzed.
+    pub tasks: usize,
+    /// How many of them had an exactly enumerable channel trace.
+    pub countable_tasks: usize,
+}
+
+impl AnalysisReport {
+    /// Number of diagnostics at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Diagnostics produced by `rule`.
+    pub fn by_rule(&self, rule: Rule) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(move |d| d.rule == rule)
+    }
+
+    /// True if no diagnostic reaches `Severity::Error`.
+    pub fn is_clean(&self) -> bool {
+        self.count(Severity::Error) == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_names_are_kebab_case_and_unique() {
+        let mut names: Vec<_> = Rule::ALL.iter().map(|r| r.name()).collect();
+        for n in &names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Rule::ALL.len());
+    }
+
+    #[test]
+    fn severity_orders_by_seriousness() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn diagnostic_display_is_greppable() {
+        let d = Diagnostic {
+            rule: Rule::FifoUsage,
+            severity: Severity::Warning,
+            loc: Loc::module(ModuleId(2)),
+            fifo: Some(FifoId(1)),
+            array: None,
+            axi: None,
+            message: "fifo f1 is written but never read".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("warning"));
+        assert!(s.contains("fifo-usage"));
+        assert!(s.contains("m2"));
+    }
+}

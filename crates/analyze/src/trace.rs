@@ -1,0 +1,1326 @@
+//! Countable-trace abstract interpretation.
+//!
+//! Functional execution of a task is *sequential*: within one thread,
+//! channel operations take effect in program order regardless of how the
+//! static schedule overlaps their timing (pipelining moves commit cycles,
+//! not the order tokens enter and leave a FIFO from this thread's point of
+//! view). So if every branch a task takes can be decided from constants —
+//! loop bounds, induction variables, values loaded from arrays nothing ever
+//! stores to — the task's entire channel-op sequence can be enumerated
+//! exactly without simulating time at all.
+//!
+//! The interpreter walks a task's CFG from the entry block with an
+//! environment mapping each variable to `Known(i64)` or `Unknown`,
+//! mirroring `Expr::eval` (an expression over fully-known variables
+//! evaluates to exactly what the simulators compute; anything touching an
+//! unknown degrades to `Unknown`). Values read from FIFOs, AXI beats and
+//! stored-to arrays are `Unknown`; a branch on `Unknown`, a fuel overrun or
+//! an unbounded loop makes the task *uncountable* and every downstream pass
+//! degrades soundly (verdicts become `Unknown`, bounds fall back to the
+//! floor).
+
+use crate::report::{Diagnostic, Rule, Severity};
+use omnisim_ir::{
+    ArrayId, AxiId, BinOp, BlockId, Design, Expr, FifoId, Loc, ModuleId, Op, Terminator, UnOp,
+    VarId,
+};
+use std::collections::HashMap;
+
+/// Abstract-op budget per task. Each executed op and block transition costs
+/// one unit; exceeding the budget makes the task uncountable instead of
+/// hanging the analyzer on huge or unbounded loops.
+pub(crate) const TRACE_FUEL: u64 = 2_000_000;
+
+/// Cap on *stored* channel/array events per task (a `Repeat` segment
+/// stores its body once however many times it repeats), so a tight loop
+/// cannot balloon the trace buffer.
+pub(crate) const MAX_EVENTS: usize = 1_000_000;
+
+/// Largest iteration count the loop summarizer will certify in one
+/// segment. Guards the closed-form exit solver against absurd trip counts
+/// whose downstream arithmetic would be meaningless anyway.
+const MAX_SUMMARY_ITERS: i128 = 1 << 62;
+
+/// One channel-visible event of a task's exact program-order trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Event {
+    /// Blocking FIFO read.
+    FifoRead(FifoId),
+    /// Blocking FIFO write.
+    FifoWrite(FifoId),
+    /// Executed non-blocking FIFO read.
+    FifoNbRead(FifoId),
+    /// Executed non-blocking FIFO write.
+    FifoNbWrite(FifoId),
+    /// Array load.
+    ArrayLoad(ArrayId),
+    /// Array store.
+    ArrayStore(ArrayId),
+}
+
+/// A run of a task's program-order event stream. Loop summarization
+/// compresses a counted self-loop whose body is affine into one `Repeat`
+/// segment, so stored trace size is bounded by program size while the
+/// *virtual* trace it denotes scales with trip counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Segment {
+    /// A single event.
+    Once(Event),
+    /// `body` repeated `count` times back to back.
+    Repeat {
+        /// One iteration's events in program order.
+        body: Vec<Event>,
+        /// How many times the body executes.
+        count: u64,
+    },
+}
+
+/// The result of abstractly interpreting one task.
+#[derive(Debug, Clone)]
+pub(crate) struct TaskTrace {
+    /// Root module of the task.
+    pub root: ModuleId,
+    /// True when the full trace was enumerated exactly.
+    pub countable: bool,
+    /// Where the interpreter gave up (uncountable tasks only).
+    pub gave_up_at: Option<Loc>,
+    /// Program-order event segments. Exact only when `countable`.
+    pub segments: Vec<Segment>,
+    /// Executed blocking + non-blocking reads per FIFO.
+    pub reads: Vec<u64>,
+    /// Executed blocking + non-blocking writes per FIFO.
+    pub writes: Vec<u64>,
+    /// Executed non-blocking reads per FIFO.
+    pub nb_reads: Vec<u64>,
+    /// Executed non-blocking writes per FIFO.
+    pub nb_writes: Vec<u64>,
+    /// AXI ports this task issued any transaction on.
+    pub axi_used: Vec<bool>,
+    /// Arrays this task loaded from.
+    pub loads: Vec<bool>,
+    /// Arrays this task stored to.
+    pub stores: Vec<bool>,
+    /// True when every executed array index and AXI burst window was a
+    /// known constant inside bounds and every AXI beat matched an
+    /// outstanding request — the no-fault half of a completion certificate.
+    pub const_safe: bool,
+    /// Faults and protocol violations found while interpreting (exact:
+    /// these executions really happen if the design runs).
+    pub violations: Vec<Diagnostic>,
+}
+
+impl TaskTrace {
+    fn new(design: &Design, root: ModuleId) -> Self {
+        TaskTrace {
+            root,
+            countable: true,
+            gave_up_at: None,
+            segments: Vec::new(),
+            reads: vec![0; design.fifos.len()],
+            writes: vec![0; design.fifos.len()],
+            nb_reads: vec![0; design.fifos.len()],
+            nb_writes: vec![0; design.fifos.len()],
+            axi_used: vec![false; design.axi_ports.len()],
+            loads: vec![false; design.arrays.len()],
+            stores: vec![false; design.arrays.len()],
+            const_safe: true,
+            violations: Vec::new(),
+        }
+    }
+
+    /// True if the trace executed any non-blocking FIFO access at all.
+    pub fn executed_nb(&self) -> bool {
+        self.nb_reads.iter().any(|&n| n > 0) || self.nb_writes.iter().any(|&n| n > 0)
+    }
+}
+
+/// An abstract value: a compile-time constant or anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbsVal {
+    Known(i64),
+    Unknown,
+}
+
+/// An affine abstract value over the iteration counter `t` of the loop
+/// being summarized: `base + stride * t` in exact (non-wrapping) integers.
+/// Coefficients outside the i64 range degrade to `Unknown` at construction
+/// so that wrapping concrete arithmetic can never diverge from the model
+/// at a point where the model's value is consulted (concrete wrapping
+/// `+`/`-`/`*` is arithmetic mod 2^64, so whenever the exact value fits in
+/// i64 the wrapped value equals it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Aff {
+    Lin { base: i128, stride: i128 },
+    Unknown,
+}
+
+impl Aff {
+    fn known(v: i64) -> Aff {
+        Aff::Lin {
+            base: v as i128,
+            stride: 0,
+        }
+    }
+
+    fn lin(base: i128, stride: i128) -> Aff {
+        let fits = |v: i128| i64::try_from(v).is_ok();
+        if fits(base) && fits(stride) {
+            Aff::Lin { base, stride }
+        } else {
+            Aff::Unknown
+        }
+    }
+
+    /// Concrete value at iteration `t` when it fits in i64.
+    fn at(self, t: u64) -> AbsVal {
+        match self {
+            Aff::Lin { base, stride } => {
+                let v = base + stride * t as i128;
+                i64::try_from(v)
+                    .map(AbsVal::Known)
+                    .unwrap_or(AbsVal::Unknown)
+            }
+            Aff::Unknown => AbsVal::Unknown,
+        }
+    }
+
+    /// True when the value fits in i64 at both ends of `t in [0, last]` —
+    /// affine values take their extremes at the endpoints.
+    fn fits_through(self, last: u64) -> bool {
+        match self {
+            Aff::Lin { base, stride } => {
+                i64::try_from(base).is_ok() && i64::try_from(base + stride * last as i128).is_ok()
+            }
+            Aff::Unknown => false,
+        }
+    }
+
+    /// The known constant this value is for every `t`, if any.
+    fn constant(self) -> Option<i64> {
+        match self {
+            Aff::Lin { base, stride: 0 } => i64::try_from(base).ok(),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluates `expr` in the affine domain. Loop-invariant subtrees are
+/// evaluated concretely (exact wrapping semantics via [`abs_eval`]); on
+/// top of that only the ring operations `+`, `-`, unary `-` and `*` by an
+/// invariant factor preserve affinity — everything else over a varying
+/// value is `Unknown`.
+fn affine_eval(expr: &Expr, aff: &[Aff], known: &[AbsVal], scratch: &mut Vec<VarId>) -> Aff {
+    if let AbsVal::Known(v) = abs_eval(expr, known, scratch) {
+        return Aff::known(v);
+    }
+    match expr {
+        Expr::Const(c) => Aff::known(*c),
+        Expr::Var(v) => aff[v.index()],
+        Expr::Unary(UnOp::Neg, a) => match affine_eval(a, aff, known, scratch) {
+            Aff::Lin { base, stride } => Aff::lin(-base, -stride),
+            Aff::Unknown => Aff::Unknown,
+        },
+        Expr::Binary(op @ (BinOp::Add | BinOp::Sub), a, b) => {
+            let (av, bv) = (
+                affine_eval(a, aff, known, scratch),
+                affine_eval(b, aff, known, scratch),
+            );
+            match (av, bv) {
+                (
+                    Aff::Lin {
+                        base: b1,
+                        stride: s1,
+                    },
+                    Aff::Lin {
+                        base: b2,
+                        stride: s2,
+                    },
+                ) => {
+                    if matches!(op, BinOp::Add) {
+                        Aff::lin(b1 + b2, s1 + s2)
+                    } else {
+                        Aff::lin(b1 - b2, s1 - s2)
+                    }
+                }
+                _ => Aff::Unknown,
+            }
+        }
+        Expr::Binary(BinOp::Mul, a, b) => {
+            let (av, bv) = (
+                affine_eval(a, aff, known, scratch),
+                affine_eval(b, aff, known, scratch),
+            );
+            match (av, bv) {
+                (
+                    Aff::Lin {
+                        base: b1,
+                        stride: s1,
+                    },
+                    Aff::Lin {
+                        base: b2,
+                        stride: 0,
+                    },
+                ) => Aff::lin(b1 * b2, s1 * b2),
+                (
+                    Aff::Lin {
+                        base: b1,
+                        stride: 0,
+                    },
+                    Aff::Lin {
+                        base: b2,
+                        stride: s2,
+                    },
+                ) => Aff::lin(b1 * b2, b1 * s2),
+                _ => Aff::Unknown,
+            }
+        }
+        Expr::Select(c, a, b) => match affine_eval(c, aff, known, scratch).constant() {
+            Some(v) if v != 0 => affine_eval(a, aff, known, scratch),
+            Some(_) => affine_eval(b, aff, known, scratch),
+            None => Aff::Unknown,
+        },
+        _ => Aff::Unknown,
+    }
+}
+
+/// Comparison relations the exit solver understands.
+#[derive(Debug, Clone, Copy)]
+enum Rel {
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+}
+
+fn div_ceil(a: i128, b: i128) -> i128 {
+    let q = a / b;
+    if a % b != 0 && (a < 0) == (b < 0) {
+        q + 1
+    } else {
+        q
+    }
+}
+
+/// Smallest `t >= 0` with `truth(d0 + ds*t REL 0) == want`, in exact
+/// integer arithmetic; `None` when no such iteration exists.
+fn first_t(d0: i128, ds: i128, rel: Rel, want: bool) -> Option<i128> {
+    let truth = |v: i128| match rel {
+        Rel::Lt => v < 0,
+        Rel::Le => v <= 0,
+        Rel::Gt => v > 0,
+        Rel::Ge => v >= 0,
+        Rel::Eq => v == 0,
+        Rel::Ne => v != 0,
+    };
+    if ds == 0 {
+        return if truth(d0) == want { Some(0) } else { None };
+    }
+    match (rel, want) {
+        (Rel::Eq, true) | (Rel::Ne, false) => {
+            // d0 + ds*t == 0 at exactly one (possibly fractional) t.
+            if d0 % ds == 0 && -d0 / ds >= 0 {
+                Some(-d0 / ds)
+            } else {
+                None
+            }
+        }
+        (Rel::Eq, false) | (Rel::Ne, true) => {
+            // Nonzero everywhere except at most one t.
+            if d0 != 0 {
+                Some(0)
+            } else {
+                Some(1)
+            }
+        }
+        _ => {
+            // Every remaining case is "first t with d0 + ds*t <= C" or
+            // ">= C" for some constant C.
+            let (le, c): (bool, i128) = match (rel, want) {
+                (Rel::Lt, true) => (true, -1),
+                (Rel::Le, true) => (true, 0),
+                (Rel::Gt, true) => (false, 1),
+                (Rel::Ge, true) => (false, 0),
+                (Rel::Lt, false) => (false, 0),
+                (Rel::Le, false) => (false, 1),
+                (Rel::Gt, false) => (true, 0),
+                (Rel::Ge, false) => (true, -1),
+                _ => unreachable!("Eq/Ne handled above"),
+            };
+            if le {
+                if ds > 0 {
+                    if d0 <= c {
+                        Some(0)
+                    } else {
+                        None
+                    }
+                } else {
+                    Some(div_ceil(d0 - c, -ds).max(0))
+                }
+            } else if ds < 0 {
+                if d0 >= c {
+                    Some(0)
+                } else {
+                    None
+                }
+            } else {
+                Some(div_ceil(c - d0, ds).max(0))
+            }
+        }
+    }
+}
+
+/// One symbolic execution of a self-loop block body in the affine domain.
+struct SymPass {
+    /// Variable state after the body, as functions of the iteration `t`.
+    aff: Vec<Aff>,
+    /// The (iteration-independent) event sequence one body run emits.
+    events: Vec<Event>,
+    /// Deferred array bounds checks: (loc, index, array length, is_load).
+    checks: Vec<(Loc, Aff, i64, bool)>,
+}
+
+/// Why interpretation of a task stopped early.
+enum Stop {
+    /// Control depends on an unknown value, or fuel ran out, at this loc.
+    Uncountable(Loc),
+}
+
+/// Evaluates `expr` if every variable it references is `Known`, reusing the
+/// concrete `Expr::eval` so abstract and simulated semantics can never
+/// drift apart.
+fn abs_eval(expr: &Expr, env: &[AbsVal], scratch: &mut Vec<VarId>) -> AbsVal {
+    scratch.clear();
+    expr.collect_vars(scratch);
+    for v in scratch.iter() {
+        match env[v.index()] {
+            AbsVal::Known(_) => {}
+            AbsVal::Unknown => return AbsVal::Unknown,
+        }
+    }
+    let lookup = |v: VarId| match env[v.index()] {
+        AbsVal::Known(k) => k,
+        AbsVal::Unknown => unreachable!("checked above"),
+    };
+    AbsVal::Known(expr.eval(&lookup))
+}
+
+/// One in-flight AXI read burst: remaining beats, or `None` once poisoned
+/// by an unknown length.
+#[derive(Debug, Clone, Copy)]
+struct ReadBurst {
+    remaining: Option<u64>,
+}
+
+/// One in-flight AXI write burst.
+#[derive(Debug, Clone, Copy)]
+struct WriteBurst {
+    len: Option<u64>,
+    sent: u64,
+}
+
+struct Interp<'d> {
+    design: &'d Design,
+    /// Per array: true when no op anywhere in the design stores to it, so
+    /// loads with constant indices yield known init values.
+    read_only: &'d [bool],
+    fuel: u64,
+    trace: TaskTrace,
+    /// Per AXI port: queued read bursts with beats not yet consumed.
+    read_bursts: Vec<std::collections::VecDeque<ReadBurst>>,
+    /// Per AXI port: queued write bursts not yet acknowledged.
+    write_bursts: Vec<std::collections::VecDeque<WriteBurst>>,
+    /// Per AXI port: true once protocol tracking hit an unknown length.
+    axi_poisoned: Vec<bool>,
+    /// Events stored so far across all segments (bodies count once).
+    stored_events: usize,
+    scratch: Vec<VarId>,
+}
+
+impl<'d> Interp<'d> {
+    fn diag(&mut self, rule: Rule, severity: Severity, loc: Loc, message: String) {
+        // One diagnostic per (rule, loc): a faulting op inside a loop fires
+        // once, not once per iteration.
+        if self
+            .trace
+            .violations
+            .iter()
+            .any(|d| d.rule == rule && d.loc == loc)
+        {
+            return;
+        }
+        let (array, axi) = match rule {
+            Rule::ArrayBounds => (self.array_at(loc), None),
+            Rule::AxiProtocol => (None, self.axi_at(loc)),
+            _ => (None, None),
+        };
+        self.trace.violations.push(Diagnostic {
+            rule,
+            severity,
+            loc,
+            fifo: None,
+            array,
+            axi,
+            message,
+        });
+    }
+
+    fn array_at(&self, loc: Loc) -> Option<ArrayId> {
+        let op = self.op_at(loc)?;
+        match op {
+            Op::ArrayLoad { array, .. } | Op::ArrayStore { array, .. } => Some(*array),
+            _ => None,
+        }
+    }
+
+    fn axi_at(&self, loc: Loc) -> Option<AxiId> {
+        let op = self.op_at(loc)?;
+        match op {
+            Op::AxiReadReq { bus, .. }
+            | Op::AxiRead { bus, .. }
+            | Op::AxiWriteReq { bus, .. }
+            | Op::AxiWrite { bus, .. }
+            | Op::AxiWriteResp { bus } => Some(*bus),
+            _ => None,
+        }
+    }
+
+    fn op_at(&self, loc: Loc) -> Option<&'d Op> {
+        let m = self.design.module(loc.module?);
+        Some(&m.blocks[loc.block?.index()].ops[loc.op?].op)
+    }
+
+    fn spend(&mut self, loc: Loc) -> Result<(), Stop> {
+        if self.fuel == 0 {
+            return Err(Stop::Uncountable(loc));
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn record(&mut self, event: Event, loc: Loc) -> Result<(), Stop> {
+        if self.stored_events >= MAX_EVENTS {
+            return Err(Stop::Uncountable(loc));
+        }
+        self.stored_events += 1;
+        self.trace.segments.push(Segment::Once(event));
+        Ok(())
+    }
+
+    /// Runs `module` with the given argument values; returns the module's
+    /// return value.
+    fn run_module(&mut self, mid: ModuleId, args: &[AbsVal]) -> Result<AbsVal, Stop> {
+        let module = self.design.module(mid);
+        let mut env = vec![AbsVal::Known(0); module.num_vars as usize];
+        env[..args.len()].copy_from_slice(args);
+        let mut block = BlockId(0);
+        // Per self-loop block: entry env of the previous visit (the stride
+        // seed for summarization) and failed-attempt count.
+        let mut loop_hist: HashMap<u32, (Vec<AbsVal>, u32)> = HashMap::new();
+        loop {
+            let b = &module.blocks[block.index()];
+            if let Terminator::Branch {
+                if_true, if_false, ..
+            } = &b.terminator
+            {
+                if (*if_true == block) != (*if_false == block) {
+                    match loop_hist.get(&block.0) {
+                        Some((prev, attempts)) if *attempts < 4 => {
+                            let prev = prev.clone();
+                            let attempts = *attempts;
+                            if let Some((exit, final_env)) =
+                                self.try_summarize(mid, block, &env, &prev)
+                            {
+                                loop_hist.remove(&block.0);
+                                env = final_env;
+                                block = exit;
+                                continue;
+                            }
+                            loop_hist.insert(block.0, (env.clone(), attempts + 1));
+                        }
+                        Some(_) => {}
+                        None => {
+                            loop_hist.insert(block.0, (env.clone(), 0));
+                        }
+                    }
+                }
+            }
+            for (op_idx, sop) in b.ops.iter().enumerate() {
+                let loc = Loc::op(mid, block, op_idx);
+                self.spend(loc)?;
+                self.exec_op(mid, loc, &sop.op, &mut env)?;
+            }
+            let term_loc = Loc::block(mid, block);
+            self.spend(term_loc)?;
+            match &b.terminator {
+                Terminator::Jump(next) => block = *next,
+                Terminator::Branch {
+                    cond,
+                    if_true,
+                    if_false,
+                } => match abs_eval(cond, &env, &mut self.scratch) {
+                    AbsVal::Known(c) => block = if c != 0 { *if_true } else { *if_false },
+                    AbsVal::Unknown => return Err(Stop::Uncountable(term_loc)),
+                },
+                Terminator::Return(value) => {
+                    return Ok(match value {
+                        Some(expr) => abs_eval(expr, &env, &mut self.scratch),
+                        None => AbsVal::Unknown,
+                    });
+                }
+            }
+        }
+    }
+
+    fn exec_op(
+        &mut self,
+        mid: ModuleId,
+        loc: Loc,
+        op: &Op,
+        env: &mut [AbsVal],
+    ) -> Result<(), Stop> {
+        match op {
+            Op::Assign { dst, expr } => {
+                env[dst.index()] = abs_eval(expr, env, &mut self.scratch);
+            }
+            Op::ArrayLoad { dst, array, index } => {
+                self.trace.loads[array.index()] = true;
+                self.record(Event::ArrayLoad(*array), loc)?;
+                let len = self.design.array(*array).init.len() as i64;
+                match abs_eval(index, env, &mut self.scratch) {
+                    AbsVal::Known(i) if i >= 0 && i < len => {
+                        env[dst.index()] = if self.read_only[array.index()] {
+                            AbsVal::Known(self.design.array(*array).init[i as usize])
+                        } else {
+                            AbsVal::Unknown
+                        };
+                    }
+                    AbsVal::Known(i) => {
+                        self.trace.const_safe = false;
+                        self.diag(
+                            Rule::ArrayBounds,
+                            Severity::Error,
+                            loc,
+                            format!("load from index {i} of array with {len} elements"),
+                        );
+                        env[dst.index()] = AbsVal::Unknown;
+                    }
+                    AbsVal::Unknown => {
+                        self.trace.const_safe = false;
+                        env[dst.index()] = AbsVal::Unknown;
+                    }
+                }
+            }
+            Op::ArrayStore { array, index, .. } => {
+                self.trace.stores[array.index()] = true;
+                self.record(Event::ArrayStore(*array), loc)?;
+                let len = self.design.array(*array).init.len() as i64;
+                match abs_eval(index, env, &mut self.scratch) {
+                    AbsVal::Known(i) if i >= 0 && i < len => {}
+                    AbsVal::Known(i) => {
+                        self.trace.const_safe = false;
+                        self.diag(
+                            Rule::ArrayBounds,
+                            Severity::Error,
+                            loc,
+                            format!("store to index {i} of array with {len} elements"),
+                        );
+                    }
+                    AbsVal::Unknown => self.trace.const_safe = false,
+                }
+            }
+            Op::FifoWrite { fifo, .. } => {
+                self.trace.writes[fifo.index()] += 1;
+                self.record(Event::FifoWrite(*fifo), loc)?;
+            }
+            Op::FifoRead { fifo, dst } => {
+                self.trace.reads[fifo.index()] += 1;
+                self.record(Event::FifoRead(*fifo), loc)?;
+                env[dst.index()] = AbsVal::Unknown;
+            }
+            Op::FifoNbWrite { fifo, success, .. } => {
+                self.trace.writes[fifo.index()] += 1;
+                self.trace.nb_writes[fifo.index()] += 1;
+                self.record(Event::FifoNbWrite(*fifo), loc)?;
+                if let Some(s) = success {
+                    env[s.index()] = AbsVal::Unknown;
+                }
+            }
+            Op::FifoNbRead { fifo, dst, success } => {
+                self.trace.reads[fifo.index()] += 1;
+                self.trace.nb_reads[fifo.index()] += 1;
+                self.record(Event::FifoNbRead(*fifo), loc)?;
+                env[dst.index()] = AbsVal::Unknown;
+                if let Some(s) = success {
+                    env[s.index()] = AbsVal::Unknown;
+                }
+            }
+            Op::FifoEmpty { dst, .. } | Op::FifoFull { dst, .. } => {
+                if let Some(d) = dst {
+                    env[d.index()] = AbsVal::Unknown;
+                }
+            }
+            Op::AxiReadReq { bus, addr, len } => {
+                self.trace.axi_used[bus.index()] = true;
+                let burst = self.check_burst_window(*bus, addr, len, env, loc, "read");
+                self.read_bursts[bus.index()].push_back(ReadBurst { remaining: burst });
+            }
+            Op::AxiRead { bus, dst } => {
+                self.trace.axi_used[bus.index()] = true;
+                env[dst.index()] = AbsVal::Unknown;
+                if !self.axi_poisoned[bus.index()] {
+                    let q = &mut self.read_bursts[bus.index()];
+                    loop {
+                        match q.front_mut() {
+                            Some(b) => match &mut b.remaining {
+                                Some(0) => {
+                                    q.pop_front();
+                                }
+                                Some(r) => {
+                                    *r -= 1;
+                                    break;
+                                }
+                                None => {
+                                    // Unknown length: stop tracking this port.
+                                    self.axi_poisoned[bus.index()] = true;
+                                    break;
+                                }
+                            },
+                            None => {
+                                self.trace.const_safe = false;
+                                self.diag(
+                                    Rule::AxiProtocol,
+                                    Severity::Error,
+                                    loc,
+                                    "read beat consumed with no outstanding read burst".into(),
+                                );
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            Op::AxiWriteReq { bus, addr, len } => {
+                self.trace.axi_used[bus.index()] = true;
+                let burst = self.check_burst_window(*bus, addr, len, env, loc, "write");
+                self.write_bursts[bus.index()].push_back(WriteBurst {
+                    len: burst,
+                    sent: 0,
+                });
+            }
+            Op::AxiWrite { bus, .. } => {
+                self.trace.axi_used[bus.index()] = true;
+                if !self.axi_poisoned[bus.index()] {
+                    let q = &mut self.write_bursts[bus.index()];
+                    match q.front_mut() {
+                        Some(b) => match b.len {
+                            Some(len) if b.sent >= len => {
+                                self.trace.const_safe = false;
+                                self.diag(
+                                    Rule::AxiProtocol,
+                                    Severity::Error,
+                                    loc,
+                                    format!("write beat past the requested burst length {len}"),
+                                );
+                            }
+                            Some(_) => b.sent += 1,
+                            None => self.axi_poisoned[bus.index()] = true,
+                        },
+                        None => {
+                            self.trace.const_safe = false;
+                            self.diag(
+                                Rule::AxiProtocol,
+                                Severity::Error,
+                                loc,
+                                "write beat sent with no outstanding write burst".into(),
+                            );
+                        }
+                    }
+                }
+            }
+            Op::AxiWriteResp { bus } => {
+                self.trace.axi_used[bus.index()] = true;
+                if !self.axi_poisoned[bus.index()] {
+                    let front = self.write_bursts[bus.index()]
+                        .front()
+                        .map(|b| (b.len, b.sent));
+                    match front {
+                        Some((Some(len), sent)) if sent < len => {
+                            self.trace.const_safe = false;
+                            self.diag(
+                                Rule::AxiProtocol,
+                                Severity::Error,
+                                loc,
+                                format!("write response awaited after {sent} of {len} beats"),
+                            );
+                            self.write_bursts[bus.index()].pop_front();
+                        }
+                        Some((Some(_), _)) => {
+                            self.write_bursts[bus.index()].pop_front();
+                        }
+                        Some((None, _)) => self.axi_poisoned[bus.index()] = true,
+                        None => {
+                            self.trace.const_safe = false;
+                            self.diag(
+                                Rule::AxiProtocol,
+                                Severity::Error,
+                                loc,
+                                "write response awaited with no outstanding write burst".into(),
+                            );
+                        }
+                    }
+                }
+            }
+            Op::Call { callee, args, dst } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(abs_eval(a, env, &mut self.scratch));
+                }
+                // Recursion is rejected by validation, so native recursion
+                // here is bounded by the module count.
+                let ret = self.run_module(*callee, &vals)?;
+                if let Some(d) = dst {
+                    env[d.index()] = ret;
+                }
+            }
+            Op::Output { .. } => {}
+        }
+        let _ = mid;
+        Ok(())
+    }
+
+    /// Bounds-checks an AXI burst window against the port's backing array.
+    /// Returns the burst length when it is a known constant.
+    fn check_burst_window(
+        &mut self,
+        bus: AxiId,
+        addr: &Expr,
+        len: &Expr,
+        env: &[AbsVal],
+        loc: Loc,
+        kind: &str,
+    ) -> Option<u64> {
+        let backing = self.design.axi_port(bus).array;
+        let arr_len = self.design.array(backing).init.len() as i64;
+        let addr_v = abs_eval(addr, env, &mut self.scratch);
+        let len_v = abs_eval(len, env, &mut self.scratch);
+        match (addr_v, len_v) {
+            (AbsVal::Known(a), AbsVal::Known(l)) => {
+                if a < 0 || l < 0 || a.saturating_add(l) > arr_len {
+                    self.trace.const_safe = false;
+                    self.diag(
+                        Rule::AxiProtocol,
+                        Severity::Error,
+                        loc,
+                        format!(
+                            "{kind} burst [{a}, {a}+{l}) outside backing array of {arr_len} elements"
+                        ),
+                    );
+                }
+                Some(l.max(0) as u64)
+            }
+            _ => {
+                self.trace.const_safe = false;
+                None
+            }
+        }
+    }
+
+    /// Attempts to summarize the self-loop `block` — about to run again
+    /// with entry env `env`, having entered last time with `prev` — into
+    /// one `Repeat` segment covering every remaining iteration. Returns
+    /// the exit block and the exact post-loop env on success; `None` falls
+    /// back to concrete per-iteration execution.
+    ///
+    /// Soundness does not rest on the observed `prev -> env` deltas (they
+    /// only seed the strides): a symbolic pass over the straight-line body
+    /// must *prove* the env advances by exactly those strides each
+    /// iteration, demoting any variable that does not to `Unknown` and
+    /// retrying until the model is self-consistent. The remaining trip
+    /// count then comes from solving the branch condition in closed form,
+    /// and every materialized value (array indices, condition operands,
+    /// final env) is checked to stay in the i64 range across the full
+    /// iteration span so wrapping concrete arithmetic matches the exact
+    /// model wherever it is observed.
+    fn try_summarize(
+        &mut self,
+        mid: ModuleId,
+        block: BlockId,
+        env: &[AbsVal],
+        prev: &[AbsVal],
+    ) -> Option<(BlockId, Vec<AbsVal>)> {
+        let module = self.design.module(mid);
+        let b = &module.blocks[block.index()];
+        let Terminator::Branch {
+            cond,
+            if_true,
+            if_false,
+        } = &b.terminator
+        else {
+            return None;
+        };
+        let exit_block = if *if_true == block {
+            *if_false
+        } else {
+            *if_true
+        };
+        // A symbolic attempt costs fuel like one concrete iteration would,
+        // so repeated failed attempts cannot extend the fuel budget.
+        let cost = b.ops.len() as u64 + 1;
+        if self.fuel < cost {
+            return None;
+        }
+        self.fuel -= cost;
+
+        // Seed strides from the observed last iteration; verification
+        // below demotes anything the body does not actually advance so.
+        let mut seed: Vec<Aff> = env
+            .iter()
+            .zip(prev)
+            .map(|(cur, old)| match (*cur, *old) {
+                (AbsVal::Known(c), AbsVal::Known(p)) => Aff::lin(c as i128, c as i128 - p as i128),
+                (AbsVal::Known(c), AbsVal::Unknown) => Aff::known(c),
+                (AbsVal::Unknown, _) => Aff::Unknown,
+            })
+            .collect();
+
+        let mut pass;
+        let mut rounds = 0usize;
+        loop {
+            rounds += 1;
+            if rounds > seed.len() + 2 {
+                return None;
+            }
+            pass = self.affine_body_pass(mid, block, &seed)?;
+            let mut demoted = false;
+            for (v, s) in seed.iter_mut().enumerate() {
+                match (*s, pass.aff[v]) {
+                    (Aff::Unknown, _) => {}
+                    (
+                        Aff::Lin { base, stride },
+                        Aff::Lin {
+                            base: b2,
+                            stride: s2,
+                        },
+                    ) if b2 == base + stride && s2 == stride => {}
+                    _ => {
+                        *s = Aff::Unknown;
+                        demoted = true;
+                    }
+                }
+            }
+            if !demoted {
+                break;
+            }
+        }
+
+        // Solve the branch for the first iteration that leaves the loop.
+        let want_exit = *if_true != block;
+        // Constant fast-path feed: stride-0 entries only (see body pass).
+        let known: Vec<AbsVal> = pass
+            .aff
+            .iter()
+            .map(|a| a.constant().map(AbsVal::Known).unwrap_or(AbsVal::Unknown))
+            .collect();
+        let (d0, ds, rel, cond_affs) = match cond {
+            Expr::Binary(op, lhs, rhs)
+                if matches!(
+                    op,
+                    BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne
+                ) =>
+            {
+                let l = affine_eval(lhs, &pass.aff, &known, &mut self.scratch);
+                let r = affine_eval(rhs, &pass.aff, &known, &mut self.scratch);
+                let (
+                    Aff::Lin {
+                        base: lb,
+                        stride: ls,
+                    },
+                    Aff::Lin {
+                        base: rb,
+                        stride: rs,
+                    },
+                ) = (l, r)
+                else {
+                    return None;
+                };
+                let rel = match op {
+                    BinOp::Lt => Rel::Lt,
+                    BinOp::Le => Rel::Le,
+                    BinOp::Gt => Rel::Gt,
+                    BinOp::Ge => Rel::Ge,
+                    BinOp::Eq => Rel::Eq,
+                    _ => Rel::Ne,
+                };
+                (lb - rb, ls - rs, rel, vec![l, r])
+            }
+            _ => {
+                let c = affine_eval(cond, &pass.aff, &known, &mut self.scratch);
+                let Aff::Lin { base, stride } = c else {
+                    return None;
+                };
+                (base, stride, Rel::Ne, vec![c])
+            }
+        };
+        let k_exit = first_t(d0, ds, rel, want_exit)?;
+        if !(0..MAX_SUMMARY_ITERS).contains(&k_exit) {
+            return None;
+        }
+        let k_exit = k_exit as u64;
+        let count = k_exit + 1;
+        // The linear condition model must hold (wrap-free) through the
+        // final decision, else the closed-form trip count is unsound.
+        if cond_affs.iter().any(|a| !a.fits_through(k_exit)) {
+            return None;
+        }
+
+        // All-or-nothing count bookkeeping: overflow aborts before commit.
+        let mut reads = vec![0u64; self.design.fifos.len()];
+        let mut writes = vec![0u64; self.design.fifos.len()];
+        let mut nb_reads = vec![0u64; self.design.fifos.len()];
+        let mut nb_writes = vec![0u64; self.design.fifos.len()];
+        for e in &pass.events {
+            match e {
+                Event::FifoRead(f) => reads[f.index()] += 1,
+                Event::FifoWrite(f) => writes[f.index()] += 1,
+                Event::FifoNbRead(f) => {
+                    reads[f.index()] += 1;
+                    nb_reads[f.index()] += 1;
+                }
+                Event::FifoNbWrite(f) => {
+                    writes[f.index()] += 1;
+                    nb_writes[f.index()] += 1;
+                }
+                Event::ArrayLoad(_) | Event::ArrayStore(_) => {}
+            }
+        }
+        let mut totals = [
+            (&mut reads, &mut self.trace.reads),
+            (&mut writes, &mut self.trace.writes),
+            (&mut nb_reads, &mut self.trace.nb_reads),
+            (&mut nb_writes, &mut self.trace.nb_writes),
+        ];
+        for (per_iter, total) in &mut totals {
+            for f in 0..per_iter.len() {
+                per_iter[f] = per_iter[f]
+                    .checked_mul(count)
+                    .and_then(|n| n.checked_add(total[f]))?;
+            }
+        }
+        if !pass.events.is_empty() && self.stored_events + pass.events.len() > MAX_EVENTS {
+            return None;
+        }
+
+        // Commit.
+        for (per_iter, total) in totals {
+            total.copy_from_slice(per_iter);
+        }
+        for e in &pass.events {
+            match e {
+                Event::ArrayLoad(a) => self.trace.loads[a.index()] = true,
+                Event::ArrayStore(a) => self.trace.stores[a.index()] = true,
+                _ => {}
+            }
+        }
+        for &(loc, idx, len, is_load) in &pass.checks {
+            match idx {
+                Aff::Lin { base, stride } if idx.fits_through(count - 1) => {
+                    let last = base + stride * (count - 1) as i128;
+                    let (lo, hi) = (base.min(last), base.max(last));
+                    if lo < 0 || hi >= len as i128 {
+                        self.trace.const_safe = false;
+                        let verb = if is_load { "load from" } else { "store to" };
+                        self.diag(
+                            Rule::ArrayBounds,
+                            Severity::Error,
+                            loc,
+                            format!(
+                                "{verb} indices [{lo}, {hi}] of array with {len} elements \
+                                 across loop iterations"
+                            ),
+                        );
+                    }
+                }
+                _ => self.trace.const_safe = false,
+            }
+        }
+        if !pass.events.is_empty() {
+            self.stored_events += pass.events.len();
+            self.trace.segments.push(Segment::Repeat {
+                body: pass.events,
+                count,
+            });
+        }
+        let final_env: Vec<AbsVal> = pass.aff.iter().map(|a| a.at(k_exit)).collect();
+        Some((exit_block, final_env))
+    }
+
+    /// Runs the straight-line body of `block` once in the affine domain.
+    /// `None` means an op the summarizer cannot model (AXI, calls) was hit
+    /// and the loop must run concretely.
+    fn affine_body_pass(&mut self, mid: ModuleId, block: BlockId, seed: &[Aff]) -> Option<SymPass> {
+        let module = self.design.module(mid);
+        let b = &module.blocks[block.index()];
+        let mut aff = seed.to_vec();
+        // `known` feeds abs_eval's constant fast path, so it may only hold
+        // values that are the same on *every* iteration — stride-0 entries.
+        let mut known: Vec<AbsVal> = aff
+            .iter()
+            .map(|a| a.constant().map(AbsVal::Known).unwrap_or(AbsVal::Unknown))
+            .collect();
+        let mut events = Vec::new();
+        let mut checks = Vec::new();
+        let set = |aff: &mut Vec<Aff>, known: &mut Vec<AbsVal>, dst: VarId, v: Aff| {
+            aff[dst.index()] = v;
+            known[dst.index()] = v.constant().map(AbsVal::Known).unwrap_or(AbsVal::Unknown);
+        };
+        for (op_idx, sop) in b.ops.iter().enumerate() {
+            let loc = Loc::op(mid, block, op_idx);
+            match &sop.op {
+                Op::Assign { dst, expr } => {
+                    let v = affine_eval(expr, &aff, &known, &mut self.scratch);
+                    set(&mut aff, &mut known, *dst, v);
+                }
+                Op::ArrayLoad { dst, array, index } => {
+                    events.push(Event::ArrayLoad(*array));
+                    let len = self.design.array(*array).init.len() as i64;
+                    let idx = affine_eval(index, &aff, &known, &mut self.scratch);
+                    checks.push((loc, idx, len, true));
+                    let v = match idx.constant() {
+                        Some(i) if self.read_only[array.index()] && i >= 0 && i < len => {
+                            Aff::known(self.design.array(*array).init[i as usize])
+                        }
+                        _ => Aff::Unknown,
+                    };
+                    set(&mut aff, &mut known, *dst, v);
+                }
+                Op::ArrayStore { array, index, .. } => {
+                    events.push(Event::ArrayStore(*array));
+                    let len = self.design.array(*array).init.len() as i64;
+                    let idx = affine_eval(index, &aff, &known, &mut self.scratch);
+                    checks.push((loc, idx, len, false));
+                }
+                Op::FifoWrite { fifo, .. } => events.push(Event::FifoWrite(*fifo)),
+                Op::FifoRead { fifo, dst } => {
+                    events.push(Event::FifoRead(*fifo));
+                    set(&mut aff, &mut known, *dst, Aff::Unknown);
+                }
+                Op::FifoNbWrite { fifo, success, .. } => {
+                    events.push(Event::FifoNbWrite(*fifo));
+                    if let Some(s) = success {
+                        set(&mut aff, &mut known, *s, Aff::Unknown);
+                    }
+                }
+                Op::FifoNbRead { fifo, dst, success } => {
+                    events.push(Event::FifoNbRead(*fifo));
+                    set(&mut aff, &mut known, *dst, Aff::Unknown);
+                    if let Some(s) = success {
+                        set(&mut aff, &mut known, *s, Aff::Unknown);
+                    }
+                }
+                Op::FifoEmpty { dst, .. } | Op::FifoFull { dst, .. } => {
+                    if let Some(d) = dst {
+                        set(&mut aff, &mut known, *d, Aff::Unknown);
+                    }
+                }
+                Op::Output { .. } => {}
+                // AXI burst tracking is stateful across iterations and
+                // calls re-enter whole modules: both run concretely.
+                Op::AxiReadReq { .. }
+                | Op::AxiRead { .. }
+                | Op::AxiWriteReq { .. }
+                | Op::AxiWrite { .. }
+                | Op::AxiWriteResp { .. }
+                | Op::Call { .. } => return None,
+            }
+        }
+        Some(SymPass {
+            aff,
+            events,
+            checks,
+        })
+    }
+}
+
+/// Per-array "no op anywhere stores to it" map: loads from these arrays
+/// with constant indices produce known values (testbench input arrays).
+pub(crate) fn read_only_arrays(design: &Design) -> Vec<bool> {
+    let mut read_only = vec![true; design.arrays.len()];
+    for module in &design.modules {
+        for block in &module.blocks {
+            for sop in &block.ops {
+                if let Op::ArrayStore { array, .. } = &sop.op {
+                    read_only[array.index()] = false;
+                }
+            }
+        }
+    }
+    read_only
+}
+
+/// Abstractly interprets one task rooted at `root`.
+pub(crate) fn trace_task(design: &Design, root: ModuleId, read_only: &[bool]) -> TaskTrace {
+    let mut interp = Interp {
+        design,
+        read_only,
+        fuel: TRACE_FUEL,
+        trace: TaskTrace::new(design, root),
+        read_bursts: vec![std::collections::VecDeque::new(); design.axi_ports.len()],
+        write_bursts: vec![std::collections::VecDeque::new(); design.axi_ports.len()],
+        axi_poisoned: vec![false; design.axi_ports.len()],
+        stored_events: 0,
+        scratch: Vec::new(),
+    };
+    match interp.run_module(root, &[]) {
+        Ok(_) => {
+            // Unfinished AXI business at task end cannot be certified: the
+            // reference simulator may wait on it.
+            for (p, q) in interp.write_bursts.iter().enumerate() {
+                if q.iter().any(|b| match b.len {
+                    Some(len) => b.sent < len,
+                    None => false,
+                }) && !interp.axi_poisoned[p]
+                {
+                    interp.trace.const_safe = false;
+                }
+            }
+            for p in 0..design.axi_ports.len() {
+                if interp.axi_poisoned[p] {
+                    interp.trace.const_safe = false;
+                }
+            }
+        }
+        Err(Stop::Uncountable(loc)) => {
+            interp.trace.countable = false;
+            interp.trace.gave_up_at = Some(loc);
+            interp.trace.const_safe = false;
+        }
+    }
+    interp.trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omnisim_ir::builder::DesignBuilder;
+
+    fn single_task(design: &Design) -> TaskTrace {
+        let ro = read_only_arrays(design);
+        trace_task(design, design.top, &ro)
+    }
+
+    #[test]
+    fn counted_loop_is_countable_with_exact_counts() {
+        let mut d = DesignBuilder::new("t");
+        let f = d.fifo("q", 2);
+        d.function_top("p", |m| {
+            m.counted_loop("i", 7, 1, |b| {
+                b.fifo_write(f, Expr::imm(1));
+            });
+        });
+        let design = d.build_unchecked();
+        let t = single_task(&design);
+        assert!(t.countable);
+        assert_eq!(t.writes[0], 7);
+        assert!(t.const_safe);
+    }
+
+    #[test]
+    fn branch_on_fifo_data_is_uncountable() {
+        let mut d = DesignBuilder::new("t");
+        let f = d.fifo("q", 2);
+        d.function_top("c", |m| {
+            let taken = m.var("taken");
+            m.entry(|b| {
+                let v = b.fifo_read(f);
+                b.assign(taken, Expr::var(v));
+            });
+            m.loop_block(1, |b| {
+                b.exit_loop_if(Expr::var(taken));
+            });
+        });
+        let design = d.build_unchecked();
+        let t = single_task(&design);
+        assert!(!t.countable);
+        assert!(t.gave_up_at.is_some());
+    }
+
+    #[test]
+    fn read_only_array_loads_stay_countable() {
+        let mut d = DesignBuilder::new("t");
+        let data = d.array("n", vec![3]);
+        let f = d.fifo("q", 4);
+        d.function_top("p", |m| {
+            let n = m.var("n");
+            m.entry(|b| {
+                let v = b.array_load(data, Expr::imm(0));
+                b.assign(n, Expr::var(v));
+            });
+            m.counted_loop("i", 3, 1, |b| {
+                b.fifo_write(f, Expr::imm(1));
+            });
+        });
+        let design = d.build_unchecked();
+        let t = single_task(&design);
+        assert!(t.countable);
+        assert!(t.const_safe);
+        assert_eq!(t.writes[0], 3);
+    }
+
+    #[test]
+    fn constant_oob_load_is_flagged_once() {
+        let mut d = DesignBuilder::new("t");
+        let data = d.array("a", vec![1, 2]);
+        d.function_top("p", |m| {
+            m.counted_loop("i", 4, 1, |b| {
+                let _ = b.array_load(data, Expr::imm(9));
+            });
+        });
+        let design = d.build_unchecked();
+        let t = single_task(&design);
+        assert!(t.countable);
+        assert!(!t.const_safe);
+        let oob: Vec<_> = t
+            .violations
+            .iter()
+            .filter(|d| d.rule == Rule::ArrayBounds)
+            .collect();
+        assert_eq!(oob.len(), 1);
+        assert_eq!(oob[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn infinite_loop_exhausts_fuel() {
+        let mut d = DesignBuilder::new("t");
+        let f = d.fifo("q", 1);
+        d.function_top("p", |m| {
+            m.loop_block(1, |b| {
+                b.fifo_nb_write_ignored(f, Expr::imm(1));
+            });
+        });
+        let design = d.build_unchecked();
+        let t = single_task(&design);
+        assert!(!t.countable);
+    }
+
+    #[test]
+    fn axi_unbalanced_beats_flagged() {
+        let mut d = DesignBuilder::new("t");
+        let mem = d.array("m", vec![0; 16]);
+        let bus = d.axi_port("p0", mem, 4);
+        d.function_top("p", |m| {
+            m.entry(|b| {
+                b.axi_read_req(bus, Expr::imm(0), Expr::imm(2));
+                let _ = b.axi_read(bus);
+                let _ = b.axi_read(bus);
+                let _ = b.axi_read(bus); // one beat too many
+            });
+        });
+        let design = d.build_unchecked();
+        let t = single_task(&design);
+        assert!(t.countable);
+        assert!(!t.const_safe);
+        assert!(t.violations.iter().any(|d| d.rule == Rule::AxiProtocol));
+    }
+}

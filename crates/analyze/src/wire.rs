@@ -1,0 +1,249 @@
+//! Binary encoding of [`AnalysisReport`] for the serving wire protocol and
+//! artifact store.
+//!
+//! The encoding piggybacks on `omnisim-codec` primitives so the serve
+//! crate can embed a report inside its own framed messages without a
+//! parallel serializer. Enums travel as `u8` tags; adding a variant means
+//! appending a tag, never renumbering.
+
+use crate::report::{
+    AnalysisReport, CycleClass, CycleReport, DeadlockVerdict, DepthBound, Diagnostic, Rule,
+    Severity,
+};
+use omnisim_codec::{ByteReader, ByteWriter, CodecError};
+use omnisim_ir::{ArrayId, AxiId, BlockId, FifoId, Loc, ModuleId};
+
+fn verdict_tag(v: DeadlockVerdict) -> u8 {
+    match v {
+        DeadlockVerdict::CertifiedFree => 0,
+        DeadlockVerdict::CertifiedDeadlock => 1,
+        DeadlockVerdict::Unknown => 2,
+    }
+}
+
+fn verdict_from(tag: u8) -> Result<DeadlockVerdict, CodecError> {
+    match tag {
+        0 => Ok(DeadlockVerdict::CertifiedFree),
+        1 => Ok(DeadlockVerdict::CertifiedDeadlock),
+        2 => Ok(DeadlockVerdict::Unknown),
+        other => Err(CodecError::Invalid(format!("bad verdict tag {other}"))),
+    }
+}
+
+fn class_tag(c: CycleClass) -> u8 {
+    match c {
+        CycleClass::ProvablySafe => 0,
+        CycleClass::ProvablyDeadlocked => 1,
+        CycleClass::DepthDependent => 2,
+    }
+}
+
+fn class_from(tag: u8) -> Result<CycleClass, CodecError> {
+    match tag {
+        0 => Ok(CycleClass::ProvablySafe),
+        1 => Ok(CycleClass::ProvablyDeadlocked),
+        2 => Ok(CycleClass::DepthDependent),
+        other => Err(CodecError::Invalid(format!("bad cycle class tag {other}"))),
+    }
+}
+
+fn severity_tag(s: Severity) -> u8 {
+    match s {
+        Severity::Info => 0,
+        Severity::Warning => 1,
+        Severity::Error => 2,
+    }
+}
+
+fn severity_from(tag: u8) -> Result<Severity, CodecError> {
+    match tag {
+        0 => Ok(Severity::Info),
+        1 => Ok(Severity::Warning),
+        2 => Ok(Severity::Error),
+        other => Err(CodecError::Invalid(format!("bad severity tag {other}"))),
+    }
+}
+
+fn rule_tag(r: Rule) -> u8 {
+    Rule::ALL
+        .iter()
+        .position(|&x| x == r)
+        .expect("every rule is in Rule::ALL") as u8
+}
+
+fn rule_from(tag: u8) -> Result<Rule, CodecError> {
+    Rule::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or_else(|| CodecError::Invalid(format!("bad rule tag {tag}")))
+}
+
+fn write_loc(w: &mut ByteWriter, loc: Loc) {
+    w.opt(loc.module, |w, m| w.u32(m.0));
+    w.opt(loc.block, |w, b| w.u32(b.0));
+    w.opt(loc.op, |w, i| w.usize(i));
+}
+
+fn read_loc(r: &mut ByteReader<'_>) -> Result<Loc, CodecError> {
+    let module = r.opt(|r| Ok(ModuleId(r.u32()?)))?;
+    let block = r.opt(|r| Ok(BlockId(r.u32()?)))?;
+    let op = r.opt(|r| r.usize())?;
+    Ok(Loc { module, block, op })
+}
+
+fn write_diagnostic(w: &mut ByteWriter, d: &Diagnostic) {
+    w.u8(rule_tag(d.rule));
+    w.u8(severity_tag(d.severity));
+    write_loc(w, d.loc);
+    w.opt(d.fifo, |w, f| w.u32(f.0));
+    w.opt(d.array, |w, a| w.u32(a.0));
+    w.opt(d.axi, |w, a| w.u32(a.0));
+    w.str(&d.message);
+}
+
+fn read_diagnostic(r: &mut ByteReader<'_>) -> Result<Diagnostic, CodecError> {
+    Ok(Diagnostic {
+        rule: rule_from(r.u8()?)?,
+        severity: severity_from(r.u8()?)?,
+        loc: read_loc(r)?,
+        fifo: r.opt(|r| Ok(FifoId(r.u32()?)))?,
+        array: r.opt(|r| Ok(ArrayId(r.u32()?)))?,
+        axi: r.opt(|r| Ok(AxiId(r.u32()?)))?,
+        message: r.str()?,
+    })
+}
+
+/// Serializes a report into `w`.
+pub fn write_report(w: &mut ByteWriter, report: &AnalysisReport) {
+    w.u8(verdict_tag(report.verdict));
+    w.seq(report.cycles.iter(), |w, c| {
+        w.seq(c.tasks.iter(), |w, t| w.u32(t.0));
+        w.seq(c.fifos.iter(), |w, f| w.u32(f.0));
+        w.u8(class_tag(c.class));
+    });
+    w.seq(report.depth_bounds.iter(), |w, b| {
+        w.usize(b.bound);
+        w.bool(b.exact);
+    });
+    w.seq(report.diagnostics.iter(), write_diagnostic);
+    w.usize(report.tasks);
+    w.usize(report.countable_tasks);
+}
+
+/// Deserializes a report written by [`write_report`].
+pub fn read_report(r: &mut ByteReader<'_>) -> Result<AnalysisReport, CodecError> {
+    let verdict = verdict_from(r.u8()?)?;
+    let cycles = r.seq(|r| {
+        let tasks = r.seq(|r| Ok(ModuleId(r.u32()?)))?;
+        let fifos = r.seq(|r| Ok(FifoId(r.u32()?)))?;
+        let class = class_from(r.u8()?)?;
+        Ok(CycleReport {
+            tasks,
+            fifos,
+            class,
+        })
+    })?;
+    let depth_bounds = r.seq(|r| {
+        let bound = r.usize()?;
+        let exact = r.bool()?;
+        Ok(DepthBound { bound, exact })
+    })?;
+    let diagnostics = r.seq(read_diagnostic)?;
+    let tasks = r.usize()?;
+    let countable_tasks = r.usize()?;
+    Ok(AnalysisReport {
+        verdict,
+        cycles,
+        depth_bounds,
+        diagnostics,
+        tasks,
+        countable_tasks,
+    })
+}
+
+/// Serializes a report to a standalone byte buffer.
+pub fn encode_report(report: &AnalysisReport) -> Vec<u8> {
+    let mut w = ByteWriter::with_capacity(256);
+    write_report(&mut w, report);
+    w.into_bytes()
+}
+
+/// Deserializes a standalone buffer produced by [`encode_report`].
+pub fn decode_report(bytes: &[u8]) -> Result<AnalysisReport, CodecError> {
+    let mut r = ByteReader::new(bytes);
+    let report = read_report(&mut r)?;
+    r.finish()?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AnalysisReport {
+        AnalysisReport {
+            verdict: DeadlockVerdict::CertifiedDeadlock,
+            cycles: vec![CycleReport {
+                tasks: vec![ModuleId(0), ModuleId(1)],
+                fifos: vec![FifoId(0), FifoId(1)],
+                class: CycleClass::ProvablyDeadlocked,
+            }],
+            depth_bounds: vec![
+                DepthBound {
+                    bound: 3,
+                    exact: true,
+                },
+                DepthBound {
+                    bound: 1,
+                    exact: false,
+                },
+            ],
+            diagnostics: vec![Diagnostic {
+                rule: Rule::Deadlock,
+                severity: Severity::Error,
+                loc: Loc::op(ModuleId(1), BlockId(2), 3),
+                fifo: Some(FifoId(1)),
+                array: None,
+                axi: None,
+                message: "task b blocks reading fifo f1".into(),
+            }],
+            tasks: 2,
+            countable_tasks: 2,
+        }
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let report = sample();
+        let bytes = encode_report(&report);
+        let back = decode_report(&bytes).expect("decodes");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn empty_report_round_trips() {
+        let report = AnalysisReport {
+            verdict: DeadlockVerdict::Unknown,
+            cycles: Vec::new(),
+            depth_bounds: Vec::new(),
+            diagnostics: Vec::new(),
+            tasks: 0,
+            countable_tasks: 0,
+        };
+        let bytes = encode_report(&report);
+        assert_eq!(decode_report(&bytes).expect("decodes"), report);
+    }
+
+    #[test]
+    fn truncated_buffer_is_rejected() {
+        let bytes = encode_report(&sample());
+        assert!(decode_report(&bytes[..bytes.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn bad_verdict_tag_is_rejected() {
+        let mut bytes = encode_report(&sample());
+        bytes[0] = 9;
+        assert!(decode_report(&bytes).is_err());
+    }
+}

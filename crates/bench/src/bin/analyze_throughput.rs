@@ -1,0 +1,160 @@
+//! Static-analyzer throughput benchmark: how many designs per second the
+//! analyzer fully processes, per generator preset, plus its speedup over
+//! the cheapest alternative that answers the same deadlock question — one
+//! cold cycle-accurate reference simulation.
+//!
+//! For every generator preset a fixed seed window is analyzed end to end
+//! (trace enumeration, network run, cycle classification, depth bounds,
+//! races, lints) and the wall-clock rate recorded, along with the verdict
+//! mix — an analyzer that answered `unknown` everywhere would be fast and
+//! useless, so certification coverage is part of the result.
+//!
+//! On the Type A fixture designs the analyzer is additionally raced
+//! head-to-head against a cold `rtl` reference simulation of the same
+//! design; the run asserts the analyzer is at least 100x faster, the
+//! margin that makes per-request pre-flight analysis in the serving tier
+//! free in practice.
+//!
+//! Results are printed and written to `BENCH_analyze.json`. Pass `--smoke`
+//! for the seconds-scale CI run.
+
+use omnisim_gen::{generate, DeadlockVerdict, GenConfig};
+use omnisim_suite::analyze::analyze;
+use omnisim_suite::rtlsim::RtlSimulator;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct PresetResult {
+    name: &'static str,
+    analyze_rate: f64,
+    certified_free: usize,
+    certified_deadlock: usize,
+    unknown: usize,
+    diagnostics: usize,
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let seeds: u64 = if smoke { 120 } else { 1000 };
+
+    println!(
+        "analyzer throughput over {seeds} seeds per preset{}\n",
+        if smoke { " [smoke]" } else { "" }
+    );
+    println!(
+        "{:<12} {:>14} {:>10} {:>10} {:>10} {:>10}",
+        "preset", "analyze/sec", "free", "deadlock", "unknown", "diags"
+    );
+    omnisim_bench::rule(72);
+
+    let mut results: Vec<PresetResult> = Vec::new();
+    for name in GenConfig::PRESET_NAMES {
+        let cfg = GenConfig::preset(name).expect("preset names are exhaustive");
+        let designs: Vec<_> = (0..seeds).map(|seed| generate(&cfg, seed).design).collect();
+
+        let start = Instant::now();
+        let mut certified_free = 0usize;
+        let mut certified_deadlock = 0usize;
+        let mut unknown = 0usize;
+        let mut diagnostics = 0usize;
+        for design in &designs {
+            let report = analyze(design);
+            match report.verdict {
+                DeadlockVerdict::CertifiedFree => certified_free += 1,
+                DeadlockVerdict::CertifiedDeadlock => certified_deadlock += 1,
+                DeadlockVerdict::Unknown => unknown += 1,
+            }
+            diagnostics += report.diagnostics.len();
+        }
+        let analyze_rate = seeds as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+        println!(
+            "{name:<12} {analyze_rate:>14.0} {certified_free:>10} {certified_deadlock:>10} \
+             {unknown:>10} {diagnostics:>10}"
+        );
+        results.push(PresetResult {
+            name,
+            analyze_rate,
+            certified_free,
+            certified_deadlock,
+            unknown,
+            diagnostics,
+        });
+    }
+    omnisim_bench::rule(72);
+
+    // Head-to-head on the Type A fixtures: analysis must be at least two
+    // orders of magnitude cheaper than one cold reference simulation of
+    // the same design — the margin that makes it a free pre-flight.
+    let fixtures = [
+        (
+            "vecadd_stream",
+            omnisim_suite::designs::typea::vecadd_stream(16384, 4),
+        ),
+        (
+            "dataflow_graph",
+            omnisim_suite::designs::typea::dataflow_graph("bench_df", 4, 16384, 1),
+        ),
+    ];
+    let mut speedups: Vec<(&str, f64)> = Vec::new();
+    for (fixture, design) in &fixtures {
+        // Median-free, deterministic-enough timing: average over repeats.
+        let reps = if smoke { 3 } else { 10 };
+        let start = Instant::now();
+        for _ in 0..reps {
+            let report = analyze(design);
+            assert_eq!(
+                report.verdict,
+                DeadlockVerdict::CertifiedFree,
+                "fixture {fixture} must certify deadlock-free"
+            );
+        }
+        let analyze_nanos = start.elapsed().as_nanos() as f64 / reps as f64;
+
+        let start = Instant::now();
+        for _ in 0..reps {
+            let report = RtlSimulator::new(design).run().expect("fixture simulates");
+            assert!(report.outcome.is_completed());
+        }
+        let rtl_nanos = start.elapsed().as_nanos() as f64 / reps as f64;
+
+        let speedup = rtl_nanos / analyze_nanos.max(1.0);
+        println!("{fixture}: analyzer {speedup:.0}x faster than one cold rtl simulation");
+        speedups.push((fixture, speedup));
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"analyze_throughput\",\n");
+    let _ = writeln!(json, "  \"seeds_per_preset\": {seeds},");
+    let _ = writeln!(json, "  \"smoke\": {smoke},");
+    json.push_str("  \"presets\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    \"{}\": {{ \"analyze_per_sec\": {:.1}, \"certified_free\": {}, \
+             \"certified_deadlock\": {}, \"unknown\": {}, \"diagnostics\": {} }}",
+            r.name,
+            r.analyze_rate,
+            r.certified_free,
+            r.certified_deadlock,
+            r.unknown,
+            r.diagnostics
+        );
+        json.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  },\n  \"speedup_vs_cold_rtl\": {\n");
+    for (i, (fixture, speedup)) in speedups.iter().enumerate() {
+        let _ = write!(json, "    \"{fixture}\": {speedup:.1}");
+        json.push_str(if i + 1 < speedups.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  }\n}\n");
+    std::fs::write("BENCH_analyze.json", &json).expect("write BENCH_analyze.json");
+    println!("\nwrote BENCH_analyze.json");
+
+    for (fixture, speedup) in &speedups {
+        assert!(
+            *speedup >= 100.0,
+            "analysis of {fixture} is only {speedup:.0}x faster than a cold rtl simulation \
+             (expected >= 100x)"
+        );
+    }
+}

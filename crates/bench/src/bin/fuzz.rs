@@ -24,12 +24,17 @@
 //! * `--bytecode` / `--no-bytecode` — force the bytecode-VM differential
 //!   leg on/off (on by default: every DSE vector is also answered by the
 //!   register-allocated VM, running a codec-roundtripped program),
+//! * `--analyze` / `--no-analyze` — force the static-analyzer soundness
+//!   leg on/off (on by default: certificates and depth bounds are checked
+//!   against the reference outcome and the `min_depths` certificate),
 //! * `--no-shrink` — skip shrinking on failure,
 //! * `--smoke` — CI preset: 120 seeds per preset, all presets.
 //!
 //! Exits non-zero if any seed fails.
 
-use omnisim_gen::{check_seeded, fuzz_seed, shrink, CsimAgreement, DiffConfig, GenConfig};
+use omnisim_gen::{
+    check_seeded, fuzz_seed, shrink, CsimAgreement, DeadlockVerdict, DiffConfig, GenConfig,
+};
 use std::time::Instant;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -61,6 +66,9 @@ struct Tally {
     csim_crashed: usize,
     dse_points: usize,
     min_depth_probes: usize,
+    certified_free: usize,
+    certified_deadlock: usize,
+    analysis_unknown: usize,
     failures: usize,
 }
 
@@ -88,6 +96,12 @@ fn fuzz_range(
         }
         tally.dse_points += report.dse_points_checked;
         tally.min_depth_probes += report.min_depths_probes;
+        match report.analysis {
+            Some(DeadlockVerdict::CertifiedFree) => tally.certified_free += 1,
+            Some(DeadlockVerdict::CertifiedDeadlock) => tally.certified_deadlock += 1,
+            Some(DeadlockVerdict::Unknown) => tally.analysis_unknown += 1,
+            None => {}
+        }
         if report.passed() {
             continue;
         }
@@ -142,6 +156,12 @@ fn main() {
     if args.iter().any(|a| a == "--no-bytecode") {
         diff.bytecode = false;
     }
+    if args.iter().any(|a| a == "--analyze") {
+        diff.analyze = true;
+    }
+    if args.iter().any(|a| a == "--no-analyze") {
+        diff.analyze = false;
+    }
     let mut tally = Tally::default();
     let started = Instant::now();
 
@@ -194,6 +214,12 @@ fn main() {
         "csim bookkeeping: {} agreed, {} diverged, {} crashed",
         tally.csim_agreed, tally.csim_diverged, tally.csim_crashed
     );
+    if diff.analyze {
+        println!(
+            "analyzer verdicts: {} certified-free, {} certified-deadlock, {} unknown",
+            tally.certified_free, tally.certified_deadlock, tally.analysis_unknown
+        );
+    }
     if tally.failures > 0 {
         println!("{} seed(s) FAILED", tally.failures);
         std::process::exit(1);

@@ -59,6 +59,7 @@ pub mod shrink;
 pub use blueprint::{AxiPlan, AxiRole, Blueprint, CallPlan, EdgeKind, EdgePlan, TaskPlan};
 pub use config::GenConfig;
 pub use generate::{generate, Generated};
+pub use omnisim_analyze::DeadlockVerdict;
 pub use oracle::{
     check_seeded, differential_check, fuzz_seed, CsimAgreement, DiffConfig, DiffReport,
     DSE_RNG_SALT,

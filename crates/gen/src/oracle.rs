@@ -25,6 +25,7 @@
 
 use crate::rng::Rng;
 use omnisim::{CompiledOmni, IncrementalOutcome, OmniSimulator, SimConfig};
+use omnisim_analyze::DeadlockVerdict;
 use omnisim_api::{RunConfig, Simulator};
 use omnisim_csim::CsimBackend;
 use omnisim_dse::{MinDepthsReport, PlanEvaluator, SweepPlan};
@@ -63,6 +64,14 @@ pub struct DiffConfig {
     /// default — the VM is the serving tier's fast path, so it fuzzes
     /// wherever the plan does; the fuzz CLI's `--no-bytecode` disables it.
     pub bytecode: bool,
+    /// Run the static analyzer on every design and check its certificates
+    /// against the reference outcome: a `CertifiedFree` design must
+    /// complete, a `CertifiedDeadlock` design must not, and the static
+    /// depth lower bound must never exceed a declared depth the design
+    /// completes at, nor a certified `min_depths` minimum. On by default —
+    /// the analyzer is pure CPU work, orders of magnitude cheaper than the
+    /// simulations around it; the fuzz CLI's `--no-analyze` disables it.
+    pub analyze: bool,
     /// Cycle budget for the cycle-stepped reference (a generated design
     /// exceeding it counts as a hang, which is itself a failure).
     pub rtl_max_cycles: u64,
@@ -82,6 +91,7 @@ impl Default for DiffConfig {
             min_depths_bound: 12,
             min_depths_resim: false,
             bytecode: true,
+            analyze: true,
             rtl_max_cycles: 500_000,
             omni_fuel: 10_000_000,
         }
@@ -122,6 +132,9 @@ pub struct DiffReport {
     /// Number of compiled evaluations the `min_depths` search spent
     /// (0 when the leg was skipped).
     pub min_depths_probes: usize,
+    /// Static analyzer verdict (`None` when the leg was skipped or the
+    /// check aborted before it ran).
+    pub analysis: Option<DeadlockVerdict>,
     /// Every violated claim, human-readable. Empty means the design passed.
     pub failures: Vec<String>,
 }
@@ -181,6 +194,7 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
                 dse_points_checked: 0,
                 session_runs_checked: 0,
                 min_depths_probes: 0,
+                analysis: None,
                 failures: vec![format!("omnisim failed to run: {e}")],
             };
         }
@@ -204,6 +218,7 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
                 dse_points_checked: 0,
                 session_runs_checked: 0,
                 min_depths_probes: 0,
+                analysis: None,
                 failures: vec![format!("reference simulator failed to run: {e}")],
             };
         }
@@ -238,6 +253,47 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
             "cycle mismatch: omnisim {} vs reference {}",
             omni.total_cycles, rtl.total_cycles
         ));
+    }
+
+    // --- static analyzer certificates vs the reference -------------------
+    // The analyzer's claims are schedule-independent, so the cycle-stepped
+    // reference is a ground truth for them: a `CertifiedFree` design must
+    // complete (a hung reference is inconclusive — that failure is already
+    // recorded above), a `CertifiedDeadlock` design must never complete,
+    // and the necessity depth bound must be satisfied by any depth vector
+    // the design completes at — in particular the declared one.
+    let analysis = cfg.analyze.then(|| omnisim_analyze::analyze(design));
+    if let Some(report) = &analysis {
+        let rtl_definitive = !matches!(rtl.outcome, RtlOutcome::CycleLimit { .. });
+        match report.verdict {
+            DeadlockVerdict::CertifiedFree => {
+                if rtl_definitive && !rtl.outcome.is_completed() {
+                    failures.push(format!(
+                        "analyzer certified the design deadlock-free, but the reference \
+                         reports {:?}",
+                        rtl.outcome
+                    ));
+                }
+            }
+            DeadlockVerdict::CertifiedDeadlock => {
+                if rtl.outcome.is_completed() {
+                    failures
+                        .push("analyzer certified a deadlock, but the reference completed".into());
+                }
+            }
+            DeadlockVerdict::Unknown => {}
+        }
+        if rtl.outcome.is_completed() {
+            for (f, b) in report.depth_bounds.iter().enumerate() {
+                if b.bound > design.fifos[f].depth {
+                    failures.push(format!(
+                        "static depth bound {} for fifo {f} exceeds the declared depth {} \
+                         of a completing design",
+                        b.bound, design.fifos[f].depth
+                    ));
+                }
+            }
+        }
     }
 
     // --- lightning: correct on Type A, honest rejection on B/C -----------
@@ -450,6 +506,27 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
                     match plan.min_depths(target, cfg.min_depths_bound) {
                         Ok(md) => {
                             min_depths_probes = md.probes;
+                            // The static bound is necessary for completion
+                            // while the certified minimum is sufficient for
+                            // the latency target, so bound <= minimum.
+                            if let Some(analysis) = &analysis {
+                                for (f, (b, m)) in analysis
+                                    .depth_bounds
+                                    .iter()
+                                    .zip(md.per_fifo.iter())
+                                    .enumerate()
+                                {
+                                    if let Some(m) = m {
+                                        if b.bound > *m {
+                                            failures.push(format!(
+                                                "static depth bound {} for fifo {f} exceeds \
+                                                 the certified min_depths minimum {m}",
+                                                b.bound
+                                            ));
+                                        }
+                                    }
+                                }
+                            }
                             match omni.incremental.try_with_depths(&md.depths) {
                                 Ok(outcome) if outcome == md.combined => {}
                                 Ok(outcome) => failures.push(format!(
@@ -498,6 +575,7 @@ pub fn differential_check(design: &Design, cfg: &DiffConfig, rng: &mut Rng) -> D
         dse_points_checked,
         session_runs_checked,
         min_depths_probes,
+        analysis: analysis.map(|a| a.verdict),
         failures,
     }
 }

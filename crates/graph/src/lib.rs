@@ -33,10 +33,12 @@
 pub mod adjacency;
 pub mod algo;
 pub mod csr;
+pub mod scc;
 
 pub use adjacency::EventGraph;
 pub use algo::{longest_path, CycleError, Edge};
 pub use csr::{CsrGraph, CsrGraphBuilder};
+pub use scc::{component_is_cyclic, strongly_connected_components};
 
 use std::fmt;
 

@@ -1,0 +1,182 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! The static analyzer (`omnisim-analyze`) condenses the task/FIFO dataflow
+//! graph into its SCCs to find request/response channel cycles; the event
+//! graphs elsewhere in this crate are DAGs by construction and never need
+//! this. The implementation is an explicit-stack Tarjan so deep chains
+//! cannot overflow the call stack, and allocates exactly four `Vec`s of
+//! `num_nodes` length plus the output.
+
+use crate::NodeId;
+
+const UNVISITED: u32 = u32::MAX;
+
+/// Computes the strongly connected components of a directed graph given as
+/// an edge list over `num_nodes` nodes (self-loops and duplicate edges are
+/// allowed). Components are returned in *reverse topological order* of the
+/// condensation — a component only appears after every component it has an
+/// edge into — and each component lists its member nodes in discovery order.
+///
+/// Edges referencing nodes outside `0..num_nodes` are ignored.
+pub fn strongly_connected_components(
+    num_nodes: usize,
+    edges: &[(NodeId, NodeId)],
+) -> Vec<Vec<NodeId>> {
+    // Build a CSR adjacency out of the edge list.
+    let mut degree = vec![0u32; num_nodes];
+    let in_range = |n: NodeId| n.index() < num_nodes;
+    for &(from, to) in edges {
+        if in_range(from) && in_range(to) {
+            degree[from.index()] += 1;
+        }
+    }
+    let mut offsets = Vec::with_capacity(num_nodes + 1);
+    let mut total = 0u32;
+    for &d in &degree {
+        offsets.push(total);
+        total += d;
+    }
+    offsets.push(total);
+    let mut adj = vec![0u32; total as usize];
+    let mut cursor: Vec<u32> = offsets[..num_nodes].to_vec();
+    for &(from, to) in edges {
+        if in_range(from) && in_range(to) {
+            let c = &mut cursor[from.index()];
+            adj[*c as usize] = to.0;
+            *c += 1;
+        }
+    }
+
+    let mut index = vec![UNVISITED; num_nodes];
+    let mut lowlink = vec![0u32; num_nodes];
+    let mut on_stack = vec![false; num_nodes];
+    let mut stack: Vec<u32> = Vec::new();
+    // Explicit DFS frames: (node, next successor slot to visit).
+    let mut frames: Vec<(u32, u32)> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components = Vec::new();
+
+    for root in 0..num_nodes {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root as u32, offsets[root]));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root as u32);
+        on_stack[root] = true;
+
+        while let Some(&mut (v, ref mut slot)) = frames.last_mut() {
+            let vi = v as usize;
+            if *slot < offsets[vi + 1] {
+                let w = adj[*slot as usize] as usize;
+                *slot += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w as u32);
+                    on_stack[w] = true;
+                    frames.push((w as u32, offsets[w]));
+                } else if on_stack[w] {
+                    lowlink[vi] = lowlink[vi].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&mut (parent, _)) = frames.last_mut() {
+                    let p = parent as usize;
+                    lowlink[p] = lowlink[p].min(lowlink[vi]);
+                }
+                if lowlink[vi] == index[vi] {
+                    let mut component = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack cannot underflow");
+                        on_stack[w as usize] = false;
+                        component.push(NodeId(w));
+                        if w == v {
+                            break;
+                        }
+                    }
+                    component.reverse();
+                    components.push(component);
+                }
+            }
+        }
+    }
+    components
+}
+
+/// True if `component` (as returned by [`strongly_connected_components`]) is
+/// cyclic: it has more than one node, or its single node has a self-edge.
+pub fn component_is_cyclic(component: &[NodeId], edges: &[(NodeId, NodeId)]) -> bool {
+    match component {
+        [] => false,
+        [single] => edges.iter().any(|&(f, t)| f == *single && t == *single),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(from: u32, to: u32) -> (NodeId, NodeId) {
+        (NodeId(from), NodeId(to))
+    }
+
+    #[test]
+    fn singletons_without_edges() {
+        let sccs = strongly_connected_components(3, &[]);
+        assert_eq!(sccs.len(), 3);
+        assert!(sccs.iter().all(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        // 0 <-> 1 -> 2 <-> 3, plus isolated 4.
+        let edges = [e(0, 1), e(1, 0), e(1, 2), e(2, 3), e(3, 2)];
+        let sccs = strongly_connected_components(5, &edges);
+        assert_eq!(sccs.len(), 3);
+        let find = |n: u32| {
+            sccs.iter()
+                .position(|c| c.contains(&NodeId(n)))
+                .expect("node in some scc")
+        };
+        assert_eq!(find(0), find(1));
+        assert_eq!(find(2), find(3));
+        assert_ne!(find(0), find(2));
+        // Reverse topological: {2,3} is downstream of {0,1}, so it pops first.
+        assert!(find(2) < find(0));
+    }
+
+    #[test]
+    fn self_loop_is_cyclic_but_singleton_is_not() {
+        let edges = [e(0, 0), e(0, 1)];
+        let sccs = strongly_connected_components(2, &edges);
+        let zero = sccs
+            .iter()
+            .find(|c| c.contains(&NodeId(0)))
+            .expect("scc of node 0");
+        let one = sccs
+            .iter()
+            .find(|c| c.contains(&NodeId(1)))
+            .expect("scc of node 1");
+        assert!(component_is_cyclic(zero, &edges));
+        assert!(!component_is_cyclic(one, &edges));
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        let n = 200_000;
+        let edges: Vec<_> = (0..n - 1).map(|i| e(i, i + 1)).collect();
+        let sccs = strongly_connected_components(n as usize, &edges);
+        assert_eq!(sccs.len(), n as usize);
+    }
+
+    #[test]
+    fn out_of_range_edges_are_ignored() {
+        let sccs = strongly_connected_components(2, &[e(0, 7), e(9, 1), e(0, 1)]);
+        assert_eq!(sccs.len(), 2);
+    }
+}

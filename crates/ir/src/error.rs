@@ -1,47 +1,69 @@
 //! Error types for IR construction and validation.
 
-use crate::ids::{ArrayId, BlockId, FifoId, ModuleId, VarId};
+use crate::ids::{ArrayId, AxiId, BlockId, FifoId, ModuleId, OutputId, VarId};
+use crate::loc::Loc;
 use std::error::Error;
 use std::fmt;
 
 /// Errors detected while building or validating a [`crate::Design`].
+///
+/// Every variant that points at code carries a typed [`Loc`] (module, block,
+/// op index) — the same location type the static analyzer's diagnostics use
+/// — so tooling can jump to the offending op without parsing messages.
+/// [`IrError::location`] extracts it uniformly.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum IrError {
     /// A design must contain at least one module and declare a top module.
     MissingTop,
-    /// A module references a block index that does not exist.
+    /// A terminator targets a block index that does not exist.
     UnknownBlock {
-        /// Module containing the dangling reference.
-        module: ModuleId,
+        /// Where the dangling reference is.
+        at: Loc,
         /// The missing block.
         block: BlockId,
     },
     /// An operation references a FIFO that does not exist.
     UnknownFifo {
-        /// Module containing the reference.
-        module: ModuleId,
+        /// Where the reference is.
+        at: Loc,
         /// The missing FIFO.
         fifo: FifoId,
     },
     /// An operation references an array that does not exist.
     UnknownArray {
-        /// Module containing the reference.
-        module: ModuleId,
+        /// Where the reference is.
+        at: Loc,
         /// The missing array.
         array: ArrayId,
     },
     /// An operation references a variable past the module's variable count.
     UnknownVar {
-        /// Module containing the reference.
-        module: ModuleId,
+        /// Where the reference is.
+        at: Loc,
         /// The out-of-range variable.
         var: VarId,
     },
     /// An operation references a module that does not exist.
     UnknownModule {
+        /// Where the reference is.
+        at: Loc,
         /// The missing module.
         module: ModuleId,
+    },
+    /// An operation references an AXI port that does not exist.
+    UnknownAxiPort {
+        /// Where the reference is.
+        at: Loc,
+        /// The missing AXI port.
+        axi: AxiId,
+    },
+    /// An operation writes a testbench output slot that does not exist.
+    UnknownOutput {
+        /// Where the reference is.
+        at: Loc,
+        /// The missing output slot.
+        output: OutputId,
     },
     /// A dataflow region has a child that is itself a dataflow region or does
     /// not exist.
@@ -67,10 +89,8 @@ pub enum IrError {
     },
     /// An operation's scheduled offset exceeds its block latency.
     OffsetPastLatency {
-        /// Module containing the block.
-        module: ModuleId,
-        /// Block with the bad schedule.
-        block: BlockId,
+        /// The op with the bad schedule.
+        at: Loc,
         /// Offending offset.
         offset: u64,
         /// Block latency.
@@ -79,10 +99,8 @@ pub enum IrError {
     /// Scheduled op offsets within a block must be non-decreasing (program
     /// order must agree with schedule order).
     NonMonotonicOffsets {
-        /// Module containing the block.
-        module: ModuleId,
-        /// Block with the bad schedule.
-        block: BlockId,
+        /// The first op scheduled before its predecessor.
+        at: Loc,
     },
     /// A function module has no basic blocks.
     EmptyFunction {
@@ -97,24 +115,55 @@ pub enum IrError {
     },
 }
 
+impl IrError {
+    /// The location this error points at — [`Loc::NONE`] for design-wide
+    /// problems (a missing top, a FIFO declared with several endpoints…).
+    pub fn location(&self) -> Loc {
+        match self {
+            IrError::UnknownBlock { at, .. }
+            | IrError::UnknownFifo { at, .. }
+            | IrError::UnknownArray { at, .. }
+            | IrError::UnknownVar { at, .. }
+            | IrError::UnknownModule { at, .. }
+            | IrError::UnknownAxiPort { at, .. }
+            | IrError::UnknownOutput { at, .. }
+            | IrError::OffsetPastLatency { at, .. }
+            | IrError::NonMonotonicOffsets { at } => *at,
+            IrError::InvalidDataflowChild { region, .. } => Loc::module(*region),
+            IrError::EmptyFunction { module } | IrError::RecursiveCall { module } => {
+                Loc::module(*module)
+            }
+            IrError::MissingTop
+            | IrError::FifoNotPointToPoint { .. }
+            | IrError::ZeroDepthFifo { .. } => Loc::NONE,
+        }
+    }
+}
+
 impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IrError::MissingTop => write!(f, "design has no top module"),
-            IrError::UnknownBlock { module, block } => {
-                write!(f, "module {module} references unknown block {block}")
+            IrError::UnknownBlock { at, block } => {
+                write!(f, "{at}: references unknown block {block}")
             }
-            IrError::UnknownFifo { module, fifo } => {
-                write!(f, "module {module} references unknown fifo {fifo}")
+            IrError::UnknownFifo { at, fifo } => {
+                write!(f, "{at}: references unknown fifo {fifo}")
             }
-            IrError::UnknownArray { module, array } => {
-                write!(f, "module {module} references unknown array {array}")
+            IrError::UnknownArray { at, array } => {
+                write!(f, "{at}: references unknown array {array}")
             }
-            IrError::UnknownVar { module, var } => {
-                write!(f, "module {module} references unknown variable {var}")
+            IrError::UnknownVar { at, var } => {
+                write!(f, "{at}: references unknown variable {var}")
             }
-            IrError::UnknownModule { module } => {
-                write!(f, "reference to unknown module {module}")
+            IrError::UnknownModule { at, module } => {
+                write!(f, "{at}: reference to unknown module {module}")
+            }
+            IrError::UnknownAxiPort { at, axi } => {
+                write!(f, "{at}: references unknown axi port {axi}")
+            }
+            IrError::UnknownOutput { at, output } => {
+                write!(f, "{at}: writes unknown output slot {output}")
             }
             IrError::InvalidDataflowChild { region, child } => {
                 write!(f, "dataflow region {region} has invalid child {child}")
@@ -133,18 +182,16 @@ impl fmt::Display for IrError {
                 write!(f, "fifo {fifo} has zero depth")
             }
             IrError::OffsetPastLatency {
-                module,
-                block,
+                at,
                 offset,
                 latency,
             } => write!(
                 f,
-                "module {module} block {block}: op offset {offset} exceeds block latency {latency}"
+                "{at}: op offset {offset} exceeds block latency {latency}"
             ),
-            IrError::NonMonotonicOffsets { module, block } => write!(
-                f,
-                "module {module} block {block}: op offsets are not non-decreasing"
-            ),
+            IrError::NonMonotonicOffsets { at } => {
+                write!(f, "{at}: op offsets are not non-decreasing")
+            }
             IrError::EmptyFunction { module } => {
                 write!(f, "function module {module} has no basic blocks")
             }
@@ -164,13 +211,29 @@ mod tests {
     #[test]
     fn display_messages_are_lowercase_and_informative() {
         let e = IrError::UnknownFifo {
-            module: ModuleId(1),
+            at: Loc::op(ModuleId(1), BlockId(0), 2),
             fifo: FifoId(3),
         };
         let msg = e.to_string();
         assert!(msg.contains("m1"));
         assert!(msg.contains("f3"));
+        assert!(msg.contains("op2"));
         assert!(msg.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn every_op_level_error_exposes_its_location() {
+        let at = Loc::op(ModuleId(2), BlockId(1), 4);
+        let e = IrError::UnknownAxiPort { at, axi: AxiId(0) };
+        assert_eq!(e.location(), at);
+        assert_eq!(IrError::MissingTop.location(), Loc::NONE);
+        assert_eq!(
+            IrError::EmptyFunction {
+                module: ModuleId(3)
+            }
+            .location(),
+            Loc::module(ModuleId(3))
+        );
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod design;
 pub mod error;
 pub mod expr;
 pub mod ids;
+pub mod loc;
 pub mod op;
 pub mod optimize;
 pub mod schedule;
@@ -74,6 +75,7 @@ pub use design::{ArraySpec, AxiPortSpec, Design, FifoSpec, Module, ModuleKind};
 pub use error::IrError;
 pub use expr::{BinOp, Expr, UnOp};
 pub use ids::{ArrayId, AxiId, BlockId, FifoId, ModuleId, OutputId, VarId};
+pub use loc::Loc;
 pub use op::{Block, Op, ScheduledOp, Terminator};
 pub use schedule::BlockSchedule;
 pub use taxonomy::{DesignClass, SimLevel, TaxonomyReport};

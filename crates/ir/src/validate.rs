@@ -11,6 +11,7 @@ use crate::design::{Design, ModuleKind};
 use crate::error::IrError;
 use crate::expr::Expr;
 use crate::ids::{BlockId, FifoId, ModuleId, VarId};
+use crate::loc::Loc;
 use crate::op::{Op, Terminator};
 
 /// Validates a design, returning the first structural error found.
@@ -49,25 +50,22 @@ pub fn validate(design: &Design) -> Result<(), IrError> {
                 for (b_idx, block) in module.blocks.iter().enumerate() {
                     let bid = BlockId::from_index(b_idx);
                     let mut prev_offset = 0u64;
-                    for sop in &block.ops {
+                    for (op_idx, sop) in block.ops.iter().enumerate() {
+                        let at = Loc::op(mid, bid, op_idx);
                         if sop.offset >= block.schedule.latency {
                             return Err(IrError::OffsetPastLatency {
-                                module: mid,
-                                block: bid,
+                                at,
                                 offset: sop.offset,
                                 latency: block.schedule.latency,
                             });
                         }
                         if sop.offset < prev_offset {
-                            return Err(IrError::NonMonotonicOffsets {
-                                module: mid,
-                                block: bid,
-                            });
+                            return Err(IrError::NonMonotonicOffsets { at });
                         }
                         prev_offset = sop.offset;
-                        check_op(design, mid, module.num_vars, &sop.op)?;
+                        check_op(design, at, module.num_vars, &sop.op)?;
                     }
-                    check_terminator(design, mid, module, bid, &block.terminator)?;
+                    check_terminator(design, module, Loc::block(mid, bid), &block.terminator)?;
                 }
             }
         }
@@ -77,46 +75,50 @@ pub fn validate(design: &Design) -> Result<(), IrError> {
     Ok(())
 }
 
-fn check_expr_vars(module: ModuleId, num_vars: u32, expr: &Expr) -> Result<(), IrError> {
+fn check_expr_vars(at: Loc, num_vars: u32, expr: &Expr) -> Result<(), IrError> {
     let mut vars = Vec::new();
     expr.collect_vars(&mut vars);
     for v in vars {
         if v.0 >= num_vars {
-            return Err(IrError::UnknownVar { module, var: v });
+            return Err(IrError::UnknownVar { at, var: v });
         }
     }
     Ok(())
 }
 
-fn check_var(module: ModuleId, num_vars: u32, var: VarId) -> Result<(), IrError> {
+fn check_var(at: Loc, num_vars: u32, var: VarId) -> Result<(), IrError> {
     if var.0 >= num_vars {
-        return Err(IrError::UnknownVar { module, var });
+        return Err(IrError::UnknownVar { at, var });
     }
     Ok(())
 }
 
-fn check_op(design: &Design, mid: ModuleId, num_vars: u32, op: &Op) -> Result<(), IrError> {
+fn check_op(design: &Design, at: Loc, num_vars: u32, op: &Op) -> Result<(), IrError> {
     let check_fifo = |fifo: FifoId| {
         if fifo.index() >= design.fifos.len() {
-            Err(IrError::UnknownFifo { module: mid, fifo })
+            Err(IrError::UnknownFifo { at, fifo })
+        } else {
+            Ok(())
+        }
+    };
+    let check_axi = |bus: crate::ids::AxiId| {
+        if bus.index() >= design.axi_ports.len() {
+            Err(IrError::UnknownAxiPort { at, axi: bus })
         } else {
             Ok(())
         }
     };
     match op {
         Op::Assign { dst, expr } => {
-            check_var(mid, num_vars, *dst)?;
-            check_expr_vars(mid, num_vars, expr)?;
+            check_var(at, num_vars, *dst)?;
+            check_expr_vars(at, num_vars, expr)?;
         }
         Op::ArrayLoad { dst, array, index } => {
-            check_var(mid, num_vars, *dst)?;
+            check_var(at, num_vars, *dst)?;
             if array.index() >= design.arrays.len() {
-                return Err(IrError::UnknownArray {
-                    module: mid,
-                    array: *array,
-                });
+                return Err(IrError::UnknownArray { at, array: *array });
             }
-            check_expr_vars(mid, num_vars, index)?;
+            check_expr_vars(at, num_vars, index)?;
         }
         Op::ArrayStore {
             array,
@@ -124,21 +126,18 @@ fn check_op(design: &Design, mid: ModuleId, num_vars: u32, op: &Op) -> Result<()
             value,
         } => {
             if array.index() >= design.arrays.len() {
-                return Err(IrError::UnknownArray {
-                    module: mid,
-                    array: *array,
-                });
+                return Err(IrError::UnknownArray { at, array: *array });
             }
-            check_expr_vars(mid, num_vars, index)?;
-            check_expr_vars(mid, num_vars, value)?;
+            check_expr_vars(at, num_vars, index)?;
+            check_expr_vars(at, num_vars, value)?;
         }
         Op::FifoWrite { fifo, value } => {
             check_fifo(*fifo)?;
-            check_expr_vars(mid, num_vars, value)?;
+            check_expr_vars(at, num_vars, value)?;
         }
         Op::FifoRead { fifo, dst } => {
             check_fifo(*fifo)?;
-            check_var(mid, num_vars, *dst)?;
+            check_var(at, num_vars, *dst)?;
         }
         Op::FifoNbWrite {
             fifo,
@@ -146,77 +145,75 @@ fn check_op(design: &Design, mid: ModuleId, num_vars: u32, op: &Op) -> Result<()
             success,
         } => {
             check_fifo(*fifo)?;
-            check_expr_vars(mid, num_vars, value)?;
+            check_expr_vars(at, num_vars, value)?;
             if let Some(s) = success {
-                check_var(mid, num_vars, *s)?;
+                check_var(at, num_vars, *s)?;
             }
         }
         Op::FifoNbRead { fifo, dst, success } => {
             check_fifo(*fifo)?;
-            check_var(mid, num_vars, *dst)?;
+            check_var(at, num_vars, *dst)?;
             if let Some(s) = success {
-                check_var(mid, num_vars, *s)?;
+                check_var(at, num_vars, *s)?;
             }
         }
         Op::FifoEmpty { fifo, dst } | Op::FifoFull { fifo, dst } => {
             check_fifo(*fifo)?;
             if let Some(d) = dst {
-                check_var(mid, num_vars, *d)?;
+                check_var(at, num_vars, *d)?;
             }
         }
         Op::AxiReadReq { bus, addr, len } | Op::AxiWriteReq { bus, addr, len } => {
-            if bus.index() >= design.axi_ports.len() {
-                return Err(IrError::UnknownModule { module: mid });
-            }
-            check_expr_vars(mid, num_vars, addr)?;
-            check_expr_vars(mid, num_vars, len)?;
+            check_axi(*bus)?;
+            check_expr_vars(at, num_vars, addr)?;
+            check_expr_vars(at, num_vars, len)?;
         }
         Op::AxiRead { bus, dst } => {
-            if bus.index() >= design.axi_ports.len() {
-                return Err(IrError::UnknownModule { module: mid });
-            }
-            check_var(mid, num_vars, *dst)?;
+            check_axi(*bus)?;
+            check_var(at, num_vars, *dst)?;
         }
         Op::AxiWrite { bus, value } => {
-            if bus.index() >= design.axi_ports.len() {
-                return Err(IrError::UnknownModule { module: mid });
-            }
-            check_expr_vars(mid, num_vars, value)?;
+            check_axi(*bus)?;
+            check_expr_vars(at, num_vars, value)?;
         }
         Op::AxiWriteResp { bus } => {
-            if bus.index() >= design.axi_ports.len() {
-                return Err(IrError::UnknownModule { module: mid });
-            }
+            check_axi(*bus)?;
         }
         Op::Call { callee, args, dst } => {
             if callee.index() >= design.modules.len() {
-                return Err(IrError::UnknownModule { module: *callee });
+                return Err(IrError::UnknownModule {
+                    at,
+                    module: *callee,
+                });
             }
             if design.modules[callee.index()].is_dataflow() {
                 return Err(IrError::InvalidDataflowChild {
-                    region: mid,
+                    region: at.module.expect("op locations always carry a module"),
                     child: *callee,
                 });
             }
             for a in args {
-                check_expr_vars(mid, num_vars, a)?;
+                check_expr_vars(at, num_vars, a)?;
             }
             if let Some(d) = dst {
-                check_var(mid, num_vars, *d)?;
+                check_var(at, num_vars, *d)?;
             }
             let callee_vars = design.modules[callee.index()].num_vars;
             if args.len() as u32 > callee_vars {
                 return Err(IrError::UnknownVar {
-                    module: *callee,
+                    at,
                     var: VarId(callee_vars),
                 });
             }
         }
         Op::Output { output, value } => {
             if output.index() >= design.outputs.len() {
-                return Err(IrError::UnknownModule { module: mid });
+                return Err(IrError::UnknownOutput {
+                    at,
+                    output: *output,
+                });
             }
-            check_expr_vars(mid, num_vars, value)?;
+            check_expr_vars(at, num_vars, value)?;
         }
     }
     Ok(())
@@ -224,19 +221,14 @@ fn check_op(design: &Design, mid: ModuleId, num_vars: u32, op: &Op) -> Result<()
 
 fn check_terminator(
     design: &Design,
-    mid: ModuleId,
     module: &crate::design::Module,
-    bid: BlockId,
+    at: Loc,
     term: &Terminator,
 ) -> Result<(), IrError> {
-    let _ = bid;
     match term {
         Terminator::Jump(target) => {
             if target.index() >= module.blocks.len() {
-                return Err(IrError::UnknownBlock {
-                    module: mid,
-                    block: *target,
-                });
+                return Err(IrError::UnknownBlock { at, block: *target });
             }
         }
         Terminator::Branch {
@@ -244,18 +236,15 @@ fn check_terminator(
             if_true,
             if_false,
         } => {
-            check_expr_vars(mid, module.num_vars, cond)?;
+            check_expr_vars(at, module.num_vars, cond)?;
             for t in [if_true, if_false] {
                 if t.index() >= module.blocks.len() {
-                    return Err(IrError::UnknownBlock {
-                        module: mid,
-                        block: *t,
-                    });
+                    return Err(IrError::UnknownBlock { at, block: *t });
                 }
             }
         }
         Terminator::Return(Some(expr)) => {
-            check_expr_vars(mid, module.num_vars, expr)?;
+            check_expr_vars(at, module.num_vars, expr)?;
         }
         Terminator::Return(None) => {}
     }
@@ -462,6 +451,24 @@ mod tests {
             d.build().unwrap_err(),
             IrError::UnknownFifo { .. }
         ));
+    }
+
+    #[test]
+    fn validation_errors_carry_op_locations() {
+        let mut d = DesignBuilder::new("bad");
+        d.function_top("f", |m| {
+            m.entry(|b| {
+                let t = b.tmp();
+                b.assign(t, Expr::imm(0));
+                b.fifo_write(FifoId(5), Expr::imm(1));
+            });
+        });
+        let err = d.build().unwrap_err();
+        assert!(matches!(err, IrError::UnknownFifo { .. }));
+        let loc = err.location();
+        assert_eq!(loc.module, Some(ModuleId(0)));
+        assert_eq!(loc.block, Some(BlockId(0)));
+        assert_eq!(loc.op, Some(1));
     }
 
     #[test]

@@ -178,6 +178,28 @@ impl Client {
         }
     }
 
+    /// Statically analyzes a design on the server — deadlock certificate,
+    /// FIFO depth lower bounds, race and lint diagnostics — without
+    /// registering or simulating it.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] on an unexpected response.
+    pub fn analyze(
+        &mut self,
+        design: &Design,
+    ) -> Result<omnisim_analyze::AnalysisReport, ClientError> {
+        match self.exchange(&Request::Analyze {
+            design: design.clone(),
+        })? {
+            Response::AnalyzeReply { report } => Ok(report),
+            Response::Error { message } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected response to analyze: {other:?}"
+            ))),
+        }
+    }
+
     /// Runs a batch of requests remotely, returning one result per request
     /// in request order (failures as the server's failure strings).
     ///

@@ -33,12 +33,14 @@ struct WireMetrics {
     requests_shutdown: Counter,
     requests_metrics: Counter,
     requests_traces: Counter,
+    requests_analyze: Counter,
     request_nanos_register: Histogram,
     request_nanos_run_batch: Histogram,
     request_nanos_stats: Histogram,
     request_nanos_shutdown: Histogram,
     request_nanos_metrics: Histogram,
     request_nanos_traces: Histogram,
+    request_nanos_analyze: Histogram,
     admission_rejections: Counter,
     in_flight_runs: Gauge,
     connections_opened: Counter,
@@ -59,12 +61,14 @@ impl WireMetrics {
             requests_shutdown: requests("shutdown"),
             requests_metrics: requests("metrics"),
             requests_traces: requests("traces"),
+            requests_analyze: requests("analyze"),
             request_nanos_register: nanos("register"),
             request_nanos_run_batch: nanos("run_batch"),
             request_nanos_stats: nanos("stats"),
             request_nanos_shutdown: nanos("shutdown"),
             request_nanos_metrics: nanos("metrics"),
             request_nanos_traces: nanos("traces"),
+            request_nanos_analyze: nanos("analyze"),
             admission_rejections: registry.counter("wire_admission_rejections_total"),
             in_flight_runs: registry.gauge("wire_in_flight_runs"),
             connections_opened: connections("opened"),
@@ -81,6 +85,7 @@ impl WireMetrics {
             Request::Shutdown => (&self.requests_shutdown, &self.request_nanos_shutdown),
             Request::Metrics => (&self.requests_metrics, &self.request_nanos_metrics),
             Request::Traces => (&self.requests_traces, &self.request_nanos_traces),
+            Request::Analyze { .. } => (&self.requests_analyze, &self.request_nanos_analyze),
         }
     }
 }
@@ -339,6 +344,9 @@ fn respond(shared: &Shared, request: Request) -> Response {
                 spans_jsonl: to_jsonl(&spans),
             }
         }
+        Request::Analyze { design } => Response::AnalyzeReply {
+            report: shared.service.analyze(&design),
+        },
     }
 }
 
@@ -396,6 +404,37 @@ mod tests {
         let stats = client.stats().unwrap();
         assert_eq!(stats.designs, 1);
         assert_eq!(stats.compiles, 1);
+
+        client.shutdown().unwrap();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn serves_static_analysis_and_counts_it() {
+        let service = SimService::new(Box::new(omnisim::OmniBackend::default()));
+        let (handle, join) = start(service);
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        // The remote report must equal an in-process analysis bit for bit
+        // (the analyzer is deterministic and the report round-trips).
+        let design = typea::vecadd_stream(16, 2);
+        let remote = client.analyze(&design).unwrap();
+        assert_eq!(remote, omnisim_analyze::analyze(&design));
+        assert_eq!(
+            remote.verdict,
+            omnisim_analyze::DeadlockVerdict::CertifiedFree
+        );
+
+        // Both the wire layer and the service counted the request.
+        let snapshot = client.metrics().unwrap();
+        assert_eq!(
+            snapshot.get("wire_requests_total", &[("type", "analyze")]),
+            Some(&omnisim_obs::SampleValue::Counter(1))
+        );
+        assert_eq!(
+            snapshot.get("service_analyze_total", &[("verdict", "certified_free")]),
+            Some(&omnisim_obs::SampleValue::Counter(1))
+        );
 
         client.shutdown().unwrap();
         join.join().unwrap();

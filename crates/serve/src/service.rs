@@ -125,6 +125,10 @@ struct ServiceMetrics {
     dse_warm: Counter,
     dse_compile: Counter,
     dse_points: Histogram,
+    analyze_free: Counter,
+    analyze_deadlock: Counter,
+    analyze_unknown: Counter,
+    analyze_nanos: Histogram,
     runs: Counter,
     run_nanos: Histogram,
     batch_size: Histogram,
@@ -158,6 +162,15 @@ impl ServiceMetrics {
             dse_warm: registry.counter_with("service_dse_total", &[("outcome", "warm")]),
             dse_compile: registry.counter_with("service_dse_total", &[("outcome", "compile")]),
             dse_points: registry.histogram("service_dse_points"),
+            analyze_free: registry
+                .counter_with("service_analyze_total", &[("verdict", "certified_free")]),
+            analyze_deadlock: registry.counter_with(
+                "service_analyze_total",
+                &[("verdict", "certified_deadlock")],
+            ),
+            analyze_unknown: registry
+                .counter_with("service_analyze_total", &[("verdict", "unknown")]),
+            analyze_nanos: registry.histogram("service_analyze_nanos"),
             runs: registry.counter("service_runs_total"),
             run_nanos: registry.histogram("service_run_nanos"),
             batch_size: registry.histogram("service_batch_size"),
@@ -180,6 +193,9 @@ impl ServiceMetrics {
         fresh.dse_hit.add(self.dse_hit.value());
         fresh.dse_warm.add(self.dse_warm.value());
         fresh.dse_compile.add(self.dse_compile.value());
+        fresh.analyze_free.add(self.analyze_free.value());
+        fresh.analyze_deadlock.add(self.analyze_deadlock.value());
+        fresh.analyze_unknown.add(self.analyze_unknown.value());
         fresh.runs.add(self.runs.value());
         fresh
             .registry_evictions
@@ -410,6 +426,35 @@ impl SimService {
             .observe_duration(started.elapsed());
         tspan.set_attr("outcome", "compile");
         Ok(key)
+    }
+
+    /// Statically analyzes a design — deadlock certificate, FIFO depth
+    /// lower bounds, race and lint diagnostics — without compiling or
+    /// simulating anything.
+    ///
+    /// The analyzer is pure CPU work over the design's structure, so this
+    /// takes no registry locks, touches no artifact and never fails;
+    /// clients use it as a cheap pre-flight before paying for a register
+    /// (a `certified-deadlock` design will never complete on any backend).
+    /// Outcomes are counted in `service_analyze_total` (labelled by
+    /// verdict) and timed in `service_analyze_nanos`.
+    pub fn analyze(&self, design: &Design) -> omnisim_analyze::AnalysisReport {
+        let started = Instant::now();
+        let mut tspan = self.tracer.span("service_analyze");
+        let report = omnisim_analyze::analyze(design);
+        match report.verdict {
+            omnisim_analyze::DeadlockVerdict::CertifiedFree => self.metrics.analyze_free.inc(),
+            omnisim_analyze::DeadlockVerdict::CertifiedDeadlock => {
+                self.metrics.analyze_deadlock.inc()
+            }
+            omnisim_analyze::DeadlockVerdict::Unknown => self.metrics.analyze_unknown.inc(),
+        }
+        self.metrics
+            .analyze_nanos
+            .observe_duration(started.elapsed());
+        tspan.set_attr("verdict", report.verdict.to_string());
+        tspan.set_attr("diagnostics", report.diagnostics.len().to_string());
+        report
     }
 
     fn install(&self, key: DesignKey, artifact: Arc<dyn CompiledSim>) {

@@ -16,6 +16,7 @@
 //! go through [`WireReport::without_timings`]; everything else compares
 //! bit-for-bit. Backend-specific extras stay off the wire.
 
+use omnisim_analyze::AnalysisReport;
 use omnisim_api::{RunConfig, SimOutcome, SimReport, SimTimings};
 use omnisim_codec::{frame, unframe, ByteReader, ByteWriter, CodecError};
 use omnisim_ir::design::OutputMap;
@@ -30,12 +31,14 @@ use crate::store::StoreStats;
 
 /// Magic bytes of a wire-protocol message: "OmniSim Wire Message".
 pub const WIRE_MAGIC: [u8; 4] = *b"OSWM";
-/// Current wire-protocol version. Version 4 added the resident DSE
-/// program count to the stats frame. Version 2 added per-phase report
-/// timings and the [`Request::Metrics`]/[`Response::MetricsReply`] pair;
-/// version 3 added the optional [`TraceContext`] carried ahead of every
-/// request and the [`Request::Traces`]/[`Response::TracesReply`] pair.
-pub const WIRE_VERSION: u16 = 4;
+/// Current wire-protocol version. Version 5 added the
+/// [`Request::Analyze`]/[`Response::AnalyzeReply`] pair carrying a static
+/// [`AnalysisReport`]. Version 4 added the resident DSE program count to
+/// the stats frame. Version 2 added per-phase report timings and the
+/// [`Request::Metrics`]/[`Response::MetricsReply`] pair; version 3 added
+/// the optional [`TraceContext`] carried ahead of every request and the
+/// [`Request::Traces`]/[`Response::TracesReply`] pair.
+pub const WIRE_VERSION: u16 = 5;
 /// Upper bound on a single message, applied before allocating.
 pub const MAX_MESSAGE_LEN: u32 = 256 * 1024 * 1024;
 
@@ -66,6 +69,13 @@ pub enum Request {
     /// Fetch the spans of recently kept traces from the server's flight
     /// recorder; answered by [`Response::TracesReply`].
     Traces,
+    /// Statically analyze a design (deadlock certificate, depth bounds,
+    /// race and lint diagnostics) without simulating it; answered by
+    /// [`Response::AnalyzeReply`].
+    Analyze {
+        /// The design to analyze.
+        design: Design,
+    },
 }
 
 impl Request {
@@ -79,6 +89,7 @@ impl Request {
             Request::Shutdown => "shutdown",
             Request::Metrics => "metrics",
             Request::Traces => "traces",
+            Request::Analyze { .. } => "analyze",
         }
     }
 }
@@ -132,6 +143,11 @@ pub enum Response {
         /// [`omnisim_obs::Trace::group`] on the client. Text, not a
         /// bespoke binary codec, so non-Rust collectors can tail it.
         spans_jsonl: String,
+    },
+    /// The static analysis of a [`Request::Analyze`] design.
+    AnalyzeReply {
+        /// The full typed report, in `omnisim-analyze`'s wire encoding.
+        report: AnalysisReport,
     },
 }
 
@@ -409,6 +425,10 @@ pub fn encode_request(request: &Request, trace: Option<TraceContext>) -> Vec<u8>
         Request::Shutdown => w.u8(3),
         Request::Metrics => w.u8(4),
         Request::Traces => w.u8(5),
+        Request::Analyze { design } => {
+            w.u8(6);
+            w.bytes(&encode_design(design));
+        }
     }
     frame(WIRE_MAGIC, WIRE_VERSION, &w.into_bytes())
 }
@@ -440,6 +460,9 @@ pub fn decode_request(bytes: &[u8]) -> Result<(Request, Option<TraceContext>), C
         3 => Request::Shutdown,
         4 => Request::Metrics,
         5 => Request::Traces,
+        6 => Request::Analyze {
+            design: decode_design(r.bytes()?)?,
+        },
         tag => return Err(CodecError::Invalid(format!("unknown request tag {tag}"))),
     };
     r.finish()?;
@@ -488,6 +511,10 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             w.u8(7);
             w.str(spans_jsonl);
         }
+        Response::AnalyzeReply { report } => {
+            w.u8(8);
+            omnisim_analyze::wire::write_report(&mut w, report);
+        }
     }
     frame(WIRE_MAGIC, WIRE_VERSION, &w.into_bytes())
 }
@@ -523,6 +550,9 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, CodecError> {
         },
         7 => Response::TracesReply {
             spans_jsonl: r.str()?,
+        },
+        8 => Response::AnalyzeReply {
+            report: omnisim_analyze::wire::read_report(&mut r)?,
         },
         tag => return Err(CodecError::Invalid(format!("unknown response tag {tag}"))),
     };
@@ -683,6 +713,7 @@ mod tests {
             Request::Shutdown,
             Request::Metrics,
             Request::Traces,
+            Request::Analyze { design },
         ];
         for request in requests {
             // Every request type round-trips both bare and with a carried
@@ -747,6 +778,9 @@ mod tests {
             },
             Response::TracesReply {
                 spans_jsonl: "{\"name\":\"x\"}\n".into(),
+            },
+            Response::AnalyzeReply {
+                report: omnisim_analyze::analyze(&omnisim_designs::typea::vecadd_stream(8, 2)),
             },
         ];
         for response in responses {

@@ -102,6 +102,7 @@
 pub mod service;
 
 pub use omnisim;
+pub use omnisim_analyze as analyze;
 pub use omnisim_api as api;
 pub use omnisim_codec as codec;
 pub use omnisim_csim as csim;
@@ -116,6 +117,7 @@ pub use omnisim_obs as obs;
 pub use omnisim_rtlsim as rtlsim;
 pub use omnisim_serve as serve;
 
+pub use omnisim_analyze::{analyze, AnalysisReport, DeadlockVerdict, Diagnostic};
 pub use omnisim_api::{
     Capabilities, CompiledSim, Extras, RunConfig, SimFailure, SimOutcome, SimReport, SimTimings,
     Simulator,

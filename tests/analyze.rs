@@ -1,0 +1,475 @@
+//! Rule-by-rule pins for the static analyzer.
+//!
+//! Every rule in the catalog gets two designs through the public
+//! `omnisim_suite::analyze` facade: one that must fire the diagnostic and
+//! a boundary twin — the closest design on the other side of the rule's
+//! line — that must stay silent. The analyzer's soundness against the
+//! simulators is fuzzed separately (`fuzz_differential.rs`); this file
+//! pins *precision*, so a pass that starts over- or under-reporting fails
+//! a named test instead of a statistic.
+
+use omnisim_suite::analyze::{analyze, DeadlockVerdict, Rule, Severity};
+use omnisim_suite::ir::builder::DesignBuilder;
+use omnisim_suite::ir::{Design, Expr};
+
+/// Producer writes `w` tokens, consumer reads `r`, through depth `depth`.
+fn producer_consumer(w: i64, r: i64, depth: usize) -> Design {
+    let mut d = DesignBuilder::new("pc");
+    let f = d.fifo("q", depth);
+    let p = d.function("p", |m| {
+        m.counted_loop("i", w, 1, |b| {
+            b.fifo_write(f, Expr::imm(1));
+        });
+    });
+    let c = d.function("c", |m| {
+        m.counted_loop("i", r, 1, |b| {
+            let _ = b.fifo_read(f);
+        });
+    });
+    d.dataflow_top("top", [p, c]);
+    d.build().expect("valid")
+}
+
+// --- deadlock + deadlock-cycle ---------------------------------------------
+
+#[test]
+fn deadlock_fires_on_wedged_surplus() {
+    // 10 writes, 5 reads, depth 4: the 10th write can never commit.
+    let report = analyze(&producer_consumer(10, 5, 4));
+    assert_eq!(report.verdict, DeadlockVerdict::CertifiedDeadlock);
+    assert!(report.diagnostics.iter().any(|d| d.rule == Rule::Deadlock));
+}
+
+#[test]
+fn deadlock_is_silent_when_the_surplus_fits() {
+    // Same imbalance, depth 5: every write commits, the design completes.
+    let report = analyze(&producer_consumer(10, 5, 5));
+    assert_eq!(report.verdict, DeadlockVerdict::CertifiedFree);
+    assert!(report.diagnostics.iter().all(|d| d.rule != Rule::Deadlock));
+}
+
+fn ping_pong(primed: bool) -> Design {
+    // A reads f1 then writes f2; B reads f2 then writes f1. Without a
+    // primed token both block on their first read forever.
+    let mut d = DesignBuilder::new("ring");
+    let f1 = d.fifo("f1", 1);
+    let f2 = d.fifo("f2", 1);
+    let a = d.function("a", |m| {
+        if primed {
+            m.entry(|b| {
+                b.fifo_write(f2, Expr::imm(0));
+            });
+        }
+        m.seq(|b| {
+            let v = b.fifo_read(f1);
+            b.fifo_write(f2, Expr::var(v));
+        });
+    });
+    let bb = d.function("b", |m| {
+        m.seq(|b| {
+            let v = b.fifo_read(f2);
+            b.fifo_write(f1, Expr::var(v));
+        });
+    });
+    d.dataflow_top("top", [a, bb]);
+    d.build().expect("valid")
+}
+
+#[test]
+fn deadlock_cycle_fires_on_an_unprimed_ring() {
+    let report = analyze(&ping_pong(false));
+    assert_eq!(report.verdict, DeadlockVerdict::CertifiedDeadlock);
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == Rule::DeadlockCycle));
+    assert!(!report.cycles.is_empty(), "the ring must be reported");
+}
+
+#[test]
+fn deadlock_cycle_severity_drops_when_the_ring_is_primed() {
+    // Same ring with one token injected ahead of the loop: it completes,
+    // so the cycle must not be reported at error severity.
+    let report = analyze(&ping_pong(true));
+    assert_eq!(report.verdict, DeadlockVerdict::CertifiedFree);
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.rule != Rule::DeadlockCycle || d.severity != Severity::Error));
+}
+
+// --- fifo-depth-bound + token-imbalance ------------------------------------
+
+fn self_burst(burst: i64, depth: usize) -> Design {
+    let mut d = DesignBuilder::new("burst");
+    let f = d.fifo("spill", depth);
+    d.function_top("t", |m| {
+        m.counted_loop("i", burst, 1, |b| {
+            b.fifo_write(f, Expr::imm(7));
+        });
+        m.counted_loop("j", burst, 1, |b| {
+            let _ = b.fifo_read(f);
+        });
+    });
+    d.build().expect("valid")
+}
+
+#[test]
+fn fifo_depth_bound_fires_when_the_burst_overflows() {
+    let report = analyze(&self_burst(5, 4));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == Rule::FifoDepthBound && d.severity == Severity::Error));
+    assert_eq!(report.depth_bounds[0].bound, 5);
+}
+
+#[test]
+fn fifo_depth_bound_is_silent_at_the_exact_depth() {
+    let report = analyze(&self_burst(5, 5));
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.rule != Rule::FifoDepthBound));
+    assert_eq!(report.depth_bounds[0].bound, 5, "bound stays tight");
+}
+
+#[test]
+fn token_imbalance_fires_when_the_reader_starves() {
+    let report = analyze(&producer_consumer(4, 10, 4));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == Rule::TokenImbalance && d.severity == Severity::Error));
+}
+
+#[test]
+fn token_imbalance_is_silent_on_balanced_counts() {
+    let report = analyze(&producer_consumer(10, 10, 4));
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.rule != Rule::TokenImbalance));
+}
+
+// --- shared-array + shared-axi ----------------------------------------------
+
+#[test]
+fn shared_array_fires_on_interleaved_store_and_load() {
+    let mut d = DesignBuilder::new("race");
+    let shared = d.zero_array("buf", 8);
+    let f = d.fifo("q", 2);
+    let w = d.function("w", |m| {
+        m.counted_loop("i", 4, 1, |b| {
+            let i = b.var_expr("i");
+            b.array_store(shared, i, Expr::imm(1));
+            b.fifo_write(f, Expr::imm(0));
+        });
+    });
+    let r = d.function("r", |m| {
+        m.counted_loop("i", 4, 1, |b| {
+            let _ = b.fifo_read(f);
+            let i = b.var_expr("i");
+            let _ = b.array_load(shared, i);
+        });
+    });
+    d.dataflow_top("top", [w, r]);
+    let report = analyze(&d.build().expect("valid"));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == Rule::SharedArray));
+}
+
+#[test]
+fn shared_array_is_silent_across_a_fifo_handoff() {
+    // All stores strictly precede the token; all loads strictly follow it.
+    let mut d = DesignBuilder::new("sync");
+    let shared = d.zero_array("buf", 8);
+    let done = d.fifo("done", 1);
+    let w = d.function("w", |m| {
+        m.counted_loop("i", 8, 1, |b| {
+            let i = b.var_expr("i");
+            b.array_store(shared, i, Expr::imm(1));
+        });
+        m.exit(|b| {
+            b.fifo_write(done, Expr::imm(1));
+        });
+    });
+    let r = d.function("r", |m| {
+        m.entry(|b| {
+            let _ = b.fifo_read(done);
+        });
+        m.counted_loop("i", 8, 1, |b| {
+            let i = b.var_expr("i");
+            let _ = b.array_load(shared, i);
+        });
+    });
+    d.dataflow_top("top", [w, r]);
+    let report = analyze(&d.build().expect("valid"));
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.rule != Rule::SharedArray));
+}
+
+#[test]
+fn shared_axi_fires_when_two_tasks_drive_one_port() {
+    let mut d = DesignBuilder::new("axi2");
+    let mem = d.zero_array("m", 16);
+    let bus = d.axi_port("p0", mem, 4);
+    let a = d.function("a", |m| {
+        m.entry(|b| {
+            b.axi_read_req(bus, Expr::imm(0), Expr::imm(1));
+            let _ = b.axi_read(bus);
+        });
+    });
+    let bm = d.function("b", |m| {
+        m.entry(|b| {
+            b.axi_read_req(bus, Expr::imm(4), Expr::imm(1));
+            let _ = b.axi_read(bus);
+        });
+    });
+    d.dataflow_top("top", [a, bm]);
+    let report = analyze(&d.build().expect("valid"));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == Rule::SharedAxi && d.severity == Severity::Error));
+}
+
+#[test]
+fn shared_axi_is_silent_with_a_port_per_task() {
+    let mut d = DesignBuilder::new("axi_ok");
+    let m1 = d.zero_array("m1", 16);
+    let m2 = d.zero_array("m2", 16);
+    let bus1 = d.axi_port("p0", m1, 4);
+    let bus2 = d.axi_port("p1", m2, 4);
+    let a = d.function("a", |m| {
+        m.entry(|b| {
+            b.axi_read_req(bus1, Expr::imm(0), Expr::imm(1));
+            let _ = b.axi_read(bus1);
+        });
+    });
+    let bm = d.function("b", |m| {
+        m.entry(|b| {
+            b.axi_read_req(bus2, Expr::imm(4), Expr::imm(1));
+            let _ = b.axi_read(bus2);
+        });
+    });
+    d.dataflow_top("top", [a, bm]);
+    let report = analyze(&d.build().expect("valid"));
+    assert!(report.diagnostics.iter().all(|d| d.rule != Rule::SharedAxi));
+}
+
+// --- dead-code + fifo-usage -------------------------------------------------
+
+#[test]
+fn dead_code_fires_on_an_orphan_module() {
+    let mut d = DesignBuilder::new("deadmod");
+    let _orphan = d.function("orphan", |m| {
+        m.entry(|b| {
+            let x = b.var("x");
+            b.assign(x, Expr::imm(1));
+        });
+    });
+    d.function_top("top", |m| {
+        m.entry(|b| {
+            let y = b.var("y");
+            b.assign(y, Expr::imm(2));
+        });
+    });
+    let report = analyze(&d.build().expect("valid"));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == Rule::DeadCode && d.message.contains("orphan")));
+}
+
+#[test]
+fn dead_code_is_silent_when_everything_is_reachable() {
+    let report = analyze(&producer_consumer(4, 4, 2));
+    assert!(report.diagnostics.iter().all(|d| d.rule != Rule::DeadCode));
+}
+
+#[test]
+fn fifo_usage_fires_on_a_ghost_fifo() {
+    let mut d = DesignBuilder::new("ghost");
+    let _unused = d.fifo("ghost", 2);
+    d.function_top("top", |m| {
+        m.entry(|b| {
+            let x = b.var("x");
+            b.assign(x, Expr::imm(1));
+        });
+    });
+    let report = analyze(&d.build().expect("valid"));
+    assert!(report.diagnostics.iter().any(|d| d.rule == Rule::FifoUsage));
+}
+
+#[test]
+fn fifo_usage_is_silent_when_both_ends_exist() {
+    let report = analyze(&producer_consumer(4, 4, 2));
+    assert!(report.diagnostics.iter().all(|d| d.rule != Rule::FifoUsage));
+}
+
+// --- elided-check + nb-silent-drop ------------------------------------------
+
+#[test]
+fn elided_check_fires_on_a_discarded_status_probe() {
+    let mut d = DesignBuilder::new("elide");
+    let f = d.fifo("q", 1);
+    d.function_top("top", |m| {
+        m.entry(|b| {
+            b.fifo_write(f, Expr::imm(1));
+            b.fifo_empty_unused(f);
+            let _ = b.fifo_read(f);
+        });
+    });
+    let report = analyze(&d.build().expect("valid"));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == Rule::ElidedCheck));
+}
+
+#[test]
+fn elided_check_is_silent_when_the_probe_lands_in_a_var() {
+    let mut d = DesignBuilder::new("probe");
+    let f = d.fifo("q", 1);
+    d.function_top("top", |m| {
+        m.entry(|b| {
+            b.fifo_write(f, Expr::imm(1));
+            let _empty = b.fifo_empty(f);
+            let _ = b.fifo_read(f);
+        });
+    });
+    let report = analyze(&d.build().expect("valid"));
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.rule != Rule::ElidedCheck));
+}
+
+#[test]
+fn nb_silent_drop_fires_on_an_ignored_success_flag() {
+    let mut d = DesignBuilder::new("nb");
+    let f = d.fifo("q", 1);
+    d.function_top("top", |m| {
+        m.entry(|b| {
+            b.fifo_nb_write_ignored(f, Expr::imm(7));
+            let _ = b.fifo_read(f);
+        });
+    });
+    let report = analyze(&d.build().expect("valid"));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == Rule::NbSilentDrop && d.severity == Severity::Warning));
+}
+
+#[test]
+fn nb_silent_drop_is_silent_when_the_flag_is_captured() {
+    let mut d = DesignBuilder::new("nbok");
+    let f = d.fifo("q", 1);
+    d.function_top("top", |m| {
+        m.entry(|b| {
+            let _ok = b.fifo_nb_write(f, Expr::imm(7));
+            let _ = b.fifo_read(f);
+        });
+    });
+    let report = analyze(&d.build().expect("valid"));
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.rule != Rule::NbSilentDrop));
+}
+
+// --- array-bounds -----------------------------------------------------------
+
+fn strided_store(trip: i64, len: usize) -> Design {
+    let mut d = DesignBuilder::new("stride");
+    let a = d.zero_array("buf", len);
+    d.function_top("top", |m| {
+        m.counted_loop("i", trip, 1, |b| {
+            let i = b.var_expr("i");
+            b.array_store(a, i, Expr::imm(1));
+        });
+    });
+    d.build().expect("valid")
+}
+
+#[test]
+fn array_bounds_fires_across_summarized_loop_iterations() {
+    // Indices 0..8 into a 4-element array: the loop is summarized, so the
+    // violation must be caught from the closed-form index range, not by
+    // stepping every iteration.
+    let report = analyze(&strided_store(8, 4));
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == Rule::ArrayBounds && d.severity == Severity::Error));
+    assert_ne!(report.verdict, DeadlockVerdict::CertifiedFree);
+}
+
+#[test]
+fn array_bounds_is_silent_when_the_loop_exactly_fills_the_array() {
+    let report = analyze(&strided_store(4, 4));
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.rule != Rule::ArrayBounds));
+}
+
+// --- axi-protocol -----------------------------------------------------------
+
+#[test]
+fn axi_protocol_fires_on_unbalanced_burst_beats() {
+    let mut d = DesignBuilder::new("beats");
+    let mem = d.zero_array("m", 16);
+    let bus = d.axi_port("p0", mem, 4);
+    d.function_top("t", |m| {
+        m.entry(|b| {
+            b.axi_read_req(bus, Expr::imm(0), Expr::imm(2));
+            let _ = b.axi_read(bus);
+            let _ = b.axi_read(bus);
+            let _ = b.axi_read(bus); // one beat past the burst
+        });
+    });
+    let report = analyze(&d.build_unchecked());
+    assert!(report
+        .diagnostics
+        .iter()
+        .any(|d| d.rule == Rule::AxiProtocol));
+}
+
+#[test]
+fn axi_protocol_is_silent_on_a_balanced_burst() {
+    let mut d = DesignBuilder::new("beats_ok");
+    let mem = d.zero_array("m", 16);
+    let bus = d.axi_port("p0", mem, 4);
+    d.function_top("t", |m| {
+        m.entry(|b| {
+            b.axi_read_req(bus, Expr::imm(0), Expr::imm(2));
+            let _ = b.axi_read(bus);
+            let _ = b.axi_read(bus);
+        });
+    });
+    let report = analyze(&d.build().expect("valid"));
+    assert!(report
+        .diagnostics
+        .iter()
+        .all(|d| d.rule != Rule::AxiProtocol));
+}
+
+// --- loop summarization scale pin -------------------------------------------
+
+#[test]
+fn hundred_million_iteration_pipeline_is_certified_in_closed_form() {
+    // 100M trips is 50x the concrete trace fuel budget: this certifies
+    // only because self-loops are summarized into closed-form repeat
+    // segments (and the network run warps through the steady state).
+    let report = analyze(&producer_consumer(100_000_000, 100_000_000, 4));
+    assert_eq!(report.verdict, DeadlockVerdict::CertifiedFree);
+    assert_eq!(report.depth_bounds[0].bound, 1);
+    assert!(report.depth_bounds[0].exact);
+}

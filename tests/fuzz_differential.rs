@@ -197,6 +197,41 @@ fn forced_deadlocks_are_diagnosed_identically_by_both_backends() {
     );
 }
 
+/// Analyzer soundness at fuzz scale: ≥1000 seeds per generator preset,
+/// each checked by the oracle's analyzer leg — `CertifiedFree` designs
+/// must complete in the reference simulator, `CertifiedDeadlock` designs
+/// must not, and every static depth lower bound must stay at or below the
+/// certified `min_depths` minimum. The expensive simulation cross-checks
+/// (DSE points, bytecode VM) are off: the reference run the analyzer is
+/// judged against is the only simulation this test needs.
+#[test]
+fn analyzer_verdicts_are_sound_across_every_preset() {
+    let diff = DiffConfig {
+        dse_points: 0,
+        bytecode: false,
+        min_depths: true,
+        analyze: true,
+        ..DiffConfig::default()
+    };
+    for preset in GenConfig::PRESET_NAMES {
+        let cfg = GenConfig::preset(preset).expect("preset names are exhaustive");
+        for seed in 0..1000u64 {
+            let (generated, report) = fuzz_seed(&cfg, &diff, seed);
+            if !report.passed() {
+                let minimal = shrink(&generated.blueprint, |bp| {
+                    !check_seeded(&bp.lower(), &diff, seed).passed()
+                });
+                panic!(
+                    "analyzer unsound on preset {preset} seed {seed}:\n  {}\n\
+                     reproduce with: cargo run -p omnisim-bench --bin fuzz -- \
+                     --seed {seed} --preset {preset}\nminimized blueprint:\n{minimal:#?}",
+                    report.failures.join("\n  "),
+                );
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Regression pins for divergences the fuzzer has already caught. Each
 // fixture in `designs::fuzz` is a shrunk witness of a real bug; the designs
